@@ -1,0 +1,31 @@
+//! # canopus-adios
+//!
+//! An ADIOS-like self-describing container and write/query/read API.
+//!
+//! Canopus is implemented in the paper as "a super I/O transport method in
+//! ADIOS", relying on ADIOS' metadata-rich binary-packed (BP) format:
+//! global metadata records where each refactored product lives, and
+//! analytics reach data through `adios_inq_var` / `adios_read_var` style
+//! calls, per accuracy level. This crate reproduces that surface:
+//!
+//! * [`meta`] — the BP-style metadata model: files → variables → blocks,
+//!   each block carrying its [`ProductKind`](canopus_storage::ProductKind)
+//!   (base / delta / mapping metadata), element count, codec identity and
+//!   parameters, min/max, and sizes; with a compact self-describing binary
+//!   serialization.
+//! * [`store`] — [`store::BpStore`], which writes product sets through the
+//!   placement policy onto a [`StorageHierarchy`](canopus_storage::StorageHierarchy)
+//!   and opens them again; and [`store::BpFile`] with `inq_var`-style
+//!   queries and per-block reads that report which tier served them and at
+//!   what simulated cost.
+
+//! * [`transport`] — the in-situ (direct) and in-transit (staged)
+//!   transport modes of §III-A; switching is a runtime option.
+
+pub mod meta;
+pub mod store;
+pub mod transport;
+
+pub use meta::{AdiosError, BlockMeta, FileMeta, VarMeta};
+pub use store::{BpFile, BpStore};
+pub use transport::{Transport, TransportWriter};

@@ -1,0 +1,402 @@
+//! BP-style metadata model and its binary serialization.
+//!
+//! ADIOS' BP format is "metadata-rich": a reader can discover every
+//! variable, its blocks and their locations without touching the payloads.
+//! Canopus leans on this to know which tier holds which level and to stash
+//! the vertex→triangle mapping needed for restoration (paper §III-E2).
+
+use canopus_storage::ProductKind;
+
+/// Errors raised by the ADIOS layer.
+#[derive(Debug)]
+pub enum AdiosError {
+    /// Metadata bytes are malformed.
+    Corrupt(String),
+    /// Unknown variable or block.
+    NotFound(String),
+    /// Underlying storage failure.
+    Storage(canopus_storage::StorageError),
+}
+
+impl std::fmt::Display for AdiosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdiosError::Corrupt(m) => write!(f, "corrupt BP metadata: {m}"),
+            AdiosError::NotFound(m) => write!(f, "not found: {m}"),
+            AdiosError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdiosError {}
+
+impl From<canopus_storage::StorageError> for AdiosError {
+    fn from(e: canopus_storage::StorageError) -> Self {
+        AdiosError::Storage(e)
+    }
+}
+
+/// Metadata for one stored block (one refactored product of one variable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Storage key of the payload within the hierarchy.
+    pub key: String,
+    /// What this block is in Canopus terms.
+    pub kind: ProductKind,
+    /// Number of f64 elements after decompression (0 for opaque payloads
+    /// such as mesh geometry).
+    pub elements: u64,
+    /// Codec identity (`CodecKind::id()`); 0 = raw.
+    pub codec_id: u8,
+    /// Codec parameter (tolerance / error bound; 0 for lossless/raw).
+    pub codec_param: f64,
+    /// Uncompressed payload size in bytes.
+    pub raw_bytes: u64,
+    /// Stored (compressed) size in bytes.
+    pub stored_bytes: u64,
+    /// Value range of the decompressed data (for query pushdown).
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Metadata for one variable: an ordered list of blocks (base, deltas,
+/// auxiliary metadata).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VarMeta {
+    pub name: String,
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl VarMeta {
+    /// Find the base block.
+    pub fn base(&self) -> Option<&BlockMeta> {
+        self.blocks
+            .iter()
+            .find(|b| matches!(b.kind, ProductKind::Base { .. }))
+    }
+
+    /// Find the delta refining level `finer + 1` into `finer`.
+    pub fn delta_to(&self, finer: u32) -> Option<&BlockMeta> {
+        self.blocks
+            .iter()
+            .find(|b| matches!(b.kind, ProductKind::Delta { finer: f, .. } if f == finer))
+    }
+
+    /// All chunks of the delta refining into `finer`, ordered by chunk
+    /// index (empty when the delta was stored unchunked).
+    pub fn delta_chunks_to(&self, finer: u32) -> Vec<&BlockMeta> {
+        let mut chunks: Vec<&BlockMeta> = self
+            .blocks
+            .iter()
+            .filter(|b| {
+                matches!(b.kind, ProductKind::DeltaChunk { finer: f, .. } if f == finer)
+            })
+            .collect();
+        chunks.sort_by_key(|b| match b.kind {
+            ProductKind::DeltaChunk { chunk, .. } => chunk,
+            _ => unreachable!("filtered to chunks"),
+        });
+        chunks
+    }
+
+    /// Find the auxiliary metadata block for `level`.
+    pub fn metadata_for(&self, level: u32) -> Option<&BlockMeta> {
+        self.blocks
+            .iter()
+            .find(|b| matches!(b.kind, ProductKind::Metadata { level: l } if l == level))
+    }
+}
+
+/// Metadata for one BP file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FileMeta {
+    pub name: String,
+    /// Total number of accuracy levels `N`.
+    pub num_levels: u32,
+    pub vars: Vec<VarMeta>,
+    /// Free-form attributes (provenance, experiment parameters).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl FileMeta {
+    pub fn var(&self, name: &str) -> Option<&VarMeta> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+}
+
+const META_MAGIC: &[u8; 4] = b"CBP1";
+
+// --- serialization helpers -------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_kind(out: &mut Vec<u8>, kind: ProductKind) {
+    let (tag, a, b, c) = match kind {
+        ProductKind::Base { level } => (0u8, level, 0, 0),
+        ProductKind::Delta { finer, coarser } => (1, finer, coarser, 0),
+        ProductKind::Metadata { level } => (2, level, 0, 0),
+        ProductKind::DeltaChunk {
+            finer,
+            coarser,
+            chunk,
+        } => (3, finer, coarser, chunk),
+    };
+    out.push(tag);
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    out.extend_from_slice(&c.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], AdiosError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(AdiosError::Corrupt("metadata truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, AdiosError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, AdiosError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, AdiosError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, AdiosError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, AdiosError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 24 {
+            return Err(AdiosError::Corrupt(format!("absurd string length {len}")));
+        }
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| AdiosError::Corrupt("bad utf8".into()))
+    }
+
+    fn kind(&mut self) -> Result<ProductKind, AdiosError> {
+        let tag = self.u8()?;
+        let a = self.u32()?;
+        let b = self.u32()?;
+        let c = self.u32()?;
+        match tag {
+            0 => Ok(ProductKind::Base { level: a }),
+            1 => Ok(ProductKind::Delta { finer: a, coarser: b }),
+            2 => Ok(ProductKind::Metadata { level: a }),
+            3 => Ok(ProductKind::DeltaChunk {
+                finer: a,
+                coarser: b,
+                chunk: c,
+            }),
+            t => Err(AdiosError::Corrupt(format!("bad product kind tag {t}"))),
+        }
+    }
+}
+
+impl FileMeta {
+    /// Serialize to the compact binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(META_MAGIC);
+        put_str(&mut out, &self.name);
+        out.extend_from_slice(&self.num_levels.to_le_bytes());
+        out.extend_from_slice(&(self.vars.len() as u32).to_le_bytes());
+        for var in &self.vars {
+            put_str(&mut out, &var.name);
+            out.extend_from_slice(&(var.blocks.len() as u32).to_le_bytes());
+            for b in &var.blocks {
+                put_str(&mut out, &b.key);
+                put_kind(&mut out, b.kind);
+                out.extend_from_slice(&b.elements.to_le_bytes());
+                out.push(b.codec_id);
+                out.extend_from_slice(&b.codec_param.to_le_bytes());
+                out.extend_from_slice(&b.raw_bytes.to_le_bytes());
+                out.extend_from_slice(&b.stored_bytes.to_le_bytes());
+                out.extend_from_slice(&b.min.to_le_bytes());
+                out.extend_from_slice(&b.max.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for (k, v) in &self.attrs {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out
+    }
+
+    /// Parse the binary form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AdiosError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        if c.take(4)? != META_MAGIC {
+            return Err(AdiosError::Corrupt("bad BP metadata magic".into()));
+        }
+        let name = c.str()?;
+        let num_levels = c.u32()?;
+        let nvars = c.u32()? as usize;
+        if nvars > 1 << 20 {
+            return Err(AdiosError::Corrupt("absurd variable count".into()));
+        }
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let vname = c.str()?;
+            let nblocks = c.u32()? as usize;
+            if nblocks > 1 << 20 {
+                return Err(AdiosError::Corrupt("absurd block count".into()));
+            }
+            let mut blocks = Vec::with_capacity(nblocks);
+            for _ in 0..nblocks {
+                blocks.push(BlockMeta {
+                    key: c.str()?,
+                    kind: c.kind()?,
+                    elements: c.u64()?,
+                    codec_id: c.u8()?,
+                    codec_param: c.f64()?,
+                    raw_bytes: c.u64()?,
+                    stored_bytes: c.u64()?,
+                    min: c.f64()?,
+                    max: c.f64()?,
+                });
+            }
+            vars.push(VarMeta {
+                name: vname,
+                blocks,
+            });
+        }
+        let nattrs = c.u32()? as usize;
+        if nattrs > 1 << 20 {
+            return Err(AdiosError::Corrupt("absurd attribute count".into()));
+        }
+        let mut attrs = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            let k = c.str()?;
+            let v = c.str()?;
+            attrs.push((k, v));
+        }
+        Ok(Self {
+            name,
+            num_levels,
+            vars,
+            attrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FileMeta {
+        FileMeta {
+            name: "xgc1.bp".into(),
+            num_levels: 3,
+            vars: vec![VarMeta {
+                name: "dpot".into(),
+                blocks: vec![
+                    BlockMeta {
+                        key: "xgc1.bp/dpot/L2".into(),
+                        kind: ProductKind::Base { level: 2 },
+                        elements: 5000,
+                        codec_id: 1,
+                        codec_param: 1e-6,
+                        raw_bytes: 40_000,
+                        stored_bytes: 9_000,
+                        min: -1.5,
+                        max: 2.25,
+                    },
+                    BlockMeta {
+                        key: "xgc1.bp/dpot/d1-2".into(),
+                        kind: ProductKind::Delta { finer: 1, coarser: 2 },
+                        elements: 10_000,
+                        codec_id: 1,
+                        codec_param: 1e-6,
+                        raw_bytes: 80_000,
+                        stored_bytes: 7_000,
+                        min: -0.1,
+                        max: 0.1,
+                    },
+                    BlockMeta {
+                        key: "xgc1.bp/dpot/m1".into(),
+                        kind: ProductKind::Metadata { level: 1 },
+                        elements: 0,
+                        codec_id: 0,
+                        codec_param: 0.0,
+                        raw_bytes: 123,
+                        stored_bytes: 123,
+                        min: 0.0,
+                        max: 0.0,
+                    },
+                ],
+            }],
+            attrs: vec![("app".into(), "XGC1".into())],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = FileMeta::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn query_helpers() {
+        let m = sample();
+        let v = m.var("dpot").unwrap();
+        assert!(matches!(v.base().unwrap().kind, ProductKind::Base { level: 2 }));
+        assert!(v.delta_to(1).is_some());
+        assert!(v.delta_to(0).is_none());
+        assert!(v.metadata_for(1).is_some());
+        assert!(v.metadata_for(2).is_none());
+        assert!(m.var("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let m = sample();
+        let mut bytes = m.to_bytes();
+        bytes[0] = b'X';
+        assert!(FileMeta::from_bytes(&bytes).is_err());
+        let bytes2 = m.to_bytes();
+        assert!(FileMeta::from_bytes(&bytes2[..bytes2.len() - 5]).is_err());
+        assert!(FileMeta::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_counts() {
+        // Craft: magic + empty name + levels + huge var count.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(META_MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name len 0
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // levels
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // nvars
+        assert!(FileMeta::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_file_meta_roundtrips() {
+        let m = FileMeta {
+            name: String::new(),
+            num_levels: 0,
+            vars: vec![],
+            attrs: vec![],
+        };
+        assert_eq!(FileMeta::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+}

@@ -1,0 +1,379 @@
+//! The BP store: writing product sets through the placement policy and
+//! reading them back with `inq_var`-style queries.
+
+use crate::meta::{AdiosError, BlockMeta, FileMeta, VarMeta};
+use bytes::Bytes;
+use canopus_storage::{
+    PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy,
+};
+use std::sync::Arc;
+
+/// Key of the global metadata object for a file.
+fn meta_key(file: &str) -> String {
+    format!("{file}/.bpmeta")
+}
+
+/// Build the storage key for a block of a variable.
+pub fn block_key(file: &str, var: &str, kind: ProductKind) -> String {
+    match kind {
+        ProductKind::Base { level } => format!("{file}/{var}/L{level}"),
+        ProductKind::Delta { finer, coarser } => format!("{file}/{var}/d{finer}-{coarser}"),
+        ProductKind::DeltaChunk {
+            finer,
+            coarser,
+            chunk,
+        } => format!("{file}/{var}/d{finer}-{coarser}.{chunk}"),
+        ProductKind::Metadata { level } => format!("{file}/{var}/m{level}"),
+    }
+}
+
+/// One block handed to [`BpStore::write`]: payload plus everything the
+/// metadata needs to describe it.
+#[derive(Debug, Clone)]
+pub struct BlockWrite {
+    pub var: String,
+    pub kind: ProductKind,
+    pub data: Bytes,
+    pub elements: u64,
+    pub codec_id: u8,
+    pub codec_param: f64,
+    pub raw_bytes: u64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// The ADIOS-like store over a storage hierarchy.
+#[derive(Clone)]
+pub struct BpStore {
+    hierarchy: Arc<StorageHierarchy>,
+    policy: canopus_storage::placement::PlacementPolicy,
+}
+
+impl BpStore {
+    pub fn new(hierarchy: Arc<StorageHierarchy>) -> Self {
+        Self {
+            hierarchy,
+            policy: Default::default(),
+        }
+    }
+
+    pub fn with_policy(
+        hierarchy: Arc<StorageHierarchy>,
+        policy: canopus_storage::placement::PlacementPolicy,
+    ) -> Self {
+        Self { hierarchy, policy }
+    }
+
+    pub fn hierarchy(&self) -> &StorageHierarchy {
+        &self.hierarchy
+    }
+
+    /// Write a file: place every block per the policy (blocks must come
+    /// ordered base-first, deltas coarse→fine — the writer in
+    /// `canopus` core produces that order), then store the global
+    /// metadata on the fastest tier with room.
+    ///
+    /// Returns the placement plan (which tier got which block) and the
+    /// total simulated write time including metadata.
+    pub fn write(
+        &self,
+        file: &str,
+        num_levels: u32,
+        blocks: Vec<BlockWrite>,
+    ) -> Result<(PlacementPlan, SimDuration), AdiosError> {
+        // Assemble products + metadata in block order.
+        let mut products = Vec::with_capacity(blocks.len());
+        let mut vars: Vec<VarMeta> = Vec::new();
+        for b in &blocks {
+            let key = block_key(file, &b.var, b.kind);
+            products.push(Product {
+                key: key.clone(),
+                kind: b.kind,
+                data: b.data.clone(),
+            });
+            let bm = BlockMeta {
+                key,
+                kind: b.kind,
+                elements: b.elements,
+                codec_id: b.codec_id,
+                codec_param: b.codec_param,
+                raw_bytes: b.raw_bytes,
+                stored_bytes: b.data.len() as u64,
+                min: b.min,
+                max: b.max,
+            };
+            match vars.iter_mut().find(|v| v.name == b.var) {
+                Some(v) => v.blocks.push(bm),
+                None => vars.push(VarMeta {
+                    name: b.var.clone(),
+                    blocks: vec![bm],
+                }),
+            }
+        }
+
+        let plan = self.policy.place(&self.hierarchy, &products, num_levels)?;
+
+        let meta = FileMeta {
+            name: file.to_string(),
+            num_levels,
+            vars,
+            attrs: vec![("writer".into(), "canopus".into())],
+        };
+        let meta_bytes = Bytes::from(meta.to_bytes());
+
+        // Metadata goes to the fastest tier that can hold it (it is tiny
+        // and every open touches it first).
+        let mut meta_time = SimDuration::ZERO;
+        let mut stored = false;
+        for tier in 0..self.hierarchy.num_tiers() {
+            let dev = self.hierarchy.tier_device(tier)?;
+            if (dev.available() as usize) >= meta_bytes.len() {
+                meta_time =
+                    self.hierarchy
+                        .write_to_tier(tier, &meta_key(file), meta_bytes.clone())?;
+                stored = true;
+                break;
+            }
+        }
+        if !stored {
+            return Err(AdiosError::Storage(
+                canopus_storage::StorageError::PlacementFailed("no room for metadata".into()),
+            ));
+        }
+
+        let total = plan.write_time + meta_time;
+        Ok((plan, total))
+    }
+
+    /// Open a file by reading its global metadata.
+    pub fn open(&self, file: &str) -> Result<BpFile, AdiosError> {
+        let (bytes, _, _) = self.hierarchy.read(&meta_key(file))?;
+        let meta = FileMeta::from_bytes(&bytes)?;
+        Ok(BpFile {
+            store: self.clone(),
+            meta,
+        })
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, file: &str) -> bool {
+        self.hierarchy.find(&meta_key(file)).is_ok()
+    }
+
+    /// Delete a file: every block plus metadata.
+    pub fn delete(&self, file: &str) -> Result<(), AdiosError> {
+        let bp = self.open(file)?;
+        for var in &bp.meta.vars {
+            for block in &var.blocks {
+                let _ = self.hierarchy.remove(&block.key);
+            }
+        }
+        self.hierarchy.remove(&meta_key(file))?;
+        Ok(())
+    }
+}
+
+/// An opened BP file: query + read surface (the paper's
+/// `adios_inq_var` / `adios_read_var`).
+pub struct BpFile {
+    store: BpStore,
+    meta: FileMeta,
+}
+
+impl BpFile {
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// `adios_inq_var`: variable metadata by name.
+    pub fn inq_var(&self, name: &str) -> Result<&VarMeta, AdiosError> {
+        self.meta
+            .var(name)
+            .ok_or_else(|| AdiosError::NotFound(format!("variable {name}")))
+    }
+
+    /// Read one block's payload, reporting the serving tier and the
+    /// simulated transfer time.
+    pub fn read_block(&self, block: &BlockMeta) -> Result<(Bytes, usize, SimDuration), AdiosError> {
+        let (bytes, tier, dt) = self.store.hierarchy.read(&block.key)?;
+        Ok((bytes, tier, dt))
+    }
+
+    /// Convenience: read the base block of a variable.
+    pub fn read_base(&self, var: &str) -> Result<(Bytes, BlockMeta, SimDuration), AdiosError> {
+        let v = self.inq_var(var)?;
+        let block = v
+            .base()
+            .ok_or_else(|| AdiosError::NotFound(format!("base block of {var}")))?
+            .clone();
+        let (bytes, _, dt) = self.read_block(&block)?;
+        Ok((bytes, block, dt))
+    }
+
+    /// Convenience: read the delta that refines `finer + 1` into `finer`.
+    pub fn read_delta(
+        &self,
+        var: &str,
+        finer: u32,
+    ) -> Result<(Bytes, BlockMeta, SimDuration), AdiosError> {
+        let v = self.inq_var(var)?;
+        let block = v
+            .delta_to(finer)
+            .ok_or_else(|| AdiosError::NotFound(format!("delta to level {finer} of {var}")))?
+            .clone();
+        let (bytes, _, dt) = self.read_block(&block)?;
+        Ok((bytes, block, dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_storage::TierSpec;
+
+    fn store() -> BpStore {
+        let h = StorageHierarchy::new(vec![
+            TierSpec::new("fast", 10_000, 1000.0, 1000.0, 0.0),
+            TierSpec::new("slow", 1_000_000, 10.0, 10.0, 0.01),
+        ]);
+        BpStore::new(Arc::new(h))
+    }
+
+    fn sample_blocks() -> Vec<BlockWrite> {
+        vec![
+            BlockWrite {
+                var: "dpot".into(),
+                kind: ProductKind::Base { level: 2 },
+                data: Bytes::from(vec![1u8; 100]),
+                elements: 12,
+                codec_id: 1,
+                codec_param: 1e-6,
+                raw_bytes: 96,
+                min: -1.0,
+                max: 1.0,
+            },
+            BlockWrite {
+                var: "dpot".into(),
+                kind: ProductKind::Delta { finer: 1, coarser: 2 },
+                data: Bytes::from(vec![2u8; 200]),
+                elements: 25,
+                codec_id: 1,
+                codec_param: 1e-6,
+                raw_bytes: 200,
+                min: -0.1,
+                max: 0.1,
+            },
+            BlockWrite {
+                var: "dpot".into(),
+                kind: ProductKind::Delta { finer: 0, coarser: 1 },
+                data: Bytes::from(vec![3u8; 400]),
+                elements: 50,
+                codec_id: 1,
+                codec_param: 1e-6,
+                raw_bytes: 400,
+                min: -0.2,
+                max: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_open_read_roundtrip() {
+        let s = store();
+        let (plan, t) = s.write("f.bp", 3, sample_blocks()).unwrap();
+        assert_eq!(plan.assignments.len(), 3);
+        assert!(t.seconds() > 0.0);
+
+        let f = s.open("f.bp").unwrap();
+        assert_eq!(f.meta().num_levels, 3);
+        let v = f.inq_var("dpot").unwrap();
+        assert_eq!(v.blocks.len(), 3);
+
+        let (bytes, block, _) = f.read_base("dpot").unwrap();
+        assert_eq!(bytes.len(), 100);
+        assert_eq!(block.elements, 12);
+
+        let (bytes, block, _) = f.read_delta("dpot", 1).unwrap();
+        assert_eq!(bytes.len(), 200);
+        assert!(matches!(block.kind, ProductKind::Delta { finer: 1, .. }));
+        let (bytes, _, _) = f.read_delta("dpot", 0).unwrap();
+        assert_eq!(bytes.len(), 400);
+    }
+
+    #[test]
+    fn base_lands_on_fast_tier_deltas_on_slow() {
+        let s = store();
+        let (plan, _) = s.write("f.bp", 3, sample_blocks()).unwrap();
+        assert_eq!(plan.tier_of("f.bp/dpot/L2"), Some(0));
+        assert_eq!(plan.tier_of("f.bp/dpot/d1-2"), Some(1));
+        assert_eq!(plan.tier_of("f.bp/dpot/d0-1"), Some(1));
+    }
+
+    #[test]
+    fn reading_base_is_faster_than_delta() {
+        let s = store();
+        s.write("f.bp", 3, sample_blocks()).unwrap();
+        let f = s.open("f.bp").unwrap();
+        let (_, _, t_base) = f.read_base("dpot").unwrap();
+        let (_, _, t_delta) = f.read_delta("dpot", 1).unwrap();
+        assert!(
+            t_delta.seconds() > t_base.seconds() * 5.0,
+            "tier gap should dominate: base {} vs delta {}",
+            t_base.seconds(),
+            t_delta.seconds()
+        );
+    }
+
+    #[test]
+    fn missing_things_error() {
+        let s = store();
+        assert!(s.open("missing.bp").is_err());
+        assert!(!s.exists("missing.bp"));
+        s.write("f.bp", 3, sample_blocks()).unwrap();
+        assert!(s.exists("f.bp"));
+        let f = s.open("f.bp").unwrap();
+        assert!(f.inq_var("nope").is_err());
+        assert!(f.read_delta("dpot", 7).is_err());
+    }
+
+    #[test]
+    fn delete_removes_blocks_and_meta() {
+        let s = store();
+        s.write("f.bp", 3, sample_blocks()).unwrap();
+        s.delete("f.bp").unwrap();
+        assert!(!s.exists("f.bp"));
+        assert!(s.hierarchy().find("f.bp/dpot/L2").is_err());
+    }
+
+    #[test]
+    fn two_files_coexist() {
+        let s = store();
+        s.write("a.bp", 3, sample_blocks()).unwrap();
+        s.write("b.bp", 3, sample_blocks()).unwrap();
+        assert!(s.open("a.bp").is_ok());
+        assert!(s.open("b.bp").is_ok());
+        let f = s.open("b.bp").unwrap();
+        let (bytes, _, _) = f.read_base("dpot").unwrap();
+        assert_eq!(bytes.len(), 100);
+    }
+
+    #[test]
+    fn block_key_format() {
+        assert_eq!(
+            block_key("f", "v", ProductKind::Base { level: 2 }),
+            "f/v/L2"
+        );
+        assert_eq!(
+            block_key("f", "v", ProductKind::Delta { finer: 0, coarser: 1 }),
+            "f/v/d0-1"
+        );
+        assert_eq!(
+            block_key("f", "v", ProductKind::Metadata { level: 1 }),
+            "f/v/m1"
+        );
+        assert_eq!(
+            block_key("f", "v", ProductKind::DeltaChunk { finer: 0, coarser: 1, chunk: 3 }),
+            "f/v/d0-1.3"
+        );
+    }
+}

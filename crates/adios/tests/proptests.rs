@@ -1,0 +1,146 @@
+//! Property-based tests for the BP metadata serialization and store.
+
+use bytes::Bytes;
+use canopus_adios::store::{block_key, BlockWrite};
+use canopus_adios::{BlockMeta, BpStore, FileMeta, VarMeta};
+use canopus_storage::{ProductKind, StorageHierarchy, TierSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_kind() -> impl Strategy<Value = ProductKind> {
+    prop_oneof![
+        (0u32..16).prop_map(|level| ProductKind::Base { level }),
+        (0u32..16, 1u32..17)
+            .prop_map(|(finer, d)| ProductKind::Delta { finer, coarser: finer + d }),
+        (0u32..16, 1u32..17, 0u32..64).prop_map(|(finer, d, chunk)| {
+            ProductKind::DeltaChunk {
+                finer,
+                coarser: finer + d,
+                chunk,
+            }
+        }),
+        (0u32..16).prop_map(|level| ProductKind::Metadata { level }),
+    ]
+}
+
+fn arb_block() -> impl Strategy<Value = BlockMeta> {
+    (
+        "[a-z0-9/._-]{1,40}",
+        arb_kind(),
+        0u64..1_000_000,
+        0u8..4,
+        -1e9f64..1e9,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        -1e9f64..1e9,
+        -1e9f64..1e9,
+    )
+        .prop_map(
+            |(key, kind, elements, codec_id, codec_param, raw, stored, min, max)| BlockMeta {
+                key,
+                kind,
+                elements,
+                codec_id,
+                codec_param,
+                raw_bytes: raw,
+                stored_bytes: stored,
+                min,
+                max,
+            },
+        )
+}
+
+fn arb_meta() -> impl Strategy<Value = FileMeta> {
+    (
+        "[a-z0-9._-]{1,20}",
+        0u32..8,
+        proptest::collection::vec(
+            ("[a-zA-Z0-9 _-]{1,20}", proptest::collection::vec(arb_block(), 0..6)),
+            0..4,
+        ),
+        proptest::collection::vec(("[a-z]{1,10}", "[ -~]{0,30}"), 0..4),
+    )
+        .prop_map(|(name, num_levels, vars, attrs)| FileMeta {
+            name,
+            num_levels,
+            vars: vars
+                .into_iter()
+                .map(|(name, blocks)| VarMeta { name, blocks })
+                .collect(),
+            attrs,
+        })
+}
+
+proptest! {
+    /// Arbitrary metadata serializes and parses back identically.
+    #[test]
+    fn meta_roundtrip(meta in arb_meta()) {
+        let bytes = meta.to_bytes();
+        let back = FileMeta::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, meta);
+    }
+
+    /// Truncating serialized metadata anywhere yields an error, never a
+    /// panic or a silent partial parse.
+    #[test]
+    fn truncated_meta_errors(meta in arb_meta(), cut_frac in 0.0f64..1.0) {
+        let bytes = meta.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(FileMeta::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Flipping one byte either errors or parses into *something* — but
+    /// never panics.
+    #[test]
+    fn corrupted_meta_never_panics(meta in arb_meta(), pos in 0usize..4096, x in any::<u8>()) {
+        let mut bytes = meta.to_bytes();
+        let pos = pos % bytes.len().max(1);
+        if pos < bytes.len() {
+            bytes[pos] ^= x;
+        }
+        let _ = FileMeta::from_bytes(&bytes);
+    }
+
+    /// Block keys are unique per (file, var, kind).
+    #[test]
+    fn block_keys_injective(a in arb_kind(), b in arb_kind()) {
+        let ka = block_key("f", "v", a);
+        let kb = block_key("f", "v", b);
+        prop_assert_eq!(a == b, ka == kb, "{:?} vs {:?}", a, b);
+    }
+
+    /// Writing arbitrary payload sets and reading them back through the
+    /// store is bit-exact, whatever the sizes.
+    #[test]
+    fn store_roundtrip(sizes in proptest::collection::vec(1usize..2000, 1..6)) {
+        let h = Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", 1 << 14, 1e9, 1e9, 0.0),
+            TierSpec::new("slow", 1 << 24, 1e6, 1e6, 1e-4),
+        ]));
+        let store = BpStore::new(h);
+        let blocks: Vec<BlockWrite> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &sz)| BlockWrite {
+                var: "v".into(),
+                kind: ProductKind::Delta { finer: i as u32, coarser: i as u32 + 1 },
+                data: Bytes::from(vec![(i % 251) as u8; sz]),
+                elements: sz as u64 / 8,
+                codec_id: 0,
+                codec_param: 0.0,
+                raw_bytes: sz as u64,
+                min: 0.0,
+                max: 1.0,
+            })
+            .collect();
+        store.write("f.bp", sizes.len() as u32 + 1, blocks).unwrap();
+        let f = store.open("f.bp").unwrap();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let (bytes, _, _) = f.read_delta("v", i as u32).unwrap();
+            prop_assert_eq!(bytes.len(), sz);
+            prop_assert!(bytes.iter().all(|&b| b == (i % 251) as u8));
+        }
+    }
+}

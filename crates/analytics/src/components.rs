@@ -1,0 +1,184 @@
+//! 8-connected component labeling.
+//!
+//! The per-threshold step of blob detection: binarize, then find the
+//! connected bright regions and their centroids/areas. Plain BFS with a
+//! shared visited map — image sizes here (≤ 1024²) don't warrant a
+//! union-find.
+
+/// One connected component of a binary mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Pixel count.
+    pub area: usize,
+    /// Centroid in pixel coordinates `(x, y)`.
+    pub centroid: (f64, f64),
+    /// Inclusive pixel bounding box `(min_x, min_y, max_x, max_y)`.
+    pub bbox: (usize, usize, usize, usize),
+}
+
+impl Component {
+    /// Equivalent circle radius (OpenCV reports blob size this way).
+    pub fn radius(&self) -> f64 {
+        (self.area as f64 / std::f64::consts::PI).sqrt()
+    }
+
+    pub fn diameter(&self) -> f64 {
+        2.0 * self.radius()
+    }
+}
+
+/// Label the 8-connected components of `mask` (row-major,
+/// `width * height`). Returns components in deterministic scan order.
+///
+/// # Panics
+/// Panics if `mask.len() != width * height`.
+pub fn label_components(mask: &[bool], width: usize, height: usize) -> Vec<Component> {
+    assert_eq!(mask.len(), width * height, "mask size mismatch");
+    let mut visited = vec![false; mask.len()];
+    let mut out = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+
+    for start in 0..mask.len() {
+        if !mask[start] || visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.clear();
+        queue.push(start);
+        let mut area = 0usize;
+        let mut sum_x = 0.0f64;
+        let mut sum_y = 0.0f64;
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (usize::MAX, usize::MAX, 0usize, 0usize);
+
+        while let Some(idx) = queue.pop() {
+            let x = idx % width;
+            let y = idx / width;
+            area += 1;
+            sum_x += x as f64;
+            sum_y += y as f64;
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+
+            // 8-neighborhood.
+            let x0 = x.saturating_sub(1);
+            let x1 = (x + 1).min(width - 1);
+            let y0 = y.saturating_sub(1);
+            let y1 = (y + 1).min(height - 1);
+            for ny in y0..=y1 {
+                for nx in x0..=x1 {
+                    let nidx = ny * width + nx;
+                    if mask[nidx] && !visited[nidx] {
+                        visited[nidx] = true;
+                        queue.push(nidx);
+                    }
+                }
+            }
+        }
+
+        out.push(Component {
+            area,
+            centroid: (sum_x / area as f64, sum_y / area as f64),
+            bbox: (min_x, min_y, max_x, max_y),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from(rows: &[&str]) -> (Vec<bool>, usize, usize) {
+        let height = rows.len();
+        let width = rows[0].len();
+        let mask = rows
+            .iter()
+            .flat_map(|r| r.chars().map(|c| c == '#'))
+            .collect();
+        (mask, width, height)
+    }
+
+    #[test]
+    fn single_blob() {
+        let (mask, w, h) = mask_from(&[
+            ".....",
+            ".##..",
+            ".##..",
+            ".....",
+        ]);
+        let comps = label_components(&mask, w, h);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 4);
+        assert_eq!(comps[0].centroid, (1.5, 1.5));
+        assert_eq!(comps[0].bbox, (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn two_separate_blobs() {
+        let (mask, w, h) = mask_from(&[
+            "##...",
+            "##...",
+            ".....",
+            "...##",
+        ]);
+        let comps = label_components(&mask, w, h);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].area, 4);
+        assert_eq!(comps[1].area, 2);
+    }
+
+    #[test]
+    fn diagonal_touch_is_one_component() {
+        let (mask, w, h) = mask_from(&[
+            "#....",
+            ".#...",
+            "..#..",
+        ]);
+        let comps = label_components(&mask, w, h);
+        assert_eq!(comps.len(), 1, "8-connectivity joins diagonals");
+        assert_eq!(comps[0].area, 3);
+    }
+
+    #[test]
+    fn empty_and_full_masks() {
+        let (mask, w, h) = mask_from(&["...", "..."]);
+        assert!(label_components(&mask, w, h).is_empty());
+        let (mask, w, h) = mask_from(&["###", "###"]);
+        let comps = label_components(&mask, w, h);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 6);
+    }
+
+    #[test]
+    fn radius_matches_equivalent_circle() {
+        let c = Component {
+            area: 314,
+            centroid: (0.0, 0.0),
+            bbox: (0, 0, 0, 0),
+        };
+        assert!((c.radius() - 10.0).abs() < 0.02);
+        assert!((c.diameter() - 20.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn scan_order_is_deterministic() {
+        let (mask, w, h) = mask_from(&[
+            "#.#",
+            "...",
+            "#.#",
+        ]);
+        let comps = label_components(&mask, w, h);
+        assert_eq!(comps.len(), 4);
+        // First encountered is top-left, scan order.
+        assert_eq!(comps[0].centroid, (0.0, 0.0));
+        assert_eq!(comps[1].centroid, (2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size mismatch")]
+    fn rejects_bad_mask_size() {
+        label_components(&[true; 5], 2, 2);
+    }
+}

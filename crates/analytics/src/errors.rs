@@ -1,0 +1,185 @@
+//! Reduction-error metrics.
+//!
+//! The paper's related work (Laney et al., "Assessing the effects of data
+//! compression in simulations using physically motivated metrics")
+//! motivates judging lossy reduction by more than one number. This module
+//! provides the standard set used when deciding a Canopus accuracy level:
+//! pointwise extremes, RMSE/NRMSE, PSNR, and an error histogram for
+//! spotting heavy tails.
+
+/// Summary of the pointwise error between a reference and a reduced
+/// field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// `max |a - b|`.
+    pub max_abs: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// RMSE normalized by the reference range (dimensionless).
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB (`inf` for exact data).
+    pub psnr_db: f64,
+    /// Histogram of `|a - b| / range` over `HISTOGRAM_BINS` log-spaced
+    /// bins: `bins[0]` counts errors below `1e-12` of range, the last bin
+    /// counts errors of at least `1e-1` of range.
+    pub histogram: [usize; HISTOGRAM_BINS],
+}
+
+/// Number of log-spaced histogram bins (1e-12 .. 1e-1 relative error).
+pub const HISTOGRAM_BINS: usize = 13;
+
+/// Compare `reduced` against `reference`.
+///
+/// # Panics
+/// Panics on length mismatch or empty inputs.
+pub fn compare(reference: &[f64], reduced: &[f64]) -> ErrorReport {
+    assert_eq!(reference.len(), reduced.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty fields have no error");
+
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in reference {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+
+    let mut max_abs = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut histogram = [0usize; HISTOGRAM_BINS];
+    for (&a, &b) in reference.iter().zip(reduced) {
+        let e = (a - b).abs();
+        max_abs = max_abs.max(e);
+        sum_abs += e;
+        sum_sq += e * e;
+        let rel = e / range;
+        // Bin 0: < 1e-12; bin k: [1e-(13-k), 1e-(12-k)); last: >= 1e-1.
+        let bin = if rel < 1e-12 {
+            0
+        } else {
+            let exp = rel.log10().floor() as i32; // in [-12, ..]
+            ((exp + 13).clamp(1, HISTOGRAM_BINS as i32 - 1)) as usize
+        };
+        histogram[bin] += 1;
+    }
+    let n = reference.len() as f64;
+    let rmse = (sum_sq / n).sqrt();
+    let psnr_db = if rmse == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (range / rmse).log10()
+    };
+    ErrorReport {
+        max_abs,
+        mean_abs: sum_abs / n,
+        rmse,
+        nrmse: rmse / range,
+        psnr_db,
+        histogram,
+    }
+}
+
+impl ErrorReport {
+    /// Fraction of points whose relative error reaches at least `1e-k`
+    /// (`k <= 12`). Useful for "no more than 1% of points above 1e-3".
+    pub fn fraction_at_least(&self, k: u32) -> f64 {
+        assert!((1..=12).contains(&k), "histogram resolves 1e-12 .. 1e-1");
+        // Errors in [1e-k, ..) live in bins `13 - k` and above.
+        let first_bin = HISTOGRAM_BINS - k as usize;
+        let total: usize = self.histogram.iter().sum();
+        let tail: usize = self.histogram[first_bin..].iter().sum();
+        tail as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_data_is_perfect() {
+        let a = vec![1.0, 2.0, 3.0];
+        let r = compare(&a, &a);
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert!(r.psnr_db.is_infinite());
+        assert_eq!(r.histogram[0], 3);
+        assert_eq!(r.fraction_at_least(3), 0.0);
+    }
+
+    #[test]
+    fn uniform_error_statistics() {
+        let a = vec![0.0, 10.0, 0.0, 10.0]; // range 10
+        let b = vec![0.1, 10.1, -0.1, 9.9]; // |e| = 0.1 everywhere
+        let r = compare(&a, &b);
+        assert!((r.max_abs - 0.1).abs() < 1e-12);
+        assert!((r.mean_abs - 0.1).abs() < 1e-12);
+        assert!((r.rmse - 0.1).abs() < 1e-12);
+        assert!((r.nrmse - 0.01).abs() < 1e-12);
+        // PSNR = 20 log10(10/0.1) = 40 dB.
+        assert!((r.psnr_db - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_places_relative_errors() {
+        // Mid-bin magnitudes (3e-k) avoid float-rounding bin straddles.
+        let a = vec![0.0, 1.0, 0.0, 1.0]; // range 1
+        let b = vec![1e-13, 1.0 + 3e-6, 3e-3, 1.0 - 0.5];
+        let r = compare(&a, &b);
+        assert_eq!(r.histogram.iter().sum::<usize>(), 4);
+        assert_eq!(r.histogram[0], 1, "1e-13 falls below resolution");
+        assert_eq!(r.histogram[HISTOGRAM_BINS - 1], 1, "0.5 is in the top bin");
+        // 3e-6 sits in the bin for [1e-6, 1e-5); 3e-3 in [1e-3, 1e-2).
+        assert_eq!(r.histogram[7], 1);
+        assert_eq!(r.histogram[10], 1);
+    }
+
+    #[test]
+    fn fraction_at_least_counts_tails() {
+        let a = vec![0.0; 10]
+            .into_iter()
+            .chain(vec![1.0; 10])
+            .collect::<Vec<_>>();
+        // Half the points get 1e-2 relative error, half are exact.
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 2 == 0 { v + 1e-2 } else { v })
+            .collect();
+        let r = compare(&a, &b);
+        assert!((r.fraction_at_least(2) - 0.5).abs() < 1e-12);
+        assert_eq!(r.fraction_at_least(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn psnr_tracks_codec_quality() {
+        // Finer tolerance => higher PSNR, on real codec output.
+        use canopus_mesh::generators::rectangle_mesh;
+        use canopus_mesh::geometry::{Aabb, Point2};
+        let mesh = rectangle_mesh(
+            20,
+            20,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let data: Vec<f64> = mesh.points().iter().map(|p| (p.x * 9.0).sin()).collect();
+        let mut last_psnr = 0.0;
+        for tol in [1e-2, 1e-4, 1e-6] {
+            use canopus_compress::Codec as _;
+            let codec = canopus_compress::ZfpLike::with_tolerance(tol);
+            let back = codec
+                .decompress(&codec.compress(&data).unwrap(), data.len())
+                .unwrap();
+            let r = compare(&data, &back);
+            assert!(r.psnr_db > last_psnr, "tol {tol}: {} !> {last_psnr}", r.psnr_db);
+            last_psnr = r.psnr_db;
+        }
+    }
+}

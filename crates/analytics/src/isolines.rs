@@ -1,0 +1,243 @@
+//! Isoline extraction (marching triangles).
+//!
+//! The paper frames Canopus around analytics beyond visualization —
+//! "descriptive, predictive, and prescriptive analytics" — and isolines
+//! are the classic descriptive query over mesh scalar fields (flux
+//! surfaces in fusion, shock fronts in astro). Marching triangles is
+//! exact on a triangulation: each triangle crossed by the level value
+//! contributes one segment with endpoints linearly interpolated along its
+//! edges.
+//!
+//! Like blob detection, isolines degrade gracefully on decimated levels,
+//! making them a second lens on the accuracy-vs-speed trade-off.
+
+use canopus_mesh::geometry::Point2;
+use canopus_mesh::TriMesh;
+
+/// One isoline segment in mesh coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point2,
+    pub b: Point2,
+}
+
+impl Segment {
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+}
+
+/// Extract the `level` isoline of `data` over `mesh` as unordered
+/// segments.
+///
+/// Vertices exactly at the level are nudged by a relative epsilon so
+/// every crossing is a clean two-edge intersection (the standard
+/// simulation-of-simplicity trick).
+///
+/// # Panics
+/// Panics if `data.len() != mesh.num_vertices()`.
+pub fn extract(mesh: &TriMesh, data: &[f64], level: f64) -> Vec<Segment> {
+    assert_eq!(data.len(), mesh.num_vertices(), "one value per vertex");
+    let eps = 1e-12
+        * data
+            .iter()
+            .fold(1.0f64, |m, &v| m.max(v.abs()))
+            .max(level.abs());
+    let value = |v: u32| {
+        let x = data[v as usize] - level;
+        if x == 0.0 {
+            eps
+        } else {
+            x
+        }
+    };
+
+    let mut segments = Vec::new();
+    for t in 0..mesh.num_triangles() {
+        let [i, j, k] = mesh.triangle_vertices(t as u32);
+        let (fi, fj, fk) = (value(i), value(j), value(k));
+        // Which edges cross zero?
+        let mut crossings: Vec<Point2> = Vec::with_capacity(2);
+        for (u, v, fu, fv) in [(i, j, fi, fj), (j, k, fj, fk), (k, i, fk, fi)] {
+            if fu * fv < 0.0 {
+                // Canonical edge orientation (low vertex id first) makes
+                // the crossing point bit-identical in both triangles that
+                // share the edge, so chaining can match exactly.
+                let (u, v, fu, fv) = if u <= v { (u, v, fu, fv) } else { (v, u, fv, fu) };
+                let tpar = fu / (fu - fv);
+                let pu = mesh.point(u);
+                let pv = mesh.point(v);
+                crossings.push(Point2::new(
+                    pu.x + tpar * (pv.x - pu.x),
+                    pu.y + tpar * (pv.y - pu.y),
+                ));
+            }
+        }
+        if crossings.len() == 2 {
+            segments.push(Segment {
+                a: crossings[0],
+                b: crossings[1],
+            });
+        }
+    }
+    segments
+}
+
+/// Total length of an isoline (sum of segment lengths).
+pub fn total_length(segments: &[Segment]) -> f64 {
+    segments.iter().map(Segment::length).sum()
+}
+
+/// Chain segments into polylines by joining *bit-identical* endpoints
+/// (which [`extract`] guarantees for shared mesh edges). Returns each
+/// polyline as an ordered point list; closed loops repeat their first
+/// point at the end.
+pub fn chain(segments: &[Segment]) -> Vec<Vec<Point2>> {
+    use std::collections::HashMap;
+    let key = |p: Point2| (p.x.to_bits(), p.y.to_bits());
+
+    // Endpoint -> indices of incident segments.
+    let mut incident: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    for (i, s) in segments.iter().enumerate() {
+        incident.entry(key(s.a)).or_default().push(i);
+        incident.entry(key(s.b)).or_default().push(i);
+    }
+
+    let mut used = vec![false; segments.len()];
+    let mut polylines = Vec::new();
+    for seed in 0..segments.len() {
+        if used[seed] {
+            continue;
+        }
+        used[seed] = true;
+        let mut line = vec![segments[seed].a, segments[seed].b];
+        // Walk forward from the tail, then backward from the head.
+        for head_side in [false, true] {
+            loop {
+                let end = if head_side { line[0] } else { *line.last().expect("non-empty") };
+                let Some(&next) = incident
+                    .get(&key(end))
+                    .into_iter()
+                    .flatten()
+                    .find(|&&i| !used[i])
+                else {
+                    break;
+                };
+                used[next] = true;
+                let s = segments[next];
+                let far = if key(s.a) == key(end) { s.b } else { s.a };
+                if head_side {
+                    line.insert(0, far);
+                } else {
+                    line.push(far);
+                }
+            }
+        }
+        polylines.push(line);
+    }
+    polylines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::generators::rectangle_mesh;
+    use canopus_mesh::geometry::Aabb;
+
+    fn radial_setup(n: usize) -> (TriMesh, Vec<f64>) {
+        let bb = Aabb::from_points([Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0)]);
+        let mesh = rectangle_mesh(n, n, bb);
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| (p.x * p.x + p.y * p.y).sqrt())
+            .collect();
+        (mesh, data)
+    }
+
+    #[test]
+    fn circle_isoline_length_matches_circumference() {
+        let (mesh, data) = radial_setup(64);
+        let r = 0.6;
+        let segments = extract(&mesh, &data, r);
+        assert!(!segments.is_empty());
+        let len = total_length(&segments);
+        let expect = std::f64::consts::TAU * r;
+        assert!(
+            (len - expect).abs() / expect < 0.01,
+            "isoline length {len} vs circumference {expect}"
+        );
+    }
+
+    #[test]
+    fn level_outside_range_has_no_isoline() {
+        let (mesh, data) = radial_setup(16);
+        assert!(extract(&mesh, &data, 99.0).is_empty());
+        assert!(extract(&mesh, &data, -1.0).is_empty());
+    }
+
+    #[test]
+    fn linear_field_gives_a_straight_line() {
+        let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+        let mesh = rectangle_mesh(10, 10, bb);
+        let data: Vec<f64> = mesh.points().iter().map(|p| p.x).collect();
+        let segments = extract(&mesh, &data, 0.35);
+        // Every segment lies on x = 0.35.
+        for s in &segments {
+            assert!((s.a.x - 0.35).abs() < 1e-12, "{s:?}");
+            assert!((s.b.x - 0.35).abs() < 1e-12, "{s:?}");
+        }
+        let len = total_length(&segments);
+        assert!((len - 1.0).abs() < 1e-9, "spans the unit square: {len}");
+    }
+
+    #[test]
+    fn vertices_exactly_at_level_do_not_break_extraction() {
+        let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+        let mesh = rectangle_mesh(4, 4, bb);
+        // Grid values hit the level exactly at x = 0.5 vertices.
+        let data: Vec<f64> = mesh.points().iter().map(|p| p.x).collect();
+        let segments = extract(&mesh, &data, 0.5);
+        assert!(!segments.is_empty());
+        let len = total_length(&segments);
+        assert!(len > 0.9, "perturbed crossings still span: {len}");
+    }
+
+    #[test]
+    fn chain_builds_closed_loop_for_circle() {
+        let (mesh, data) = radial_setup(40);
+        let segments = extract(&mesh, &data, 0.5);
+        let lines = chain(&segments);
+        assert_eq!(lines.len(), 1, "one circle => one polyline");
+        let line = &lines[0];
+        // Closed: first and last points coincide.
+        assert!(
+            line[0].distance(*line.last().unwrap()) < 1e-9,
+            "loop should close"
+        );
+        assert_eq!(line.len() - 1, segments.len(), "every segment used once");
+    }
+
+    #[test]
+    fn isolines_survive_decimation_approximately() {
+        // The Canopus story: the flux surface on a 4x-decimated level
+        // still traces the full-accuracy one.
+        use canopus_refactor::decimate::decimate;
+        let (mesh, data) = radial_setup(48);
+        let r1 = decimate(&mesh, &data, 2.0);
+        let r2 = decimate(&r1.mesh, &r1.data, 2.0);
+        let full = total_length(&extract(&mesh, &data, 0.6));
+        let coarse = total_length(&extract(&r2.mesh, &r2.data, 0.6));
+        assert!(
+            (coarse - full).abs() / full < 0.1,
+            "coarse isoline {coarse} vs full {full}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per vertex")]
+    fn rejects_bad_lengths() {
+        let (mesh, _) = radial_setup(4);
+        extract(&mesh, &[1.0, 2.0], 0.5);
+    }
+}

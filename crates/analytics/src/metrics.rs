@@ -1,0 +1,97 @@
+//! The paper's blob metrics (Fig. 8a–d).
+
+use crate::blob::Blob;
+
+/// Aggregate blob statistics for one detection run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlobMetrics {
+    /// Fig. 8a: number of blobs detected.
+    pub count: usize,
+    /// Fig. 8b: average blob diameter in pixels.
+    pub avg_diameter: f64,
+    /// Fig. 8c: aggregate blob area in square pixels.
+    pub aggregate_area: f64,
+}
+
+impl BlobMetrics {
+    pub fn of(blobs: &[Blob]) -> Self {
+        if blobs.is_empty() {
+            return Self::default();
+        }
+        let aggregate_area: f64 = blobs.iter().map(|b| b.area).sum();
+        let avg_diameter = blobs.iter().map(|b| b.diameter()).sum::<f64>() / blobs.len() as f64;
+        Self {
+            count: blobs.len(),
+            avg_diameter,
+            aggregate_area,
+        }
+    }
+}
+
+/// Fig. 8d: the fraction of blobs detected at reduced accuracy that
+/// overlap some blob detected at full accuracy. "Two blobs are defined as
+/// overlapped if the distance between their two centers is less than the
+/// sum of their radius." Returns 1.0 when `detected` is empty (nothing
+/// spurious was reported).
+pub fn overlap_ratio(detected: &[Blob], reference: &[Blob]) -> f64 {
+    if detected.is_empty() {
+        return 1.0;
+    }
+    let overlapped = detected
+        .iter()
+        .filter(|d| reference.iter().any(|r| d.overlaps(r)))
+        .count();
+    overlapped as f64 / detected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(x: f64, y: f64, r: f64) -> Blob {
+        Blob {
+            center: (x, y),
+            radius: r,
+            area: std::f64::consts::PI * r * r,
+            repeatability: 3,
+        }
+    }
+
+    #[test]
+    fn metrics_of_empty() {
+        let m = BlobMetrics::of(&[]);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.avg_diameter, 0.0);
+        assert_eq!(m.aggregate_area, 0.0);
+    }
+
+    #[test]
+    fn metrics_aggregate() {
+        let blobs = [blob(0.0, 0.0, 5.0), blob(50.0, 50.0, 10.0)];
+        let m = BlobMetrics::of(&blobs);
+        assert_eq!(m.count, 2);
+        assert!((m.avg_diameter - 15.0).abs() < 1e-12);
+        let expect_area = std::f64::consts::PI * (25.0 + 100.0);
+        assert!((m.aggregate_area - expect_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_ratio_full_and_partial() {
+        let reference = [blob(0.0, 0.0, 5.0), blob(100.0, 0.0, 5.0)];
+        // Both detected blobs overlap references.
+        let d1 = [blob(2.0, 0.0, 5.0), blob(98.0, 1.0, 4.0)];
+        assert_eq!(overlap_ratio(&d1, &reference), 1.0);
+        // One of two overlaps.
+        let d2 = [blob(2.0, 0.0, 5.0), blob(50.0, 50.0, 3.0)];
+        assert!((overlap_ratio(&d2, &reference) - 0.5).abs() < 1e-12);
+        // None overlaps.
+        let d3 = [blob(50.0, 50.0, 3.0)];
+        assert_eq!(overlap_ratio(&d3, &reference), 0.0);
+    }
+
+    #[test]
+    fn empty_detection_counts_as_clean() {
+        let reference = [blob(0.0, 0.0, 5.0)];
+        assert_eq!(overlap_ratio(&[], &reference), 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Image output: PGM/PPM writers, a colormap, and blob-circle overlays.
+//!
+//! Regenerates the paper's visual figures: Fig. 4's refactoring gallery
+//! (field + deltas rendered with a diverging colormap) and Fig. 7's blob
+//! gallery (field with detected blobs circled).
+
+use crate::blob::Blob;
+use crate::raster::Raster;
+use std::io::{self, Write};
+
+/// An RGB image buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major RGB triples.
+    pub data: Vec<[u8; 3]>,
+}
+
+impl RgbImage {
+    pub fn filled(width: usize, height: usize, color: [u8; 3]) -> Self {
+        Self {
+            width,
+            height,
+            data: vec![color; width * height],
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, color: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.data[y * self.width + x] = color;
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.data[y * self.width + x]
+    }
+
+    /// Write binary PPM (P6).
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
+        for px in &self.data {
+            w.write_all(px)?;
+        }
+        Ok(())
+    }
+
+    /// Draw a circle outline (midpoint algorithm) — the paper circles
+    /// detected blobs in Fig. 7.
+    pub fn draw_circle(&mut self, cx: f64, cy: f64, radius: f64, color: [u8; 3]) {
+        let steps = (radius.max(1.0) * 8.0) as usize;
+        for i in 0..steps {
+            let theta = std::f64::consts::TAU * i as f64 / steps as f64;
+            let x = cx + radius * theta.cos();
+            let y = cy + radius * theta.sin();
+            if x >= 0.0 && y >= 0.0 {
+                self.set(x as usize, y as usize, color);
+            }
+        }
+    }
+}
+
+/// A compact diverging blue–white–red colormap (like the paper's Fig. 4
+/// rendering of dpot/deltas): `t` in [0, 1], 0.5 = white.
+pub fn diverging_color(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    if t < 0.5 {
+        let s = t * 2.0; // 0 → blue, 1 → white
+        [
+            (s * 255.0) as u8,
+            (s * 255.0) as u8,
+            (155.0 + s * 100.0) as u8,
+        ]
+    } else {
+        let s = (t - 0.5) * 2.0; // 0 → white, 1 → red
+        [
+            (155.0 + (1.0 - s) * 100.0) as u8,
+            ((1.0 - s) * 255.0) as u8,
+            ((1.0 - s) * 255.0) as u8,
+        ]
+    }
+}
+
+/// Render a raster with the diverging colormap over `[lo, hi]`; NaN
+/// pixels (outside the mesh) become dark gray.
+pub fn render_field(raster: &Raster, lo: f64, hi: f64) -> RgbImage {
+    assert!(hi > lo, "bad color range");
+    let mut img = RgbImage::filled(raster.width(), raster.height(), [40, 40, 40]);
+    for y in 0..raster.height() {
+        for x in 0..raster.width() {
+            let v = raster.get(x, y);
+            if !v.is_nan() {
+                img.set(x, y, diverging_color((v - lo) / (hi - lo)));
+            }
+        }
+    }
+    img
+}
+
+/// Render a field and circle every blob (Fig. 7 style).
+pub fn render_blobs(raster: &Raster, lo: f64, hi: f64, blobs: &[Blob]) -> RgbImage {
+    let mut img = render_field(raster, lo, hi);
+    for b in blobs {
+        img.draw_circle(b.center.0, b.center.1, b.radius + 1.0, [0, 0, 0]);
+        img.draw_circle(b.center.0, b.center.1, b.radius + 2.0, [255, 255, 0]);
+    }
+    img
+}
+
+/// Write a grayscale raster as PGM (P5), normalizing to `[lo, hi]`.
+pub fn write_pgm<W: Write>(raster: &Raster, lo: f64, hi: f64, mut w: W) -> io::Result<()> {
+    let gray = raster.to_gray(lo, hi);
+    writeln!(w, "P5\n{} {}\n255", gray.width, gray.height)?;
+    w.write_all(&gray.data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::geometry::{Aabb, Point2};
+
+    fn bounds() -> Aabb {
+        Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)])
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(diverging_color(0.0), [0, 0, 155]);
+        assert_eq!(diverging_color(1.0), [155, 0, 0]);
+        let mid = diverging_color(0.5);
+        assert!(mid.iter().all(|&c| c > 200), "midpoint should be whitish");
+        // Clamping.
+        assert_eq!(diverging_color(-5.0), diverging_color(0.0));
+        assert_eq!(diverging_color(5.0), diverging_color(1.0));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = RgbImage::filled(3, 2, [1, 2, 3]);
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 18);
+    }
+
+    #[test]
+    fn pgm_output() {
+        let r = Raster::from_pixels(2, 1, bounds(), vec![0.0, 1.0]);
+        let mut buf = Vec::new();
+        write_pgm(&r, 0.0, 1.0, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n2 1\n255\n"));
+        assert_eq!(&buf[buf.len() - 2..], &[0u8, 255]);
+    }
+
+    #[test]
+    fn field_render_marks_outside_pixels() {
+        let r = Raster::from_pixels(2, 1, bounds(), vec![f64::NAN, 0.5]);
+        let img = render_field(&r, 0.0, 1.0);
+        assert_eq!(img.get(0, 0), [40, 40, 40]);
+        assert_ne!(img.get(1, 0), [40, 40, 40]);
+    }
+
+    #[test]
+    fn circle_stays_in_bounds() {
+        let mut img = RgbImage::filled(10, 10, [0, 0, 0]);
+        // A circle partly off-canvas must not panic.
+        img.draw_circle(0.0, 0.0, 8.0, [255, 0, 0]);
+        img.draw_circle(20.0, 20.0, 5.0, [255, 0, 0]);
+    }
+
+    #[test]
+    fn blob_overlay_draws_something() {
+        let r = Raster::from_pixels(20, 20, bounds(), vec![0.5; 400]);
+        let blob = Blob {
+            center: (10.0, 10.0),
+            radius: 5.0,
+            area: 78.0,
+            repeatability: 3,
+        };
+        let img = render_blobs(&r, 0.0, 1.0, &[blob]);
+        let yellow = img.data.iter().filter(|&&c| c == [255, 255, 0]).count();
+        assert!(yellow > 8, "overlay circle should be visible");
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench for the Fig. 10 pipeline on the GenASiS dataset:
+//! write + progressive restoration phases.
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_bench::setup::titan_hierarchy;
+use canopus_data::genasis_dataset_sized;
+use canopus_refactor::levels::RefactorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_genasis(c: &mut Criterion) {
+    let ds = genasis_dataset_sized(40, 120, 42);
+    let hierarchy = titan_hierarchy((ds.data.len() * 8) as u64);
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("fig10_genasis");
+    group.sample_size(10);
+
+    group.bench_function("write_4_levels", |b| {
+        b.iter(|| {
+            canopus.hierarchy().clear();
+            canopus.write("g.bp", ds.var, &ds.mesh, &ds.data).unwrap()
+        })
+    });
+
+    canopus.hierarchy().clear();
+    canopus.write("g.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+    let reader = canopus.open("g.bp").unwrap();
+    reader.warm_metadata(ds.var).unwrap();
+    group.bench_function("progressive_to_full", |b| {
+        b.iter(|| {
+            let mut p = reader.progressive(std::hint::black_box(ds.var)).unwrap();
+            while !p.at_full_accuracy() {
+                p.refine().unwrap();
+            }
+            p.into_outcome()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_genasis);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 11 pipeline on the CFD dataset, including
+//! the automated RMSE-terminated progressive retrieval.
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_bench::setup::titan_hierarchy;
+use canopus_data::cfd_dataset_sized;
+use canopus_refactor::levels::RefactorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_cfd(c: &mut Criterion) {
+    let ds = cfd_dataset_sized(45, 36, 42);
+    let hierarchy = titan_hierarchy((ds.data.len() * 8) as u64);
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 4, // paper Fig. 11 uses ratios up to 8
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    canopus.write("cfd.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+    let reader = canopus.open("cfd.bp").unwrap();
+    reader.warm_metadata(ds.var).unwrap();
+
+    let mut group = c.benchmark_group("fig11_cfd");
+    group.sample_size(20);
+
+    group.bench_function("read_base", |b| {
+        b.iter(|| reader.read_base(std::hint::black_box(ds.var)).unwrap())
+    });
+    group.bench_function("restore_full", |b| {
+        b.iter(|| reader.read_level(std::hint::black_box(ds.var), 0).unwrap())
+    });
+    group.bench_function("refine_until_rmse", |b| {
+        b.iter(|| {
+            let mut p = reader.progressive(ds.var).unwrap();
+            p.refine_until(std::hint::black_box(1e-3)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfd);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 5 kernels: ZFP-like compression of
+//! decimated levels vs deltas (the pre-conditioner effect measured as
+//! throughput, complementing the `repro fig5` size tables).
+
+use canopus_compress::{Codec, ZfpLike};
+use canopus_data::xgc1_dataset_sized;
+use canopus_mesh::FieldStats;
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_fig5(c: &mut Criterion) {
+    let ds = xgc1_dataset_sized(32, 160, 42);
+    let h = LevelHierarchy::build(&ds.mesh, &ds.data, RefactorConfig::default());
+    let tol = 1e-3 * FieldStats::of(&ds.data).range();
+    let codec = ZfpLike::with_tolerance(tol);
+    let level0 = &h.levels[0].data;
+    let delta0 = &h.deltas[0];
+
+    let mut group = c.benchmark_group("fig5_compression");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((level0.len() * 8) as u64));
+    group.bench_function("compress_level0_direct", |b| {
+        b.iter(|| codec.compress(std::hint::black_box(level0)).unwrap())
+    });
+    group.throughput(Throughput::Bytes((delta0.len() * 8) as u64));
+    group.bench_function("compress_delta0_canopus", |b| {
+        b.iter(|| codec.compress(std::hint::black_box(delta0)).unwrap())
+    });
+    let bytes = codec.compress(level0).unwrap();
+    group.bench_function("decompress_level0", |b| {
+        b.iter(|| {
+            codec
+                .decompress(std::hint::black_box(&bytes), level0.len())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

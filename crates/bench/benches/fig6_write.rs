@@ -1,0 +1,52 @@
+//! Criterion bench for the Fig. 6b write path: decimation, delta
+//! calculation and the full Canopus write pipeline.
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_bench::setup::titan_hierarchy;
+use canopus_data::xgc1_dataset_sized;
+use canopus_refactor::decimate::decimate;
+use canopus_refactor::mapping::build_mapping;
+use canopus_refactor::{compute_delta, Estimator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_write_path(c: &mut Criterion) {
+    let ds = xgc1_dataset_sized(32, 160, 42);
+
+    let mut group = c.benchmark_group("fig6_write");
+    group.sample_size(10);
+
+    group.bench_function("decimate_2x", |b| {
+        b.iter(|| decimate(std::hint::black_box(&ds.mesh), &ds.data, 2.0))
+    });
+
+    let dec = decimate(&ds.mesh, &ds.data, 2.0);
+    group.bench_function("build_mapping", |b| {
+        b.iter(|| build_mapping(std::hint::black_box(&ds.mesh), &dec.mesh))
+    });
+
+    let mapping = build_mapping(&ds.mesh, &dec.mesh);
+    group.bench_function("compute_delta", |b| {
+        b.iter(|| {
+            compute_delta(
+                std::hint::black_box(&ds.mesh),
+                &ds.data,
+                &dec.mesh,
+                &dec.data,
+                &mapping,
+                Estimator::Mean,
+            )
+        })
+    });
+
+    group.bench_function("canopus_write_3_levels", |b| {
+        b.iter(|| {
+            let hierarchy = titan_hierarchy((ds.data.len() * 8) as u64);
+            let canopus = Canopus::new(hierarchy, CanopusConfig::default());
+            canopus.write("bench.bp", ds.var, &ds.mesh, &ds.data).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for the Figs. 7/8 analytics kernels: rasterization and
+//! blob detection at full accuracy and at a decimated level.
+
+use canopus_analytics::blob::{BlobDetector, BlobParams};
+use canopus_analytics::raster::Raster;
+use canopus_bench::setup::RASTER_SIZE;
+use canopus_data::xgc1_dataset_sized;
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_blobs(c: &mut Criterion) {
+    let ds = xgc1_dataset_sized(32, 160, 42);
+    let h = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels: 4,
+            ..Default::default()
+        },
+    );
+    let bounds = ds.mesh.aabb();
+
+    let mut group = c.benchmark_group("fig8_blobs");
+    group.sample_size(10);
+
+    group.bench_function("rasterize_L0", |b| {
+        b.iter(|| {
+            Raster::from_mesh(
+                std::hint::black_box(&ds.mesh),
+                &ds.data,
+                RASTER_SIZE,
+                RASTER_SIZE,
+                bounds,
+            )
+        })
+    });
+    group.bench_function("rasterize_L3", |b| {
+        let lvl = &h.levels[3];
+        b.iter(|| {
+            Raster::from_mesh(
+                std::hint::black_box(&lvl.mesh),
+                &lvl.data,
+                RASTER_SIZE,
+                RASTER_SIZE,
+                bounds,
+            )
+        })
+    });
+
+    let raster = Raster::from_mesh(&ds.mesh, &ds.data, RASTER_SIZE, RASTER_SIZE, bounds);
+    let (lo, hi) = raster.value_range().unwrap();
+    let gray = raster.to_gray(lo, hi);
+    let detector = BlobDetector::new(BlobParams::paper_config(10, 200, 100));
+    group.bench_function("detect_config1", |b| {
+        b.iter(|| detector.detect(std::hint::black_box(&gray)))
+    });
+    let strict = BlobDetector::new(BlobParams::paper_config(150, 200, 100));
+    group.bench_function("detect_config2", |b| {
+        b.iter(|| strict.detect(std::hint::black_box(&gray)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blobs);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 9 read path on XGC1: base read, one-step
+//! refinement, and full-accuracy restoration through the storage stack.
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_bench::setup::titan_hierarchy;
+use canopus_data::xgc1_dataset_sized;
+use canopus_refactor::levels::RefactorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_read_path(c: &mut Criterion) {
+    let ds = xgc1_dataset_sized(32, 160, 42);
+    let hierarchy = titan_hierarchy((ds.data.len() * 8) as u64);
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    canopus.write("bench.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+    let reader = canopus.open("bench.bp").unwrap();
+    reader.warm_metadata(ds.var).unwrap();
+
+    let mut group = c.benchmark_group("fig9_read");
+    group.sample_size(20);
+
+    group.bench_function("read_base", |b| {
+        b.iter(|| reader.read_base(std::hint::black_box(ds.var)).unwrap())
+    });
+
+    let base = reader.read_base(ds.var).unwrap();
+    group.bench_function("refine_once", |b| {
+        b.iter(|| reader.refine_once(ds.var, std::hint::black_box(&base)).unwrap())
+    });
+
+    group.bench_function("restore_full_accuracy", |b| {
+        b.iter(|| reader.read_level(std::hint::black_box(ds.var), 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_path);
+criterion_main!(benches);

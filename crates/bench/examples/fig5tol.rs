@@ -1,0 +1,25 @@
+//! Tolerance-sensitivity sweep for the Fig. 5 experiment.
+//!
+//! The paper fixes one ZFP accuracy; this sweep shows how the Canopus
+//! advantage grows as the tolerance loosens (deltas drop below the
+//! tolerance floor sooner than the levels do). Run with
+//! `cargo run --release -p canopus-bench --example fig5tol`.
+
+use canopus_bench::fig5::compression_comparison;
+use canopus_refactor::Estimator;
+
+fn main() {
+    for ds in canopus_data::all_datasets(42) {
+        for tol in [1e-2, 3e-3, 1e-3, 1e-4, 1e-5] {
+            let rows = compression_comparison(&ds, 4, tol, Estimator::Mean);
+            let last = rows.last().expect("4 rows");
+            println!(
+                "{:8} rel_tol {tol:>7.0e}: N=4 direct {:.3}  canopus {:.3}  improvement {:5.1}%",
+                ds.name,
+                last.direct_normalized,
+                last.canopus_normalized,
+                last.improvement() * 100.0
+            );
+        }
+    }
+}

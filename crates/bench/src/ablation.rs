@@ -1,0 +1,429 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! * **Smoothness** — validates the paper's §III-C2 observation that
+//!   deltas are smoother (and therefore more compressible) than the
+//!   decimated levels themselves.
+//! * **Estimator** — the paper fixes `α=β=γ=1/3` and leaves the optimal
+//!   `Estimate(·)` "for future study"; we compare against barycentric
+//!   weights.
+//! * **Codec** — ZFP-like vs SZ-like vs FPC on the same delta streams
+//!   (the paper lists SZ/FPC as in-progress integrations).
+//! * **Priority** — shortest-edge collapse order vs random order
+//!   (the paper: "choosing the priority of an edge is application
+//!   dependent and is left for future study").
+//! * **Mapping** — stored vertex→triangle mapping vs brute-force point
+//!   location at restore time (§III-E2's justification).
+
+use canopus_compress::{Codec, Fpc, SzLike, ZfpLike};
+use canopus_data::Dataset;
+use canopus_mesh::{FieldStats, ScalarField, TriMesh};
+use canopus_refactor::blocksplit::BlockHierarchy;
+use canopus_refactor::bytesplit::{reconstruct_bytes, split_bytes, BytePlan};
+use canopus_refactor::decimate::{decimate, decimate_data_aware, decimate_random_order};
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use canopus_refactor::mapping::build_mapping;
+use canopus_refactor::Estimator;
+use std::time::Instant;
+
+/// Smoothness comparison of one level vs the delta that replaces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothnessRow {
+    pub dataset: &'static str,
+    pub level: u32,
+    pub level_std: f64,
+    pub level_tv: f64,
+    pub delta_std: f64,
+    pub delta_tv: f64,
+}
+
+/// §III-C2 validation: per level, compare std-dev and edge total
+/// variation of `L^l` against `delta^{l-(l+1)}`.
+pub fn smoothness(ds: &Dataset, num_levels: u32) -> Vec<SmoothnessRow> {
+    let h = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels,
+            ..Default::default()
+        },
+    );
+    (0..num_levels - 1)
+        .map(|l| {
+            let level = &h.levels[l as usize];
+            let delta = &h.deltas[l as usize];
+            SmoothnessRow {
+                dataset: ds.name,
+                level: l,
+                level_std: FieldStats::of(&level.data).std_dev(),
+                level_tv: ScalarField::new(level.data.clone()).edge_total_variation(&level.mesh),
+                delta_std: FieldStats::of(delta).std_dev(),
+                delta_tv: ScalarField::new(delta.clone()).edge_total_variation(&level.mesh),
+            }
+        })
+        .collect()
+}
+
+/// Estimator ablation: Canopus normalized size (Fig. 5 metric, N = 3)
+/// under both estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorRow {
+    pub dataset: &'static str,
+    pub mean_normalized: f64,
+    pub barycentric_normalized: f64,
+}
+
+pub fn estimator_ablation(ds: &Dataset, rel_tolerance: f64) -> EstimatorRow {
+    let canopus_norm = |estimator| {
+        let rows = crate::fig5::compression_comparison(ds, 3, rel_tolerance, estimator);
+        rows.last().expect("3 rows").canopus_normalized
+    };
+    EstimatorRow {
+        dataset: ds.name,
+        mean_normalized: canopus_norm(Estimator::Mean),
+        barycentric_normalized: canopus_norm(Estimator::Barycentric),
+    }
+}
+
+/// Codec ablation on the finest delta stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecRow {
+    pub codec: &'static str,
+    pub compressed_bytes: usize,
+    pub normalized: f64,
+    pub lossless: bool,
+}
+
+pub fn codec_ablation(ds: &Dataset, rel_tolerance: f64) -> Vec<CodecRow> {
+    let h = LevelHierarchy::build(&ds.mesh, &ds.data, RefactorConfig::default());
+    let delta = &h.deltas[0];
+    let raw = (delta.len() * 8) as f64;
+    // Error bounds are relative to the *variable's* range (not the
+    // delta's) so all codecs target the same end-to-end accuracy.
+    let tol = rel_tolerance * FieldStats::of(&ds.data).range().max(f64::MIN_POSITIVE);
+    let codecs: Vec<(&'static str, Box<dyn Codec>, bool)> = vec![
+        ("zfp-like", Box::new(ZfpLike::with_tolerance(tol)), false),
+        ("sz-like", Box::new(SzLike::with_error_bound(tol)), false),
+        ("fpc", Box::new(Fpc::new()), true),
+    ];
+    codecs
+        .into_iter()
+        .map(|(name, codec, lossless)| {
+            let bytes = codec.compress(delta).expect("finite deltas").len();
+            CodecRow {
+                codec: name,
+                compressed_bytes: bytes,
+                normalized: bytes as f64 / raw,
+                lossless,
+            }
+        })
+        .collect()
+}
+
+/// Refactoring-approach comparison (paper §III-C: mesh decimation vs
+/// byte splitting vs block splitting). All at 3 products, bases sized
+/// comparably; shows why the paper picks decimation for mesh data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefactorerRow {
+    pub approach: &'static str,
+    /// Bytes of the base product (what the fast tier must hold).
+    pub base_bytes: usize,
+    /// Raw bytes across all products.
+    pub total_bytes: usize,
+    /// Max relative error of a base-only reconstruction at the original
+    /// resolution.
+    pub base_rel_error: f64,
+    /// Whether the base is a geometry-complete mesh dataset that
+    /// analytics can consume directly (the paper's decisive criterion).
+    pub mesh_complete: bool,
+}
+
+pub fn refactorer_comparison(ds: &Dataset) -> Vec<RefactorerRow> {
+    let n = ds.data.len();
+    let range = FieldStats::of(&ds.data).range().max(f64::MIN_POSITIVE);
+    let rel_err = |recon: &[f64]| {
+        ds.data
+            .iter()
+            .zip(recon)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max)
+            / range
+    };
+    let mut rows = Vec::new();
+
+    // --- mesh decimation (the paper's choice) ---
+    {
+        let h = LevelHierarchy::build(&ds.mesh, &ds.data, RefactorConfig::default());
+        // Base-only reconstruction: estimate fine values with zero deltas.
+        let mut current = h.base().data.clone();
+        for l in (0..h.levels.len() - 1).rev() {
+            let zeros = vec![0.0; h.levels[l].data.len()];
+            current = canopus_refactor::restore_level(
+                &h.levels[l].mesh,
+                &zeros,
+                &h.levels[l + 1].mesh,
+                &current,
+                &h.mappings[l],
+                Estimator::Mean,
+            );
+        }
+        rows.push(RefactorerRow {
+            approach: "decimation",
+            base_bytes: h.base().data.len() * 8,
+            total_bytes: h.refactored_raw_bytes(),
+            base_rel_error: rel_err(&current),
+            mesh_complete: true,
+        });
+    }
+
+    // --- byte splitting ---
+    {
+        let plan = BytePlan::three_level();
+        let products = split_bytes(&ds.data, &plan);
+        let base_only = reconstruct_bytes(&[&products[0]], &plan, n);
+        rows.push(RefactorerRow {
+            approach: "byte-split",
+            base_bytes: products[0].len(),
+            total_bytes: products.iter().map(Vec::len).sum(),
+            base_rel_error: rel_err(&base_only),
+            mesh_complete: true, // full resolution, reduced precision
+        });
+    }
+
+    // --- block splitting ---
+    {
+        let h = BlockHierarchy::build(&ds.data, 3);
+        let base_only = h.reconstruct(0);
+        rows.push(RefactorerRow {
+            approach: "block-split",
+            base_bytes: h.base().len() * 8,
+            total_bytes: h.refactored_raw_bytes(),
+            base_rel_error: rel_err(&base_only),
+            // Block means ignore the mesh: the base is not a consumable
+            // mesh dataset.
+            mesh_complete: false,
+        });
+    }
+    rows
+}
+
+/// Collapse-priority ablation: feature preservation (blob overlap at one
+/// decimation step) for shortest-edge vs data-aware vs random order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityRow {
+    pub order: &'static str,
+    pub overlap: f64,
+    pub num_blobs: usize,
+}
+
+pub fn priority_ablation(ds: &Dataset) -> Vec<PriorityRow> {
+    use crate::setup::RASTER_SIZE;
+    use canopus_analytics::blob::{BlobDetector, BlobParams};
+    use canopus_analytics::metrics::overlap_ratio;
+    use canopus_analytics::raster::Raster;
+
+    let bounds = ds.mesh.aabb();
+    let raster0 = Raster::from_mesh(&ds.mesh, &ds.data, RASTER_SIZE, RASTER_SIZE, bounds);
+    let (lo, hi) = raster0.value_range().expect("covered");
+    let detector = BlobDetector::new(BlobParams::paper_config(10, 200, 100));
+    let reference = detector.detect(&raster0.to_gray(lo, hi));
+
+    // Three rounds of decimation (ratio 8) under each ordering.
+    #[derive(Clone, Copy)]
+    enum Order {
+        Shortest,
+        DataAware,
+        Random,
+    }
+    let run = |order: Order| -> (TriMesh, Vec<f64>) {
+        let mut mesh = ds.mesh.clone();
+        let mut data = ds.data.clone();
+        for round in 0..3 {
+            let r = match order {
+                Order::Random => decimate_random_order(&mesh, &data, 2.0, 1000 + round),
+                Order::Shortest => decimate(&mesh, &data, 2.0),
+                Order::DataAware => decimate_data_aware(&mesh, &data, 2.0, 8.0),
+            };
+            mesh = r.mesh;
+            data = r.data;
+        }
+        (mesh, data)
+    };
+
+    [
+        ("shortest-edge", Order::Shortest),
+        ("data-aware", Order::DataAware),
+        ("random", Order::Random),
+    ]
+        .into_iter()
+        .map(|(label, order)| {
+            let (mesh, data) = run(order);
+            let raster = Raster::from_mesh(&mesh, &data, RASTER_SIZE, RASTER_SIZE, bounds);
+            let blobs = detector.detect(&raster.to_gray(lo, hi));
+            PriorityRow {
+                order: label,
+                overlap: overlap_ratio(&blobs, &reference),
+                num_blobs: blobs.len(),
+            }
+        })
+        .collect()
+}
+
+/// Mapping ablation: grid-accelerated mapping built once at refactor time
+/// vs brute-force point location (what restoration would pay without the
+/// stored mapping, §III-E2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingRow {
+    pub grid_secs: f64,
+    pub brute_secs: f64,
+    pub speedup: f64,
+}
+
+pub fn mapping_ablation(ds: &Dataset) -> MappingRow {
+    let dec = decimate(&ds.mesh, &ds.data, 2.0);
+    let fine = &ds.mesh;
+    let coarse = &dec.mesh;
+
+    let t = Instant::now();
+    let mapping = build_mapping(fine, coarse);
+    let grid_secs = t.elapsed().as_secs_f64();
+
+    // Brute force: scan all coarse triangles per fine vertex (bounded to
+    // the first hit; misses fall back to a full nearest scan).
+    let t = Instant::now();
+    let mut brute = Vec::with_capacity(fine.num_vertices());
+    for v in 0..fine.num_vertices() {
+        let p = fine.point(v as u32);
+        let mut found = None;
+        for tid in 0..coarse.num_triangles() {
+            if coarse.triangle(tid as u32).contains(p) {
+                found = Some(tid as u32);
+                break;
+            }
+        }
+        let tid = found.unwrap_or_else(|| {
+            // Nearest triangle fallback, still brute force.
+            (0..coarse.num_triangles() as u32)
+                .min_by(|&a, &b| {
+                    coarse
+                        .triangle(a)
+                        .distance_to(p)
+                        .partial_cmp(&coarse.triangle(b).distance_to(p))
+                        .expect("finite distances")
+                })
+                .expect("non-empty coarse mesh")
+        });
+        brute.push(tid);
+    }
+    let brute_secs = t.elapsed().as_secs_f64();
+
+    // Both must locate interior points identically (clamped boundary
+    // points may legitimately differ between "first hit" and "nearest").
+    let agree = mapping
+        .iter()
+        .zip(&brute)
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        agree as f64 > 0.5 * mapping.len() as f64,
+        "grid and brute-force disagree wildly: {agree}/{}",
+        mapping.len()
+    );
+
+    MappingRow {
+        grid_secs,
+        brute_secs,
+        speedup: brute_secs / grid_secs.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::{genasis_dataset_sized, xgc1_dataset_sized};
+
+    #[test]
+    fn deltas_are_smoother_on_every_level() {
+        let ds = genasis_dataset_sized(20, 60, 1);
+        for row in smoothness(&ds, 4) {
+            assert!(
+                row.delta_std < row.level_std,
+                "level {}: delta std {} !< level std {}",
+                row.level,
+                row.delta_std,
+                row.level_std
+            );
+        }
+    }
+
+    #[test]
+    fn barycentric_estimator_compresses_tighter() {
+        let ds = genasis_dataset_sized(20, 60, 2);
+        let row = estimator_ablation(&ds, 1e-4);
+        assert!(
+            row.barycentric_normalized < row.mean_normalized,
+            "barycentric {} !< mean {}",
+            row.barycentric_normalized,
+            row.mean_normalized
+        );
+    }
+
+    #[test]
+    fn lossy_codecs_beat_lossless_on_deltas() {
+        let ds = xgc1_dataset_sized(12, 60, 1);
+        let rows = codec_ablation(&ds, 1e-4);
+        let zfp = rows.iter().find(|r| r.codec == "zfp-like").unwrap();
+        let fpc = rows.iter().find(|r| r.codec == "fpc").unwrap();
+        assert!(zfp.compressed_bytes < fpc.compressed_bytes);
+        assert!(zfp.normalized < 1.0);
+    }
+
+    #[test]
+    fn shortest_edge_order_preserves_features_at_least_as_well() {
+        let ds = xgc1_dataset_sized(20, 100, 4);
+        let rows = priority_ablation(&ds);
+        assert_eq!(rows.len(), 3);
+        let shortest = rows.iter().find(|r| r.order == "shortest-edge").unwrap();
+        assert!(
+            shortest.overlap >= 0.5,
+            "shortest-edge should keep most blobs, got {}",
+            shortest.overlap
+        );
+        let aware = rows.iter().find(|r| r.order == "data-aware").unwrap();
+        assert!(aware.overlap >= shortest.overlap * 0.8);
+    }
+
+    #[test]
+    fn refactorer_comparison_shapes() {
+        let ds = xgc1_dataset_sized(16, 80, 2);
+        let rows = refactorer_comparison(&ds);
+        assert_eq!(rows.len(), 3);
+        let dec = rows.iter().find(|r| r.approach == "decimation").unwrap();
+        let byte = rows.iter().find(|r| r.approach == "byte-split").unwrap();
+        let block = rows.iter().find(|r| r.approach == "block-split").unwrap();
+        // Decimation's base is a complete mesh; block splitting's is not.
+        assert!(dec.mesh_complete && !block.mesh_complete);
+        // The 3-level bases are sized comparably by construction:
+        // decimation keeps n/4 doubles (2n bytes), byte splitting keeps
+        // 2 bytes per value (2n bytes).
+        assert!(dec.base_bytes <= byte.base_bytes);
+        // Byte splitting's base-only error is tiny (it keeps resolution);
+        // decimation trades accuracy for a consumable coarse mesh.
+        assert!(byte.base_rel_error < dec.base_rel_error);
+        // Every base-only reconstruction is still in the right ballpark.
+        for r in &rows {
+            assert!(r.base_rel_error < 1.0, "{r:?}");
+            assert!(r.total_bytes >= r.base_bytes);
+        }
+    }
+
+    #[test]
+    fn grid_mapping_is_much_faster_than_brute_force() {
+        let ds = xgc1_dataset_sized(16, 80, 1);
+        let row = mapping_ablation(&ds);
+        assert!(
+            row.speedup > 2.0,
+            "grid should clearly beat brute force, got {:.1}x",
+            row.speedup
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! `repro` — regenerate every table and figure of the Canopus paper.
+//!
+//! ```text
+//! repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|all]
+//! ```
+//!
+//! Image outputs land in `./out/`. Set `CANOPUS_SCALE=quick` for a fast
+//! reduced-scale pass (CI); the default runs at paper scale. Tables print
+//! to stdout in the same rows/series the paper reports; EXPERIMENTS.md
+//! records a reference run.
+
+use canopus_bench::setup::{self, Scale};
+use canopus_bench::{ablation, blobs, endtoend, fig5, fig6, table};
+use canopus_refactor::Estimator;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!(
+        "# Canopus reproduction — {} scale\n",
+        if scale == Scale::Paper { "paper" } else { "quick" }
+    );
+
+    let out_dir = Path::new("out");
+    match what {
+        "fig4" => fig4(scale, seed, out_dir),
+        "fig5" => run_fig5(scale, seed),
+        "fig6a" => fig6a(),
+        "fig6b" => fig6b(scale, seed),
+        "fig7" => fig7(scale, seed, out_dir),
+        "fig8" => fig8(scale, seed),
+        "fig9" => fig9(scale, seed),
+        "fig10" => fig10(scale, seed),
+        "fig11" => fig11(scale, seed),
+        "smoothness" => smoothness(scale, seed),
+        "ablations" => ablations(scale, seed),
+        "extensions" => extensions(scale, seed),
+        "all" => {
+            fig4(scale, seed, out_dir);
+            run_fig5(scale, seed);
+            fig6a();
+            fig6b(scale, seed);
+            fig7(scale, seed, out_dir);
+            fig8(scale, seed);
+            fig9(scale, seed);
+            fig10(scale, seed);
+            fig11(scale, seed);
+            smoothness(scale, seed);
+            ablations(scale, seed);
+            extensions(scale, seed);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fig4(scale: Scale, seed: u64, out: &Path) {
+    println!("## Fig. 4 — data refactoring gallery (PPM files)\n");
+    for ds in setup::datasets(scale, seed) {
+        match blobs::write_fig4_gallery(&ds, out) {
+            Ok(files) => {
+                for f in files {
+                    println!("  wrote {f}");
+                }
+            }
+            Err(e) => eprintln!("  {}: {e}", ds.name),
+        }
+    }
+    println!();
+}
+
+fn run_fig5(scale: Scale, seed: u64) {
+    println!("## Fig. 5 — Canopus vs direct compression (normalized size vs total #levels)\n");
+    for ds in setup::datasets(scale, seed) {
+        let rows = fig5::compression_comparison(&ds, 4, 1e-3, Estimator::Mean);
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.total_levels.to_string(),
+                    table::frac(r.direct_normalized),
+                    table::frac(r.canopus_normalized),
+                    format!("{:.1}%", r.improvement() * 100.0),
+                ]
+            })
+            .collect();
+        println!("### {} ({})", ds.name, ds.var);
+        println!(
+            "{}",
+            table::render(
+                &["levels", "direct", "canopus", "improvement"],
+                &table_rows
+            )
+        );
+    }
+}
+
+fn fig6a() {
+    println!("## Fig. 6a — storage-to-compute trend (bytes/s per 1M flops)\n");
+    let rows: Vec<Vec<String>> = fig6::STORAGE_TO_COMPUTE_TREND
+        .iter()
+        .map(|&(y, v)| vec![y.to_string(), format!("{v:.0}")])
+        .collect();
+    println!("{}", table::render(&["year", "B/s per Mflops"], &rows));
+}
+
+fn fig6b(scale: Scale, seed: u64) {
+    println!("## Fig. 6b — write-time fractions (XGC1 dpot, 2 levels)\n");
+    let ds = setup::xgc1(scale, seed);
+    let rows: Vec<Vec<String>> = fig6::write_breakdown(&ds)
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} ({} cores)", r.label, r.cores),
+                table::frac(r.decimation_frac),
+                table::frac(r.delta_compress_frac),
+                table::frac(r.io_frac),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["storage-to-compute", "decimation", "delta+compress", "I/O"],
+            &rows
+        )
+    );
+}
+
+fn fig7(scale: Scale, seed: u64, out: &Path) {
+    println!("## Fig. 7 — blob detection gallery, L0..L5 (PPM files)\n");
+    let ds = setup::xgc1(scale, seed);
+    let levels = if scale == Scale::Paper { 6 } else { 4 };
+    match blobs::write_fig7_gallery(&ds, levels, out) {
+        Ok(files) => {
+            for f in files {
+                println!("  wrote {f}");
+            }
+        }
+        Err(e) => eprintln!("  {e}"),
+    }
+    println!();
+}
+
+fn fig8(scale: Scale, seed: u64) {
+    println!("## Fig. 8 — blob metrics vs decimation ratio (XGC1)\n");
+    let ds = setup::xgc1(scale, seed);
+    let levels = if scale == Scale::Paper { 6 } else { 4 };
+    let rows = blobs::blob_quality(&ds, levels);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.ratio_label.clone(),
+                r.metrics.count.to_string(),
+                format!("{:.1}", r.metrics.avg_diameter),
+                format!("{:.0}", r.metrics.aggregate_area),
+                table::frac(r.overlap),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "config",
+                "ratio",
+                "#blobs",
+                "avg diam (px)",
+                "area (px^2)",
+                "overlap"
+            ],
+            &table_rows
+        )
+    );
+}
+
+fn endtoend_table(name: &str, rows: &[endtoend::EndToEndRow], with_detect: bool) {
+    let mut headers = vec!["ratio", "I/O", "decompress", "restore"];
+    if with_detect {
+        headers.push("blob detect");
+    }
+    headers.push("analysis total");
+    headers.push("full restore");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.ratio_label.clone(),
+                table::secs(r.io_secs),
+                table::secs(r.decompress_secs),
+                table::secs(r.restore_secs),
+            ];
+            if with_detect {
+                row.push(table::secs(r.detect_secs));
+            }
+            row.push(table::secs(r.analysis_total()));
+            row.push(table::secs(r.full_restore_secs));
+            row
+        })
+        .collect();
+    println!("### {name}");
+    println!("{}", table::render(&headers, &table_rows));
+}
+
+fn fig9(scale: Scale, seed: u64) {
+    println!("## Fig. 9 — XGC1 end-to-end analytics\n");
+    let ds = setup::xgc1(scale, seed);
+    let max_k = if scale == Scale::Paper { 5 } else { 3 };
+    let rows = endtoend::end_to_end(&ds, max_k, true);
+    endtoend_table("XGC1 (dpot), blob detection pipeline", &rows, true);
+}
+
+fn fig10(scale: Scale, seed: u64) {
+    println!("## Fig. 10 — GenASiS end-to-end phases\n");
+    let ds = setup::genasis(scale, seed);
+    let max_k = if scale == Scale::Paper { 5 } else { 3 };
+    let rows = endtoend::end_to_end(&ds, max_k, false);
+    endtoend_table("GenASiS (normVec magnitude)", &rows, false);
+}
+
+fn fig11(scale: Scale, seed: u64) {
+    println!("## Fig. 11 — CFD end-to-end phases\n");
+    let ds = setup::cfd(scale, seed);
+    let rows = endtoend::end_to_end(&ds, 3, false); // paper: ratios 2,4,8
+    endtoend_table("CFD (pressure)", &rows, false);
+}
+
+fn smoothness(scale: Scale, seed: u64) {
+    println!("## Observation §III-C2 — deltas are smoother than levels\n");
+    for ds in setup::datasets(scale, seed) {
+        let rows: Vec<Vec<String>> = ablation::smoothness(&ds, 3)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.level.to_string(),
+                    format!("{:.3}", r.level_std),
+                    format!("{:.3}", r.delta_std),
+                    format!("{:.3}", r.level_tv),
+                    format!("{:.3}", r.delta_tv),
+                ]
+            })
+            .collect();
+        println!("### {}", ds.name);
+        println!(
+            "{}",
+            table::render(
+                &["level", "level std", "delta std", "level TV", "delta TV"],
+                &rows
+            )
+        );
+    }
+}
+
+fn extensions(scale: Scale, seed: u64) {
+    use canopus_bench::extensions;
+    println!("## Extensions (paper-stated, not evaluated there)\n");
+
+    println!("### Focused retrieval: region refinement cost vs window size (XGC1, 16 chunks)\n");
+    let ds = setup::xgc1(scale, seed);
+    let rows: Vec<Vec<String>> = extensions::region_sweep(&ds, 16, &[0.1, 0.25, 0.5, 1.0])
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.window_frac * 100.0),
+                format!("{}/{}", r.chunks_read, r.chunks_total),
+                r.bytes_read.to_string(),
+                table::secs(r.io_secs),
+                table::frac(r.exact_frac),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["window", "chunks", "bytes read", "I/O", "exact vertices"],
+            &rows
+        )
+    );
+
+    println!("### Campaign query pushdown (growing-amplitude timesteps, threshold 60% of max)\n");
+    let small = setup::xgc1(Scale::Quick, seed);
+    let r = extensions::campaign_pushdown(&small, 10, 0.6);
+    let rows = vec![vec![
+        r.steps.to_string(),
+        r.candidates.to_string(),
+        r.skipped.to_string(),
+    ]];
+    println!(
+        "{}",
+        table::render(&["timesteps", "candidates", "skipped via metadata"], &rows)
+    );
+}
+
+fn ablations(scale: Scale, seed: u64) {
+    println!("## Ablations\n");
+
+    println!("### Estimator (Canopus normalized size at N = 3; lower is better)\n");
+    let rows: Vec<Vec<String>> = setup::datasets(scale, seed)
+        .iter()
+        .map(|ds| {
+            let r = ablation::estimator_ablation(ds, 1e-4);
+            vec![
+                r.dataset.to_string(),
+                table::frac(r.mean_normalized),
+                table::frac(r.barycentric_normalized),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["dataset", "mean (paper)", "barycentric"], &rows)
+    );
+
+    println!("### Codec on delta^(0-1) (XGC1)\n");
+    let ds = setup::xgc1(scale, seed);
+    let rows: Vec<Vec<String>> = ablation::codec_ablation(&ds, 1e-4)
+        .iter()
+        .map(|r| {
+            vec![
+                r.codec.to_string(),
+                r.compressed_bytes.to_string(),
+                table::frac(r.normalized),
+                if r.lossless { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["codec", "bytes", "normalized", "lossless"], &rows)
+    );
+
+    println!("### Refactoring approach (paper SIII-C, 3 products, XGC1)\n");
+    let rows: Vec<Vec<String>> = ablation::refactorer_comparison(&ds)
+        .iter()
+        .map(|r| {
+            vec![
+                r.approach.to_string(),
+                r.base_bytes.to_string(),
+                r.total_bytes.to_string(),
+                format!("{:.2e}", r.base_rel_error),
+                if r.mesh_complete { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["approach", "base B", "total B", "base rel err", "mesh-complete"],
+            &rows
+        )
+    );
+
+    println!("### Collapse priority (blob overlap after 8x decimation, XGC1)\n");
+    let rows: Vec<Vec<String>> = ablation::priority_ablation(&ds)
+        .iter()
+        .map(|r| {
+            vec![
+                r.order.to_string(),
+                table::frac(r.overlap),
+                r.num_blobs.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["order", "overlap", "#blobs"], &rows));
+
+    println!("### Mapping: stored (grid) vs brute-force point location (XGC1)\n");
+    let r = ablation::mapping_ablation(&ds);
+    let rows = vec![vec![
+        table::secs(r.grid_secs),
+        table::secs(r.brute_secs),
+        format!("{:.0}x", r.speedup),
+    ]];
+    println!(
+        "{}",
+        table::render(&["grid (stored)", "brute force", "speedup"], &rows)
+    );
+}

@@ -1,0 +1,241 @@
+//! Figs. 7 & 8: blob detection across accuracy levels (§IV-D).
+//!
+//! Fig. 7 is the visual gallery (L0..L5 with detected blobs circled);
+//! Fig. 8 quantifies: number of blobs, average diameter, aggregate area,
+//! and overlap ratio against the full-accuracy detections, for the three
+//! `<minThreshold, maxThreshold, minArea>` configurations, at decimation
+//! ratios {None, 2, 4, 8, 16, 32}.
+
+use crate::setup::{PAPER_CONFIGS, RASTER_SIZE};
+use canopus_analytics::blob::{Blob, BlobDetector, BlobParams};
+use canopus_analytics::metrics::{overlap_ratio, BlobMetrics};
+use canopus_analytics::raster::Raster;
+use canopus_analytics::render;
+use canopus_data::Dataset;
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use std::io;
+use std::path::Path;
+
+/// One Fig. 8 table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobRow {
+    pub config: &'static str,
+    /// "None" for full accuracy, else the decimation ratio (2, 4, …).
+    pub ratio_label: String,
+    pub level: u32,
+    pub metrics: BlobMetrics,
+    /// Fig. 8d: overlap against the full-accuracy blobs of the same
+    /// config.
+    pub overlap: f64,
+}
+
+/// Everything needed to re-detect on one level.
+pub struct LevelRasters {
+    pub hierarchy: LevelHierarchy,
+    pub rasters: Vec<Raster>,
+    /// Normalization range from L0, shared across levels.
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Build the level pyramid and rasterize every level over L0's bounds
+/// with L0's gray normalization.
+pub fn rasterize_levels(ds: &Dataset, num_levels: u32) -> LevelRasters {
+    let hierarchy = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels,
+            ..Default::default()
+        },
+    );
+    let bounds = ds.mesh.aabb();
+    let rasters: Vec<Raster> = hierarchy
+        .levels
+        .iter()
+        .map(|lvl| Raster::from_mesh(&lvl.mesh, &lvl.data, RASTER_SIZE, RASTER_SIZE, bounds))
+        .collect();
+    let (lo, hi) = rasters[0]
+        .value_range()
+        .expect("L0 raster covers the mesh");
+    LevelRasters {
+        hierarchy,
+        rasters,
+        lo,
+        hi,
+    }
+}
+
+/// Detect blobs on one rasterized level under one paper config.
+pub fn detect_on_level(lr: &LevelRasters, level: u32, config: (u8, u8, usize)) -> Vec<Blob> {
+    let (min_t, max_t, min_area) = config;
+    let gray = lr.rasters[level as usize].to_gray(lr.lo, lr.hi);
+    BlobDetector::new(BlobParams::paper_config(min_t, max_t, min_area)).detect(&gray)
+}
+
+/// Label a level by its decimation ratio ("None" for level 0).
+pub fn ratio_label(lr: &LevelRasters, level: u32) -> String {
+    if level == 0 {
+        "None".to_string()
+    } else {
+        format!("{:.0}", lr.hierarchy.decimation_ratio(level))
+    }
+}
+
+/// The full Fig. 8 sweep: every config × every level.
+pub fn blob_quality(ds: &Dataset, num_levels: u32) -> Vec<BlobRow> {
+    let lr = rasterize_levels(ds, num_levels);
+    let mut rows = Vec::new();
+    for &(name, min_t, max_t, min_area) in &PAPER_CONFIGS {
+        let reference = detect_on_level(&lr, 0, (min_t, max_t, min_area));
+        for level in 0..num_levels {
+            let blobs = detect_on_level(&lr, level, (min_t, max_t, min_area));
+            rows.push(BlobRow {
+                config: name,
+                ratio_label: ratio_label(&lr, level),
+                level,
+                metrics: BlobMetrics::of(&blobs),
+                overlap: overlap_ratio(&blobs, &reference),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 7: one PPM per level with Config1 blobs circled.
+pub fn write_fig7_gallery(ds: &Dataset, num_levels: u32, dir: &Path) -> io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let lr = rasterize_levels(ds, num_levels);
+    let (name, min_t, max_t, min_area) = PAPER_CONFIGS[0];
+    let mut written = Vec::new();
+    for level in 0..num_levels {
+        let blobs = detect_on_level(&lr, level, (min_t, max_t, min_area));
+        let img = render::render_blobs(&lr.rasters[level as usize], lr.lo, lr.hi, &blobs);
+        let path = dir.join(format!(
+            "fig7_{}_{}_L{}.ppm",
+            ds.name.to_lowercase(),
+            name.to_lowercase(),
+            level
+        ));
+        let mut f = std::fs::File::create(&path)?;
+        img.write_ppm(&mut f)?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+/// Fig. 4: field gallery — L0, L2 and the two deltas, rendered with the
+/// diverging colormap.
+pub fn write_fig4_gallery(ds: &Dataset, dir: &Path) -> io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let lr = rasterize_levels(ds, 3);
+    let bounds = ds.mesh.aabb();
+    let mut written = Vec::new();
+
+    let mut save = |label: &str, raster: &Raster, lo: f64, hi: f64| -> io::Result<()> {
+        let img = render::render_field(raster, lo, hi);
+        let path = dir.join(format!("fig4_{}_{}.ppm", ds.name.to_lowercase(), label));
+        let mut f = std::fs::File::create(&path)?;
+        img.write_ppm(&mut f)?;
+        written.push(path.display().to_string());
+        Ok(())
+    };
+
+    save("L0", &lr.rasters[0], lr.lo, lr.hi)?;
+    save("L2", &lr.rasters[2], lr.lo, lr.hi)?;
+    // Deltas get their own symmetric color range (they are near zero).
+    for (l, delta) in lr.hierarchy.deltas.iter().enumerate() {
+        let fine = &lr.hierarchy.levels[l];
+        let raster = Raster::from_mesh(&fine.mesh, delta, RASTER_SIZE, RASTER_SIZE, bounds);
+        let amp = delta.iter().fold(0.0f64, |m, &d| m.max(d.abs())).max(1e-12);
+        save(&format!("delta{}-{}", l, l + 1), &raster, -amp, amp)?;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::xgc1_dataset_sized;
+
+    fn small_xgc1() -> Dataset {
+        xgc1_dataset_sized(20, 100, 5)
+    }
+
+    #[test]
+    fn full_accuracy_detects_blobs() {
+        let ds = small_xgc1();
+        let lr = rasterize_levels(&ds, 3);
+        let blobs = detect_on_level(&lr, 0, (10, 200, 20));
+        assert!(
+            blobs.len() >= 4,
+            "synthetic XGC1 must show several blobs, got {}",
+            blobs.len()
+        );
+    }
+
+    #[test]
+    fn overlap_is_high_at_moderate_decimation() {
+        // The paper's core finding: most blobs survive up to 16x.
+        let ds = small_xgc1();
+        let rows = blob_quality(&ds, 3);
+        for row in rows.iter().filter(|r| r.config == "Config1") {
+            if row.level <= 2 {
+                assert!(
+                    row.overlap >= 0.5,
+                    "ratio {} overlap {} too low",
+                    row.ratio_label,
+                    row.overlap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blob_count_decreases_with_decimation() {
+        // Fig. 8a trend: information loss erases blobs at strong
+        // decimation (allowing slack for merge effects at mid ratios).
+        let ds = small_xgc1();
+        let lr = rasterize_levels(&ds, 4);
+        let n0 = detect_on_level(&lr, 0, (10, 200, 20)).len();
+        let n3 = detect_on_level(&lr, 3, (10, 200, 20)).len();
+        assert!(
+            n3 <= n0,
+            "deeper decimation cannot reveal more blobs: {n0} -> {n3}"
+        );
+    }
+
+    #[test]
+    fn labels_follow_paper_axes() {
+        let ds = small_xgc1();
+        let lr = rasterize_levels(&ds, 3);
+        assert_eq!(ratio_label(&lr, 0), "None");
+        assert_eq!(ratio_label(&lr, 1), "2");
+        assert_eq!(ratio_label(&lr, 2), "4");
+    }
+
+    #[test]
+    fn quality_rows_cover_all_configs_and_levels() {
+        let ds = small_xgc1();
+        let rows = blob_quality(&ds, 3);
+        assert_eq!(rows.len(), 3 * 3);
+        // Level-0 rows have overlap exactly 1 (self-reference).
+        for r in rows.iter().filter(|r| r.level == 0) {
+            assert_eq!(r.overlap, 1.0);
+        }
+    }
+
+    #[test]
+    fn galleries_write_files() {
+        let ds = small_xgc1();
+        let dir = std::env::temp_dir().join("canopus_gallery_test");
+        let fig7 = write_fig7_gallery(&ds, 3, &dir).unwrap();
+        assert_eq!(fig7.len(), 3);
+        let fig4 = write_fig4_gallery(&ds, &dir).unwrap();
+        assert_eq!(fig4.len(), 4); // L0, L2, delta0-1, delta1-2
+        for f in fig7.iter().chain(&fig4) {
+            assert!(std::fs::metadata(f).unwrap().len() > 100);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,227 @@
+//! Figs. 9, 10, 11: end-to-end analytics timing on the two-tier testbed.
+//!
+//! For each decimation ratio `r = 2^k` the variable is refactored with the
+//! base at ratio `r`, written through Canopus onto the Titan-like
+//! hierarchy, and then:
+//!
+//! * panel (a) measures the analysis pipeline the paper describes: "at
+//!   decimation ratio of 4, the total time spent … is the time to
+//!   retrieve and decompress `L2^c` and `delta^{(1-2)c}`, restore `L1`,
+//!   and perform blob detection on `L1`" — i.e. base + one refinement +
+//!   analytics;
+//! * panel (b) measures restoring *full* accuracy from that base ("it
+//!   takes 2.4 seconds to restore from `L2^c` to `L0`").
+//!
+//! The "None" baseline reads the unrefactored raw variable (which only
+//! fits on Lustre) and analyzes it directly — no decompression, no
+//! restoration.
+
+use crate::setup::{titan_hierarchy, PAPER_CONFIGS, RASTER_SIZE};
+use canopus::{Canopus, CanopusConfig, PhaseTiming};
+use canopus_analytics::blob::{BlobDetector, BlobParams};
+use canopus_analytics::raster::Raster;
+use canopus_data::Dataset;
+use canopus_mesh::TriMesh;
+use canopus_refactor::levels::RefactorConfig;
+use std::time::Instant;
+
+/// One row of a Fig. 9/10/11 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndToEndRow {
+    /// "None" or the base decimation ratio ("2", "4", …).
+    pub ratio_label: String,
+    /// Panel (a) phases.
+    pub io_secs: f64,
+    pub decompress_secs: f64,
+    pub restore_secs: f64,
+    /// Blob-detection time (0 when `detect` is off — Figs. 10/11 plot
+    /// only the Canopus phases).
+    pub detect_secs: f64,
+    /// Panel (b): time to restore full accuracy from this ratio's base.
+    pub full_restore_secs: f64,
+}
+
+impl EndToEndRow {
+    pub fn analysis_total(&self) -> f64 {
+        self.io_secs + self.decompress_secs + self.restore_secs + self.detect_secs
+    }
+}
+
+/// Blob detection cost on a restored level (rasterize + detect), used as
+/// the paper's XGC1 analytics stage.
+fn detect_time(mesh: &TriMesh, data: &[f64], bounds: canopus_mesh::Aabb) -> f64 {
+    let t = Instant::now();
+    let raster = Raster::from_mesh(mesh, data, RASTER_SIZE, RASTER_SIZE, bounds);
+    if let Some((lo, hi)) = raster.value_range() {
+        let (_, min_t, max_t, min_area) = PAPER_CONFIGS[0];
+        let gray = raster.to_gray(lo, hi);
+        let _ = BlobDetector::new(BlobParams::paper_config(min_t, max_t, min_area)).detect(&gray);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Run the experiment: ratios `2^1 .. 2^max_k` plus the "None" baseline.
+/// `detect` adds the blob-detection stage (Fig. 9); Figs. 10/11 set it
+/// false.
+pub fn end_to_end(ds: &Dataset, max_k: u32, detect: bool) -> Vec<EndToEndRow> {
+    let raw = (ds.data.len() * 8) as u64;
+    let bounds = ds.mesh.aabb();
+    let mut rows = Vec::new();
+
+    // --- None baseline: raw full-accuracy data straight from Lustre ---
+    {
+        let hierarchy = titan_hierarchy(raw);
+        let canopus = Canopus::new(hierarchy, CanopusConfig::default());
+        canopus
+            .write_unrefactored("none.bp", ds.var, &ds.mesh, &ds.data)
+            .expect("baseline write");
+        let reader = canopus.open("none.bp").expect("open baseline");
+        reader.warm_metadata(ds.var).expect("warm");
+        let out = reader.read_level(ds.var, 0).expect("read baseline");
+        let detect_secs = if detect {
+            detect_time(&out.mesh, &out.data, bounds)
+        } else {
+            0.0
+        };
+        rows.push(EndToEndRow {
+            ratio_label: "None".into(),
+            io_secs: out.timing.io_secs,
+            decompress_secs: 0.0,
+            restore_secs: 0.0,
+            detect_secs,
+            full_restore_secs: out.timing.io_secs,
+        });
+    }
+
+    // --- Canopus at each base ratio ---
+    for k in 1..=max_k {
+        let hierarchy = titan_hierarchy(raw);
+        let canopus = Canopus::new(
+            hierarchy,
+            CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels: k + 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        canopus
+            .write("e2e.bp", ds.var, &ds.mesh, &ds.data)
+            .expect("canopus write");
+        let reader = canopus.open("e2e.bp").expect("open");
+        reader.warm_metadata(ds.var).expect("warm");
+
+        // Panel (a): base + one refinement (or just the base at k = 1
+        // refines straight to L0), then analytics.
+        let base = reader.read_base(ds.var).expect("base");
+        let (analysis_outcome, timing) = if base.level > 0 {
+            let (next, _) = reader.refine_once(ds.var, &base).expect("refine");
+            let t: PhaseTiming = base.timing + next.timing;
+            (next, t)
+        } else {
+            let t = base.timing;
+            (base, t)
+        };
+        let detect_secs = if detect {
+            detect_time(&analysis_outcome.mesh, &analysis_outcome.data, bounds)
+        } else {
+            0.0
+        };
+
+        // Panel (b): full-accuracy restoration from this base, on a fresh
+        // reader so the metadata cache is warm but the data path is cold.
+        let reader_b = canopus.open("e2e.bp").expect("open b");
+        reader_b.warm_metadata(ds.var).expect("warm b");
+        let full = reader_b.read_level(ds.var, 0).expect("full restore");
+
+        rows.push(EndToEndRow {
+            ratio_label: format!("{}", 1u32 << k),
+            io_secs: timing.io_secs,
+            decompress_secs: timing.decompress_secs,
+            restore_secs: timing.restore_secs,
+            detect_secs,
+            full_restore_secs: full.timing.total(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::{cfd_dataset_sized, xgc1_dataset_sized};
+
+    #[test]
+    fn rows_cover_all_ratios() {
+        let ds = xgc1_dataset_sized(12, 60, 1);
+        let rows = end_to_end(&ds, 3, false);
+        let labels: Vec<&str> = rows.iter().map(|r| r.ratio_label.as_str()).collect();
+        assert_eq!(labels, vec!["None", "2", "4", "8"]);
+    }
+
+    #[test]
+    fn baseline_reads_raw_from_lustre() {
+        // The "None" baseline must pay the full raw transfer from the
+        // slow tier; Canopus' exploratory analysis reads far less.
+        // (Whether I/O also dominates blob detection is a release-mode,
+        // paper-scale property demonstrated by the `repro` binary — a
+        // debug-build wall clock would distort it here.)
+        let ds = xgc1_dataset_sized(12, 60, 1);
+        let rows = end_to_end(&ds, 1, true);
+        let none = &rows[0];
+        let raw_secs = (ds.len() * 8) as f64 / 0.12e6;
+        assert!(
+            none.io_secs > raw_secs * 0.8,
+            "baseline io {} should reflect the raw Lustre transfer {}",
+            none.io_secs,
+            raw_secs
+        );
+        assert!(none.detect_secs > 0.0, "detection was requested");
+    }
+
+    #[test]
+    fn deeper_bases_cut_analysis_io() {
+        // Fig. 9a shape: higher decimation ratio => less data read from
+        // slow tiers for the exploratory analysis.
+        let ds = xgc1_dataset_sized(14, 70, 2);
+        let rows = end_to_end(&ds, 4, false);
+        let none_io = rows[0].io_secs;
+        let r16_io = rows.last().unwrap().io_secs;
+        assert!(
+            r16_io < none_io * 0.6,
+            "ratio-16 analysis I/O {r16_io} should be well under baseline {none_io}"
+        );
+    }
+
+    #[test]
+    fn full_restore_beats_baseline() {
+        // Fig. 9b claim: restoring full accuracy through Canopus is
+        // faster than reading raw full accuracy from Lustre (compression
+        // + fast-tier base).
+        let ds = cfd_dataset_sized(28, 22, 1);
+        let rows = end_to_end(&ds, 2, false);
+        let baseline = rows[0].full_restore_secs;
+        for row in &rows[1..] {
+            assert!(
+                row.full_restore_secs < baseline,
+                "ratio {}: {} !< baseline {}",
+                row.ratio_label,
+                row.full_restore_secs,
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn canopus_rows_have_decompress_and_restore_phases() {
+        let ds = xgc1_dataset_sized(12, 60, 3);
+        let rows = end_to_end(&ds, 2, false);
+        for row in &rows[1..] {
+            assert!(row.decompress_secs > 0.0, "{row:?}");
+            assert!(row.restore_secs > 0.0, "{row:?}");
+        }
+        assert_eq!(rows[0].decompress_secs, 0.0);
+        assert_eq!(rows[0].restore_secs, 0.0);
+    }
+}

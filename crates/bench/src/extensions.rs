@@ -1,0 +1,158 @@
+//! Extension experiments — quantifying the capabilities the paper names
+//! but does not evaluate (see DESIGN.md §5b).
+//!
+//! * [`region_sweep`] — focused data retrieval: I/O cost of refining a
+//!   region of interest vs the region's size, against full refinement.
+//! * [`campaign_pushdown`] — ADIOS-style metadata queries across a
+//!   multi-timestep campaign: how many timesteps a threshold query can
+//!   skip without reading any data.
+
+use crate::setup::titan_hierarchy;
+use canopus::config::RelativeCodec;
+use canopus::{Campaign, Canopus, CanopusConfig};
+use canopus_data::Dataset;
+use canopus_mesh::geometry::{Aabb, Point2};
+use canopus_refactor::levels::RefactorConfig;
+
+/// One row of the region sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRow {
+    /// Fraction of the domain's width/height covered by the window.
+    pub window_frac: f64,
+    pub chunks_read: usize,
+    pub chunks_total: usize,
+    pub bytes_read: u64,
+    pub io_secs: f64,
+    /// Fraction of fine vertices restored to level accuracy.
+    pub exact_frac: f64,
+}
+
+/// Refine one level through windows of growing size; `1.0` equals full
+/// refinement.
+pub fn region_sweep(ds: &Dataset, chunks: u32, fracs: &[f64]) -> Vec<RegionRow> {
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        titan_hierarchy(raw),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 3,
+                ..Default::default()
+            },
+            delta_chunks: chunks,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("sweep.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    let reader = canopus.open("sweep.bp").expect("open");
+    reader.warm_metadata(ds.var).expect("warm");
+    let bounds = ds.mesh.aabb();
+    let center = Point2::new(
+        (bounds.min.x + bounds.max.x) / 2.0,
+        (bounds.min.y + bounds.max.y) / 2.0,
+    );
+
+    fracs
+        .iter()
+        .map(|&frac| {
+            let hw = bounds.width() * frac / 2.0;
+            let hh = bounds.height() * frac / 2.0;
+            let window = Aabb::from_points([
+                Point2::new(center.x - hw, center.y - hh),
+                Point2::new(center.x + hw, center.y + hh),
+            ]);
+            let base = reader.read_base(ds.var).expect("base");
+            let (out, stats) = reader
+                .refine_region(ds.var, &base, window)
+                .expect("refine region");
+            RegionRow {
+                window_frac: frac,
+                chunks_read: stats.chunks_read,
+                chunks_total: stats.chunks_total,
+                bytes_read: stats.bytes_read,
+                io_secs: out.timing.io_secs,
+                exact_frac: stats.exact_vertices as f64 / out.data.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Campaign pushdown: write `steps` timesteps with linearly growing
+/// amplitude; report how many a threshold query skips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushdownResult {
+    pub steps: usize,
+    pub candidates: usize,
+    /// Steps the metadata query excluded without any data I/O.
+    pub skipped: usize,
+}
+
+pub fn campaign_pushdown(ds: &Dataset, steps: u64, threshold_frac: f64) -> PushdownResult {
+    let raw = (ds.data.len() * 8) as u64 * steps;
+    let canopus = Canopus::new(
+        titan_hierarchy(raw),
+        CanopusConfig {
+            codec: RelativeCodec::ZfpLike { rel_tolerance: 1e-4 },
+            ..Default::default()
+        },
+    );
+    let campaign = Campaign::new(&canopus, ds.name);
+    for step in 0..steps {
+        // Amplitude ramps with the step, like a growing instability.
+        let amp = (step + 1) as f64 / steps as f64;
+        let data: Vec<f64> = ds.data.iter().map(|v| v * amp).collect();
+        campaign
+            .write_step(step, ds.var, &ds.mesh, &data)
+            .expect("write step");
+    }
+    let data_max = ds.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = threshold_frac * data_max;
+    let candidates = campaign
+        .steps_possibly_in_range(ds.var, threshold, f64::INFINITY)
+        .expect("query");
+    PushdownResult {
+        steps: steps as usize,
+        candidates: candidates.len(),
+        skipped: steps as usize - candidates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::xgc1_dataset_sized;
+
+    #[test]
+    fn smaller_windows_read_less() {
+        let ds = xgc1_dataset_sized(16, 80, 3);
+        let rows = region_sweep(&ds, 16, &[0.2, 0.5, 1.0]);
+        assert_eq!(rows.len(), 3);
+        for pair in rows.windows(2) {
+            assert!(pair[0].chunks_read <= pair[1].chunks_read);
+            assert!(pair[0].bytes_read <= pair[1].bytes_read);
+            assert!(pair[0].exact_frac <= pair[1].exact_frac + 1e-12);
+        }
+        // The full window reads everything.
+        let full = rows.last().unwrap();
+        assert_eq!(full.chunks_read, full.chunks_total);
+        assert!((full.exact_frac - 1.0).abs() < 1e-12);
+        // The small window reads a clear minority.
+        assert!(
+            (rows[0].chunks_read as f64) < 0.7 * full.chunks_total as f64,
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn pushdown_skips_weak_timesteps() {
+        let ds = xgc1_dataset_sized(12, 60, 5);
+        // Threshold at 60% of max amplitude: steps below ~0.6 ramp are
+        // definitively excluded (modulo codec slack in the metadata).
+        let r = campaign_pushdown(&ds, 8, 0.6);
+        assert_eq!(r.steps, 8);
+        assert!(r.skipped >= 2, "should skip weak steps: {r:?}");
+        assert!(r.candidates >= 1, "strong steps must remain: {r:?}");
+        assert_eq!(r.candidates + r.skipped, 8);
+    }
+}

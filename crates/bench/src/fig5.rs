@@ -1,0 +1,148 @@
+//! Fig. 5: Canopus vs direct multi-level compression.
+//!
+//! The paper's Motivation 2: storing `{base, deltas}` compresses better
+//! than storing all levels `{L^0 … L^{N-1}}` directly, because deltas are
+//! smoother. For each dataset and each total level count `N ∈ {1..4}` we
+//! report both approaches' total compressed size normalized by the raw
+//! size of `L^0` — exactly the y-axis of Figs. 5a–c.
+
+use canopus_compress::{Codec, ZfpLike};
+use canopus_data::Dataset;
+use canopus_mesh::FieldStats;
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use canopus_refactor::Estimator;
+
+/// One point of one Fig. 5 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    pub dataset: &'static str,
+    pub total_levels: u32,
+    /// `sum(|compress(L^l)|) / raw(L^0)` — the "Direct" bars.
+    pub direct_normalized: f64,
+    /// `(|compress(base)| + sum(|compress(delta)|)) / raw(L^0)` — the
+    /// "Canopus" bars.
+    pub canopus_normalized: f64,
+}
+
+impl Fig5Row {
+    /// Relative improvement of Canopus over direct (positive = Canopus
+    /// smaller), the paper's "14 % … up to 62.5 %" numbers.
+    pub fn improvement(&self) -> f64 {
+        1.0 - self.canopus_normalized / self.direct_normalized
+    }
+}
+
+/// Run the Fig. 5 experiment for one dataset with the given estimator
+/// (the paper uses the mean estimator; the ablation re-runs this with
+/// barycentric).
+pub fn compression_comparison(
+    ds: &Dataset,
+    max_levels: u32,
+    rel_tolerance: f64,
+    estimator: Estimator,
+) -> Vec<Fig5Row> {
+    let tolerance = rel_tolerance * FieldStats::of(&ds.data).range().max(f64::MIN_POSITIVE);
+    let codec = ZfpLike::with_tolerance(tolerance);
+
+    // Build the deepest hierarchy once; shallower configurations reuse
+    // its prefix (decimation is deterministic, so level l is identical
+    // whatever N is).
+    let h = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels: max_levels,
+            per_level_ratio: 2.0,
+            estimator,
+        },
+    );
+    let raw_l0 = (ds.data.len() * 8) as f64;
+
+    let compressed_level: Vec<usize> = h
+        .levels
+        .iter()
+        .map(|l| codec.compress(&l.data).expect("finite data").len())
+        .collect();
+    let compressed_delta: Vec<usize> = h
+        .deltas
+        .iter()
+        .map(|d| codec.compress(d).expect("finite deltas").len())
+        .collect();
+
+    (1..=max_levels)
+        .map(|n| {
+            let direct: usize = compressed_level[..n as usize].iter().sum();
+            let canopus: usize = compressed_level[(n - 1) as usize]
+                + compressed_delta[..(n - 1) as usize].iter().sum::<usize>();
+            Fig5Row {
+                dataset: ds.name,
+                total_levels: n,
+                direct_normalized: direct as f64 / raw_l0,
+                canopus_normalized: canopus as f64 / raw_l0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::{cfd_dataset_sized, genasis_dataset_sized, xgc1_dataset_sized};
+
+    #[test]
+    fn one_level_is_identical_for_both() {
+        let ds = xgc1_dataset_sized(12, 60, 1);
+        let rows = compression_comparison(&ds, 3, 1e-4, Estimator::Mean);
+        assert_eq!(rows[0].total_levels, 1);
+        assert!(
+            (rows[0].direct_normalized - rows[0].canopus_normalized).abs() < 1e-12,
+            "with N=1 both store exactly compress(L0)"
+        );
+    }
+
+    #[test]
+    fn canopus_beats_direct_at_multiple_levels() {
+        // The Fig. 5 claim, on all three (reduced) datasets.
+        // Meshes must resolve the fields' features (blob width, shock
+        // thickness) or deltas legitimately carry full amplitude — the
+        // paper's meshes do resolve them.
+        for ds in [
+            xgc1_dataset_sized(32, 160, 2),
+            genasis_dataset_sized(40, 120, 2),
+            cfd_dataset_sized(45, 36, 2),
+        ] {
+            let rows = compression_comparison(&ds, 4, 1e-4, Estimator::Mean);
+            for row in &rows[1..] {
+                assert!(
+                    row.canopus_normalized < row.direct_normalized,
+                    "{} N={}: canopus {} !< direct {}",
+                    ds.name,
+                    row.total_levels,
+                    row.canopus_normalized,
+                    row.direct_normalized
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_sizes_grow_with_level_count() {
+        // More levels = more stored products = larger normalized size
+        // (the upward trend in every Fig. 5 panel).
+        let ds = xgc1_dataset_sized(12, 60, 3);
+        let rows = compression_comparison(&ds, 4, 1e-4, Estimator::Mean);
+        for pair in rows.windows(2) {
+            assert!(pair[1].direct_normalized > pair[0].direct_normalized);
+            assert!(pair[1].canopus_normalized >= pair[0].canopus_normalized * 0.99);
+        }
+    }
+
+    #[test]
+    fn improvement_is_positive_and_reported() {
+        let ds = genasis_dataset_sized(20, 60, 1);
+        let rows = compression_comparison(&ds, 3, 1e-4, Estimator::Mean);
+        let last = rows.last().unwrap();
+        assert!(last.improvement() > 0.0);
+        assert!(last.improvement() < 1.0);
+    }
+}

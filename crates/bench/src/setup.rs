@@ -1,0 +1,114 @@
+//! Shared experiment setup: dataset scaling and the Titan-like storage
+//! calibration.
+
+use canopus_data::Dataset;
+use canopus_storage::{StorageHierarchy, TierSpec};
+use std::sync::Arc;
+
+/// Run experiments at paper scale or a reduced quick scale (CI/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's mesh sizes (41k/130k/12.5k triangles).
+    Paper,
+    /// ~10x smaller, for fast iteration.
+    Quick,
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        match std::env::var("CANOPUS_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+}
+
+/// The three datasets at the requested scale.
+pub fn datasets(scale: Scale, seed: u64) -> Vec<Dataset> {
+    match scale {
+        Scale::Paper => canopus_data::all_datasets(seed),
+        Scale::Quick => canopus_data::all_datasets_small(seed),
+    }
+}
+
+pub fn xgc1(scale: Scale, seed: u64) -> Dataset {
+    match scale {
+        Scale::Paper => canopus_data::xgc1_dataset(seed),
+        Scale::Quick => canopus_data::xgc1_dataset_sized(16, 80, seed),
+    }
+}
+
+pub fn genasis(scale: Scale, seed: u64) -> Dataset {
+    match scale {
+        Scale::Paper => canopus_data::genasis_dataset(seed),
+        Scale::Quick => canopus_data::genasis_dataset_sized(24, 72, seed),
+    }
+}
+
+pub fn cfd(scale: Scale, seed: u64) -> Dataset {
+    match scale {
+        Scale::Paper => canopus_data::cfd_dataset(seed),
+        Scale::Quick => canopus_data::cfd_dataset_sized(30, 24, seed),
+    }
+}
+
+/// The paper's two-tier Titan testbed, calibrated so that — like on Titan
+/// — I/O from the parallel file system dominates the analysis pipeline:
+///
+/// * **tmpfs**: DRAM speeds, sized *proportionally* (paper §IV-B): the
+///   slice allocated to this variable is a quarter of its raw size, big
+///   enough for a compressed base dataset but far too small for the full
+///   raw data — so the "None" baseline necessarily lives on Lustre;
+/// * **lustre**: per-process effective bandwidth of a contended Titan-era
+///   Lustre share (hundreds of KB/s per process once thousands of
+///   processes share a handful of OSTs), with millisecond latency.
+pub fn titan_hierarchy(raw_bytes: u64) -> Arc<StorageHierarchy> {
+    let tmpfs_capacity = (raw_bytes / 4).max(4 * 1024);
+    Arc::new(StorageHierarchy::new(vec![
+        TierSpec::new("tmpfs", tmpfs_capacity, 2e9, 1.5e9, 2e-6),
+        TierSpec::new("lustre", 64 * raw_bytes.max(1 << 20), 0.12e6, 0.1e6, 5e-3),
+    ]))
+}
+
+/// Raster resolution used by all blob-detection experiments.
+pub const RASTER_SIZE: usize = 384;
+
+/// The paper's three blob-detector configurations
+/// (`<minThreshold, maxThreshold, minArea>`, §IV-D).
+pub const PAPER_CONFIGS: [(&str, u8, u8, usize); 3] = [
+    ("Config1", 10, 200, 100),
+    ("Config2", 150, 200, 100),
+    ("Config3", 10, 200, 200),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_are_smaller() {
+        let q = datasets(Scale::Quick, 1);
+        let p_sizes = [20_800usize, 65_251, 6_390]; // paper vertex counts
+        for (d, &p) in q.iter().zip(&p_sizes) {
+            assert!(d.len() < p / 3, "{} quick size {} vs paper {}", d.name, d.len(), p);
+        }
+    }
+
+    #[test]
+    fn titan_hierarchy_shape() {
+        let h = titan_hierarchy(1 << 20);
+        assert_eq!(h.num_tiers(), 2);
+        let tmpfs = h.tier_spec(0).unwrap();
+        let lustre = h.tier_spec(1).unwrap();
+        assert!(tmpfs.read_bandwidth / lustre.read_bandwidth > 100.0);
+        assert!(tmpfs.capacity < 1 << 20, "tmpfs must not hold raw data");
+        assert!(lustre.capacity > 1 << 22);
+    }
+
+    #[test]
+    fn paper_configs_match_section_4d() {
+        assert_eq!(PAPER_CONFIGS[0], ("Config1", 10, 200, 100));
+        assert_eq!(PAPER_CONFIGS[1], ("Config2", 150, 200, 100));
+        assert_eq!(PAPER_CONFIGS[2], ("Config3", 10, 200, 200));
+    }
+}

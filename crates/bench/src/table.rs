@@ -1,0 +1,86 @@
+//! Minimal aligned-column table rendering for the `repro` binary.
+
+/// Render `rows` under `headers` as an aligned plain-text table.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.2}s")
+    } else if t >= 1e-3 {
+        format!("{:.2}ms", t * 1e3)
+    } else {
+        format!("{:.1}us", t * 1e6)
+    }
+}
+
+/// Format a ratio/fraction.
+pub fn frac(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].contains("long-name"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(2.5e-6), "2.5us");
+        assert_eq!(frac(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,109 @@
+//! Tiny hand-rolled argument parser: positionals plus `--key value` /
+//! `--flag` options. No external dependency needed for seven subcommands.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv`; `flag_names` lists options that take no value.
+    pub fn parse(argv: &[String], flag_names: &[&str]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    out.options.insert(name.to_string(), value.clone());
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn pos(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    pub fn req(&self, name: &str) -> Result<&str, String> {
+        self.opt(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let a = Args::parse(
+            &argv(&["store", "f.bp", "--levels", "4", "--small", "var"]),
+            &["small"],
+        )
+        .unwrap();
+        assert_eq!(a.pos(0, "store").unwrap(), "store");
+        assert_eq!(a.pos(1, "file").unwrap(), "f.bp");
+        assert_eq!(a.pos(2, "var").unwrap(), "var");
+        assert_eq!(a.opt("levels"), Some("4"));
+        assert!(a.flag("small"));
+        assert!(!a.flag("big"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["--levels"]), &[]).is_err());
+    }
+
+    #[test]
+    fn opt_parse_defaults_and_validates() {
+        let a = Args::parse(&argv(&["--n", "7"]), &[]).unwrap();
+        assert_eq!(a.opt_parse("n", 1u32).unwrap(), 7);
+        assert_eq!(a.opt_parse("m", 3u32).unwrap(), 3);
+        let bad = Args::parse(&argv(&["--n", "x"]), &[]).unwrap();
+        assert!(bad.opt_parse::<u32>("n", 1).is_err());
+    }
+
+    #[test]
+    fn req_reports_missing() {
+        let a = Args::parse(&argv(&[]), &[]).unwrap();
+        assert!(a.req("mesh").is_err());
+        assert!(a.pos(0, "store").is_err());
+    }
+}

@@ -1,0 +1,507 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::store::{self, StoreConfig};
+use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig};
+use canopus_mesh::TriMesh;
+use canopus_refactor::levels::RefactorConfig;
+use std::path::Path;
+
+const USAGE: &str = "\
+usage: canopus <command> [args]
+
+commands:
+  init <store> [--tmpfs-bytes N] [--lustre-bytes N]
+      create a persistent two-tier store directory
+  demo-data <xgc1|genasis|cfd> --mesh m.off --data d.f64 [--seed S] [--small]
+      synthesize one of the paper's datasets to files
+  write <store> <file.bp> <var> --mesh m.off --data d.f64
+        [--levels N] [--chunks C] [--codec zfp|sz|fpc|raw] [--rel-tol T]
+      refactor + compress + place a variable into the store
+  info <store> <file.bp>
+      show the file's variables, blocks, codecs and tier placement
+  read <store> <file.bp> <var> [--level L] --out d.f64
+      restore a level (default 0 = full accuracy) to a raw f64 file
+  render <store> <file.bp> <var> [--level L] --out img.ppm [--size W]
+      rasterize a restored level to a PPM image
+  explore <store> <file.bp> <var> [--rms-threshold T]
+      progressive exploration: walk levels, print per-level cost + delta RMS
+  region <store> <file.bp> <var> --x0 X --y0 Y --x1 X --y1 Y --out d.f64
+      focused retrieval: refine one level inside a bounding box only
+  tiers <store>
+      show tier capacities and usage";
+
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    match cmd.as_str() {
+        "init" => cmd_init(rest),
+        "demo-data" => cmd_demo_data(rest),
+        "write" => cmd_write(rest),
+        "info" => cmd_info(rest),
+        "read" => cmd_read(rest),
+        "render" => cmd_render(rest),
+        "explore" => cmd_explore(rest),
+        "region" => cmd_region(rest),
+        "tiers" => cmd_tiers(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn load_mesh(path: &str) -> Result<TriMesh, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    canopus_mesh::io::read_off(file).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_f64(path: &str) -> Result<Vec<f64>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.len() % 8 != 0 {
+        return Err(format!("{path} is not a raw f64 file (length {} B)", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+fn save_f64(path: &str, data: &[f64]) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn canopus_for(store_dir: &str, config: CanopusConfig) -> Result<Canopus, String> {
+    let (hierarchy, _) = store::open(Path::new(store_dir))?;
+    Ok(Canopus::new(hierarchy, config))
+}
+
+fn cmd_init(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let dir = a.pos(0, "store directory")?;
+    let defaults = StoreConfig::default();
+    let cfg = StoreConfig {
+        tmpfs_bytes: a.opt_parse("tmpfs-bytes", defaults.tmpfs_bytes)?,
+        lustre_bytes: a.opt_parse("lustre-bytes", defaults.lustre_bytes)?,
+    };
+    store::init(Path::new(dir), cfg)?;
+    println!(
+        "initialized store at {dir} (tmpfs {} B, lustre {} B)",
+        cfg.tmpfs_bytes, cfg.lustre_bytes
+    );
+    Ok(())
+}
+
+fn cmd_demo_data(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["small"])?;
+    let which = a.pos(0, "dataset name (xgc1|genasis|cfd)")?;
+    let mesh_path = a.req("mesh")?;
+    let data_path = a.req("data")?;
+    let seed: u64 = a.opt_parse("seed", 42u64)?;
+    let small = a.flag("small");
+
+    let ds = match (which, small) {
+        ("xgc1", false) => canopus_data::xgc1_dataset(seed),
+        ("xgc1", true) => canopus_data::xgc1_dataset_sized(20, 100, seed),
+        ("genasis", false) => canopus_data::genasis_dataset(seed),
+        ("genasis", true) => canopus_data::genasis_dataset_sized(24, 72, seed),
+        ("cfd", false) => canopus_data::cfd_dataset(seed),
+        ("cfd", true) => canopus_data::cfd_dataset_sized(30, 24, seed),
+        (other, _) => return Err(format!("unknown dataset {other:?}")),
+    };
+    let mesh_file =
+        std::fs::File::create(mesh_path).map_err(|e| format!("creating {mesh_path}: {e}"))?;
+    canopus_mesh::io::write_off(&ds.mesh, mesh_file)
+        .map_err(|e| format!("writing {mesh_path}: {e}"))?;
+    save_f64(data_path, &ds.data)?;
+    println!(
+        "{}: {} vertices / {} triangles -> {mesh_path}, {data_path}",
+        ds.name,
+        ds.mesh.num_vertices(),
+        ds.mesh.num_triangles()
+    );
+    Ok(())
+}
+
+fn cmd_write(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let mesh = load_mesh(a.req("mesh")?)?;
+    let data = load_f64(a.req("data")?)?;
+    let levels: u32 = a.opt_parse("levels", 3u32)?;
+    let chunks: u32 = a.opt_parse("chunks", 1u32)?;
+    let rel_tol: f64 = a.opt_parse("rel-tol", 1e-4f64)?;
+    let codec = match a.opt("codec").unwrap_or("zfp") {
+        "zfp" => RelativeCodec::ZfpLike { rel_tolerance: rel_tol },
+        "sz" => RelativeCodec::SzLike { rel_error_bound: rel_tol },
+        "fpc" => RelativeCodec::Fpc,
+        "raw" => RelativeCodec::Raw,
+        other => return Err(format!("unknown codec {other:?}")),
+    };
+
+    let canopus = canopus_for(
+        store_dir,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: levels,
+                ..Default::default()
+            },
+            codec,
+            delta_chunks: chunks,
+            ..Default::default()
+        },
+    )?;
+    let report = canopus
+        .write(file, var, &mesh, &data)
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {var} to {file}: {} products, {} B stored (from {} B raw), simulated I/O {:.2} ms",
+        report.products.len(),
+        report.stored_data_bytes(),
+        data.len() * 8,
+        report.io_time.seconds() * 1e3,
+    );
+    for p in &report.products {
+        println!("  tier {}  {:>9} B  {}", p.tier, p.stored_bytes, p.key);
+    }
+    Ok(())
+}
+
+fn cmd_info(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let bp = canopus
+        .store()
+        .open(file)
+        .map_err(|e| format!("opening {file}: {e}"))?;
+    let meta = bp.meta();
+    println!("{}: {} accuracy levels", meta.name, meta.num_levels);
+    for var in &meta.vars {
+        println!("  variable {:?}: {} blocks", var.name, var.blocks.len());
+        for b in &var.blocks {
+            let tier = canopus
+                .hierarchy()
+                .find(&b.key)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|_| "?".into());
+            println!(
+                "    {:?} tier {} codec {} stored {} B raw {} B range [{:.3}, {:.3}]",
+                b.kind, tier, b.codec_id, b.stored_bytes, b.raw_bytes, b.min, b.max
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_read(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let level: u32 = a.opt_parse("level", 0u32)?;
+    let out = a.req("out")?;
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let outcome = reader
+        .read_level(var, level)
+        .map_err(|e| format!("read: {e}"))?;
+    save_f64(out, &outcome.data)?;
+    println!(
+        "restored {var} L{level}: {} values -> {out} (I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms)",
+        outcome.data.len(),
+        outcome.timing.io_secs * 1e3,
+        outcome.timing.decompress_secs * 1e3,
+        outcome.timing.restore_secs * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_render(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let level: u32 = a.opt_parse("level", 0u32)?;
+    let size: usize = a.opt_parse("size", 512usize)?;
+    let out = a.req("out")?;
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let outcome = reader
+        .read_level(var, level)
+        .map_err(|e| format!("read: {e}"))?;
+
+    let bounds = outcome.mesh.aabb();
+    let raster = canopus_analytics::raster::Raster::from_mesh(
+        &outcome.mesh,
+        &outcome.data,
+        size,
+        size,
+        bounds,
+    );
+    let (lo, hi) = raster
+        .value_range()
+        .ok_or_else(|| "raster is empty".to_string())?;
+    let img = canopus_analytics::render::render_field(&raster, lo, hi);
+    let mut f = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    img.write_ppm(&mut f).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("rendered {var} L{level} at {size}x{size} -> {out}");
+    Ok(())
+}
+
+fn cmd_explore(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let threshold: f64 = a.opt_parse("rms-threshold", 0.0f64)?;
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let mut prog = reader.progressive(var).map_err(|e| format!("progressive: {e}"))?;
+    println!(
+        "L{}: {} vertices (base), I/O {:.2} ms",
+        prog.level(),
+        prog.num_vertices(),
+        prog.last_timing().io_secs * 1e3
+    );
+    while !prog.at_full_accuracy() {
+        let step = prog.refine().map_err(|e| format!("refine: {e}"))?;
+        let rms = prog.last_delta_rms().unwrap_or(0.0);
+        println!(
+            "L{}: {} vertices, +{:.2} ms I/O, delta RMS {:.4}",
+            prog.level(),
+            prog.num_vertices(),
+            step.io_secs * 1e3,
+            rms
+        );
+        if threshold > 0.0 && rms < threshold {
+            println!("stopping: delta RMS fell below {threshold}");
+            break;
+        }
+    }
+    let total = prog.cumulative_timing();
+    println!(
+        "cumulative: I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms",
+        total.io_secs * 1e3,
+        total.decompress_secs * 1e3,
+        total.restore_secs * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_region(argv: &[String]) -> Result<(), String> {
+    use canopus_mesh::geometry::{Aabb, Point2};
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let x0: f64 = a.req("x0")?.parse().map_err(|_| "bad --x0".to_string())?;
+    let y0: f64 = a.req("y0")?.parse().map_err(|_| "bad --y0".to_string())?;
+    let x1: f64 = a.req("x1")?.parse().map_err(|_| "bad --x1".to_string())?;
+    let y1: f64 = a.req("y1")?.parse().map_err(|_| "bad --y1".to_string())?;
+    let out = a.req("out")?;
+    let window = Aabb::from_points([Point2::new(x0, y0), Point2::new(x1, y1)]);
+
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let base = reader.read_base(var).map_err(|e| format!("base: {e}"))?;
+    let (roi, stats) = reader
+        .refine_region(var, &base, window)
+        .map_err(|e| format!("region: {e}"))?;
+    save_f64(out, &roi.data)?;
+    println!(
+        "refined L{} -> L{} inside [{x0},{y0}]x[{x1},{y1}]: {}/{} chunks, {} B, {} of {} vertices level-exact -> {out}",
+        base.level,
+        roi.level,
+        stats.chunks_read,
+        stats.chunks_total,
+        stats.bytes_read,
+        stats.exact_vertices,
+        roi.data.len(),
+    );
+    Ok(())
+}
+
+fn cmd_tiers(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let (hierarchy, _) = store::open(Path::new(store_dir))?;
+    for t in 0..hierarchy.num_tiers() {
+        let spec = hierarchy.tier_spec(t).map_err(|e| e.to_string())?;
+        let dev = hierarchy.tier_device(t).map_err(|e| e.to_string())?;
+        println!(
+            "tier {t} {:<12} {:>12} / {:>12} B used ({} objects)",
+            spec.name,
+            dev.used(),
+            dev.capacity(),
+            dev.len()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("canopus_cmd_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn run(args: &[String]) -> Result<(), String> {
+        dispatch(args)
+    }
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmpdir("flow");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let out = dir.join("restored.f64");
+        let ppm = dir.join("img.ppm");
+        let (store, mesh, data, out, ppm) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            out.to_str().unwrap(),
+            ppm.to_str().unwrap(),
+        );
+
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data", "cfd", "--mesh", mesh, "--data", data, "--small", "--seed", "7",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data,
+            "--levels", "3", "--codec", "raw",
+        ]))
+        .unwrap();
+        run(&s(&["info", store, "p.bp"])).unwrap();
+        run(&s(&["tiers", store])).unwrap();
+        run(&s(&["read", store, "p.bp", "pressure", "--out", out])).unwrap();
+        run(&s(&["render", store, "p.bp", "pressure", "--out", ppm, "--size", "64"])).unwrap();
+
+        // Raw codec: the restored file matches the input exactly.
+        let orig = load_f64(data).unwrap();
+        let restored = load_f64(out).unwrap();
+        let max_err = orig
+            .iter()
+            .zip(&restored)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "CLI roundtrip err {max_err}");
+        assert!(std::fs::metadata(ppm).unwrap().len() > 1000);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_persists_across_reopen() {
+        let dir = tmpdir("persist");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let out = dir.join("o.f64");
+        let (store, mesh, data, out) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            out.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&["demo-data", "xgc1", "--mesh", mesh, "--data", data, "--small"])).unwrap();
+        run(&s(&[
+            "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data,
+        ]))
+        .unwrap();
+        // Separate "process": everything re-opened from disk.
+        run(&s(&["read", store, "x.bp", "dpot", "--level", "2", "--out", out])).unwrap();
+        let base = load_f64(out).unwrap();
+        let orig = load_f64(data).unwrap();
+        assert!(base.len() < orig.len() / 3, "level 2 is ~4x decimated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&s(&["write"])).is_err());
+        assert!(run(&s(&["read", "/nonexistent", "f.bp", "v", "--out", "/tmp/x"])).is_err());
+        assert!(run(&s(&["demo-data", "marsattacks", "--mesh", "/tmp/m", "--data", "/tmp/d"])).is_err());
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn explore_and_region_subcommands() {
+        let dir = tmpdir("explore");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let out = dir.join("roi.f64");
+        let (store, mesh, data, out) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            out.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&["demo-data", "xgc1", "--mesh", mesh, "--data", data, "--small"])).unwrap();
+        run(&s(&[
+            "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data,
+            "--levels", "3", "--chunks", "8",
+        ]))
+        .unwrap();
+        run(&s(&["explore", store, "x.bp", "dpot"])).unwrap();
+        run(&s(&[
+            "region", store, "x.bp", "dpot",
+            "--x0", "0.0", "--y0", "0.0", "--x1", "1.0", "--y1", "1.0",
+            "--out", out,
+        ]))
+        .unwrap();
+        assert!(std::fs::metadata(out).unwrap().len() > 0);
+        // Missing bbox option errors cleanly.
+        assert!(run(&s(&["region", store, "x.bp", "dpot", "--out", out])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_write_via_cli() {
+        let dir = tmpdir("chunks");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let (store, mesh, data) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&["demo-data", "genasis", "--mesh", mesh, "--data", data, "--small"])).unwrap();
+        run(&s(&[
+            "write", store, "g.bp", "b", "--mesh", mesh, "--data", data, "--chunks", "4",
+        ]))
+        .unwrap();
+        run(&s(&["info", store, "g.bp"])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

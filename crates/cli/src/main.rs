@@ -1,0 +1,32 @@
+//! `canopus` — command-line interface to the progressive data-management
+//! pipeline, over a persistent (directory-backed) two-tier store.
+//!
+//! ```text
+//! canopus init  <store> [--tmpfs-bytes N] [--lustre-bytes N]
+//! canopus demo-data <xgc1|genasis|cfd> --mesh m.off --data d.f64 [--seed S] [--small]
+//! canopus write <store> <file.bp> <var> --mesh m.off --data d.f64
+//!               [--levels N] [--chunks C] [--codec zfp|sz|fpc|raw] [--rel-tol T]
+//! canopus info  <store> <file.bp>
+//! canopus read  <store> <file.bp> <var> [--level L] --out d.f64
+//! canopus render <store> <file.bp> <var> [--level L] --out img.ppm [--size W]
+//! canopus tiers <store>
+//! ```
+//!
+//! Meshes are OFF text files; data files are raw little-endian f64.
+
+mod args;
+mod commands;
+mod store;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Persistent store handling: a directory with a small config file and one
+//! subdirectory per tier.
+
+use canopus_storage::{StorageHierarchy, TierSpec};
+use std::path::Path;
+use std::sync::Arc;
+
+const CONFIG_FILE: &str = "canopus-store.conf";
+
+/// Store configuration persisted at init time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    pub tmpfs_bytes: u64,
+    pub lustre_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            tmpfs_bytes: 16 << 20,   // 16 MiB fast tier
+            lustre_bytes: 1 << 30,   // 1 GiB slow tier
+        }
+    }
+}
+
+impl StoreConfig {
+    fn to_text(self) -> String {
+        format!(
+            "tmpfs_bytes={}\nlustre_bytes={}\n",
+            self.tmpfs_bytes, self.lustre_bytes
+        )
+    }
+
+    fn from_text(text: &str) -> Result<Self, String> {
+        let mut cfg = StoreConfig::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad config line: {line:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad number in config: {line:?}"))?;
+            match key.trim() {
+                "tmpfs_bytes" => cfg.tmpfs_bytes = value,
+                "lustre_bytes" => cfg.lustre_bytes = value,
+                other => return Err(format!("unknown config key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Create a new store directory with its config.
+pub fn init(dir: &Path, cfg: StoreConfig) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(CONFIG_FILE);
+    if path.exists() {
+        return Err(format!("store already initialized at {}", dir.display()));
+    }
+    std::fs::write(&path, cfg.to_text()).map_err(|e| format!("writing config: {e}"))?;
+    Ok(())
+}
+
+/// Open an existing store: parse the config, build the file-backed
+/// two-tier hierarchy.
+pub fn open(dir: &Path) -> Result<(Arc<StorageHierarchy>, StoreConfig), String> {
+    let path = dir.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{} is not a canopus store ({e}); run `canopus init` first", dir.display()))?;
+    let cfg = StoreConfig::from_text(&text)?;
+    let hierarchy = StorageHierarchy::file_backed(
+        vec![
+            TierSpec::tmpfs(cfg.tmpfs_bytes),
+            TierSpec::lustre(cfg.lustre_bytes),
+        ],
+        dir,
+    )
+    .map_err(|e| format!("opening tiers: {e}"))?;
+    Ok((Arc::new(hierarchy), cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("canopus_cli_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let cfg = StoreConfig {
+            tmpfs_bytes: 123,
+            lustre_bytes: 456,
+        };
+        assert_eq!(StoreConfig::from_text(&cfg.to_text()).unwrap(), cfg);
+        assert!(StoreConfig::from_text("nonsense").is_err());
+        assert!(StoreConfig::from_text("tmpfs_bytes=abc").is_err());
+        assert!(StoreConfig::from_text("weird_key=3").is_err());
+        // Comments and blanks are fine.
+        let cfg2 = StoreConfig::from_text("# hi\n\ntmpfs_bytes=9\n").unwrap();
+        assert_eq!(cfg2.tmpfs_bytes, 9);
+    }
+
+    #[test]
+    fn init_then_open() {
+        let dir = tmp("init");
+        let _ = std::fs::remove_dir_all(&dir);
+        init(&dir, StoreConfig::default()).unwrap();
+        // Double init refuses.
+        assert!(init(&dir, StoreConfig::default()).is_err());
+        let (h, cfg) = open(&dir).unwrap();
+        assert_eq!(h.num_tiers(), 2);
+        assert_eq!(cfg, StoreConfig::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_uninitialized_fails() {
+        let dir = tmp("noinit");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(open(&dir).is_err());
+    }
+}

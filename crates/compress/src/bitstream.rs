@@ -1,0 +1,238 @@
+//! Bit-granular stream writer/reader.
+//!
+//! The ZFP-like codec and the Huffman coder both need sub-byte output.
+//! Bits are packed LSB-first into little-endian u64 words, which keeps the
+//! hot `write_bits`/`read_bits` paths branch-light (at most one word
+//! boundary crossing per call).
+
+use crate::error::CodecError;
+
+/// Append-only bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Number of bits written so far.
+    len: usize,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len_bits(&self) -> usize {
+        self.len
+    }
+
+    /// Write a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        let word = self.len >> 6;
+        let off = self.len & 63;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Write the low `n` bits of `value` (LSB first). `n` may be 0..=64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let word = self.len >> 6;
+        let off = (self.len & 63) as u32;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        if off + n > 64 {
+            // Spill the high part into the next word.
+            self.words.push(value >> (64 - off));
+        }
+        self.len += n as usize;
+    }
+
+    /// Finish and return the packed little-endian bytes (padded with zero
+    /// bits to a whole byte).
+    pub fn into_bytes(self) -> Vec<u8> {
+        let nbytes = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(nbytes);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(nbytes);
+        out
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Read cursor in bits.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        if self.pos >= self.bytes.len() * 8 {
+            return Err(CodecError::Corrupt("bitstream exhausted".into()));
+        }
+        let byte = self.bytes[self.pos >> 3];
+        let bit = (byte >> (self.pos & 7)) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Read `n` bits (LSB first), `n <= 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return Err(CodecError::Corrupt(format!(
+                "bitstream exhausted reading {n} bits"
+            )));
+        }
+        let mut value = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.bytes[self.pos >> 3] as u64;
+            let off = (self.pos & 7) as u32;
+            let avail = 8 - off;
+            let take = avail.min(n - got);
+            let chunk = (byte >> off) & ((1u64 << take) - 1);
+            value |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(value)
+    }
+
+    /// Current cursor (bits from the start).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 0);
+        w.write_bits(7, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(3).unwrap(), 7);
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3FF, 10); // ends mid-byte
+        w.write_bits(0xABCDEF0123456789, 64); // crosses word boundary
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+        assert_eq!(r.read_bits(64).unwrap(), 0xABCDEF0123456789);
+    }
+
+    #[test]
+    fn values_are_masked_to_width() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits should land
+        w.write_bits(0x0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0x0F);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn remaining_and_position_track() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 32);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining_bits(), 27);
+    }
+
+    #[test]
+    fn empty_writer_yields_no_bytes() {
+        assert!(BitWriter::new().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn many_mixed_writes_roundtrip() {
+        // Stress word boundaries with a deterministic pattern.
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        let mut x: u64 = 0x12345;
+        for i in 0..1000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(144115188075855872);
+            let n = (i % 63) + 1;
+            let v = x & ((1u64 << n) - 1);
+            w.write_bits(v, n);
+            expect.push((v, n));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in expect {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+}

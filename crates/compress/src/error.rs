@@ -1,0 +1,40 @@
+//! Error type shared by all codecs.
+
+/// Failure while compressing or decompressing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The input stream is malformed or truncated.
+    Corrupt(String),
+    /// The codec was configured with an invalid parameter.
+    BadConfig(String),
+    /// Input values the codec cannot represent (NaN / infinity for the
+    /// lossy codecs, which have no bit-budget for specials).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+            CodecError::BadConfig(m) => write!(f, "bad codec config: {m}"),
+            CodecError::Unsupported(m) => write!(f, "unsupported input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::Corrupt("short".into());
+        assert!(e.to_string().contains("short"));
+        let e = CodecError::BadConfig("neg".into());
+        assert!(e.to_string().contains("neg"));
+        let e = CodecError::Unsupported("nan".into());
+        assert!(e.to_string().contains("nan"));
+    }
+}

@@ -1,0 +1,193 @@
+//! # canopus-compress
+//!
+//! Floating-point compression substrate for the Canopus reproduction.
+//!
+//! The paper compresses refactored data with ZFP ("As of 2016, Canopus has
+//! integrated ZFP"), and reports SZ and FPC integrations as in progress.
+//! None of those C libraries are assumed here — this crate reimplements the
+//! relevant algorithm families in pure Rust:
+//!
+//! * [`zfp_like`] — a fixed-accuracy block-transform bit-plane codec in the
+//!   ZFP family: per-block common exponent, reversible integer wavelet
+//!   (Haar S-transform) decorrelation, zigzag mapping, and embedded
+//!   bit-plane coding with group testing. Like ZFP, it rewards smooth
+//!   input with shorter streams — the property the paper's Fig. 5
+//!   ("Canopus as a pre-conditioner") depends on.
+//! * [`zfp2d`] — the 2-D (4×4 block) variant for raster data, with
+//!   row+column lifting and total-sequency coefficient ordering;
+//! * [`sz_like`] — an error-bounded prediction + quantization codec in the
+//!   SZ family: curve-fitting predictors, quantization-code table,
+//!   canonical Huffman coding, verbatim literals for unpredictable points.
+//! * [`fpc`] — the lossless FCM/DFCM predictor + leading-zero-byte codec of
+//!   Burtscher & Ratanaworabhan (the paper's lossless comparator);
+//! * [`parallel`] — a chunked adaptor running any codec concurrently
+//!   under rayon, for streams a single core cannot keep up with.
+//!
+//! All codecs implement the common [`Codec`] trait, guarantee their stated
+//! error bounds (`max |x - x'| <= tolerance`, or bit-exactness for FPC),
+//! and are deterministic.
+
+pub mod bitstream;
+pub mod error;
+pub mod fpc;
+pub mod parallel;
+pub mod stats;
+pub mod sz_like;
+pub mod zfp2d;
+pub mod zfp_like;
+
+pub use error::CodecError;
+pub use fpc::Fpc;
+pub use parallel::Chunked;
+pub use stats::CompressionStats;
+pub use sz_like::SzLike;
+pub use zfp2d::ZfpLike2d;
+pub use zfp_like::ZfpLike;
+
+/// A floating-point (de)compressor.
+///
+/// `compress` maps a slice of doubles to an opaque byte stream;
+/// `decompress` inverts it given the original element count (Canopus always
+/// knows the count from the ADIOS metadata, as real ZFP does from the field
+/// dimensions).
+pub trait Codec: Send + Sync {
+    /// Short stable identifier (used in metadata and reports).
+    fn name(&self) -> &'static str;
+
+    /// Compress `data` into a self-contained byte stream.
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError>;
+
+    /// Decompress a stream produced by [`Codec::compress`] back into
+    /// exactly `n` values.
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError>;
+
+    /// Whether decompression reproduces input bit-exactly.
+    fn is_lossless(&self) -> bool;
+
+    /// The guaranteed absolute error bound (`0.0` for lossless codecs).
+    fn error_bound(&self) -> f64;
+}
+
+/// Which codec to use, as plain data (for configs and metadata).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecKind {
+    /// ZFP-family fixed-accuracy codec with the given absolute tolerance.
+    ZfpLike { tolerance: f64 },
+    /// SZ-family error-bounded codec with the given absolute bound.
+    SzLike { error_bound: f64 },
+    /// Lossless FPC.
+    Fpc,
+    /// Store raw little-endian bytes (the "None" baseline of the paper's
+    /// Figs. 9–11).
+    Raw,
+}
+
+impl CodecKind {
+    /// Instantiate the codec.
+    pub fn build(&self) -> Box<dyn Codec> {
+        match *self {
+            CodecKind::ZfpLike { tolerance } => Box::new(ZfpLike::with_tolerance(tolerance)),
+            CodecKind::SzLike { error_bound } => Box::new(SzLike::with_error_bound(error_bound)),
+            CodecKind::Fpc => Box::new(Fpc::new()),
+            CodecKind::Raw => Box::new(RawCodec),
+        }
+    }
+
+    /// Stable identifier for serialization.
+    pub fn id(&self) -> u8 {
+        match self {
+            CodecKind::ZfpLike { .. } => 1,
+            CodecKind::SzLike { .. } => 2,
+            CodecKind::Fpc => 3,
+            CodecKind::Raw => 0,
+        }
+    }
+}
+
+/// Identity codec: raw little-endian f64 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        if bytes.len() != n * 8 {
+            return Err(CodecError::Corrupt(format!(
+                "raw stream is {} bytes, expected {}",
+                bytes.len(),
+                n * 8
+            )));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+
+    fn error_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let data = vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE, 1e300];
+        let c = RawCodec;
+        let bytes = c.compress(&data).unwrap();
+        assert_eq!(bytes.len(), data.len() * 8);
+        assert_eq!(c.decompress(&bytes, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn raw_rejects_wrong_length() {
+        let c = RawCodec;
+        assert!(c.decompress(&[0u8; 9], 1).is_err());
+    }
+
+    #[test]
+    fn kind_builds_matching_codec() {
+        assert_eq!(CodecKind::Raw.build().name(), "raw");
+        assert_eq!(
+            CodecKind::ZfpLike { tolerance: 1e-6 }.build().name(),
+            "zfp-like"
+        );
+        assert_eq!(
+            CodecKind::SzLike { error_bound: 1e-6 }.build().name(),
+            "sz-like"
+        );
+        assert_eq!(CodecKind::Fpc.build().name(), "fpc");
+    }
+
+    #[test]
+    fn kind_ids_are_distinct() {
+        let ids = [
+            CodecKind::Raw.id(),
+            CodecKind::ZfpLike { tolerance: 1.0 }.id(),
+            CodecKind::SzLike { error_bound: 1.0 }.id(),
+            CodecKind::Fpc.id(),
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

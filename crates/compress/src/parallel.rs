@@ -1,0 +1,218 @@
+//! Parallel chunked compression.
+//!
+//! The sequential codecs process one bit stream; at the paper's "1 PB per
+//! day" scale a single core cannot keep up. [`Chunked`] wraps any
+//! [`Codec`]: the input splits into fixed-element chunks, chunks compress
+//! concurrently under rayon, and a small offset table glues the pieces
+//! into one self-contained stream. Decompression parallelizes the same
+//! way. Error bounds are inherited unchanged (each chunk honors the inner
+//! codec's bound independently).
+
+use crate::error::CodecError;
+use crate::Codec;
+use rayon::prelude::*;
+
+const STREAM_MAGIC: u8 = 0xC6;
+const STREAM_VERSION: u8 = 1;
+
+/// A codec adaptor that (de)compresses fixed-size chunks in parallel.
+pub struct Chunked<C: Codec> {
+    inner: C,
+    chunk_elems: usize,
+}
+
+impl<C: Codec> Chunked<C> {
+    /// Wrap `inner`, processing `chunk_elems` values per parallel task.
+    ///
+    /// # Panics
+    /// Panics if `chunk_elems` is 0.
+    pub fn new(inner: C, chunk_elems: usize) -> Self {
+        assert!(chunk_elems > 0, "chunks need at least one element");
+        Self { inner, chunk_elems }
+    }
+
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Codec> Codec for Chunked<C> {
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
+        let chunks: Vec<Vec<u8>> = data
+            .par_chunks(self.chunk_elems)
+            .map(|chunk| self.inner.compress(chunk))
+            .collect::<Result<_, _>>()?;
+
+        // Header: magic, version, chunk_elems, chunk count, then chunk
+        // byte lengths, then the concatenated payloads.
+        let mut out = Vec::with_capacity(
+            18 + chunks.len() * 8 + chunks.iter().map(Vec::len).sum::<usize>(),
+        );
+        out.push(STREAM_MAGIC);
+        out.push(STREAM_VERSION);
+        out.extend_from_slice(&(self.chunk_elems as u64).to_le_bytes());
+        out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
+        for c in &chunks {
+            out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        }
+        for c in &chunks {
+            out.extend_from_slice(c);
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        let fail = |m: &str| CodecError::Corrupt(format!("chunked stream: {m}"));
+        if bytes.len() < 18 {
+            return Err(fail("too short"));
+        }
+        if bytes[0] != STREAM_MAGIC {
+            return Err(fail("bad magic"));
+        }
+        if bytes[1] != STREAM_VERSION {
+            return Err(fail("bad version"));
+        }
+        let chunk_elems =
+            u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")) as usize;
+        let num_chunks =
+            u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes")) as usize;
+        if chunk_elems == 0 {
+            return Err(fail("zero chunk size"));
+        }
+        if num_chunks != n.div_ceil(chunk_elems) {
+            return Err(fail("chunk count does not match element count"));
+        }
+        let table_end = 18 + num_chunks * 8;
+        if bytes.len() < table_end {
+            return Err(fail("offset table truncated"));
+        }
+        let mut spans = Vec::with_capacity(num_chunks);
+        let mut cursor = table_end;
+        for i in 0..num_chunks {
+            let len = u64::from_le_bytes(
+                bytes[18 + i * 8..26 + i * 8].try_into().expect("8 bytes"),
+            ) as usize;
+            if cursor + len > bytes.len() {
+                return Err(fail("payload truncated"));
+            }
+            spans.push((cursor, len));
+            cursor += len;
+        }
+
+        let pieces: Vec<Vec<f64>> = spans
+            .par_iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                let elems = if i + 1 == num_chunks {
+                    n - i * chunk_elems
+                } else {
+                    chunk_elems
+                };
+                self.inner.decompress(&bytes[start..start + len], elems)
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = Vec::with_capacity(n);
+        for p in pieces {
+            out.extend(p);
+        }
+        Ok(out)
+    }
+
+    fn is_lossless(&self) -> bool {
+        self.inner.is_lossless()
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.inner.error_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fpc, ZfpLike};
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.01).sin() * 40.0).collect()
+    }
+
+    #[test]
+    fn chunked_zfp_roundtrip_respects_bound() {
+        let data = wave(10_000);
+        for chunk in [100, 1000, 4096, 50_000] {
+            let codec = Chunked::new(ZfpLike::with_tolerance(1e-6), chunk);
+            let bytes = codec.compress(&data).unwrap();
+            let back = codec.decompress(&bytes, data.len()).unwrap();
+            let err = data
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err <= 1e-6, "chunk {chunk}: err {err}");
+        }
+    }
+
+    #[test]
+    fn chunked_lossless_is_bit_exact() {
+        let data = wave(5000);
+        let codec = Chunked::new(Fpc::new(), 777);
+        assert!(codec.is_lossless());
+        let back = codec
+            .decompress(&codec.compress(&data).unwrap(), data.len())
+            .unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_output_matches_sequential_sizes_closely() {
+        // Per-chunk overhead is bounded: total size stays within a few
+        // percent of the monolithic stream.
+        let data = wave(50_000);
+        let seq = ZfpLike::with_tolerance(1e-6).compress(&data).unwrap();
+        let par = Chunked::new(ZfpLike::with_tolerance(1e-6), 8192)
+            .compress(&data)
+            .unwrap();
+        assert!(
+            (par.len() as f64) < 1.05 * seq.len() as f64,
+            "chunked {} vs sequential {}",
+            par.len(),
+            seq.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_partial_inputs() {
+        let codec = Chunked::new(ZfpLike::with_tolerance(1e-6), 64);
+        let empty = codec.compress(&[]).unwrap();
+        assert_eq!(codec.decompress(&empty, 0).unwrap(), Vec::<f64>::new());
+        let data = wave(65); // one full + one single-element chunk
+        let back = codec
+            .decompress(&codec.compress(&data).unwrap(), 65)
+            .unwrap();
+        assert_eq!(back.len(), 65);
+    }
+
+    #[test]
+    fn rejects_corruption_and_mismatch() {
+        let codec = Chunked::new(ZfpLike::with_tolerance(1e-6), 64);
+        let data = wave(500);
+        let bytes = codec.compress(&data).unwrap();
+        assert!(codec.decompress(&bytes, 400).is_err(), "wrong n");
+        assert!(codec.decompress(&bytes[..20], 500).is_err(), "truncated");
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert!(codec.decompress(&bad, 500).is_err(), "bad magic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_zero_chunk() {
+        let _ = Chunked::new(Fpc::new(), 0);
+    }
+}

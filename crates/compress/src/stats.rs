@@ -1,0 +1,108 @@
+//! Compression measurement helpers used by the Fig. 5 experiments.
+
+use crate::{Codec, CodecError};
+
+/// Outcome of compressing one buffer: sizes, ratio, and the realized
+/// maximum error (for lossy codecs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    pub original_bytes: usize,
+    pub compressed_bytes: usize,
+    pub max_error: f64,
+}
+
+impl CompressionStats {
+    /// `original / compressed` — "3x" style reduction ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.original_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// `compressed / original` — the "normalized size" axis of the paper's
+    /// Fig. 5.
+    pub fn normalized_size(&self) -> f64 {
+        if self.original_bytes == 0 {
+            return 0.0;
+        }
+        self.compressed_bytes as f64 / self.original_bytes as f64
+    }
+}
+
+/// Compress + decompress `data` through `codec`, measuring sizes and the
+/// realized max error, and verifying the codec's stated bound.
+pub fn measure(codec: &dyn Codec, data: &[f64]) -> Result<CompressionStats, CodecError> {
+    let bytes = codec.compress(data)?;
+    let back = codec.decompress(&bytes, data.len())?;
+    let max_error = data
+        .iter()
+        .zip(&back)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    debug_assert!(
+        codec.is_lossless() && max_error == 0.0
+            || !codec.is_lossless() && max_error <= codec.error_bound(),
+        "codec {} violated its error bound: {} > {}",
+        codec.name(),
+        max_error,
+        codec.error_bound()
+    );
+    Ok(CompressionStats {
+        original_bytes: data.len() * 8,
+        compressed_bytes: bytes.len(),
+        max_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fpc, RawCodec, ZfpLike};
+
+    #[test]
+    fn ratio_and_normalized_size() {
+        let s = CompressionStats {
+            original_bytes: 800,
+            compressed_bytes: 200,
+            max_error: 0.0,
+        };
+        assert!((s.ratio() - 4.0).abs() < 1e-12);
+        assert!((s.normalized_size() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let s = CompressionStats {
+            original_bytes: 0,
+            compressed_bytes: 0,
+            max_error: 0.0,
+        };
+        assert_eq!(s.normalized_size(), 0.0);
+        assert!(s.ratio().is_infinite());
+    }
+
+    #[test]
+    fn measure_raw_is_identity() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let s = measure(&RawCodec, &data).unwrap();
+        assert_eq!(s.original_bytes, 800);
+        assert_eq!(s.compressed_bytes, 800);
+        assert_eq!(s.max_error, 0.0);
+    }
+
+    #[test]
+    fn measure_lossless_fpc() {
+        let data: Vec<f64> = (0..512).map(|i| (i as f64).sqrt()).collect();
+        let s = measure(&Fpc::new(), &data).unwrap();
+        assert_eq!(s.max_error, 0.0);
+    }
+
+    #[test]
+    fn measure_zfp_reports_error_within_bound() {
+        let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.1).sin()).collect();
+        let s = measure(&ZfpLike::with_tolerance(1e-4), &data).unwrap();
+        assert!(s.max_error <= 1e-4);
+        assert!(s.compressed_bytes < s.original_bytes);
+    }
+}

@@ -1,0 +1,600 @@
+//! An error-bounded prediction + quantization codec in the SZ family.
+//!
+//! SZ (Di & Cappello, IPDPS 2016) compresses each value by predicting it
+//! from already-decompressed neighbors, quantizing the residual against the
+//! user's absolute error bound into a small integer code, and entropy
+//! coding the codes. Values whose residual exceeds the quantization range
+//! are stored verbatim ("unpredictable"). Prediction always runs on
+//! *decompressed* history, so errors never accumulate and the bound
+//! `max |x - x'| <= error_bound` holds pointwise.
+//!
+//! This implementation uses the 1-D Lorenzo predictor (previous
+//! decompressed value), a 2^16-code quantization table and canonical
+//! Huffman coding — the same architecture as SZ 1.4 restricted to one
+//! dimension, which is what Canopus feeds it (vertex-ordered mesh data).
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::CodecError;
+use crate::Codec;
+
+/// Quantization radius: codes live in `[1, 2*RADIUS - 1]`, code 0 marks an
+/// unpredictable (verbatim) value.
+const RADIUS: i64 = 32768;
+const STREAM_MAGIC: u8 = 0xC3;
+const STREAM_VERSION: u8 = 1;
+
+/// The SZ-like error-bounded codec. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct SzLike {
+    error_bound: f64,
+}
+
+impl SzLike {
+    /// Create a codec guaranteeing `max |x - x'| <= error_bound`.
+    ///
+    /// # Panics
+    /// Panics if `error_bound` is not a finite positive number.
+    pub fn with_error_bound(error_bound: f64) -> Self {
+        assert!(
+            error_bound.is_finite() && error_bound > 0.0,
+            "SzLike requires a finite positive error bound, got {error_bound}"
+        );
+        Self { error_bound }
+    }
+
+    pub fn error_bound_value(&self) -> f64 {
+        self.error_bound
+    }
+}
+
+impl Codec for SzLike {
+    fn name(&self) -> &'static str {
+        "sz-like"
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
+        let eb = self.error_bound;
+        let two_eb = 2.0 * eb;
+        let mut codes: Vec<u32> = Vec::with_capacity(data.len());
+        let mut literals: Vec<f64> = Vec::new();
+        let mut prev = 0.0f64; // decompressed history
+
+        for &x in data {
+            let t = (x - prev) / two_eb;
+            let q = if t.is_finite() { t.round() } else { f64::NAN };
+            let mut unpredictable = true;
+            if q.is_finite() && q.abs() < RADIUS as f64 {
+                let qi = q as i64;
+                let recon = prev + two_eb * qi as f64;
+                // Guard against catastrophic cancellation: accept the code
+                // only if the reconstruction actually honors the bound.
+                if recon.is_finite() && (x - recon).abs() <= eb {
+                    codes.push((qi + RADIUS) as u32);
+                    prev = recon;
+                    unpredictable = false;
+                }
+            }
+            if unpredictable {
+                codes.push(0);
+                literals.push(x);
+                prev = x;
+            }
+        }
+
+        // --- entropy-code the quantization codes ---
+        let huff = Huffman::from_symbols(&codes);
+        let mut payload = BitWriter::new();
+        for &c in &codes {
+            huff.encode(c, &mut payload);
+        }
+        let payload = payload.into_bytes();
+
+        // --- assemble the container ---
+        let mut out = Vec::with_capacity(payload.len() + literals.len() * 8 + 64);
+        out.push(STREAM_MAGIC);
+        out.push(STREAM_VERSION);
+        out.extend_from_slice(&eb.to_le_bytes());
+        huff.serialize_table(&mut out);
+        out.extend_from_slice(&(literals.len() as u32).to_le_bytes());
+        for lit in &literals {
+            out.extend_from_slice(&lit.to_le_bytes());
+        }
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, len: usize| -> Result<&[u8], CodecError> {
+            if *pos + len > bytes.len() {
+                return Err(CodecError::Corrupt("sz-like stream truncated".into()));
+            }
+            let s = &bytes[*pos..*pos + len];
+            *pos += len;
+            Ok(s)
+        };
+
+        let magic = take(&mut pos, 1)?[0];
+        if magic != STREAM_MAGIC {
+            return Err(CodecError::Corrupt("bad sz-like magic".into()));
+        }
+        let version = take(&mut pos, 1)?[0];
+        if version != STREAM_VERSION {
+            return Err(CodecError::Corrupt(format!(
+                "unsupported sz-like version {version}"
+            )));
+        }
+        let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CodecError::Corrupt("bad error bound in stream".into()));
+        }
+        let two_eb = 2.0 * eb;
+
+        let huff = Huffman::deserialize_table(bytes, &mut pos)?;
+        let lit_count =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        // Validate against the remaining stream before allocating, so a
+        // corrupted count cannot demand gigabytes.
+        if lit_count.saturating_mul(8) > bytes.len() - pos {
+            return Err(CodecError::Corrupt(format!(
+                "literal count {lit_count} exceeds stream size"
+            )));
+        }
+        let mut literals = Vec::with_capacity(lit_count);
+        for _ in 0..lit_count {
+            literals.push(f64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("8 bytes"),
+            ));
+        }
+        let payload_len =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        let payload = take(&mut pos, payload_len)?;
+
+        let mut reader = BitReader::new(payload);
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0.0f64;
+        let mut lit_iter = literals.into_iter();
+        for _ in 0..n {
+            let code = huff.decode(&mut reader)?;
+            let x = if code == 0 {
+                lit_iter
+                    .next()
+                    .ok_or_else(|| CodecError::Corrupt("missing literal".into()))?
+            } else {
+                let qi = code as i64 - RADIUS;
+                prev + two_eb * qi as f64
+            };
+            out.push(x);
+            prev = x;
+        }
+        Ok(out)
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman coding over u32 symbols.
+// ---------------------------------------------------------------------------
+
+/// Canonical Huffman code: symbols sorted by (length, symbol) receive
+/// consecutive codes. Only `(symbol, length)` pairs are serialized; both
+/// sides rebuild identical codebooks.
+struct Huffman {
+    /// Sorted unique symbols with their code lengths.
+    entries: Vec<(u32, u8)>,
+    /// Encoder map: symbol -> (code, length). Codes are MSB-first.
+    enc: std::collections::HashMap<u32, (u64, u8)>,
+    /// Decoder tables per length: first code value and index of first
+    /// symbol of that length in `sorted_symbols`.
+    first_code: [u64; 65],
+    first_index: [usize; 65],
+    count_per_len: [usize; 65],
+    sorted_symbols: Vec<u32>,
+}
+
+impl Huffman {
+    /// Build from the raw symbol stream (frequencies are counted here).
+    fn from_symbols(symbols: &[u32]) -> Self {
+        use std::collections::HashMap;
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        for &s in symbols {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+        let lengths = huffman_code_lengths(&freq);
+        Self::from_lengths(lengths)
+    }
+
+    fn from_lengths(mut lengths: Vec<(u32, u8)>) -> Self {
+        // Canonical order: by (length, symbol).
+        lengths.sort_unstable_by_key(|&(sym, len)| (len, sym));
+
+        let mut count_per_len = [0usize; 65];
+        for &(_, len) in &lengths {
+            count_per_len[len as usize] += 1;
+        }
+        // Kraft-consistent canonical first codes.
+        let mut first_code = [0u64; 65];
+        let mut code = 0u64;
+        for len in 1..=64usize {
+            code <<= 1;
+            first_code[len] = code;
+            code += count_per_len[len] as u64;
+        }
+        let mut first_index = [0usize; 65];
+        let mut idx = 0usize;
+        for len in 1..=64usize {
+            first_index[len] = idx;
+            idx += count_per_len[len];
+        }
+
+        let sorted_symbols: Vec<u32> = lengths.iter().map(|&(s, _)| s).collect();
+        let mut enc = std::collections::HashMap::with_capacity(lengths.len());
+        {
+            let mut next = first_code;
+            for &(sym, len) in &lengths {
+                enc.insert(sym, (next[len as usize], len));
+                next[len as usize] += 1;
+            }
+        }
+
+        Self {
+            entries: lengths,
+            enc,
+            first_code,
+            first_index,
+            count_per_len,
+            sorted_symbols,
+        }
+    }
+
+    fn encode(&self, symbol: u32, w: &mut BitWriter) {
+        let &(code, len) = self
+            .enc
+            .get(&symbol)
+            .expect("symbol was present when the codebook was built");
+        // Emit MSB-first so canonical prefix decoding works.
+        for i in (0..len).rev() {
+            w.write_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        if self.entries.is_empty() {
+            return Err(CodecError::Corrupt("empty huffman codebook".into()));
+        }
+        let mut code = 0u64;
+        for len in 1..=64usize {
+            code = (code << 1) | (r.read_bit()? as u64);
+            let cnt = self.count_per_len[len];
+            if cnt > 0 {
+                let first = self.first_code[len];
+                if code >= first && code < first + cnt as u64 {
+                    let idx = self.first_index[len] + (code - first) as usize;
+                    return Ok(self.sorted_symbols[idx]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("invalid huffman code".into()))
+    }
+
+    fn serialize_table(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for &(sym, len) in &self.entries {
+            out.extend_from_slice(&sym.to_le_bytes());
+            out.push(len);
+        }
+    }
+
+    fn deserialize_table(bytes: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        if *pos + 4 > bytes.len() {
+            return Err(CodecError::Corrupt("huffman table truncated".into()));
+        }
+        let count =
+            u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+        *pos += 4;
+        if *pos + count * 5 > bytes.len() {
+            return Err(CodecError::Corrupt("huffman table truncated".into()));
+        }
+        let mut lengths = Vec::with_capacity(count);
+        for _ in 0..count {
+            let sym = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+            let len = bytes[*pos + 4];
+            if len == 0 || len > 64 {
+                return Err(CodecError::Corrupt(format!("bad code length {len}")));
+            }
+            lengths.push((sym, len));
+            *pos += 5;
+        }
+        // Kraft check so corrupt tables cannot send the decoder spinning.
+        let kraft: f64 = lengths
+            .iter()
+            .map(|&(_, len)| f64::powi(2.0, -(len as i32)))
+            .sum();
+        if count > 1 && kraft > 1.0 + 1e-9 {
+            return Err(CodecError::Corrupt("huffman table violates Kraft".into()));
+        }
+        Ok(Self::from_lengths(lengths))
+    }
+}
+
+/// Package-merge-free Huffman code length computation via the standard
+/// two-queue/heap algorithm. Returns `(symbol, code_length)` pairs.
+fn huffman_code_lengths(freq: &std::collections::HashMap<u32, u64>) -> Vec<(u32, u8)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if freq.is_empty() {
+        return Vec::new();
+    }
+    if freq.len() == 1 {
+        // A single symbol still needs one bit on the wire.
+        return vec![(*freq.keys().next().expect("len 1"), 1)];
+    }
+
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on creation order for determinism.
+        order: u64,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.weight, self.order).cmp(&(other.weight, other.order))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut symbols: Vec<(u32, u64)> = freq.iter().map(|(&s, &f)| (s, f)).collect();
+    symbols.sort_unstable();
+
+    let mut order = 0u64;
+    let mut heap: BinaryHeap<Reverse<Node>> = symbols
+        .into_iter()
+        .map(|(s, f)| {
+            order += 1;
+            Reverse(Node {
+                weight: f,
+                order,
+                kind: NodeKind::Leaf(s),
+            })
+        })
+        .collect();
+
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1").0;
+        let b = heap.pop().expect("len > 1").0;
+        order += 1;
+        heap.push(Reverse(Node {
+            weight: a.weight + b.weight,
+            order,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        }));
+    }
+    let root = heap.pop().expect("non-empty").0;
+
+    let mut lengths = Vec::with_capacity(freq.len());
+    // Iterative DFS to avoid recursion depth issues on degenerate trees.
+    let mut stack: Vec<(Node, u8)> = vec![(root, 0)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(sym) => lengths.push((sym, depth.max(1))),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, scale: f64, seed: u64) -> Vec<f64> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        for &eb in &[1e-1, 1e-3, 1e-6, 1e-9] {
+            let data = noise(2000, 10.0, 5);
+            let codec = SzLike::with_error_bound(eb);
+            let back = codec
+                .decompress(&codec.compress(&data).unwrap(), data.len())
+                .unwrap();
+            assert_eq!(back.len(), data.len());
+            assert!(max_err(&data, &back) <= eb, "bound {eb} violated");
+        }
+    }
+
+    #[test]
+    fn smooth_beats_noise() {
+        let n = 8192;
+        let smooth: Vec<f64> = (0..n).map(|i| (i as f64 * 0.002).sin() * 5.0).collect();
+        let rough = noise(n, 5.0, 3);
+        let codec = SzLike::with_error_bound(1e-4);
+        let s = codec.compress(&smooth).unwrap().len();
+        let r = codec.compress(&rough).unwrap().len();
+        assert!((s as f64) < 0.8 * r as f64, "smooth {s} vs rough {r}");
+    }
+
+    #[test]
+    fn wild_data_goes_to_literals_and_roundtrips() {
+        let data = vec![0.0, 1e300, -1e300, 1e-300, 5.0, 1e250];
+        let codec = SzLike::with_error_bound(1e-6);
+        let back = codec
+            .decompress(&codec.compress(&data).unwrap(), data.len())
+            .unwrap();
+        assert!(max_err(&data, &back) <= 1e-6);
+    }
+
+    #[test]
+    fn non_finite_values_roundtrip_via_literals() {
+        let data = vec![1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY, 3.0];
+        let codec = SzLike::with_error_bound(1e-3);
+        let back = codec
+            .decompress(&codec.compress(&data).unwrap(), data.len())
+            .unwrap();
+        assert_eq!(back[1], f64::INFINITY);
+        assert_eq!(back[3], f64::NEG_INFINITY);
+        assert!((back[4] - 3.0).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let codec = SzLike::with_error_bound(1e-6);
+        let b = codec.compress(&[]).unwrap();
+        assert_eq!(codec.decompress(&b, 0).unwrap(), Vec::<f64>::new());
+        let b = codec.compress(&[42.0]).unwrap();
+        let back = codec.decompress(&b, 1).unwrap();
+        assert!((back[0] - 42.0).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn constant_data_is_tiny() {
+        let data = vec![3.25; 10_000];
+        let codec = SzLike::with_error_bound(1e-6);
+        let bytes = codec.compress(&data).unwrap();
+        assert!(bytes.len() < 2000, "constant run should be ~1 bit/value");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive error bound")]
+    fn rejects_bad_bound() {
+        let _ = SzLike::with_error_bound(-1.0);
+    }
+
+    #[test]
+    fn rejects_corrupt_stream() {
+        let codec = SzLike::with_error_bound(1e-6);
+        let data = noise(100, 1.0, 9);
+        let mut bytes = codec.compress(&data).unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(codec.decompress(&bytes, 100).is_err());
+        let bytes2 = codec.compress(&data).unwrap();
+        assert!(codec.decompress(&bytes2[..10], 100).is_err());
+    }
+
+    #[test]
+    fn decode_honors_stream_bound_not_config() {
+        let data = noise(500, 1.0, 1);
+        let enc = SzLike::with_error_bound(1e-8);
+        let bytes = enc.compress(&data).unwrap();
+        let dec = SzLike::with_error_bound(1.0);
+        let back = dec.decompress(&bytes, data.len()).unwrap();
+        assert!(max_err(&data, &back) <= 1e-8);
+    }
+
+    // --- Huffman unit tests ---
+
+    #[test]
+    fn huffman_roundtrip_skewed() {
+        let mut symbols = vec![7u32; 1000];
+        symbols.extend(vec![3u32; 100]);
+        symbols.extend(vec![9u32; 10]);
+        symbols.push(100_000);
+        let h = Huffman::from_symbols(&symbols);
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(h.decode(&mut r).unwrap(), s);
+        }
+        // The dominant symbol should get a 1-bit code.
+        assert!(bytes.len() < symbols.len() / 4);
+    }
+
+    #[test]
+    fn huffman_single_symbol() {
+        let symbols = vec![5u32; 64];
+        let h = Huffman::from_symbols(&symbols);
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 8); // 64 one-bit codes
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..64 {
+            assert_eq!(h.decode(&mut r).unwrap(), 5);
+        }
+    }
+
+    #[test]
+    fn huffman_table_roundtrip() {
+        let symbols: Vec<u32> = (0..64u32).flat_map(|s| vec![s; (s + 1) as usize]).collect();
+        let h = Huffman::from_symbols(&symbols);
+        let mut buf = Vec::new();
+        h.serialize_table(&mut buf);
+        let mut pos = 0usize;
+        let h2 = Huffman::deserialize_table(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(h2.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn huffman_rejects_bad_table() {
+        // Kraft-violating table: three symbols of length 1.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        for s in 0..3u32 {
+            buf.extend_from_slice(&s.to_le_bytes());
+            buf.push(1);
+        }
+        let mut pos = 0;
+        assert!(Huffman::deserialize_table(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn huffman_deterministic() {
+        let symbols = vec![1u32, 2, 2, 3, 3, 3, 4, 4, 4, 4];
+        let h1 = Huffman::from_symbols(&symbols);
+        let h2 = Huffman::from_symbols(&symbols);
+        assert_eq!(h1.entries, h2.entries);
+    }
+}

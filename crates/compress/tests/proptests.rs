@@ -1,0 +1,130 @@
+//! Property-based tests for the compression substrate.
+
+use canopus_compress::{Codec, CodecKind, Fpc, RawCodec, SzLike, ZfpLike};
+use proptest::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Finite doubles at "physics" magnitudes (what Canopus actually sees).
+fn arb_field() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 0..300)
+}
+
+/// Arbitrary finite doubles including extremes.
+fn arb_wild() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-1e6f64..1e6),
+            (-1e-300f64..1e-300),
+            (-1e300f64..1e300),
+            Just(0.0f64),
+            Just(-0.0f64),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// ZFP-like honors its tolerance for every input and tolerance.
+    #[test]
+    fn zfp_like_bound_holds(data in arb_field(), tol_exp in -9i32..-1) {
+        let tol = 10f64.powi(tol_exp);
+        let codec = ZfpLike::with_tolerance(tol);
+        let bytes = codec.compress(&data).unwrap();
+        let back = codec.decompress(&bytes, data.len()).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        prop_assert!(max_err(&data, &back) <= tol);
+    }
+
+    /// ZFP-like also copes with extreme magnitudes.
+    #[test]
+    fn zfp_like_wild_magnitudes(data in arb_wild()) {
+        let tol = 1e-3;
+        let codec = ZfpLike::with_tolerance(tol);
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        prop_assert!(max_err(&data, &back) <= tol);
+    }
+
+    /// SZ-like honors its error bound for every input.
+    #[test]
+    fn sz_like_bound_holds(data in arb_field(), eb_exp in -9i32..-1) {
+        let eb = 10f64.powi(eb_exp);
+        let codec = SzLike::with_error_bound(eb);
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        prop_assert!(max_err(&data, &back) <= eb);
+    }
+
+    /// SZ-like is exact-ish on wild magnitudes too (literal fallback).
+    #[test]
+    fn sz_like_wild_magnitudes(data in arb_wild()) {
+        let eb = 1e-6;
+        let codec = SzLike::with_error_bound(eb);
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        prop_assert!(max_err(&data, &back) <= eb);
+    }
+
+    /// FPC round-trips bit-exactly on arbitrary bit patterns (including
+    /// NaNs reconstructed from raw u64 bits).
+    #[test]
+    fn fpc_bit_exact(bits in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let data: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let codec = Fpc::new();
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        let a: Vec<u64> = data.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = back.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Raw codec is the identity.
+    #[test]
+    fn raw_identity(data in arb_wild()) {
+        let codec = RawCodec;
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        prop_assert_eq!(
+            data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Every codec built through CodecKind decompresses its own output.
+    #[test]
+    fn codec_kind_roundtrip(data in arb_field(), which in 0u8..4) {
+        let kind = match which {
+            0 => CodecKind::Raw,
+            1 => CodecKind::ZfpLike { tolerance: 1e-4 },
+            2 => CodecKind::SzLike { error_bound: 1e-4 },
+            _ => CodecKind::Fpc,
+        };
+        let codec = kind.build();
+        let back = codec.decompress(&codec.compress(&data).unwrap(), data.len()).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        prop_assert!(max_err(&data, &back) <= codec.error_bound().max(0.0));
+    }
+
+    /// Truncated lossy streams never panic — they error or (for aligned
+    /// cuts that leave whole blocks) still satisfy what they decode.
+    #[test]
+    fn zfp_truncation_never_panics(data in arb_field(), cut in 0usize..64) {
+        let codec = ZfpLike::with_tolerance(1e-4);
+        let bytes = codec.compress(&data).unwrap();
+        let cut = cut.min(bytes.len());
+        let _ = codec.decompress(&bytes[..cut], data.len());
+    }
+
+    /// Corrupting a byte of an SZ stream never panics.
+    #[test]
+    fn sz_corruption_never_panics(data in arb_field(), pos in 0usize..4096, val in any::<u8>()) {
+        prop_assume!(!data.is_empty());
+        let codec = SzLike::with_error_bound(1e-4);
+        let mut bytes = codec.compress(&data).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] = val;
+        let _ = codec.decompress(&bytes, data.len());
+    }
+}

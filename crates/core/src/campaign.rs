@@ -1,0 +1,240 @@
+//! Multi-timestep campaigns.
+//!
+//! The paper's target workload is a *campaign*: "applications in which
+//! the simulation results need to be written once but analyzed a number
+//! of times", with XGC1 emitting one output per timestep over a fixed
+//! mesh hierarchy. `Campaign` wraps the per-file pipeline with timestep
+//! naming, enumeration, and ADIOS-style query pushdown across steps —
+//! analytics can ask "which timesteps can possibly contain a value above
+//! this threshold?" from metadata alone, then read only those.
+
+use crate::error::CanopusError;
+use crate::read::CanopusReader;
+use crate::write::{Canopus, WriteReport};
+use canopus_mesh::TriMesh;
+
+/// A named sequence of timesteps over one Canopus instance.
+///
+/// ```
+/// use canopus::{Campaign, Canopus, CanopusConfig};
+/// use canopus_storage::StorageHierarchy;
+/// use std::sync::Arc;
+///
+/// let canopus = Canopus::new(
+///     Arc::new(StorageHierarchy::titan_two_tier(1 << 16, 1 << 24)),
+///     CanopusConfig::default(),
+/// );
+/// let campaign = Campaign::new(&canopus, "run");
+///
+/// let ds = canopus_data::xgc1_dataset_sized(8, 40, 1);
+/// campaign.write_step(0, "dpot", &ds.mesh, &ds.data).unwrap();
+/// campaign.write_step(1, "dpot", &ds.mesh, &ds.data).unwrap();
+/// assert_eq!(campaign.steps(), vec![0, 1]);
+///
+/// // Which steps might exceed a threshold? Metadata only — no data I/O.
+/// let hot = campaign
+///     .steps_possibly_in_range("dpot", 1e9, f64::INFINITY)
+///     .unwrap();
+/// assert!(hot.is_empty());
+/// ```
+pub struct Campaign<'a> {
+    canopus: &'a Canopus,
+    name: String,
+}
+
+impl<'a> Campaign<'a> {
+    pub fn new(canopus: &'a Canopus, name: impl Into<String>) -> Self {
+        Self {
+            canopus,
+            name: name.into(),
+        }
+    }
+
+    /// BP file name of one timestep.
+    pub fn file_of(&self, step: u64) -> String {
+        format!("{}.{step:06}.bp", self.name)
+    }
+
+    /// Refactor + place one timestep of `var`.
+    pub fn write_step(
+        &self,
+        step: u64,
+        var: &str,
+        mesh: &TriMesh,
+        data: &[f64],
+    ) -> Result<WriteReport, CanopusError> {
+        self.canopus.write(&self.file_of(step), var, mesh, data)
+    }
+
+    /// Open one timestep for reading.
+    pub fn open_step(&self, step: u64) -> Result<CanopusReader, CanopusError> {
+        self.canopus.open(&self.file_of(step))
+    }
+
+    /// Enumerate stored timesteps by scanning tier metadata objects
+    /// (sorted ascending).
+    pub fn steps(&self) -> Vec<u64> {
+        let prefix = format!("{}.", self.name);
+        let suffix = ".bp/.bpmeta";
+        let hierarchy = self.canopus.hierarchy();
+        let mut steps = Vec::new();
+        for tier in 0..hierarchy.num_tiers() {
+            let Ok(device) = hierarchy.tier_device(tier) else {
+                continue;
+            };
+            for key in device.keys() {
+                if let Some(rest) = key.strip_prefix(&prefix) {
+                    if let Some(step_str) = rest.strip_suffix(suffix) {
+                        if let Ok(step) = step_str.parse::<u64>() {
+                            steps.push(step);
+                        }
+                    }
+                }
+            }
+        }
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Query pushdown across the campaign: the timesteps whose `var`
+    /// *may* contain a value in `[lo, hi]` at full accuracy, decided from
+    /// metadata alone. Steps excluded here definitively cannot.
+    pub fn steps_possibly_in_range(
+        &self,
+        var: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Vec<u64>, CanopusError> {
+        let mut hits = Vec::new();
+        for step in self.steps() {
+            let reader = self.open_step(step)?;
+            if reader.query_range(var, 0, lo, hi)? {
+                hits.push(step);
+            }
+        }
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CanopusConfig, RelativeCodec};
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_storage::StorageHierarchy;
+    use std::sync::Arc;
+
+    fn setup() -> (Canopus, TriMesh) {
+        let h = Arc::new(StorageHierarchy::titan_two_tier(1 << 18, 1 << 26));
+        let c = Canopus::new(
+            h,
+            CanopusConfig {
+                codec: RelativeCodec::Raw,
+                ..Default::default()
+            },
+        );
+        let mesh = jitter_interior(
+            &rectangle_mesh(
+                10,
+                10,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            1,
+        );
+        (c, mesh)
+    }
+
+    /// A field whose amplitude grows with the step (like a developing
+    /// instability).
+    fn field(mesh: &TriMesh, step: u64) -> Vec<f64> {
+        mesh.points()
+            .iter()
+            .map(|p| (step as f64) * ((p.x * 7.0).sin() + (p.y * 5.0).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn write_enumerate_read() {
+        let (c, mesh) = setup();
+        let campaign = Campaign::new(&c, "run1");
+        for step in [0u64, 5, 10] {
+            campaign.write_step(step, "u", &mesh, &field(&mesh, step)).unwrap();
+        }
+        assert_eq!(campaign.steps(), vec![0, 5, 10]);
+        let reader = campaign.open_step(5).unwrap();
+        let out = reader.read_level("u", 0).unwrap();
+        let expect = field(&mesh, 5);
+        let max_err = out
+            .data
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "restoration rounding only, got {max_err}");
+    }
+
+    #[test]
+    fn two_campaigns_do_not_mix() {
+        let (c, mesh) = setup();
+        let a = Campaign::new(&c, "runA");
+        let b = Campaign::new(&c, "runB");
+        a.write_step(1, "u", &mesh, &field(&mesh, 1)).unwrap();
+        b.write_step(2, "u", &mesh, &field(&mesh, 2)).unwrap();
+        assert_eq!(a.steps(), vec![1]);
+        assert_eq!(b.steps(), vec![2]);
+    }
+
+    #[test]
+    fn query_pushdown_skips_low_amplitude_steps() {
+        let (c, mesh) = setup();
+        let campaign = Campaign::new(&c, "amp");
+        for step in 1..=4u64 {
+            campaign.write_step(step, "u", &mesh, &field(&mesh, step)).unwrap();
+        }
+        // field max ≈ step * ~1.9; threshold 5 excludes steps 1 and 2.
+        let hits = campaign.steps_possibly_in_range("u", 5.0, f64::INFINITY).unwrap();
+        assert!(!hits.contains(&1), "step 1 cannot reach 5: {hits:?}");
+        assert!(hits.contains(&4), "step 4 certainly can: {hits:?}");
+        // Never-false-negative: every hit-excluded step truly stays under.
+        for step in campaign.steps() {
+            if !hits.contains(&step) {
+                let max = field(&mesh, step).into_iter().fold(f64::NEG_INFINITY, f64::max);
+                assert!(max < 5.0, "step {step} was wrongly excluded (max {max})");
+            }
+        }
+    }
+
+    #[test]
+    fn value_bounds_are_conservative_but_useful() {
+        let (c, mesh) = setup();
+        let campaign = Campaign::new(&c, "bounds");
+        let data = field(&mesh, 3);
+        campaign.write_step(7, "u", &mesh, &data).unwrap();
+        let reader = campaign.open_step(7).unwrap();
+        let (lo, hi) = reader.value_bounds("u", 0).unwrap();
+        let (dmin, dmax) = data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
+        assert!(lo <= dmin && hi >= dmax, "bounds [{lo},{hi}] vs data [{dmin},{dmax}]");
+        // And not absurdly loose (within 3x the data range on each side).
+        let range = dmax - dmin;
+        assert!(dmin - lo <= 2.0 * range, "lower bound too loose");
+        assert!(hi - dmax <= 2.0 * range, "upper bound too loose");
+    }
+
+    #[test]
+    fn empty_campaign_has_no_steps() {
+        let (c, _) = setup();
+        let campaign = Campaign::new(&c, "nothing");
+        assert!(campaign.steps().is_empty());
+        assert!(campaign
+            .steps_possibly_in_range("u", 0.0, 1.0)
+            .unwrap()
+            .is_empty());
+    }
+}

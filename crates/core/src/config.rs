@@ -1,0 +1,96 @@
+//! Canopus pipeline configuration.
+
+use canopus_compress::CodecKind;
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::placement::PlacementPolicy;
+
+/// End-to-end configuration: how to refactor, how to compress, how to
+/// place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanopusConfig {
+    /// Levels / ratio / estimator (paper §III-B/C).
+    pub refactor: RefactorConfig,
+    /// Codec for the base and deltas. The paper integrates ZFP; the
+    /// tolerance here is *relative to the variable's value range* —
+    /// each `write` multiplies it by `max - min` of the data, so one
+    /// config works across variables of different scales.
+    pub codec: RelativeCodec,
+    /// Tier assignment policy (paper §III-D).
+    pub policy: PlacementPolicy,
+    /// Number of spatial chunks each delta is split into (1 = unchunked).
+    /// Chunking enables the paper's focused data retrieval: a region of
+    /// interest can be refined by fetching only the intersecting chunks
+    /// ("reading smaller subsets of high accuracy data", §III-E/§IV-D).
+    pub delta_chunks: u32,
+}
+
+impl Default for CanopusConfig {
+    fn default() -> Self {
+        Self {
+            refactor: RefactorConfig::default(),
+            codec: RelativeCodec::ZfpLike { rel_tolerance: 1e-6 },
+            policy: PlacementPolicy::RankSpread,
+            delta_chunks: 1,
+        }
+    }
+}
+
+/// Codec choice with range-relative error bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelativeCodec {
+    ZfpLike { rel_tolerance: f64 },
+    SzLike { rel_error_bound: f64 },
+    Fpc,
+    Raw,
+}
+
+impl RelativeCodec {
+    /// Resolve to an absolute-parameter codec for data spanning `range`.
+    pub fn resolve(&self, range: f64) -> CodecKind {
+        // Degenerate (constant) data still needs a positive bound.
+        let range = if range > 0.0 { range } else { 1.0 };
+        match *self {
+            RelativeCodec::ZfpLike { rel_tolerance } => CodecKind::ZfpLike {
+                tolerance: rel_tolerance * range,
+            },
+            RelativeCodec::SzLike { rel_error_bound } => CodecKind::SzLike {
+                error_bound: rel_error_bound * range,
+            },
+            RelativeCodec::Fpc => CodecKind::Fpc,
+            RelativeCodec::Raw => CodecKind::Raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_three_level_zfp() {
+        let c = CanopusConfig::default();
+        assert_eq!(c.refactor.num_levels, 3);
+        assert!(matches!(c.codec, RelativeCodec::ZfpLike { .. }));
+        assert_eq!(c.delta_chunks, 1, "unchunked by default");
+    }
+
+    #[test]
+    fn relative_codec_scales_with_range() {
+        let rc = RelativeCodec::ZfpLike { rel_tolerance: 1e-3 };
+        match rc.resolve(100.0) {
+            CodecKind::ZfpLike { tolerance } => assert!((tolerance - 0.1).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Constant data (range 0) still yields a positive tolerance.
+        match rc.resolve(0.0) {
+            CodecKind::ZfpLike { tolerance } => assert!(tolerance > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossless_choices_pass_through() {
+        assert_eq!(RelativeCodec::Fpc.resolve(5.0), CodecKind::Fpc);
+        assert_eq!(RelativeCodec::Raw.resolve(5.0), CodecKind::Raw);
+    }
+}

@@ -1,0 +1,64 @@
+//! Top-level error type.
+
+use canopus_adios::AdiosError;
+use canopus_compress::CodecError;
+use canopus_storage::StorageError;
+
+/// Anything that can go wrong in the Canopus pipeline.
+#[derive(Debug)]
+pub enum CanopusError {
+    Storage(StorageError),
+    Adios(AdiosError),
+    Codec(CodecError),
+    /// Mesh (de)serialization failure in the metadata payloads.
+    MeshIo(String),
+    /// Inconsistent inputs or metadata (e.g. unknown level).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CanopusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanopusError::Storage(e) => write!(f, "storage: {e}"),
+            CanopusError::Adios(e) => write!(f, "adios: {e}"),
+            CanopusError::Codec(e) => write!(f, "codec: {e}"),
+            CanopusError::MeshIo(m) => write!(f, "mesh io: {m}"),
+            CanopusError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CanopusError {}
+
+impl From<StorageError> for CanopusError {
+    fn from(e: StorageError) -> Self {
+        CanopusError::Storage(e)
+    }
+}
+
+impl From<AdiosError> for CanopusError {
+    fn from(e: AdiosError) -> Self {
+        CanopusError::Adios(e)
+    }
+}
+
+impl From<CodecError> for CanopusError {
+    fn from(e: CodecError) -> Self {
+        CanopusError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CanopusError = StorageError::NotFound("k".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e: CanopusError = CodecError::Corrupt("x".into()).into();
+        assert!(e.to_string().contains("codec"));
+        let e = CanopusError::Invalid("level 9".into());
+        assert!(e.to_string().contains("level 9"));
+    }
+}

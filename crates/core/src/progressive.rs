@@ -1,0 +1,231 @@
+//! Progressive data exploration (paper §III-E, §IV-E).
+//!
+//! "Data retrieval starts from this lowest-accuracy base dataset, and if
+//! the accuracy suffices, data retrieval concludes. Otherwise, data from
+//! the next level of accuracy is restored … The process is repeated until
+//! the data accuracy satisfies the user. Note this process can be
+//! automated if the criteria to terminate (e.g., root mean square error
+//! between two adjacent levels) is known a priori."
+
+use crate::error::CanopusError;
+use crate::read::{CanopusReader, PhaseTiming, ReadOutcome};
+use canopus_mesh::TriMesh;
+
+/// A stateful progressive-refinement session over one variable.
+pub struct ProgressiveReader<'a> {
+    reader: &'a CanopusReader,
+    var: String,
+    current: ReadOutcome,
+    /// Cumulative timing across the base read and every refinement.
+    cumulative: PhaseTiming,
+    /// RMS of the last applied delta (None before the first refine).
+    last_delta_rms: Option<f64>,
+}
+
+impl<'a> ProgressiveReader<'a> {
+    /// Start at the base (coarsest) level.
+    pub(crate) fn start(reader: &'a CanopusReader, var: &str) -> Result<Self, CanopusError> {
+        let current = reader.read_base(var)?;
+        Ok(Self {
+            reader,
+            var: var.to_string(),
+            cumulative: current.timing,
+            current,
+            last_delta_rms: None,
+        })
+    }
+
+    /// Current accuracy level (0 = full).
+    pub fn level(&self) -> u32 {
+        self.current.level
+    }
+
+    /// Decimation ratio placeholder: vertices at full accuracy divided by
+    /// vertices now — callers with the original mesh size can compute the
+    /// paper's `d`; here we expose the current vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.current.mesh.num_vertices()
+    }
+
+    pub fn mesh(&self) -> &TriMesh {
+        &self.current.mesh
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.current.data
+    }
+
+    /// Timing of the most recent step only.
+    pub fn last_timing(&self) -> PhaseTiming {
+        self.current.timing
+    }
+
+    /// Cumulative timing since the base read.
+    pub fn cumulative_timing(&self) -> PhaseTiming {
+        self.cumulative
+    }
+
+    /// RMS of the last applied delta — the adjacent-level RMSE the paper
+    /// proposes as an automated stop criterion.
+    pub fn last_delta_rms(&self) -> Option<f64> {
+        self.last_delta_rms
+    }
+
+    /// Whether full accuracy has been reached.
+    pub fn at_full_accuracy(&self) -> bool {
+        self.current.level == 0
+    }
+
+    /// Fetch the next delta and refine one level. Errors at full
+    /// accuracy.
+    pub fn refine(&mut self) -> Result<PhaseTiming, CanopusError> {
+        let (next, rms) = self.reader.refine_once(&self.var, &self.current)?;
+        let step = next.timing;
+        self.cumulative += step;
+        self.current = next;
+        self.last_delta_rms = Some(rms);
+        Ok(step)
+    }
+
+    /// Automated progressive retrieval: refine until the adjacent-level
+    /// RMSE drops below `rms_threshold` or full accuracy is reached.
+    /// Returns the number of refinement steps taken.
+    pub fn refine_until(&mut self, rms_threshold: f64) -> Result<usize, CanopusError> {
+        let mut steps = 0;
+        while !self.at_full_accuracy() {
+            self.refine()?;
+            steps += 1;
+            if self
+                .last_delta_rms
+                .expect("refine always sets the delta RMS")
+                < rms_threshold
+            {
+                break;
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Consume the session, yielding the current outcome with cumulative
+    /// timing.
+    pub fn into_outcome(self) -> ReadOutcome {
+        ReadOutcome {
+            timing: self.cumulative,
+            ..self.current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::config::CanopusConfig;
+    use crate::write::Canopus;
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_refactor::levels::RefactorConfig;
+    use canopus_storage::{StorageHierarchy, TierSpec};
+    use std::sync::Arc;
+
+    fn written_canopus(num_levels: u32) -> Canopus {
+        let h = Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", 1 << 20, 1e9, 1e9, 1e-6),
+            TierSpec::new("slow", 1 << 26, 1e7, 1e7, 1e-3),
+        ]));
+        let c = Canopus::new(
+            h,
+            CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mesh = jitter_interior(
+            &rectangle_mesh(
+                20,
+                20,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            4,
+        );
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| (p.x * 10.0).sin() * (p.y * 3.0).cos())
+            .collect();
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        c
+    }
+
+    #[test]
+    fn walks_from_base_to_full() {
+        let c = written_canopus(4);
+        let reader = c.open("t.bp").unwrap();
+        let mut p = reader.progressive("v").unwrap();
+        assert_eq!(p.level(), 3);
+        assert!(!p.at_full_accuracy());
+        let mut sizes = vec![p.num_vertices()];
+        while !p.at_full_accuracy() {
+            p.refine().unwrap();
+            sizes.push(p.num_vertices());
+        }
+        assert_eq!(p.level(), 0);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes grow: {sizes:?}");
+        assert!(p.refine().is_err(), "cannot refine past full accuracy");
+    }
+
+    #[test]
+    fn cumulative_timing_grows_with_each_step() {
+        let c = written_canopus(3);
+        let reader = c.open("t.bp").unwrap();
+        let mut p = reader.progressive("v").unwrap();
+        let t0 = p.cumulative_timing().total();
+        p.refine().unwrap();
+        let t1 = p.cumulative_timing().total();
+        p.refine().unwrap();
+        let t2 = p.cumulative_timing().total();
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn rms_termination_stops_early_or_at_full() {
+        let c = written_canopus(4);
+        let reader = c.open("t.bp").unwrap();
+
+        // A huge threshold stops after the first refinement.
+        let mut p = reader.progressive("v").unwrap();
+        let steps = p.refine_until(f64::INFINITY).unwrap();
+        assert_eq!(steps, 1);
+
+        // A zero threshold runs to full accuracy.
+        let mut p = reader.progressive("v").unwrap();
+        let steps = p.refine_until(0.0).unwrap();
+        assert_eq!(steps, 3);
+        assert!(p.at_full_accuracy());
+    }
+
+    #[test]
+    fn into_outcome_carries_cumulative_timing() {
+        let c = written_canopus(3);
+        let reader = c.open("t.bp").unwrap();
+        let mut p = reader.progressive("v").unwrap();
+        p.refine().unwrap();
+        let cum = p.cumulative_timing();
+        let out = p.into_outcome();
+        assert_eq!(out.timing, cum);
+        assert_eq!(out.level, 1);
+    }
+
+    #[test]
+    fn delta_rms_is_reported() {
+        let c = written_canopus(3);
+        let reader = c.open("t.bp").unwrap();
+        let mut p = reader.progressive("v").unwrap();
+        assert!(p.last_delta_rms().is_none());
+        p.refine().unwrap();
+        assert!(p.last_delta_rms().unwrap() > 0.0);
+    }
+}

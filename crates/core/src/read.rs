@@ -1,0 +1,613 @@
+//! The read-side pipeline: retrieve → decompress → restore (paper Fig. 1,
+//! right half), with the Fig. 9–11 phase timing breakdown.
+
+use crate::error::CanopusError;
+use crate::write::{decode_level_meta, spatial_chunks};
+use canopus_mesh::Aabb;
+use canopus_adios::{BlockMeta, BpFile};
+use canopus_compress::{Codec, CodecKind};
+use canopus_mesh::TriMesh;
+use canopus_refactor::mapping::mapping_from_bytes;
+use canopus_refactor::{restore_level, Estimator};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The paper's per-phase timing: I/O (simulated), decompression and
+/// restoration (measured wall time). Figs. 9a/10a/11a stack exactly these.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTiming {
+    pub io_secs: f64,
+    pub decompress_secs: f64,
+    pub restore_secs: f64,
+}
+
+impl PhaseTiming {
+    pub fn total(&self) -> f64 {
+        self.io_secs + self.decompress_secs + self.restore_secs
+    }
+}
+
+impl std::ops::Add for PhaseTiming {
+    type Output = PhaseTiming;
+    fn add(self, o: Self) -> Self {
+        Self {
+            io_secs: self.io_secs + o.io_secs,
+            decompress_secs: self.decompress_secs + o.decompress_secs,
+            restore_secs: self.restore_secs + o.restore_secs,
+        }
+    }
+}
+
+impl std::ops::AddAssign for PhaseTiming {
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+/// Accounting for a focused (region-of-interest) refinement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Chunks the delta was stored in.
+    pub chunks_total: usize,
+    /// Chunks actually fetched (those intersecting the region).
+    pub chunks_read: usize,
+    /// Compressed bytes transferred for the fetched chunks.
+    pub bytes_read: u64,
+    /// Fine vertices restored to level accuracy (the rest carry the
+    /// estimate only).
+    pub exact_vertices: usize,
+}
+
+/// Result of restoring a variable to some accuracy level.
+#[derive(Debug, Clone)]
+pub struct ReadOutcome {
+    /// The mesh at the restored level.
+    pub mesh: TriMesh,
+    /// The restored data.
+    pub data: Vec<f64>,
+    /// Which level this is (0 = full accuracy).
+    pub level: u32,
+    pub timing: PhaseTiming,
+}
+
+/// Reader over one Canopus BP file.
+///
+/// Level meshes and mappings are cached after first use: simulations
+/// write many timesteps of many variables over the *same* decimated mesh
+/// hierarchy, so analytics pays the geometry I/O once per campaign, not
+/// once per read — matching how the paper accounts only the variable's
+/// own I/O in Figs. 9–11.
+/// Cached level geometry: `(var, level) -> (mesh, mapping)`.
+type MetaCache = Mutex<HashMap<(String, u32), (TriMesh, Vec<u32>)>>;
+
+pub struct CanopusReader {
+    file: BpFile,
+    estimator: Estimator,
+    meta_cache: MetaCache,
+}
+
+impl CanopusReader {
+    pub(crate) fn new(file: BpFile, estimator: Estimator) -> Self {
+        Self {
+            file,
+            estimator,
+            meta_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Pre-load every level's mesh + mapping for `var` into the cache
+    /// (one-time campaign cost; subsequent reads skip geometry I/O).
+    pub fn warm_metadata(&self, var: &str) -> Result<(), CanopusError> {
+        for level in 0..self.num_levels() {
+            self.read_level_meta(var, level)?;
+        }
+        Ok(())
+    }
+
+    pub fn file(&self) -> &BpFile {
+        &self.file
+    }
+
+    /// Number of accuracy levels in the file.
+    pub fn num_levels(&self) -> u32 {
+        self.file.meta().num_levels
+    }
+
+    /// Decode one data block (base or delta) through its recorded codec.
+    fn decode_block(
+        &self,
+        block: &BlockMeta,
+        bytes: &[u8],
+    ) -> Result<Vec<f64>, CanopusError> {
+        let codec: Box<dyn Codec> = match block.codec_id {
+            0 => CodecKind::Raw.build(),
+            1 => CodecKind::ZfpLike {
+                tolerance: block.codec_param,
+            }
+            .build(),
+            2 => CodecKind::SzLike {
+                error_bound: block.codec_param,
+            }
+            .build(),
+            3 => CodecKind::Fpc.build(),
+            id => {
+                return Err(CanopusError::Invalid(format!("unknown codec id {id}")));
+            }
+        };
+        Ok(codec.decompress(bytes, block.elements as usize)?)
+    }
+
+    /// Read the auxiliary metadata of `level`: its mesh and (for non-base
+    /// levels) the mapping to the coarser level. Returns the simulated
+    /// I/O seconds alongside.
+    fn read_level_meta(
+        &self,
+        var: &str,
+        level: u32,
+    ) -> Result<(TriMesh, Vec<u32>, f64), CanopusError> {
+        if let Some((mesh, mapping)) = self.meta_cache.lock().get(&(var.to_string(), level)) {
+            return Ok((mesh.clone(), mapping.clone(), 0.0));
+        }
+        let v = self.file.inq_var(var)?;
+        let block = v
+            .metadata_for(level)
+            .ok_or_else(|| CanopusError::Invalid(format!("no metadata for level {level}")))?
+            .clone();
+        let (bytes, _, dt) = self.file.read_block(&block)?;
+        let (mesh_bytes, mapping_bytes) = decode_level_meta(&bytes)?;
+        let mesh = canopus_mesh::io::from_binary(&mesh_bytes)
+            .map_err(|e| CanopusError::MeshIo(e.to_string()))?;
+        let mapping = mapping_from_bytes(&mapping_bytes).map_err(CanopusError::MeshIo)?;
+        self.meta_cache
+            .lock()
+            .insert((var.to_string(), level), (mesh.clone(), mapping.clone()));
+        Ok((mesh, mapping, dt.seconds()))
+    }
+
+    /// Read the base level: the paper's option (1), the fastest path.
+    pub fn read_base(&self, var: &str) -> Result<ReadOutcome, CanopusError> {
+        let n = self.num_levels();
+        let base_level = n - 1;
+        let mut timing = PhaseTiming::default();
+
+        let (bytes, block, io) = self.file.read_base(var)?;
+        timing.io_secs += io.seconds();
+
+        let t = Instant::now();
+        let data = self.decode_block(&block, &bytes)?;
+        timing.decompress_secs += t.elapsed().as_secs_f64();
+
+        let (mesh, _, meta_io) = self.read_level_meta(var, base_level)?;
+        timing.io_secs += meta_io;
+
+        Ok(ReadOutcome {
+            mesh,
+            data,
+            level: base_level,
+            timing,
+        })
+    }
+
+    /// Read and decode the full delta refining into `finer`, whether it
+    /// was stored as one block or as spatial chunks. Chunked deltas are
+    /// scattered back to vertex order using the same deterministic Morton
+    /// assignment the writer used (`fine_mesh` provides the geometry).
+    fn read_delta_values(
+        &self,
+        var: &str,
+        finer: u32,
+        fine_mesh: &TriMesh,
+    ) -> Result<(Vec<f64>, PhaseTiming), CanopusError> {
+        let mut timing = PhaseTiming::default();
+        let v = self.file.inq_var(var)?;
+        if let Some(block) = v.delta_to(finer).cloned() {
+            let (bytes, _, io) = self.file.read_block(&block)?;
+            timing.io_secs += io.seconds();
+            let t = Instant::now();
+            let delta = self.decode_block(&block, &bytes)?;
+            timing.decompress_secs += t.elapsed().as_secs_f64();
+            return Ok((delta, timing));
+        }
+        let chunks: Vec<_> = v.delta_chunks_to(finer).into_iter().cloned().collect();
+        if chunks.is_empty() {
+            return Err(CanopusError::Invalid(format!(
+                "no delta to level {finer} of {var}"
+            )));
+        }
+        let assignment = spatial_chunks(fine_mesh, chunks.len() as u32);
+        let mut delta = vec![0.0f64; fine_mesh.num_vertices()];
+        for (block, ids) in chunks.iter().zip(&assignment) {
+            let (bytes, _, io) = self.file.read_block(block)?;
+            timing.io_secs += io.seconds();
+            let t = Instant::now();
+            let values = self.decode_block(block, &bytes)?;
+            timing.decompress_secs += t.elapsed().as_secs_f64();
+            if values.len() != ids.len() {
+                return Err(CanopusError::Invalid(format!(
+                    "chunk {} decoded {} values for {} vertices",
+                    block.key,
+                    values.len(),
+                    ids.len()
+                )));
+            }
+            for (&vid, &val) in ids.iter().zip(&values) {
+                delta[vid as usize] = val;
+            }
+        }
+        Ok((delta, timing))
+    }
+
+    /// Refine an already-restored level by one step: read + decompress
+    /// `delta^{(l-1)-l}`, read the finer mesh + mapping, and restore
+    /// (paper options (2)/(3)).
+    ///
+    /// Returns the finer outcome plus the RMS of the applied delta (the
+    /// paper's suggested automatic termination criterion).
+    pub fn refine_once(
+        &self,
+        var: &str,
+        current: &ReadOutcome,
+    ) -> Result<(ReadOutcome, f64), CanopusError> {
+        if current.level == 0 {
+            return Err(CanopusError::Invalid(
+                "already at full accuracy".to_string(),
+            ));
+        }
+        let finer = current.level - 1;
+
+        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer)?;
+        let (delta, mut timing) = self.read_delta_values(var, finer, &fine_mesh)?;
+        timing.io_secs += meta_io;
+
+        let t = Instant::now();
+        let data = restore_level(
+            &fine_mesh,
+            &delta,
+            &current.mesh,
+            &current.data,
+            &mapping,
+            self.estimator,
+        );
+        timing.restore_secs += t.elapsed().as_secs_f64();
+
+        let delta_rms = if delta.is_empty() {
+            0.0
+        } else {
+            (delta.iter().map(|d| d * d).sum::<f64>() / delta.len() as f64).sqrt()
+        };
+
+        Ok((
+            ReadOutcome {
+                mesh: fine_mesh,
+                data,
+                level: finer,
+                timing,
+            },
+            delta_rms,
+        ))
+    }
+
+    /// Focused data retrieval (paper §III-E / §IV-D): refine one level,
+    /// but fetch only the delta chunks whose vertices intersect `region`.
+    /// Vertices outside the fetched chunks are restored from the estimate
+    /// alone (coarse accuracy), giving a mixed-accuracy field that is
+    /// level-exact inside the region of interest.
+    ///
+    /// Requires the file to have been written with `delta_chunks > 1`;
+    /// unchunked deltas degrade gracefully to a full refinement
+    /// (`chunks_read == chunks_total == 1`).
+    pub fn refine_region(
+        &self,
+        var: &str,
+        current: &ReadOutcome,
+        region: Aabb,
+    ) -> Result<(ReadOutcome, RegionStats), CanopusError> {
+        if current.level == 0 {
+            return Err(CanopusError::Invalid(
+                "already at full accuracy".to_string(),
+            ));
+        }
+        let finer = current.level - 1;
+        let mut timing = PhaseTiming::default();
+
+        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer)?;
+        timing.io_secs += meta_io;
+        let n = fine_mesh.num_vertices();
+
+        let v = self.file.inq_var(var)?;
+        let chunk_blocks: Vec<_> = v.delta_chunks_to(finer).into_iter().cloned().collect();
+
+        let mut delta = vec![0.0f64; n];
+        let mut exact = vec![false; n];
+        let mut stats = RegionStats::default();
+
+        if chunk_blocks.is_empty() {
+            // Unchunked file: a region read degrades to a full refinement.
+            let (full, dt) = self.read_delta_values(var, finer, &fine_mesh)?;
+            timing += dt;
+            delta.copy_from_slice(&full);
+            exact.fill(true);
+            stats.chunks_total = 1;
+            stats.chunks_read = 1;
+        } else {
+            let assignment = spatial_chunks(&fine_mesh, chunk_blocks.len() as u32);
+            stats.chunks_total = chunk_blocks.len();
+            for (block, ids) in chunk_blocks.iter().zip(&assignment) {
+                let bbox = Aabb::from_points(
+                    ids.iter().map(|&vid| fine_mesh.point(vid)),
+                );
+                if !bbox.intersects(&region) {
+                    continue;
+                }
+                let (bytes, _, io) = self.file.read_block(block)?;
+                timing.io_secs += io.seconds();
+                stats.bytes_read += bytes.len() as u64;
+                let t = Instant::now();
+                let values = self.decode_block(block, &bytes)?;
+                timing.decompress_secs += t.elapsed().as_secs_f64();
+                if values.len() != ids.len() {
+                    return Err(CanopusError::Invalid(format!(
+                        "chunk {} decoded {} values for {} vertices",
+                        block.key,
+                        values.len(),
+                        ids.len()
+                    )));
+                }
+                for (&vid, &val) in ids.iter().zip(&values) {
+                    delta[vid as usize] = val;
+                    exact[vid as usize] = true;
+                }
+                stats.chunks_read += 1;
+            }
+        }
+        stats.exact_vertices = exact.iter().filter(|&&e| e).count();
+
+        let t = Instant::now();
+        let data = restore_level(
+            &fine_mesh,
+            &delta,
+            &current.mesh,
+            &current.data,
+            &mapping,
+            self.estimator,
+        );
+        timing.restore_secs += t.elapsed().as_secs_f64();
+
+        Ok((
+            ReadOutcome {
+                mesh: fine_mesh,
+                data,
+                level: finer,
+                timing,
+            },
+            stats,
+        ))
+    }
+
+    /// Restore straight to `target_level` (0 = full accuracy),
+    /// accumulating phase timings across all steps — what Figs. 9b/10b/11b
+    /// measure for `target_level = 0`.
+    pub fn read_level(&self, var: &str, target_level: u32) -> Result<ReadOutcome, CanopusError> {
+        let n = self.num_levels();
+        if target_level >= n {
+            return Err(CanopusError::Invalid(format!(
+                "level {target_level} out of range (N = {n})"
+            )));
+        }
+        let mut outcome = self.read_base(var)?;
+        while outcome.level > target_level {
+            let (next, _) = self.refine_once(var, &outcome)?;
+            let timing = outcome.timing + next.timing;
+            outcome = next;
+            outcome.timing = timing;
+        }
+        Ok(outcome)
+    }
+
+    /// Conservative bounds on the values of `var` restored to `level`,
+    /// computed from block metadata alone — no data I/O. The ADIOS-style
+    /// query pushdown: `Estimate` is a convex combination of coarser
+    /// values, so `range(l) ⊆ [range(l+1).min + delta_l.min,
+    /// range(l+1).max + delta_l.max]`, seeded by the base block's exact
+    /// min/max.
+    pub fn value_bounds(&self, var: &str, level: u32) -> Result<(f64, f64), CanopusError> {
+        let n = self.num_levels();
+        if level >= n {
+            return Err(CanopusError::Invalid(format!(
+                "level {level} out of range (N = {n})"
+            )));
+        }
+        let v = self.file.inq_var(var)?;
+        let base = v
+            .base()
+            .ok_or_else(|| CanopusError::Invalid(format!("no base block of {var}")))?;
+        let (mut lo, mut hi) = (base.min, base.max);
+        for l in (level..n - 1).rev() {
+            let (dmin, dmax) = if let Some(block) = v.delta_to(l) {
+                (block.min, block.max)
+            } else {
+                let chunks = v.delta_chunks_to(l);
+                if chunks.is_empty() {
+                    return Err(CanopusError::Invalid(format!(
+                        "no delta to level {l} of {var}"
+                    )));
+                }
+                chunks.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), c| {
+                    (a.min(c.min), b.max(c.max))
+                })
+            };
+            lo += dmin;
+            hi += dmax;
+        }
+        Ok((lo, hi))
+    }
+
+    /// Whether any value of `var` at `level` *may* fall inside
+    /// `[lo, hi]`. `false` is definitive (the metadata bounds exclude the
+    /// interval); `true` means "possibly — read to know". Lets analytics
+    /// skip whole files/timesteps without touching their payloads.
+    pub fn query_range(
+        &self,
+        var: &str,
+        level: u32,
+        lo: f64,
+        hi: f64,
+    ) -> Result<bool, CanopusError> {
+        let (bmin, bmax) = self.value_bounds(var, level)?;
+        Ok(bmax >= lo && bmin <= hi)
+    }
+
+    /// Start a progressive exploration session for `var`.
+    pub fn progressive(
+        &self,
+        var: &str,
+    ) -> Result<crate::progressive::ProgressiveReader<'_>, CanopusError> {
+        crate::progressive::ProgressiveReader::start(self, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CanopusConfig, RelativeCodec};
+    use crate::write::Canopus;
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_storage::{StorageHierarchy, TierSpec};
+    use std::sync::Arc;
+
+    fn setup(codec: RelativeCodec) -> (Canopus, TriMesh, Vec<f64>) {
+        let h = Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", 1 << 20, 1e9, 1e9, 1e-6),
+            TierSpec::new("slow", 1 << 26, 1e7, 1e7, 1e-3),
+        ]));
+        let c = Canopus::new(
+            h,
+            CanopusConfig {
+                codec,
+                ..Default::default()
+            },
+        );
+        let mesh = jitter_interior(
+            &rectangle_mesh(
+                16,
+                16,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            9,
+        );
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| (p.x * 9.0).sin() + (p.y * 5.0).cos() * 0.5)
+            .collect();
+        (c, mesh, data)
+    }
+
+    #[test]
+    fn full_restore_respects_codec_bound() {
+        let rel = 1e-6;
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike { rel_tolerance: rel });
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        let out = reader.read_level("v", 0).unwrap();
+        assert_eq!(out.level, 0);
+        assert_eq!(out.data.len(), data.len());
+        let range = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - data.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Errors accumulate across base + 2 deltas: 3x the bound is safe.
+        let bound = 3.0 * rel * range;
+        let max_err = out
+            .data
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= bound, "err {max_err} > {bound}");
+    }
+
+    #[test]
+    fn base_read_is_small_and_fast() {
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-6 });
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        let base = reader.read_base("v").unwrap();
+        assert_eq!(base.level, 2);
+        assert!(base.data.len() < data.len() / 3);
+        let full = reader.read_level("v", 0).unwrap();
+        assert!(
+            full.timing.io_secs > base.timing.io_secs,
+            "full restore reads more bytes from slower tiers"
+        );
+    }
+
+    #[test]
+    fn refine_steps_walk_levels() {
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-6 });
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        let base = reader.read_base("v").unwrap();
+        let (mid, rms1) = reader.refine_once("v", &base).unwrap();
+        assert_eq!(mid.level, 1);
+        assert!(rms1 > 0.0);
+        let (full, _) = reader.refine_once("v", &mid).unwrap();
+        assert_eq!(full.level, 0);
+        assert!(reader.refine_once("v", &full).is_err());
+    }
+
+    #[test]
+    fn raw_codec_roundtrips_exactly_through_storage() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        let out = reader.read_level("v", 0).unwrap();
+        let max_err = out
+            .data
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // Raw products only accumulate restoration rounding.
+        assert!(max_err < 1e-12, "err {max_err}");
+    }
+
+    #[test]
+    fn sz_codec_end_to_end() {
+        let (c, mesh, data) = setup(RelativeCodec::SzLike {
+            rel_error_bound: 1e-5,
+        });
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        let out = reader.read_level("v", 0).unwrap();
+        let range = 2.0; // field spans roughly [-1.5, 1.5]
+        let max_err = out
+            .data
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= 3.0 * 1e-5 * range * 2.0, "err {max_err}");
+    }
+
+    #[test]
+    fn invalid_level_and_var_error() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap();
+        assert!(reader.read_level("v", 9).is_err());
+        assert!(reader.read_base("nope").is_err());
+    }
+
+    #[test]
+    fn unrefactored_file_reads_back() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write_unrefactored("raw.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("raw.bp").unwrap();
+        assert_eq!(reader.num_levels(), 1);
+        let out = reader.read_level("v", 0).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(out.timing.restore_secs, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the core pipeline's newer surfaces: delta
+//! chunking, region refinement, and metadata query pushdown.
+
+use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig};
+use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+use canopus_mesh::geometry::{Aabb, Point2};
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build(
+    nx: usize,
+    ny: usize,
+    seed: u64,
+    chunks: u32,
+    amp: f64,
+) -> (Canopus, canopus_mesh::TriMesh, Vec<f64>) {
+    let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+    let mesh = jitter_interior(&rectangle_mesh(nx, ny, bb), 0.2, seed);
+    let data: Vec<f64> = mesh
+        .points()
+        .iter()
+        .map(|p| amp * ((p.x * 8.0).sin() + (p.y * 6.0).cos()))
+        .collect();
+    let raw = (data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw, raw * 64)),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 3,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Raw,
+            delta_chunks: chunks,
+            ..Default::default()
+        },
+    );
+    canopus.write("p.bp", "v", &mesh, &data).unwrap();
+    (canopus, mesh, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any chunk count restores identically to the unchunked layout.
+    #[test]
+    fn chunking_is_transparent_to_full_reads(
+        nx in 5usize..12,
+        ny in 5usize..12,
+        seed in 0u64..200,
+        chunks in 1u32..20,
+    ) {
+        let (chunked, _, _) = build(nx, ny, seed, chunks, 3.0);
+        let (plain, _, data) = build(nx, ny, seed, 1, 3.0);
+        let a = chunked.open("p.bp").unwrap().read_level("v", 0).unwrap();
+        let b = plain.open("p.bp").unwrap().read_level("v", 0).unwrap();
+        prop_assert_eq!(&a.data, &b.data);
+        let max_err = a
+            .data
+            .iter()
+            .zip(&data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(max_err < 1e-12);
+    }
+
+    /// A full-domain region refinement equals refine_once exactly.
+    #[test]
+    fn full_region_equals_full_refinement(
+        nx in 5usize..12,
+        ny in 5usize..12,
+        seed in 0u64..200,
+        chunks in 2u32..16,
+    ) {
+        let (canopus, mesh, _) = build(nx, ny, seed, chunks, 2.0);
+        let reader = canopus.open("p.bp").unwrap();
+        let base = reader.read_base("v").unwrap();
+        let (full, _) = reader.refine_once("v", &base).unwrap();
+        let (roi, stats) = reader
+            .refine_region("v", &base, mesh.aabb())
+            .unwrap();
+        prop_assert_eq!(stats.chunks_read, stats.chunks_total);
+        prop_assert_eq!(roi.data, full.data);
+    }
+
+    /// Region refinement is exact for every vertex inside the window.
+    #[test]
+    fn region_vertices_are_exact(
+        seed in 0u64..200,
+        cx in 0.2f64..0.8,
+        cy in 0.2f64..0.8,
+        half in 0.05f64..0.3,
+    ) {
+        let (canopus, _, _) = build(10, 10, seed, 8, 5.0);
+        let reader = canopus.open("p.bp").unwrap();
+        let base = reader.read_base("v").unwrap();
+        let window = Aabb::from_points([
+            Point2::new(cx - half, cy - half),
+            Point2::new(cx + half, cy + half),
+        ]);
+        let (full, _) = reader.refine_once("v", &base).unwrap();
+        let (roi, _) = reader.refine_region("v", &base, window).unwrap();
+        for (v, p) in roi.mesh.points().iter().enumerate() {
+            if window.contains(*p) {
+                prop_assert_eq!(roi.data[v], full.data[v], "vertex {} at {:?}", v, p);
+            }
+        }
+    }
+
+    /// Metadata bounds always contain the restored data at every level —
+    /// the query pushdown can never produce a false negative.
+    #[test]
+    fn value_bounds_never_exclude_actual_values(
+        nx in 5usize..12,
+        ny in 5usize..12,
+        seed in 0u64..200,
+        amp in 0.1f64..100.0,
+    ) {
+        let (canopus, _, _) = build(nx, ny, seed, 1, amp);
+        let reader = canopus.open("p.bp").unwrap();
+        for level in 0..3u32 {
+            let (lo, hi) = reader.value_bounds("v", level).unwrap();
+            let out = reader.read_level("v", level).unwrap();
+            for &x in &out.data {
+                prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9,
+                    "level {}: value {} outside [{}, {}]", level, x, lo, hi);
+            }
+            // query_range must agree with the bounds.
+            prop_assert!(reader.query_range("v", level, lo, hi).unwrap());
+            prop_assert!(!reader.query_range("v", level, hi + 1.0, hi + 2.0).unwrap());
+        }
+    }
+}

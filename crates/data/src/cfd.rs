@@ -1,0 +1,160 @@
+//! Synthetic CFD pressure field.
+//!
+//! The paper's CFD kernel shows "pressure values near the front of a
+//! fighter jet", with Fig. 4c noting that "the most precision is needed
+//! along the interface of the material and the airflow". The synthetic
+//! field embeds a slender body in a channel flow:
+//!
+//! * a stagnation-pressure bump at the nose,
+//! * a thin high-gradient layer hugging the body contour (the interface),
+//! * expansion (low pressure) over the body's thickest section,
+//! * a decaying oscillatory wake downstream.
+
+use crate::rng::Rng;
+use crate::Dataset;
+use canopus_mesh::generators::cfd_mesh;
+
+/// Body geometry: a lens-shaped profile spanning `x ∈ [NOSE_X, TAIL_X]`
+/// at mid-channel height (domain is 4 × 1).
+pub const NOSE_X: f64 = 0.8;
+pub const TAIL_X: f64 = 2.6;
+pub const BODY_Y: f64 = 0.5;
+
+/// Half-thickness of the body at streamwise position `x`.
+pub fn body_half_thickness(x: f64) -> f64 {
+    if !(NOSE_X..=TAIL_X).contains(&x) {
+        return 0.0;
+    }
+    let t = (x - NOSE_X) / (TAIL_X - NOSE_X);
+    // Airfoil-ish: quick thickening, slow taper.
+    0.09 * (t.powf(0.5) * (1.0 - t)).max(0.0) * 4.0
+}
+
+/// Build the paper-sized CFD dataset (≈12.5k triangles).
+pub fn cfd_dataset(seed: u64) -> Dataset {
+    cfd_with_mesh(cfd_mesh(seed), seed)
+}
+
+/// Build a reduced-size CFD-like dataset (for quick tests/benches).
+pub fn cfd_dataset_sized(nx: usize, ny: usize, seed: u64) -> Dataset {
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(4.0, 1.0)]);
+    let mesh = jitter_interior(&rectangle_mesh(nx, ny, bb), 0.25, seed);
+    cfd_with_mesh(mesh, seed)
+}
+
+fn cfd_with_mesh(mesh: canopus_mesh::TriMesh, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed ^ 0xcfd7);
+    let wake_freq = rng.range(8.0, 12.0);
+    let wake_phase = rng.range(0.0, std::f64::consts::TAU);
+
+    let data: Vec<f64> = mesh
+        .points()
+        .iter()
+        .map(|p| {
+            let (x, y) = (p.x, p.y);
+            let mut pressure = 1.0; // freestream
+
+            // Stagnation bump at the nose.
+            let d_nose = ((x - NOSE_X).powi(2) + (y - BODY_Y).powi(2)).sqrt();
+            pressure += 2.2 * (-(d_nose / 0.08).powi(2)).exp();
+
+            // Distance to the body surface: sharp interface layer.
+            let half = body_half_thickness(x);
+            if half > 0.0 {
+                let dist_surface = ((y - BODY_Y).abs() - half).abs();
+                // Suction (low pressure) right at the surface over the
+                // thick section, decaying fast off-surface.
+                let t = (x - NOSE_X) / (TAIL_X - NOSE_X);
+                let suction = -1.4 * (4.0 * t * (1.0 - t));
+                pressure += suction * (-(dist_surface / 0.03).powi(2)).exp();
+                // Inside the body the "pressure" is a solid marker value;
+                // keep it smooth but distinct.
+                if (y - BODY_Y).abs() < half {
+                    pressure = 1.8;
+                }
+            }
+
+            // Oscillatory wake downstream of the tail.
+            if x > TAIL_X {
+                let decay = (-(x - TAIL_X) / 0.6).exp();
+                pressure += 0.5
+                    * decay
+                    * (wake_freq * (x - TAIL_X) + wake_phase).sin()
+                    * (-(((y - BODY_Y) / 0.15).powi(2))).exp();
+            }
+            pressure
+        })
+        .collect();
+
+    Dataset {
+        name: "CFD",
+        var: "pressure",
+        mesh,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale() {
+        let d = cfd_dataset(1);
+        assert!((d.mesh.num_triangles() as i64 - 12_577).abs() < 200);
+    }
+
+    #[test]
+    fn body_profile_is_lens_shaped() {
+        assert_eq!(body_half_thickness(0.0), 0.0);
+        assert_eq!(body_half_thickness(3.5), 0.0);
+        let mid = body_half_thickness((NOSE_X + TAIL_X) / 2.0);
+        assert!(mid > 0.05);
+        assert!(body_half_thickness(NOSE_X + 0.1) < mid * 1.5);
+    }
+
+    #[test]
+    fn stagnation_pressure_peaks_at_nose() {
+        let d = cfd_dataset(1);
+        let mut nose_max = f64::NEG_INFINITY;
+        let mut far_max = f64::NEG_INFINITY;
+        for (p, &v) in d.mesh.points().iter().zip(&d.data) {
+            let d_nose = ((p.x - NOSE_X).powi(2) + (p.y - BODY_Y).powi(2)).sqrt();
+            if d_nose < 0.1 {
+                nose_max = nose_max.max(v);
+            }
+            if p.x < 0.3 {
+                far_max = far_max.max(v);
+            }
+        }
+        assert!(nose_max > far_max + 1.0, "nose {nose_max} vs inlet {far_max}");
+    }
+
+    #[test]
+    fn interface_has_the_steepest_gradients() {
+        // The Fig. 4c observation: deltas concentrate along the interface.
+        let d = cfd_dataset(1);
+        let mut interface_grad = 0.0f64;
+        let mut far_grad = 0.0f64;
+        for &(u, v) in &d.mesh.edges() {
+            let (pu, pv) = (d.mesh.point(u), d.mesh.point(v));
+            let len = pu.distance(pv).max(1e-12);
+            let grad = (d.data[u as usize] - d.data[v as usize]).abs() / len;
+            let mid_x = (pu.x + pv.x) / 2.0;
+            let mid_y = (pu.y + pv.y) / 2.0;
+            let half = body_half_thickness(mid_x);
+            let on_interface = half > 0.0 && ((mid_y - BODY_Y).abs() - half).abs() < 0.05;
+            if on_interface {
+                interface_grad = interface_grad.max(grad);
+            } else if mid_x < 0.5 {
+                far_grad = far_grad.max(grad);
+            }
+        }
+        assert!(
+            interface_grad > 3.0 * far_grad,
+            "interface {interface_grad} vs freestream {far_grad}"
+        );
+    }
+}

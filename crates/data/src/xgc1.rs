@@ -1,0 +1,146 @@
+//! Synthetic XGC1 `dpot` plane.
+//!
+//! The real variable measures "how the electric potential deviates from
+//! background" on one poloidal plane of the tokamak; blobs — "local
+//! over/under-densities in plasma quantities, which develop near the edge"
+//! — are the features §IV-D detects. The synthetic field therefore has:
+//!
+//! * a low-order turbulent background (a handful of poloidal/radial
+//!   modes) so the field is non-trivial everywhere;
+//! * `NUM_BLOBS` Gaussian blobs concentrated near the outer edge of the
+//!   annulus, with amplitudes spanning faint-to-bright (so the paper's
+//!   Config2 with `minThreshold = 150` drops the faint ones) and a few
+//!   negative (under-density) blobs;
+//! * small-scale noise so compression has something to chew on.
+
+use crate::rng::Rng;
+use crate::Dataset;
+use canopus_mesh::generators::xgc1_plane_mesh;
+
+/// Number of edge blobs synthesized.
+pub const NUM_BLOBS: usize = 16;
+
+/// Annulus radii used by the generator (mesh units).
+pub const R_INNER: f64 = 0.3;
+pub const R_OUTER: f64 = 1.0;
+
+/// Build the paper-sized XGC1 dataset (≈41k triangles, ≈20.7k vertices).
+pub fn xgc1_dataset(seed: u64) -> Dataset {
+    xgc1_with_mesh(xgc1_plane_mesh(seed), seed)
+}
+
+/// Build a reduced-size XGC1-like dataset (for quick tests/benches):
+/// an `n_radial x n_angular` annulus with the same field synthesis.
+pub fn xgc1_dataset_sized(n_radial: usize, n_angular: usize, seed: u64) -> Dataset {
+    use canopus_mesh::generators::{annulus_mesh, jitter_interior};
+    let mesh = jitter_interior(&annulus_mesh(n_radial, n_angular, R_INNER, R_OUTER), 0.25, seed);
+    xgc1_with_mesh(mesh, seed)
+}
+
+fn xgc1_with_mesh(mesh: canopus_mesh::TriMesh, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed ^ 0x9c6711);
+
+    // Background turbulence: a few poloidal modes with radial envelopes.
+    let modes: Vec<(f64, f64, f64, f64)> = (0..6)
+        .map(|m| {
+            (
+                (m + 2) as f64,                  // poloidal mode number
+                rng.range(0.0, std::f64::consts::TAU), // phase
+                rng.range(3.0, 7.0),             // amplitude
+                rng.range(2.0, 5.0),             // radial wavenumber
+            )
+        })
+        .collect();
+
+    // Edge blobs: positions in (r, theta), widths, amplitudes.
+    let blobs: Vec<(f64, f64, f64, f64)> = (0..NUM_BLOBS)
+        .map(|i| {
+            let theta = std::f64::consts::TAU * (i as f64 + rng.range(0.1, 0.9))
+                / NUM_BLOBS as f64;
+            let r = rng.range(0.78, 0.94);
+            let sigma = rng.range(0.02, 0.045);
+            // Mostly bright over-densities; a quarter faint; a couple
+            // negative under-densities.
+            let amp = match i % 8 {
+                0..=3 => rng.range(70.0, 100.0), // bright
+                4 | 5 => rng.range(35.0, 55.0),          // medium
+                6 => rng.range(18.0, 28.0),              // faint
+                _ => -rng.range(25.0, 45.0),             // under-density
+            };
+            (r, theta, sigma, amp)
+        })
+        .collect();
+
+    let data: Vec<f64> = mesh
+        .points()
+        .iter()
+        .map(|p| {
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            let theta = p.y.atan2(p.x);
+            let mut v = 0.0;
+            for &(m, phase, amp, kr) in &modes {
+                let envelope = ((r - R_INNER) / (R_OUTER - R_INNER) * std::f64::consts::PI).sin();
+                v += amp * (m * theta + phase + kr * r).sin() * envelope;
+            }
+            for &(br, btheta, sigma, amp) in &blobs {
+                // Angular distance wraps around the torus.
+                let dtheta = {
+                    let raw = (theta - btheta).abs();
+                    raw.min(std::f64::consts::TAU - raw)
+                } * r; // arc length
+                let dr = r - br;
+                let d2 = dr * dr + dtheta * dtheta;
+                v += amp * (-d2 / (2.0 * sigma * sigma)).exp();
+            }
+            v
+        })
+        .collect();
+
+    Dataset {
+        name: "XGC1",
+        var: "dpot",
+        mesh,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::FieldStats;
+
+    #[test]
+    fn paper_scale() {
+        let d = xgc1_dataset(1);
+        assert!((d.mesh.num_triangles() as i64 - 41_087).abs() < 1000);
+        assert!((d.len() as i64 - 20_694).abs() < 500);
+    }
+
+    #[test]
+    fn field_has_blob_dynamic_range() {
+        let d = xgc1_dataset(1);
+        let s = FieldStats::of(&d.data);
+        // Bright blobs push well above the turbulent background...
+        assert!(s.max > 60.0, "max {}", s.max);
+        // ...and under-densities exist.
+        assert!(s.min < -30.0, "min {}", s.min);
+    }
+
+    #[test]
+    fn blobs_live_near_the_edge() {
+        let d = xgc1_dataset(3);
+        // Max |dpot| among edge vertices should dominate max |dpot| among
+        // core vertices (blobs are an edge phenomenon).
+        let mut edge_max = 0.0f64;
+        let mut core_max = 0.0f64;
+        for (p, &v) in d.mesh.points().iter().zip(&d.data) {
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            if r > 0.75 {
+                edge_max = edge_max.max(v.abs());
+            } else if r < 0.6 {
+                core_max = core_max.max(v.abs());
+            }
+        }
+        assert!(edge_max > 1.5 * core_max, "edge {edge_max} vs core {core_max}");
+    }
+}

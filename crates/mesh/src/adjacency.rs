@@ -1,0 +1,169 @@
+//! Vertex adjacency in compressed-sparse-row form.
+//!
+//! Decimation and restoration both need "who touches this vertex" queries.
+//! Building two CSR tables once (vertex→incident triangles and
+//! vertex→neighbor vertices) keeps those queries allocation-free and cache
+//! friendly, which matters when the kernel runs over 10^5+ vertices per
+//! level.
+
+use crate::mesh::{TriId, TriMesh, VertexId};
+
+/// CSR adjacency tables for a [`TriMesh`].
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    // vertex -> incident triangles
+    tri_offsets: Vec<u32>,
+    tri_items: Vec<TriId>,
+    // vertex -> neighboring vertices (one-ring)
+    vert_offsets: Vec<u32>,
+    vert_items: Vec<VertexId>,
+}
+
+impl Adjacency {
+    /// Build both tables in two counting passes each (no per-vertex Vecs).
+    pub fn build(mesh: &TriMesh) -> Self {
+        let nv = mesh.num_vertices();
+        let tris = mesh.triangles();
+
+        // --- vertex -> triangles ---
+        let mut tri_counts = vec![0u32; nv + 1];
+        for t in tris {
+            for &v in t {
+                tri_counts[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..nv {
+            tri_counts[i + 1] += tri_counts[i];
+        }
+        let tri_offsets = tri_counts.clone();
+        let mut cursor = tri_counts;
+        let mut tri_items = vec![0 as TriId; tri_offsets[nv] as usize];
+        for (ti, t) in tris.iter().enumerate() {
+            for &v in t {
+                let slot = cursor[v as usize];
+                tri_items[slot as usize] = ti as TriId;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        // --- vertex -> vertices (deduplicated one-ring) ---
+        // Collect directed edges then dedup per source using sort.
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(tris.len() * 6);
+        for &[a, b, c] in tris {
+            pairs.push((a, b));
+            pairs.push((b, a));
+            pairs.push((b, c));
+            pairs.push((c, b));
+            pairs.push((c, a));
+            pairs.push((a, c));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut vert_offsets = vec![0u32; nv + 1];
+        for &(src, _) in &pairs {
+            vert_offsets[src as usize + 1] += 1;
+        }
+        for i in 0..nv {
+            vert_offsets[i + 1] += vert_offsets[i];
+        }
+        let vert_items: Vec<VertexId> = pairs.into_iter().map(|(_, dst)| dst).collect();
+
+        Self {
+            tri_offsets,
+            tri_items,
+            vert_offsets,
+            vert_items,
+        }
+    }
+
+    /// Triangles incident to vertex `v`.
+    #[inline]
+    pub fn triangles_of(&self, v: VertexId) -> &[TriId] {
+        let lo = self.tri_offsets[v as usize] as usize;
+        let hi = self.tri_offsets[v as usize + 1] as usize;
+        &self.tri_items[lo..hi]
+    }
+
+    /// One-ring vertex neighbors of `v` (sorted, deduplicated).
+    #[inline]
+    pub fn neighbors_of(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.vert_offsets[v as usize] as usize;
+        let hi = self.vert_offsets[v as usize + 1] as usize;
+        &self.vert_items[lo..hi]
+    }
+
+    /// Degree (number of one-ring neighbors) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors_of(v).len()
+    }
+
+    /// Number of vertices the tables were built for.
+    pub fn num_vertices(&self) -> usize {
+        self.tri_offsets.len() - 1
+    }
+
+    /// Vertices with no incident triangle (isolated). A healthy Canopus
+    /// level has none; decimation compacts them away.
+    pub fn isolated_vertices(&self) -> Vec<VertexId> {
+        (0..self.num_vertices() as VertexId)
+            .filter(|&v| self.triangles_of(v).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point2;
+
+    fn square() -> TriMesh {
+        TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(1.0, 1.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+    }
+
+    #[test]
+    fn triangles_of_vertex() {
+        let adj = square().adjacency();
+        assert_eq!(adj.triangles_of(0), &[0, 1]);
+        assert_eq!(adj.triangles_of(1), &[0]);
+        assert_eq!(adj.triangles_of(3), &[1]);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_deduped() {
+        let adj = square().adjacency();
+        assert_eq!(adj.neighbors_of(0), &[1, 2, 3]);
+        assert_eq!(adj.neighbors_of(2), &[0, 1, 3]);
+        assert_eq!(adj.degree(1), 2);
+    }
+
+    #[test]
+    fn isolated_vertex_detection() {
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+                Point2::new(5.0, 5.0), // never referenced
+            ],
+            vec![[0, 1, 2]],
+        );
+        assert_eq!(m.adjacency().isolated_vertices(), vec![3]);
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let adj = TriMesh::default().adjacency();
+        assert_eq!(adj.num_vertices(), 0);
+        assert!(adj.isolated_vertices().is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Synthetic mesh factories.
+//!
+//! The paper evaluates Canopus on three triangular meshes: an XGC1 tokamak
+//! plane (41 087 triangles), a GenASiS disk slice (130 050 triangles) and a
+//! CFD surface kernel (12 577 triangles). We cannot redistribute those
+//! meshes, so these generators produce topologically equivalent stand-ins:
+//! an annulus (tokamak cross-section), a disk and a rectangle, each with an
+//! optional deterministic interior jitter so the triangulations are
+//! genuinely unstructured (uniform grids would flatter block compressors).
+
+use crate::geometry::{Aabb, Point2};
+use crate::mesh::{TriMesh, VertexId};
+
+/// Deterministic splitmix64 — used only to jitter vertices reproducibly.
+/// Not a statistical RNG; datasets needing real randomness use `rand` in
+/// `canopus-data`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn next_signed_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// Structured triangulation of a rectangle: `(nx+1) * (ny+1)` vertices and
+/// `2 * nx * ny` triangles. Cells are split along alternating diagonals to
+/// avoid a global directional bias.
+pub fn rectangle_mesh(nx: usize, ny: usize, bounds: Aabb) -> TriMesh {
+    assert!(nx >= 1 && ny >= 1, "rectangle_mesh needs at least one cell");
+    assert!(!bounds.is_empty(), "rectangle_mesh needs a non-empty box");
+    let mut points = Vec::with_capacity((nx + 1) * (ny + 1));
+    for j in 0..=ny {
+        for i in 0..=nx {
+            points.push(Point2::new(
+                bounds.min.x + bounds.width() * i as f64 / nx as f64,
+                bounds.min.y + bounds.height() * j as f64 / ny as f64,
+            ));
+        }
+    }
+    let id = |i: usize, j: usize| (j * (nx + 1) + i) as VertexId;
+    let mut tris = Vec::with_capacity(2 * nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let (a, b, c, d) = (id(i, j), id(i + 1, j), id(i + 1, j + 1), id(i, j + 1));
+            if (i + j) % 2 == 0 {
+                tris.push([a, b, c]);
+                tris.push([a, c, d]);
+            } else {
+                tris.push([a, b, d]);
+                tris.push([b, c, d]);
+            }
+        }
+    }
+    TriMesh::new(points, tris)
+}
+
+/// Annulus (ring) triangulation — the tokamak poloidal cross-section of an
+/// XGC1 plane. `n_radial` radial cells between `r_inner` and `r_outer`,
+/// `n_angular` angular cells; `2 * n_radial * n_angular` triangles,
+/// `(n_radial + 1) * n_angular` vertices.
+pub fn annulus_mesh(n_radial: usize, n_angular: usize, r_inner: f64, r_outer: f64) -> TriMesh {
+    assert!(n_radial >= 1 && n_angular >= 3, "annulus too small");
+    assert!(
+        r_inner > 0.0 && r_outer > r_inner,
+        "annulus radii must satisfy 0 < r_inner < r_outer"
+    );
+    let mut points = Vec::with_capacity((n_radial + 1) * n_angular);
+    for r in 0..=n_radial {
+        let radius = r_inner + (r_outer - r_inner) * r as f64 / n_radial as f64;
+        for a in 0..n_angular {
+            let theta = std::f64::consts::TAU * a as f64 / n_angular as f64;
+            points.push(Point2::new(radius * theta.cos(), radius * theta.sin()));
+        }
+    }
+    let id = |r: usize, a: usize| (r * n_angular + (a % n_angular)) as VertexId;
+    let mut tris = Vec::with_capacity(2 * n_radial * n_angular);
+    for r in 0..n_radial {
+        for a in 0..n_angular {
+            let (p00, p10, p11, p01) = (id(r, a), id(r + 1, a), id(r + 1, a + 1), id(r, a + 1));
+            tris.push([p00, p10, p11]);
+            tris.push([p00, p11, p01]);
+        }
+    }
+    TriMesh::new(points, tris)
+}
+
+/// Disk triangulation (polar grid with a center fan) — the GenASiS slice.
+/// Triangle count: `n_angular + 2 * n_angular * (n_rings - 1)`, i.e.
+/// `n_angular * (2 * n_rings - 1)`.
+pub fn disk_mesh(n_rings: usize, n_angular: usize, radius: f64) -> TriMesh {
+    assert!(n_rings >= 1 && n_angular >= 3, "disk too small");
+    assert!(radius > 0.0);
+    let mut points = Vec::with_capacity(1 + n_rings * n_angular);
+    points.push(Point2::new(0.0, 0.0));
+    for r in 1..=n_rings {
+        let rr = radius * r as f64 / n_rings as f64;
+        for a in 0..n_angular {
+            let theta = std::f64::consts::TAU * a as f64 / n_angular as f64;
+            points.push(Point2::new(rr * theta.cos(), rr * theta.sin()));
+        }
+    }
+    let id = |r: usize, a: usize| -> VertexId {
+        debug_assert!(r >= 1);
+        (1 + (r - 1) * n_angular + (a % n_angular)) as VertexId
+    };
+    let mut tris = Vec::with_capacity(n_angular * (2 * n_rings - 1));
+    // Center fan.
+    for a in 0..n_angular {
+        tris.push([0, id(1, a), id(1, a + 1)]);
+    }
+    // Outer rings.
+    for r in 1..n_rings {
+        for a in 0..n_angular {
+            let (p00, p10, p11, p01) = (id(r, a), id(r + 1, a), id(r + 1, a + 1), id(r, a + 1));
+            tris.push([p00, p10, p11]);
+            tris.push([p00, p11, p01]);
+        }
+    }
+    TriMesh::new(points, tris)
+}
+
+/// Displace every *interior* vertex by up to `amount * local_edge_scale`,
+/// deterministically. Boundary vertices stay fixed so the domain shape is
+/// preserved. `amount` should stay below ~0.3 to keep all triangles
+/// positively oriented.
+pub fn jitter_interior(mesh: &TriMesh, amount: f64, seed: u64) -> TriMesh {
+    let adj = mesh.adjacency();
+    let boundary = boundary_vertices(mesh);
+    let mut rng = SplitMix64(seed);
+    let mut points = mesh.points().to_vec();
+    for v in 0..points.len() {
+        // Consume the RNG uniformly so the jitter of one vertex does not
+        // depend on how many boundary vertices precede it.
+        let dx = rng.next_signed_unit();
+        let dy = rng.next_signed_unit();
+        if boundary[v] {
+            continue;
+        }
+        let neighbors = adj.neighbors_of(v as VertexId);
+        if neighbors.is_empty() {
+            continue;
+        }
+        // Local scale: distance to the nearest neighbor limits the step,
+        // and a revert-on-fold check below guarantees no triangle inverts
+        // even for skinny cells.
+        let p = points[v];
+        let scale = neighbors
+            .iter()
+            .map(|&n| p.distance(mesh.point(n)))
+            .fold(f64::INFINITY, f64::min);
+        let old = p;
+        points[v] = Point2::new(p.x + dx * amount * scale, p.y + dy * amount * scale);
+        let folds = adj.triangles_of(v as VertexId).iter().any(|&t| {
+            let [a, b, c] = mesh.triangle_vertices(t);
+            let tri = crate::geometry::Triangle::new(
+                points[a as usize],
+                points[b as usize],
+                points[c as usize],
+            );
+            tri.signed_area2() <= crate::geometry::GEOM_EPS
+        });
+        if folds {
+            points[v] = old;
+        }
+    }
+    TriMesh::new(points, mesh.triangles().to_vec())
+}
+
+/// Boundary flags: a vertex is on the boundary iff it touches an edge used
+/// by exactly one triangle.
+pub fn boundary_vertices(mesh: &TriMesh) -> Vec<bool> {
+    use std::collections::HashMap;
+    let mut edge_use: HashMap<(VertexId, VertexId), u32> = HashMap::new();
+    for &[a, b, c] in mesh.triangles() {
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            *edge_use.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        }
+    }
+    let mut boundary = vec![false; mesh.num_vertices()];
+    for (&(u, v), &uses) in &edge_use {
+        if uses == 1 {
+            boundary[u as usize] = true;
+            boundary[v as usize] = true;
+        }
+    }
+    boundary
+}
+
+/// The paper's XGC1 plane: ~41 087 triangles. We use a 64 × 320 annulus
+/// (40 960 triangles, 20 800 vertices ≈ the 20 694 dpot values the paper
+/// reports) with jittered interior.
+pub fn xgc1_plane_mesh(seed: u64) -> TriMesh {
+    jitter_interior(&annulus_mesh(64, 320, 0.3, 1.0), 0.25, seed)
+}
+
+/// The paper's GenASiS slice: 130 050 triangles exactly
+/// (`450 * (2*145 - 1) = 130 050`).
+pub fn genasis_mesh(seed: u64) -> TriMesh {
+    jitter_interior(&disk_mesh(145, 450, 1.0), 0.2, seed)
+}
+
+/// The paper's CFD kernel: ~12 577 triangles. An 89 × 70 rectangle gives
+/// 12 460 triangles.
+pub fn cfd_mesh(seed: u64) -> TriMesh {
+    let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(4.0, 1.0)]);
+    jitter_interior(&rectangle_mesh(89, 70, bb), 0.25, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+
+    #[test]
+    fn rectangle_counts() {
+        let bb = Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+        let m = rectangle_mesh(4, 3, bb);
+        assert_eq!(m.num_vertices(), 5 * 4);
+        assert_eq!(m.num_triangles(), 2 * 4 * 3);
+        assert!((m.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annulus_counts_and_area() {
+        let m = annulus_mesh(8, 32, 0.5, 1.0);
+        assert_eq!(m.num_vertices(), 9 * 32);
+        assert_eq!(m.num_triangles(), 2 * 8 * 32);
+        // Triangulated annulus area slightly under the analytic ring area.
+        let analytic = std::f64::consts::PI * (1.0 - 0.25);
+        assert!(m.total_area() < analytic);
+        assert!(m.total_area() > 0.95 * analytic);
+    }
+
+    #[test]
+    fn disk_counts() {
+        let m = disk_mesh(5, 12, 2.0);
+        assert_eq!(m.num_vertices(), 1 + 5 * 12);
+        assert_eq!(m.num_triangles(), 12 * (2 * 5 - 1));
+    }
+
+    #[test]
+    fn generated_meshes_are_valid() {
+        for m in [
+            rectangle_mesh(6, 6, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)])),
+            annulus_mesh(6, 24, 0.3, 1.0),
+            disk_mesh(6, 24, 1.0),
+        ] {
+            let report = quality::check(&m);
+            assert!(report.is_manifold, "mesh must be manifold: {report:?}");
+            assert_eq!(report.degenerate_triangles, 0);
+            assert_eq!(report.inverted_triangles, 0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_preserves_validity() {
+        let base = rectangle_mesh(
+            10,
+            10,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let j1 = jitter_interior(&base, 0.25, 42);
+        let j2 = jitter_interior(&base, 0.25, 42);
+        assert_eq!(j1, j2, "same seed must give the same mesh");
+        let j3 = jitter_interior(&base, 0.25, 43);
+        assert_ne!(j1, j3, "different seeds should differ");
+        let report = quality::check(&j1);
+        assert_eq!(report.inverted_triangles, 0, "jitter must not fold cells");
+    }
+
+    #[test]
+    fn jitter_keeps_boundary_fixed() {
+        let base = rectangle_mesh(
+            5,
+            5,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let j = jitter_interior(&base, 0.25, 7);
+        let boundary = boundary_vertices(&base);
+        for (v, &is_b) in boundary.iter().enumerate() {
+            if is_b {
+                assert_eq!(base.points()[v], j.points()[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sized_meshes() {
+        let xgc = xgc1_plane_mesh(1);
+        assert!((xgc.num_triangles() as i64 - 41_087).abs() < 1_000);
+        let gen = genasis_mesh(1);
+        assert_eq!(gen.num_triangles(), 130_050);
+        let cfd = cfd_mesh(1);
+        assert!((cfd.num_triangles() as i64 - 12_577).abs() < 200);
+    }
+
+    #[test]
+    fn boundary_detection_square() {
+        let m = rectangle_mesh(
+            2,
+            2,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let b = boundary_vertices(&m);
+        // 3x3 grid: only the center vertex (index 4) is interior.
+        assert_eq!(b.iter().filter(|&&x| x).count(), 8);
+        assert!(!b[4]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Grid-accelerated point location.
+//!
+//! Canopus' delta calculation must find, for every fine-level vertex, the
+//! coarse-level triangle containing it (paper Alg. 2), and the paper notes
+//! that the brute-force scan "can be expensive due to the potentially large
+//! number of vertices". We bucket triangles into a uniform grid keyed by
+//! their bounding boxes; a query tests only the triangles overlapping the
+//! query point's cell. Vertices that fall outside the coarse hull (edge
+//! collapsing shrinks the boundary slightly) are clamped to the *nearest*
+//! triangle, searched in expanding cell rings.
+
+use crate::geometry::{Aabb, Point2};
+use crate::mesh::{TriId, TriMesh};
+
+/// A uniform-grid spatial index over the triangles of one mesh.
+#[derive(Debug, Clone)]
+pub struct GridLocator {
+    bounds: Aabb,
+    nx: usize,
+    ny: usize,
+    inv_cell_w: f64,
+    inv_cell_h: f64,
+    /// CSR: cell -> triangle ids.
+    offsets: Vec<u32>,
+    items: Vec<TriId>,
+}
+
+/// Result of a location query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Location {
+    /// The point lies inside (or on the boundary of) this triangle.
+    Inside(TriId),
+    /// The point lies outside the mesh hull; this is the nearest triangle
+    /// and the distance to it.
+    Clamped(TriId, f64),
+}
+
+impl Location {
+    /// The located triangle regardless of containment.
+    pub fn triangle(&self) -> TriId {
+        match *self {
+            Location::Inside(t) | Location::Clamped(t, _) => t,
+        }
+    }
+
+    pub fn is_inside(&self) -> bool {
+        matches!(self, Location::Inside(_))
+    }
+}
+
+impl GridLocator {
+    /// Build an index sized so the average cell holds O(1) triangles.
+    pub fn build(mesh: &TriMesh) -> Self {
+        let ntri = mesh.num_triangles();
+        let bounds = mesh.aabb().inflate(1e-9);
+        // Aim for ~1 triangle per cell; clamp the grid to something sane.
+        let target = (ntri.max(1) as f64).sqrt().ceil() as usize;
+        let nx = target.clamp(1, 4096);
+        let ny = target.clamp(1, 4096);
+        let w = bounds.width().max(f64::MIN_POSITIVE);
+        let h = bounds.height().max(f64::MIN_POSITIVE);
+        let inv_cell_w = nx as f64 / w;
+        let inv_cell_h = ny as f64 / h;
+
+        // Count pass then fill pass (CSR construction).
+        let ncells = nx * ny;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_range = |bb: &Aabb| -> (usize, usize, usize, usize) {
+            let cx0 = (((bb.min.x - bounds.min.x) * inv_cell_w) as isize).clamp(0, nx as isize - 1)
+                as usize;
+            let cx1 = (((bb.max.x - bounds.min.x) * inv_cell_w) as isize).clamp(0, nx as isize - 1)
+                as usize;
+            let cy0 = (((bb.min.y - bounds.min.y) * inv_cell_h) as isize).clamp(0, ny as isize - 1)
+                as usize;
+            let cy1 = (((bb.max.y - bounds.min.y) * inv_cell_h) as isize).clamp(0, ny as isize - 1)
+                as usize;
+            (cx0, cx1, cy0, cy1)
+        };
+        for t in 0..ntri {
+            let bb = mesh.triangle(t as TriId).aabb();
+            let (cx0, cx1, cy0, cy1) = cell_range(&bb);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    counts[cy * nx + cx + 1] += 1;
+                }
+            }
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0 as TriId; offsets[ncells] as usize];
+        for t in 0..ntri {
+            let bb = mesh.triangle(t as TriId).aabb();
+            let (cx0, cx1, cy0, cy1) = cell_range(&bb);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    let cell = cy * nx + cx;
+                    items[cursor[cell] as usize] = t as TriId;
+                    cursor[cell] += 1;
+                }
+            }
+        }
+
+        Self {
+            bounds,
+            nx,
+            ny,
+            inv_cell_w,
+            inv_cell_h,
+            offsets,
+            items,
+        }
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point2) -> (isize, isize) {
+        let cx = ((p.x - self.bounds.min.x) * self.inv_cell_w) as isize;
+        let cy = ((p.y - self.bounds.min.y) * self.inv_cell_h) as isize;
+        (
+            cx.clamp(0, self.nx as isize - 1),
+            cy.clamp(0, self.ny as isize - 1),
+        )
+    }
+
+    #[inline]
+    fn cell_items(&self, cx: usize, cy: usize) -> &[TriId] {
+        let cell = cy * self.nx + cx;
+        let lo = self.offsets[cell] as usize;
+        let hi = self.offsets[cell + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Locate `p` in `mesh` (which must be the mesh this index was built
+    /// from). Always returns a triangle: interior points get
+    /// [`Location::Inside`], exterior points are clamped to the nearest
+    /// triangle found in expanding rings of grid cells.
+    pub fn locate(&self, mesh: &TriMesh, p: Point2) -> Option<Location> {
+        if mesh.num_triangles() == 0 {
+            return None;
+        }
+        let (cx, cy) = self.cell_of(p);
+
+        // Fast path: containment test within the point's own cell.
+        for &t in self.cell_items(cx as usize, cy as usize) {
+            if mesh.triangle(t).contains(p) {
+                return Some(Location::Inside(t));
+            }
+        }
+
+        // Slow path: expanding rings. Track the nearest triangle seen so we
+        // can clamp if nothing contains the point.
+        let mut best: Option<(TriId, f64)> = None;
+        let max_ring = self.nx.max(self.ny) as isize;
+        for ring in 0..=max_ring {
+            let mut any_cell = false;
+            for (ccx, ccy) in ring_cells(cx, cy, ring, self.nx as isize, self.ny as isize) {
+                any_cell = true;
+                for &t in self.cell_items(ccx, ccy) {
+                    let tri = mesh.triangle(t);
+                    if tri.contains(p) {
+                        return Some(Location::Inside(t));
+                    }
+                    let d = tri.distance_to(p);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((t, d));
+                    }
+                }
+            }
+            // Once we have a candidate, one extra ring guards against a
+            // closer triangle straddling the ring boundary; after that the
+            // candidate can only be beaten by triangles farther away.
+            if let Some((t, d)) = best {
+                let cell_size = 1.0 / self.inv_cell_w.min(self.inv_cell_h);
+                if d < ring as f64 * cell_size {
+                    return Some(Location::Clamped(t, d));
+                }
+            }
+            if !any_cell && ring > 0 {
+                break;
+            }
+        }
+        best.map(|(t, d)| Location::Clamped(t, d))
+    }
+
+    /// Number of grid cells (for diagnostics/tests).
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+/// Cells at Chebyshev distance exactly `ring` from `(cx, cy)`, clipped to
+/// the grid.
+fn ring_cells(
+    cx: isize,
+    cy: isize,
+    ring: isize,
+    nx: isize,
+    ny: isize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let cells: Vec<(usize, usize)> = if ring == 0 {
+        vec![(cx as usize, cy as usize)]
+    } else {
+        let mut v = Vec::with_capacity((ring as usize) * 8);
+        for dx in -ring..=ring {
+            for dy in [-ring, ring] {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && x < nx && y >= 0 && y < ny {
+                    v.push((x as usize, y as usize));
+                }
+            }
+        }
+        for dy in (-ring + 1)..ring {
+            for dx in [-ring, ring] {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && x < nx && y >= 0 && y < ny {
+                    v.push((x as usize, y as usize));
+                }
+            }
+        }
+        v
+    };
+    cells.into_iter()
+}
+
+/// Interpolate a vertex field at an arbitrary point: locate the
+/// containing (or nearest) triangle, then barycentrically blend its corner
+/// values (weights clamped outside the hull, like the rasterizer).
+/// Returns `None` only for an empty mesh.
+pub fn interpolate_at(
+    mesh: &TriMesh,
+    locator: &GridLocator,
+    data: &[f64],
+    p: Point2,
+) -> Option<f64> {
+    assert_eq!(data.len(), mesh.num_vertices(), "one value per vertex");
+    let loc = locator.locate(mesh, p)?;
+    let t = loc.triangle();
+    let [a, b, c] = mesh.triangle_vertices(t);
+    let tri = mesh.triangle(t);
+    let value = match tri.barycentric(p) {
+        Some([wa, wb, wc]) => {
+            let (wa, wb, wc) = (wa.max(0.0), wb.max(0.0), wc.max(0.0));
+            let sum = (wa + wb + wc).max(f64::MIN_POSITIVE);
+            (wa * data[a as usize] + wb * data[b as usize] + wc * data[c as usize]) / sum
+        }
+        None => (data[a as usize] + data[b as usize] + data[c as usize]) / 3.0,
+    };
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::rectangle_mesh;
+
+    #[test]
+    fn locates_interior_points() {
+        let mesh = rectangle_mesh(8, 8, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]));
+        let loc = GridLocator::build(&mesh);
+        for &(x, y) in &[(0.1, 0.1), (0.5, 0.5), (0.93, 0.21), (0.999, 0.999)] {
+            let p = Point2::new(x, y);
+            let r = loc.locate(&mesh, p).expect("must locate");
+            assert!(r.is_inside(), "point {p:?} should be inside");
+            assert!(mesh.triangle(r.triangle()).contains(p));
+        }
+    }
+
+    #[test]
+    fn locates_all_vertices_of_own_mesh() {
+        let mesh = rectangle_mesh(13, 7, Aabb::from_points([Point2::new(-2.0, 1.0), Point2::new(3.0, 2.0)]));
+        let loc = GridLocator::build(&mesh);
+        for &p in mesh.points() {
+            let r = loc.locate(&mesh, p).unwrap();
+            assert!(r.is_inside(), "mesh vertex {p:?} must be inside some triangle");
+        }
+    }
+
+    #[test]
+    fn clamps_exterior_points() {
+        let mesh = rectangle_mesh(4, 4, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]));
+        let loc = GridLocator::build(&mesh);
+        let r = loc.locate(&mesh, Point2::new(2.0, 0.5)).unwrap();
+        match r {
+            Location::Clamped(t, d) => {
+                assert!((d - 1.0).abs() < 1e-9, "distance should be ~1, got {d}");
+                assert!((t as usize) < mesh.num_triangles());
+            }
+            Location::Inside(_) => panic!("exterior point reported inside"),
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_fields() {
+        let mesh = rectangle_mesh(
+            7,
+            9,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(2.0, 1.0)]),
+        );
+        let data: Vec<f64> = mesh.points().iter().map(|p| 3.0 * p.x - 2.0 * p.y + 1.0).collect();
+        let loc = GridLocator::build(&mesh);
+        for &(x, y) in &[(0.3, 0.4), (1.7, 0.05), (0.01, 0.99), (1.0, 0.5)] {
+            let v = interpolate_at(&mesh, &loc, &data, Point2::new(x, y)).unwrap();
+            let expect = 3.0 * x - 2.0 * y + 1.0;
+            assert!((v - expect).abs() < 1e-9, "({x},{y}): {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_the_hull() {
+        let mesh = rectangle_mesh(
+            4,
+            4,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let data: Vec<f64> = mesh.points().iter().map(|p| p.x).collect();
+        let loc = GridLocator::build(&mesh);
+        // Far outside: the clamped value stays within the field's range.
+        let v = interpolate_at(&mesh, &loc, &data, Point2::new(5.0, 0.5)).unwrap();
+        assert!((0.0..=1.0).contains(&v), "clamped value {v}");
+        assert!(interpolate_at(&TriMesh::default(), &GridLocator::build(&TriMesh::default()), &[], Point2::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn empty_mesh_returns_none() {
+        let mesh = TriMesh::default();
+        let loc = GridLocator::build(&mesh);
+        assert!(loc.locate(&mesh, Point2::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn single_triangle_mesh() {
+        let mesh = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        let loc = GridLocator::build(&mesh);
+        assert_eq!(
+            loc.locate(&mesh, Point2::new(0.2, 0.2)),
+            Some(Location::Inside(0))
+        );
+        let far = loc.locate(&mesh, Point2::new(10.0, 10.0)).unwrap();
+        assert!(!far.is_inside());
+        assert_eq!(far.triangle(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Spatial partitioning for parallel refactoring.
+//!
+//! The paper stresses that Canopus' refactoring "is done locally without
+//! communications, thus is embarrassingly parallel": XGC1 writes one plane
+//! per process group and each plane is decimated independently. To exercise
+//! the same structure on a single node we split a mesh into angular or
+//! strip-shaped partitions, refactor each with rayon, and keep a vertex map
+//! back to the parent mesh so fields can be scattered/gathered.
+
+use crate::geometry::Point2;
+use crate::mesh::{TriMesh, VertexId};
+use rayon::prelude::*;
+
+/// One partition of a parent mesh: a self-contained submesh plus the
+/// mapping from its local vertex ids to the parent's.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub mesh: TriMesh,
+    /// `to_parent[local] = parent vertex id`.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl Partition {
+    /// Gather the parent field values into a local field vector.
+    pub fn gather(&self, parent_values: &[f64]) -> Vec<f64> {
+        self.to_parent
+            .iter()
+            .map(|&g| parent_values[g as usize])
+            .collect()
+    }
+
+    /// Scatter local values back into the parent array.
+    pub fn scatter(&self, local_values: &[f64], parent_values: &mut [f64]) {
+        assert_eq!(local_values.len(), self.to_parent.len());
+        for (l, &g) in self.to_parent.iter().enumerate() {
+            parent_values[g as usize] = local_values[l];
+        }
+    }
+}
+
+/// Partition by triangle centroid into `k` vertical strips of equal width.
+/// Vertices shared between strips are duplicated into each partition that
+/// uses them (halo-free read-only decomposition).
+pub fn strip_partition(mesh: &TriMesh, k: usize) -> Vec<Partition> {
+    assert!(k >= 1, "need at least one partition");
+    let bb = mesh.aabb();
+    let width = bb.width().max(f64::MIN_POSITIVE);
+    partition_by(mesh, k, |c| {
+        (((c.x - bb.min.x) / width * k as f64) as usize).min(k - 1)
+    })
+}
+
+/// Partition by triangle centroid angle around the mesh centroid into `k`
+/// sectors — natural for annulus/disk meshes.
+pub fn sector_partition(mesh: &TriMesh, k: usize) -> Vec<Partition> {
+    assert!(k >= 1, "need at least one partition");
+    let bb = mesh.aabb();
+    let cx = (bb.min.x + bb.max.x) * 0.5;
+    let cy = (bb.min.y + bb.max.y) * 0.5;
+    partition_by(mesh, k, |c| {
+        let theta = (c.y - cy).atan2(c.x - cx) + std::f64::consts::PI;
+        ((theta / std::f64::consts::TAU * k as f64) as usize).min(k - 1)
+    })
+}
+
+fn partition_by(
+    mesh: &TriMesh,
+    k: usize,
+    assign: impl Fn(Point2) -> usize,
+) -> Vec<Partition> {
+    let mut tri_sets: Vec<Vec<[VertexId; 3]>> = vec![Vec::new(); k];
+    for t in 0..mesh.num_triangles() {
+        let tri = mesh.triangle(t as u32);
+        let part = assign(tri.centroid());
+        tri_sets[part].push(mesh.triangle_vertices(t as u32));
+    }
+
+    tri_sets
+        .into_par_iter()
+        .map(|tris| extract_submesh(mesh, &tris))
+        .collect()
+}
+
+/// Build a compact submesh from a set of parent triangles.
+fn extract_submesh(parent: &TriMesh, tris: &[[VertexId; 3]]) -> Partition {
+    let mut parent_to_local = vec![VertexId::MAX; parent.num_vertices()];
+    let mut to_parent = Vec::new();
+    let mut local_tris = Vec::with_capacity(tris.len());
+    for t in tris {
+        let mut lt = [0 as VertexId; 3];
+        for (i, &v) in t.iter().enumerate() {
+            if parent_to_local[v as usize] == VertexId::MAX {
+                parent_to_local[v as usize] = to_parent.len() as VertexId;
+                to_parent.push(v);
+            }
+            lt[i] = parent_to_local[v as usize];
+        }
+        local_tris.push(lt);
+    }
+    let points = to_parent.iter().map(|&v| parent.point(v)).collect();
+    Partition {
+        mesh: TriMesh::new(points, local_tris),
+        to_parent,
+    }
+}
+
+/// Run `f` over every partition in parallel and collect the results in
+/// partition order.
+pub fn par_map_partitions<T: Send>(
+    parts: &[Partition],
+    f: impl Fn(&Partition) -> T + Sync + Send,
+) -> Vec<T> {
+    parts.par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{annulus_mesh, rectangle_mesh};
+    use crate::geometry::Aabb;
+
+    fn rect() -> TriMesh {
+        rectangle_mesh(
+            8,
+            4,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(2.0, 1.0)]),
+        )
+    }
+
+    #[test]
+    fn strips_cover_all_triangles() {
+        let m = rect();
+        let parts = strip_partition(&m, 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.mesh.num_triangles()).sum();
+        assert_eq!(total, m.num_triangles());
+        let area: f64 = parts.iter().map(|p| p.mesh.total_area()).sum();
+        assert!((area - m.total_area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_partition_covers_annulus() {
+        let m = annulus_mesh(4, 32, 0.5, 1.0);
+        let parts = sector_partition(&m, 8);
+        let total: usize = parts.iter().map(|p| p.mesh.num_triangles()).sum();
+        assert_eq!(total, m.num_triangles());
+        for p in &parts {
+            assert!(p.mesh.num_triangles() > 0, "every sector should be hit");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let m = rect();
+        let parent_values: Vec<f64> = (0..m.num_vertices()).map(|i| i as f64).collect();
+        let parts = strip_partition(&m, 3);
+        let mut rebuilt = vec![0.0; m.num_vertices()];
+        for p in &parts {
+            let local = p.gather(&parent_values);
+            p.scatter(&local, &mut rebuilt);
+        }
+        // Every vertex belongs to at least one partition, so scatter of
+        // gathered values reconstructs the parent exactly.
+        assert_eq!(rebuilt, parent_values);
+    }
+
+    #[test]
+    fn submesh_geometry_matches_parent() {
+        let m = rect();
+        let parts = strip_partition(&m, 2);
+        for p in &parts {
+            for (local, &parent_v) in p.to_parent.iter().enumerate() {
+                assert_eq!(p.mesh.point(local as u32), m.point(parent_v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_is_whole_mesh() {
+        let m = rect();
+        let parts = strip_partition(&m, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].mesh.num_triangles(), m.num_triangles());
+        assert_eq!(parts[0].mesh.num_vertices(), m.num_vertices());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let m = rect();
+        let parts = strip_partition(&m, 4);
+        let counts = par_map_partitions(&parts, |p| p.mesh.num_triangles());
+        let direct: Vec<usize> = parts.iter().map(|p| p.mesh.num_triangles()).collect();
+        assert_eq!(counts, direct);
+    }
+}

@@ -1,0 +1,189 @@
+//! Mesh validity and quality metrics.
+//!
+//! Decimation rewrites connectivity thousands of times per level; these
+//! checks are the safety net that keeps the hierarchy restorable. They are
+//! used by tests, by debug assertions in `canopus-refactor`, and by the
+//! `repro` harness to report the quality of each level it generates.
+
+use crate::geometry::GEOM_EPS;
+use crate::mesh::{TriMesh, VertexId};
+use std::collections::HashMap;
+
+/// Outcome of [`check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Every edge is used by at most two triangles and the mesh has no
+    /// duplicated or degenerate connectivity.
+    pub is_manifold: bool,
+    /// Triangles with (near-)zero area.
+    pub degenerate_triangles: usize,
+    /// Triangles with negative orientation (folded over).
+    pub inverted_triangles: usize,
+    /// Number of edges used by exactly one triangle.
+    pub boundary_edges: usize,
+    /// Number of edges used by more than two triangles (non-manifold).
+    pub overused_edges: usize,
+    /// `V - E + F`; 1 for a disk-like patch, 0 for an annulus.
+    pub euler_characteristic: i64,
+    /// Minimum interior angle over all triangles, in radians.
+    pub min_angle: f64,
+    /// Ratio of longest to shortest edge over the whole mesh.
+    pub edge_length_ratio: f64,
+}
+
+/// Run the full validity/quality sweep over a mesh.
+pub fn check(mesh: &TriMesh) -> QualityReport {
+    let mut edge_use: HashMap<(VertexId, VertexId), u32> = HashMap::new();
+    let mut degenerate = 0usize;
+    let mut inverted = 0usize;
+    let mut min_angle = f64::INFINITY;
+    let mut min_edge = f64::INFINITY;
+    let mut max_edge: f64 = 0.0;
+    let mut duplicate_vertex_tri = 0usize;
+
+    for t in 0..mesh.num_triangles() {
+        let [a, b, c] = mesh.triangle_vertices(t as u32);
+        if a == b || b == c || a == c {
+            duplicate_vertex_tri += 1;
+            continue;
+        }
+        let tri = mesh.triangle(t as u32);
+        let sa2 = tri.signed_area2();
+        if sa2.abs() < GEOM_EPS {
+            degenerate += 1;
+        } else if sa2 < 0.0 {
+            inverted += 1;
+        }
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            *edge_use.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        }
+        for (p, q, r) in [
+            (tri.a, tri.b, tri.c),
+            (tri.b, tri.c, tri.a),
+            (tri.c, tri.a, tri.b),
+        ] {
+            let u = q.sub(p);
+            let v = r.sub(p);
+            let nu = u.norm();
+            let nv = v.norm();
+            if nu > 0.0 && nv > 0.0 {
+                let cosang = (u.dot(v) / (nu * nv)).clamp(-1.0, 1.0);
+                min_angle = min_angle.min(cosang.acos());
+            }
+            min_edge = min_edge.min(nu);
+            max_edge = max_edge.max(nu);
+        }
+    }
+
+    let boundary_edges = edge_use.values().filter(|&&u| u == 1).count();
+    let overused_edges = edge_use.values().filter(|&&u| u > 2).count();
+    let e = edge_use.len() as i64;
+    let v = mesh.num_vertices() as i64;
+    let f = mesh.num_triangles() as i64;
+
+    QualityReport {
+        is_manifold: overused_edges == 0 && duplicate_vertex_tri == 0,
+        degenerate_triangles: degenerate,
+        inverted_triangles: inverted,
+        boundary_edges,
+        overused_edges,
+        euler_characteristic: v - e + f,
+        min_angle: if min_angle.is_finite() { min_angle } else { 0.0 },
+        edge_length_ratio: if min_edge > 0.0 && max_edge > 0.0 {
+            max_edge / min_edge
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{annulus_mesh, disk_mesh, rectangle_mesh};
+    use crate::geometry::{Aabb, Point2};
+
+    #[test]
+    fn disk_patch_euler_characteristic_is_one() {
+        let m = rectangle_mesh(
+            4,
+            4,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        assert_eq!(check(&m).euler_characteristic, 1);
+        let d = disk_mesh(4, 12, 1.0);
+        assert_eq!(check(&d).euler_characteristic, 1);
+    }
+
+    #[test]
+    fn annulus_euler_characteristic_is_zero() {
+        let m = annulus_mesh(4, 16, 0.5, 1.0);
+        assert_eq!(check(&m).euler_characteristic, 0);
+    }
+
+    #[test]
+    fn detects_inverted_triangle() {
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 2, 1]], // clockwise
+        );
+        let r = check(&m);
+        assert_eq!(r.inverted_triangles, 1);
+    }
+
+    #[test]
+    fn detects_degenerate_triangle() {
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(2.0, 0.0),
+            ],
+            vec![[0, 1, 2]], // collinear
+        );
+        assert_eq!(check(&m).degenerate_triangles, 1);
+    }
+
+    #[test]
+    fn detects_non_manifold_edge() {
+        // Three triangles sharing edge (0,1).
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.5, 1.0),
+                Point2::new(0.5, -1.0),
+                Point2::new(0.5, 0.5),
+            ],
+            vec![[0, 1, 2], [0, 1, 3], [0, 1, 4]],
+        );
+        let r = check(&m);
+        assert!(!r.is_manifold);
+        assert_eq!(r.overused_edges, 1);
+    }
+
+    #[test]
+    fn detects_duplicate_vertex_triangle() {
+        let m = TriMesh::new(
+            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)],
+            vec![[0, 0, 1]],
+        );
+        assert!(!check(&m).is_manifold);
+    }
+
+    #[test]
+    fn structured_grid_min_angle_is_45_degrees() {
+        let m = rectangle_mesh(
+            3,
+            3,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        let r = check(&m);
+        assert!((r.min_angle - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+        assert!((r.edge_length_ratio - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Byte-splitting refactorer.
+//!
+//! Paper §III-C: "In general, Canopus supports various approaches to
+//! refactoring data, including byte splitting [19], block splitting [8],
+//! and mesh decimation." Byte splitting (the Exacution/EXAFEL lineage the
+//! paper cites as [19]) decomposes each double into byte planes: the base
+//! product carries the most significant bytes of every value (sign +
+//! exponent + leading mantissa), and each delta appends the next bytes.
+//! Restoration concatenates whatever prefixes are available and
+//! zero-fills the rest, giving progressively tighter *relative* error.
+//!
+//! Unlike mesh decimation, byte splitting keeps the full mesh resolution
+//! at every level — it trades precision instead of resolution — and its
+//! products do not compress as well (high mantissa bytes are
+//! noise-like). The `repro ablations` refactorer comparison quantifies
+//! exactly that trade-off, reproducing the paper's rationale for
+//! preferring decimation.
+
+use canopus_mesh::FieldStats;
+
+/// A byte-split plan: how many bytes of each f64 go to each product.
+/// Products are ordered base-first. The sum must be 8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytePlan(Vec<usize>);
+
+impl BytePlan {
+    /// Build a plan; `bytes_per_product` is base-first.
+    ///
+    /// # Panics
+    /// Panics unless every entry is ≥ 1 and the entries sum to 8.
+    pub fn new(bytes_per_product: Vec<usize>) -> Self {
+        assert!(
+            !bytes_per_product.is_empty() && bytes_per_product.iter().all(|&b| b >= 1),
+            "every product needs at least one byte"
+        );
+        assert_eq!(
+            bytes_per_product.iter().sum::<usize>(),
+            8,
+            "an f64 has exactly 8 bytes"
+        );
+        Self(bytes_per_product)
+    }
+
+    /// The paper-style 3-product plan: 2-byte base (sign + exponent +
+    /// 4 mantissa bits), then 3 + 3 mantissa bytes.
+    pub fn three_level() -> Self {
+        Self::new(vec![2, 3, 3])
+    }
+
+    pub fn num_products(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn bytes_of(&self, product: usize) -> usize {
+        self.0[product]
+    }
+}
+
+/// Split `data` into byte-plane products (base first). Bytes are taken
+/// most-significant-first so earlier products dominate accuracy.
+pub fn split_bytes(data: &[f64], plan: &BytePlan) -> Vec<Vec<u8>> {
+    let mut products: Vec<Vec<u8>> = plan
+        .0
+        .iter()
+        .map(|&b| Vec::with_capacity(b * data.len()))
+        .collect();
+    for &x in data {
+        let be = x.to_bits().to_be_bytes();
+        let mut offset = 0;
+        for (product, &nbytes) in products.iter_mut().zip(&plan.0) {
+            product.extend_from_slice(&be[offset..offset + nbytes]);
+            offset += nbytes;
+        }
+    }
+    products
+}
+
+/// Reconstruct values from the first `available` products; missing low
+/// bytes are zero-filled (truncation toward zero magnitude).
+///
+/// # Panics
+/// Panics if `available` is 0 or exceeds the plan, or product sizes are
+/// inconsistent.
+pub fn reconstruct_bytes(products: &[&[u8]], plan: &BytePlan, n: usize) -> Vec<f64> {
+    let available = products.len();
+    assert!(
+        available >= 1 && available <= plan.num_products(),
+        "need between 1 and {} products",
+        plan.num_products()
+    );
+    for (i, p) in products.iter().enumerate() {
+        assert_eq!(p.len(), plan.bytes_of(i) * n, "product {i} size mismatch");
+    }
+    let mut out = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut be = [0u8; 8];
+        let mut offset = 0;
+        for (i, p) in products.iter().enumerate() {
+            let nbytes = plan.bytes_of(i);
+            be[offset..offset + nbytes].copy_from_slice(&p[v * nbytes..(v + 1) * nbytes]);
+            offset += nbytes;
+        }
+        out.push(f64::from_bits(u64::from_be_bytes(be)));
+    }
+    out
+}
+
+/// Worst-case relative error of reconstructing with the first `available`
+/// products: `2^-(mantissa_bits_kept)`.
+pub fn relative_error_bound(plan: &BytePlan, available: usize) -> f64 {
+    let bits_kept: usize = plan.0[..available].iter().map(|b| b * 8).sum();
+    // 12 bits of sign+exponent precede the mantissa.
+    let mantissa_kept = bits_kept.saturating_sub(12);
+    f64::powi(2.0, -(mantissa_kept as i32))
+}
+
+/// Convenience: max absolute error of a byte-split reconstruction against
+/// the original, for tests/benches.
+pub fn measure_error(original: &[f64], reconstructed: &[f64]) -> (f64, f64) {
+    let abs = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let range = FieldStats::of(original).range().max(f64::MIN_POSITIVE);
+    (abs, abs / range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..257)
+            .map(|i| ((i as f64) * 0.7).sin() * 1e3 + 0.123456789)
+            .collect()
+    }
+
+    #[test]
+    fn full_reconstruction_is_bit_exact() {
+        let data = sample();
+        let plan = BytePlan::three_level();
+        let products = split_bytes(&data, &plan);
+        let refs: Vec<&[u8]> = products.iter().map(|p| p.as_slice()).collect();
+        let back = reconstruct_bytes(&refs, &plan, data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_per_product() {
+        let data = sample();
+        let plan = BytePlan::three_level();
+        let products = split_bytes(&data, &plan);
+        let mut last_err = f64::INFINITY;
+        for available in 1..=3 {
+            let refs: Vec<&[u8]> = products[..available].iter().map(|p| p.as_slice()).collect();
+            let back = reconstruct_bytes(&refs, &plan, data.len());
+            let (abs, _) = measure_error(&data, &back);
+            assert!(
+                abs < last_err || abs == 0.0,
+                "error must shrink: {abs} !< {last_err}"
+            );
+            last_err = abs;
+        }
+        assert_eq!(last_err, 0.0);
+    }
+
+    #[test]
+    fn base_only_error_respects_relative_bound() {
+        let data = sample();
+        let plan = BytePlan::three_level();
+        let products = split_bytes(&data, &plan);
+        let back = reconstruct_bytes(&[&products[0]], &plan, data.len());
+        let bound = relative_error_bound(&plan, 1);
+        for (a, b) in data.iter().zip(&back) {
+            let rel = (a - b).abs() / a.abs().max(f64::MIN_POSITIVE);
+            assert!(rel <= bound, "rel err {rel} > bound {bound} for {a}");
+        }
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let data = vec![0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 5e-324];
+        let plan = BytePlan::new(vec![4, 4]);
+        let products = split_bytes(&data, &plan);
+        let refs: Vec<&[u8]> = products.iter().map(|p| p.as_slice()).collect();
+        let back = reconstruct_bytes(&refs, &plan, data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Even base-only keeps the sign/exponent class of specials.
+        let base_only = reconstruct_bytes(&[&products[0]], &plan, data.len());
+        assert!(base_only[2].is_infinite());
+        assert!(base_only[4].is_nan());
+    }
+
+    #[test]
+    fn product_sizes_match_plan() {
+        let data = sample();
+        let plan = BytePlan::new(vec![1, 2, 5]);
+        let products = split_bytes(&data, &plan);
+        assert_eq!(products[0].len(), data.len());
+        assert_eq!(products[1].len(), 2 * data.len());
+        assert_eq!(products[2].len(), 5 * data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 8 bytes")]
+    fn rejects_bad_plan() {
+        BytePlan::new(vec![4, 3]);
+    }
+
+    #[test]
+    fn relative_bounds_shrink() {
+        let plan = BytePlan::three_level();
+        let b1 = relative_error_bound(&plan, 1);
+        let b2 = relative_error_bound(&plan, 2);
+        let b3 = relative_error_bound(&plan, 3);
+        assert!(b1 > b2 && b2 > b3);
+        assert_eq!(b1, f64::powi(2.0, -4)); // 16 bits - 12 = 4 mantissa bits
+    }
+}

@@ -1,0 +1,162 @@
+//! Delta calculation (paper Alg. 2, Eq. 1) and restoration (Alg. 3).
+//!
+//! `delta_x^{l-(l+1)} = L_x^l - Estimate(L_i^{l+1}, L_j^{l+1}, L_k^{l+1})`
+//! for the coarse triangle `<i, j, k>` containing `x`, and restoration is
+//! the exact inverse. Both sides evaluate the identical f64 estimate, so
+//! restoration with uncompressed deltas reproduces the fine level to
+//! within one floating-point rounding of the estimate (`(a-b)+b` is not
+//! always bit-identical to `a`); with compressed deltas the pointwise
+//! error adds the codec's bound.
+
+use crate::estimate::Estimator;
+use crate::mapping::Mapping;
+use canopus_mesh::TriMesh;
+use rayon::prelude::*;
+
+/// Compute `delta^{l-(l+1)}` for all fine vertices.
+///
+/// # Panics
+/// Panics on length mismatches between mesh, data and mapping.
+pub fn compute_delta(
+    fine_mesh: &TriMesh,
+    fine_data: &[f64],
+    coarse_mesh: &TriMesh,
+    coarse_data: &[f64],
+    mapping: &Mapping,
+    estimator: Estimator,
+) -> Vec<f64> {
+    assert_eq!(fine_data.len(), fine_mesh.num_vertices());
+    assert_eq!(coarse_data.len(), coarse_mesh.num_vertices());
+    assert_eq!(mapping.len(), fine_mesh.num_vertices());
+
+    (0..fine_data.len())
+        .into_par_iter()
+        .map(|x| {
+            let est = estimator.estimate(fine_mesh, x as u32, coarse_mesh, coarse_data, mapping[x]);
+            fine_data[x] - est
+        })
+        .collect()
+}
+
+/// Restore `L^l` from the coarse level and the delta (paper Alg. 3):
+/// `L_x^l = delta_x + Estimate(...)`.
+pub fn restore_level(
+    fine_mesh: &TriMesh,
+    delta: &[f64],
+    coarse_mesh: &TriMesh,
+    coarse_data: &[f64],
+    mapping: &Mapping,
+    estimator: Estimator,
+) -> Vec<f64> {
+    assert_eq!(delta.len(), fine_mesh.num_vertices());
+    assert_eq!(coarse_data.len(), coarse_mesh.num_vertices());
+    assert_eq!(mapping.len(), fine_mesh.num_vertices());
+
+    (0..delta.len())
+        .into_par_iter()
+        .map(|x| {
+            let est = estimator.estimate(fine_mesh, x as u32, coarse_mesh, coarse_data, mapping[x]);
+            delta[x] + est
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decimate::decimate;
+    use crate::mapping::build_mapping;
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_mesh::FieldStats;
+
+    fn setup() -> (TriMesh, Vec<f64>, TriMesh, Vec<f64>, Mapping) {
+        let fine = jitter_interior(
+            &rectangle_mesh(
+                14,
+                14,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            5,
+        );
+        let data: Vec<f64> = fine
+            .points()
+            .iter()
+            .map(|p| (p.x * 6.0).sin() * (p.y * 5.0).cos() + 0.3 * p.x)
+            .collect();
+        let dec = decimate(&fine, &data, 2.0);
+        let mapping = build_mapping(&fine, &dec.mesh);
+        (fine, data, dec.mesh, dec.data, mapping)
+    }
+
+    #[test]
+    fn delta_then_restore_inverts_to_rounding() {
+        for estimator in [Estimator::Mean, Estimator::Barycentric] {
+            let (fine, data, coarse, cdata, mapping) = setup();
+            let delta = compute_delta(&fine, &data, &coarse, &cdata, &mapping, estimator);
+            let restored = restore_level(&fine, &delta, &coarse, &cdata, &mapping, estimator);
+            let max_err = restored
+                .iter()
+                .zip(&data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err < 1e-14,
+                "estimator {estimator:?}: restoration error {max_err} beyond rounding"
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_are_smaller_and_smoother_than_the_field() {
+        // The paper's Fig. 4 observation: deltas are less variable than
+        // the levels themselves — the pre-conditioner effect.
+        let (fine, data, coarse, cdata, mapping) = setup();
+        let delta = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Mean);
+        let field_stats = FieldStats::of(&data);
+        let delta_stats = FieldStats::of(&delta);
+        assert!(
+            delta_stats.std_dev() < field_stats.std_dev(),
+            "delta std {} should be below field std {}",
+            delta_stats.std_dev(),
+            field_stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn barycentric_deltas_beat_mean_deltas_on_smooth_fields() {
+        let (fine, data, coarse, cdata, mapping) = setup();
+        let d_mean = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Mean);
+        let d_bary = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Barycentric);
+        let s_mean = FieldStats::of(&d_mean).std_dev();
+        let s_bary = FieldStats::of(&d_bary).std_dev();
+        assert!(
+            s_bary < s_mean,
+            "barycentric deltas ({s_bary}) should be tighter than mean deltas ({s_mean})"
+        );
+    }
+
+    #[test]
+    fn perturbed_coarse_data_perturbs_restoration_boundedly() {
+        // Lossy compression of the coarse level shifts the restored fine
+        // level by at most the same bound (Estimate is an affine map with
+        // weights summing to 1).
+        let (fine, data, coarse, cdata, mapping) = setup();
+        let delta = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Mean);
+        let eps = 1e-5;
+        let perturbed: Vec<f64> = cdata.iter().map(|v| v + eps).collect();
+        let restored = restore_level(&fine, &delta, &coarse, &perturbed, &mapping, Estimator::Mean);
+        for (r, d) in restored.iter().zip(&data) {
+            assert!((r - d).abs() <= eps * 1.000001);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_mapping_length() {
+        let (fine, data, coarse, cdata, _) = setup();
+        let bad_mapping = vec![0u32; 3];
+        compute_delta(&fine, &data, &coarse, &cdata, &bad_mapping, Estimator::Mean);
+    }
+}

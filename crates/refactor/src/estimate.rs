@@ -1,0 +1,148 @@
+//! The `Estimate(·)` function (paper Eqs. 2–3).
+//!
+//! `Estimate` predicts a fine-level value from the three corners of its
+//! containing coarse triangle: `α·L_i + β·L_j + γ·L_k` with
+//! `α + β + γ = 1`. The paper fixes `α = β = γ = 1/3` "for simplicity"
+//! and leaves the optimal form for future study — we implement both that
+//! default and the natural improvement (barycentric weights from the
+//! vertex position), and ablate them in `canopus-bench`.
+
+use canopus_mesh::TriMesh;
+
+/// Which estimator to use for delta calculation/restoration. Encoder and
+/// decoder must agree (the choice is recorded in the BP attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// The paper's default: equal weights `1/3` per corner.
+    #[default]
+    Mean,
+    /// Barycentric interpolation: weights from the fine vertex's position
+    /// inside the coarse triangle (clamped extrapolation outside).
+    Barycentric,
+}
+
+impl Estimator {
+    /// Stable identifier for metadata.
+    pub fn id(&self) -> u8 {
+        match self {
+            Estimator::Mean => 0,
+            Estimator::Barycentric => 1,
+        }
+    }
+
+    /// Inverse of [`Estimator::id`].
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(Estimator::Mean),
+            1 => Some(Estimator::Barycentric),
+            _ => None,
+        }
+    }
+
+    /// Predict the value at fine vertex `x` (a vertex of `fine_mesh`) from
+    /// coarse triangle `tri` of `coarse_mesh` with corner data taken from
+    /// `coarse_data`.
+    #[inline]
+    pub fn estimate(
+        &self,
+        fine_mesh: &TriMesh,
+        x: u32,
+        coarse_mesh: &TriMesh,
+        coarse_data: &[f64],
+        tri: u32,
+    ) -> f64 {
+        let [i, j, k] = coarse_mesh.triangle_vertices(tri);
+        let (li, lj, lk) = (
+            coarse_data[i as usize],
+            coarse_data[j as usize],
+            coarse_data[k as usize],
+        );
+        match self {
+            Estimator::Mean => (li + lj + lk) / 3.0,
+            Estimator::Barycentric => {
+                let t = coarse_mesh.triangle(tri);
+                match t.barycentric(fine_mesh.point(x)) {
+                    Some([wa, wb, wc]) => wa * li + wb * lj + wc * lk,
+                    // Degenerate coarse triangle: fall back to the mean.
+                    None => (li + lj + lk) / 3.0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::geometry::Point2;
+
+    fn one_triangle() -> TriMesh {
+        TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 1, 2]],
+        )
+    }
+
+    fn fine_point(p: Point2) -> TriMesh {
+        TriMesh::new(vec![p], vec![])
+    }
+
+    #[test]
+    fn mean_estimator_ignores_position() {
+        let coarse = one_triangle();
+        let data = [3.0, 6.0, 9.0];
+        for p in [Point2::new(0.1, 0.1), Point2::new(0.9, 0.05)] {
+            let fine = fine_point(p);
+            let e = Estimator::Mean.estimate(&fine, 0, &coarse, &data, 0);
+            assert!((e - 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn barycentric_reproduces_linear_fields_exactly() {
+        let coarse = one_triangle();
+        // f(x, y) = 2x + 5y + 1 at the corners.
+        let data = [1.0, 3.0, 6.0];
+        let p = Point2::new(0.25, 0.5);
+        let fine = fine_point(p);
+        let e = Estimator::Barycentric.estimate(&fine, 0, &coarse, &data, 0);
+        assert!((e - (2.0 * p.x + 5.0 * p.y + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barycentric_at_corner_returns_corner_value() {
+        let coarse = one_triangle();
+        let data = [7.0, -2.0, 4.0];
+        let fine = fine_point(Point2::new(1.0, 0.0));
+        let e = Estimator::Barycentric.estimate(&fine, 0, &coarse, &data, 0);
+        assert!((e - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_triangle_falls_back_to_mean() {
+        let coarse = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 1.0),
+                Point2::new(2.0, 2.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        let data = [3.0, 6.0, 9.0];
+        let fine = fine_point(Point2::new(0.5, 0.5));
+        let e = Estimator::Barycentric.estimate(&fine, 0, &coarse, &data, 0);
+        assert!((e - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        for e in [Estimator::Mean, Estimator::Barycentric] {
+            assert_eq!(Estimator::from_id(e.id()), Some(e));
+        }
+        assert_eq!(Estimator::from_id(9), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Building and traversing the full level hierarchy.
+//!
+//! This drives Alg. 1 + Alg. 2 per level: decimate `L^l → L^{l+1}`,
+//! locate every fine vertex in the coarse mesh, compute the delta, repeat
+//! until `N` levels exist. The hierarchy then restores any level from the
+//! base plus a delta subset — the paper's progressive retrieval — without
+//! ever touching the original data again.
+
+use crate::decimate::{decimate, DecimationResult};
+use crate::delta::{compute_delta, restore_level};
+use crate::estimate::Estimator;
+use crate::mapping::{build_mapping, Mapping};
+use canopus_mesh::TriMesh;
+
+/// Refactoring parameters (paper §III-B: `N` levels, per-level decimation
+/// ratio `d` so that `d^l = 2^l` with the default `d = 2`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefactorConfig {
+    /// Total number of levels `N` (>= 1). `N = 1` means "no refactoring";
+    /// the hierarchy is just the original data.
+    pub num_levels: u32,
+    /// Vertex-count ratio between adjacent levels (paper default 2).
+    pub per_level_ratio: f64,
+    /// The `Estimate(·)` variant for deltas.
+    pub estimator: Estimator,
+}
+
+impl Default for RefactorConfig {
+    fn default() -> Self {
+        Self {
+            num_levels: 3,
+            per_level_ratio: 2.0,
+            estimator: Estimator::Mean,
+        }
+    }
+}
+
+/// One accuracy level: its mesh and (exact) data.
+#[derive(Debug, Clone)]
+pub struct Level {
+    pub mesh: TriMesh,
+    pub data: Vec<f64>,
+}
+
+/// The complete refactored hierarchy for one variable.
+#[derive(Debug, Clone)]
+pub struct LevelHierarchy {
+    /// Levels `0..N`, index = accuracy level (0 = full accuracy).
+    pub levels: Vec<Level>,
+    /// `mappings[l]`: fine level `l` vertices → coarse level `l+1`
+    /// triangles (length `N-1`).
+    pub mappings: Vec<Mapping>,
+    /// `deltas[l] = delta^{l-(l+1)}` (length `N-1`).
+    pub deltas: Vec<Vec<f64>>,
+    pub config: RefactorConfig,
+}
+
+impl LevelHierarchy {
+    /// Refactor `data` over `mesh` into `config.num_levels` levels.
+    ///
+    /// # Panics
+    /// Panics if `config.num_levels == 0`, the ratio is < 1, or data and
+    /// mesh disagree.
+    pub fn build(mesh: &TriMesh, data: &[f64], config: RefactorConfig) -> Self {
+        assert!(config.num_levels >= 1, "need at least one level");
+        assert!(config.per_level_ratio >= 1.0, "ratio must be >= 1");
+        assert_eq!(data.len(), mesh.num_vertices());
+
+        let mut levels = vec![Level {
+            mesh: mesh.clone(),
+            data: data.to_vec(),
+        }];
+        let mut mappings = Vec::new();
+        let mut deltas = Vec::new();
+
+        for l in 0..config.num_levels.saturating_sub(1) {
+            let fine = &levels[l as usize];
+            let DecimationResult {
+                mesh: coarse_mesh,
+                data: coarse_data,
+                ..
+            } = decimate(&fine.mesh, &fine.data, config.per_level_ratio);
+            let mapping = build_mapping(&fine.mesh, &coarse_mesh);
+            let delta = compute_delta(
+                &fine.mesh,
+                &fine.data,
+                &coarse_mesh,
+                &coarse_data,
+                &mapping,
+                config.estimator,
+            );
+            mappings.push(mapping);
+            deltas.push(delta);
+            levels.push(Level {
+                mesh: coarse_mesh,
+                data: coarse_data,
+            });
+        }
+
+        Self {
+            levels,
+            mappings,
+            deltas,
+            config,
+        }
+    }
+
+    /// Number of levels `N`.
+    pub fn num_levels(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// The base (coarsest) level `L^{N-1}`.
+    pub fn base(&self) -> &Level {
+        self.levels.last().expect("at least one level")
+    }
+
+    /// Decimation ratio `d^l = |V^0| / |V^l|` of a level.
+    pub fn decimation_ratio(&self, level: u32) -> f64 {
+        self.levels[level as usize]
+            .mesh
+            .decimation_ratio_from(&self.levels[0].mesh)
+    }
+
+    /// Restore the data of `target_level` starting from the base data and
+    /// applying deltas `N-2, N-3, ..., target_level` — the paper's
+    /// `L^2 + delta^{1-2} + delta^{0-1} = L^0` chain. Exact up to one
+    /// floating-point rounding per applied delta.
+    pub fn restore_to(&self, target_level: u32) -> Vec<f64> {
+        assert!((target_level as usize) < self.levels.len());
+        let n = self.levels.len();
+        let mut current = self.base().data.clone();
+        for l in (target_level as usize..n - 1).rev() {
+            current = restore_level(
+                &self.levels[l].mesh,
+                &self.deltas[l],
+                &self.levels[l + 1].mesh,
+                &current,
+                &self.mappings[l],
+                self.config.estimator,
+            );
+        }
+        current
+    }
+
+    /// Total byte size of the raw (uncompressed) products Canopus would
+    /// store: base + all deltas. Used by the Fig. 5 experiments.
+    pub fn refactored_raw_bytes(&self) -> usize {
+        (self.base().data.len() + self.deltas.iter().map(Vec::len).sum::<usize>()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_mesh::quality;
+
+    fn mesh_and_data(n: usize) -> (TriMesh, Vec<f64>) {
+        let mesh = jitter_interior(
+            &rectangle_mesh(
+                n,
+                n,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            17,
+        );
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| (p.x * 7.0).sin() + (p.y * 4.0).cos())
+            .collect();
+        (mesh, data)
+    }
+
+    #[test]
+    fn three_level_build_shapes() {
+        let (mesh, data) = mesh_and_data(16);
+        let h = LevelHierarchy::build(&mesh, &data, RefactorConfig::default());
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.mappings.len(), 2);
+        assert_eq!(h.deltas.len(), 2);
+        assert!((h.decimation_ratio(1) - 2.0).abs() < 0.2);
+        assert!((h.decimation_ratio(2) - 4.0).abs() < 0.5);
+        for level in &h.levels {
+            assert!(quality::check(&level.mesh).is_manifold);
+            assert_eq!(level.mesh.num_vertices(), level.data.len());
+        }
+    }
+
+    #[test]
+    fn restore_chain_is_exact() {
+        let (mesh, data) = mesh_and_data(16);
+        for estimator in [Estimator::Mean, Estimator::Barycentric] {
+            let h = LevelHierarchy::build(
+                &mesh,
+                &data,
+                RefactorConfig {
+                    num_levels: 4,
+                    per_level_ratio: 2.0,
+                    estimator,
+                },
+            );
+            // Every level restores to rounding accuracy, not just level 0.
+            for target in 0..4u32 {
+                let restored = h.restore_to(target);
+                let max_err = restored
+                    .iter()
+                    .zip(&h.levels[target as usize].data)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    max_err < 1e-13,
+                    "level {target} with {estimator:?}: err {max_err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_hierarchy_is_identity() {
+        let (mesh, data) = mesh_and_data(8);
+        let h = LevelHierarchy::build(
+            &mesh,
+            &data,
+            RefactorConfig {
+                num_levels: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.num_levels(), 1);
+        assert!(h.deltas.is_empty());
+        assert_eq!(h.restore_to(0), data);
+        assert_eq!(h.base().data, data);
+    }
+
+    #[test]
+    fn refactored_size_roughly_matches_original() {
+        // base (n/4) + delta (n/2-ish... fine level n) — the refactored
+        // representation holds ~|V^0| + |V^1| + ... values total minus the
+        // base replacing its own level.
+        let (mesh, data) = mesh_and_data(16);
+        let h = LevelHierarchy::build(&mesh, &data, RefactorConfig::default());
+        let raw = data.len() * 8;
+        let refactored = h.refactored_raw_bytes();
+        // deltas: |V0| + |V1|, base: |V2| => ~1.75x the original.
+        assert!(refactored > raw);
+        assert!(refactored < 2 * raw);
+    }
+
+    #[test]
+    fn deeper_hierarchies_shrink_the_base() {
+        let (mesh, data) = mesh_and_data(20);
+        let h2 = LevelHierarchy::build(
+            &mesh,
+            &data,
+            RefactorConfig {
+                num_levels: 2,
+                ..Default::default()
+            },
+        );
+        let h4 = LevelHierarchy::build(
+            &mesh,
+            &data,
+            RefactorConfig {
+                num_levels: 4,
+                ..Default::default()
+            },
+        );
+        assert!(h4.base().data.len() < h2.base().data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn rejects_zero_levels() {
+        let (mesh, data) = mesh_and_data(4);
+        LevelHierarchy::build(
+            &mesh,
+            &data,
+            RefactorConfig {
+                num_levels: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Fine-vertex → coarse-triangle mapping.
+//!
+//! Restoration must know, for each vertex `V_x^l`, which triangle
+//! `<V_i^{l+1}, V_j^{l+1}, V_k^{l+1}>` it falls into. The paper stores
+//! this mapping in ADIOS metadata at refactor time precisely because the
+//! brute-force search at restore time "can be expensive" (§III-E2). We
+//! compute it once here with the grid locator and serialize it next to
+//! each delta.
+
+use canopus_mesh::locate::GridLocator;
+use canopus_mesh::TriMesh;
+use rayon::prelude::*;
+
+/// For each fine vertex, the containing (or nearest, if the hull shrank)
+/// coarse triangle id.
+pub type Mapping = Vec<u32>;
+
+/// Build the mapping from every vertex of `fine` to a triangle of
+/// `coarse`. Vertices outside the coarse hull are clamped to the nearest
+/// triangle — their barycentric estimate extrapolates, and the delta
+/// absorbs whatever error that introduces.
+///
+/// # Panics
+/// Panics if `coarse` has no triangles.
+pub fn build_mapping(fine: &TriMesh, coarse: &TriMesh) -> Mapping {
+    assert!(
+        coarse.num_triangles() > 0,
+        "cannot map onto an empty coarse mesh"
+    );
+    let locator = GridLocator::build(coarse);
+    fine.points()
+        .par_iter()
+        .map(|&p| {
+            locator
+                .locate(coarse, p)
+                .expect("coarse mesh is non-empty")
+                .triangle()
+        })
+        .collect()
+}
+
+/// Serialize a mapping as little-endian u32s.
+pub fn mapping_to_bytes(mapping: &Mapping) -> Vec<u8> {
+    let mut out = Vec::with_capacity(mapping.len() * 4);
+    for &t in mapping {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+/// Parse a mapping serialized by [`mapping_to_bytes`].
+pub fn mapping_from_bytes(bytes: &[u8]) -> Result<Mapping, String> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "mapping byte length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decimate::decimate;
+    use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
+    use canopus_mesh::geometry::{Aabb, Point2};
+
+    fn fine_and_coarse() -> (TriMesh, TriMesh) {
+        let fine = jitter_interior(
+            &rectangle_mesh(
+                12,
+                12,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            11,
+        );
+        let data = vec![0.0; fine.num_vertices()];
+        let coarse = decimate(&fine, &data, 2.0).mesh;
+        (fine, coarse)
+    }
+
+    #[test]
+    fn every_fine_vertex_gets_a_triangle() {
+        let (fine, coarse) = fine_and_coarse();
+        let mapping = build_mapping(&fine, &coarse);
+        assert_eq!(mapping.len(), fine.num_vertices());
+        for &t in &mapping {
+            assert!((t as usize) < coarse.num_triangles());
+        }
+    }
+
+    #[test]
+    fn interior_vertices_map_to_containing_triangles() {
+        let (fine, coarse) = fine_and_coarse();
+        let mapping = build_mapping(&fine, &coarse);
+        let mut contained = 0usize;
+        for (v, &t) in mapping.iter().enumerate() {
+            if coarse.triangle(t).contains(fine.point(v as u32)) {
+                contained += 1;
+            }
+        }
+        // Most fine vertices sit inside the coarse hull; only
+        // boundary-adjacent ones (a perimeter band) may be clamped.
+        assert!(
+            contained as f64 > 0.8 * fine.num_vertices() as f64,
+            "only {contained}/{} contained",
+            fine.num_vertices()
+        );
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let (fine, coarse) = fine_and_coarse();
+        assert_eq!(build_mapping(&fine, &coarse), build_mapping(&fine, &coarse));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m: Mapping = vec![0, 7, 42, u32::MAX];
+        let bytes = mapping_to_bytes(&m);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(mapping_from_bytes(&bytes).unwrap(), m);
+        assert!(mapping_from_bytes(&bytes[..5]).is_err());
+        assert_eq!(mapping_from_bytes(&[]).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty coarse mesh")]
+    fn rejects_empty_coarse() {
+        let (fine, _) = fine_and_coarse();
+        build_mapping(&fine, &TriMesh::default());
+    }
+}

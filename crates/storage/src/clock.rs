@@ -1,0 +1,124 @@
+//! Deterministic simulated time.
+//!
+//! All I/O timings in the reproduction come from the tier model, not the
+//! wall clock, so the benchmark figures are exactly reproducible on any
+//! host. `SimClock` is thread-safe: parallel writers account their
+//! transfer times with atomic accumulation (the paper writes tiers
+//! sequentially per process, so serialized accumulation matches its
+//! "total time spent on writing both tiers" measurement).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A span of simulated time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimDuration(pub f64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: Self) -> Self {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// Monotonic simulated clock. Time is stored as nanoseconds in an atomic
+/// so concurrent accounting is exact and deterministic in total (the sum
+/// of advances is order-independent).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `dt` and return the new time.
+    pub fn advance(&self, dt: SimDuration) -> SimDuration {
+        assert!(dt.0 >= 0.0, "cannot advance time backwards");
+        let dn = (dt.0 * 1e9).round() as u64;
+        let after = self.nanos.fetch_add(dn, Ordering::Relaxed) + dn;
+        SimDuration(after as f64 / 1e9)
+    }
+
+    /// Current simulated time since construction.
+    pub fn now(&self) -> SimDuration {
+        SimDuration(self.nanos.load(Ordering::Relaxed) as f64 / 1e9)
+    }
+
+    /// Reset to zero (between experiments).
+    pub fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate() {
+        let c = SimClock::new();
+        c.advance(SimDuration(1.5));
+        c.advance(SimDuration(0.25));
+        assert!((c.now().seconds() - 1.75).abs() < 1e-9);
+        c.reset();
+        assert_eq!(c.now().seconds(), 0.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let total: SimDuration = [SimDuration(1.0), SimDuration(2.0), SimDuration(3.0)]
+            .into_iter()
+            .sum();
+        assert!((total.seconds() - 6.0).abs() < 1e-12);
+        let mut d = SimDuration(1.0);
+        d += SimDuration(0.5);
+        assert!((d.seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rejects_negative_advance() {
+        SimClock::new().advance(SimDuration(-1.0));
+    }
+
+    #[test]
+    fn concurrent_advances_sum_exactly() {
+        use std::sync::Arc;
+        let c = Arc::new(SimClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(SimDuration(0.001));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((c.now().seconds() - 8.0).abs() < 1e-6);
+    }
+}

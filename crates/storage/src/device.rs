@@ -1,0 +1,357 @@
+//! Key→bytes store backing one tier.
+//!
+//! Devices hold real bytes so every experiment round-trips actual data —
+//! a placement bug cannot hide behind a timing model. Capacity is enforced
+//! strictly; the hierarchy's placement policy relies on
+//! [`StorageError::CapacityExceeded`] to implement the paper's "if a
+//! storage tier doesn't have sufficient capacity, it will be bypassed".
+//!
+//! Two backends share the same interface: the default in-memory store
+//! (benchmarks want determinism and speed) and a directory-backed store
+//! ([`Device::file_backed`]) that persists objects as files so the
+//! `canopus` CLI can span multiple process invocations.
+
+use crate::error::StorageError;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Thread-safe object store with a byte-capacity limit.
+#[derive(Debug)]
+pub struct Device {
+    name: String,
+    capacity: u64,
+    inner: RwLock<Inner>,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Memory,
+    Disk { dir: PathBuf },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Memory backend: the payloads. Disk backend: payload sizes only
+    /// (`Bytes::new()` placeholders keep one map shape for both).
+    objects: HashMap<String, Bytes>,
+    used: u64,
+}
+
+/// Object keys contain `/`; encode them reversibly for the filesystem.
+fn encode_key(key: &str) -> String {
+    key.replace('%', "%25").replace('/', "%2F")
+}
+
+fn decode_key(name: &str) -> String {
+    name.replace("%2F", "/").replace("%25", "%")
+}
+
+impl Device {
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        Self {
+            name: name.into(),
+            capacity,
+            inner: RwLock::new(Inner::default()),
+            backend: Backend::Memory,
+        }
+    }
+
+    /// A device persisting objects as files under `dir` (created if
+    /// absent). Existing objects are indexed so reopening a store
+    /// resumes where the last process left off.
+    pub fn file_backed(
+        name: impl Into<String>,
+        capacity: u64,
+        dir: impl Into<PathBuf>,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut objects = HashMap::new();
+        let mut used = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                let size = entry.metadata()?.len();
+                let key = decode_key(&entry.file_name().to_string_lossy());
+                objects.insert(key, Bytes::new());
+                used += size;
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            capacity,
+            inner: RwLock::new(Inner { objects, used }),
+            backend: Backend::Disk { dir },
+        })
+    }
+
+    fn path_of(&self, key: &str) -> Option<PathBuf> {
+        match &self.backend {
+            Backend::Memory => None,
+            Backend::Disk { dir } => Some(dir.join(encode_key(key))),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.inner.read().used
+    }
+
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Store an object. Fails if the key exists or capacity would be
+    /// exceeded (replacement must be explicit via [`Device::remove`]).
+    pub fn put(&self, key: &str, data: Bytes) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        if inner.objects.contains_key(key) {
+            return Err(StorageError::AlreadyExists(key.to_string()));
+        }
+        let sz = data.len() as u64;
+        let available = self.capacity - inner.used;
+        if sz > available {
+            return Err(StorageError::CapacityExceeded {
+                tier: self.name.clone(),
+                requested: sz,
+                available,
+            });
+        }
+        if let Some(path) = self.path_of(key) {
+            std::fs::write(&path, &data).map_err(|e| {
+                StorageError::PlacementFailed(format!("io writing {}: {e}", path.display()))
+            })?;
+            inner.objects.insert(key.to_string(), Bytes::new());
+        } else {
+            inner.objects.insert(key.to_string(), data);
+        }
+        inner.used += sz;
+        Ok(())
+    }
+
+    /// Fetch an object (cheap clone of a refcounted buffer for the memory
+    /// backend; a file read for the disk backend).
+    pub fn get(&self, key: &str) -> Result<Bytes, StorageError> {
+        let inner = self.inner.read();
+        if !inner.objects.contains_key(key) {
+            return Err(StorageError::NotFound(key.to_string()));
+        }
+        match self.path_of(key) {
+            None => Ok(inner.objects[key].clone()),
+            Some(path) => std::fs::read(&path).map(Bytes::from).map_err(|e| {
+                StorageError::NotFound(format!("{key} (io: {e})"))
+            }),
+        }
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.read().objects.contains_key(key)
+    }
+
+    /// Size of an object in bytes.
+    pub fn size_of(&self, key: &str) -> Result<u64, StorageError> {
+        let inner = self.inner.read();
+        if !inner.objects.contains_key(key) {
+            return Err(StorageError::NotFound(key.to_string()));
+        }
+        match self.path_of(key) {
+            None => Ok(inner.objects[key].len() as u64),
+            Some(path) => std::fs::metadata(&path)
+                .map(|m| m.len())
+                .map_err(|e| StorageError::NotFound(format!("{key} (io: {e})"))),
+        }
+    }
+
+    /// Delete an object, returning its bytes (for eviction/migration).
+    pub fn remove(&self, key: &str) -> Result<Bytes, StorageError> {
+        let data = self.get(key)?;
+        let mut inner = self.inner.write();
+        if inner.objects.remove(key).is_none() {
+            return Err(StorageError::NotFound(key.to_string()));
+        }
+        if let Some(path) = self.path_of(key) {
+            let _ = std::fs::remove_file(path);
+        }
+        inner.used -= data.len() as u64;
+        Ok(data)
+    }
+
+    /// All stored keys (sorted, for deterministic reports).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.read().objects.keys().cloned().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        if let Backend::Disk { dir } = &self.backend {
+            for key in inner.objects.keys() {
+                let _ = std::fs::remove_file(dir.join(encode_key(key)));
+            }
+        }
+        inner.objects.clear();
+        inner.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let d = Device::new("t", 1024);
+        d.put("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(d.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(d.used(), 5);
+        assert_eq!(d.size_of("a").unwrap(), 5);
+        assert!(d.contains("a"));
+        assert!(!d.contains("b"));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let d = Device::new("small", 10);
+        d.put("a", Bytes::from(vec![0u8; 6])).unwrap();
+        let err = d.put("b", Bytes::from(vec![0u8; 6])).unwrap_err();
+        match err {
+            StorageError::CapacityExceeded {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, 6);
+                assert_eq!(available, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Exactly filling is fine.
+        d.put("c", Bytes::from(vec![0u8; 4])).unwrap();
+        assert_eq!(d.available(), 0);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let d = Device::new("t", 100);
+        d.put("k", Bytes::from_static(b"1")).unwrap();
+        assert_eq!(
+            d.put("k", Bytes::from_static(b"2")).unwrap_err(),
+            StorageError::AlreadyExists("k".into())
+        );
+    }
+
+    #[test]
+    fn remove_releases_capacity() {
+        let d = Device::new("t", 10);
+        d.put("a", Bytes::from(vec![1u8; 10])).unwrap();
+        assert_eq!(d.available(), 0);
+        let data = d.remove("a").unwrap();
+        assert_eq!(data.len(), 10);
+        assert_eq!(d.available(), 10);
+        assert!(d.remove("a").is_err());
+    }
+
+    #[test]
+    fn keys_sorted_and_clear() {
+        let d = Device::new("t", 100);
+        d.put("b", Bytes::from_static(b"x")).unwrap();
+        d.put("a", Bytes::from_static(b"y")).unwrap();
+        assert_eq!(d.keys(), vec!["a".to_string(), "b".to_string()]);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn file_backed_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("canopus_dev_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let d = Device::file_backed("disk", 1024, &dir).unwrap();
+            d.put("a/b", Bytes::from_static(b"hello")).unwrap();
+            d.put("p%q", Bytes::from_static(b"odd")).unwrap();
+            assert_eq!(d.get("a/b").unwrap(), Bytes::from_static(b"hello"));
+            assert_eq!(d.used(), 8);
+            assert_eq!(d.size_of("p%q").unwrap(), 3);
+        }
+        // Reopen: the index is rebuilt from the directory.
+        {
+            let d = Device::file_backed("disk", 1024, &dir).unwrap();
+            assert_eq!(d.used(), 8);
+            assert_eq!(d.keys(), vec!["a/b".to_string(), "p%q".to_string()]);
+            assert_eq!(d.get("a/b").unwrap(), Bytes::from_static(b"hello"));
+            let removed = d.remove("a/b").unwrap();
+            assert_eq!(removed, Bytes::from_static(b"hello"));
+            assert_eq!(d.used(), 3);
+        }
+        // Removal persisted too.
+        {
+            let d = Device::file_backed("disk", 1024, &dir).unwrap();
+            assert!(d.get("a/b").is_err());
+            assert_eq!(d.used(), 3);
+            d.clear();
+            assert_eq!(d.used(), 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_capacity_enforced() {
+        let dir = std::env::temp_dir().join(format!("canopus_cap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = Device::file_backed("disk", 10, &dir).unwrap();
+        d.put("a", Bytes::from(vec![0u8; 8])).unwrap();
+        assert!(matches!(
+            d.put("b", Bytes::from(vec![0u8; 8])),
+            Err(StorageError::CapacityExceeded { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_encoding_roundtrip() {
+        for key in ["a/b/c", "plain", "x%2Fy", "%", "a%b/c%d"] {
+            assert_eq!(decode_key(&encode_key(key)), key, "{key}");
+        }
+    }
+
+    #[test]
+    fn concurrent_puts_respect_capacity() {
+        use std::sync::Arc;
+        let d = Arc::new(Device::new("t", 100));
+        let mut handles = Vec::new();
+        for i in 0..20 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                d.put(&format!("k{i}"), Bytes::from(vec![0u8; 10])).is_ok()
+            }));
+        }
+        let ok_count = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(ok_count, 10, "exactly capacity/object_size puts succeed");
+        assert_eq!(d.used(), 100);
+    }
+}

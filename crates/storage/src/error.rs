@@ -1,0 +1,60 @@
+//! Storage error type.
+
+/// Failure inside the storage substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Writing `requested` bytes would exceed the tier's remaining
+    /// capacity.
+    CapacityExceeded {
+        tier: String,
+        requested: u64,
+        available: u64,
+    },
+    /// No object with this key exists anywhere in the hierarchy.
+    NotFound(String),
+    /// A tier index outside the hierarchy was addressed.
+    NoSuchTier(usize),
+    /// No tier had room for a product during placement.
+    PlacementFailed(String),
+    /// Writing an already-existing key without overwrite permission.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::CapacityExceeded {
+                tier,
+                requested,
+                available,
+            } => write!(
+                f,
+                "tier {tier}: write of {requested} B exceeds remaining {available} B"
+            ),
+            StorageError::NotFound(k) => write!(f, "object {k:?} not found in any tier"),
+            StorageError::NoSuchTier(i) => write!(f, "tier index {i} out of range"),
+            StorageError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
+            StorageError::AlreadyExists(k) => write!(f, "object {k:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = StorageError::CapacityExceeded {
+            tier: "nvram".into(),
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("nvram") && s.contains("100") && s.contains("10"));
+        assert!(StorageError::NotFound("x".into()).to_string().contains("x"));
+        assert!(StorageError::NoSuchTier(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,313 @@
+//! The ordered tier stack.
+//!
+//! `StorageHierarchy` composes [`TierSpec`]s with backing [`Device`]s and a
+//! shared [`SimClock`]. Tier 0 is the fastest/smallest (the top of the
+//! pyramid in the paper's Fig. 1); reads search fastest-first.
+
+use crate::clock::{SimClock, SimDuration};
+use crate::device::Device;
+use crate::error::StorageError;
+use crate::tier::TierSpec;
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Cumulative per-tier I/O accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierStats {
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub writes: u64,
+    pub reads: u64,
+    pub write_time: SimDuration,
+    pub read_time: SimDuration,
+}
+
+struct TierState {
+    spec: TierSpec,
+    device: Device,
+    stats: Mutex<TierStats>,
+}
+
+/// An ordered stack of storage tiers (index 0 = fastest).
+pub struct StorageHierarchy {
+    tiers: Vec<TierState>,
+    clock: SimClock,
+}
+
+impl StorageHierarchy {
+    /// Build a hierarchy from fast-to-slow tier specs.
+    ///
+    /// # Panics
+    /// Panics on an empty spec list.
+    pub fn new(specs: Vec<TierSpec>) -> Self {
+        assert!(!specs.is_empty(), "hierarchy needs at least one tier");
+        let tiers = specs
+            .into_iter()
+            .map(|spec| TierState {
+                device: Device::new(spec.name.clone(), spec.capacity),
+                spec,
+                stats: Mutex::new(TierStats::default()),
+            })
+            .collect();
+        Self {
+            tiers,
+            clock: SimClock::new(),
+        }
+    }
+
+    /// Build a hierarchy whose tiers persist as subdirectories of `root`
+    /// (one per tier name). Reopening the same root resumes with all
+    /// previously stored objects — this is what the `canopus` CLI uses to
+    /// span process invocations.
+    pub fn file_backed(
+        specs: Vec<TierSpec>,
+        root: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        assert!(!specs.is_empty(), "hierarchy needs at least one tier");
+        let root = root.as_ref();
+        let mut tiers = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            let dir = root.join(format!("{i}-{}", spec.name));
+            tiers.push(TierState {
+                device: Device::file_backed(spec.name.clone(), spec.capacity, dir)?,
+                spec,
+                stats: Mutex::new(TierStats::default()),
+            });
+        }
+        Ok(Self {
+            tiers,
+            clock: SimClock::new(),
+        })
+    }
+
+    /// The paper's Titan testbed: DRAM tmpfs over Lustre. `tmpfs_capacity`
+    /// reflects the proportional-allocation assumption of §IV-B (the tmpfs
+    /// slice allocated to the simulation is `s/x` for output size `s`).
+    pub fn titan_two_tier(tmpfs_capacity: u64, lustre_capacity: u64) -> Self {
+        Self::new(vec![
+            TierSpec::tmpfs(tmpfs_capacity),
+            TierSpec::lustre(lustre_capacity),
+        ])
+    }
+
+    /// A Summit/Aurora-style deep hierarchy (paper Fig. 2's tier stack).
+    pub fn deep_four_tier(
+        nvram_capacity: u64,
+        bb_capacity: u64,
+        pfs_capacity: u64,
+        campaign_capacity: u64,
+    ) -> Self {
+        Self::new(vec![
+            TierSpec::nvram(nvram_capacity),
+            TierSpec::burst_buffer(bb_capacity),
+            TierSpec::lustre(pfs_capacity),
+            TierSpec::campaign(campaign_capacity),
+        ])
+    }
+
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    pub fn tier_spec(&self, idx: usize) -> Result<&TierSpec, StorageError> {
+        self.tiers
+            .get(idx)
+            .map(|t| &t.spec)
+            .ok_or(StorageError::NoSuchTier(idx))
+    }
+
+    pub fn tier_device(&self, idx: usize) -> Result<&Device, StorageError> {
+        self.tiers
+            .get(idx)
+            .map(|t| &t.device)
+            .ok_or(StorageError::NoSuchTier(idx))
+    }
+
+    pub fn tier_stats(&self, idx: usize) -> Result<TierStats, StorageError> {
+        self.tiers
+            .get(idx)
+            .map(|t| *t.stats.lock())
+            .ok_or(StorageError::NoSuchTier(idx))
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Write an object to a specific tier, advancing simulated time by the
+    /// modeled transfer cost. Returns the transfer duration.
+    pub fn write_to_tier(
+        &self,
+        idx: usize,
+        key: &str,
+        data: Bytes,
+    ) -> Result<SimDuration, StorageError> {
+        let tier = self.tiers.get(idx).ok_or(StorageError::NoSuchTier(idx))?;
+        let sz = data.len() as u64;
+        tier.device.put(key, data)?;
+        let dt = SimDuration(tier.spec.write_time(sz));
+        self.clock.advance(dt);
+        let mut stats = tier.stats.lock();
+        stats.bytes_written += sz;
+        stats.writes += 1;
+        stats.write_time += dt;
+        Ok(dt)
+    }
+
+    /// Locate an object, searching fastest-first. Returns its tier index.
+    pub fn find(&self, key: &str) -> Result<usize, StorageError> {
+        self.tiers
+            .iter()
+            .position(|t| t.device.contains(key))
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    /// Read an object from wherever it lives (fastest tier first),
+    /// advancing simulated time. Returns the bytes, the tier it came from
+    /// and the transfer duration.
+    pub fn read(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
+        let idx = self.find(key)?;
+        let tier = &self.tiers[idx];
+        let data = tier.device.get(key)?;
+        let dt = SimDuration(tier.spec.read_time(data.len() as u64));
+        self.clock.advance(dt);
+        let mut stats = tier.stats.lock();
+        stats.bytes_read += data.len() as u64;
+        stats.reads += 1;
+        stats.read_time += dt;
+        Ok((data, idx, dt))
+    }
+
+    /// Remove an object from whichever tier holds it.
+    pub fn remove(&self, key: &str) -> Result<Bytes, StorageError> {
+        let idx = self.find(key)?;
+        self.tiers[idx].device.remove(key)
+    }
+
+    /// Wipe all tiers and reset clock + stats (between experiments).
+    pub fn clear(&self) {
+        for t in &self.tiers {
+            t.device.clear();
+            *t.stats.lock() = TierStats::default();
+        }
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> StorageHierarchy {
+        StorageHierarchy::new(vec![
+            TierSpec::new("fast", 100, 1000.0, 1000.0, 0.0),
+            TierSpec::new("slow", 10_000, 10.0, 10.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_timing() {
+        let h = two_tier();
+        let dt = h.write_to_tier(0, "base", Bytes::from(vec![7u8; 50])).unwrap();
+        assert!((dt.seconds() - 0.05).abs() < 1e-9);
+        let (data, tier, dt) = h.read("base").unwrap();
+        assert_eq!(data.len(), 50);
+        assert_eq!(tier, 0);
+        assert!((dt.seconds() - 0.05).abs() < 1e-9);
+        assert!((h.clock().now().seconds() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_prefer_fast_tier() {
+        let h = two_tier();
+        h.write_to_tier(0, "x", Bytes::from(vec![1u8; 10])).unwrap();
+        h.write_to_tier(1, "y", Bytes::from(vec![2u8; 10])).unwrap();
+        assert_eq!(h.read("x").unwrap().1, 0);
+        assert_eq!(h.read("y").unwrap().1, 1);
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let h = two_tier();
+        assert!(matches!(h.read("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(h.find("nope"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let h = two_tier();
+        let err = h
+            .write_to_tier(0, "big", Bytes::from(vec![0u8; 200]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let h = two_tier();
+        h.write_to_tier(1, "a", Bytes::from(vec![0u8; 100])).unwrap();
+        h.read("a").unwrap();
+        h.read("a").unwrap();
+        let s = h.tier_stats(1).unwrap();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 200);
+        assert!(s.read_time.seconds() > s.write_time.seconds());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let h = two_tier();
+        h.write_to_tier(0, "a", Bytes::from(vec![0u8; 10])).unwrap();
+        h.clear();
+        assert!(h.read("a").is_err());
+        assert_eq!(h.clock().now().seconds(), 0.0);
+        assert_eq!(h.tier_stats(0).unwrap(), TierStats::default());
+    }
+
+    #[test]
+    fn preset_hierarchies() {
+        let t = StorageHierarchy::titan_two_tier(1 << 20, 1 << 30);
+        assert_eq!(t.num_tiers(), 2);
+        assert_eq!(t.tier_spec(0).unwrap().name, "tmpfs");
+        let d = StorageHierarchy::deep_four_tier(1, 2, 3, 4);
+        assert_eq!(d.num_tiers(), 4);
+        assert!(d.tier_spec(4).is_err());
+    }
+
+    #[test]
+    fn file_backed_hierarchy_persists_across_reopen() {
+        let root = std::env::temp_dir().join(format!("canopus_hier_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let specs = || {
+            vec![
+                TierSpec::new("fast", 1000, 1e6, 1e6, 0.0),
+                TierSpec::new("slow", 100_000, 1e3, 1e3, 1e-3),
+            ]
+        };
+        {
+            let h = StorageHierarchy::file_backed(specs(), &root).unwrap();
+            h.write_to_tier(0, "x/base", Bytes::from(vec![7u8; 100])).unwrap();
+            h.write_to_tier(1, "x/delta", Bytes::from(vec![9u8; 500])).unwrap();
+        }
+        {
+            let h = StorageHierarchy::file_backed(specs(), &root).unwrap();
+            assert_eq!(h.find("x/base").unwrap(), 0);
+            assert_eq!(h.find("x/delta").unwrap(), 1);
+            let (data, tier, _) = h.read("x/base").unwrap();
+            assert_eq!(tier, 0);
+            assert_eq!(data, Bytes::from(vec![7u8; 100]));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn remove_from_hierarchy() {
+        let h = two_tier();
+        h.write_to_tier(1, "a", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(h.remove("a").unwrap().len(), 10);
+        assert!(h.find("a").is_err());
+    }
+}

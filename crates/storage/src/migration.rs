@@ -1,0 +1,268 @@
+//! Data migration and eviction between tiers.
+//!
+//! The paper's §IV-B assumes the base dataset always fits the fast tier
+//! and notes: "in a production environment, this may not be true and we
+//! believe data migration and eviction will play an integral part, which
+//! needs to be developed in Canopus." This module develops it:
+//!
+//! * [`StorageHierarchy::migrate`] moves one object between tiers,
+//!   accounting a read on the source and a write on the destination;
+//! * [`StorageHierarchy::make_room`] evicts the least-recently-used
+//!   objects of a tier downward (demotion) until the requested bytes fit;
+//! * [`StorageHierarchy::promote`] pulls a hot object up to the fastest
+//!   tier with room, optionally evicting colder data to make space.
+//!
+//! Recency comes from a logical access counter bumped on every read, so
+//! eviction order is deterministic for a given operation sequence.
+
+use crate::error::StorageError;
+use crate::hierarchy::StorageHierarchy;
+use crate::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// LRU bookkeeping shared by the migration operations. Kept separate from
+/// the hierarchy so plain reads stay lock-free on this state when
+/// tracking is unused.
+#[derive(Debug, Default)]
+pub struct AccessTracker {
+    clock: AtomicU64,
+    last_access: Mutex<HashMap<String, u64>>,
+}
+
+impl AccessTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an access to `key`.
+    pub fn touch(&self, key: &str) {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.last_access.lock().insert(key.to_string(), t);
+    }
+
+    /// Logical time of the last access (0 = never).
+    pub fn last_access(&self, key: &str) -> u64 {
+        self.last_access.lock().get(key).copied().unwrap_or(0)
+    }
+
+    /// Forget a key (after deletion).
+    pub fn forget(&self, key: &str) {
+        self.last_access.lock().remove(key);
+    }
+}
+
+impl StorageHierarchy {
+    /// Move `key` from wherever it lives to `to_tier`. Costs one read on
+    /// the source tier plus one write on the destination.
+    pub fn migrate(&self, key: &str, to_tier: usize) -> Result<SimDuration, StorageError> {
+        let from = self.find(key)?;
+        if from == to_tier {
+            return Ok(SimDuration::ZERO);
+        }
+        // Read (accounted), remove, write (accounted).
+        let (data, _, read_time) = self.read(key)?;
+        // Ensure destination capacity before destroying the source copy.
+        let dest = self.tier_device(to_tier)?;
+        if (dest.available() as usize) < data.len() {
+            return Err(StorageError::CapacityExceeded {
+                tier: self.tier_spec(to_tier)?.name.clone(),
+                requested: data.len() as u64,
+                available: dest.available(),
+            });
+        }
+        self.tier_device(from)?.remove(key)?;
+        let write_time = self.write_to_tier(to_tier, key, data)?;
+        Ok(read_time + write_time)
+    }
+
+    /// Demote least-recently-used objects from `tier` to the next tier(s)
+    /// down until at least `bytes` are free. Objects never used rank
+    /// coldest. Fails if the lower tiers cannot absorb the demotions.
+    pub fn make_room(
+        &self,
+        tier: usize,
+        bytes: u64,
+        tracker: &AccessTracker,
+    ) -> Result<SimDuration, StorageError> {
+        if tier + 1 >= self.num_tiers() {
+            return Err(StorageError::PlacementFailed(format!(
+                "cannot evict below the last tier ({tier})"
+            )));
+        }
+        let device = self.tier_device(tier)?;
+        let mut freed_time = SimDuration::ZERO;
+        while device.available() < bytes {
+            // Coldest object on this tier.
+            let victim = device
+                .keys()
+                .into_iter()
+                .min_by_key(|k| (tracker.last_access(k), k.clone()))
+                .ok_or_else(|| {
+                    StorageError::PlacementFailed(format!(
+                        "tier {tier} is empty but still lacks {bytes} B"
+                    ))
+                })?;
+            // Demote to the first lower tier with room.
+            let size = device.size_of(&victim)?;
+            let mut placed = false;
+            for lower in tier + 1..self.num_tiers() {
+                if self.tier_device(lower)?.available() >= size {
+                    freed_time += self.migrate(&victim, lower)?;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(StorageError::PlacementFailed(format!(
+                    "no lower tier can absorb {victim} ({size} B)"
+                )));
+            }
+        }
+        Ok(freed_time)
+    }
+
+    /// Promote `key` to the fastest tier that can hold it, demoting cold
+    /// objects from tier 0 first if `evict` is set.
+    pub fn promote(
+        &self,
+        key: &str,
+        tracker: &AccessTracker,
+        evict: bool,
+    ) -> Result<usize, StorageError> {
+        let current = self.find(key)?;
+        let size = self.tier_device(current)?.size_of(key)?;
+        for target in 0..current {
+            let dev = self.tier_device(target)?;
+            if dev.available() >= size {
+                self.migrate(key, target)?;
+                tracker.touch(key);
+                return Ok(target);
+            }
+            if evict && self.make_room(target, size, tracker).is_ok() {
+                self.migrate(key, target)?;
+                tracker.touch(key);
+                return Ok(target);
+            }
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::TierSpec;
+    use bytes::Bytes;
+
+    fn hierarchy() -> StorageHierarchy {
+        StorageHierarchy::new(vec![
+            TierSpec::new("fast", 100, 1000.0, 1000.0, 0.0),
+            TierSpec::new("mid", 300, 100.0, 100.0, 0.0),
+            TierSpec::new("slow", 10_000, 10.0, 10.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn migrate_moves_bytes_and_accounts_time() {
+        let h = hierarchy();
+        h.write_to_tier(0, "a", Bytes::from(vec![1u8; 50])).unwrap();
+        let dt = h.migrate("a", 2).unwrap();
+        assert!(dt.seconds() > 0.0);
+        assert_eq!(h.find("a").unwrap(), 2);
+        assert_eq!(h.tier_device(0).unwrap().used(), 0);
+        let (data, _, _) = h.read("a").unwrap();
+        assert_eq!(data, Bytes::from(vec![1u8; 50]));
+    }
+
+    #[test]
+    fn migrate_to_same_tier_is_free() {
+        let h = hierarchy();
+        h.write_to_tier(1, "a", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(h.migrate("a", 1).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn migrate_respects_destination_capacity() {
+        let h = hierarchy();
+        h.write_to_tier(1, "big", Bytes::from(vec![0u8; 200])).unwrap();
+        let err = h.migrate("big", 0).unwrap_err();
+        assert!(matches!(err, StorageError::CapacityExceeded { .. }));
+        // Source copy must survive a failed migration.
+        assert_eq!(h.find("big").unwrap(), 1);
+    }
+
+    #[test]
+    fn make_room_evicts_coldest_first() {
+        let h = hierarchy();
+        let tracker = AccessTracker::new();
+        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 40])).unwrap();
+        h.write_to_tier(0, "hot", Bytes::from(vec![0u8; 40])).unwrap();
+        tracker.touch("hot");
+        // Need 60 more bytes on a 100-byte tier with 80 used: one eviction
+        // frees 40 -> still 60 needed? available = 20, need 60 => evict
+        // until available >= 60: evicts "cold" (40) -> available 60. Done.
+        h.make_room(0, 60, &tracker).unwrap();
+        assert_eq!(h.find("hot").unwrap(), 0, "hot object must survive");
+        assert_eq!(h.find("cold").unwrap(), 1, "cold object demoted");
+    }
+
+    #[test]
+    fn make_room_cascades_when_needed() {
+        let h = hierarchy();
+        let tracker = AccessTracker::new();
+        for i in 0..2 {
+            h.write_to_tier(0, &format!("f{i}"), Bytes::from(vec![0u8; 50]))
+                .unwrap();
+        }
+        // Fill tier 1 so demotions skip to tier 2.
+        h.write_to_tier(1, "filler", Bytes::from(vec![0u8; 280])).unwrap();
+        h.make_room(0, 100, &tracker).unwrap();
+        assert_eq!(h.tier_device(0).unwrap().used(), 0);
+        assert_eq!(h.find("f0").unwrap(), 2);
+        assert_eq!(h.find("f1").unwrap(), 2);
+    }
+
+    #[test]
+    fn make_room_fails_on_last_tier() {
+        let h = hierarchy();
+        let tracker = AccessTracker::new();
+        assert!(h.make_room(2, 10, &tracker).is_err());
+    }
+
+    #[test]
+    fn promote_pulls_hot_data_up() {
+        let h = hierarchy();
+        let tracker = AccessTracker::new();
+        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 30])).unwrap();
+        let tier = h.promote("hot", &tracker, false).unwrap();
+        assert_eq!(tier, 0);
+        assert_eq!(h.find("hot").unwrap(), 0);
+    }
+
+    #[test]
+    fn promote_with_eviction_displaces_cold_data() {
+        let h = hierarchy();
+        let tracker = AccessTracker::new();
+        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 90])).unwrap();
+        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 50])).unwrap();
+        tracker.touch("hot");
+        // Without eviction tier 0 is full, but tier 1 still improves.
+        assert_eq!(h.promote("hot", &tracker, false).unwrap(), 1);
+        // With eviction the cold object is demoted and hot reaches tier 0.
+        assert_eq!(h.promote("hot", &tracker, true).unwrap(), 0);
+        assert_eq!(h.find("cold").unwrap(), 1);
+    }
+
+    #[test]
+    fn tracker_orders_accesses() {
+        let t = AccessTracker::new();
+        assert_eq!(t.last_access("x"), 0);
+        t.touch("x");
+        t.touch("y");
+        assert!(t.last_access("y") > t.last_access("x"));
+        t.forget("x");
+        assert_eq!(t.last_access("x"), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Codec study: compare the ZFP-like, SZ-like and FPC codecs on a raw
+//! field and on its Canopus delta. The block-transform codec (ZFP-like)
+//! benefits most from delta pre-conditioning — which is exactly why the
+//! paper pairs Canopus with ZFP.
+//!
+//! ```text
+//! cargo run --release --example compression_study
+//! ```
+
+use canopus_compress::{stats::measure, Codec, Fpc, RawCodec, SzLike, ZfpLike};
+use canopus_data::cfd_dataset_sized;
+use canopus_mesh::FieldStats;
+use canopus_refactor::decimate::decimate;
+use canopus_refactor::mapping::build_mapping;
+use canopus_refactor::{compute_delta, Estimator};
+
+fn main() {
+    let ds = cfd_dataset_sized(60, 48, 5);
+    let range = FieldStats::of(&ds.data).range();
+    let tol = 1e-4 * range;
+    println!(
+        "dataset: {} ({}), {} values, range {:.3}, abs tolerance {:.2e}\n",
+        ds.name,
+        ds.var,
+        ds.data.len(),
+        range,
+        tol
+    );
+
+    let dec = decimate(&ds.mesh, &ds.data, 2.0);
+    let mapping = build_mapping(&ds.mesh, &dec.mesh);
+    let delta = compute_delta(
+        &ds.mesh,
+        &ds.data,
+        &dec.mesh,
+        &dec.data,
+        &mapping,
+        Estimator::Mean,
+    );
+
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(RawCodec),
+        Box::new(Fpc::new()),
+        Box::new(SzLike::with_error_bound(tol)),
+        Box::new(ZfpLike::with_tolerance(tol)),
+    ];
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "codec", "field ratio", "delta ratio", "field err", "delta err"
+    );
+    for codec in &codecs {
+        let field = measure(codec.as_ref(), &ds.data).expect("field");
+        let d = measure(codec.as_ref(), &delta).expect("delta");
+        println!(
+            "{:<10} {:>13.2}x {:>13.2}x {:>12.2e} {:>12.2e}",
+            codec.name(),
+            field.ratio(),
+            d.ratio(),
+            field.max_error,
+            d.max_error
+        );
+    }
+
+    println!(
+        "\nThe block-transform codec (zfp-like) gains the most from the \
+         delta's smoothness — the pre-conditioner effect the paper pairs \
+         Canopus with ZFP for (§III-C3). Prediction-based codecs already \
+         exploit local correlation, so their delta gains are smaller."
+    );
+}

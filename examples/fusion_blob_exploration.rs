@@ -1,0 +1,87 @@
+//! The paper's §IV-D/E use case: progressive blob exploration on fusion
+//! data.
+//!
+//! A scientist scans the cheap base dataset for high-potential blobs; if
+//! the coarse pass finds features, they refine and re-detect, comparing
+//! what survives at each accuracy. Renders each level to `out/`.
+//!
+//! ```text
+//! cargo run --release --example fusion_blob_exploration
+//! ```
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_analytics::blob::{BlobDetector, BlobParams};
+use canopus_analytics::metrics::{overlap_ratio, BlobMetrics};
+use canopus_analytics::raster::Raster;
+use canopus_analytics::render;
+use canopus_data::xgc1_dataset_sized;
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+const RASTER: usize = 256;
+
+fn main() {
+    let ds = xgc1_dataset_sized(32, 160, 11);
+    let bounds = ds.mesh.aabb();
+    let raw = (ds.data.len() * 8) as u64;
+
+    let hierarchy = Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64));
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 5, // base at 16x decimation
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("xgc1.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+
+    // Reference detection at full accuracy (for the overlap metric only —
+    // a real exploration would not have this).
+    let full_raster = Raster::from_mesh(&ds.mesh, &ds.data, RASTER, RASTER, bounds);
+    let (lo, hi) = full_raster.value_range().expect("covered");
+    let detector = BlobDetector::new(BlobParams::paper_config(10, 200, 50));
+    let reference = detector.detect(&full_raster.to_gray(lo, hi));
+    println!(
+        "full-accuracy reference: {} blobs\n",
+        reference.len()
+    );
+
+    let reader = canopus.open("xgc1.bp").expect("open");
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    std::fs::create_dir_all("out").expect("mkdir out");
+
+    loop {
+        let raster = Raster::from_mesh(prog.mesh(), prog.data(), RASTER, RASTER, bounds);
+        let blobs = detector.detect(&raster.to_gray(lo, hi));
+        let m = BlobMetrics::of(&blobs);
+        let overlap = overlap_ratio(&blobs, &reference);
+        println!(
+            "L{} ({:>6} vertices): {:>2} blobs, avg diameter {:>5.1} px, overlap {:.2}, cumulative I/O {:.2} ms",
+            prog.level(),
+            prog.num_vertices(),
+            m.count,
+            m.avg_diameter,
+            overlap,
+            prog.cumulative_timing().io_secs * 1e3
+        );
+        let img = render::render_blobs(&raster, lo, hi, &blobs);
+        let path = format!("out/exploration_L{}.ppm", prog.level());
+        let mut f = std::fs::File::create(&path).expect("create ppm");
+        img.write_ppm(&mut f).expect("write ppm");
+
+        if prog.at_full_accuracy() {
+            break;
+        }
+        // Scientist's decision rule: refine while the coarse view shows
+        // blobs at all (they are worth resolving) and accuracy remains.
+        prog.refine().expect("refine");
+    }
+
+    println!("\nrendered each level to out/exploration_L*.ppm");
+}

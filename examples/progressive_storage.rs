@@ -1,0 +1,94 @@
+//! Placement across a deep (4-tier) storage hierarchy, and automated
+//! RMSE-terminated progressive retrieval.
+//!
+//! The paper motivates NVRAM/burst-buffer/PFS/campaign stacks on
+//! Summit-class machines; this example shows the rank-spread placement
+//! policy mapping base → NVRAM and successive deltas down the pyramid,
+//! with per-tier traffic accounting.
+//!
+//! ```text
+//! cargo run --release --example progressive_storage
+//! ```
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_data::genasis_dataset_sized;
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+fn main() {
+    let ds = genasis_dataset_sized(40, 120, 3);
+    let raw = (ds.data.len() * 8) as u64;
+    println!(
+        "dataset: {} ({}), {} vertices, {} KiB raw",
+        ds.name,
+        ds.var,
+        ds.data.len(),
+        raw / 1024
+    );
+
+    // A Summit-like deep hierarchy. Capacities shrink toward the top so
+    // only the smallest products fit the fastest tiers.
+    let hierarchy = Arc::new(StorageHierarchy::deep_four_tier(
+        raw / 6,  // nvram
+        raw / 2,  // burst buffer
+        raw * 8,  // parallel file system
+        raw * 64, // campaign storage
+    ));
+    let canopus = Canopus::new(
+        Arc::clone(&hierarchy),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let report = canopus
+        .write("gen.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+
+    println!("\nplacement (rank-spread policy):");
+    for p in &report.products {
+        println!(
+            "  {:24} {:>9} B -> tier {} ({})",
+            p.key,
+            p.stored_bytes,
+            p.tier,
+            hierarchy.tier_spec(p.tier).expect("tier").name
+        );
+    }
+
+    // Automated progressive retrieval: stop when the adjacent-level RMSE
+    // falls below a science-driven threshold.
+    let reader = canopus.open("gen.bp").expect("open");
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    let threshold = 0.02;
+    let steps = prog.refine_until(threshold).expect("refine_until");
+    let rms = prog.last_delta_rms().unwrap_or(0.0);
+    let reason = if rms < threshold {
+        format!("delta RMS {rms:.4} fell below threshold {threshold}")
+    } else {
+        "full accuracy reached".to_string()
+    };
+    println!(
+        "\nautomated retrieval: {} refinement step(s); stopped at L{} ({reason})",
+        steps,
+        prog.level(),
+    );
+
+    println!("\nper-tier traffic:");
+    for t in 0..hierarchy.num_tiers() {
+        let spec = hierarchy.tier_spec(t).expect("tier");
+        let stats = hierarchy.tier_stats(t).expect("stats");
+        println!(
+            "  {:13} wrote {:>9} B in {:>9.3} ms | read {:>9} B in {:>9.3} ms",
+            spec.name,
+            stats.bytes_written,
+            stats.write_time.seconds() * 1e3,
+            stats.bytes_read,
+            stats.read_time.seconds() * 1e3,
+        );
+    }
+}

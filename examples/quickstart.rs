@@ -1,0 +1,85 @@
+//! Quickstart: refactor a field, place it on a two-tier hierarchy, and
+//! read it back progressively.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use canopus::{Canopus, CanopusConfig};
+use canopus_data::xgc1_dataset_sized;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+fn main() {
+    // A synthetic fusion plane: ~3.5k vertices of `dpot` on an annulus.
+    let ds = xgc1_dataset_sized(20, 100, 7);
+    let raw_bytes = ds.data.len() * 8;
+    println!(
+        "dataset: {} ({}), {} vertices, {} triangles, {} raw bytes",
+        ds.name,
+        ds.var,
+        ds.mesh.num_vertices(),
+        ds.mesh.num_triangles(),
+        raw_bytes
+    );
+
+    // Titan-like testbed: a small fast tmpfs slice over a big slow Lustre
+    // share. The tmpfs slice is deliberately too small for the raw data.
+    let hierarchy = Arc::new(StorageHierarchy::titan_two_tier(
+        raw_bytes as u64 / 4,
+        64 * raw_bytes as u64,
+    ));
+    let canopus = Canopus::new(Arc::clone(&hierarchy), CanopusConfig::default());
+
+    // Refactor (3 levels), compress (ZFP-like) and place.
+    let report = canopus
+        .write("xgc1.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    println!("\nwrite: {} products placed:", report.products.len());
+    for p in &report.products {
+        println!(
+            "  {:24} {:>9} B on tier {} ({})",
+            p.key,
+            p.stored_bytes,
+            p.tier,
+            hierarchy.tier_spec(p.tier).expect("tier").name
+        );
+    }
+    println!(
+        "phases: decimation {:.1} ms, delta {:.1} ms, compress {:.1} ms, I/O {:.1} ms (simulated)",
+        report.decimation_secs * 1e3,
+        report.delta_secs * 1e3,
+        report.compress_secs * 1e3,
+        report.io_time.seconds() * 1e3,
+    );
+
+    // Progressive retrieval: base first, refine to full accuracy.
+    let reader = canopus.open("xgc1.bp").expect("open");
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    println!(
+        "\nbase level L{}: {} vertices, read in {:.2} ms (I/O, simulated)",
+        prog.level(),
+        prog.num_vertices(),
+        prog.last_timing().io_secs * 1e3
+    );
+    while !prog.at_full_accuracy() {
+        let step = prog.refine().expect("refine");
+        println!(
+            "refined to L{}: {} vertices  (+{:.2} ms I/O, +{:.2} ms restore, delta RMS {:.3})",
+            prog.level(),
+            prog.num_vertices(),
+            step.io_secs * 1e3,
+            step.restore_secs * 1e3,
+            prog.last_delta_rms().expect("rms")
+        );
+    }
+
+    // Verify the restored full-accuracy data against the original.
+    let restored = prog.data();
+    let max_err = restored
+        .iter()
+        .zip(&ds.data)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nfull accuracy restored, max error vs original: {max_err:.3e}");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Canopus reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests under
+//! `/tests` and the runnable examples under `/examples`. The actual library
+//! surface lives in the `canopus` crate (re-exported here for convenience)
+//! and its substrate crates.
+
+pub use canopus;
+pub use canopus_adios as adios;
+pub use canopus_analytics as analytics;
+pub use canopus_compress as compress;
+pub use canopus_data as data;
+pub use canopus_mesh as mesh;
+pub use canopus_refactor as refactor;
+pub use canopus_storage as storage;

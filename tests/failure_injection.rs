@@ -1,0 +1,135 @@
+//! Failure-injection tests: corrupted or missing stored products must
+//! surface as errors, never as panics or silently wrong data.
+
+use bytes::Bytes;
+use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig, CanopusError};
+use canopus_data::cfd_dataset_sized;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+fn setup(codec: RelativeCodec) -> (canopus_data::Dataset, Canopus) {
+    let ds = cfd_dataset_sized(20, 16, 44);
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+        CanopusConfig {
+            codec,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("fi.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    (ds, canopus)
+}
+
+/// Replace a stored object's payload with `bytes`.
+fn replace_object(canopus: &Canopus, key: &str, bytes: Vec<u8>) {
+    let h = canopus.hierarchy();
+    let tier = h.find(key).expect("object exists");
+    h.tier_device(tier).expect("tier").remove(key).expect("remove");
+    h.write_to_tier(tier, key, Bytes::from(bytes)).expect("rewrite");
+}
+
+fn corrupt_object(canopus: &Canopus, key: &str) {
+    let (data, _, _) = canopus.hierarchy().read(key).expect("read");
+    let mut bytes = data.to_vec();
+    // Flip bits throughout the stream, header included.
+    for (i, b) in bytes.iter_mut().enumerate() {
+        if i % 7 == 0 {
+            *b ^= 0xA5;
+        }
+    }
+    replace_object(canopus, key, bytes);
+}
+
+#[test]
+fn corrupted_base_fails_cleanly() {
+    let (ds, canopus) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-5 });
+    corrupt_object(&canopus, "fi.bp/pressure/L2");
+    let reader = canopus.open("fi.bp").expect("open");
+    match reader.read_base(ds.var) {
+        Err(CanopusError::Codec(_)) | Err(CanopusError::Invalid(_)) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+        Ok(out) => {
+            // A corrupted stream that still parses must at least decode to
+            // the right element count (the codec validated structure).
+            assert_eq!(out.data.len(), reader.read_base(ds.var).unwrap().data.len());
+        }
+    }
+}
+
+#[test]
+fn corrupted_delta_fails_cleanly() {
+    let (ds, canopus) = setup(RelativeCodec::SzLike { rel_error_bound: 1e-5 });
+    corrupt_object(&canopus, "fi.bp/pressure/d1-2");
+    let reader = canopus.open("fi.bp").expect("open");
+    let base = reader.read_base(ds.var).expect("base is untouched");
+    assert!(
+        reader.refine_once(ds.var, &base).is_err(),
+        "corrupted delta must be detected"
+    );
+}
+
+#[test]
+fn corrupted_mesh_metadata_fails_cleanly() {
+    let (ds, canopus) = setup(RelativeCodec::Raw);
+    corrupt_object(&canopus, "fi.bp/pressure/m2");
+    let reader = canopus.open("fi.bp").expect("open");
+    match reader.read_base(ds.var) {
+        Err(CanopusError::MeshIo(_)) | Err(CanopusError::Invalid(_)) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+        Ok(_) => panic!("corrupted mesh metadata must not parse"),
+    }
+}
+
+#[test]
+fn corrupted_file_metadata_fails_cleanly() {
+    let (_, canopus) = setup(RelativeCodec::Raw);
+    corrupt_object(&canopus, "fi.bp/.bpmeta");
+    assert!(canopus.open("fi.bp").is_err());
+}
+
+#[test]
+fn missing_delta_fails_cleanly() {
+    let (ds, canopus) = setup(RelativeCodec::Raw);
+    canopus
+        .hierarchy()
+        .remove("fi.bp/pressure/d0-1")
+        .expect("remove delta");
+    let reader = canopus.open("fi.bp").expect("open");
+    let base = reader.read_base(ds.var).expect("base");
+    let (mid, _) = reader.refine_once(ds.var, &base).expect("first refine ok");
+    assert!(
+        reader.refine_once(ds.var, &mid).is_err(),
+        "missing delta must be reported"
+    );
+}
+
+#[test]
+fn truncated_payload_fails_cleanly() {
+    let (ds, canopus) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-5 });
+    let (data, _, _) = canopus.hierarchy().read("fi.bp/pressure/L2").expect("read");
+    replace_object(&canopus, "fi.bp/pressure/L2", data[..data.len() / 3].to_vec());
+    let reader = canopus.open("fi.bp").expect("open");
+    assert!(reader.read_base(ds.var).is_err());
+}
+
+#[test]
+fn wrong_codec_id_in_metadata_is_rejected() {
+    // Write with Raw, then corrupt only the metadata's codec id by
+    // rewriting metadata bytes — the simplest way is corrupting a raw
+    // stream read through a lossy decoder: swap the base payload for a
+    // stream of the wrong codec.
+    let (ds, canopus) = setup(RelativeCodec::Raw);
+    // A zfp-like stream where the metadata says "raw" (codec id 0).
+    let zfp = canopus_compress::ZfpLike::with_tolerance(1e-3);
+    use canopus_compress::Codec as _;
+    let alien = zfp.compress(&[1.0; 16]).expect("compress");
+    replace_object(&canopus, "fi.bp/pressure/L2", alien);
+    let reader = canopus.open("fi.bp").expect("open");
+    // Raw decoder expects n*8 bytes exactly; the alien stream fails the
+    // length check.
+    assert!(reader.read_base(ds.var).is_err());
+}

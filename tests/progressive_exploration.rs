@@ -1,0 +1,158 @@
+//! Integration tests of the progressive-exploration workflow: storage-path
+//! restoration must agree with the in-memory hierarchy, and analytics on
+//! restored levels must agree with analytics on directly decimated data.
+
+use canopus::{Canopus, CanopusConfig};
+use canopus::config::RelativeCodec;
+use canopus_analytics::blob::{BlobDetector, BlobParams};
+use canopus_analytics::raster::Raster;
+use canopus_data::xgc1_dataset_sized;
+use canopus_refactor::levels::{LevelHierarchy, RefactorConfig};
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+const LEVELS: u32 = 4;
+
+fn setup() -> (canopus_data::Dataset, Canopus) {
+    let ds = xgc1_dataset_sized(20, 100, 21);
+    let raw = (ds.data.len() * 8) as u64;
+    let hierarchy = Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64));
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: LEVELS,
+                ..Default::default()
+            },
+            // Raw codec: storage path must agree with the in-memory
+            // hierarchy up to floating-point rounding only.
+            codec: RelativeCodec::Raw,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("prog.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    (ds, canopus)
+}
+
+#[test]
+fn storage_path_matches_in_memory_hierarchy_at_every_level() {
+    let (ds, canopus) = setup();
+    let h = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels: LEVELS,
+            ..Default::default()
+        },
+    );
+    let reader = canopus.open("prog.bp").expect("open");
+    for level in (0..LEVELS).rev() {
+        let out = reader.read_level(ds.var, level).expect("read level");
+        let expect = &h.levels[level as usize];
+        assert_eq!(out.mesh, expect.mesh, "level {level} mesh differs");
+        let max_err = out
+            .data
+            .iter()
+            .zip(&expect.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "level {level}: err {max_err}");
+    }
+}
+
+#[test]
+fn progressive_reader_visits_levels_in_order_with_monotone_cost() {
+    let (ds, canopus) = setup();
+    let reader = canopus.open("prog.bp").expect("open");
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    let mut visited = vec![prog.level()];
+    let mut cumulative = vec![prog.cumulative_timing().total()];
+    while !prog.at_full_accuracy() {
+        prog.refine().expect("refine");
+        visited.push(prog.level());
+        cumulative.push(prog.cumulative_timing().total());
+    }
+    assert_eq!(visited, vec![3, 2, 1, 0]);
+    assert!(
+        cumulative.windows(2).all(|w| w[1] > w[0]),
+        "each refinement must add cost: {cumulative:?}"
+    );
+}
+
+#[test]
+fn blob_detection_matches_between_storage_and_direct_paths() {
+    let (ds, canopus) = setup();
+    let h = LevelHierarchy::build(
+        &ds.mesh,
+        &ds.data,
+        RefactorConfig {
+            num_levels: LEVELS,
+            ..Default::default()
+        },
+    );
+    let reader = canopus.open("prog.bp").expect("open");
+    let bounds = ds.mesh.aabb();
+    let raster0 = Raster::from_mesh(&ds.mesh, &ds.data, 192, 192, bounds);
+    let (lo, hi) = raster0.value_range().expect("covered");
+    let detector = BlobDetector::new(BlobParams::paper_config(10, 200, 50));
+
+    for level in 0..LEVELS {
+        let direct = &h.levels[level as usize];
+        let stored = reader.read_level(ds.var, level).expect("read");
+        let blobs_direct = detector.detect(
+            &Raster::from_mesh(&direct.mesh, &direct.data, 192, 192, bounds).to_gray(lo, hi),
+        );
+        let blobs_stored = detector.detect(
+            &Raster::from_mesh(&stored.mesh, &stored.data, 192, 192, bounds).to_gray(lo, hi),
+        );
+        assert_eq!(
+            blobs_direct, blobs_stored,
+            "level {level}: storage roundtrip changed analytics"
+        );
+    }
+}
+
+#[test]
+fn base_read_touches_only_the_fast_tier() {
+    let (ds, canopus) = setup();
+    let hierarchy = canopus.hierarchy();
+    // Reset read stats, then read just the base (after warming metadata
+    // so geometry reads don't pollute the measurement).
+    let reader = canopus.open("prog.bp").expect("open");
+    reader.warm_metadata(ds.var).expect("warm");
+    let lustre_reads_before = hierarchy.tier_stats(1).unwrap().reads;
+    let _ = reader.read_base(ds.var).expect("base");
+    let lustre_reads_after = hierarchy.tier_stats(1).unwrap().reads;
+    assert_eq!(
+        lustre_reads_before, lustre_reads_after,
+        "a warm base read must not touch Lustre"
+    );
+}
+
+#[test]
+fn refine_until_with_moderate_threshold_stops_before_full() {
+    let (ds, canopus) = setup();
+    let reader = canopus.open("prog.bp").expect("open");
+
+    // Find the actual delta RMS profile first.
+    let mut probe = reader.progressive(ds.var).expect("probe");
+    let mut rms_profile = Vec::new();
+    while !probe.at_full_accuracy() {
+        probe.refine().expect("refine");
+        rms_profile.push(probe.last_delta_rms().expect("rms"));
+    }
+    // Pick a threshold between the first and the last RMS: retrieval must
+    // stop strictly between base and full accuracy.
+    let threshold = (rms_profile[0] + rms_profile[rms_profile.len() - 1]) / 2.0;
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    let steps = prog.refine_until(threshold).expect("refine_until");
+    assert!(steps >= 1);
+    if rms_profile.last().expect("non-empty") < &threshold {
+        assert!(
+            !prog.at_full_accuracy() || rms_profile.len() as u32 == 1,
+            "should have stopped early (profile {rms_profile:?}, threshold {threshold})"
+        );
+    }
+}
