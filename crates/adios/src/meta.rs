@@ -88,9 +88,7 @@ impl VarMeta {
         let mut chunks: Vec<&BlockMeta> = self
             .blocks
             .iter()
-            .filter(|b| {
-                matches!(b.kind, ProductKind::DeltaChunk { finer: f, .. } if f == finer)
-            })
+            .filter(|b| matches!(b.kind, ProductKind::DeltaChunk { finer: f, .. } if f == finer))
             .collect();
         chunks.sort_by_key(|b| match b.kind {
             ProductKind::DeltaChunk { chunk, .. } => chunk,
@@ -197,7 +195,10 @@ impl<'a> Cursor<'a> {
         let c = self.u32()?;
         match tag {
             0 => Ok(ProductKind::Base { level: a }),
-            1 => Ok(ProductKind::Delta { finer: a, coarser: b }),
+            1 => Ok(ProductKind::Delta {
+                finer: a,
+                coarser: b,
+            }),
             2 => Ok(ProductKind::Metadata { level: a }),
             3 => Ok(ProductKind::DeltaChunk {
                 finer: a,
@@ -321,7 +322,10 @@ mod tests {
                     },
                     BlockMeta {
                         key: "xgc1.bp/dpot/d1-2".into(),
-                        kind: ProductKind::Delta { finer: 1, coarser: 2 },
+                        kind: ProductKind::Delta {
+                            finer: 1,
+                            coarser: 2,
+                        },
                         elements: 10_000,
                         codec_id: 1,
                         codec_param: 1e-6,
@@ -359,7 +363,10 @@ mod tests {
     fn query_helpers() {
         let m = sample();
         let v = m.var("dpot").unwrap();
-        assert!(matches!(v.base().unwrap().kind, ProductKind::Base { level: 2 }));
+        assert!(matches!(
+            v.base().unwrap().kind,
+            ProductKind::Base { level: 2 }
+        ));
         assert!(v.delta_to(1).is_some());
         assert!(v.delta_to(0).is_none());
         assert!(v.metadata_for(1).is_some());

@@ -3,9 +3,7 @@
 
 use crate::meta::{AdiosError, BlockMeta, FileMeta, VarMeta};
 use bytes::Bytes;
-use canopus_storage::{
-    PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy,
-};
+use canopus_storage::{PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy};
 use std::sync::Arc;
 
 /// Key of the global metadata object for a file.
@@ -185,6 +183,10 @@ impl BpFile {
         &self.meta
     }
 
+    pub fn hierarchy(&self) -> &StorageHierarchy {
+        self.store.hierarchy()
+    }
+
     /// `adios_inq_var`: variable metadata by name.
     pub fn inq_var(&self, name: &str) -> Result<&VarMeta, AdiosError> {
         self.meta
@@ -254,7 +256,10 @@ mod tests {
             },
             BlockWrite {
                 var: "dpot".into(),
-                kind: ProductKind::Delta { finer: 1, coarser: 2 },
+                kind: ProductKind::Delta {
+                    finer: 1,
+                    coarser: 2,
+                },
                 data: Bytes::from(vec![2u8; 200]),
                 elements: 25,
                 codec_id: 1,
@@ -265,7 +270,10 @@ mod tests {
             },
             BlockWrite {
                 var: "dpot".into(),
-                kind: ProductKind::Delta { finer: 0, coarser: 1 },
+                kind: ProductKind::Delta {
+                    finer: 0,
+                    coarser: 1,
+                },
                 data: Bytes::from(vec![3u8; 400]),
                 elements: 50,
                 codec_id: 1,
@@ -364,7 +372,14 @@ mod tests {
             "f/v/L2"
         );
         assert_eq!(
-            block_key("f", "v", ProductKind::Delta { finer: 0, coarser: 1 }),
+            block_key(
+                "f",
+                "v",
+                ProductKind::Delta {
+                    finer: 0,
+                    coarser: 1
+                }
+            ),
             "f/v/d0-1"
         );
         assert_eq!(
@@ -372,7 +387,15 @@ mod tests {
             "f/v/m1"
         );
         assert_eq!(
-            block_key("f", "v", ProductKind::DeltaChunk { finer: 0, coarser: 1, chunk: 3 }),
+            block_key(
+                "f",
+                "v",
+                ProductKind::DeltaChunk {
+                    finer: 0,
+                    coarser: 1,
+                    chunk: 3
+                }
+            ),
             "f/v/d0-1.3"
         );
     }

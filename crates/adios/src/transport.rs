@@ -17,11 +17,24 @@
 
 use crate::meta::AdiosError;
 use crate::store::{BlockWrite, BpStore};
+use canopus_obs::{names, Registry};
 use canopus_storage::{PlacementPlan, SimDuration};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Bump the staging-queue depth gauge and keep the peak gauge current.
+fn queue_depth_inc(obs: &Registry) {
+    let gauge = obs.gauge(names::TRANSPORT_QUEUE_DEPTH);
+    gauge.add(1);
+    let depth = gauge.get();
+    let peak = obs.gauge(names::TRANSPORT_QUEUE_PEAK);
+    if depth > peak.get() {
+        peak.set(depth);
+    }
+}
 
 /// How writes reach the storage hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,9 +89,17 @@ impl TransportWriter {
                 let worker = std::thread::Builder::new()
                     .name("canopus-stager".into())
                     .spawn(move || {
+                        let obs = Arc::clone(drain_store.hierarchy().metrics());
                         for req in receiver {
-                            let result =
-                                drain_store.write(&req.file, req.num_levels, req.blocks);
+                            obs.gauge(names::TRANSPORT_QUEUE_DEPTH).sub(1);
+                            let start = Instant::now();
+                            let result = drain_store.write(&req.file, req.num_levels, req.blocks);
+                            let sim = match &result {
+                                Ok((_, dt)) => dt.seconds(),
+                                Err(_) => 0.0,
+                            };
+                            obs.timer(names::TRANSPORT_STAGED_LATENCY)
+                                .record(start.elapsed().as_secs_f64(), sim);
                             drain_outcomes.lock().push(StagedOutcome {
                                 file: req.file,
                                 result,
@@ -111,8 +132,16 @@ impl TransportWriter {
         num_levels: u32,
         blocks: Vec<BlockWrite>,
     ) -> Result<Option<(PlacementPlan, SimDuration)>, AdiosError> {
+        let obs = self.store.hierarchy().metrics();
         match &self.stage {
-            None => self.store.write(file, num_levels, blocks).map(Some),
+            None => {
+                let start = Instant::now();
+                let out = self.store.write(file, num_levels, blocks)?;
+                obs.counter(names::TRANSPORT_DIRECT_WRITES).inc();
+                obs.timer(names::TRANSPORT_DIRECT_LATENCY)
+                    .record(start.elapsed().as_secs_f64(), out.1.seconds());
+                Ok(Some(out))
+            }
             Some(stage) => {
                 stage
                     .sender
@@ -121,9 +150,9 @@ impl TransportWriter {
                         num_levels,
                         blocks,
                     })
-                    .map_err(|_| {
-                        AdiosError::Corrupt("staging worker has shut down".into())
-                    })?;
+                    .map_err(|_| AdiosError::Corrupt("staging worker has shut down".into()))?;
+                obs.counter(names::TRANSPORT_STAGED_WRITES).inc();
+                queue_depth_inc(obs);
                 Ok(None)
             }
         }

@@ -10,8 +10,10 @@ use std::sync::Arc;
 fn arb_kind() -> impl Strategy<Value = ProductKind> {
     prop_oneof![
         (0u32..16).prop_map(|level| ProductKind::Base { level }),
-        (0u32..16, 1u32..17)
-            .prop_map(|(finer, d)| ProductKind::Delta { finer, coarser: finer + d }),
+        (0u32..16, 1u32..17).prop_map(|(finer, d)| ProductKind::Delta {
+            finer,
+            coarser: finer + d
+        }),
         (0u32..16, 1u32..17, 0u32..64).prop_map(|(finer, d, chunk)| {
             ProductKind::DeltaChunk {
                 finer,
@@ -55,7 +57,10 @@ fn arb_meta() -> impl Strategy<Value = FileMeta> {
         "[a-z0-9._-]{1,20}",
         0u32..8,
         proptest::collection::vec(
-            ("[a-zA-Z0-9 _-]{1,20}", proptest::collection::vec(arb_block(), 0..6)),
+            (
+                "[a-zA-Z0-9 _-]{1,20}",
+                proptest::collection::vec(arb_block(), 0..6),
+            ),
             0..4,
         ),
         proptest::collection::vec(("[a-z]{1,10}", "[ -~]{0,30}"), 0..4),

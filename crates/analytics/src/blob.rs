@@ -304,7 +304,11 @@ mod tests {
 
     #[test]
     fn detection_is_deterministic() {
-        let img = image_with_bumps(80, 80, &[(20.0, 20.0, 5.0, 200.0), (60.0, 50.0, 7.0, 180.0)]);
+        let img = image_with_bumps(
+            80,
+            80,
+            &[(20.0, 20.0, 5.0, 200.0), (60.0, 50.0, 7.0, 180.0)],
+        );
         let det = BlobDetector::default();
         assert_eq!(det.detect(&img), det.detect(&img));
     }

@@ -102,12 +102,7 @@ mod tests {
 
     #[test]
     fn single_blob() {
-        let (mask, w, h) = mask_from(&[
-            ".....",
-            ".##..",
-            ".##..",
-            ".....",
-        ]);
+        let (mask, w, h) = mask_from(&[".....", ".##..", ".##..", "....."]);
         let comps = label_components(&mask, w, h);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].area, 4);
@@ -117,12 +112,7 @@ mod tests {
 
     #[test]
     fn two_separate_blobs() {
-        let (mask, w, h) = mask_from(&[
-            "##...",
-            "##...",
-            ".....",
-            "...##",
-        ]);
+        let (mask, w, h) = mask_from(&["##...", "##...", ".....", "...##"]);
         let comps = label_components(&mask, w, h);
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].area, 4);
@@ -131,11 +121,7 @@ mod tests {
 
     #[test]
     fn diagonal_touch_is_one_component() {
-        let (mask, w, h) = mask_from(&[
-            "#....",
-            ".#...",
-            "..#..",
-        ]);
+        let (mask, w, h) = mask_from(&["#....", ".#...", "..#.."]);
         let comps = label_components(&mask, w, h);
         assert_eq!(comps.len(), 1, "8-connectivity joins diagonals");
         assert_eq!(comps[0].area, 3);
@@ -164,11 +150,7 @@ mod tests {
 
     #[test]
     fn scan_order_is_deterministic() {
-        let (mask, w, h) = mask_from(&[
-            "#.#",
-            "...",
-            "#.#",
-        ]);
+        let (mask, w, h) = mask_from(&["#.#", "...", "#.#"]);
         let comps = label_components(&mask, w, h);
         assert_eq!(comps.len(), 4);
         // First encountered is top-left, scan order.

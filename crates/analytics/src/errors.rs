@@ -178,7 +178,11 @@ mod tests {
                 .decompress(&codec.compress(&data).unwrap(), data.len())
                 .unwrap();
             let r = compare(&data, &back);
-            assert!(r.psnr_db > last_psnr, "tol {tol}: {} !> {last_psnr}", r.psnr_db);
+            assert!(
+                r.psnr_db > last_psnr,
+                "tol {tol}: {} !> {last_psnr}",
+                r.psnr_db
+            );
             last_psnr = r.psnr_db;
         }
     }

@@ -63,7 +63,11 @@ pub fn extract(mesh: &TriMesh, data: &[f64], level: f64) -> Vec<Segment> {
                 // Canonical edge orientation (low vertex id first) makes
                 // the crossing point bit-identical in both triangles that
                 // share the edge, so chaining can match exactly.
-                let (u, v, fu, fv) = if u <= v { (u, v, fu, fv) } else { (v, u, fv, fu) };
+                let (u, v, fu, fv) = if u <= v {
+                    (u, v, fu, fv)
+                } else {
+                    (v, u, fv, fu)
+                };
                 let tpar = fu / (fu - fv);
                 let pu = mesh.point(u);
                 let pv = mesh.point(v);
@@ -114,7 +118,11 @@ pub fn chain(segments: &[Segment]) -> Vec<Vec<Point2>> {
         // Walk forward from the tail, then backward from the head.
         for head_side in [false, true] {
             loop {
-                let end = if head_side { line[0] } else { *line.last().expect("non-empty") };
+                let end = if head_side {
+                    line[0]
+                } else {
+                    *line.last().expect("non-empty")
+                };
                 let Some(&next) = incident
                     .get(&key(end))
                     .into_iter()

@@ -34,7 +34,7 @@ pub mod raster;
 pub mod render;
 
 pub use blob::{Blob, BlobDetector, BlobParams};
-pub use errors::{compare, ErrorReport};
 pub use components::{label_components, Component};
+pub use errors::{compare, ErrorReport};
 pub use metrics::{overlap_ratio, BlobMetrics};
 pub use raster::Raster;

@@ -42,7 +42,9 @@ fn bench_write_path(c: &mut Criterion) {
         b.iter(|| {
             let hierarchy = titan_hierarchy((ds.data.len() * 8) as u64);
             let canopus = Canopus::new(hierarchy, CanopusConfig::default());
-            canopus.write("bench.bp", ds.var, &ds.mesh, &ds.data).unwrap()
+            canopus
+                .write("bench.bp", ds.var, &ds.mesh, &ds.data)
+                .unwrap()
         })
     });
     group.finish();

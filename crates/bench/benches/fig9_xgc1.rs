@@ -20,7 +20,9 @@ fn bench_read_path(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    canopus.write("bench.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+    canopus
+        .write("bench.bp", ds.var, &ds.mesh, &ds.data)
+        .unwrap();
     let reader = canopus.open("bench.bp").unwrap();
     reader.warm_metadata(ds.var).unwrap();
 
@@ -33,7 +35,11 @@ fn bench_read_path(c: &mut Criterion) {
 
     let base = reader.read_base(ds.var).unwrap();
     group.bench_function("refine_once", |b| {
-        b.iter(|| reader.refine_once(ds.var, std::hint::black_box(&base)).unwrap())
+        b.iter(|| {
+            reader
+                .refine_once(ds.var, std::hint::black_box(&base))
+                .unwrap()
+        })
     });
 
     group.bench_function("restore_full_accuracy", |b| {

@@ -254,18 +254,18 @@ pub fn priority_ablation(ds: &Dataset) -> Vec<PriorityRow> {
         ("data-aware", Order::DataAware),
         ("random", Order::Random),
     ]
-        .into_iter()
-        .map(|(label, order)| {
-            let (mesh, data) = run(order);
-            let raster = Raster::from_mesh(&mesh, &data, RASTER_SIZE, RASTER_SIZE, bounds);
-            let blobs = detector.detect(&raster.to_gray(lo, hi));
-            PriorityRow {
-                order: label,
-                overlap: overlap_ratio(&blobs, &reference),
-                num_blobs: blobs.len(),
-            }
-        })
-        .collect()
+    .into_iter()
+    .map(|(label, order)| {
+        let (mesh, data) = run(order);
+        let raster = Raster::from_mesh(&mesh, &data, RASTER_SIZE, RASTER_SIZE, bounds);
+        let blobs = detector.detect(&raster.to_gray(lo, hi));
+        PriorityRow {
+            order: label,
+            overlap: overlap_ratio(&blobs, &reference),
+            num_blobs: blobs.len(),
+        }
+    })
+    .collect()
 }
 
 /// Mapping ablation: grid-accelerated mapping built once at refactor time
@@ -318,11 +318,7 @@ pub fn mapping_ablation(ds: &Dataset) -> MappingRow {
 
     // Both must locate interior points identically (clamped boundary
     // points may legitimately differ between "first hit" and "nearest").
-    let agree = mapping
-        .iter()
-        .zip(&brute)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree = mapping.iter().zip(&brute).filter(|(a, b)| a == b).count();
     assert!(
         agree as f64 > 0.5 * mapping.len() as f64,
         "grid and brute-force disagree wildly: {agree}/{}",

@@ -8,6 +8,11 @@
 //! reduced-scale pass (CI); the default runs at paper scale. Tables print
 //! to stdout in the same rows/series the paper reports; EXPERIMENTS.md
 //! records a reference run.
+//!
+//! `--metrics <path>` (for the end-to-end figures 9/10/11) additionally
+//! writes a JSON dump pairing every table row with the full observability
+//! snapshot of its run, so the printed numbers can be cross-checked
+//! against the shared metrics layer.
 
 use canopus_bench::setup::{self, Scale};
 use canopus_bench::{ablation, blobs, endtoend, fig5, fig6, table};
@@ -15,16 +20,22 @@ use canopus_refactor::Estimator;
 use std::path::Path;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = take_flag_value(&mut args, "--metrics");
     let what = args.first().map(String::as_str).unwrap_or("all");
     let scale = Scale::from_env();
     let seed = 42;
     println!(
         "# Canopus reproduction — {} scale\n",
-        if scale == Scale::Paper { "paper" } else { "quick" }
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        }
     );
 
     let out_dir = Path::new("out");
+    let mut metrics: Option<(String, Vec<endtoend::EndToEndRow>)> = None;
     match what {
         "fig4" => fig4(scale, seed, out_dir),
         "fig5" => run_fig5(scale, seed),
@@ -32,9 +43,9 @@ fn main() {
         "fig6b" => fig6b(scale, seed),
         "fig7" => fig7(scale, seed, out_dir),
         "fig8" => fig8(scale, seed),
-        "fig9" => fig9(scale, seed),
-        "fig10" => fig10(scale, seed),
-        "fig11" => fig11(scale, seed),
+        "fig9" => metrics = Some(("fig9".into(), fig9(scale, seed))),
+        "fig10" => metrics = Some(("fig10".into(), fig10(scale, seed))),
+        "fig11" => metrics = Some(("fig11".into(), fig11(scale, seed))),
         "smoothness" => smoothness(scale, seed),
         "ablations" => ablations(scale, seed),
         "extensions" => extensions(scale, seed),
@@ -45,7 +56,7 @@ fn main() {
             fig6b(scale, seed);
             fig7(scale, seed, out_dir);
             fig8(scale, seed);
-            fig9(scale, seed);
+            metrics = Some(("fig9".into(), fig9(scale, seed)));
             fig10(scale, seed);
             fig11(scale, seed);
             smoothness(scale, seed);
@@ -54,10 +65,72 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all]");
+            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json]");
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = metrics_path {
+        match metrics {
+            Some((figure, rows)) => {
+                let json = metrics_json(&figure, &rows);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote metrics dump to {path}");
+            }
+            None => {
+                eprintln!(
+                    "--metrics is only available for the end-to-end figures (fig9|fig10|fig11|all)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// JSON dump pairing each table row with its registry snapshot.
+fn metrics_json(figure: &str, rows: &[endtoend::EndToEndRow]) -> String {
+    use canopus_obs::json::Value;
+    use std::collections::BTreeMap;
+
+    let rows_json: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let mut o = BTreeMap::new();
+            o.insert("ratio".to_string(), Value::Str(r.ratio_label.clone()));
+            o.insert("io_secs".to_string(), Value::Float(r.io_secs));
+            o.insert(
+                "decompress_secs".to_string(),
+                Value::Float(r.decompress_secs),
+            );
+            o.insert("restore_secs".to_string(), Value::Float(r.restore_secs));
+            o.insert("detect_secs".to_string(), Value::Float(r.detect_secs));
+            o.insert(
+                "full_restore_secs".to_string(),
+                Value::Float(r.full_restore_secs),
+            );
+            o.insert("metrics".to_string(), r.metrics.to_json());
+            Value::Obj(o)
+        })
+        .collect();
+    let mut top = BTreeMap::new();
+    top.insert("figure".to_string(), Value::Str(figure.to_string()));
+    top.insert("rows".to_string(), Value::Arr(rows_json));
+    Value::Obj(top).to_pretty()
 }
 
 fn fig4(scale: Scale, seed: u64, out: &Path) {
@@ -93,10 +166,7 @@ fn run_fig5(scale: Scale, seed: u64) {
         println!("### {} ({})", ds.name, ds.var);
         println!(
             "{}",
-            table::render(
-                &["levels", "direct", "canopus", "improvement"],
-                &table_rows
-            )
+            table::render(&["levels", "direct", "canopus", "improvement"], &table_rows)
         );
     }
 }
@@ -210,27 +280,30 @@ fn endtoend_table(name: &str, rows: &[endtoend::EndToEndRow], with_detect: bool)
     println!("{}", table::render(&headers, &table_rows));
 }
 
-fn fig9(scale: Scale, seed: u64) {
+fn fig9(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 9 — XGC1 end-to-end analytics\n");
     let ds = setup::xgc1(scale, seed);
     let max_k = if scale == Scale::Paper { 5 } else { 3 };
     let rows = endtoend::end_to_end(&ds, max_k, true);
     endtoend_table("XGC1 (dpot), blob detection pipeline", &rows, true);
+    rows
 }
 
-fn fig10(scale: Scale, seed: u64) {
+fn fig10(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 10 — GenASiS end-to-end phases\n");
     let ds = setup::genasis(scale, seed);
     let max_k = if scale == Scale::Paper { 5 } else { 3 };
     let rows = endtoend::end_to_end(&ds, max_k, false);
     endtoend_table("GenASiS (normVec magnitude)", &rows, false);
+    rows
 }
 
-fn fig11(scale: Scale, seed: u64) {
+fn fig11(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 11 — CFD end-to-end phases\n");
     let ds = setup::cfd(scale, seed);
     let rows = endtoend::end_to_end(&ds, 3, false); // paper: ratios 2,4,8
     endtoend_table("CFD (pressure)", &rows, false);
+    rows
 }
 
 fn smoothness(scale: Scale, seed: u64) {
@@ -353,7 +426,13 @@ fn ablations(scale: Scale, seed: u64) {
     println!(
         "{}",
         table::render(
-            &["approach", "base B", "total B", "base rel err", "mesh-complete"],
+            &[
+                "approach",
+                "base B",
+                "total B",
+                "base rel err",
+                "mesh-complete"
+            ],
             &rows
         )
     );

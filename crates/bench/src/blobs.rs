@@ -55,9 +55,7 @@ pub fn rasterize_levels(ds: &Dataset, num_levels: u32) -> LevelRasters {
         .iter()
         .map(|lvl| Raster::from_mesh(&lvl.mesh, &lvl.data, RASTER_SIZE, RASTER_SIZE, bounds))
         .collect();
-    let (lo, hi) = rasters[0]
-        .value_range()
-        .expect("L0 raster covers the mesh");
+    let (lo, hi) = rasters[0].value_range().expect("L0 raster covers the mesh");
     LevelRasters {
         hierarchy,
         rasters,

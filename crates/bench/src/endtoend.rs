@@ -17,13 +17,17 @@
 //! restoration.
 
 use crate::setup::{titan_hierarchy, PAPER_CONFIGS, RASTER_SIZE};
-use canopus::{Canopus, CanopusConfig, PhaseTiming};
+use canopus::{Canopus, CanopusConfig, MetricsSnapshot, PhaseTiming, Registry};
 use canopus_analytics::blob::{BlobDetector, BlobParams};
 use canopus_analytics::raster::Raster;
 use canopus_data::Dataset;
 use canopus_mesh::TriMesh;
 use canopus_refactor::levels::RefactorConfig;
-use std::time::Instant;
+
+/// Registry timer name for the blob-detection analytics stage. Bench-local:
+/// the canonical `canopus_obs::names` cover the pipeline itself; analytics
+/// stages layered on top register under their own prefix.
+pub const DETECT_TIMER: &str = "analytics.blob_detect";
 
 /// One row of a Fig. 9/10/11 table.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +43,10 @@ pub struct EndToEndRow {
     pub detect_secs: f64,
     /// Panel (b): time to restore full accuracy from this ratio's base.
     pub full_restore_secs: f64,
+    /// Snapshot of the shared observability registry after this ratio's
+    /// write + panel (a) + panel (b) work (each ratio runs on a fresh
+    /// hierarchy, so the snapshot covers exactly this row).
+    pub metrics: MetricsSnapshot,
 }
 
 impl EndToEndRow {
@@ -48,16 +56,21 @@ impl EndToEndRow {
 }
 
 /// Blob detection cost on a restored level (rasterize + detect), used as
-/// the paper's XGC1 analytics stage.
-fn detect_time(mesh: &TriMesh, data: &[f64], bounds: canopus_mesh::Aabb) -> f64 {
-    let t = Instant::now();
-    let raster = Raster::from_mesh(mesh, data, RASTER_SIZE, RASTER_SIZE, bounds);
-    if let Some((lo, hi)) = raster.value_range() {
-        let (_, min_t, max_t, min_area) = PAPER_CONFIGS[0];
-        let gray = raster.to_gray(lo, hi);
-        let _ = BlobDetector::new(BlobParams::paper_config(min_t, max_t, min_area)).detect(&gray);
-    }
-    t.elapsed().as_secs_f64()
+/// the paper's XGC1 analytics stage. Timed through the shared registry
+/// ([`DETECT_TIMER`]) rather than ad-hoc stopwatches; the caller reads the
+/// accumulated wall seconds back out of the same timer.
+fn detect_time(obs: &Registry, mesh: &TriMesh, data: &[f64], bounds: canopus_mesh::Aabb) -> f64 {
+    let timer = obs.timer(DETECT_TIMER);
+    timer.time(|| {
+        let raster = Raster::from_mesh(mesh, data, RASTER_SIZE, RASTER_SIZE, bounds);
+        if let Some((lo, hi)) = raster.value_range() {
+            let (_, min_t, max_t, min_area) = PAPER_CONFIGS[0];
+            let gray = raster.to_gray(lo, hi);
+            let _ =
+                BlobDetector::new(BlobParams::paper_config(min_t, max_t, min_area)).detect(&gray);
+        }
+    });
+    timer.stat().wall_secs
 }
 
 /// Run the experiment: ratios `2^1 .. 2^max_k` plus the "None" baseline.
@@ -79,7 +92,7 @@ pub fn end_to_end(ds: &Dataset, max_k: u32, detect: bool) -> Vec<EndToEndRow> {
         reader.warm_metadata(ds.var).expect("warm");
         let out = reader.read_level(ds.var, 0).expect("read baseline");
         let detect_secs = if detect {
-            detect_time(&out.mesh, &out.data, bounds)
+            detect_time(canopus.metrics(), &out.mesh, &out.data, bounds)
         } else {
             0.0
         };
@@ -90,6 +103,7 @@ pub fn end_to_end(ds: &Dataset, max_k: u32, detect: bool) -> Vec<EndToEndRow> {
             restore_secs: 0.0,
             detect_secs,
             full_restore_secs: out.timing.io_secs,
+            metrics: canopus.metrics().snapshot(),
         });
     }
 
@@ -124,7 +138,12 @@ pub fn end_to_end(ds: &Dataset, max_k: u32, detect: bool) -> Vec<EndToEndRow> {
             (base, t)
         };
         let detect_secs = if detect {
-            detect_time(&analysis_outcome.mesh, &analysis_outcome.data, bounds)
+            detect_time(
+                canopus.metrics(),
+                &analysis_outcome.mesh,
+                &analysis_outcome.data,
+                bounds,
+            )
         } else {
             0.0
         };
@@ -142,6 +161,7 @@ pub fn end_to_end(ds: &Dataset, max_k: u32, detect: bool) -> Vec<EndToEndRow> {
             restore_secs: timing.restore_secs,
             detect_secs,
             full_restore_secs: full.timing.total(),
+            metrics: canopus.metrics().snapshot(),
         });
     }
     rows

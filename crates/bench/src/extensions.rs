@@ -93,7 +93,9 @@ pub fn campaign_pushdown(ds: &Dataset, steps: u64, threshold_frac: f64) -> Pushd
     let canopus = Canopus::new(
         titan_hierarchy(raw),
         CanopusConfig {
-            codec: RelativeCodec::ZfpLike { rel_tolerance: 1e-4 },
+            codec: RelativeCodec::ZfpLike {
+                rel_tolerance: 1e-4,
+            },
             ..Default::default()
         },
     );

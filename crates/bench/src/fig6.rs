@@ -11,9 +11,9 @@
 //!   storage-to-compute ratios — each scenario keeps one storage target
 //!   while compute scales, exactly the paper's setup.
 
+use crate::setup::titan_hierarchy;
 use canopus::{Canopus, CanopusConfig};
 use canopus_data::Dataset;
-use crate::setup::titan_hierarchy;
 
 /// Fig. 6a series: `(year, bytes_per_sec_per_mflops)`.
 ///

@@ -90,7 +90,13 @@ mod tests {
         let q = datasets(Scale::Quick, 1);
         let p_sizes = [20_800usize, 65_251, 6_390]; // paper vertex counts
         for (d, &p) in q.iter().zip(&p_sizes) {
-            assert!(d.len() < p / 3, "{} quick size {} vs paper {}", d.name, d.len(), p);
+            assert!(
+                d.len() < p / 3,
+                "{} quick size {} vs paper {}",
+                d.name,
+                d.len(),
+                p
+            );
         }
     }
 

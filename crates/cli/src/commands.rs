@@ -29,6 +29,9 @@ commands:
       progressive exploration: walk levels, print per-level cost + delta RMS
   region <store> <file.bp> <var> --x0 X --y0 Y --x1 X --y1 Y --out d.f64
       focused retrieval: refine one level inside a bounding box only
+  metrics <store> <file.bp> <var> [--level L] [--out metrics.json]
+      restore a level with the observability sink enabled and dump the
+      metrics snapshot (counters, gauges, stage timers, events) as JSON
   tiers <store>
       show tier capacities and usage";
 
@@ -45,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "render" => cmd_render(rest),
         "explore" => cmd_explore(rest),
         "region" => cmd_region(rest),
+        "metrics" => cmd_metrics(rest),
         "tiers" => cmd_tiers(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -62,7 +66,10 @@ fn load_mesh(path: &str) -> Result<TriMesh, String> {
 fn load_f64(path: &str) -> Result<Vec<f64>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     if bytes.len() % 8 != 0 {
-        return Err(format!("{path} is not a raw f64 file (length {} B)", bytes.len()));
+        return Err(format!(
+            "{path} is not a raw f64 file (length {} B)",
+            bytes.len()
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
@@ -141,8 +148,12 @@ fn cmd_write(argv: &[String]) -> Result<(), String> {
     let chunks: u32 = a.opt_parse("chunks", 1u32)?;
     let rel_tol: f64 = a.opt_parse("rel-tol", 1e-4f64)?;
     let codec = match a.opt("codec").unwrap_or("zfp") {
-        "zfp" => RelativeCodec::ZfpLike { rel_tolerance: rel_tol },
-        "sz" => RelativeCodec::SzLike { rel_error_bound: rel_tol },
+        "zfp" => RelativeCodec::ZfpLike {
+            rel_tolerance: rel_tol,
+        },
+        "sz" => RelativeCodec::SzLike {
+            rel_error_bound: rel_tol,
+        },
         "fpc" => RelativeCodec::Fpc,
         "raw" => RelativeCodec::Raw,
         other => return Err(format!("unknown codec {other:?}")),
@@ -254,7 +265,8 @@ fn cmd_render(argv: &[String]) -> Result<(), String> {
         .ok_or_else(|| "raster is empty".to_string())?;
     let img = canopus_analytics::render::render_field(&raster, lo, hi);
     let mut f = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
-    img.write_ppm(&mut f).map_err(|e| format!("writing {out}: {e}"))?;
+    img.write_ppm(&mut f)
+        .map_err(|e| format!("writing {out}: {e}"))?;
     println!("rendered {var} L{level} at {size}x{size} -> {out}");
     Ok(())
 }
@@ -267,7 +279,9 @@ fn cmd_explore(argv: &[String]) -> Result<(), String> {
     let threshold: f64 = a.opt_parse("rms-threshold", 0.0f64)?;
     let canopus = canopus_for(store_dir, CanopusConfig::default())?;
     let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
-    let mut prog = reader.progressive(var).map_err(|e| format!("progressive: {e}"))?;
+    let mut prog = reader
+        .progressive(var)
+        .map_err(|e| format!("progressive: {e}"))?;
     println!(
         "L{}: {} vertices (base), I/O {:.2} ms",
         prog.level(),
@@ -332,6 +346,41 @@ fn cmd_region(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let level: u32 = a.opt_parse("level", 0u32)?;
+    let out = a.opt("out");
+
+    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    // Turn on the structured-event sink for this run so the snapshot
+    // carries spans as well as counters/timers.
+    let obs = std::sync::Arc::clone(canopus.metrics());
+    obs.set_sink(std::sync::Arc::new(
+        canopus_obs::RingBufferSink::with_capacity(4096),
+    ));
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let outcome = reader
+        .read_level(var, level)
+        .map_err(|e| format!("read: {e}"))?;
+
+    let snap = obs.snapshot();
+    let json = snap.to_json_string();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "restored {var} L{level} ({} values); metrics snapshot -> {path}",
+                outcome.data.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
 fn cmd_tiers(argv: &[String]) -> Result<(), String> {
     let a = Args::parse(argv, &[])?;
     let store_dir = a.pos(0, "store directory")?;
@@ -387,18 +436,29 @@ mod tests {
 
         run(&s(&["init", store])).unwrap();
         run(&s(&[
-            "demo-data", "cfd", "--mesh", mesh, "--data", data, "--small", "--seed", "7",
+            "demo-data",
+            "cfd",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         run(&s(&[
-            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data,
-            "--levels", "3", "--codec", "raw",
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data, "--levels", "3",
+            "--codec", "raw",
         ]))
         .unwrap();
         run(&s(&["info", store, "p.bp"])).unwrap();
         run(&s(&["tiers", store])).unwrap();
         run(&s(&["read", store, "p.bp", "pressure", "--out", out])).unwrap();
-        run(&s(&["render", store, "p.bp", "pressure", "--out", ppm, "--size", "64"])).unwrap();
+        run(&s(&[
+            "render", store, "p.bp", "pressure", "--out", ppm, "--size", "64",
+        ]))
+        .unwrap();
 
         // Raw codec: the restored file matches the input exactly.
         let orig = load_f64(data).unwrap();
@@ -428,13 +488,25 @@ mod tests {
             out.to_str().unwrap(),
         );
         run(&s(&["init", store])).unwrap();
-        run(&s(&["demo-data", "xgc1", "--mesh", mesh, "--data", data, "--small"])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "xgc1",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
         run(&s(&[
             "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data,
         ]))
         .unwrap();
         // Separate "process": everything re-opened from disk.
-        run(&s(&["read", store, "x.bp", "dpot", "--level", "2", "--out", out])).unwrap();
+        run(&s(&[
+            "read", store, "x.bp", "dpot", "--level", "2", "--out", out,
+        ]))
+        .unwrap();
         let base = load_f64(out).unwrap();
         let orig = load_f64(data).unwrap();
         assert!(base.len() < orig.len() / 3, "level 2 is ~4x decimated");
@@ -445,8 +517,24 @@ mod tests {
     fn errors_are_reported_not_panicked() {
         assert!(run(&s(&["bogus"])).is_err());
         assert!(run(&s(&["write"])).is_err());
-        assert!(run(&s(&["read", "/nonexistent", "f.bp", "v", "--out", "/tmp/x"])).is_err());
-        assert!(run(&s(&["demo-data", "marsattacks", "--mesh", "/tmp/m", "--data", "/tmp/d"])).is_err());
+        assert!(run(&s(&[
+            "read",
+            "/nonexistent",
+            "f.bp",
+            "v",
+            "--out",
+            "/tmp/x"
+        ]))
+        .is_err());
+        assert!(run(&s(&[
+            "demo-data",
+            "marsattacks",
+            "--mesh",
+            "/tmp/m",
+            "--data",
+            "/tmp/d"
+        ]))
+        .is_err());
         assert!(run(&s(&[])).is_err());
         assert!(run(&s(&["help"])).is_ok());
     }
@@ -465,22 +553,68 @@ mod tests {
             out.to_str().unwrap(),
         );
         run(&s(&["init", store])).unwrap();
-        run(&s(&["demo-data", "xgc1", "--mesh", mesh, "--data", data, "--small"])).unwrap();
         run(&s(&[
-            "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data,
-            "--levels", "3", "--chunks", "8",
+            "demo-data",
+            "xgc1",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data, "--levels", "3",
+            "--chunks", "8",
         ]))
         .unwrap();
         run(&s(&["explore", store, "x.bp", "dpot"])).unwrap();
         run(&s(&[
-            "region", store, "x.bp", "dpot",
-            "--x0", "0.0", "--y0", "0.0", "--x1", "1.0", "--y1", "1.0",
-            "--out", out,
+            "region", store, "x.bp", "dpot", "--x0", "0.0", "--y0", "0.0", "--x1", "1.0", "--y1",
+            "1.0", "--out", out,
         ]))
         .unwrap();
         assert!(std::fs::metadata(out).unwrap().len() > 0);
         // Missing bbox option errors cleanly.
         assert!(run(&s(&["region", store, "x.bp", "dpot", "--out", out])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_subcommand_dumps_valid_snapshot() {
+        let dir = tmpdir("metrics");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let json = dir.join("metrics.json");
+        let (store, mesh, data, json) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            json.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "cfd",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data,
+        ]))
+        .unwrap();
+        run(&s(&["metrics", store, "p.bp", "pressure", "--out", json])).unwrap();
+
+        let text = std::fs::read_to_string(json).unwrap();
+        let snap = canopus::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert!(snap.counter(canopus_obs::names::READ_BYTES_IO) > 0);
+        assert!(snap.counter(canopus_obs::names::READ_BLOCKS) > 0);
+        assert!(snap.timer(canopus_obs::names::READ_IO).count > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -496,7 +630,16 @@ mod tests {
             data.to_str().unwrap(),
         );
         run(&s(&["init", store])).unwrap();
-        run(&s(&["demo-data", "genasis", "--mesh", mesh, "--data", data, "--small"])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "genasis",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
         run(&s(&[
             "write", store, "g.bp", "b", "--mesh", mesh, "--data", data, "--chunks", "4",
         ]))

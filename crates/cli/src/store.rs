@@ -17,8 +17,8 @@ pub struct StoreConfig {
 impl Default for StoreConfig {
     fn default() -> Self {
         Self {
-            tmpfs_bytes: 16 << 20,   // 16 MiB fast tier
-            lustre_bytes: 1 << 30,   // 1 GiB slow tier
+            tmpfs_bytes: 16 << 20, // 16 MiB fast tier
+            lustre_bytes: 1 << 30, // 1 GiB slow tier
         }
     }
 }
@@ -70,8 +70,12 @@ pub fn init(dir: &Path, cfg: StoreConfig) -> Result<(), String> {
 /// two-tier hierarchy.
 pub fn open(dir: &Path) -> Result<(Arc<StorageHierarchy>, StoreConfig), String> {
     let path = dir.join(CONFIG_FILE);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("{} is not a canopus store ({e}); run `canopus init` first", dir.display()))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{} is not a canopus store ({e}); run `canopus init` first",
+            dir.display()
+        )
+    })?;
     let cfg = StoreConfig::from_text(&text)?;
     let hierarchy = StorageHierarchy::file_backed(
         vec![

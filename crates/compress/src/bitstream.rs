@@ -46,7 +46,11 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         let word = self.len >> 6;
         let off = (self.len & 63) as u32;
         if word == self.words.len() {
@@ -223,7 +227,9 @@ mod tests {
         let mut expect = Vec::new();
         let mut x: u64 = 0x12345;
         for i in 0..1000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(144115188075855872);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(144115188075855872);
             let n = (i % 63) + 1;
             let v = x & ((1u64 << n) - 1);
             w.write_bits(v, n);

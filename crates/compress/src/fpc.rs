@@ -154,8 +154,7 @@ impl Codec for Fpc {
                 bytes[1]
             )));
         }
-        let header_len =
-            u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")) as usize;
+        let header_len = u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")) as usize;
         if header_len != n.div_ceil(2) {
             return Err(CodecError::Corrupt(format!(
                 "fpc header block is {header_len} bytes, expected {}",

@@ -30,6 +30,7 @@
 pub mod bitstream;
 pub mod error;
 pub mod fpc;
+pub mod observed;
 pub mod parallel;
 pub mod stats;
 pub mod sz_like;
@@ -38,6 +39,7 @@ pub mod zfp_like;
 
 pub use error::CodecError;
 pub use fpc::Fpc;
+pub use observed::ObservedCodec;
 pub use parallel::Chunked;
 pub use stats::CompressionStats;
 pub use sz_like::SzLike;

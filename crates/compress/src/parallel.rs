@@ -49,9 +49,8 @@ impl<C: Codec> Codec for Chunked<C> {
 
         // Header: magic, version, chunk_elems, chunk count, then chunk
         // byte lengths, then the concatenated payloads.
-        let mut out = Vec::with_capacity(
-            18 + chunks.len() * 8 + chunks.iter().map(Vec::len).sum::<usize>(),
-        );
+        let mut out =
+            Vec::with_capacity(18 + chunks.len() * 8 + chunks.iter().map(Vec::len).sum::<usize>());
         out.push(STREAM_MAGIC);
         out.push(STREAM_VERSION);
         out.extend_from_slice(&(self.chunk_elems as u64).to_le_bytes());
@@ -76,10 +75,8 @@ impl<C: Codec> Codec for Chunked<C> {
         if bytes[1] != STREAM_VERSION {
             return Err(fail("bad version"));
         }
-        let chunk_elems =
-            u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")) as usize;
-        let num_chunks =
-            u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes")) as usize;
+        let chunk_elems = u64::from_le_bytes(bytes[2..10].try_into().expect("8 bytes")) as usize;
+        let num_chunks = u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes")) as usize;
         if chunk_elems == 0 {
             return Err(fail("zero chunk size"));
         }
@@ -93,9 +90,8 @@ impl<C: Codec> Codec for Chunked<C> {
         let mut spans = Vec::with_capacity(num_chunks);
         let mut cursor = table_end;
         for i in 0..num_chunks {
-            let len = u64::from_le_bytes(
-                bytes[18 + i * 8..26 + i * 8].try_into().expect("8 bytes"),
-            ) as usize;
+            let len = u64::from_le_bytes(bytes[18 + i * 8..26 + i * 8].try_into().expect("8 bytes"))
+                as usize;
             if cursor + len > bytes.len() {
                 return Err(fail("payload truncated"));
             }

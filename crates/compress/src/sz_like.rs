@@ -297,8 +297,7 @@ impl Huffman {
         if *pos + 4 > bytes.len() {
             return Err(CodecError::Corrupt("huffman table truncated".into()));
         }
-        let count =
-            u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+        let count = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
         *pos += 4;
         if *pos + count * 5 > bytes.len() {
             return Err(CodecError::Corrupt("huffman table truncated".into()));

@@ -15,8 +15,8 @@
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::CodecError;
 use crate::zfp_like::{
-    cutoff_plane, exponent, int2uint, ldexp, transform_fwd, transform_inv,
-    transform_representable, uint2int, EXP_BIAS, SCALE_BITS,
+    cutoff_plane, exponent, int2uint, ldexp, transform_fwd, transform_inv, transform_representable,
+    uint2int, EXP_BIAS, SCALE_BITS,
 };
 use crate::Codec;
 
@@ -27,9 +27,7 @@ const BLOCK: usize = 16;
 /// Total-sequency order of a 4×4 block's coefficients: `(row_freq +
 /// col_freq)` ascending, matching ZFP's PERM table for d = 2. Index i of
 /// this array gives the position in the 4×4 block (row-major).
-const SEQUENCY: [usize; 16] = [
-    0, 1, 4, 5, 2, 8, 6, 9, 3, 12, 10, 7, 13, 11, 14, 15,
-];
+const SEQUENCY: [usize; 16] = [0, 1, 4, 5, 2, 8, 6, 9, 3, 12, 10, 7, 13, 11, 14, 15];
 
 /// The 2-D ZFP-like fixed-accuracy codec. Element count alone does not
 /// determine the grid, so the dimensions are part of the codec state.

@@ -19,9 +19,9 @@ fn arb_field() -> impl Strategy<Value = Vec<f64>> {
 fn arb_wild() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(
         prop_oneof![
-            (-1e6f64..1e6),
-            (-1e-300f64..1e-300),
-            (-1e300f64..1e300),
+            -1e6f64..1e6,
+            -1e-300f64..1e-300,
+            -1e300f64..1e300,
             Just(0.0f64),
             Just(-0.0f64),
         ],

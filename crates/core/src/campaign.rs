@@ -63,7 +63,12 @@ impl<'a> Campaign<'a> {
         mesh: &TriMesh,
         data: &[f64],
     ) -> Result<WriteReport, CanopusError> {
-        self.canopus.write(&self.file_of(step), var, mesh, data)
+        let report = self.canopus.write(&self.file_of(step), var, mesh, data)?;
+        self.canopus
+            .metrics()
+            .counter(canopus_obs::names::CAMPAIGN_WRITES)
+            .inc();
+        Ok(report)
     }
 
     /// Open one timestep for reading.
@@ -106,6 +111,9 @@ impl<'a> Campaign<'a> {
         lo: f64,
         hi: f64,
     ) -> Result<Vec<u64>, CanopusError> {
+        let obs = self.canopus.metrics();
+        obs.counter(canopus_obs::names::CAMPAIGN_QUERIES).inc();
+        let t = std::time::Instant::now();
         let mut hits = Vec::new();
         for step in self.steps() {
             let reader = self.open_step(step)?;
@@ -113,6 +121,8 @@ impl<'a> Campaign<'a> {
                 hits.push(step);
             }
         }
+        obs.timer(canopus_obs::names::CAMPAIGN_QUERY_TIMER)
+            .record_wall(t.elapsed().as_secs_f64());
         Ok(hits)
     }
 }
@@ -161,7 +171,9 @@ mod tests {
         let (c, mesh) = setup();
         let campaign = Campaign::new(&c, "run1");
         for step in [0u64, 5, 10] {
-            campaign.write_step(step, "u", &mesh, &field(&mesh, step)).unwrap();
+            campaign
+                .write_step(step, "u", &mesh, &field(&mesh, step))
+                .unwrap();
         }
         assert_eq!(campaign.steps(), vec![0, 5, 10]);
         let reader = campaign.open_step(5).unwrap();
@@ -192,16 +204,22 @@ mod tests {
         let (c, mesh) = setup();
         let campaign = Campaign::new(&c, "amp");
         for step in 1..=4u64 {
-            campaign.write_step(step, "u", &mesh, &field(&mesh, step)).unwrap();
+            campaign
+                .write_step(step, "u", &mesh, &field(&mesh, step))
+                .unwrap();
         }
         // field max ≈ step * ~1.9; threshold 5 excludes steps 1 and 2.
-        let hits = campaign.steps_possibly_in_range("u", 5.0, f64::INFINITY).unwrap();
+        let hits = campaign
+            .steps_possibly_in_range("u", 5.0, f64::INFINITY)
+            .unwrap();
         assert!(!hits.contains(&1), "step 1 cannot reach 5: {hits:?}");
         assert!(hits.contains(&4), "step 4 certainly can: {hits:?}");
         // Never-false-negative: every hit-excluded step truly stays under.
         for step in campaign.steps() {
             if !hits.contains(&step) {
-                let max = field(&mesh, step).into_iter().fold(f64::NEG_INFINITY, f64::max);
+                let max = field(&mesh, step)
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 assert!(max < 5.0, "step {step} was wrongly excluded (max {max})");
             }
         }
@@ -220,7 +238,10 @@ mod tests {
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
                 (a.min(v), b.max(v))
             });
-        assert!(lo <= dmin && hi >= dmax, "bounds [{lo},{hi}] vs data [{dmin},{dmax}]");
+        assert!(
+            lo <= dmin && hi >= dmax,
+            "bounds [{lo},{hi}] vs data [{dmin},{dmax}]"
+        );
         // And not absurdly loose (within 3x the data range on each side).
         let range = dmax - dmin;
         assert!(dmin - lo <= 2.0 * range, "lower bound too loose");

@@ -28,7 +28,9 @@ impl Default for CanopusConfig {
     fn default() -> Self {
         Self {
             refactor: RefactorConfig::default(),
-            codec: RelativeCodec::ZfpLike { rel_tolerance: 1e-6 },
+            codec: RelativeCodec::ZfpLike {
+                rel_tolerance: 1e-6,
+            },
             policy: PlacementPolicy::RankSpread,
             delta_chunks: 1,
         }
@@ -76,7 +78,9 @@ mod tests {
 
     #[test]
     fn relative_codec_scales_with_range() {
-        let rc = RelativeCodec::ZfpLike { rel_tolerance: 1e-3 };
+        let rc = RelativeCodec::ZfpLike {
+            rel_tolerance: 1e-3,
+        };
         match rc.resolve(100.0) {
             CodecKind::ZfpLike { tolerance } => assert!((tolerance - 0.1).abs() < 1e-12),
             other => panic!("unexpected {other:?}"),

@@ -52,6 +52,7 @@ pub mod read;
 pub mod write;
 
 pub use campaign::Campaign;
+pub use canopus_obs::{MetricsSnapshot, Registry};
 pub use config::CanopusConfig;
 pub use error::CanopusError;
 pub use progressive::ProgressiveReader;

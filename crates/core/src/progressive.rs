@@ -10,6 +10,7 @@
 use crate::error::CanopusError;
 use crate::read::{CanopusReader, PhaseTiming, ReadOutcome};
 use canopus_mesh::TriMesh;
+use canopus_obs::stage;
 
 /// A stateful progressive-refinement session over one variable.
 pub struct ProgressiveReader<'a> {
@@ -79,6 +80,12 @@ impl<'a> ProgressiveReader<'a> {
     /// Fetch the next delta and refine one level. Errors at full
     /// accuracy.
     pub fn refine(&mut self) -> Result<PhaseTiming, CanopusError> {
+        let _span = stage!(
+            self.reader.metrics(),
+            "restore",
+            var = self.var.as_str(),
+            level = self.current.level.saturating_sub(1),
+        );
         let (next, rms) = self.reader.refine_once(&self.var, &self.current)?;
         let step = next.timing;
         self.cumulative += step;
@@ -118,7 +125,7 @@ impl<'a> ProgressiveReader<'a> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::config::CanopusConfig;
     use crate::write::Canopus;
     use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
@@ -173,7 +180,10 @@ mod tests {
             sizes.push(p.num_vertices());
         }
         assert_eq!(p.level(), 0);
-        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes grow: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "sizes grow: {sizes:?}"
+        );
         assert!(p.refine().is_err(), "cannot refine past full accuracy");
     }
 

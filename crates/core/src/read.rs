@@ -3,14 +3,17 @@
 
 use crate::error::CanopusError;
 use crate::write::{decode_level_meta, spatial_chunks};
-use canopus_mesh::Aabb;
+use bytes::Bytes;
 use canopus_adios::{BlockMeta, BpFile};
-use canopus_compress::{Codec, CodecKind};
+use canopus_compress::{Codec, CodecKind, ObservedCodec};
+use canopus_mesh::Aabb;
 use canopus_mesh::TriMesh;
+use canopus_obs::{names, Registry};
 use canopus_refactor::mapping::mapping_from_bytes;
 use canopus_refactor::{restore_level, Estimator};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The paper's per-phase timing: I/O (simulated), decompression and
@@ -85,15 +88,42 @@ pub struct CanopusReader {
     file: BpFile,
     estimator: Estimator,
     meta_cache: MetaCache,
+    obs: Arc<Registry>,
 }
 
 impl CanopusReader {
     pub(crate) fn new(file: BpFile, estimator: Estimator) -> Self {
+        let obs = Arc::clone(file.hierarchy().metrics());
         Self {
             file,
             estimator,
             meta_cache: Mutex::new(HashMap::new()),
+            obs,
         }
+    }
+
+    /// Read one block's payload with I/O accounting: records the
+    /// simulated transfer time under [`names::READ_IO`] and the byte
+    /// volume under [`names::READ_BYTES_IO`].
+    fn read_block_observed(
+        &self,
+        block: &BlockMeta,
+    ) -> Result<(Bytes, usize, canopus_storage::SimDuration), CanopusError> {
+        let t = Instant::now();
+        let (bytes, tier, dt) = self.file.read_block(block)?;
+        self.obs
+            .timer(names::READ_IO)
+            .record(t.elapsed().as_secs_f64(), dt.seconds());
+        self.obs
+            .counter(names::READ_BYTES_IO)
+            .add(bytes.len() as u64);
+        self.obs.counter(names::READ_BLOCKS).inc();
+        Ok((bytes, tier, dt))
+    }
+
+    /// The shared observability registry (anchored on the hierarchy).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Pre-load every level's mesh + mapping for `var` into the cache
@@ -115,11 +145,7 @@ impl CanopusReader {
     }
 
     /// Decode one data block (base or delta) through its recorded codec.
-    fn decode_block(
-        &self,
-        block: &BlockMeta,
-        bytes: &[u8],
-    ) -> Result<Vec<f64>, CanopusError> {
+    fn decode_block(&self, block: &BlockMeta, bytes: &[u8]) -> Result<Vec<f64>, CanopusError> {
         let codec: Box<dyn Codec> = match block.codec_id {
             0 => CodecKind::Raw.build(),
             1 => CodecKind::ZfpLike {
@@ -135,7 +161,16 @@ impl CanopusReader {
                 return Err(CanopusError::Invalid(format!("unknown codec id {id}")));
             }
         };
-        Ok(codec.decompress(bytes, block.elements as usize)?)
+        let codec = ObservedCodec::new(codec, Arc::clone(&self.obs));
+        let t = Instant::now();
+        let values = codec.decompress(bytes, block.elements as usize)?;
+        self.obs
+            .timer(names::READ_DECOMPRESS)
+            .record_wall(t.elapsed().as_secs_f64());
+        self.obs
+            .counter(names::READ_VALUES_DECODED)
+            .add(values.len() as u64);
+        Ok(values)
     }
 
     /// Read the auxiliary metadata of `level`: its mesh and (for non-base
@@ -154,7 +189,7 @@ impl CanopusReader {
             .metadata_for(level)
             .ok_or_else(|| CanopusError::Invalid(format!("no metadata for level {level}")))?
             .clone();
-        let (bytes, _, dt) = self.file.read_block(&block)?;
+        let (bytes, _, dt) = self.read_block_observed(&block)?;
         let (mesh_bytes, mapping_bytes) = decode_level_meta(&bytes)?;
         let mesh = canopus_mesh::io::from_binary(&mesh_bytes)
             .map_err(|e| CanopusError::MeshIo(e.to_string()))?;
@@ -171,7 +206,13 @@ impl CanopusReader {
         let base_level = n - 1;
         let mut timing = PhaseTiming::default();
 
-        let (bytes, block, io) = self.file.read_base(var)?;
+        let block = self
+            .file
+            .inq_var(var)?
+            .base()
+            .ok_or_else(|| CanopusError::Invalid(format!("no base block of {var}")))?
+            .clone();
+        let (bytes, _, io) = self.read_block_observed(&block)?;
         timing.io_secs += io.seconds();
 
         let t = Instant::now();
@@ -202,7 +243,7 @@ impl CanopusReader {
         let mut timing = PhaseTiming::default();
         let v = self.file.inq_var(var)?;
         if let Some(block) = v.delta_to(finer).cloned() {
-            let (bytes, _, io) = self.file.read_block(&block)?;
+            let (bytes, _, io) = self.read_block_observed(&block)?;
             timing.io_secs += io.seconds();
             let t = Instant::now();
             let delta = self.decode_block(&block, &bytes)?;
@@ -218,7 +259,7 @@ impl CanopusReader {
         let assignment = spatial_chunks(fine_mesh, chunks.len() as u32);
         let mut delta = vec![0.0f64; fine_mesh.num_vertices()];
         for (block, ids) in chunks.iter().zip(&assignment) {
-            let (bytes, _, io) = self.file.read_block(block)?;
+            let (bytes, _, io) = self.read_block_observed(block)?;
             timing.io_secs += io.seconds();
             let t = Instant::now();
             let values = self.decode_block(block, &bytes)?;
@@ -270,6 +311,10 @@ impl CanopusReader {
             self.estimator,
         );
         timing.restore_secs += t.elapsed().as_secs_f64();
+        self.obs
+            .timer(names::READ_RESTORE)
+            .record_wall(timing.restore_secs);
+        self.obs.counter(names::READ_REFINEMENTS).inc();
 
         let delta_rms = if delta.is_empty() {
             0.0
@@ -334,13 +379,11 @@ impl CanopusReader {
             let assignment = spatial_chunks(&fine_mesh, chunk_blocks.len() as u32);
             stats.chunks_total = chunk_blocks.len();
             for (block, ids) in chunk_blocks.iter().zip(&assignment) {
-                let bbox = Aabb::from_points(
-                    ids.iter().map(|&vid| fine_mesh.point(vid)),
-                );
+                let bbox = Aabb::from_points(ids.iter().map(|&vid| fine_mesh.point(vid)));
                 if !bbox.intersects(&region) {
                     continue;
                 }
-                let (bytes, _, io) = self.file.read_block(block)?;
+                let (bytes, _, io) = self.read_block_observed(block)?;
                 timing.io_secs += io.seconds();
                 stats.bytes_read += bytes.len() as u64;
                 let t = Instant::now();
@@ -373,6 +416,28 @@ impl CanopusReader {
             self.estimator,
         );
         timing.restore_secs += t.elapsed().as_secs_f64();
+        self.obs
+            .timer(names::READ_RESTORE)
+            .record_wall(timing.restore_secs);
+        self.obs.counter(names::READ_REGION_REFINEMENTS).inc();
+        self.obs.event(
+            "read.region",
+            vec![
+                ("var".to_string(), canopus_obs::FieldValue::from(var)),
+                (
+                    "level".to_string(),
+                    canopus_obs::FieldValue::from(finer as u64),
+                ),
+                (
+                    "chunks_read".to_string(),
+                    canopus_obs::FieldValue::from(stats.chunks_read as u64),
+                ),
+                (
+                    "chunks_total".to_string(),
+                    canopus_obs::FieldValue::from(stats.chunks_total as u64),
+                ),
+            ],
+        );
 
         Ok((
             ReadOutcome {
@@ -433,9 +498,11 @@ impl CanopusReader {
                         "no delta to level {l} of {var}"
                     )));
                 }
-                chunks.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), c| {
-                    (a.min(c.min), b.max(c.max))
-                })
+                chunks
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), c| {
+                        (a.min(c.min), b.max(c.max))
+                    })
             };
             lo += dmin;
             hi += dmax;
@@ -530,7 +597,9 @@ mod tests {
 
     #[test]
     fn base_read_is_small_and_fast() {
-        let (c, mesh, data) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-6 });
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike {
+            rel_tolerance: 1e-6,
+        });
         c.write("t.bp", "v", &mesh, &data).unwrap();
         let reader = c.open("t.bp").unwrap();
         let base = reader.read_base("v").unwrap();
@@ -545,7 +614,9 @@ mod tests {
 
     #[test]
     fn refine_steps_walk_levels() {
-        let (c, mesh, data) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-6 });
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike {
+            rel_tolerance: 1e-6,
+        });
         c.write("t.bp", "v", &mesh, &data).unwrap();
         let reader = c.open("t.bp").unwrap();
         let base = reader.read_base("v").unwrap();

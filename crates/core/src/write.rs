@@ -6,11 +6,12 @@ use crate::error::CanopusError;
 use bytes::Bytes;
 use canopus_adios::store::{BlockWrite, BpStore};
 use canopus_adios::BpFile;
-use canopus_compress::CodecKind;
+use canopus_compress::{Codec, CodecKind, ObservedCodec};
 use canopus_mesh::{FieldStats, TriMesh};
+use canopus_obs::{names, stage, Registry};
+use canopus_refactor::compute_delta;
 use canopus_refactor::decimate::decimate;
 use canopus_refactor::mapping::{build_mapping, mapping_to_bytes};
-use canopus_refactor::compute_delta;
 use canopus_storage::{ProductKind, SimDuration, StorageHierarchy};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -175,6 +176,11 @@ impl Canopus {
         self.store.hierarchy()
     }
 
+    /// The shared observability registry (anchored on the hierarchy).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.store.hierarchy().metrics()
+    }
+
     /// Refactor, compress and place one variable (paper Fig. 1 left).
     ///
     /// Products are written base-first then deltas coarse→fine, so the
@@ -197,6 +203,9 @@ impl Canopus {
         let rc = self.config.refactor;
         let n = rc.num_levels;
         let estimator = rc.estimator;
+        let obs = Arc::clone(self.metrics());
+        let _span = stage!(obs, "write", file = file, var = var, levels = n);
+        let t_total = Instant::now();
 
         // --- refactor: decimation then mapping+delta, timed separately ---
         let mut meshes: Vec<TriMesh> = vec![mesh.clone()];
@@ -209,6 +218,8 @@ impl Canopus {
             level_data.push(r.data);
         }
         decimation_secs += t0.elapsed().as_secs_f64();
+        obs.timer(names::WRITE_DECIMATE)
+            .record_wall(decimation_secs);
 
         let t1 = Instant::now();
         let mappings: Vec<Vec<u32>> = (0..n.saturating_sub(1) as usize)
@@ -228,6 +239,7 @@ impl Canopus {
             })
             .collect();
         let delta_secs = t1.elapsed().as_secs_f64();
+        obs.timer(names::WRITE_DELTA).record_wall(delta_secs);
 
         // --- compress base + deltas ---
         let range = FieldStats::of(data).range();
@@ -275,12 +287,13 @@ impl Canopus {
         let compressed: Vec<(ProductKind, Vec<u8>, FieldStats, usize)> = streams
             .par_iter()
             .map(|&(kind, values)| {
-                let codec = codec_kind.build();
+                let codec = ObservedCodec::new(codec_kind.build(), Arc::clone(&obs));
                 let bytes = codec.compress(values).map_err(CanopusError::from)?;
                 Ok((kind, bytes, FieldStats::of(values), values.len()))
             })
             .collect::<Result<_, CanopusError>>()?;
         let compress_secs = t2.elapsed().as_secs_f64();
+        obs.timer(names::WRITE_COMPRESS).record_wall(compress_secs);
 
         // --- assemble blocks in placement order ---
         let codec_param = match codec_kind {
@@ -336,7 +349,10 @@ impl Canopus {
         }
 
         // --- place ---
+        let t3 = Instant::now();
         let (plan, io_time) = self.store.write(file, n, blocks)?;
+        obs.timer(names::WRITE_IO)
+            .record(t3.elapsed().as_secs_f64(), io_time.seconds());
         let products = plan
             .assignments
             .iter()
@@ -376,14 +392,24 @@ impl Canopus {
             };
         }
 
-        Ok(WriteReport {
+        let report = WriteReport {
             decimation_secs,
             delta_secs,
             compress_secs,
             io_time,
             products,
             num_levels: n,
-        })
+        };
+        obs.timer(names::WRITE_TOTAL)
+            .record(t_total.elapsed().as_secs_f64(), io_time.seconds());
+        obs.counter(names::WRITES).inc();
+        obs.counter(names::WRITE_BYTES_RAW)
+            .add(data.len() as u64 * 8);
+        obs.counter(names::WRITE_BYTES_STORED)
+            .add(report.stored_data_bytes());
+        obs.counter(names::WRITE_PRODUCTS)
+            .add(report.products.len() as u64);
+        Ok(report)
     }
 
     /// Refactor and place many planes of one variable in parallel — the
@@ -420,7 +446,10 @@ impl Canopus {
         mesh: &TriMesh,
         data: &[f64],
     ) -> Result<WriteReport, CanopusError> {
-        let codec = CodecKind::Raw.build();
+        let obs = Arc::clone(self.metrics());
+        let _span = stage!(obs, "write_unrefactored", file = file, var = var);
+        let t_total = Instant::now();
+        let codec = ObservedCodec::new(CodecKind::Raw.build(), Arc::clone(&obs));
         let bytes = codec.compress(data)?;
         let stats = FieldStats::of(data);
         let mesh_bytes = canopus_mesh::io::to_binary(mesh);
@@ -448,7 +477,10 @@ impl Canopus {
                 max: 0.0,
             },
         ];
+        let t_io = Instant::now();
         let (plan, io_time) = self.store.write(file, 1, blocks)?;
+        obs.timer(names::WRITE_IO)
+            .record(t_io.elapsed().as_secs_f64(), io_time.seconds());
         let products = plan
             .assignments
             .iter()
@@ -465,14 +497,24 @@ impl Canopus {
                 tier: *tier,
             })
             .collect();
-        Ok(WriteReport {
+        let report = WriteReport {
             decimation_secs: 0.0,
             delta_secs: 0.0,
             compress_secs: 0.0,
             io_time,
             products,
             num_levels: 1,
-        })
+        };
+        obs.timer(names::WRITE_TOTAL)
+            .record(t_total.elapsed().as_secs_f64(), io_time.seconds());
+        obs.counter(names::WRITES).inc();
+        obs.counter(names::WRITE_BYTES_RAW)
+            .add(data.len() as u64 * 8);
+        obs.counter(names::WRITE_BYTES_STORED)
+            .add(report.stored_data_bytes());
+        obs.counter(names::WRITE_PRODUCTS)
+            .add(report.products.len() as u64);
+        Ok(report)
     }
 
     /// Open a previously written file for (progressive) reading.
@@ -676,7 +718,10 @@ mod tests {
         );
         assert_eq!(
             parse_kind_from_key("f.bp/v/d1-2"),
-            Some(ProductKind::Delta { finer: 1, coarser: 2 })
+            Some(ProductKind::Delta {
+                finer: 1,
+                coarser: 2
+            })
         );
         assert_eq!(
             parse_kind_from_key("f.bp/v/m0"),
@@ -684,7 +729,11 @@ mod tests {
         );
         assert_eq!(
             parse_kind_from_key("f.bp/v/d1-2.7"),
-            Some(ProductKind::DeltaChunk { finer: 1, coarser: 2, chunk: 7 })
+            Some(ProductKind::DeltaChunk {
+                finer: 1,
+                coarser: 2,
+                chunk: 7
+            })
         );
         assert_eq!(parse_kind_from_key("f.bp/v/x9"), None);
     }

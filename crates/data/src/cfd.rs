@@ -129,7 +129,10 @@ mod tests {
                 far_max = far_max.max(v);
             }
         }
-        assert!(nose_max > far_max + 1.0, "nose {nose_max} vs inlet {far_max}");
+        assert!(
+            nose_max > far_max + 1.0,
+            "nose {nose_max} vs inlet {far_max}"
+        );
     }
 
     #[test]

@@ -122,6 +122,9 @@ mod tests {
         // Normalize by field std so scale differences don't dominate.
         let g_rel = g_tv / FieldStats::of(&g.data).std_dev();
         let x_rel = x_tv / FieldStats::of(&x.data).std_dev();
-        assert!(g_rel < x_rel, "GenASiS {g_rel} should be smoother than XGC1 {x_rel}");
+        assert!(
+            g_rel < x_rel,
+            "GenASiS {g_rel} should be smoother than XGC1 {x_rel}"
+        );
     }
 }

@@ -56,11 +56,7 @@ impl Dataset {
 
 /// All three paper datasets at paper scale.
 pub fn all_datasets(seed: u64) -> Vec<Dataset> {
-    vec![
-        xgc1_dataset(seed),
-        genasis_dataset(seed),
-        cfd_dataset(seed),
-    ]
+    vec![xgc1_dataset(seed), genasis_dataset(seed), cfd_dataset(seed)]
 }
 
 /// Reduced-size versions of all three datasets (quick tests/benches).

@@ -33,7 +33,11 @@ pub fn xgc1_dataset(seed: u64) -> Dataset {
 /// an `n_radial x n_angular` annulus with the same field synthesis.
 pub fn xgc1_dataset_sized(n_radial: usize, n_angular: usize, seed: u64) -> Dataset {
     use canopus_mesh::generators::{annulus_mesh, jitter_interior};
-    let mesh = jitter_interior(&annulus_mesh(n_radial, n_angular, R_INNER, R_OUTER), 0.25, seed);
+    let mesh = jitter_interior(
+        &annulus_mesh(n_radial, n_angular, R_INNER, R_OUTER),
+        0.25,
+        seed,
+    );
     xgc1_with_mesh(mesh, seed)
 }
 
@@ -44,10 +48,10 @@ fn xgc1_with_mesh(mesh: canopus_mesh::TriMesh, seed: u64) -> Dataset {
     let modes: Vec<(f64, f64, f64, f64)> = (0..6)
         .map(|m| {
             (
-                (m + 2) as f64,                  // poloidal mode number
+                (m + 2) as f64,                        // poloidal mode number
                 rng.range(0.0, std::f64::consts::TAU), // phase
-                rng.range(3.0, 7.0),             // amplitude
-                rng.range(2.0, 5.0),             // radial wavenumber
+                rng.range(3.0, 7.0),                   // amplitude
+                rng.range(2.0, 5.0),                   // radial wavenumber
             )
         })
         .collect();
@@ -55,17 +59,16 @@ fn xgc1_with_mesh(mesh: canopus_mesh::TriMesh, seed: u64) -> Dataset {
     // Edge blobs: positions in (r, theta), widths, amplitudes.
     let blobs: Vec<(f64, f64, f64, f64)> = (0..NUM_BLOBS)
         .map(|i| {
-            let theta = std::f64::consts::TAU * (i as f64 + rng.range(0.1, 0.9))
-                / NUM_BLOBS as f64;
+            let theta = std::f64::consts::TAU * (i as f64 + rng.range(0.1, 0.9)) / NUM_BLOBS as f64;
             let r = rng.range(0.78, 0.94);
             let sigma = rng.range(0.02, 0.045);
             // Mostly bright over-densities; a quarter faint; a couple
             // negative under-densities.
             let amp = match i % 8 {
                 0..=3 => rng.range(70.0, 100.0), // bright
-                4 | 5 => rng.range(35.0, 55.0),          // medium
-                6 => rng.range(18.0, 28.0),              // faint
-                _ => -rng.range(25.0, 45.0),             // under-density
+                4 | 5 => rng.range(35.0, 55.0),  // medium
+                6 => rng.range(18.0, 28.0),      // faint
+                _ => -rng.range(25.0, 45.0),     // under-density
             };
             (r, theta, sigma, amp)
         })
@@ -141,6 +144,9 @@ mod tests {
                 core_max = core_max.max(v.abs());
             }
         }
-        assert!(edge_max > 1.5 * core_max, "edge {edge_max} vs core {core_max}");
+        assert!(
+            edge_max > 1.5 * core_max,
+            "edge {edge_max} vs core {core_max}"
+        );
     }
 }

@@ -251,7 +251,11 @@ mod tests {
     #[test]
     fn generated_meshes_are_valid() {
         for m in [
-            rectangle_mesh(6, 6, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)])),
+            rectangle_mesh(
+                6,
+                6,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
             annulus_mesh(6, 24, 0.3, 1.0),
             disk_mesh(6, 24, 1.0),
         ] {

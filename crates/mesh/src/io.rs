@@ -146,8 +146,7 @@ pub fn write_binary<W: Write>(mesh: &TriMesh, mut w: W) -> io::Result<()> {
 
 /// Serialize `mesh` into an owned byte buffer.
 pub fn to_binary(mesh: &TriMesh) -> Vec<u8> {
-    let mut buf =
-        Vec::with_capacity(24 + mesh.num_vertices() * 16 + mesh.num_triangles() * 12);
+    let mut buf = Vec::with_capacity(24 + mesh.num_vertices() * 16 + mesh.num_triangles() * 12);
     write_binary(mesh, &mut buf).expect("writing to Vec cannot fail");
     buf
 }

@@ -257,7 +257,11 @@ mod tests {
 
     #[test]
     fn locates_interior_points() {
-        let mesh = rectangle_mesh(8, 8, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]));
+        let mesh = rectangle_mesh(
+            8,
+            8,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
         let loc = GridLocator::build(&mesh);
         for &(x, y) in &[(0.1, 0.1), (0.5, 0.5), (0.93, 0.21), (0.999, 0.999)] {
             let p = Point2::new(x, y);
@@ -269,17 +273,28 @@ mod tests {
 
     #[test]
     fn locates_all_vertices_of_own_mesh() {
-        let mesh = rectangle_mesh(13, 7, Aabb::from_points([Point2::new(-2.0, 1.0), Point2::new(3.0, 2.0)]));
+        let mesh = rectangle_mesh(
+            13,
+            7,
+            Aabb::from_points([Point2::new(-2.0, 1.0), Point2::new(3.0, 2.0)]),
+        );
         let loc = GridLocator::build(&mesh);
         for &p in mesh.points() {
             let r = loc.locate(&mesh, p).unwrap();
-            assert!(r.is_inside(), "mesh vertex {p:?} must be inside some triangle");
+            assert!(
+                r.is_inside(),
+                "mesh vertex {p:?} must be inside some triangle"
+            );
         }
     }
 
     #[test]
     fn clamps_exterior_points() {
-        let mesh = rectangle_mesh(4, 4, Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]));
+        let mesh = rectangle_mesh(
+            4,
+            4,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
         let loc = GridLocator::build(&mesh);
         let r = loc.locate(&mesh, Point2::new(2.0, 0.5)).unwrap();
         match r {
@@ -298,7 +313,11 @@ mod tests {
             9,
             Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(2.0, 1.0)]),
         );
-        let data: Vec<f64> = mesh.points().iter().map(|p| 3.0 * p.x - 2.0 * p.y + 1.0).collect();
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| 3.0 * p.x - 2.0 * p.y + 1.0)
+            .collect();
         let loc = GridLocator::build(&mesh);
         for &(x, y) in &[(0.3, 0.4), (1.7, 0.05), (0.01, 0.99), (1.0, 0.5)] {
             let v = interpolate_at(&mesh, &loc, &data, Point2::new(x, y)).unwrap();
@@ -319,7 +338,13 @@ mod tests {
         // Far outside: the clamped value stays within the field's range.
         let v = interpolate_at(&mesh, &loc, &data, Point2::new(5.0, 0.5)).unwrap();
         assert!((0.0..=1.0).contains(&v), "clamped value {v}");
-        assert!(interpolate_at(&TriMesh::default(), &GridLocator::build(&TriMesh::default()), &[], Point2::new(0.0, 0.0)).is_none());
+        assert!(interpolate_at(
+            &TriMesh::default(),
+            &GridLocator::build(&TriMesh::default()),
+            &[],
+            Point2::new(0.0, 0.0)
+        )
+        .is_none());
     }
 
     #[test]

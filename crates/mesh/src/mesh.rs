@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn decimation_ratio() {
         let m = square();
-        let half = TriMesh::new(
-            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)],
-            vec![],
-        );
+        let half = TriMesh::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)], vec![]);
         assert!((half.decimation_ratio_from(&m) - 2.0).abs() < 1e-12);
     }
 }

@@ -63,11 +63,7 @@ pub fn sector_partition(mesh: &TriMesh, k: usize) -> Vec<Partition> {
     })
 }
 
-fn partition_by(
-    mesh: &TriMesh,
-    k: usize,
-    assign: impl Fn(Point2) -> usize,
-) -> Vec<Partition> {
+fn partition_by(mesh: &TriMesh, k: usize, assign: impl Fn(Point2) -> usize) -> Vec<Partition> {
     let mut tri_sets: Vec<Vec<[VertexId; 3]>> = vec![Vec::new(); k];
     for t in 0..mesh.num_triangles() {
         let tri = mesh.triangle(t as u32);

@@ -88,7 +88,11 @@ pub fn check(mesh: &TriMesh) -> QualityReport {
         boundary_edges,
         overused_edges,
         euler_characteristic: v - e + f,
-        min_angle: if min_angle.is_finite() { min_angle } else { 0.0 },
+        min_angle: if min_angle.is_finite() {
+            min_angle
+        } else {
+            0.0
+        },
         edge_length_ratio: if min_edge > 0.0 && max_edge > 0.0 {
             max_edge / min_edge
         } else {

@@ -1,0 +1,101 @@
+//! Canonical metric names.
+//!
+//! Every layer that records into the shared registry goes through these
+//! constants/builders so snapshots, tests, and the CLI agree on
+//! spelling. Naming scheme: `<layer>.<subsystem>.<quantity>`, with
+//! per-instance segments (tier index, codec name) in the middle.
+
+// ---- core write path (timers) ---------------------------------------
+pub const WRITE_DECIMATE: &str = "canopus.write.decimate";
+pub const WRITE_DELTA: &str = "canopus.write.delta";
+pub const WRITE_COMPRESS: &str = "canopus.write.compress";
+pub const WRITE_IO: &str = "canopus.write.io";
+pub const WRITE_TOTAL: &str = "canopus.write.total";
+
+// ---- core write path (counters) -------------------------------------
+pub const WRITE_BYTES_RAW: &str = "canopus.write.bytes_raw";
+pub const WRITE_BYTES_STORED: &str = "canopus.write.bytes_stored";
+pub const WRITE_PRODUCTS: &str = "canopus.write.products";
+pub const WRITES: &str = "canopus.write.calls";
+
+// ---- core read path --------------------------------------------------
+pub const READ_IO: &str = "canopus.read.io";
+pub const READ_DECOMPRESS: &str = "canopus.read.decompress";
+pub const READ_RESTORE: &str = "canopus.read.restore";
+pub const READ_BYTES_IO: &str = "canopus.read.bytes_io";
+pub const READ_VALUES_DECODED: &str = "canopus.read.values_decoded";
+pub const READ_BLOCKS: &str = "canopus.read.blocks";
+pub const READ_REFINEMENTS: &str = "canopus.read.refinements";
+pub const READ_REGION_REFINEMENTS: &str = "canopus.read.region_refinements";
+
+// ---- campaign layer --------------------------------------------------
+pub const CAMPAIGN_QUERIES: &str = "canopus.campaign.queries";
+pub const CAMPAIGN_QUERY_TIMER: &str = "canopus.campaign.query";
+pub const CAMPAIGN_WRITES: &str = "canopus.campaign.writes";
+
+// ---- adios transport -------------------------------------------------
+pub const TRANSPORT_QUEUE_DEPTH: &str = "adios.transport.queue_depth";
+pub const TRANSPORT_QUEUE_PEAK: &str = "adios.transport.queue_peak";
+pub const TRANSPORT_STAGED_WRITES: &str = "adios.transport.staged_writes";
+pub const TRANSPORT_DIRECT_WRITES: &str = "adios.transport.direct_writes";
+pub const TRANSPORT_STAGED_LATENCY: &str = "adios.transport.staged_latency";
+pub const TRANSPORT_DIRECT_LATENCY: &str = "adios.transport.direct_latency";
+
+// ---- storage hierarchy ----------------------------------------------
+pub const MIGRATIONS: &str = "storage.migration.migrations";
+pub const EVICTIONS: &str = "storage.migration.evictions";
+pub const PROMOTIONS: &str = "storage.migration.promotions";
+pub const MIGRATION_BYTES: &str = "storage.migration.bytes_moved";
+
+pub fn tier_bytes_read(tier: usize) -> String {
+    format!("storage.tier.{tier}.bytes_read")
+}
+
+pub fn tier_bytes_written(tier: usize) -> String {
+    format!("storage.tier.{tier}.bytes_written")
+}
+
+pub fn tier_reads(tier: usize) -> String {
+    format!("storage.tier.{tier}.reads")
+}
+
+pub fn tier_writes(tier: usize) -> String {
+    format!("storage.tier.{tier}.writes")
+}
+
+pub fn tier_read_timer(tier: usize) -> String {
+    format!("storage.tier.{tier}.read")
+}
+
+pub fn tier_write_timer(tier: usize) -> String {
+    format!("storage.tier.{tier}.write")
+}
+
+pub fn placements_on_tier(tier: usize) -> String {
+    format!("storage.placement.tier.{tier}")
+}
+
+pub fn placement_bytes_on_tier(tier: usize) -> String {
+    format!("storage.placement.bytes.tier.{tier}")
+}
+
+// ---- compression -----------------------------------------------------
+pub fn compress_bytes_in(codec: &str) -> String {
+    format!("compress.{codec}.bytes_in")
+}
+
+pub fn compress_bytes_out(codec: &str) -> String {
+    format!("compress.{codec}.bytes_out")
+}
+
+pub fn compress_calls(codec: &str) -> String {
+    format!("compress.{codec}.calls")
+}
+
+pub fn decompress_bytes_in(codec: &str) -> String {
+    format!("compress.{codec}.decompress_bytes_in")
+}
+
+pub fn decompress_values_out(codec: &str) -> String {
+    format!("compress.{codec}.decompress_values_out")
+}

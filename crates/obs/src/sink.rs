@@ -1,0 +1,240 @@
+//! Pluggable event sinks for the structured span/event stream.
+//!
+//! The default [`NoopSink`] discards everything; benches rely on that
+//! path costing one atomic load plus a virtual call that is never made
+//! (the registry checks `sink_enabled` before touching the sink at
+//! all). [`RingBufferSink`] retains the most recent events in memory
+//! for JSON export with the metrics snapshot.
+
+use crate::json::Value;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// A single field attached to an event (`stage!("restore", level = 2)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Int(i64),
+    Uint(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Uint(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::Uint(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Uint(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    pub fn to_json(&self) -> Value {
+        match self {
+            FieldValue::Int(i) => Value::Int(*i as i128),
+            FieldValue::Uint(u) => Value::Int(*u as i128),
+            FieldValue::Float(f) => Value::Float(*f),
+            FieldValue::Str(s) => Value::Str(s.clone()),
+            FieldValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    pub fn from_json(v: &Value) -> Option<FieldValue> {
+        match v {
+            Value::Int(i) => Some(if *i < 0 {
+                FieldValue::Int(i64::try_from(*i).ok()?)
+            } else {
+                FieldValue::Uint(u64::try_from(*i).ok()?)
+            }),
+            Value::Float(f) => Some(FieldValue::Float(*f)),
+            Value::Str(s) => Some(FieldValue::Str(s.clone())),
+            Value::Bool(b) => Some(FieldValue::Bool(*b)),
+            _ => None,
+        }
+    }
+}
+
+/// A structured event: a name plus ordered key/value fields. Spans emit
+/// one event on close with a `wall_secs` field appended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub name: String,
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Fields serialise as an *array* of `[key, value]` pairs, not an
+    /// object, so that field order (significant — spans append
+    /// `wall_secs` last) survives the JSON round-trip.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_string(), Value::Str(self.name.clone()));
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| Value::Arr(vec![Value::Str(k.clone()), v.to_json()]))
+            .collect();
+        obj.insert("fields".to_string(), Value::Arr(fields));
+        Value::Obj(obj)
+    }
+
+    pub fn from_json(v: &Value) -> Option<Event> {
+        let name = v.get("name")?.as_str()?.to_string();
+        let mut fields = Vec::new();
+        if let Some(arr) = v.get("fields").and_then(Value::as_arr) {
+            for pair in arr {
+                let pair = pair.as_arr()?;
+                let [k, fv] = pair else { return None };
+                fields.push((k.as_str()?.to_string(), FieldValue::from_json(fv)?));
+            }
+        }
+        Some(Event { name, fields })
+    }
+}
+
+/// Receives the structured event stream.
+pub trait Sink: Send + Sync {
+    fn event(&self, event: &Event);
+
+    /// Hand back any retained events (sinks that don't retain return
+    /// an empty vec). Called by `Registry::snapshot`.
+    fn drain_events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// Discards every event.
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn event(&self, _event: &Event) {}
+}
+
+/// Retains the most recent `capacity` events for snapshot export.
+pub struct RingBufferSink {
+    buf: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: Mutex<u64>,
+}
+
+impl RingBufferSink {
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingBufferSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().unwrap()
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn event(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            *self.dropped.lock().unwrap() += 1;
+        }
+        buf.push_back(event.clone());
+    }
+
+    fn drain_events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let ring = RingBufferSink::with_capacity(2);
+        for i in 0..5i64 {
+            ring.event(&Event {
+                name: format!("e{i}"),
+                fields: vec![("i".into(), FieldValue::Int(i))],
+            });
+        }
+        assert_eq!(ring.dropped(), 3);
+        let events = ring.drain_events();
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["e3", "e4"]
+        );
+        assert!(ring.drain_events().is_empty());
+    }
+
+    #[test]
+    fn event_json_round_trip() {
+        let e = Event {
+            name: "restore".to_string(),
+            fields: vec![
+                ("level".to_string(), FieldValue::Uint(3)),
+                ("rms".to_string(), FieldValue::Float(0.125)),
+                ("var".to_string(), FieldValue::Str("dpot".to_string())),
+                ("hit".to_string(), FieldValue::Bool(true)),
+            ],
+        };
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(back.name, e.name);
+        // JSON objects sort keys; compare as sets.
+        for (k, v) in &e.fields {
+            assert_eq!(back.field(k), Some(v), "field {k}");
+        }
+    }
+}

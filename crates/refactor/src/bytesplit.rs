@@ -182,7 +182,14 @@ mod tests {
 
     #[test]
     fn special_values_survive() {
-        let data = vec![0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 5e-324];
+        let data = vec![
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            5e-324,
+        ];
         let plan = BytePlan::new(vec![4, 4]);
         let products = split_bytes(&data, &plan);
         let refs: Vec<&[u8]> = products.iter().map(|p| p.as_slice()).collect();

@@ -105,8 +105,7 @@ impl Working {
         if self.data_weight == 0.0 {
             len
         } else {
-            let contrast =
-                (self.data[u as usize] - self.data[v as usize]).abs() * self.inv_range;
+            let contrast = (self.data[u as usize] - self.data[v as usize]).abs() * self.inv_range;
             len * (1.0 + self.data_weight * contrast)
         }
     }
@@ -134,9 +133,7 @@ impl Working {
         self.vtris[u as usize]
             .iter()
             .copied()
-            .filter(|&t| {
-                self.alive_t[t as usize] && self.tris[t as usize].contains(&v)
-            })
+            .filter(|&t| self.alive_t[t as usize] && self.tris[t as usize].contains(&v))
             .collect()
     }
 
@@ -160,7 +157,11 @@ impl Working {
         // opposite vertices of the edge's triangles.
         let nu = self.neighbors(u);
         let nv = self.neighbors(v);
-        let common: Vec<u32> = nu.iter().copied().filter(|x| nv.binary_search(x).is_ok()).collect();
+        let common: Vec<u32> = nu
+            .iter()
+            .copied()
+            .filter(|x| nv.binary_search(x).is_ok())
+            .collect();
         if common.len() != tris_uv.len() {
             return false;
         }
@@ -492,7 +493,10 @@ mod tests {
         let data = vec![0.0; m.num_vertices()];
         let r = decimate(&m, &data, 2.0);
         let rep = quality::check(&r.mesh);
-        assert!(rep.is_manifold, "decimated mesh must stay manifold: {rep:?}");
+        assert!(
+            rep.is_manifold,
+            "decimated mesh must stay manifold: {rep:?}"
+        );
         assert_eq!(rep.inverted_triangles, 0);
         assert_eq!(rep.degenerate_triangles, 0);
     }
@@ -634,7 +638,9 @@ mod tests {
     #[test]
     fn data_aware_zero_weight_matches_plain() {
         let m = grid(10);
-        let data: Vec<f64> = (0..m.num_vertices()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let data: Vec<f64> = (0..m.num_vertices())
+            .map(|i| (i as f64 * 0.3).sin())
+            .collect();
         let a = decimate(&m, &data, 2.0);
         let b = decimate_data_aware(&m, &data, 2.0, 0.0);
         assert_eq!(a.mesh, b.mesh, "weight 0 must reduce to shortest-edge");

@@ -128,7 +128,14 @@ mod tests {
     fn barycentric_deltas_beat_mean_deltas_on_smooth_fields() {
         let (fine, data, coarse, cdata, mapping) = setup();
         let d_mean = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Mean);
-        let d_bary = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Barycentric);
+        let d_bary = compute_delta(
+            &fine,
+            &data,
+            &coarse,
+            &cdata,
+            &mapping,
+            Estimator::Barycentric,
+        );
         let s_mean = FieldStats::of(&d_mean).std_dev();
         let s_bary = FieldStats::of(&d_bary).std_dev();
         assert!(
@@ -146,7 +153,14 @@ mod tests {
         let delta = compute_delta(&fine, &data, &coarse, &cdata, &mapping, Estimator::Mean);
         let eps = 1e-5;
         let perturbed: Vec<f64> = cdata.iter().map(|v| v + eps).collect();
-        let restored = restore_level(&fine, &delta, &coarse, &perturbed, &mapping, Estimator::Mean);
+        let restored = restore_level(
+            &fine,
+            &delta,
+            &coarse,
+            &perturbed,
+            &mapping,
+            Estimator::Mean,
+        );
         for (r, d) in restored.iter().zip(&data) {
             assert!((r - d).abs() <= eps * 1.000001);
         }

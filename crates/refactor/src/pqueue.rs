@@ -39,7 +39,9 @@ impl PartialOrd for Len {
 
 impl Ord for Len {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("no NaN by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("no NaN by construction")
     }
 }
 

@@ -156,9 +156,9 @@ impl Device {
         }
         match self.path_of(key) {
             None => Ok(inner.objects[key].clone()),
-            Some(path) => std::fs::read(&path).map(Bytes::from).map_err(|e| {
-                StorageError::NotFound(format!("{key} (io: {e})"))
-            }),
+            Some(path) => std::fs::read(&path)
+                .map(Bytes::from)
+                .map_err(|e| StorageError::NotFound(format!("{key} (io: {e})"))),
         }
     }
 

@@ -9,7 +9,9 @@ use crate::device::Device;
 use crate::error::StorageError;
 use crate::tier::TierSpec;
 use bytes::Bytes;
+use canopus_obs::{names, Registry};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Cumulative per-tier I/O accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -29,9 +31,15 @@ struct TierState {
 }
 
 /// An ordered stack of storage tiers (index 0 = fastest).
+///
+/// Also the anchor of the observability layer: the hierarchy owns the
+/// process-wide [`Registry`] (shared via [`metrics`](Self::metrics))
+/// that every layer above it — ADIOS store, compression, the Canopus
+/// core — records into.
 pub struct StorageHierarchy {
     tiers: Vec<TierState>,
     clock: SimClock,
+    obs: Arc<Registry>,
 }
 
 impl StorageHierarchy {
@@ -52,6 +60,7 @@ impl StorageHierarchy {
         Self {
             tiers,
             clock: SimClock::new(),
+            obs: Arc::new(Registry::new()),
         }
     }
 
@@ -77,6 +86,7 @@ impl StorageHierarchy {
         Ok(Self {
             tiers,
             clock: SimClock::new(),
+            obs: Arc::new(Registry::new()),
         })
     }
 
@@ -135,6 +145,12 @@ impl StorageHierarchy {
         &self.clock
     }
 
+    /// The shared metrics registry for this hierarchy and everything
+    /// layered on top of it.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
     /// Write an object to a specific tier, advancing simulated time by the
     /// modeled transfer cost. Returns the transfer duration.
     pub fn write_to_tier(
@@ -148,10 +164,17 @@ impl StorageHierarchy {
         tier.device.put(key, data)?;
         let dt = SimDuration(tier.spec.write_time(sz));
         self.clock.advance(dt);
-        let mut stats = tier.stats.lock();
-        stats.bytes_written += sz;
-        stats.writes += 1;
-        stats.write_time += dt;
+        {
+            let mut stats = tier.stats.lock();
+            stats.bytes_written += sz;
+            stats.writes += 1;
+            stats.write_time += dt;
+        }
+        self.obs.counter(&names::tier_bytes_written(idx)).add(sz);
+        self.obs.counter(&names::tier_writes(idx)).inc();
+        self.obs
+            .timer(&names::tier_write_timer(idx))
+            .record(0.0, dt.seconds());
         Ok(dt)
     }
 
@@ -172,10 +195,19 @@ impl StorageHierarchy {
         let data = tier.device.get(key)?;
         let dt = SimDuration(tier.spec.read_time(data.len() as u64));
         self.clock.advance(dt);
-        let mut stats = tier.stats.lock();
-        stats.bytes_read += data.len() as u64;
-        stats.reads += 1;
-        stats.read_time += dt;
+        {
+            let mut stats = tier.stats.lock();
+            stats.bytes_read += data.len() as u64;
+            stats.reads += 1;
+            stats.read_time += dt;
+        }
+        self.obs
+            .counter(&names::tier_bytes_read(idx))
+            .add(data.len() as u64);
+        self.obs.counter(&names::tier_reads(idx)).inc();
+        self.obs
+            .timer(&names::tier_read_timer(idx))
+            .record(0.0, dt.seconds());
         Ok((data, idx, dt))
     }
 
@@ -185,13 +217,16 @@ impl StorageHierarchy {
         self.tiers[idx].device.remove(key)
     }
 
-    /// Wipe all tiers and reset clock + stats (between experiments).
+    /// Wipe all tiers and reset clock, stats, and metrics (between
+    /// experiments). Metric handles already held stay valid — their
+    /// values restart from zero.
     pub fn clear(&self) {
         for t in &self.tiers {
             t.device.clear();
             *t.stats.lock() = TierStats::default();
         }
         self.clock.reset();
+        self.obs.reset();
     }
 }
 
@@ -209,7 +244,9 @@ mod tests {
     #[test]
     fn write_read_roundtrip_with_timing() {
         let h = two_tier();
-        let dt = h.write_to_tier(0, "base", Bytes::from(vec![7u8; 50])).unwrap();
+        let dt = h
+            .write_to_tier(0, "base", Bytes::from(vec![7u8; 50]))
+            .unwrap();
         assert!((dt.seconds() - 0.05).abs() < 1e-9);
         let (data, tier, dt) = h.read("base").unwrap();
         assert_eq!(data.len(), 50);
@@ -246,7 +283,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let h = two_tier();
-        h.write_to_tier(1, "a", Bytes::from(vec![0u8; 100])).unwrap();
+        h.write_to_tier(1, "a", Bytes::from(vec![0u8; 100]))
+            .unwrap();
         h.read("a").unwrap();
         h.read("a").unwrap();
         let s = h.tier_stats(1).unwrap();
@@ -289,8 +327,10 @@ mod tests {
         };
         {
             let h = StorageHierarchy::file_backed(specs(), &root).unwrap();
-            h.write_to_tier(0, "x/base", Bytes::from(vec![7u8; 100])).unwrap();
-            h.write_to_tier(1, "x/delta", Bytes::from(vec![9u8; 500])).unwrap();
+            h.write_to_tier(0, "x/base", Bytes::from(vec![7u8; 100]))
+                .unwrap();
+            h.write_to_tier(1, "x/delta", Bytes::from(vec![9u8; 500]))
+                .unwrap();
         }
         {
             let h = StorageHierarchy::file_backed(specs(), &root).unwrap();

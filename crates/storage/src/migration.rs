@@ -18,6 +18,7 @@
 use crate::error::StorageError;
 use crate::hierarchy::StorageHierarchy;
 use crate::SimDuration;
+use canopus_obs::{names, FieldValue};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,8 +73,26 @@ impl StorageHierarchy {
                 available: dest.available(),
             });
         }
+        let size = data.len() as u64;
         self.tier_device(from)?.remove(key)?;
         let write_time = self.write_to_tier(to_tier, key, data)?;
+        let obs = self.metrics();
+        obs.counter(names::MIGRATIONS).inc();
+        obs.counter(names::MIGRATION_BYTES).add(size);
+        if to_tier > from {
+            obs.counter(names::EVICTIONS).inc();
+        } else {
+            obs.counter(names::PROMOTIONS).inc();
+        }
+        obs.event(
+            "storage.migrate",
+            vec![
+                ("key".to_string(), FieldValue::from(key)),
+                ("from".to_string(), FieldValue::from(from)),
+                ("to".to_string(), FieldValue::from(to_tier)),
+                ("bytes".to_string(), FieldValue::from(size)),
+            ],
+        );
         Ok(read_time + write_time)
     }
 
@@ -186,7 +205,8 @@ mod tests {
     #[test]
     fn migrate_respects_destination_capacity() {
         let h = hierarchy();
-        h.write_to_tier(1, "big", Bytes::from(vec![0u8; 200])).unwrap();
+        h.write_to_tier(1, "big", Bytes::from(vec![0u8; 200]))
+            .unwrap();
         let err = h.migrate("big", 0).unwrap_err();
         assert!(matches!(err, StorageError::CapacityExceeded { .. }));
         // Source copy must survive a failed migration.
@@ -197,8 +217,10 @@ mod tests {
     fn make_room_evicts_coldest_first() {
         let h = hierarchy();
         let tracker = AccessTracker::new();
-        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 40])).unwrap();
-        h.write_to_tier(0, "hot", Bytes::from(vec![0u8; 40])).unwrap();
+        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 40]))
+            .unwrap();
+        h.write_to_tier(0, "hot", Bytes::from(vec![0u8; 40]))
+            .unwrap();
         tracker.touch("hot");
         // Need 60 more bytes on a 100-byte tier with 80 used: one eviction
         // frees 40 -> still 60 needed? available = 20, need 60 => evict
@@ -217,7 +239,8 @@ mod tests {
                 .unwrap();
         }
         // Fill tier 1 so demotions skip to tier 2.
-        h.write_to_tier(1, "filler", Bytes::from(vec![0u8; 280])).unwrap();
+        h.write_to_tier(1, "filler", Bytes::from(vec![0u8; 280]))
+            .unwrap();
         h.make_room(0, 100, &tracker).unwrap();
         assert_eq!(h.tier_device(0).unwrap().used(), 0);
         assert_eq!(h.find("f0").unwrap(), 2);
@@ -235,7 +258,8 @@ mod tests {
     fn promote_pulls_hot_data_up() {
         let h = hierarchy();
         let tracker = AccessTracker::new();
-        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 30])).unwrap();
+        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 30]))
+            .unwrap();
         let tier = h.promote("hot", &tracker, false).unwrap();
         assert_eq!(tier, 0);
         assert_eq!(h.find("hot").unwrap(), 0);
@@ -245,8 +269,10 @@ mod tests {
     fn promote_with_eviction_displaces_cold_data() {
         let h = hierarchy();
         let tracker = AccessTracker::new();
-        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 90])).unwrap();
-        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 50])).unwrap();
+        h.write_to_tier(0, "cold", Bytes::from(vec![0u8; 90]))
+            .unwrap();
+        h.write_to_tier(2, "hot", Bytes::from(vec![0u8; 50]))
+            .unwrap();
         tracker.touch("hot");
         // Without eviction tier 0 is full, but tier 1 still improves.
         assert_eq!(h.promote("hot", &tracker, false).unwrap(), 1);

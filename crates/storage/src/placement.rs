@@ -22,7 +22,11 @@ pub enum ProductKind {
     /// retrieval ("reading smaller subsets of high accuracy data"):
     /// chunks covering a region of interest can be fetched without the
     /// rest of the delta.
-    DeltaChunk { finer: u32, coarser: u32, chunk: u32 },
+    DeltaChunk {
+        finer: u32,
+        coarser: u32,
+        chunk: u32,
+    },
     /// Auxiliary metadata (mesh geometry, vertex→triangle mapping) that
     /// restoration needs alongside a delta or base.
     Metadata { level: u32 },
@@ -35,11 +39,12 @@ impl ProductKind {
     pub fn rank(&self, num_levels: u32) -> u32 {
         match *self {
             ProductKind::Base { level } => num_levels.saturating_sub(1) - level.min(num_levels - 1),
-            ProductKind::Delta { finer, .. }
-            | ProductKind::DeltaChunk { finer, .. } => {
+            ProductKind::Delta { finer, .. } | ProductKind::DeltaChunk { finer, .. } => {
                 num_levels.saturating_sub(1) - finer.min(num_levels - 1)
             }
-            ProductKind::Metadata { level } => num_levels.saturating_sub(1) - level.min(num_levels - 1),
+            ProductKind::Metadata { level } => {
+                num_levels.saturating_sub(1) - level.min(num_levels - 1)
+            }
         }
     }
 }
@@ -118,6 +123,14 @@ impl PlacementPolicy {
                 }
                 let dt = hierarchy.write_to_tier(tier, &product.key, product.data.clone())?;
                 write_time += dt;
+                let obs = hierarchy.metrics();
+                obs.counter(&canopus_obs::names::placements_on_tier(tier))
+                    .inc();
+                obs.counter(&canopus_obs::names::placement_bytes_on_tier(tier))
+                    .add(product.data.len() as u64);
+                if tier != start {
+                    obs.counter("storage.placement.bypasses").inc();
+                }
                 assignments.push((product.key.clone(), tier));
                 placed = true;
                 break;
@@ -154,8 +167,22 @@ mod tests {
     fn three_products() -> Vec<Product> {
         vec![
             product("v/L2", ProductKind::Base { level: 2 }, 25),
-            product("v/d1-2", ProductKind::Delta { finer: 1, coarser: 2 }, 25),
-            product("v/d0-1", ProductKind::Delta { finer: 0, coarser: 1 }, 50),
+            product(
+                "v/d1-2",
+                ProductKind::Delta {
+                    finer: 1,
+                    coarser: 2,
+                },
+                25,
+            ),
+            product(
+                "v/d0-1",
+                ProductKind::Delta {
+                    finer: 0,
+                    coarser: 1,
+                },
+                50,
+            ),
         ]
     }
 
@@ -163,12 +190,31 @@ mod tests {
     fn rank_ordering() {
         // N = 3 levels: base L2 rank 0, delta(1-2) rank 1, delta(0-1) rank 2.
         assert_eq!(ProductKind::Base { level: 2 }.rank(3), 0);
-        assert_eq!(ProductKind::Delta { finer: 1, coarser: 2 }.rank(3), 1);
-        assert_eq!(ProductKind::Delta { finer: 0, coarser: 1 }.rank(3), 2);
+        assert_eq!(
+            ProductKind::Delta {
+                finer: 1,
+                coarser: 2
+            }
+            .rank(3),
+            1
+        );
+        assert_eq!(
+            ProductKind::Delta {
+                finer: 0,
+                coarser: 1
+            }
+            .rank(3),
+            2
+        );
         assert_eq!(ProductKind::Metadata { level: 2 }.rank(3), 0);
         // Chunks rank with their parent delta.
         assert_eq!(
-            ProductKind::DeltaChunk { finer: 0, coarser: 1, chunk: 5 }.rank(3),
+            ProductKind::DeltaChunk {
+                finer: 0,
+                coarser: 1,
+                chunk: 5
+            }
+            .rank(3),
             2
         );
     }

@@ -32,7 +32,10 @@ impl TierSpec {
         write_bandwidth: f64,
         latency_s: f64,
     ) -> Self {
-        assert!(read_bandwidth > 0.0 && write_bandwidth > 0.0, "bandwidth must be positive");
+        assert!(
+            read_bandwidth > 0.0 && write_bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(latency_s >= 0.0, "latency cannot be negative");
         Self {
             name: name.into(),

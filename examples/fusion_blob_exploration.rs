@@ -47,10 +47,7 @@ fn main() {
     let (lo, hi) = full_raster.value_range().expect("covered");
     let detector = BlobDetector::new(BlobParams::paper_config(10, 200, 50));
     let reference = detector.detect(&full_raster.to_gray(lo, hi));
-    println!(
-        "full-accuracy reference: {} blobs\n",
-        reference.len()
-    );
+    println!("full-accuracy reference: {} blobs\n", reference.len());
 
     let reader = canopus.open("xgc1.bp").expect("open");
     let mut prog = reader.progressive(ds.var).expect("progressive");

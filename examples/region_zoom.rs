@@ -65,10 +65,7 @@ fn main() {
     };
     let c = to_world(target.center.0, target.center.1);
     let r = target.radius / 256.0 * bounds.width() * 2.0;
-    let window = Aabb::from_points([
-        Point2::new(c.x - r, c.y - r),
-        Point2::new(c.x + r, c.y + r),
-    ]);
+    let window = Aabb::from_points([Point2::new(c.x - r, c.y - r), Point2::new(c.x + r, c.y + r)]);
     println!(
         "zoom window around blob at ({:.2}, {:.2}), half-size {:.2}",
         c.x, c.y, r

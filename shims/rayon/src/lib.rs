@@ -1,0 +1,291 @@
+//! Offline drop-in subset of `rayon`.
+//!
+//! The workspace uses rayon for straightforward fork-join data
+//! parallelism: `par_iter`/`into_par_iter`/`par_chunks` followed by
+//! `map`/`enumerate`/`flat_map_iter` and a `collect` into `Vec` or
+//! `Result<Vec, E>`. This shim keeps those call sites source-compatible
+//! while executing on real OS threads (`std::thread::scope`), so the
+//! parallel decimation/compression paths still exercise genuine
+//! concurrency — important for the lock-free observability counters,
+//! whose property tests hammer them from these threads.
+//!
+//! Differences from upstream worth knowing:
+//! - combinators are *eager*: each `map` runs to completion (in
+//!   parallel, order-preserving) before the next adapter sees data;
+//! - there is no work-stealing pool: every `map` splits its input into
+//!   `available_parallelism()` contiguous chunks, one thread each;
+//! - `collect::<Result<_, E>>()` surfaces the first error by input
+//!   order, matching the upstream contract closely enough for the
+//!   codec paths that rely on it.
+
+use std::ops::Range;
+
+/// Run `f` over `items` on real threads, preserving input order.
+///
+/// Splits into at most `available_parallelism()` contiguous chunks and
+/// processes each on its own scoped thread. A panicking worker
+/// propagates the panic to the caller, like rayon.
+fn par_apply<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk_len = n.div_ceil(workers);
+
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eagerly materialised "parallel iterator": the item sequence is
+/// held in order, and parallel work happens inside each combinator.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel over outer items, sequential over each produced
+    /// iterator — rayon's `flat_map_iter` contract.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(I) -> U + Sync,
+    {
+        let nested = par_apply(self.items, |item| f(item).into_iter().collect::<Vec<_>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_apply(self.items, f);
+    }
+
+    pub fn collect<C: FromParVec<I>>(self) -> C {
+        C::from_par_vec(self.items)
+    }
+}
+
+/// Collection targets for [`ParIter::collect`].
+pub trait FromParVec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParVec<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `collect::<Result<C, E>>()` short-circuits on the first `Err` in
+/// input order.
+impl<T, E, C: FromParVec<T>> FromParVec<Result<T, E>> for Result<C, E> {
+    fn from_par_vec(items: Vec<Result<T, E>>) -> Self {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Ok(C::from_par_vec(ok))
+    }
+}
+
+/// `.into_par_iter()` on owned collections / ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_iter()` on slices (and, via deref, `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParVec, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads() {
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        (0..64usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        // At least 2 distinct workers on any multi-core box.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(ids.into_inner().unwrap().len() > 1);
+        }
+    }
+
+    #[test]
+    fn collect_result_short_circuits_in_order() {
+        let r: Result<Vec<i32>, String> = vec![Ok(1), Err("a".to_string()), Err("b".to_string())]
+            .into_par_iter()
+            .collect();
+        assert_eq!(r, Err("a".to_string()));
+    }
+
+    #[test]
+    fn par_chunks_and_flat_map_iter() {
+        let data: Vec<i32> = (0..103).collect();
+        let doubled: Vec<i32> = data
+            .par_chunks(10)
+            .flat_map_iter(|c| c.iter().map(|&x| x * 2).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(doubled, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_enumerate() {
+        let v = ["a", "b", "c"];
+        let out: Vec<(usize, String)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.to_string()))
+            .collect();
+        assert_eq!(out, vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]);
+    }
+
+    #[test]
+    fn no_lost_updates_across_threads() {
+        let counter = AtomicUsize::new(0);
+        (0..10_000usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.into_inner(), 10_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the matching
+//! derive macros so existing annotations compile unchanged. The traits
+//! are empty markers: nothing in the workspace is generic over them, and
+//! the observability layer serializes through its own explicit JSON
+//! model (`canopus_obs::json`) rather than serde's data model.
+
+/// Marker: the type is intended to be serializable.
+pub trait Serialize {}
+
+/// Marker: the type is intended to be deserializable.
+pub trait Deserialize<'de> {}
+
+/// Marker mirroring serde's owned-deserialization shorthand.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of intent — no code takes `T: Serialize` bounds and no
+//! generic serializer runs. These derives therefore expand to nothing,
+//! which keeps every annotated type compiling without crates.io access.
+//! Types that genuinely need serialization (the observability snapshot)
+//! implement `canopus_obs`'s explicit JSON conversion instead.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -28,8 +28,12 @@ fn setup(codec: RelativeCodec) -> (canopus_data::Dataset, Canopus) {
 fn replace_object(canopus: &Canopus, key: &str, bytes: Vec<u8>) {
     let h = canopus.hierarchy();
     let tier = h.find(key).expect("object exists");
-    h.tier_device(tier).expect("tier").remove(key).expect("remove");
-    h.write_to_tier(tier, key, Bytes::from(bytes)).expect("rewrite");
+    h.tier_device(tier)
+        .expect("tier")
+        .remove(key)
+        .expect("remove");
+    h.write_to_tier(tier, key, Bytes::from(bytes))
+        .expect("rewrite");
 }
 
 fn corrupt_object(canopus: &Canopus, key: &str) {
@@ -46,7 +50,9 @@ fn corrupt_object(canopus: &Canopus, key: &str) {
 
 #[test]
 fn corrupted_base_fails_cleanly() {
-    let (ds, canopus) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-5 });
+    let (ds, canopus) = setup(RelativeCodec::ZfpLike {
+        rel_tolerance: 1e-5,
+    });
     corrupt_object(&canopus, "fi.bp/pressure/L2");
     let reader = canopus.open("fi.bp").expect("open");
     match reader.read_base(ds.var) {
@@ -62,7 +68,9 @@ fn corrupted_base_fails_cleanly() {
 
 #[test]
 fn corrupted_delta_fails_cleanly() {
-    let (ds, canopus) = setup(RelativeCodec::SzLike { rel_error_bound: 1e-5 });
+    let (ds, canopus) = setup(RelativeCodec::SzLike {
+        rel_error_bound: 1e-5,
+    });
     corrupt_object(&canopus, "fi.bp/pressure/d1-2");
     let reader = canopus.open("fi.bp").expect("open");
     let base = reader.read_base(ds.var).expect("base is untouched");
@@ -109,9 +117,15 @@ fn missing_delta_fails_cleanly() {
 
 #[test]
 fn truncated_payload_fails_cleanly() {
-    let (ds, canopus) = setup(RelativeCodec::ZfpLike { rel_tolerance: 1e-5 });
+    let (ds, canopus) = setup(RelativeCodec::ZfpLike {
+        rel_tolerance: 1e-5,
+    });
     let (data, _, _) = canopus.hierarchy().read("fi.bp/pressure/L2").expect("read");
-    replace_object(&canopus, "fi.bp/pressure/L2", data[..data.len() / 3].to_vec());
+    replace_object(
+        &canopus,
+        "fi.bp/pressure/L2",
+        data[..data.len() / 3].to_vec(),
+    );
     let reader = canopus.open("fi.bp").expect("open");
     assert!(reader.read_base(ds.var).is_err());
 }

@@ -1,0 +1,206 @@
+//! Observability integration: the shared metrics registry must tell the
+//! truth about the pipeline it instruments. A full write → restore-to-L0
+//! cycle is replayed with a lossless codec, and the resulting
+//! `MetricsSnapshot` is checked against ground truth the test can compute
+//! independently (raw byte counts, block counts, tier traffic), plus the
+//! structural invariants every snapshot must satisfy and the JSON
+//! round-trip the `--metrics` flag and `canopus metrics` subcommand rely
+//! on.
+
+use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig, MetricsSnapshot};
+use canopus_data::xgc1_dataset_sized;
+use canopus_obs::{names, RingBufferSink};
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+const LEVELS: u32 = 3;
+
+fn written_canopus() -> (Canopus, canopus_data::Dataset) {
+    let ds = xgc1_dataset_sized(20, 20, 7);
+    let raw = (ds.data.len() * 8) as u64;
+    let hierarchy = Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64));
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: LEVELS,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Fpc,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("obs.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    (canopus, ds)
+}
+
+/// Restore to L0 through the instrumented read path and return the final
+/// snapshot alongside the restored data.
+fn restore_and_snapshot() -> (MetricsSnapshot, Vec<f64>, canopus_data::Dataset) {
+    let (canopus, ds) = written_canopus();
+    let reader = canopus.open("obs.bp").expect("open");
+    let out = reader.read_level(ds.var, 0).expect("restore to L0");
+    (canopus.metrics().snapshot(), out.data, ds)
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn value_range(data: &[f64]) -> f64 {
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+#[test]
+fn lossless_restore_to_l0_is_faithful_and_fully_counted() {
+    let (snap, restored, ds) = restore_and_snapshot();
+
+    // Data contract: FPC is lossless, so only the (a - b) + b restoration
+    // rounding remains.
+    assert_eq!(restored.len(), ds.data.len());
+    let err = max_err(&restored, &ds.data);
+    let bound = 1e-12 * value_range(&ds.data).max(1.0);
+    assert!(
+        err <= bound,
+        "restore error {err} exceeds rounding bound {bound}"
+    );
+
+    // Write-side ground truth the test can compute independently.
+    assert_eq!(snap.counter(names::WRITES), 1);
+    assert_eq!(
+        snap.counter(names::WRITE_BYTES_RAW),
+        (ds.data.len() * 8) as u64,
+        "raw byte counter must equal the input payload"
+    );
+    assert!(snap.counter(names::WRITE_BYTES_STORED) > 0);
+    // base + (LEVELS - 1) deltas at minimum.
+    assert!(snap.counter(names::WRITE_PRODUCTS) >= LEVELS as u64);
+
+    // Read-side: restoring L0 from a base at level LEVELS-1 applies
+    // exactly LEVELS-1 refinements, each reading one delta block, plus
+    // the base block itself.
+    assert_eq!(snap.counter(names::READ_REFINEMENTS), (LEVELS - 1) as u64);
+    assert!(snap.counter(names::READ_BLOCKS) >= LEVELS as u64);
+    assert!(snap.counter(names::READ_BYTES_IO) > 0);
+    // Base + deltas are decoded per level, so the decoded-value count
+    // strictly exceeds the final field size whenever refinements ran.
+    assert!(
+        snap.counter(names::READ_VALUES_DECODED) > restored.len() as u64,
+        "decoded {} values for a {}-value L0 field",
+        snap.counter(names::READ_VALUES_DECODED),
+        restored.len()
+    );
+}
+
+#[test]
+fn timer_and_counter_invariants_hold() {
+    let (snap, _, _) = restore_and_snapshot();
+
+    // One READ_IO timer sample per block read.
+    assert_eq!(
+        snap.timer(names::READ_IO).count,
+        snap.counter(names::READ_BLOCKS),
+        "every observed block read records exactly one I/O timer sample"
+    );
+    // Simulated I/O time flows through the timers; wall time is recorded
+    // alongside it.
+    assert!(snap.timer(names::READ_IO).sim_secs > 0.0);
+    assert!(snap.timer(names::WRITE_TOTAL).wall_secs > 0.0);
+    assert!(snap.timer(names::WRITE_IO).sim_secs > 0.0);
+
+    // Core-level I/O bytes are a subset of device-level traffic: the
+    // tiers additionally serve metadata objects.
+    assert!(snap.total_tier_bytes_read() >= snap.counter(names::READ_BYTES_IO));
+    assert!(snap.total_tier_bytes_written() >= snap.counter(names::WRITE_BYTES_STORED));
+
+    // Every stored product got a placement decision on some tier.
+    let placements: u64 = (0..snap.num_tiers_observed())
+        .map(|t| snap.placements_on_tier(t))
+        .sum();
+    assert_eq!(placements, snap.counter(names::WRITE_PRODUCTS));
+
+    // Phase breakdowns are proper distributions once time was recorded.
+    for breakdown in [snap.read_breakdown(), snap.write_breakdown()] {
+        let sum: f64 = breakdown.iter().map(|(_, f)| f).sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "fractions sum to 1: {breakdown:?}"
+        );
+        assert!(breakdown.iter().all(|&(_, f)| (0.0..=1.0).contains(&f)));
+    }
+    let io_frac = snap.read_io_fraction();
+    assert!(io_frac > 0.0 && io_frac <= 1.0, "io fraction {io_frac}");
+
+    // FPC saw compression traffic, and its ratio is well-defined.
+    assert!(snap.codecs_observed().contains(&"fpc".to_string()));
+    assert!(snap.compression_ratio("fpc").unwrap() > 0.0);
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let (snap, _, _) = restore_and_snapshot();
+    let text = snap.to_json_string();
+    let back = MetricsSnapshot::from_json_str(&text).expect("parse own JSON");
+    assert_eq!(back, snap, "JSON round-trip must be lossless");
+
+    // Typed accessors agree across the round-trip.
+    assert_eq!(
+        back.counter(names::READ_BLOCKS),
+        snap.counter(names::READ_BLOCKS)
+    );
+    assert_eq!(back.timer(names::READ_IO), snap.timer(names::READ_IO));
+    assert_eq!(back.read_breakdown(), snap.read_breakdown());
+}
+
+#[test]
+fn ring_buffer_sink_captures_restore_spans() {
+    let (canopus, ds) = written_canopus();
+    canopus
+        .metrics()
+        .set_sink(Arc::new(RingBufferSink::with_capacity(256)));
+
+    let reader = canopus.open("obs.bp").expect("open");
+    let mut prog = reader.progressive(ds.var).expect("progressive");
+    while !prog.at_full_accuracy() {
+        prog.refine().expect("refine");
+    }
+
+    let snap = canopus.metrics().snapshot();
+    let restores: Vec<_> = snap.events.iter().filter(|e| e.name == "restore").collect();
+    assert_eq!(
+        restores.len(),
+        (LEVELS - 1) as usize,
+        "one restore span per refinement: {:?}",
+        snap.events
+    );
+    for event in restores {
+        assert!(event.field("var").is_some(), "span keeps its fields");
+        assert!(event.field("wall_secs").is_some(), "span records duration");
+    }
+
+    // Events survive the JSON round-trip too.
+    let back = MetricsSnapshot::from_json_str(&snap.to_json_string()).expect("parse");
+    assert_eq!(back.events, snap.events);
+}
+
+#[test]
+fn disabled_sink_records_no_events_but_all_metrics() {
+    let (snap, _, _) = restore_and_snapshot();
+    assert!(
+        snap.events.is_empty(),
+        "no sink installed, no events retained"
+    );
+    assert!(
+        snap.counter(names::READ_BLOCKS) > 0,
+        "metrics flow regardless"
+    );
+}

@@ -2,8 +2,8 @@
 //! through refactor → compress → place → read → decompress → restore, and
 //! comes back within its accuracy contract.
 
-use canopus::{Canopus, CanopusConfig};
 use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig};
 use canopus_data::{all_datasets_small, Dataset};
 use canopus_mesh::quality;
 use canopus_refactor::levels::RefactorConfig;
@@ -65,7 +65,13 @@ fn zfp_pipeline_respects_bounds_on_all_datasets() {
 fn sz_pipeline_respects_bounds_on_all_datasets() {
     let rel = 1e-5;
     for ds in all_datasets_small(23) {
-        let err = run_roundtrip(&ds, RelativeCodec::SzLike { rel_error_bound: rel }, 3);
+        let err = run_roundtrip(
+            &ds,
+            RelativeCodec::SzLike {
+                rel_error_bound: rel,
+            },
+            3,
+        );
         let bound = 3.0 * rel * range(&ds.data);
         assert!(err <= bound, "{}: err {err} > bound {bound}", ds.name);
     }
@@ -85,7 +91,13 @@ fn lossless_fpc_pipeline_restores_to_rounding() {
 fn deeper_hierarchies_still_roundtrip() {
     let ds = &all_datasets_small(5)[0];
     for levels in [1, 2, 4, 5] {
-        let err = run_roundtrip(ds, RelativeCodec::ZfpLike { rel_tolerance: 1e-5 }, levels);
+        let err = run_roundtrip(
+            ds,
+            RelativeCodec::ZfpLike {
+                rel_tolerance: 1e-5,
+            },
+            levels,
+        );
         let bound = levels as f64 * 1e-5 * range(&ds.data);
         assert!(
             err <= bound.max(1e-12),

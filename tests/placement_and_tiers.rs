@@ -44,9 +44,18 @@ fn four_tier_placement_spreads_base_to_fastest() {
             .expect("product placed")
     };
     let base_tier = tier_of(ProductKind::Base { level: 3 });
-    let d2 = tier_of(ProductKind::Delta { finer: 2, coarser: 3 });
-    let d1 = tier_of(ProductKind::Delta { finer: 1, coarser: 2 });
-    let d0 = tier_of(ProductKind::Delta { finer: 0, coarser: 1 });
+    let d2 = tier_of(ProductKind::Delta {
+        finer: 2,
+        coarser: 3,
+    });
+    let d1 = tier_of(ProductKind::Delta {
+        finer: 1,
+        coarser: 2,
+    });
+    let d0 = tier_of(ProductKind::Delta {
+        finer: 0,
+        coarser: 1,
+    });
     assert_eq!(base_tier, 0, "base goes to the fastest tier");
     assert!(base_tier <= d2 && d2 <= d1 && d1 <= d0, "monotone spread");
     assert!(d0 >= 2, "finest delta lands low in the pyramid");
@@ -70,7 +79,10 @@ fn full_fast_tier_is_bypassed_not_fatal() {
     }
     // And reading back still works.
     let reader = canopus.open("b.bp").expect("open");
-    assert_eq!(reader.read_level(ds.var, 0).expect("read").data.len(), ds.data.len());
+    assert_eq!(
+        reader.read_level(ds.var, 0).expect("read").data.len(),
+        ds.data.len()
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! restoration must agree with the in-memory hierarchy, and analytics on
 //! restored levels must agree with analytics on directly decimated data.
 
-use canopus::{Canopus, CanopusConfig};
 use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig};
 use canopus_analytics::blob::{BlobDetector, BlobParams};
 use canopus_analytics::raster::Raster;
 use canopus_data::xgc1_dataset_sized;

@@ -47,11 +47,7 @@ fn chunked_full_read_matches_unchunked() {
         .unwrap()
         .read_level(ds.var, 0)
         .unwrap();
-    let b = plain
-        .open("roi.bp")
-        .unwrap()
-        .read_level(ds.var, 0)
-        .unwrap();
+    let b = plain.open("roi.bp").unwrap().read_level(ds.var, 0).unwrap();
     assert_eq!(a.mesh, b.mesh);
     assert_eq!(a.data, b.data, "chunking must not change full restores");
 }
@@ -74,9 +70,7 @@ fn region_refinement_reads_fewer_chunks_and_bytes() {
     assert!((stats.exact_vertices as f64) < 0.95 * ds.len() as f64);
 
     // And the I/O cost is under the full refinement's.
-    let (_, full_stats) = reader
-        .refine_region(ds.var, &base, ds.mesh.aabb())
-        .unwrap();
+    let (_, full_stats) = reader.refine_region(ds.var, &base, ds.mesh.aabb()).unwrap();
     assert_eq!(full_stats.chunks_read, full_stats.chunks_total);
     assert!(stats.bytes_read < full_stats.bytes_read);
 }

@@ -116,7 +116,9 @@ fn promotion_accelerates_hot_reads() {
             ..Default::default()
         },
     );
-    canopus.write("hot.bp", "p", &ds.mesh, &ds.data).expect("write");
+    canopus
+        .write("hot.bp", "p", &ds.mesh, &ds.data)
+        .expect("write");
 
     // Force the base down to the slow tier first.
     let base_key = "hot.bp/p/L2";
@@ -143,7 +145,10 @@ fn promotion_accelerates_hot_reads() {
 
     // And the data still decodes through the full reader.
     let reader = canopus.open("hot.bp").expect("open");
-    assert_eq!(reader.read_level("p", 0).expect("read").data.len(), ds.data.len());
+    assert_eq!(
+        reader.read_level("p", 0).expect("read").data.len(),
+        ds.data.len()
+    );
 }
 
 /// Direct vs staged transports produce byte-identical stores.
@@ -153,7 +158,11 @@ fn transports_are_equivalent_in_outcome() {
         vec![BlockWrite {
             var: "v".into(),
             kind: ProductKind::Base { level: 0 },
-            data: Bytes::from((0u16..1000).flat_map(|x| x.to_le_bytes()).collect::<Vec<u8>>()),
+            data: Bytes::from(
+                (0u16..1000)
+                    .flat_map(|x| x.to_le_bytes())
+                    .collect::<Vec<u8>>(),
+            ),
             elements: 250,
             codec_id: 0,
             codec_param: 0.0,
