@@ -212,6 +212,39 @@ impl BpFile {
         Ok((bytes, block, dt))
     }
 
+    /// Plan the data blocks a restore walk needs, in fetch order: for
+    /// each refinement step `finer = from_level - 1` down to `to_level`,
+    /// the delta block(s) refining into `finer` — one monolithic block,
+    /// or the spatial chunks in chunk order. This is the work-list the
+    /// pipelined reader's prefetch stage walks ahead of the decoder.
+    pub fn restore_plan(
+        &self,
+        var: &str,
+        from_level: u32,
+        to_level: u32,
+    ) -> Result<Vec<(u32, Vec<BlockMeta>)>, AdiosError> {
+        if to_level > from_level {
+            return Err(AdiosError::NotFound(format!(
+                "restore plan runs coarse to fine: {from_level} -> {to_level}"
+            )));
+        }
+        let v = self.inq_var(var)?;
+        let mut plan = Vec::with_capacity((from_level - to_level) as usize);
+        for finer in (to_level..from_level).rev() {
+            let blocks: Vec<BlockMeta> = match v.delta_to(finer) {
+                Some(b) => vec![b.clone()],
+                None => v.delta_chunks_to(finer).into_iter().cloned().collect(),
+            };
+            if blocks.is_empty() {
+                return Err(AdiosError::NotFound(format!(
+                    "delta to level {finer} of {var}"
+                )));
+            }
+            plan.push((finer, blocks));
+        }
+        Ok(plan)
+    }
+
     /// Convenience: read the delta that refines `finer + 1` into `finer`.
     pub fn read_delta(
         &self,
@@ -330,6 +363,23 @@ mod tests {
             t_base.seconds(),
             t_delta.seconds()
         );
+    }
+
+    #[test]
+    fn restore_plan_orders_deltas_coarse_to_fine() {
+        let s = store();
+        s.write("f.bp", 3, sample_blocks()).unwrap();
+        let f = s.open("f.bp").unwrap();
+        let plan = f.restore_plan("dpot", 2, 0).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].0, 1);
+        assert_eq!(plan[1].0, 0);
+        assert!(plan.iter().all(|(_, blocks)| blocks.len() == 1));
+        assert_eq!(plan[0].1[0].key, "f.bp/dpot/d1-2");
+        // Empty walk, inverted walk, unknown delta.
+        assert!(f.restore_plan("dpot", 0, 0).unwrap().is_empty());
+        assert!(f.restore_plan("dpot", 0, 2).is_err());
+        assert!(f.restore_plan("nope", 2, 0).is_err());
     }
 
     #[test]

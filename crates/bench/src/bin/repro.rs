@@ -13,7 +13,12 @@
 //! writes a JSON dump pairing every table row with the full observability
 //! snapshot of its run, so the printed numbers can be cross-checked
 //! against the shared metrics layer.
+//!
+//! `--pipeline-depth <n>` and `--no-cache` tune the restore engine for
+//! the end-to-end figures: depth `0` selects the serial read path, and
+//! `--no-cache` disables the decoded-level cache.
 
+use canopus_bench::endtoend::EngineOpts;
 use canopus_bench::setup::{self, Scale};
 use canopus_bench::{ablation, blobs, endtoend, fig5, fig6, table};
 use canopus_refactor::Estimator;
@@ -22,6 +27,16 @@ use std::path::Path;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_flag_value(&mut args, "--metrics");
+    let mut opts = EngineOpts::default();
+    if let Some(depth) = take_flag_value(&mut args, "--pipeline-depth") {
+        opts.pipeline_depth = depth.parse().unwrap_or_else(|_| {
+            eprintln!("--pipeline-depth needs an unsigned integer, got {depth:?}");
+            std::process::exit(2);
+        });
+    }
+    if take_flag(&mut args, "--no-cache") {
+        opts.level_cache = 0;
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let scale = Scale::from_env();
     let seed = 42;
@@ -43,9 +58,9 @@ fn main() {
         "fig6b" => fig6b(scale, seed),
         "fig7" => fig7(scale, seed, out_dir),
         "fig8" => fig8(scale, seed),
-        "fig9" => metrics = Some(("fig9".into(), fig9(scale, seed))),
-        "fig10" => metrics = Some(("fig10".into(), fig10(scale, seed))),
-        "fig11" => metrics = Some(("fig11".into(), fig11(scale, seed))),
+        "fig9" => metrics = Some(("fig9".into(), fig9(scale, seed, opts))),
+        "fig10" => metrics = Some(("fig10".into(), fig10(scale, seed, opts))),
+        "fig11" => metrics = Some(("fig11".into(), fig11(scale, seed, opts))),
         "smoothness" => smoothness(scale, seed),
         "ablations" => ablations(scale, seed),
         "extensions" => extensions(scale, seed),
@@ -56,16 +71,16 @@ fn main() {
             fig6b(scale, seed);
             fig7(scale, seed, out_dir);
             fig8(scale, seed);
-            metrics = Some(("fig9".into(), fig9(scale, seed)));
-            fig10(scale, seed);
-            fig11(scale, seed);
+            metrics = Some(("fig9".into(), fig9(scale, seed, opts)));
+            fig10(scale, seed, opts);
+            fig11(scale, seed, opts);
             smoothness(scale, seed);
             ablations(scale, seed);
             extensions(scale, seed);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json]");
+            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json] [--pipeline-depth n] [--no-cache]");
             std::process::exit(2);
         }
     }
@@ -87,6 +102,17 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+}
+
+/// Remove a bare `flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
     }
 }
 
@@ -119,9 +145,14 @@ fn metrics_json(figure: &str, rows: &[endtoend::EndToEndRow]) -> String {
             );
             o.insert("restore_secs".to_string(), Value::Float(r.restore_secs));
             o.insert("detect_secs".to_string(), Value::Float(r.detect_secs));
+            o.insert("elapsed_secs".to_string(), Value::Float(r.elapsed_secs));
             o.insert(
                 "full_restore_secs".to_string(),
                 Value::Float(r.full_restore_secs),
+            );
+            o.insert(
+                "full_restore_elapsed_secs".to_string(),
+                Value::Float(r.full_restore_elapsed_secs),
             );
             o.insert("metrics".to_string(), r.metrics.to_json());
             Value::Obj(o)
@@ -253,12 +284,17 @@ fn fig8(scale: Scale, seed: u64) {
 }
 
 fn endtoend_table(name: &str, rows: &[endtoend::EndToEndRow], with_detect: bool) {
+    // Phase columns sum simulated I/O with measured CPU work; the two
+    // "wall" columns are the measured clock alone, which undercuts the
+    // sum when the pipelined engine overlaps stages.
     let mut headers = vec!["ratio", "I/O", "decompress", "restore"];
     if with_detect {
         headers.push("blob detect");
     }
     headers.push("analysis total");
+    headers.push("analysis wall");
     headers.push("full restore");
+    headers.push("full wall");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -272,7 +308,9 @@ fn endtoend_table(name: &str, rows: &[endtoend::EndToEndRow], with_detect: bool)
                 row.push(table::secs(r.detect_secs));
             }
             row.push(table::secs(r.analysis_total()));
+            row.push(table::secs(r.elapsed_secs));
             row.push(table::secs(r.full_restore_secs));
+            row.push(table::secs(r.full_restore_elapsed_secs));
             row
         })
         .collect();
@@ -280,28 +318,28 @@ fn endtoend_table(name: &str, rows: &[endtoend::EndToEndRow], with_detect: bool)
     println!("{}", table::render(&headers, &table_rows));
 }
 
-fn fig9(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
+fn fig9(scale: Scale, seed: u64, opts: EngineOpts) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 9 — XGC1 end-to-end analytics\n");
     let ds = setup::xgc1(scale, seed);
     let max_k = if scale == Scale::Paper { 5 } else { 3 };
-    let rows = endtoend::end_to_end(&ds, max_k, true);
+    let rows = endtoend::end_to_end_with(&ds, max_k, true, opts);
     endtoend_table("XGC1 (dpot), blob detection pipeline", &rows, true);
     rows
 }
 
-fn fig10(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
+fn fig10(scale: Scale, seed: u64, opts: EngineOpts) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 10 — GenASiS end-to-end phases\n");
     let ds = setup::genasis(scale, seed);
     let max_k = if scale == Scale::Paper { 5 } else { 3 };
-    let rows = endtoend::end_to_end(&ds, max_k, false);
+    let rows = endtoend::end_to_end_with(&ds, max_k, false, opts);
     endtoend_table("GenASiS (normVec magnitude)", &rows, false);
     rows
 }
 
-fn fig11(scale: Scale, seed: u64) -> Vec<endtoend::EndToEndRow> {
+fn fig11(scale: Scale, seed: u64, opts: EngineOpts) -> Vec<endtoend::EndToEndRow> {
     println!("## Fig. 11 — CFD end-to-end phases\n");
     let ds = setup::cfd(scale, seed);
-    let rows = endtoend::end_to_end(&ds, 3, false); // paper: ratios 2,4,8
+    let rows = endtoend::end_to_end_with(&ds, 3, false, opts); // paper: ratios 2,4,8
     endtoend_table("CFD (pressure)", &rows, false);
     rows
 }

@@ -12,6 +12,7 @@
 //! | [`fig6`] | Fig. 6a storage-to-compute trend; Fig. 6b write-time fractions |
 //! | [`blobs`] | Fig. 7 blob gallery; Fig. 8a–d blob metrics vs decimation ratio |
 //! | [`endtoend`] | Figs. 9/10/11: analysis-pipeline and full-restoration times |
+//! | [`readbench`] | restore-engine perf trajectory (`BENCH_read.json`) |
 //! | [`ablation`] | smoothness validation, estimator/codec/priority/refactorer/mapping ablations |
 //! | [`extensions`] | focused-retrieval region sweep, campaign query pushdown |
 //! | [`setup`] | shared dataset scaling + Titan-like hierarchy calibration |
@@ -23,5 +24,6 @@ pub mod endtoend;
 pub mod extensions;
 pub mod fig5;
 pub mod fig6;
+pub mod readbench;
 pub mod setup;
 pub mod table;

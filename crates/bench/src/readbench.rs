@@ -1,0 +1,271 @@
+//! Restore-engine throughput: the perf trajectory behind `BENCH_read.json`.
+//!
+//! Times a full base → L0 restoration on the Fig. 9 XGC1 configuration
+//! under three engine configurations of the *same* stored variable:
+//!
+//! * `serial` — `pipeline_depth = 0` over monolithic codec streams: the
+//!   read path exactly as it was before the pipelined engine landed;
+//! * `serial_chunked` — the serial walk over chunk-framed streams, so
+//!   only the decode parallelism contributes;
+//! * `pipelined` — bounded prefetch + parallel decode + eager restore.
+//!
+//! Tier I/O is simulated (`SimClock` advances without sleeping), so the
+//! measured wall clock isolates the real CPU work — decompression and
+//! delta application — which is exactly what the engines differ on. The
+//! headline `speedup` is `serial` over `pipelined`: the before/after of
+//! this optimisation.
+//!
+//! A second section exercises the decoded-level cache: the repeat read
+//! of a cached `(var, level)` must move zero tier bytes.
+
+use crate::setup::titan_hierarchy;
+use canopus::{Canopus, CanopusConfig, PhaseTiming};
+use canopus_data::Dataset;
+use canopus_obs::{json::Value, names};
+use canopus_refactor::levels::RefactorConfig;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One engine configuration's measured full-restore cost.
+#[derive(Debug, Clone)]
+pub struct EngineSample {
+    pub label: &'static str,
+    /// Median measured wall seconds for one base → L0 restore.
+    pub wall_secs: f64,
+    /// Phase timing of the median iteration (I/O phases are simulated).
+    pub timing: PhaseTiming,
+}
+
+/// Decoded-level cache behaviour on a repeat read.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSample {
+    /// Tier bytes moved by the first (cold) full restore.
+    pub first_read_bytes_io: u64,
+    /// Tier bytes moved by the second read of the same `(var, level)` —
+    /// zero when the cache answers.
+    pub repeat_read_bytes_io: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// Everything `BENCH_read.json` records for one run.
+#[derive(Debug, Clone)]
+pub struct ReadBenchReport {
+    pub dataset: String,
+    pub var: String,
+    pub vertices: usize,
+    pub num_levels: u32,
+    pub iters: usize,
+    pub threads: usize,
+    pub engines: Vec<EngineSample>,
+    /// `serial` wall over `pipelined` wall — the before/after speedup.
+    pub speedup: f64,
+    pub cache: CacheSample,
+}
+
+impl ReadBenchReport {
+    pub fn engine(&self, label: &str) -> Option<&EngineSample> {
+        self.engines.iter().find(|e| e.label == label)
+    }
+
+    pub fn to_json(&self) -> Value {
+        let engines: Vec<Value> = self
+            .engines
+            .iter()
+            .map(|e| {
+                let mut o = BTreeMap::new();
+                o.insert("label".into(), Value::Str(e.label.into()));
+                o.insert("wall_secs".into(), Value::Float(e.wall_secs));
+                o.insert("io_secs".into(), Value::Float(e.timing.io_secs));
+                o.insert(
+                    "decompress_secs".into(),
+                    Value::Float(e.timing.decompress_secs),
+                );
+                o.insert("restore_secs".into(), Value::Float(e.timing.restore_secs));
+                o.insert("elapsed_secs".into(), Value::Float(e.timing.elapsed_secs));
+                Value::Obj(o)
+            })
+            .collect();
+        let mut cache = BTreeMap::new();
+        cache.insert(
+            "first_read_bytes_io".into(),
+            Value::Int(self.cache.first_read_bytes_io as i128),
+        );
+        cache.insert(
+            "repeat_read_bytes_io".into(),
+            Value::Int(self.cache.repeat_read_bytes_io as i128),
+        );
+        cache.insert(
+            "cache_hits".into(),
+            Value::Int(self.cache.cache_hits as i128),
+        );
+        cache.insert(
+            "cache_misses".into(),
+            Value::Int(self.cache.cache_misses as i128),
+        );
+        let mut top = BTreeMap::new();
+        top.insert("bench".into(), Value::Str("read".into()));
+        top.insert("dataset".into(), Value::Str(self.dataset.clone()));
+        top.insert("var".into(), Value::Str(self.var.clone()));
+        top.insert("vertices".into(), Value::Int(self.vertices as i128));
+        top.insert("num_levels".into(), Value::Int(self.num_levels as i128));
+        top.insert("iters".into(), Value::Int(self.iters as i128));
+        top.insert("threads".into(), Value::Int(self.threads as i128));
+        top.insert("engines".into(), Value::Arr(engines));
+        top.insert(
+            "speedup_serial_over_pipelined".into(),
+            Value::Float(self.speedup),
+        );
+        top.insert("cache".into(), Value::Obj(cache));
+        Value::Obj(top)
+    }
+}
+
+/// Median full-restore wall clock for one engine configuration. Each
+/// iteration opens a fresh reader (cold data path) with warmed metadata,
+/// so the measurement covers fetch + decode + restore only.
+fn sample_engine(
+    ds: &Dataset,
+    iters: usize,
+    label: &'static str,
+    config: CanopusConfig,
+) -> EngineSample {
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(titan_hierarchy(raw), config);
+    canopus
+        .write("bench.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("bench write");
+    let mut runs: Vec<(f64, PhaseTiming)> = (0..iters.max(1))
+        .map(|_| {
+            let reader = canopus.open("bench.bp").expect("open");
+            reader.warm_metadata(ds.var).expect("warm");
+            let t = Instant::now();
+            let out = reader.read_level(ds.var, 0).expect("restore");
+            (t.elapsed().as_secs_f64(), out.timing)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (wall_secs, timing) = runs[runs.len() / 2];
+    EngineSample {
+        label,
+        wall_secs,
+        timing,
+    }
+}
+
+/// Cache behaviour: repeat read of the same `(var, level)` on one reader.
+fn sample_cache(ds: &Dataset, config: CanopusConfig) -> CacheSample {
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(titan_hierarchy(raw), config);
+    canopus
+        .write("cache.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("cache write");
+    let reader = canopus.open("cache.bp").expect("open");
+    reader.warm_metadata(ds.var).expect("warm");
+    let bytes = canopus.metrics().counter(names::READ_BYTES_IO);
+    let before = bytes.get();
+    reader.read_level(ds.var, 0).expect("first read");
+    let after_first = bytes.get();
+    reader.read_level(ds.var, 0).expect("repeat read");
+    let after_repeat = bytes.get();
+    CacheSample {
+        first_read_bytes_io: after_first - before,
+        repeat_read_bytes_io: after_repeat - after_first,
+        cache_hits: canopus.metrics().counter(names::READ_CACHE_HITS).get(),
+        cache_misses: canopus.metrics().counter(names::READ_CACHE_MISSES).get(),
+    }
+}
+
+/// Run the full benchmark: three engine configurations plus the cache
+/// section, all on `num_levels` refactoring of `ds`.
+pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchReport {
+    let base = CanopusConfig {
+        refactor: RefactorConfig {
+            num_levels,
+            ..Default::default()
+        },
+        level_cache: 0,
+        ..Default::default()
+    };
+    let engines = vec![
+        sample_engine(
+            ds,
+            iters,
+            "serial",
+            CanopusConfig {
+                pipeline_depth: 0,
+                codec_chunking: false,
+                ..base
+            },
+        ),
+        sample_engine(
+            ds,
+            iters,
+            "serial_chunked",
+            CanopusConfig {
+                pipeline_depth: 0,
+                ..base
+            },
+        ),
+        sample_engine(ds, iters, "pipelined", base),
+    ];
+    let speedup = engines[0].wall_secs / engines[2].wall_secs.max(f64::MIN_POSITIVE);
+    let cache = sample_cache(
+        ds,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    ReadBenchReport {
+        dataset: ds.name.to_string(),
+        var: ds.var.to_string(),
+        vertices: ds.mesh.num_vertices(),
+        num_levels,
+        iters,
+        threads: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+        engines,
+        speedup,
+        cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::xgc1_dataset_sized;
+
+    #[test]
+    fn report_covers_engines_and_cache() {
+        let ds = xgc1_dataset_sized(10, 50, 7);
+        let r = read_bench(&ds, 3, 1);
+        assert_eq!(r.engines.len(), 3);
+        assert!(r.engine("serial").is_some());
+        assert!(r.engine("pipelined").is_some());
+        for e in &r.engines {
+            assert!(e.wall_secs > 0.0, "{e:?}");
+            assert!(e.timing.io_secs > 0.0, "{e:?}");
+        }
+        assert!(r.speedup > 0.0);
+        // The decoded-level cache answers the repeat read: no tier I/O.
+        assert!(r.cache.first_read_bytes_io > 0);
+        assert_eq!(r.cache.repeat_read_bytes_io, 0);
+        assert!(r.cache.cache_hits > 0);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let ds = xgc1_dataset_sized(8, 40, 3);
+        let r = read_bench(&ds, 2, 1);
+        let text = r.to_json().to_pretty();
+        let parsed = canopus_obs::json::parse(&text).expect("valid json");
+        assert!(parsed.get("speedup_serial_over_pipelined").is_some());
+        assert!(parsed.get("engines").is_some());
+        assert!(parsed.get("cache").is_some());
+    }
+}

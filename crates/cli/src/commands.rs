@@ -21,15 +21,19 @@ commands:
       refactor + compress + place a variable into the store
   info <store> <file.bp>
       show the file's variables, blocks, codecs and tier placement
-  read <store> <file.bp> <var> [--level L] --out d.f64
-      restore a level (default 0 = full accuracy) to a raw f64 file
+  read <store> <file.bp> <var> [--level L] [--pipeline-depth N] [--no-cache]
+       --out d.f64
+      restore a level (default 0 = full accuracy) to a raw f64 file;
+      --pipeline-depth 0 selects the serial restore path and --no-cache
+      disables the decoded-level cache
   render <store> <file.bp> <var> [--level L] --out img.ppm [--size W]
       rasterize a restored level to a PPM image
   explore <store> <file.bp> <var> [--rms-threshold T]
       progressive exploration: walk levels, print per-level cost + delta RMS
   region <store> <file.bp> <var> --x0 X --y0 Y --x1 X --y1 Y --out d.f64
       focused retrieval: refine one level inside a bounding box only
-  metrics <store> <file.bp> <var> [--level L] [--out metrics.json]
+  metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
+          [--no-cache] [--out metrics.json]
       restore a level with the observability sink enabled and dump the
       metrics snapshot (counters, gauges, stage timers, events) as JSON
   tiers <store>
@@ -88,6 +92,22 @@ fn save_f64(path: &str, data: &[f64]) -> Result<(), String> {
 fn canopus_for(store_dir: &str, config: CanopusConfig) -> Result<Canopus, String> {
     let (hierarchy, _) = store::open(Path::new(store_dir))?;
     Ok(Canopus::new(hierarchy, config))
+}
+
+/// Default config with the restore-engine knobs (`--pipeline-depth`,
+/// `--no-cache`) applied. Commands taking these must list `no-cache` in
+/// their `Args::parse` flag set.
+fn engine_config(a: &Args) -> Result<CanopusConfig, String> {
+    let defaults = CanopusConfig::default();
+    Ok(CanopusConfig {
+        pipeline_depth: a.opt_parse("pipeline-depth", defaults.pipeline_depth)?,
+        level_cache: if a.flag("no-cache") {
+            0
+        } else {
+            defaults.level_cache
+        },
+        ..defaults
+    })
 }
 
 fn cmd_init(argv: &[String]) -> Result<(), String> {
@@ -216,24 +236,25 @@ fn cmd_info(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_read(argv: &[String]) -> Result<(), String> {
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["no-cache"])?;
     let store_dir = a.pos(0, "store directory")?;
     let file = a.pos(1, "file name")?;
     let var = a.pos(2, "variable name")?;
     let level: u32 = a.opt_parse("level", 0u32)?;
     let out = a.req("out")?;
-    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let canopus = canopus_for(store_dir, engine_config(&a)?)?;
     let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
     let outcome = reader
         .read_level(var, level)
         .map_err(|e| format!("read: {e}"))?;
     save_f64(out, &outcome.data)?;
     println!(
-        "restored {var} L{level}: {} values -> {out} (I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms)",
+        "restored {var} L{level}: {} values -> {out} (I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms, wall {:.2} ms)",
         outcome.data.len(),
         outcome.timing.io_secs * 1e3,
         outcome.timing.decompress_secs * 1e3,
         outcome.timing.restore_secs * 1e3,
+        outcome.timing.elapsed_secs * 1e3,
     );
     Ok(())
 }
@@ -347,14 +368,14 @@ fn cmd_region(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_metrics(argv: &[String]) -> Result<(), String> {
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["no-cache"])?;
     let store_dir = a.pos(0, "store directory")?;
     let file = a.pos(1, "file name")?;
     let var = a.pos(2, "variable name")?;
     let level: u32 = a.opt_parse("level", 0u32)?;
     let out = a.opt("out");
 
-    let canopus = canopus_for(store_dir, CanopusConfig::default())?;
+    let canopus = canopus_for(store_dir, engine_config(&a)?)?;
     // Turn on the structured-event sink for this run so the snapshot
     // carries spans as well as counters/timers.
     let obs = std::sync::Arc::clone(canopus.metrics());
@@ -615,6 +636,27 @@ mod tests {
         assert!(snap.counter(canopus_obs::names::READ_BYTES_IO) > 0);
         assert!(snap.counter(canopus_obs::names::READ_BLOCKS) > 0);
         assert!(snap.timer(canopus_obs::names::READ_IO).count > 0);
+        // Default engine: cache enabled, so the cold read records misses.
+        assert!(snap.counter(canopus_obs::names::READ_CACHE_MISSES) > 0);
+
+        // --no-cache + serial path: no cache traffic, no pipelined walks.
+        run(&s(&[
+            "metrics",
+            store,
+            "p.bp",
+            "pressure",
+            "--no-cache",
+            "--pipeline-depth",
+            "0",
+            "--out",
+            json,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(json).unwrap();
+        let snap = canopus::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(snap.counter(canopus_obs::names::READ_CACHE_MISSES), 0);
+        assert_eq!(snap.counter(canopus_obs::names::READ_CACHE_HITS), 0);
+        assert_eq!(snap.counter(canopus_obs::names::READ_PIPELINED_RESTORES), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -70,6 +70,37 @@ pub trait Codec: Send + Sync {
     fn error_bound(&self) -> f64;
 }
 
+/// Boxed codecs are codecs, so adaptors like [`Chunked`] can wrap a
+/// runtime-selected `Box<dyn Codec>` (or an [`ObservedCodec`] holding
+/// one) without knowing the concrete type.
+impl<C: Codec + ?Sized> Codec for Box<C> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
+        (**self).compress(data)
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        (**self).decompress(bytes, n)
+    }
+
+    fn is_lossless(&self) -> bool {
+        (**self).is_lossless()
+    }
+
+    fn error_bound(&self) -> f64 {
+        (**self).error_bound()
+    }
+}
+
+/// Bit set in a stored block's `codec_id` when the payload is a
+/// [`Chunked`] stream wrapping the base codec identified by the low
+/// bits. Kept here (not sniffed from stream magic) because a raw stream
+/// of arbitrary f64 bytes can start with any byte value.
+pub const CHUNKED_CODEC_ID_FLAG: u8 = 0x80;
+
 /// Which codec to use, as plain data (for configs and metadata).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CodecKind {

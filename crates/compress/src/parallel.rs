@@ -31,6 +31,13 @@ impl<C: Codec> Chunked<C> {
         Self { inner, chunk_elems }
     }
 
+    /// Wrap `inner` for decode-only use: `decompress` reads the chunk
+    /// geometry from the stream header, so no meaningful `chunk_elems`
+    /// is needed up front.
+    pub fn for_decode(inner: C) -> Self {
+        Self::new(inner, 1)
+    }
+
     pub fn inner(&self) -> &C {
         &self.inner
     }
@@ -210,5 +217,25 @@ mod tests {
     #[should_panic(expected = "at least one element")]
     fn rejects_zero_chunk() {
         let _ = Chunked::new(Fpc::new(), 0);
+    }
+
+    #[test]
+    fn for_decode_reads_geometry_from_header() {
+        let data = wave(3000);
+        let bytes = Chunked::new(Fpc::new(), 512).compress(&data).unwrap();
+        let back = Chunked::for_decode(Fpc::new())
+            .decompress(&bytes, data.len())
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn boxed_dyn_codec_chunks() {
+        let data = wave(2000);
+        let codec = Chunked::new(crate::CodecKind::Fpc.build(), 333);
+        let back = codec
+            .decompress(&codec.compress(&data).unwrap(), data.len())
+            .unwrap();
+        assert_eq!(back, data);
     }
 }

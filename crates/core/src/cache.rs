@@ -1,0 +1,190 @@
+//! Decoded-level LRU cache.
+//!
+//! Campaign analytics revisit levels: blob detection runs at several
+//! accuracies, a coarse exploratory pass precedes a focused refinement,
+//! dashboards re-render the same variable. [`LevelCache`] keeps the last
+//! few fully restored `(var, level)` fields in memory so a repeat read
+//! skips tier I/O *and* decompression entirely — the reader answers from
+//! the cache with zero `read.bytes_io` traffic.
+//!
+//! Entries share their mesh and data through `Arc`s, so a hit clones two
+//! pointers; the deep copy happens only when the caller materialises a
+//! [`ReadOutcome`](crate::read::ReadOutcome). Only level-exact fields are
+//! cached — mixed-accuracy results from region refinement never enter.
+
+use canopus_mesh::TriMesh;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached restored level.
+#[derive(Clone)]
+pub(crate) struct CachedLevel {
+    pub mesh: Arc<TriMesh>,
+    pub data: Arc<Vec<f64>>,
+    /// RMS of the delta applied to reach this level (0 for the base),
+    /// so a cache-served refinement can still report the paper's
+    /// adjacent-level RMSE termination criterion.
+    pub delta_rms: f64,
+}
+
+struct Entry {
+    value: CachedLevel,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(String, u32), Entry>,
+    tick: u64,
+}
+
+/// A small LRU of decoded levels, keyed by `(var, level)`.
+pub(crate) struct LevelCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl LevelCache {
+    /// `capacity` = max retained entries; 0 disables the cache entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Look up an exact `(var, level)` entry, refreshing its recency.
+    pub fn get(&self, var: &str, level: u32) -> Option<CachedLevel> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&(var.to_string(), level))?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// The finest cached level of `var` strictly coarser than `finer_than`
+    /// (i.e. in `finer_than + 1 ..= coarsest`) — the best starting point
+    /// for a walk down to `finer_than`.
+    pub fn nearest_coarser(
+        &self,
+        var: &str,
+        finer_than: u32,
+        coarsest: u32,
+    ) -> Option<(u32, CachedLevel)> {
+        if !self.enabled() {
+            return None;
+        }
+        for level in finer_than + 1..=coarsest {
+            if let Some(hit) = self.get(var, level) {
+                return Some((level, hit));
+            }
+        }
+        None
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used
+    /// one when over capacity.
+    pub fn insert(&self, var: &str, level: u32, value: CachedLevel) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            (var.to_string(), level),
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            inner.map.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_mesh::generators::rectangle_mesh;
+    use canopus_mesh::geometry::{Aabb, Point2};
+
+    fn level(v: f64) -> CachedLevel {
+        let mesh = rectangle_mesh(
+            2,
+            2,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        CachedLevel {
+            mesh: Arc::new(mesh),
+            data: Arc::new(vec![v; 4]),
+            delta_rms: v,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let c = LevelCache::new(4);
+        assert!(c.get("v", 0).is_none());
+        c.insert("v", 0, level(1.0));
+        let hit = c.get("v", 0).unwrap();
+        assert_eq!(*hit.data, vec![1.0; 4]);
+        assert!(c.get("w", 0).is_none(), "keys include the variable");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = LevelCache::new(2);
+        c.insert("v", 0, level(0.0));
+        c.insert("v", 1, level(1.0));
+        c.get("v", 0); // refresh 0 → 1 is now the LRU entry
+        c.insert("v", 2, level(2.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("v", 0).is_some());
+        assert!(c.get("v", 1).is_none(), "LRU entry evicted");
+        assert!(c.get("v", 2).is_some());
+    }
+
+    #[test]
+    fn nearest_coarser_prefers_finest() {
+        let c = LevelCache::new(4);
+        c.insert("v", 3, level(3.0));
+        c.insert("v", 1, level(1.0));
+        let (lvl, hit) = c.nearest_coarser("v", 0, 3).unwrap();
+        assert_eq!(lvl, 1);
+        assert_eq!(hit.delta_rms, 1.0);
+        assert!(c.nearest_coarser("v", 3, 3).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = LevelCache::new(0);
+        assert!(!c.enabled());
+        c.insert("v", 0, level(0.0));
+        assert!(c.get("v", 0).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

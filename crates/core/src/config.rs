@@ -22,6 +22,20 @@ pub struct CanopusConfig {
     /// interest can be refined by fetching only the intersecting chunks
     /// ("reading smaller subsets of high accuracy data", §III-E/§IV-D).
     pub delta_chunks: u32,
+    /// Bounded prefetch depth of the pipelined restore engine: how many
+    /// fetched-but-undecoded blocks may sit between the tier-read stage
+    /// and the parallel decode stage. `0` selects the strictly serial
+    /// read → decode → restore path.
+    pub pipeline_depth: u32,
+    /// Capacity (in entries) of the decoded-level LRU cache each reader
+    /// keeps, keyed by `(var, level)`. A repeat read of a cached level
+    /// performs zero tier I/O and zero decompression. `0` disables the
+    /// cache.
+    pub level_cache: u32,
+    /// Chunk-frame large codec streams so they (de)compress across
+    /// cores. `false` reproduces the earlier monolithic streams — the
+    /// restore benchmarks use it for their serial baseline.
+    pub codec_chunking: bool,
 }
 
 impl Default for CanopusConfig {
@@ -33,6 +47,9 @@ impl Default for CanopusConfig {
             },
             policy: PlacementPolicy::RankSpread,
             delta_chunks: 1,
+            pipeline_depth: 4,
+            level_cache: 8,
+            codec_chunking: true,
         }
     }
 }
@@ -74,6 +91,9 @@ mod tests {
         assert_eq!(c.refactor.num_levels, 3);
         assert!(matches!(c.codec, RelativeCodec::ZfpLike { .. }));
         assert_eq!(c.delta_chunks, 1, "unchunked by default");
+        assert!(c.pipeline_depth > 0, "pipelined restore by default");
+        assert!(c.level_cache > 0, "decoded-level cache on by default");
+        assert!(c.codec_chunking, "chunk-framed codec streams by default");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! `canopus-storage` (tiers + placement), `canopus-adios` (BP container),
 //! `canopus-analytics` (blob detection).
 
+mod cache;
 pub mod campaign;
 pub mod config;
 pub mod error;

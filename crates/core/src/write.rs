@@ -6,7 +6,7 @@ use crate::error::CanopusError;
 use bytes::Bytes;
 use canopus_adios::store::{BlockWrite, BpStore};
 use canopus_adios::BpFile;
-use canopus_compress::{Codec, CodecKind, ObservedCodec};
+use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
 use canopus_mesh::{FieldStats, TriMesh};
 use canopus_obs::{names, stage, Registry};
 use canopus_refactor::compute_delta;
@@ -71,6 +71,27 @@ impl WriteReport {
                     .sum(),
             )
     }
+}
+
+/// Minimum stream length worth chunk-framing; below this the framing
+/// header and thread hand-off outweigh any decode parallelism.
+pub(crate) const CHUNK_MIN_ELEMS: usize = 4096;
+
+/// Chunk size (in elements) for compressing an `n`-value product
+/// stream, or `None` to keep the stream monolithic. The grain targets
+/// one chunk per core, but never coarser than the configured
+/// `delta_chunks` so chunk-framed codec streams scale with the same
+/// knob as spatial placement chunks; chunks never shrink below 512
+/// elements.
+pub(crate) fn codec_chunk_elems(n: usize, delta_chunks: u32) -> Option<usize> {
+    if n < CHUNK_MIN_ELEMS {
+        return None;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let grain = cores.max(delta_chunks as usize).max(1);
+    Some(n.div_ceil(grain).max(512))
 }
 
 /// Contiguous vertex-index ranges for splitting a delta of `n` values
@@ -284,12 +305,33 @@ impl Canopus {
                 ));
             }
         }
-        let compressed: Vec<(ProductKind, Vec<u8>, FieldStats, usize)> = streams
+        // Large streams are chunk-framed through `Chunked` so their
+        // chunks compress (and later decompress) across cores; the
+        // observed codec sits inside the framing, keeping per-chunk
+        // metrics under the payload codec's name. The flag bit in the
+        // stored codec id tells the reader which framing to expect.
+        let compressed: Vec<(ProductKind, Vec<u8>, FieldStats, usize, u8)> = streams
             .par_iter()
             .map(|&(kind, values)| {
                 let codec = ObservedCodec::new(codec_kind.build(), Arc::clone(&obs));
-                let bytes = codec.compress(values).map_err(CanopusError::from)?;
-                Ok((kind, bytes, FieldStats::of(values), values.len()))
+                let chunk_elems = if self.config.codec_chunking {
+                    codec_chunk_elems(values.len(), self.config.delta_chunks)
+                } else {
+                    None
+                };
+                let (bytes, codec_id) = match chunk_elems {
+                    Some(chunk_elems) => (
+                        Chunked::new(codec, chunk_elems)
+                            .compress(values)
+                            .map_err(CanopusError::from)?,
+                        codec_kind.id() | CHUNKED_CODEC_ID_FLAG,
+                    ),
+                    None => (
+                        codec.compress(values).map_err(CanopusError::from)?,
+                        codec_kind.id(),
+                    ),
+                };
+                Ok((kind, bytes, FieldStats::of(values), values.len(), codec_id))
             })
             .collect::<Result<_, CanopusError>>()?;
         let compress_secs = t2.elapsed().as_secs_f64();
@@ -302,13 +344,13 @@ impl Canopus {
             _ => 0.0,
         };
         let mut blocks: Vec<BlockWrite> = Vec::new();
-        for (kind, bytes, stats, elements) in compressed {
+        for (kind, bytes, stats, elements, codec_id) in compressed {
             blocks.push(BlockWrite {
                 var: var.to_string(),
                 kind,
                 data: Bytes::from(bytes),
                 elements: elements as u64,
-                codec_id: codec_kind.id(),
+                codec_id,
                 codec_param,
                 raw_bytes: elements as u64 * 8,
                 min: stats.min,
@@ -517,13 +559,16 @@ impl Canopus {
         Ok(report)
     }
 
-    /// Open a previously written file for (progressive) reading.
+    /// Open a previously written file for (progressive) reading. The
+    /// reader inherits the configured restore engine (`pipeline_depth`)
+    /// and decoded-level cache capacity (`level_cache`).
     pub fn open(&self, file: &str) -> Result<crate::read::CanopusReader, CanopusError> {
         let bp: BpFile = self.store.open(file)?;
-        Ok(crate::read::CanopusReader::new(
-            bp,
-            self.config.refactor.estimator,
-        ))
+        Ok(
+            crate::read::CanopusReader::new(bp, self.config.refactor.estimator)
+                .with_pipeline_depth(self.config.pipeline_depth)
+                .with_level_cache(self.config.level_cache),
+        )
     }
 }
 

@@ -109,6 +109,35 @@ proptest! {
         }
     }
 
+    /// The pipelined restore engine returns exactly what the serial walk
+    /// returns, for any mesh, chunking and prefetch depth.
+    #[test]
+    fn pipelined_engine_matches_serial_walk(
+        nx in 5usize..12,
+        ny in 5usize..12,
+        seed in 0u64..200,
+        chunks in 1u32..16,
+        depth in 1u32..8,
+        level in 0u32..3,
+    ) {
+        let (canopus, _, _) = build(nx, ny, seed, chunks, 4.0);
+        let serial = canopus
+            .open("p.bp")
+            .unwrap()
+            .with_pipeline_depth(0)
+            .with_level_cache(0);
+        let piped = canopus
+            .open("p.bp")
+            .unwrap()
+            .with_pipeline_depth(depth)
+            .with_level_cache(0);
+        let a = serial.read_level("v", level).unwrap();
+        let b = piped.read_level("v", level).unwrap();
+        prop_assert_eq!(a.data, b.data);
+        prop_assert_eq!(a.level, b.level);
+        prop_assert_eq!(a.mesh.num_vertices(), b.mesh.num_vertices());
+    }
+
     /// Metadata bounds always contain the restored data at every level —
     /// the query pushdown can never produce a false negative.
     #[test]

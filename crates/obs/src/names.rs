@@ -28,6 +28,22 @@ pub const READ_BLOCKS: &str = "canopus.read.blocks";
 pub const READ_REFINEMENTS: &str = "canopus.read.refinements";
 pub const READ_REGION_REFINEMENTS: &str = "canopus.read.region_refinements";
 
+// ---- core read path: decoded-level cache + restore pipeline ----------
+pub const READ_CACHE_HITS: &str = "canopus.read.cache_hits";
+pub const READ_CACHE_MISSES: &str = "canopus.read.cache_misses";
+/// Gauge: deepest the bounded prefetch queue ever got (fetched blocks
+/// waiting for a decoder).
+pub const READ_PREFETCH_DEPTH_PEAK: &str = "canopus.read.prefetch_depth_peak";
+/// Gauge: current number of fetched-but-undecoded blocks in the queue.
+pub const READ_PREFETCH_DEPTH: &str = "canopus.read.prefetch_depth";
+/// Timer: per-stage overlap reclaimed by the pipeline — the amount by
+/// which the sum of phase times exceeds the measured wall clock of a
+/// pipelined restore (`io + decompress + restore - elapsed`, clamped at
+/// zero). Recorded once per pipelined `read_level`.
+pub const READ_OVERLAP: &str = "canopus.read.overlap_secs";
+/// Counter: restores that went through the pipelined engine.
+pub const READ_PIPELINED_RESTORES: &str = "canopus.read.pipelined_restores";
+
 // ---- campaign layer --------------------------------------------------
 pub const CAMPAIGN_QUERIES: &str = "canopus.campaign.queries";
 pub const CAMPAIGN_QUERY_TIMER: &str = "canopus.campaign.query";
@@ -42,6 +58,11 @@ pub const TRANSPORT_STAGED_LATENCY: &str = "adios.transport.staged_latency";
 pub const TRANSPORT_DIRECT_LATENCY: &str = "adios.transport.direct_latency";
 
 // ---- storage hierarchy ----------------------------------------------
+/// Gauge: reads currently being served by any tier (concurrent callers).
+pub const STORAGE_INFLIGHT_READS: &str = "storage.read.inflight";
+/// Gauge: high-water mark of concurrently served reads — evidence that
+/// the restore pipeline actually overlaps tier fetches.
+pub const STORAGE_INFLIGHT_READS_PEAK: &str = "storage.read.inflight_peak";
 pub const MIGRATIONS: &str = "storage.migration.migrations";
 pub const EVICTIONS: &str = "storage.migration.evictions";
 pub const PROMOTIONS: &str = "storage.migration.promotions";

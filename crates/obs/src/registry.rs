@@ -63,6 +63,12 @@ impl Gauge {
         self.value.fetch_sub(by, Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `v` if it is currently lower (high-water
+    /// marks: peak queue depth, max in-flight reads).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }

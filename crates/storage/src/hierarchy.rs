@@ -189,7 +189,23 @@ impl StorageHierarchy {
     /// Read an object from wherever it lives (fastest tier first),
     /// advancing simulated time. Returns the bytes, the tier it came from
     /// and the transfer duration.
+    ///
+    /// Concurrent callers are tracked through the
+    /// [`names::STORAGE_INFLIGHT_READS`] gauge (with its high-water mark
+    /// in [`names::STORAGE_INFLIGHT_READS_PEAK`]) — a peak above 1 is
+    /// direct evidence that a read pipeline overlapped tier fetches.
     pub fn read(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
+        let inflight = self.obs.gauge(names::STORAGE_INFLIGHT_READS);
+        inflight.add(1);
+        self.obs
+            .gauge(names::STORAGE_INFLIGHT_READS_PEAK)
+            .set_max(inflight.get());
+        let out = self.read_inner(key);
+        inflight.sub(1);
+        out
+    }
+
+    fn read_inner(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
         let idx = self.find(key)?;
         let tier = &self.tiers[idx];
         let data = tier.device.get(key)?;

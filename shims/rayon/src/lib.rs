@@ -13,7 +13,9 @@
 //! - combinators are *eager*: each `map` runs to completion (in
 //!   parallel, order-preserving) before the next adapter sees data;
 //! - there is no work-stealing pool: every `map` splits its input into
-//!   `available_parallelism()` contiguous chunks, one thread each;
+//!   at most `available_parallelism()` contiguous chunks, one thread
+//!   each, honouring `with_min_len` as both a split floor and a
+//!   sequential cutoff (a batch that fits one worker runs inline);
 //! - `collect::<Result<_, E>>()` surfaces the first error by input
 //!   order, matching the upstream contract closely enough for the
 //!   codec paths that rely on it.
@@ -25,20 +27,27 @@ use std::ops::Range;
 /// Splits into at most `available_parallelism()` contiguous chunks and
 /// processes each on its own scoped thread. A panicking worker
 /// propagates the panic to the caller, like rayon.
-fn par_apply<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+///
+/// `min_len` is the smallest number of items a worker is worth spawning
+/// for (rayon's `with_min_len` contract): the split never produces more
+/// than `n / min_len` workers, and when that rounds down to one the
+/// whole batch runs inline on the caller's thread — so per-chunk codec
+/// calls and other small fan-outs don't pay thread-spawn overhead.
+fn par_apply<I, O, F>(items: Vec<I>, min_len: usize, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
     let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
+    let min_len = min_len.max(1);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(n);
+        .min(n / min_len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
     let chunk_len = n.div_ceil(workers);
 
     let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
@@ -72,6 +81,13 @@ where
 /// held in order, and parallel work happens inside each combinator.
 pub struct ParIter<I> {
     items: Vec<I>,
+    min_len: usize,
+}
+
+impl<I> ParIter<I> {
+    fn over(items: Vec<I>) -> Self {
+        ParIter { items, min_len: 1 }
+    }
 }
 
 impl<I: Send> ParIter<I> {
@@ -81,13 +97,15 @@ impl<I: Send> ParIter<I> {
         F: Fn(I) -> O + Sync,
     {
         ParIter {
-            items: par_apply(self.items, f),
+            items: par_apply(self.items, self.min_len, f),
+            min_len: self.min_len,
         }
     }
 
     pub fn enumerate(self) -> ParIter<(usize, I)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -99,13 +117,19 @@ impl<I: Send> ParIter<I> {
         U::Item: Send,
         F: Fn(I) -> U + Sync,
     {
-        let nested = par_apply(self.items, |item| f(item).into_iter().collect::<Vec<_>>());
+        let nested = par_apply(self.items, self.min_len, |item| {
+            f(item).into_iter().collect::<Vec<_>>()
+        });
         ParIter {
             items: nested.into_iter().flatten().collect(),
+            min_len: 1,
         }
     }
 
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Don't split finer than `min` items per worker; batches smaller
+    /// than `2 * min` run inline with no thread spawns.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
@@ -117,7 +141,7 @@ impl<I: Send> ParIter<I> {
     where
         F: Fn(I) + Sync,
     {
-        par_apply(self.items, f);
+        par_apply(self.items, self.min_len, f);
     }
 
     pub fn collect<C: FromParVec<I>>(self) -> C {
@@ -157,34 +181,28 @@ pub trait IntoParallelIterator {
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+        ParIter::over(self)
     }
 }
 
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> ParIter<usize> {
-        ParIter {
-            items: self.collect(),
-        }
+        ParIter::over(self.collect())
     }
 }
 
 impl IntoParallelIterator for Range<u32> {
     type Item = u32;
     fn into_par_iter(self) -> ParIter<u32> {
-        ParIter {
-            items: self.collect(),
-        }
+        ParIter::over(self.collect())
     }
 }
 
 impl IntoParallelIterator for Range<u64> {
     type Item = u64;
     fn into_par_iter(self) -> ParIter<u64> {
-        ParIter {
-            items: self.collect(),
-        }
+        ParIter::over(self.collect())
     }
 }
 
@@ -197,9 +215,7 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
+        ParIter::over(self.iter().collect())
     }
 }
 
@@ -211,9 +227,7 @@ pub trait ParallelSlice<T: Sync> {
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
         assert!(chunk_size > 0, "chunk size must be non-zero");
-        ParIter {
-            items: self.chunks(chunk_size).collect(),
-        }
+        ParIter::over(self.chunks(chunk_size).collect())
     }
 }
 
@@ -278,6 +292,38 @@ mod tests {
             .map(|(i, s)| (i, s.to_string()))
             .collect();
         assert_eq!(out, vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]);
+    }
+
+    #[test]
+    fn with_min_len_runs_small_batches_inline() {
+        // 4 items with min_len 4 → a single worker → the caller's thread.
+        let caller = std::thread::current().id();
+        let ids: Vec<_> = (0..4usize)
+            .into_par_iter()
+            .with_min_len(4)
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn with_min_len_still_splits_large_batches() {
+        let out: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, (1..1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_never_spawns() {
+        let caller = std::thread::current().id();
+        let ids: Vec<_> = vec![0u8]
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert_eq!(ids, vec![caller]);
     }
 
     #[test]

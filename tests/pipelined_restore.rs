@@ -1,0 +1,210 @@
+//! Pipelined-restore equivalence: the overlapped engine (bounded
+//! prefetch + parallel decode + eager restore) must be observationally
+//! identical to the serial base → L0 walk it replaced. Lossless codecs
+//! restore bit-for-bit the same values through either engine; lossy
+//! codecs stay inside their per-level error bound; region refinement and
+//! the decoded-level cache change *when* work happens, never *what* the
+//! reader returns.
+
+use canopus::config::RelativeCodec;
+use canopus::read::CanopusReader;
+use canopus::{Canopus, CanopusConfig};
+use canopus_data::{all_datasets_small, xgc1_dataset_sized, Dataset};
+use canopus_obs::names;
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use std::sync::Arc;
+
+fn written(ds: &Dataset, codec: RelativeCodec, levels: u32) -> Canopus {
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: levels,
+                ..Default::default()
+            },
+            codec,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("eq.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    canopus
+}
+
+/// A reader over the same stored bytes with the pre-pipeline serial walk
+/// and no cache: the reference engine.
+fn serial_reader(canopus: &Canopus) -> CanopusReader {
+    canopus
+        .open("eq.bp")
+        .expect("open")
+        .with_pipeline_depth(0)
+        .with_level_cache(0)
+}
+
+/// The pipelined engine, cache disabled so every read exercises the
+/// prefetch/decode/restore stages rather than a cached level.
+fn pipelined_reader(canopus: &Canopus) -> CanopusReader {
+    canopus.open("eq.bp").expect("open").with_level_cache(0)
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn value_range(data: &[f64]) -> f64 {
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// Lossless codecs: both engines must return bit-identical values and
+/// meshes at every level, for hierarchies from 1 (base only, the
+/// pipelined walk's empty-plan path) through 5 levels.
+#[test]
+fn lossless_restores_are_bit_identical_across_engines() {
+    let ds = xgc1_dataset_sized(16, 80, 11);
+    for codec in [RelativeCodec::Raw, RelativeCodec::Fpc] {
+        for levels in 1..=5u32 {
+            let canopus = written(&ds, codec, levels);
+            for level in 0..levels {
+                let a = serial_reader(&canopus)
+                    .read_level(ds.var, level)
+                    .expect("serial");
+                let b = pipelined_reader(&canopus)
+                    .read_level(ds.var, level)
+                    .expect("pipelined");
+                assert_eq!(
+                    a.data, b.data,
+                    "{codec:?} N={levels} level {level}: engines disagree"
+                );
+                assert_eq!(a.mesh.num_vertices(), b.mesh.num_vertices());
+                assert_eq!(a.level, b.level);
+            }
+        }
+    }
+}
+
+/// A field large enough to cross the chunk-framing threshold, so the
+/// pipelined engine's parallel decode stage handles multi-chunk streams.
+#[test]
+fn chunked_streams_restore_identically() {
+    let ds = xgc1_dataset_sized(64, 80, 5); // > 4096 vertices: chunk-framed
+    let canopus = written(&ds, RelativeCodec::Fpc, 4);
+    let a = serial_reader(&canopus)
+        .read_level(ds.var, 0)
+        .expect("serial");
+    let b = pipelined_reader(&canopus)
+        .read_level(ds.var, 0)
+        .expect("pipelined");
+    assert_eq!(a.data, b.data, "chunk-framed streams must decode the same");
+}
+
+/// Lossy codecs: deterministic decode means the engines still agree
+/// exactly, and both land inside the accumulated per-level error bound.
+#[test]
+fn lossy_restores_agree_and_respect_error_bounds() {
+    let rel = 1e-5;
+    for ds in all_datasets_small(29) {
+        for codec in [
+            RelativeCodec::ZfpLike { rel_tolerance: rel },
+            RelativeCodec::SzLike {
+                rel_error_bound: rel,
+            },
+        ] {
+            let levels = 3u32;
+            let canopus = written(&ds, codec, levels);
+            let a = serial_reader(&canopus)
+                .read_level(ds.var, 0)
+                .expect("serial");
+            let b = pipelined_reader(&canopus)
+                .read_level(ds.var, 0)
+                .expect("pipelined");
+            assert_eq!(a.data, b.data, "{}: lossy decode is deterministic", ds.name);
+            // Base + (levels-1) deltas, each within rel * range.
+            let bound = levels as f64 * rel * value_range(&ds.data);
+            let err = max_err(&b.data, &ds.data);
+            assert!(err <= bound, "{}: err {err} > bound {bound}", ds.name);
+        }
+    }
+}
+
+/// Region refinement reads chunk subsets outside the pipelined walk;
+/// the engine configuration must not change what a window restores.
+#[test]
+fn region_refinement_is_engine_invariant() {
+    let ds = xgc1_dataset_sized(16, 80, 17);
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 3,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Raw,
+            delta_chunks: 8,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("eq.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+
+    let window = {
+        let bb = ds.mesh.aabb();
+        let cx = (bb.min.x + bb.max.x) / 2.0;
+        let cy = (bb.min.y + bb.max.y) / 2.0;
+        let hx = (bb.max.x - bb.min.x) / 4.0;
+        let hy = (bb.max.y - bb.min.y) / 4.0;
+        canopus_mesh::geometry::Aabb::from_points([
+            canopus_mesh::geometry::Point2::new(cx - hx, cy - hy),
+            canopus_mesh::geometry::Point2::new(cx + hx, cy + hy),
+        ])
+    };
+
+    let serial = serial_reader(&canopus);
+    let base_a = serial.read_base(ds.var).expect("base");
+    let (roi_a, stats_a) = serial
+        .refine_region(ds.var, &base_a, window)
+        .expect("serial region");
+
+    let piped = canopus.open("eq.bp").expect("open"); // default engine + cache
+    let base_b = piped.read_base(ds.var).expect("base");
+    let (roi_b, stats_b) = piped
+        .refine_region(ds.var, &base_b, window)
+        .expect("pipelined region");
+
+    assert_eq!(roi_a.data, roi_b.data);
+    assert_eq!(stats_a.chunks_read, stats_b.chunks_read);
+    assert_eq!(stats_a.chunks_total, stats_b.chunks_total);
+}
+
+/// Acceptance: the second read of a cached `(var, level)` performs zero
+/// tier I/O and returns the same values as the cold read.
+#[test]
+fn cached_repeat_read_moves_zero_bytes_and_matches() {
+    let ds = xgc1_dataset_sized(16, 80, 23);
+    let canopus = written(&ds, RelativeCodec::Fpc, 4);
+    let reader = canopus.open("eq.bp").expect("open"); // cache enabled
+    let bytes = canopus.metrics().counter(names::READ_BYTES_IO);
+
+    let before = bytes.get();
+    let cold = reader.read_level(ds.var, 0).expect("cold read");
+    assert!(bytes.get() > before, "cold read moves tier bytes");
+
+    let after_cold = bytes.get();
+    let warm = reader.read_level(ds.var, 0).expect("warm read");
+    assert_eq!(
+        bytes.get(),
+        after_cold,
+        "cached repeat read must perform zero tier I/O"
+    );
+    assert_eq!(cold.data, warm.data, "cache returns the restored values");
+    assert!(canopus.metrics().counter(names::READ_CACHE_HITS).get() >= 1);
+}
