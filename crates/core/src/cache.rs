@@ -11,6 +11,14 @@
 //! pointers; the deep copy happens only when the caller materialises a
 //! [`ReadOutcome`](crate::read::ReadOutcome). Only level-exact fields are
 //! cached — mixed-accuracy results from region refinement never enter.
+//!
+//! Retention is bounded twice over: by entry count (the configured
+//! capacity) and by approximate resident bytes
+//! ([`LevelCache::DEFAULT_MAX_BYTES`] unless overridden), so caching the
+//! fine levels of a large variable cannot pin unbounded memory. Eviction
+//! is LRU-first under either bound; the most recently inserted entry is
+//! always retained — even alone over the byte budget — so a repeat read
+//! of the same `(var, level)` still answers from memory.
 
 use canopus_mesh::TriMesh;
 use parking_lot::Mutex;
@@ -28,32 +36,66 @@ pub(crate) struct CachedLevel {
     pub delta_rms: f64,
 }
 
+impl CachedLevel {
+    /// Approximate resident size: the vertex field plus the mesh's
+    /// point and connectivity arrays.
+    fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+            + self.mesh.num_vertices() * std::mem::size_of::<canopus_mesh::geometry::Point2>()
+            + self.mesh.num_triangles() * std::mem::size_of::<[canopus_mesh::VertexId; 3]>()
+    }
+}
+
 struct Entry {
     value: CachedLevel,
     last_used: u64,
+    bytes: usize,
 }
 
 struct Inner {
     map: HashMap<(String, u32), Entry>,
     tick: u64,
+    /// Sum of `Entry::bytes` over `map`.
+    bytes: usize,
 }
 
-/// A small LRU of decoded levels, keyed by `(var, level)`.
+/// A small LRU of decoded levels, keyed by `(var, level)`, bounded by
+/// entry count and approximate bytes.
 pub(crate) struct LevelCache {
     capacity: usize,
+    max_bytes: usize,
     inner: Mutex<Inner>,
 }
 
 impl LevelCache {
+    /// Default byte budget: generous for the paper's meshes (a 130k-
+    /// triangle level is a few MB) while capping the worst case of
+    /// `capacity` fine levels of a large variable.
+    pub const DEFAULT_MAX_BYTES: usize = 256 << 20;
+
     /// `capacity` = max retained entries; 0 disables the cache entirely.
+    /// The byte budget defaults to [`Self::DEFAULT_MAX_BYTES`].
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
+            max_bytes: Self::DEFAULT_MAX_BYTES,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
         }
+    }
+
+    /// Override the approximate-byte budget (entry capacity still
+    /// applies).
+    pub fn set_max_bytes(&mut self, max_bytes: usize) {
+        self.max_bytes = max_bytes;
+    }
+
+    /// The configured approximate-byte budget.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
     }
 
     pub fn enabled(&self) -> bool {
@@ -63,6 +105,11 @@ impl LevelCache {
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
+    }
+
+    #[cfg(test)]
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().bytes
     }
 
     /// Look up an exact `(var, level)` entry, refreshing its recency.
@@ -98,8 +145,10 @@ impl LevelCache {
         None
     }
 
-    /// Insert (or refresh) an entry, evicting the least recently used
-    /// one when over capacity.
+    /// Insert (or refresh) an entry, evicting least-recently-used ones
+    /// while over the entry capacity or the byte budget. The entry just
+    /// inserted is never evicted, so one oversized level degrades to a
+    /// single-entry cache instead of thrashing.
     pub fn insert(&self, var: &str, level: u32, value: CachedLevel) {
         if !self.enabled() {
             return;
@@ -107,21 +156,29 @@ impl LevelCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.insert(
+        let bytes = value.approx_bytes();
+        if let Some(old) = inner.map.insert(
             (var.to_string(), level),
             Entry {
                 value,
                 last_used: tick,
+                bytes,
             },
-        );
-        while inner.map.len() > self.capacity {
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.map.len() > self.capacity
+            || (inner.bytes > self.max_bytes && inner.map.len() > 1)
+        {
             let oldest = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty map over capacity");
-            inner.map.remove(&oldest);
+                .expect("non-empty map over a bound");
+            let evicted = inner.map.remove(&oldest).expect("oldest key present");
+            inner.bytes -= evicted.bytes;
         }
     }
 }
@@ -142,6 +199,20 @@ mod tests {
             mesh: Arc::new(mesh),
             data: Arc::new(vec![v; 4]),
             delta_rms: v,
+        }
+    }
+
+    /// A level with `n` data values, for byte-bound tests.
+    fn sized_level(n: usize) -> CachedLevel {
+        let mesh = rectangle_mesh(
+            2,
+            2,
+            Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+        );
+        CachedLevel {
+            mesh: Arc::new(mesh),
+            data: Arc::new(vec![0.0; n]),
+            delta_rms: 0.0,
         }
     }
 
@@ -166,6 +237,49 @@ mod tests {
         assert!(c.get("v", 0).is_some());
         assert!(c.get("v", 1).is_none(), "LRU entry evicted");
         assert!(c.get("v", 2).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_tracks_residency() {
+        let mut c = LevelCache::new(16);
+        // Room for two ~8 KiB fields, not three.
+        c.set_max_bytes(20 << 10);
+        c.insert("v", 0, sized_level(1024));
+        c.insert("v", 1, sized_level(1024));
+        assert_eq!(c.len(), 2);
+        c.get("v", 0); // 1 becomes the LRU entry
+        c.insert("v", 2, sized_level(1024));
+        assert_eq!(c.len(), 2, "byte budget holds two entries");
+        assert!(c.get("v", 0).is_some());
+        assert!(c.get("v", 1).is_none(), "LRU entry evicted on bytes");
+        assert!(c.get("v", 2).is_some());
+        assert!(c.resident_bytes() <= 20 << 10);
+    }
+
+    #[test]
+    fn oversized_entry_is_retained_alone() {
+        let mut c = LevelCache::new(4);
+        c.set_max_bytes(1 << 10);
+        c.insert("v", 0, sized_level(64));
+        c.insert("v", 1, sized_level(4096)); // alone exceeds the budget
+        assert_eq!(c.len(), 1, "everything else evicted");
+        assert!(
+            c.get("v", 1).is_some(),
+            "the newest entry survives its own insert"
+        );
+    }
+
+    #[test]
+    fn reinsert_replaces_byte_accounting() {
+        let mut c = LevelCache::new(4);
+        c.set_max_bytes(1 << 20);
+        c.insert("v", 0, sized_level(1024));
+        let first = c.resident_bytes();
+        c.insert("v", 0, sized_level(2048));
+        assert!(c.resident_bytes() > first);
+        c.insert("v", 0, sized_level(1024));
+        assert_eq!(c.resident_bytes(), first, "replaced entry fully released");
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

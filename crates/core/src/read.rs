@@ -101,6 +101,12 @@ pub struct ReadOutcome {
     /// Which level this is (0 = full accuracy).
     pub level: u32,
     pub timing: PhaseTiming,
+    /// Whether every vertex carries this level's accuracy. A partial
+    /// [`CanopusReader::refine_region`] pass clears it (vertices outside
+    /// the fetched chunks hold only the estimate), and refinements of a
+    /// mixed-accuracy field inherit the mix. Only level-exact outcomes
+    /// may enter or be answered from the decoded-level cache.
+    pub level_exact: bool,
 }
 
 /// Reader over one Canopus BP file.
@@ -147,9 +153,21 @@ impl CanopusReader {
 
     /// Retain up to `capacity` decoded `(var, level)` fields in an LRU
     /// cache so repeat reads skip tier I/O and decompression; 0
-    /// disables caching.
+    /// disables caching. Resident memory is additionally bounded by an
+    /// approximate byte budget (256 MiB unless overridden with
+    /// [`Self::with_level_cache_bytes`]).
     pub fn with_level_cache(mut self, capacity: u32) -> Self {
+        let max_bytes = self.level_cache.max_bytes();
         self.level_cache = LevelCache::new(capacity as usize);
+        self.level_cache.set_max_bytes(max_bytes);
+        self
+    }
+
+    /// Cap the decoded-level cache's resident size at approximately
+    /// `max_bytes` (LRU entries are evicted past the budget; the most
+    /// recent entry is always retained).
+    pub fn with_level_cache_bytes(mut self, max_bytes: usize) -> Self {
+        self.level_cache.set_max_bytes(max_bytes);
         self
     }
 
@@ -198,6 +216,7 @@ impl CanopusReader {
             data: (*hit.data).clone(),
             level,
             timing: PhaseTiming::default(),
+            level_exact: true,
         }
     }
 
@@ -312,11 +331,18 @@ impl CanopusReader {
     /// Read the base level: the paper's option (1), the fastest path.
     /// Served from the decoded-level cache when present.
     pub fn read_base(&self, var: &str) -> Result<ReadOutcome, CanopusError> {
-        let n = self.num_levels();
-        let base_level = n - 1;
+        let base_level = self.num_levels() - 1;
         if let Some(hit) = self.cache_lookup(var, base_level) {
             return Ok(Self::materialize(base_level, &hit));
         }
+        self.read_base_uncached(var)
+    }
+
+    /// `read_base` without the cache probe, for callers that already
+    /// accounted a lookup (the missed tail of `read_level`). Still
+    /// stores the decoded base for future reads.
+    fn read_base_uncached(&self, var: &str) -> Result<ReadOutcome, CanopusError> {
+        let base_level = self.num_levels() - 1;
         let wall = Instant::now();
         let mut timing = PhaseTiming::default();
 
@@ -343,6 +369,7 @@ impl CanopusReader {
             data,
             level: base_level,
             timing,
+            level_exact: true,
         })
     }
 
@@ -413,9 +440,16 @@ impl CanopusReader {
             ));
         }
         let finer = current.level - 1;
-        if let Some(hit) = self.cache_lookup(var, finer) {
-            let rms = hit.delta_rms;
-            return Ok((Self::materialize(finer, &hit), rms));
+        // The cache holds canonical level-exact fields only. Refining a
+        // mixed-accuracy `current` (from a partial region pass) must
+        // neither answer from the cache — the hit would silently replace
+        // the caller's field with the canonical one — nor store its
+        // contaminated result as the canonical level.
+        if current.level_exact {
+            if let Some(hit) = self.cache_lookup(var, finer) {
+                let rms = hit.delta_rms;
+                return Ok((Self::materialize(finer, &hit), rms));
+            }
         }
         let wall = Instant::now();
 
@@ -445,13 +479,16 @@ impl CanopusReader {
         };
         timing.elapsed_secs = wall.elapsed().as_secs_f64();
 
-        self.cache_store(var, finer, &fine_mesh, &data, delta_rms);
+        if current.level_exact {
+            self.cache_store(var, finer, &fine_mesh, &data, delta_rms);
+        }
         Ok((
             ReadOutcome {
                 mesh: fine_mesh,
                 data,
                 level: finer,
                 timing,
+                level_exact: current.level_exact,
             },
             delta_rms,
         ))
@@ -571,6 +608,10 @@ impl CanopusReader {
                 data,
                 level: finer,
                 timing,
+                // Exact only when every chunk was fetched (a region
+                // covering the mesh, or the unchunked fallback) on top
+                // of an already-exact field.
+                level_exact: current.level_exact && stats.chunks_read == stats.chunks_total,
             },
             stats,
         ))
@@ -592,22 +633,30 @@ impl CanopusReader {
             )));
         }
         let base_level = n - 1;
-        // Exact hit. The base level is left to `read_base`, which probes
-        // the cache itself — checking here too would double-count.
-        if target_level < base_level {
-            if let Some(hit) = self.cache_lookup(var, target_level) {
+        // One accounting event per call: a hit when any cached level —
+        // the exact target or a coarser starting point — answers, a
+        // single miss otherwise (the base read below skips its own
+        // probe, so a miss is never counted twice).
+        let start = if self.level_cache.enabled() {
+            if let Some(hit) = self.level_cache.get(var, target_level) {
+                self.obs.counter(names::READ_CACHE_HITS).inc();
                 return Ok(Self::materialize(target_level, &hit));
             }
-        }
-        let start = match self
-            .level_cache
-            .nearest_coarser(var, target_level, base_level)
-        {
-            Some((level, hit)) => {
-                self.obs.counter(names::READ_CACHE_HITS).inc();
-                Self::materialize(level, &hit)
+            match self
+                .level_cache
+                .nearest_coarser(var, target_level, base_level)
+            {
+                Some((level, hit)) => {
+                    self.obs.counter(names::READ_CACHE_HITS).inc();
+                    Self::materialize(level, &hit)
+                }
+                None => {
+                    self.obs.counter(names::READ_CACHE_MISSES).inc();
+                    self.read_base_uncached(var)?
+                }
             }
-            None => self.read_base(var)?,
+        } else {
+            self.read_base_uncached(var)?
         };
         if start.level == target_level {
             return Ok(start);
@@ -734,12 +783,10 @@ impl CanopusReader {
         // return on the restore side then cannot deadlock the workers,
         // which simply drain the fetch queue and exit.
         let (done_tx, done_rx) = channel::bounded::<Decoded>(total_jobs + workers + 1);
-        let fetch_rx = std::sync::Mutex::new(fetch_rx);
         let depth_gauge = self.obs.gauge(names::READ_PREFETCH_DEPTH);
         let peak_gauge = self.obs.gauge(names::READ_PREFETCH_DEPTH_PEAK);
 
         let jobs = &jobs;
-        let fetch_rx = &fetch_rx;
         let depth_gauge = &depth_gauge;
 
         let outcome = std::thread::scope(|s| -> Result<ReadOutcome, CanopusError> {
@@ -763,21 +810,24 @@ impl CanopusReader {
                 }
             });
 
-            // Stage 2: decode pool. Workers exit when the producer is
-            // done and the queue is drained (recv disconnects).
+            // Stage 2: decode pool. The receiver is multi-consumer, so
+            // each worker holds its own clone of the shared queue;
+            // workers exit when the producer is done and the queue is
+            // drained (recv disconnects).
             for _ in 0..workers {
                 let done_tx = done_tx.clone();
-                s.spawn(move || loop {
-                    let msg = fetch_rx.lock().unwrap().recv();
-                    let Ok(fetched) = msg else { break };
-                    depth_gauge.sub(1);
-                    let decoded = fetched.and_then(|(idx, bytes, io)| {
-                        let t = Instant::now();
-                        self.decode_block(&jobs[idx].block, &bytes)
-                            .map(|values| (idx, values, io, t.elapsed().as_secs_f64()))
-                    });
-                    if done_tx.send(decoded).is_err() {
-                        break;
+                let fetch_rx = fetch_rx.clone();
+                s.spawn(move || {
+                    while let Ok(fetched) = fetch_rx.recv() {
+                        depth_gauge.sub(1);
+                        let decoded = fetched.and_then(|(idx, bytes, io)| {
+                            let t = Instant::now();
+                            self.decode_block(&jobs[idx].block, &bytes)
+                                .map(|values| (idx, values, io, t.elapsed().as_secs_f64()))
+                        });
+                        if done_tx.send(decoded).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -855,6 +905,9 @@ impl CanopusReader {
                         data,
                         level: st.finer,
                         timing: PhaseTiming::default(),
+                        // The walk starts from `read_level`'s cache hit
+                        // or base read, both level-exact.
+                        level_exact: true,
                     };
                     self.cache_store(var, cur.level, &cur.mesh, &cur.data, delta_rms);
                     next_level += 1;
@@ -1095,6 +1148,141 @@ mod tests {
         let reader = c.open("t.bp").unwrap();
         assert!(reader.read_level("v", 9).is_err());
         assert!(reader.read_base("nope").is_err());
+    }
+
+    /// A file whose deltas are split into spatial chunks, so region
+    /// refinement can fetch a strict subset.
+    fn chunked_setup() -> (Canopus, TriMesh, Vec<f64>) {
+        let h = Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", 1 << 20, 1e9, 1e9, 1e-6),
+            TierSpec::new("slow", 1 << 26, 1e7, 1e7, 1e-3),
+        ]));
+        let c = Canopus::new(
+            h,
+            CanopusConfig {
+                codec: RelativeCodec::Raw,
+                delta_chunks: 8,
+                ..Default::default()
+            },
+        );
+        let mesh = jitter_interior(
+            &rectangle_mesh(
+                24,
+                24,
+                Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]),
+            ),
+            0.2,
+            9,
+        );
+        let data: Vec<f64> = mesh
+            .points()
+            .iter()
+            .map(|p| (p.x * 9.0).sin() + (p.y * 5.0).cos() * 0.5)
+            .collect();
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        (c, mesh, data)
+    }
+
+    /// A corner window intersecting only some of the 8 chunks.
+    fn corner_window(mesh: &TriMesh) -> Aabb {
+        let bb = mesh.aabb();
+        Aabb::from_points([
+            bb.min,
+            Point2::new(
+                bb.min.x + (bb.max.x - bb.min.x) * 0.2,
+                bb.min.y + (bb.max.y - bb.min.y) * 0.2,
+            ),
+        ])
+    }
+
+    #[test]
+    fn mixed_accuracy_region_results_never_enter_the_cache() {
+        let (c, mesh, _) = chunked_setup();
+        // Ground truth from a cache-less serial reader.
+        let reference = c
+            .open("t.bp")
+            .unwrap()
+            .with_level_cache(0)
+            .read_level_serial("v", 0)
+            .unwrap();
+
+        let reader = c.open("t.bp").unwrap(); // cache on by default
+        let base = reader.read_base("v").unwrap();
+        assert!(base.level_exact);
+        let (roi, stats) = reader
+            .refine_region("v", &base, corner_window(&mesh))
+            .unwrap();
+        assert!(
+            stats.chunks_read < stats.chunks_total,
+            "window must hit a strict chunk subset ({stats:?})"
+        );
+        assert!(
+            !roi.level_exact,
+            "partial region results are mixed accuracy"
+        );
+
+        // Refine the mixed field down to L0; the results stay mixed and
+        // must not be stored as the canonical levels.
+        let (mixed, _) = reader.refine_once("v", &roi).unwrap();
+        assert_eq!(mixed.level, 0);
+        assert!(!mixed.level_exact, "the mix is inherited");
+
+        // A canonical read afterwards restores the exact field.
+        let canonical = reader.read_level("v", 0).unwrap();
+        assert!(canonical.level_exact);
+        assert_eq!(
+            canonical.data, reference.data,
+            "cache must not have been contaminated by the region walk"
+        );
+    }
+
+    #[test]
+    fn refining_a_mixed_field_ignores_the_canonical_cache_entry() {
+        let (c, mesh, _) = chunked_setup();
+        let reader = c.open("t.bp").unwrap();
+        // Populate the cache with the canonical levels first.
+        let full = reader.read_level("v", 0).unwrap();
+
+        let base = reader.read_base("v").unwrap();
+        let (roi, stats) = reader
+            .refine_region("v", &base, corner_window(&mesh))
+            .unwrap();
+        assert!(stats.chunks_read < stats.chunks_total);
+        let (refined, _) = reader.refine_once("v", &roi).unwrap();
+        assert!(
+            !refined.level_exact,
+            "a cached canonical hit must not replace the caller's mixed field"
+        );
+        assert_ne!(
+            refined.data, full.data,
+            "the refinement applies to the mixed input, not the cached level"
+        );
+    }
+
+    #[test]
+    fn cache_accounting_is_symmetric() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let reader = c.open("t.bp").unwrap(); // cache on, pipelined engine
+        let counts = || {
+            (
+                reader.metrics().counter(names::READ_CACHE_HITS).get(),
+                reader.metrics().counter(names::READ_CACHE_MISSES).get(),
+            )
+        };
+
+        reader.read_base("v").unwrap();
+        assert_eq!(counts(), (0, 1), "cold base read: one probe, one miss");
+        reader.read_base("v").unwrap();
+        assert_eq!(counts(), (1, 1), "warm base read: one hit");
+        reader.read_level("v", 2).unwrap();
+        assert_eq!(counts(), (2, 1), "cached exact target: one hit, no miss");
+        reader.read_level("v", 1).unwrap();
+        assert_eq!(counts(), (3, 1), "coarser start found: one hit, no miss");
+        reader.read_level("v", 0).unwrap();
+        assert_eq!(counts(), (4, 1), "coarser start again: one hit");
+        reader.read_level("v", 0).unwrap();
+        assert_eq!(counts(), (5, 1), "warm exact target: one hit");
     }
 
     #[test]
