@@ -3,7 +3,9 @@
 
 use crate::meta::{AdiosError, BlockMeta, FileMeta, VarMeta};
 use bytes::Bytes;
-use canopus_storage::{PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy};
+use canopus_storage::{
+    PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy, WriteBehind,
+};
 use std::sync::Arc;
 
 /// Key of the global metadata object for a file.
@@ -117,30 +119,45 @@ impl BpStore {
             vars,
             attrs: vec![("writer".into(), "canopus".into())],
         };
-        let meta_bytes = Bytes::from(meta.to_bytes());
-
-        // Metadata goes to the fastest tier that can hold it (it is tiny
-        // and every open touches it first).
-        let mut meta_time = SimDuration::ZERO;
-        let mut stored = false;
-        for tier in 0..self.hierarchy.num_tiers() {
-            let dev = self.hierarchy.tier_device(tier)?;
-            if (dev.available() as usize) >= meta_bytes.len() {
-                meta_time =
-                    self.hierarchy
-                        .write_to_tier(tier, &meta_key(file), meta_bytes.clone())?;
-                stored = true;
-                break;
-            }
-        }
-        if !stored {
-            return Err(AdiosError::Storage(
-                canopus_storage::StorageError::PlacementFailed("no room for metadata".into()),
-            ));
-        }
+        let meta_time = self.write_file_meta(file, &meta)?;
 
         let total = plan.write_time + meta_time;
         Ok((plan, total))
+    }
+
+    /// Publish a file's global metadata object on the fastest tier that
+    /// can hold it (it is tiny and every open touches it first).
+    fn write_file_meta(&self, file: &str, meta: &FileMeta) -> Result<SimDuration, AdiosError> {
+        let meta_bytes = Bytes::from(meta.to_bytes());
+        for tier in 0..self.hierarchy.num_tiers() {
+            let dev = self.hierarchy.tier_device(tier)?;
+            if (dev.available() as usize) >= meta_bytes.len() {
+                return Ok(self
+                    .hierarchy
+                    .write_to_tier(tier, &meta_key(file), meta_bytes)?);
+            }
+        }
+        Err(AdiosError::Storage(
+            canopus_storage::StorageError::PlacementFailed("no room for metadata".into()),
+        ))
+    }
+
+    /// Start a streaming write: blocks are pushed one at a time (same
+    /// order contract as [`BpStore::write`]), each placement decided
+    /// immediately against reserved-capacity accounting and the device
+    /// write handed to a per-tier write-behind queue bounded at
+    /// `queue_depth` blocks. [`StreamingWrite::commit`] is the barrier
+    /// that drains all tiers and only then publishes the manifest — so a
+    /// reader can never observe the manifest before every block landed.
+    pub fn begin_write(&self, file: &str, num_levels: u32, queue_depth: usize) -> StreamingWrite {
+        StreamingWrite {
+            writeback: WriteBehind::new(Arc::clone(&self.hierarchy), queue_depth),
+            store: self.clone(),
+            file: file.to_string(),
+            num_levels,
+            vars: Vec::new(),
+            assignments: Vec::new(),
+        }
     }
 
     /// Open a file by reading its global metadata.
@@ -168,6 +185,84 @@ impl BpStore {
         }
         self.hierarchy.remove(&meta_key(file))?;
         Ok(())
+    }
+}
+
+/// An in-flight streaming write created by [`BpStore::begin_write`]:
+/// accepts blocks in placement order, overlaps their tier writes with
+/// whatever the caller does next, and publishes the manifest only at the
+/// commit barrier.
+pub struct StreamingWrite {
+    store: BpStore,
+    file: String,
+    num_levels: u32,
+    writeback: WriteBehind,
+    vars: Vec<VarMeta>,
+    assignments: Vec<(String, usize)>,
+}
+
+impl StreamingWrite {
+    /// Decide the block's tier (reserving its bytes so later decisions
+    /// see the serial path's capacity state), queue the device write,
+    /// and record the block's metadata in push order.
+    pub fn push(&mut self, b: BlockWrite) -> Result<(), AdiosError> {
+        let key = block_key(&self.file, &b.var, b.kind);
+        let len = b.data.len();
+        let policy = &self.store.policy;
+        let hierarchy = &self.store.hierarchy;
+        let tier = self.writeback.reserve_with(len as u64, |pending| {
+            policy.choose_tier(hierarchy, b.kind, len, self.num_levels, &key, pending)
+        })?;
+        let bm = BlockMeta {
+            key: key.clone(),
+            kind: b.kind,
+            elements: b.elements,
+            codec_id: b.codec_id,
+            codec_param: b.codec_param,
+            raw_bytes: b.raw_bytes,
+            stored_bytes: len as u64,
+            min: b.min,
+            max: b.max,
+        };
+        match self.vars.iter_mut().find(|v| v.name == b.var) {
+            Some(v) => v.blocks.push(bm),
+            None => self.vars.push(VarMeta {
+                name: b.var.clone(),
+                blocks: vec![bm],
+            }),
+        }
+        self.writeback.enqueue(tier, key.clone(), b.data)?;
+        self.assignments.push((key, tier));
+        Ok(())
+    }
+
+    /// The commit barrier: wait for every tier's write-behind queue to
+    /// drain (the "fsync"), then publish the manifest. Returns the same
+    /// `(plan, total simulated time)` as [`BpStore::write`] — write time
+    /// is a sum over blocks, so it is independent of landing order.
+    pub fn commit(self) -> Result<(PlacementPlan, SimDuration), AdiosError> {
+        let StreamingWrite {
+            store,
+            file,
+            num_levels,
+            writeback,
+            vars,
+            assignments,
+        } = self;
+        let write_time = writeback.finish()?;
+        let meta = FileMeta {
+            name: file.clone(),
+            num_levels,
+            vars,
+            attrs: vec![("writer".into(), "canopus".into())],
+        };
+        let meta_time = store.write_file_meta(&file, &meta)?;
+        let plan = PlacementPlan {
+            assignments,
+            write_time,
+        };
+        let total = write_time + meta_time;
+        Ok((plan, total))
     }
 }
 
@@ -380,6 +475,57 @@ mod tests {
         assert!(f.restore_plan("dpot", 0, 0).unwrap().is_empty());
         assert!(f.restore_plan("dpot", 0, 2).is_err());
         assert!(f.restore_plan("nope", 2, 0).is_err());
+    }
+
+    #[test]
+    fn streaming_write_matches_serial_byte_for_byte() {
+        let a = store();
+        let b = store();
+        let (plan_a, t_a) = a.write("f.bp", 3, sample_blocks()).unwrap();
+        let mut sw = b.begin_write("f.bp", 3, 2);
+        for blk in sample_blocks() {
+            sw.push(blk).unwrap();
+        }
+        let (plan_b, t_b) = sw.commit().unwrap();
+        assert_eq!(plan_a.assignments, plan_b.assignments);
+        assert!((t_a.seconds() - t_b.seconds()).abs() < 1e-12);
+        for key in [
+            "f.bp/dpot/L2",
+            "f.bp/dpot/d1-2",
+            "f.bp/dpot/d0-1",
+            "f.bp/.bpmeta",
+        ] {
+            let (da, tier_a, _) = a.hierarchy().read(key).unwrap();
+            let (db, tier_b, _) = b.hierarchy().read(key).unwrap();
+            assert_eq!(da, db, "{key} bytes");
+            assert_eq!(tier_a, tier_b, "{key} tier");
+        }
+    }
+
+    #[test]
+    fn streaming_commit_is_the_publish_barrier() {
+        let s = store();
+        let mut sw = s.begin_write("f.bp", 3, 2);
+        for blk in sample_blocks() {
+            sw.push(blk).unwrap();
+        }
+        assert!(
+            !s.exists("f.bp"),
+            "manifest must not be visible before commit"
+        );
+        sw.commit().unwrap();
+        assert!(s.exists("f.bp"));
+        let f = s.open("f.bp").unwrap();
+        assert_eq!(f.inq_var("dpot").unwrap().blocks.len(), 3);
+    }
+
+    #[test]
+    fn abandoned_streaming_write_publishes_nothing() {
+        let s = store();
+        let mut sw = s.begin_write("f.bp", 3, 2);
+        sw.push(sample_blocks().remove(0)).unwrap();
+        drop(sw);
+        assert!(!s.exists("f.bp"));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `bench_write` — write-engine perf trajectory.
+//!
+//! ```text
+//! bench_write [--out BENCH_write.json]
+//! ```
+//!
+//! Runs the Fig. 9 XGC1 variable through both write engines (serial
+//! barrier vs level-streaming pipeline, see `canopus_bench::writebench`)
+//! across a grid of level counts and spatial chunkings, prints a summary
+//! table and writes the machine-readable report. `CANOPUS_SCALE=quick`
+//! selects the reduced dataset used in CI smoke runs; the checked-in
+//! `BENCH_write.json` comes from a paper-scale release run.
+
+use canopus_bench::setup::{self, Scale};
+use canopus_bench::table;
+use canopus_bench::writebench;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_flag_value(&mut args, "--out").unwrap_or_else(|| "BENCH_write.json".into());
+    if let Some(extra) = args.first() {
+        eprintln!("unknown argument {extra:?}");
+        eprintln!("usage: bench_write [--out BENCH_write.json]");
+        std::process::exit(2);
+    }
+
+    let scale = Scale::from_env();
+    let (combos, iters): (&[(u32, u32)], usize) = if scale == Scale::Paper {
+        (&[(2, 1), (4, 1), (6, 1), (4, 4)], 7)
+    } else {
+        (&[(2, 1), (4, 1), (4, 4)], 3)
+    };
+    let ds = setup::xgc1(scale, 42);
+    println!(
+        "# Write benchmark — {} ({}), {} vertices, {} iters\n",
+        ds.name,
+        ds.var,
+        ds.mesh.num_vertices(),
+        iters
+    );
+    let report = writebench::write_bench(&ds, combos, iters);
+
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} levels x{} chunks", r.num_levels, r.delta_chunks),
+                table::secs(r.serial.wall_secs),
+                table::secs(r.pipelined.wall_secs),
+                format!("{:.2}x", r.speedup),
+                table::secs(r.pipelined.io_sim_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "configuration",
+                "serial",
+                "pipelined",
+                "speedup",
+                "I/O (sim)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "headline speedup (serial → pipelined): {:.2}x on {} threads",
+        report.speedup, report.threads
+    );
+
+    let json = report.to_json().to_pretty() + "\n";
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}

@@ -17,6 +17,8 @@
 //! `--pipeline-depth <n>` and `--no-cache` tune the restore engine for
 //! the end-to-end figures: depth `0` selects the serial read path, and
 //! `--no-cache` disables the decoded-level cache.
+//! `--write-pipeline-depth <n>` tunes the level-streaming write engine
+//! the same way; `--serial-write` is shorthand for depth `0`.
 
 use canopus_bench::endtoend::EngineOpts;
 use canopus_bench::setup::{self, Scale};
@@ -36,6 +38,15 @@ fn main() {
     }
     if take_flag(&mut args, "--no-cache") {
         opts.level_cache = 0;
+    }
+    if let Some(depth) = take_flag_value(&mut args, "--write-pipeline-depth") {
+        opts.write_pipeline_depth = depth.parse().unwrap_or_else(|_| {
+            eprintln!("--write-pipeline-depth needs an unsigned integer, got {depth:?}");
+            std::process::exit(2);
+        });
+    }
+    if take_flag(&mut args, "--serial-write") {
+        opts.write_pipeline_depth = 0;
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let scale = Scale::from_env();
@@ -80,7 +91,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json] [--pipeline-depth n] [--no-cache]");
+            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json] [--pipeline-depth n] [--no-cache] [--write-pipeline-depth n] [--serial-write]");
             std::process::exit(2);
         }
     }

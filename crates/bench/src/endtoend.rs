@@ -38,6 +38,8 @@ pub struct EngineOpts {
     pub pipeline_depth: u32,
     /// Decoded-level cache capacity; `0` disables it.
     pub level_cache: u32,
+    /// Depth of the level-streaming write engine; `0` = serial writes.
+    pub write_pipeline_depth: u32,
 }
 
 impl Default for EngineOpts {
@@ -46,6 +48,7 @@ impl Default for EngineOpts {
         Self {
             pipeline_depth: c.pipeline_depth,
             level_cache: c.level_cache,
+            write_pipeline_depth: c.write_pipeline_depth,
         }
     }
 }
@@ -126,6 +129,7 @@ pub fn end_to_end_with(
             CanopusConfig {
                 pipeline_depth: opts.pipeline_depth,
                 level_cache: opts.level_cache,
+                write_pipeline_depth: opts.write_pipeline_depth,
                 ..Default::default()
             },
         );
@@ -165,6 +169,7 @@ pub fn end_to_end_with(
                 },
                 pipeline_depth: opts.pipeline_depth,
                 level_cache: opts.level_cache,
+                write_pipeline_depth: opts.write_pipeline_depth,
                 ..Default::default()
             },
         );
@@ -292,6 +297,7 @@ mod tests {
             EngineOpts {
                 pipeline_depth: 0,
                 level_cache: 0,
+                write_pipeline_depth: 0,
             },
             EngineOpts::default(),
         ] {

@@ -27,3 +27,4 @@ pub mod fig6;
 pub mod readbench;
 pub mod setup;
 pub mod table;
+pub mod writebench;

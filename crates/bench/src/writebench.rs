@@ -1,0 +1,249 @@
+//! Write-engine throughput: the perf trajectory behind `BENCH_write.json`.
+//!
+//! Times a full refactor → compress → place of the Fig. 9 XGC1 variable
+//! under both write engines of the *same* configuration grid:
+//!
+//! * `serial` — `write_pipeline_depth = 0`: every stage a barrier (all
+//!   decimation, then all mappings + deltas, then all compression, then
+//!   placement) — the write path exactly as it was before the
+//!   level-streaming engine landed;
+//! * `pipelined` — the level-streaming engine: mapping/delta/compression
+//!   jobs run on a worker pool while the main thread decimates the next
+//!   level, and finished blocks drain through per-tier write-behind
+//!   queues behind the commit barrier.
+//!
+//! Tier I/O is simulated (`SimClock` advances without sleeping), so the
+//! measured wall clock isolates the real CPU work — decimation, delta
+//! calculation and compression — which is what the engines overlap. The
+//! grid spans level counts and spatial chunking because both change the
+//! job mix the pipeline can overlap. The headline `speedup` is `serial`
+//! over `pipelined` on the deepest unchunked row: the before/after of
+//! this optimisation. On a single-core host the engines do identical
+//! work and the pipeline only pays its (small) channel + thread
+//! overhead, so expect ≈ 1.0 there and the win on multi-core runners.
+
+use crate::setup::titan_hierarchy;
+use canopus::{Canopus, CanopusConfig};
+use canopus_data::Dataset;
+use canopus_obs::json::Value;
+use canopus_refactor::levels::RefactorConfig;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One write engine's measured cost on one configuration.
+#[derive(Debug, Clone)]
+pub struct WriteEngineSample {
+    pub label: &'static str,
+    /// Median measured wall seconds for one full variable write.
+    pub wall_secs: f64,
+    /// Phase seconds of the median iteration (sums of per-stage work;
+    /// under the pipelined engine they overlap, so they can exceed the
+    /// wall clock).
+    pub decimation_secs: f64,
+    pub delta_secs: f64,
+    pub compress_secs: f64,
+    /// Simulated tier I/O seconds, including the manifest.
+    pub io_sim_secs: f64,
+    /// Stored data bytes — must be identical across engines (the
+    /// byte-identity contract).
+    pub stored_bytes: u64,
+}
+
+/// Serial vs pipelined on one `(num_levels, delta_chunks)` cell.
+#[derive(Debug, Clone)]
+pub struct WriteBenchRow {
+    pub num_levels: u32,
+    pub delta_chunks: u32,
+    pub serial: WriteEngineSample,
+    pub pipelined: WriteEngineSample,
+    /// `serial` wall over `pipelined` wall.
+    pub speedup: f64,
+}
+
+/// Everything `BENCH_write.json` records for one run.
+#[derive(Debug, Clone)]
+pub struct WriteBenchReport {
+    pub dataset: String,
+    pub var: String,
+    pub vertices: usize,
+    pub iters: usize,
+    pub threads: usize,
+    pub rows: Vec<WriteBenchRow>,
+    /// Speedup on the deepest unchunked row — the headline number the
+    /// CI smoke step bounds.
+    pub speedup: f64,
+}
+
+impl WriteBenchReport {
+    pub fn row(&self, num_levels: u32, delta_chunks: u32) -> Option<&WriteBenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.num_levels == num_levels && r.delta_chunks == delta_chunks)
+    }
+
+    pub fn to_json(&self) -> Value {
+        fn engine(e: &WriteEngineSample) -> Value {
+            let mut o = BTreeMap::new();
+            o.insert("label".into(), Value::Str(e.label.into()));
+            o.insert("wall_secs".into(), Value::Float(e.wall_secs));
+            o.insert("decimation_secs".into(), Value::Float(e.decimation_secs));
+            o.insert("delta_secs".into(), Value::Float(e.delta_secs));
+            o.insert("compress_secs".into(), Value::Float(e.compress_secs));
+            o.insert("io_sim_secs".into(), Value::Float(e.io_sim_secs));
+            o.insert("stored_bytes".into(), Value::Int(e.stored_bytes as i128));
+            Value::Obj(o)
+        }
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut o = BTreeMap::new();
+                o.insert("num_levels".into(), Value::Int(r.num_levels as i128));
+                o.insert("delta_chunks".into(), Value::Int(r.delta_chunks as i128));
+                o.insert("serial".into(), engine(&r.serial));
+                o.insert("pipelined".into(), engine(&r.pipelined));
+                o.insert("speedup".into(), Value::Float(r.speedup));
+                Value::Obj(o)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("bench".into(), Value::Str("write".into()));
+        top.insert("dataset".into(), Value::Str(self.dataset.clone()));
+        top.insert("var".into(), Value::Str(self.var.clone()));
+        top.insert("vertices".into(), Value::Int(self.vertices as i128));
+        top.insert("iters".into(), Value::Int(self.iters as i128));
+        top.insert("threads".into(), Value::Int(self.threads as i128));
+        top.insert("rows".into(), Value::Arr(rows));
+        top.insert(
+            "speedup_serial_over_pipelined".into(),
+            Value::Float(self.speedup),
+        );
+        Value::Obj(top)
+    }
+}
+
+/// Median full-write wall clock for one engine configuration. Each
+/// iteration writes into a fresh hierarchy, so every run takes the cold
+/// placement path.
+fn sample_engine(
+    ds: &Dataset,
+    iters: usize,
+    label: &'static str,
+    config: CanopusConfig,
+) -> WriteEngineSample {
+    let raw = (ds.data.len() * 8) as u64;
+    let mut runs: Vec<(f64, WriteEngineSample)> = (0..iters.max(1))
+        .map(|_| {
+            let canopus = Canopus::new(titan_hierarchy(raw), config);
+            let t = Instant::now();
+            let r = canopus
+                .write("bench.bp", ds.var, &ds.mesh, &ds.data)
+                .expect("bench write");
+            let wall = t.elapsed().as_secs_f64();
+            (
+                wall,
+                WriteEngineSample {
+                    label,
+                    wall_secs: wall,
+                    decimation_secs: r.decimation_secs,
+                    delta_secs: r.delta_secs,
+                    compress_secs: r.compress_secs,
+                    io_sim_secs: r.io_time.seconds(),
+                    stored_bytes: r.stored_data_bytes(),
+                },
+            )
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    runs.swap_remove(runs.len() / 2).1
+}
+
+/// Run the grid: serial vs pipelined on each `(num_levels,
+/// delta_chunks)` cell.
+pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBenchReport {
+    let rows: Vec<WriteBenchRow> = combos
+        .iter()
+        .map(|&(num_levels, delta_chunks)| {
+            let base = CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels,
+                    ..Default::default()
+                },
+                delta_chunks,
+                ..Default::default()
+            };
+            let serial = sample_engine(
+                ds,
+                iters,
+                "serial",
+                CanopusConfig {
+                    write_pipeline_depth: 0,
+                    ..base
+                },
+            );
+            let pipelined = sample_engine(ds, iters, "pipelined", base);
+            let speedup = serial.wall_secs / pipelined.wall_secs.max(f64::MIN_POSITIVE);
+            WriteBenchRow {
+                num_levels,
+                delta_chunks,
+                serial,
+                pipelined,
+                speedup,
+            }
+        })
+        .collect();
+    // Headline: the deepest unchunked cell (most levels to overlap).
+    let speedup = rows
+        .iter()
+        .filter(|r| r.delta_chunks == 1)
+        .max_by_key(|r| r.num_levels)
+        .or(rows.last())
+        .map(|r| r.speedup)
+        .unwrap_or(1.0);
+    WriteBenchReport {
+        dataset: ds.name.to_string(),
+        var: ds.var.to_string(),
+        vertices: ds.mesh.num_vertices(),
+        iters,
+        threads: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+        rows,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_data::xgc1_dataset_sized;
+
+    #[test]
+    fn report_covers_grid_and_engines_agree_on_bytes() {
+        let ds = xgc1_dataset_sized(10, 50, 7);
+        let r = write_bench(&ds, &[(2, 1), (3, 4)], 1);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.row(2, 1).is_some() && r.row(3, 4).is_some());
+        for row in &r.rows {
+            assert!(row.serial.wall_secs > 0.0, "{row:?}");
+            assert!(row.pipelined.wall_secs > 0.0, "{row:?}");
+            assert!(row.serial.io_sim_secs > 0.0, "{row:?}");
+            // The byte-identity contract shows up even in the bench.
+            assert_eq!(row.serial.stored_bytes, row.pipelined.stored_bytes);
+            assert!(row.speedup > 0.0);
+        }
+        assert!(r.speedup > 0.0);
+        assert!(r.threads >= 1);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let ds = xgc1_dataset_sized(8, 40, 3);
+        let r = write_bench(&ds, &[(2, 1)], 1);
+        let text = r.to_json().to_pretty();
+        let parsed = canopus_obs::json::parse(&text).expect("valid json");
+        assert!(parsed.get("speedup_serial_over_pipelined").is_some());
+        assert!(parsed.get("rows").is_some());
+        assert!(parsed.get("threads").is_some());
+    }
+}

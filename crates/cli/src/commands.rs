@@ -18,7 +18,10 @@ commands:
       synthesize one of the paper's datasets to files
   write <store> <file.bp> <var> --mesh m.off --data d.f64
         [--levels N] [--chunks C] [--codec zfp|sz|fpc|raw] [--rel-tol T]
-      refactor + compress + place a variable into the store
+        [--write-pipeline-depth N] [--serial-write] [--decimation-parts P]
+      refactor + compress + place a variable into the store;
+      --serial-write (= --write-pipeline-depth 0) selects the serial
+      barrier engine instead of the level-streaming pipeline
   info <store> <file.bp>
       show the file's variables, blocks, codecs and tier placement
   read <store> <file.bp> <var> [--level L] [--pipeline-depth N] [--no-cache]
@@ -158,7 +161,7 @@ fn cmd_demo_data(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_write(argv: &[String]) -> Result<(), String> {
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["serial-write"])?;
     let store_dir = a.pos(0, "store directory")?;
     let file = a.pos(1, "file name")?;
     let var = a.pos(2, "variable name")?;
@@ -167,6 +170,13 @@ fn cmd_write(argv: &[String]) -> Result<(), String> {
     let levels: u32 = a.opt_parse("levels", 3u32)?;
     let chunks: u32 = a.opt_parse("chunks", 1u32)?;
     let rel_tol: f64 = a.opt_parse("rel-tol", 1e-4f64)?;
+    let write_defaults = CanopusConfig::default();
+    let write_pipeline_depth = if a.flag("serial-write") {
+        0
+    } else {
+        a.opt_parse("write-pipeline-depth", write_defaults.write_pipeline_depth)?
+    };
+    let decimation_parts: u32 = a.opt_parse("decimation-parts", write_defaults.decimation_parts)?;
     let codec = match a.opt("codec").unwrap_or("zfp") {
         "zfp" => RelativeCodec::ZfpLike {
             rel_tolerance: rel_tol,
@@ -188,6 +198,8 @@ fn cmd_write(argv: &[String]) -> Result<(), String> {
             },
             codec,
             delta_chunks: chunks,
+            write_pipeline_depth,
+            decimation_parts,
             ..Default::default()
         },
     )?;

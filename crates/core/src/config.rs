@@ -36,6 +36,20 @@ pub struct CanopusConfig {
     /// cores. `false` reproduces the earlier monolithic streams — the
     /// restore benchmarks use it for their serial baseline.
     pub codec_chunking: bool,
+    /// Bounded depth of the level-streaming write engine: how many
+    /// decimated level jobs may sit between the decimation stage and the
+    /// mapping/delta/compression worker pool (also the bound on each
+    /// tier's write-behind queue). `0` selects the strictly serial
+    /// refactor → compress → place path — the equivalence oracle the
+    /// pipelined engine is tested against; both produce byte-identical
+    /// tier contents and manifests.
+    pub write_pipeline_depth: u32,
+    /// Partition count of the decimation kernel. `1` runs the serial
+    /// edge-collapse kernel; `> 1` decimates that many Morton (Z-order)
+    /// regions concurrently with shared boundary vertices frozen and a
+    /// deterministic stitch, so the output depends only on this count —
+    /// never on how many threads happened to run.
+    pub decimation_parts: u32,
 }
 
 impl Default for CanopusConfig {
@@ -50,6 +64,8 @@ impl Default for CanopusConfig {
             pipeline_depth: 4,
             level_cache: 8,
             codec_chunking: true,
+            write_pipeline_depth: 4,
+            decimation_parts: 1,
         }
     }
 }
@@ -94,6 +110,11 @@ mod tests {
         assert!(c.pipeline_depth > 0, "pipelined restore by default");
         assert!(c.level_cache > 0, "decoded-level cache on by default");
         assert!(c.codec_chunking, "chunk-framed codec streams by default");
+        assert!(
+            c.write_pipeline_depth > 0,
+            "level-streaming write by default"
+        );
+        assert_eq!(c.decimation_parts, 1, "serial decimation kernel by default");
     }
 
     #[test]

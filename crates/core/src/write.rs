@@ -9,10 +9,11 @@ use canopus_adios::BpFile;
 use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
 use canopus_mesh::{FieldStats, TriMesh};
 use canopus_obs::{names, stage, Registry};
-use canopus_refactor::compute_delta;
 use canopus_refactor::decimate::decimate;
 use canopus_refactor::mapping::{build_mapping, mapping_to_bytes};
-use canopus_storage::{ProductKind, SimDuration, StorageHierarchy};
+use canopus_refactor::{compute_delta, decimate_parallel_morton, DecimationResult, Estimator};
+use canopus_storage::{PlacementPlan, ProductKind, SimDuration, StorageHierarchy};
+use crossbeam::channel;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -206,7 +207,11 @@ impl Canopus {
     ///
     /// Products are written base-first then deltas coarse→fine, so the
     /// placement policy maps them fastest-tier-first exactly as §III-D
-    /// prescribes.
+    /// prescribes. Dispatches on
+    /// [`CanopusConfig::write_pipeline_depth`]: `0` runs the strictly
+    /// serial refactor → compress → place path (the equivalence oracle);
+    /// any other depth runs the level-streaming pipeline. Both engines
+    /// produce byte-identical tier contents and manifests.
     pub fn write(
         &self,
         file: &str,
@@ -221,6 +226,38 @@ impl Canopus {
                 mesh.num_vertices()
             )));
         }
+        if self.config.write_pipeline_depth == 0 {
+            self.write_serial(file, var, mesh, data)
+        } else {
+            self.write_pipelined(file, var, mesh, data)
+        }
+    }
+
+    /// Decimation kernel dispatch shared by both write engines (so
+    /// their products stay bit-identical): the serial edge-collapse
+    /// kernel, or the Morton-partitioned parallel kernel when
+    /// `decimation_parts` exceeds one. The parallel kernel's output
+    /// depends only on the partition count, never on thread scheduling.
+    fn decimate_level(&self, mesh: &TriMesh, data: &[f64]) -> DecimationResult {
+        let ratio = self.config.refactor.per_level_ratio;
+        let parts = self.config.decimation_parts;
+        if parts > 1 {
+            decimate_parallel_morton(mesh, data, ratio, parts as usize)
+        } else {
+            decimate(mesh, data, ratio)
+        }
+    }
+
+    /// The serial write engine: every stage runs as a barrier — all
+    /// decimation, then all mappings + deltas, then all compression,
+    /// then placement.
+    fn write_serial(
+        &self,
+        file: &str,
+        var: &str,
+        mesh: &TriMesh,
+        data: &[f64],
+    ) -> Result<WriteReport, CanopusError> {
         let rc = self.config.refactor;
         let n = rc.num_levels;
         let estimator = rc.estimator;
@@ -231,19 +268,19 @@ impl Canopus {
         // --- refactor: decimation then mapping+delta, timed separately ---
         let mut meshes: Vec<TriMesh> = vec![mesh.clone()];
         let mut level_data: Vec<Vec<f64>> = vec![data.to_vec()];
-        let mut decimation_secs = 0.0;
         let t0 = Instant::now();
         for l in 0..n.saturating_sub(1) as usize {
-            let r = decimate(&meshes[l], &level_data[l], rc.per_level_ratio);
+            let r = self.decimate_level(&meshes[l], &level_data[l]);
             meshes.push(r.mesh);
             level_data.push(r.data);
         }
-        decimation_secs += t0.elapsed().as_secs_f64();
+        let decimation_secs = t0.elapsed().as_secs_f64();
         obs.timer(names::WRITE_DECIMATE)
             .record_wall(decimation_secs);
 
         let t1 = Instant::now();
         let mappings: Vec<Vec<u32>> = (0..n.saturating_sub(1) as usize)
+            .into_par_iter()
             .map(|l| build_mapping(&meshes[l], &meshes[l + 1]))
             .collect();
         let deltas: Vec<Vec<f64>> = (0..n.saturating_sub(1) as usize)
@@ -306,31 +343,19 @@ impl Canopus {
             }
         }
         // Large streams are chunk-framed through `Chunked` so their
-        // chunks compress (and later decompress) across cores; the
-        // observed codec sits inside the framing, keeping per-chunk
-        // metrics under the payload codec's name. The flag bit in the
-        // stored codec id tells the reader which framing to expect.
+        // chunks compress (and later decompress) across cores; the flag
+        // bit in the stored codec id tells the reader which framing to
+        // expect.
         let compressed: Vec<(ProductKind, Vec<u8>, FieldStats, usize, u8)> = streams
             .par_iter()
             .map(|&(kind, values)| {
-                let codec = ObservedCodec::new(codec_kind.build(), Arc::clone(&obs));
-                let chunk_elems = if self.config.codec_chunking {
-                    codec_chunk_elems(values.len(), self.config.delta_chunks)
-                } else {
-                    None
-                };
-                let (bytes, codec_id) = match chunk_elems {
-                    Some(chunk_elems) => (
-                        Chunked::new(codec, chunk_elems)
-                            .compress(values)
-                            .map_err(CanopusError::from)?,
-                        codec_kind.id() | CHUNKED_CODEC_ID_FLAG,
-                    ),
-                    None => (
-                        codec.compress(values).map_err(CanopusError::from)?,
-                        codec_kind.id(),
-                    ),
-                };
+                let (bytes, codec_id) = compress_stream(
+                    values,
+                    codec_kind,
+                    self.config.codec_chunking,
+                    self.config.delta_chunks,
+                    &obs,
+                )?;
                 Ok((kind, bytes, FieldStats::of(values), values.len(), codec_id))
             })
             .collect::<Result<_, CanopusError>>()?;
@@ -345,17 +370,15 @@ impl Canopus {
         };
         let mut blocks: Vec<BlockWrite> = Vec::new();
         for (kind, bytes, stats, elements, codec_id) in compressed {
-            blocks.push(BlockWrite {
-                var: var.to_string(),
+            blocks.push(data_block(
+                var,
                 kind,
-                data: Bytes::from(bytes),
-                elements: elements as u64,
+                bytes,
+                stats,
+                elements,
                 codec_id,
                 codec_param,
-                raw_bytes: elements as u64 * 8,
-                min: stats.min,
-                max: stats.max,
-            });
+            ));
             // Right after each level's data products, its auxiliary
             // metadata (mesh geometry + mapping) with the same rank. For
             // chunked deltas, only after the last chunk.
@@ -370,24 +393,13 @@ impl Canopus {
                 }
                 ProductKind::Metadata { level } => level,
             };
-            let mesh_bytes = canopus_mesh::io::to_binary(&meshes[level as usize]);
-            let mapping_bytes = if (level as usize) < mappings.len() {
-                mapping_to_bytes(&mappings[level as usize])
-            } else {
-                Vec::new()
-            };
-            let payload = encode_level_meta(&mesh_bytes, &mapping_bytes);
-            blocks.push(BlockWrite {
-                var: var.to_string(),
-                kind: ProductKind::Metadata { level },
-                data: Bytes::from(payload),
-                elements: 0,
-                codec_id: 0,
-                codec_param: 0.0,
-                raw_bytes: mesh_bytes.len() as u64,
-                min: 0.0,
-                max: 0.0,
-            });
+            let mapping = mappings.get(level as usize);
+            blocks.push(level_meta_block(
+                var,
+                level,
+                &meshes[level as usize],
+                mapping,
+            ));
         }
 
         // --- place ---
@@ -395,44 +407,8 @@ impl Canopus {
         let (plan, io_time) = self.store.write(file, n, blocks)?;
         obs.timer(names::WRITE_IO)
             .record(t3.elapsed().as_secs_f64(), io_time.seconds());
-        let products = plan
-            .assignments
-            .iter()
-            .map(|(key, tier)| {
-                // Look the block back up through the open file would be
-                // circular; reconstruct from the plan + store.
-                let size = self
-                    .store
-                    .hierarchy()
-                    .tier_device(*tier)
-                    .and_then(|d| d.size_of(key))
-                    .unwrap_or(0);
-                let kind = parse_kind_from_key(key).unwrap_or(ProductKind::Metadata { level: 0 });
-                ProductReport {
-                    key: key.clone(),
-                    kind,
-                    raw_bytes: 0, // filled below for data products
-                    stored_bytes: size,
-                    tier: *tier,
-                }
-            })
-            .collect::<Vec<_>>();
-
-        // Fill raw sizes from the level shapes.
-        let mut products = products;
-        for p in &mut products {
-            p.raw_bytes = match p.kind {
-                ProductKind::Base { level } => level_data[level as usize].len() as u64 * 8,
-                ProductKind::Delta { finer, .. } => deltas[finer as usize].len() as u64 * 8,
-                ProductKind::DeltaChunk { finer, chunk, .. } => {
-                    let ranges =
-                        chunk_ranges(deltas[finer as usize].len(), self.config.delta_chunks);
-                    ranges[chunk as usize].len() as u64 * 8
-                }
-
-                ProductKind::Metadata { .. } => p.stored_bytes,
-            };
-        }
+        let vertex_counts: Vec<usize> = meshes.iter().map(|m| m.num_vertices()).collect();
+        let products = self.products_from_plan(&plan, &vertex_counts);
 
         let report = WriteReport {
             decimation_secs,
@@ -442,16 +418,265 @@ impl Canopus {
             products,
             num_levels: n,
         };
+        self.record_write_totals(&obs, &report, data.len(), t_total.elapsed().as_secs_f64());
+        Ok(report)
+    }
+
+    /// The level-streaming write engine — the write-side counterpart of
+    /// the pipelined restore engine in [`crate::read`]. Three stages run
+    /// concurrently, connected by bounded channels:
+    ///
+    /// 1. **Decimate** — this thread walks the level chain (inherently
+    ///    sequential: level `l + 1` is decimated from level `l`) and
+    ///    submits level `l`'s mapping/delta/compression job the moment
+    ///    level `l + 1` exists ([`names::WRITE_STAGE_DEPTH`] tracks the
+    ///    queue, its `_PEAK` twin the high-water mark);
+    /// 2. **Refactor + compress** — a worker pool builds each level's
+    ///    mapping, delta, spatial chunks and compressed blocks, in
+    ///    whatever order jobs arrive;
+    /// 3. **Place** — this thread emits finished blocks in the serial
+    ///    engine's exact order (base first, then deltas coarse→fine)
+    ///    into a streaming store write; per-tier write-behind queues
+    ///    overlap the device writes with compression still in flight,
+    ///    and the commit barrier drains every queue before the manifest
+    ///    is published.
+    ///
+    /// Placement decisions reserve their bytes as they are made, so tier
+    /// choices — and therefore all stored bytes and the manifest — match
+    /// the serial engine exactly. Phase seconds keep their serial
+    /// meaning (sums of per-stage work); the overlap won is exported
+    /// under [`names::WRITE_OVERLAP`].
+    fn write_pipelined(
+        &self,
+        file: &str,
+        var: &str,
+        mesh: &TriMesh,
+        data: &[f64],
+    ) -> Result<WriteReport, CanopusError> {
+        let n = self.config.refactor.num_levels;
+        let obs = Arc::clone(self.metrics());
+        let _span = stage!(obs, "write", file = file, var = var, levels = n);
+        let t_total = Instant::now();
+
+        let range = FieldStats::of(data).range();
+        let codec_kind = self.config.codec.resolve(range);
+        let codec_param = match codec_kind {
+            CodecKind::ZfpLike { tolerance } => tolerance,
+            CodecKind::SzLike { error_bound } => error_bound,
+            _ => 0.0,
+        };
+        let ctx = WriteJobCtx {
+            var: var.to_string(),
+            codec_kind,
+            codec_param,
+            delta_chunks: self.config.delta_chunks,
+            codec_chunking: self.config.codec_chunking,
+            estimator: self.config.refactor.estimator,
+            obs: Arc::clone(&obs),
+        };
+
+        let depth = self.config.write_pipeline_depth.max(1) as usize;
+        let total_jobs = n as usize; // n - 1 delta jobs + the base job
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .min(total_jobs)
+            .max(1);
+
+        let (job_tx, job_rx) = channel::bounded::<WriteJob>(depth);
+        // Sized so worker sends can never block: an early error return
+        // on the emitting side then cannot deadlock the pool, which
+        // simply drains the job queue and exits.
+        let (done_tx, done_rx) =
+            channel::bounded::<(usize, Result<LevelBlocks, CanopusError>)>(total_jobs + 1);
+        let depth_gauge = obs.gauge(names::WRITE_STAGE_DEPTH);
+        let peak_gauge = obs.gauge(names::WRITE_STAGE_DEPTH_PEAK);
+
+        let ctx = &ctx;
+        let depth_gauge = &depth_gauge;
+
+        let mut decimation_secs = 0.0;
+        let mut delta_secs = 0.0;
+        let mut compress_secs = 0.0;
+        let mut store_secs = 0.0;
+
+        let (plan, io_time, vertex_counts) = std::thread::scope(
+            |s| -> Result<(PlacementPlan, SimDuration, Vec<usize>), CanopusError> {
+                // Stage 2: the worker pool. The receiver is
+                // multi-consumer, so each worker holds its own clone of
+                // the shared queue; workers exit when the decimation
+                // stage is done and the queue is drained (recv
+                // disconnects).
+                for _ in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let done_tx = done_tx.clone();
+                    s.spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            depth_gauge.sub(1);
+                            let slot = job.slot(total_jobs);
+                            if done_tx.send((slot, run_write_job(&job, ctx))).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(done_tx);
+
+                // Stage 1: decimate the level chain on this thread,
+                // streaming each finished level's job to the pool.
+                let mut meshes: Vec<Arc<TriMesh>> = vec![Arc::new(mesh.clone())];
+                let mut level_data: Vec<Arc<Vec<f64>>> = vec![Arc::new(data.to_vec())];
+                {
+                    let submit = |job: WriteJob| -> Result<(), CanopusError> {
+                        depth_gauge.add(1);
+                        peak_gauge.set_max(depth_gauge.get());
+                        job_tx.send(job).map_err(|_| {
+                            depth_gauge.sub(1);
+                            CanopusError::Invalid("write pipeline terminated early".into())
+                        })
+                    };
+                    for l in 0..n.saturating_sub(1) as usize {
+                        let t = Instant::now();
+                        let r = self.decimate_level(&meshes[l], &level_data[l]);
+                        decimation_secs += t.elapsed().as_secs_f64();
+                        meshes.push(Arc::new(r.mesh));
+                        level_data.push(Arc::new(r.data));
+                        submit(WriteJob::Delta {
+                            finer: l,
+                            fine_mesh: Arc::clone(&meshes[l]),
+                            fine_data: Arc::clone(&level_data[l]),
+                            coarse_mesh: Arc::clone(&meshes[l + 1]),
+                            coarse_data: Arc::clone(&level_data[l + 1]),
+                        })?;
+                    }
+                    // The base is submitted last: it is the first block
+                    // to place, and with the chain fully decimated it is
+                    // ready immediately.
+                    let base = n.saturating_sub(1) as usize;
+                    submit(WriteJob::Base {
+                        level: base,
+                        mesh: Arc::clone(&meshes[base]),
+                        data: Arc::clone(&level_data[base]),
+                    })?;
+                }
+                drop(job_tx);
+
+                // Stage 3: emit to the streaming store in placement
+                // order as levels complete — base first, then deltas
+                // coarse→fine.
+                let mut slots: Vec<Option<LevelBlocks>> = (0..total_jobs).map(|_| None).collect();
+                let mut stream = self.store.begin_write(file, n, depth);
+                let order =
+                    std::iter::once(total_jobs - 1).chain((0..total_jobs.saturating_sub(1)).rev());
+                for slot in order {
+                    while slots[slot].is_none() {
+                        let (finished, out) = done_rx.recv().map_err(|_| {
+                            CanopusError::Invalid("write pipeline terminated early".into())
+                        })?;
+                        slots[finished] = Some(out?);
+                    }
+                    let (blocks, delta_wall, compress_wall) =
+                        slots[slot].take().expect("slot just filled");
+                    delta_secs += delta_wall;
+                    compress_secs += compress_wall;
+                    for b in blocks {
+                        let t = Instant::now();
+                        stream.push(b)?;
+                        store_secs += t.elapsed().as_secs_f64();
+                    }
+                }
+                let t = Instant::now();
+                let (plan, io_time) = stream.commit()?;
+                store_secs += t.elapsed().as_secs_f64();
+                let vertex_counts = meshes.iter().map(|m| m.num_vertices()).collect();
+                Ok((plan, io_time, vertex_counts))
+            },
+        )?;
+
+        obs.timer(names::WRITE_DECIMATE)
+            .record_wall(decimation_secs);
+        obs.timer(names::WRITE_DELTA).record_wall(delta_secs);
+        obs.timer(names::WRITE_COMPRESS).record_wall(compress_secs);
+        obs.timer(names::WRITE_IO)
+            .record(store_secs, io_time.seconds());
+        let elapsed = t_total.elapsed().as_secs_f64();
+        let overlap =
+            (decimation_secs + delta_secs + compress_secs + store_secs - elapsed).max(0.0);
+        obs.timer(names::WRITE_OVERLAP).record_wall(overlap);
+        obs.counter(names::WRITE_PIPELINED).inc();
+
+        let products = self.products_from_plan(&plan, &vertex_counts);
+        let report = WriteReport {
+            decimation_secs,
+            delta_secs,
+            compress_secs,
+            io_time,
+            products,
+            num_levels: n,
+        };
+        self.record_write_totals(&obs, &report, data.len(), elapsed);
+        Ok(report)
+    }
+
+    /// Rebuild per-product reports from a placement plan: stored sizes
+    /// come from the tier devices, raw sizes from the level vertex
+    /// counts (a delta carries one value per fine-level vertex).
+    fn products_from_plan(
+        &self,
+        plan: &PlacementPlan,
+        vertex_counts: &[usize],
+    ) -> Vec<ProductReport> {
+        plan.assignments
+            .iter()
+            .map(|(key, tier)| {
+                // Looking the block back up through the open file would
+                // be circular; reconstruct from the plan + store.
+                let stored = self
+                    .store
+                    .hierarchy()
+                    .tier_device(*tier)
+                    .and_then(|d| d.size_of(key))
+                    .unwrap_or(0);
+                let kind = parse_kind_from_key(key).unwrap_or(ProductKind::Metadata { level: 0 });
+                let raw_bytes = match kind {
+                    ProductKind::Base { level } => vertex_counts[level as usize] as u64 * 8,
+                    ProductKind::Delta { finer, .. } => vertex_counts[finer as usize] as u64 * 8,
+                    ProductKind::DeltaChunk { finer, chunk, .. } => {
+                        let ranges =
+                            chunk_ranges(vertex_counts[finer as usize], self.config.delta_chunks);
+                        ranges[chunk as usize].len() as u64 * 8
+                    }
+                    ProductKind::Metadata { .. } => stored,
+                };
+                ProductReport {
+                    key: key.clone(),
+                    kind,
+                    raw_bytes,
+                    stored_bytes: stored,
+                    tier: *tier,
+                }
+            })
+            .collect()
+    }
+
+    /// End-of-write bookkeeping shared by every engine: the total-phase
+    /// timer plus the write counters.
+    fn record_write_totals(
+        &self,
+        obs: &Registry,
+        report: &WriteReport,
+        raw_values: usize,
+        total_wall: f64,
+    ) {
         obs.timer(names::WRITE_TOTAL)
-            .record(t_total.elapsed().as_secs_f64(), io_time.seconds());
+            .record(total_wall, report.io_time.seconds());
         obs.counter(names::WRITES).inc();
         obs.counter(names::WRITE_BYTES_RAW)
-            .add(data.len() as u64 * 8);
+            .add(raw_values as u64 * 8);
         obs.counter(names::WRITE_BYTES_STORED)
             .add(report.stored_data_bytes());
         obs.counter(names::WRITE_PRODUCTS)
             .add(report.products.len() as u64);
-        Ok(report)
     }
 
     /// Refactor and place many planes of one variable in parallel — the
@@ -547,15 +772,7 @@ impl Canopus {
             products,
             num_levels: 1,
         };
-        obs.timer(names::WRITE_TOTAL)
-            .record(t_total.elapsed().as_secs_f64(), io_time.seconds());
-        obs.counter(names::WRITES).inc();
-        obs.counter(names::WRITE_BYTES_RAW)
-            .add(data.len() as u64 * 8);
-        obs.counter(names::WRITE_BYTES_STORED)
-            .add(report.stored_data_bytes());
-        obs.counter(names::WRITE_PRODUCTS)
-            .add(report.products.len() as u64);
+        self.record_write_totals(&obs, &report, data.len(), t_total.elapsed().as_secs_f64());
         Ok(report)
     }
 
@@ -569,6 +786,240 @@ impl Canopus {
                 .with_pipeline_depth(self.config.pipeline_depth)
                 .with_level_cache(self.config.level_cache),
         )
+    }
+}
+
+/// Compress one value stream through the configured codec: chunk-framed
+/// via [`Chunked`] when enabled and the stream is large enough, so its
+/// chunks (de)compress across cores. The observed codec sits inside the
+/// framing, keeping per-chunk metrics under the payload codec's name;
+/// the flag bit in the returned codec id tells the reader which framing
+/// to expect. Both write engines funnel through here, which is one of
+/// the reasons their bytes are identical.
+fn compress_stream(
+    values: &[f64],
+    codec_kind: CodecKind,
+    codec_chunking: bool,
+    delta_chunks: u32,
+    obs: &Arc<Registry>,
+) -> Result<(Vec<u8>, u8), CanopusError> {
+    let codec = ObservedCodec::new(codec_kind.build(), Arc::clone(obs));
+    let chunk_elems = if codec_chunking {
+        codec_chunk_elems(values.len(), delta_chunks)
+    } else {
+        None
+    };
+    match chunk_elems {
+        Some(chunk_elems) => Ok((
+            Chunked::new(codec, chunk_elems).compress(values)?,
+            codec_kind.id() | CHUNKED_CODEC_ID_FLAG,
+        )),
+        None => Ok((codec.compress(values)?, codec_kind.id())),
+    }
+}
+
+/// Assemble one data product block.
+fn data_block(
+    var: &str,
+    kind: ProductKind,
+    bytes: Vec<u8>,
+    stats: FieldStats,
+    elements: usize,
+    codec_id: u8,
+    codec_param: f64,
+) -> BlockWrite {
+    BlockWrite {
+        var: var.to_string(),
+        kind,
+        data: Bytes::from(bytes),
+        elements: elements as u64,
+        codec_id,
+        codec_param,
+        raw_bytes: elements as u64 * 8,
+        min: stats.min,
+        max: stats.max,
+    }
+}
+
+/// Assemble a level's auxiliary metadata block: mesh geometry plus, for
+/// non-base levels, the fine→coarse mapping.
+fn level_meta_block(
+    var: &str,
+    level: u32,
+    mesh: &TriMesh,
+    mapping: Option<&Vec<u32>>,
+) -> BlockWrite {
+    let mesh_bytes = canopus_mesh::io::to_binary(mesh);
+    let mapping_bytes = match mapping {
+        Some(m) => mapping_to_bytes(m),
+        None => Vec::new(),
+    };
+    let payload = encode_level_meta(&mesh_bytes, &mapping_bytes);
+    BlockWrite {
+        var: var.to_string(),
+        kind: ProductKind::Metadata { level },
+        data: Bytes::from(payload),
+        elements: 0,
+        codec_id: 0,
+        codec_param: 0.0,
+        raw_bytes: mesh_bytes.len() as u64,
+        min: 0.0,
+        max: 0.0,
+    }
+}
+
+/// Per-level output of one pipeline job: the level's blocks in
+/// placement order, plus the wall seconds its mapping+delta and
+/// compression stages took (phase sums keep their serial meaning).
+type LevelBlocks = (Vec<BlockWrite>, f64, f64);
+
+/// Everything a write-pipeline worker needs to build one level's blocks.
+struct WriteJobCtx {
+    var: String,
+    codec_kind: CodecKind,
+    codec_param: f64,
+    delta_chunks: u32,
+    codec_chunking: bool,
+    estimator: Estimator,
+    obs: Arc<Registry>,
+}
+
+/// One unit of work for the write pipeline's worker pool. Level meshes
+/// and data are shared via `Arc` because the decimation stage keeps
+/// growing the level chain while earlier levels are still compressing.
+enum WriteJob {
+    /// Mapping + delta + compression between `finer` and `finer + 1`.
+    Delta {
+        finer: usize,
+        fine_mesh: Arc<TriMesh>,
+        fine_data: Arc<Vec<f64>>,
+        coarse_mesh: Arc<TriMesh>,
+        coarse_data: Arc<Vec<f64>>,
+    },
+    /// Compression of the coarsest (base) level.
+    Base {
+        level: usize,
+        mesh: Arc<TriMesh>,
+        data: Arc<Vec<f64>>,
+    },
+}
+
+impl WriteJob {
+    /// Result slot: delta jobs index by their finer level, the base job
+    /// takes the last slot.
+    fn slot(&self, total_jobs: usize) -> usize {
+        match self {
+            WriteJob::Delta { finer, .. } => *finer,
+            WriteJob::Base { .. } => total_jobs - 1,
+        }
+    }
+}
+
+/// Run one write-pipeline job: build the level's blocks exactly as the
+/// serial engine would — same streams, same codec framing, same
+/// metadata payloads — so the emitted bytes are identical.
+fn run_write_job(job: &WriteJob, ctx: &WriteJobCtx) -> Result<LevelBlocks, CanopusError> {
+    match job {
+        WriteJob::Base { level, mesh, data } => {
+            let t = Instant::now();
+            let (bytes, codec_id) = compress_stream(
+                data,
+                ctx.codec_kind,
+                ctx.codec_chunking,
+                ctx.delta_chunks,
+                &ctx.obs,
+            )?;
+            let blocks = vec![
+                data_block(
+                    &ctx.var,
+                    ProductKind::Base {
+                        level: *level as u32,
+                    },
+                    bytes,
+                    FieldStats::of(data),
+                    data.len(),
+                    codec_id,
+                    ctx.codec_param,
+                ),
+                level_meta_block(&ctx.var, *level as u32, mesh, None),
+            ];
+            Ok((blocks, 0.0, t.elapsed().as_secs_f64()))
+        }
+        WriteJob::Delta {
+            finer,
+            fine_mesh,
+            fine_data,
+            coarse_mesh,
+            coarse_data,
+        } => {
+            let t = Instant::now();
+            let mapping = build_mapping(fine_mesh, coarse_mesh);
+            let delta = compute_delta(
+                fine_mesh,
+                fine_data,
+                coarse_mesh,
+                coarse_data,
+                &mapping,
+                ctx.estimator,
+            );
+            let delta_wall = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let l = *finer as u32;
+            let streams: Vec<(ProductKind, Vec<f64>)> = if ctx.delta_chunks > 1 {
+                spatial_chunks(fine_mesh, ctx.delta_chunks)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(ci, ids)| {
+                        (
+                            ProductKind::DeltaChunk {
+                                finer: l,
+                                coarser: l + 1,
+                                chunk: ci as u32,
+                            },
+                            ids.iter().map(|&v| delta[v as usize]).collect(),
+                        )
+                    })
+                    .collect()
+            } else {
+                vec![(
+                    ProductKind::Delta {
+                        finer: l,
+                        coarser: l + 1,
+                    },
+                    delta,
+                )]
+            };
+            let compressed: Vec<(ProductKind, Vec<u8>, FieldStats, usize, u8)> = streams
+                .par_iter()
+                .map(|(kind, values)| {
+                    let (bytes, codec_id) = compress_stream(
+                        values,
+                        ctx.codec_kind,
+                        ctx.codec_chunking,
+                        ctx.delta_chunks,
+                        &ctx.obs,
+                    )?;
+                    Ok((*kind, bytes, FieldStats::of(values), values.len(), codec_id))
+                })
+                .collect::<Result<_, CanopusError>>()?;
+            let mut blocks: Vec<BlockWrite> = compressed
+                .into_iter()
+                .map(|(kind, bytes, stats, elements, codec_id)| {
+                    data_block(
+                        &ctx.var,
+                        kind,
+                        bytes,
+                        stats,
+                        elements,
+                        codec_id,
+                        ctx.codec_param,
+                    )
+                })
+                .collect();
+            blocks.push(level_meta_block(&ctx.var, l, fine_mesh, Some(&mapping)));
+            Ok((blocks, delta_wall, t.elapsed().as_secs_f64()))
+        }
     }
 }
 

@@ -18,6 +18,20 @@ pub const WRITE_BYTES_STORED: &str = "canopus.write.bytes_stored";
 pub const WRITE_PRODUCTS: &str = "canopus.write.products";
 pub const WRITES: &str = "canopus.write.calls";
 
+// ---- core write path: level-streaming pipeline -----------------------
+/// Gauge: level jobs currently sitting in the bounded refactor→compress
+/// queue (decimated levels waiting for a compression worker).
+pub const WRITE_STAGE_DEPTH: &str = "canopus.write.stage_depth";
+/// Gauge: deepest the bounded level-job queue ever got.
+pub const WRITE_STAGE_DEPTH_PEAK: &str = "canopus.write.stage_depth_peak";
+/// Timer: per-stage overlap reclaimed by the write pipeline — the amount
+/// by which the sum of compute-phase times (decimate + delta + compress)
+/// exceeds the measured wall clock of a pipelined write, clamped at
+/// zero. Recorded once per pipelined `write`.
+pub const WRITE_OVERLAP: &str = "canopus.write.overlap_secs";
+/// Counter: writes that went through the level-streaming engine.
+pub const WRITE_PIPELINED: &str = "canopus.write.pipelined_writes";
+
 // ---- core read path --------------------------------------------------
 pub const READ_IO: &str = "canopus.read.io";
 pub const READ_DECOMPRESS: &str = "canopus.read.decompress";
@@ -90,6 +104,17 @@ pub fn tier_read_timer(tier: usize) -> String {
 
 pub fn tier_write_timer(tier: usize) -> String {
     format!("storage.tier.{tier}.write")
+}
+
+/// Gauge: blocks queued behind tier `tier`'s write-behind worker
+/// (decided a placement, bytes not yet on the device).
+pub fn writeback_occupancy(tier: usize) -> String {
+    format!("storage.writeback.tier.{tier}.occupancy")
+}
+
+/// Gauge: high-water mark of [`writeback_occupancy`].
+pub fn writeback_occupancy_peak(tier: usize) -> String {
+    format!("storage.writeback.tier.{tier}.occupancy_peak")
 }
 
 pub fn placements_on_tier(tier: usize) -> String {

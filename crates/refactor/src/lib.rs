@@ -42,4 +42,4 @@ pub use delta::{compute_delta, restore_level};
 pub use estimate::Estimator;
 pub use levels::{LevelHierarchy, RefactorConfig};
 pub use mapping::build_mapping;
-pub use parallel::decimate_parallel;
+pub use parallel::{decimate_parallel, decimate_parallel_morton};

@@ -15,12 +15,13 @@
 //! exactly on it. The tests pin that trade-off.
 
 use crate::decimate::{decimate_frozen, DecimationResult};
-use canopus_mesh::partition::{strip_partition, Partition};
+use canopus_mesh::partition::{morton_partition, strip_partition, Partition};
 use canopus_mesh::{TriMesh, VertexId};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
-/// Decimate `mesh` by `ratio` using `num_parts` parallel partitions.
+/// Decimate `mesh` by `ratio` using `num_parts` parallel strip
+/// partitions.
 ///
 /// # Panics
 /// Panics if `ratio < 1`, `num_parts == 0`, or data/mesh disagree.
@@ -33,13 +34,46 @@ pub fn decimate_parallel(
     assert!(ratio >= 1.0, "decimation ratio must be >= 1");
     assert!(num_parts >= 1, "need at least one partition");
     assert_eq!(data.len(), mesh.num_vertices());
-
     if num_parts == 1 {
         return crate::decimate::decimate(mesh, data, ratio);
     }
+    decimate_partitioned(mesh, data, ratio, strip_partition(mesh, num_parts))
+}
 
-    let parts = strip_partition(mesh, num_parts);
+/// [`decimate_parallel`] over Morton (Z-order) partitions instead of
+/// strips: spatially compact blocks keep the frozen boundary bands short,
+/// so more of each region stays collapsible at high partition counts.
+/// This is the kernel the write pipeline uses when
+/// `decimation_parts > 1`. Output depends only on the mesh, the data and
+/// `num_parts` — never on how many threads actually ran — because the
+/// partitioning is geometric and the stitch walks partitions in order
+/// with a deterministic first-wins tie-break on shared vertices.
+///
+/// # Panics
+/// Panics if `ratio < 1`, `num_parts == 0`, or data/mesh disagree.
+pub fn decimate_parallel_morton(
+    mesh: &TriMesh,
+    data: &[f64],
+    ratio: f64,
+    num_parts: usize,
+) -> DecimationResult {
+    assert!(ratio >= 1.0, "decimation ratio must be >= 1");
+    assert!(num_parts >= 1, "need at least one partition");
+    assert_eq!(data.len(), mesh.num_vertices());
+    if num_parts == 1 {
+        return crate::decimate::decimate(mesh, data, ratio);
+    }
+    decimate_partitioned(mesh, data, ratio, morton_partition(mesh, num_parts))
+}
 
+/// Region-local decimation + deterministic stitch over prebuilt
+/// partitions (the shared core of the strip and Morton front ends).
+fn decimate_partitioned(
+    mesh: &TriMesh,
+    data: &[f64],
+    ratio: f64,
+    parts: Vec<Partition>,
+) -> DecimationResult {
     // A parent vertex is *shared* iff it appears in more than one
     // partition; shared vertices are frozen everywhere.
     let mut occurrences = vec![0u8; mesh.num_vertices()];
@@ -224,6 +258,35 @@ mod tests {
         let (mesh, data) = grid(16);
         let a = decimate_parallel(&mesh, &data, 2.0, 4);
         let b = decimate_parallel(&mesh, &data, 2.0, 4);
+        assert_eq!(a.mesh, b.mesh);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn morton_kernel_is_valid_and_deterministic() {
+        let (mesh, data) = grid(24);
+        for parts in [2, 4, 8] {
+            let r = decimate_parallel_morton(&mesh, &data, 2.0, parts);
+            let rep = quality::check(&r.mesh);
+            assert!(rep.is_manifold, "{parts} parts: {rep:?}");
+            assert_eq!(rep.inverted_triangles, 0, "{parts} parts folded");
+            assert_eq!(r.mesh.num_vertices(), r.data.len());
+            assert!(
+                (1.5..=2.6).contains(&r.achieved_ratio),
+                "{parts} parts: ratio {}",
+                r.achieved_ratio
+            );
+            let again = decimate_parallel_morton(&mesh, &data, 2.0, parts);
+            assert_eq!(r.mesh, again.mesh, "{parts} parts");
+            assert_eq!(r.data, again.data, "{parts} parts");
+        }
+    }
+
+    #[test]
+    fn morton_kernel_one_partition_matches_serial() {
+        let (mesh, data) = grid(12);
+        let a = crate::decimate::decimate(&mesh, &data, 2.0);
+        let b = decimate_parallel_morton(&mesh, &data, 2.0, 1);
         assert_eq!(a.mesh, b.mesh);
         assert_eq!(a.data, b.data);
     }

@@ -30,6 +30,7 @@ pub mod hierarchy;
 pub mod migration;
 pub mod placement;
 pub mod tier;
+pub mod writeback;
 
 pub use clock::{SimClock, SimDuration};
 pub use device::Device;
@@ -38,3 +39,4 @@ pub use hierarchy::{StorageHierarchy, TierStats};
 pub use migration::AccessTracker;
 pub use placement::{PlacementPlan, Product, ProductKind};
 pub use tier::TierSpec;
+pub use writeback::WriteBehind;

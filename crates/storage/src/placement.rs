@@ -101,52 +101,69 @@ impl PlacementPolicy {
         products: &[Product],
         num_levels: u32,
     ) -> Result<PlacementPlan, StorageError> {
-        let ntiers = hierarchy.num_tiers();
         let mut assignments = Vec::with_capacity(products.len());
         let mut write_time = SimDuration::ZERO;
 
         for product in products {
-            let start = match self {
-                PlacementPolicy::RankSpread => {
-                    (product.kind.rank(num_levels) as usize).min(ntiers - 1)
-                }
-                PlacementPolicy::FastestFirst => 0,
-            };
-            let mut placed = false;
-            // Scan from the ideal tier toward slower tiers, bypassing any
-            // without room (paper: "it will be bypassed and the next tier
-            // will be selected").
-            for tier in start..ntiers {
-                let device = hierarchy.tier_device(tier)?;
-                if (device.available() as usize) < product.data.len() {
-                    continue;
-                }
-                let dt = hierarchy.write_to_tier(tier, &product.key, product.data.clone())?;
-                write_time += dt;
-                let obs = hierarchy.metrics();
-                obs.counter(&canopus_obs::names::placements_on_tier(tier))
-                    .inc();
-                obs.counter(&canopus_obs::names::placement_bytes_on_tier(tier))
-                    .add(product.data.len() as u64);
-                if tier != start {
-                    obs.counter("storage.placement.bypasses").inc();
-                }
-                assignments.push((product.key.clone(), tier));
-                placed = true;
-                break;
-            }
-            if !placed {
-                return Err(StorageError::PlacementFailed(format!(
-                    "no tier from {start} down has room for {} ({} B)",
-                    product.key,
-                    product.data.len()
-                )));
-            }
+            let tier = self.choose_tier(
+                hierarchy,
+                product.kind,
+                product.data.len(),
+                num_levels,
+                &product.key,
+                &|_| 0,
+            )?;
+            let dt = hierarchy.write_to_tier(tier, &product.key, product.data.clone())?;
+            write_time += dt;
+            assignments.push((product.key.clone(), tier));
         }
         Ok(PlacementPlan {
             assignments,
             write_time,
         })
+    }
+
+    /// One placement decision without the write: scan from the product's
+    /// ideal tier toward slower tiers, bypassing any without room
+    /// (paper: "it will be bypassed and the next tier will be
+    /// selected"). `pending(tier)` is the bytes already decided for a
+    /// tier but not yet landed (the write-behind ledger); the serial
+    /// path passes zero, so a streaming caller that reserves decided
+    /// bytes sees exactly the capacity state the serial path would and
+    /// makes byte-identical decisions.
+    pub fn choose_tier(
+        &self,
+        hierarchy: &StorageHierarchy,
+        kind: ProductKind,
+        len: usize,
+        num_levels: u32,
+        key: &str,
+        pending: &dyn Fn(usize) -> u64,
+    ) -> Result<usize, StorageError> {
+        let ntiers = hierarchy.num_tiers();
+        let start = match self {
+            PlacementPolicy::RankSpread => (kind.rank(num_levels) as usize).min(ntiers - 1),
+            PlacementPolicy::FastestFirst => 0,
+        };
+        for tier in start..ntiers {
+            let device = hierarchy.tier_device(tier)?;
+            let free = device.available().saturating_sub(pending(tier));
+            if (free as usize) < len {
+                continue;
+            }
+            let obs = hierarchy.metrics();
+            obs.counter(&canopus_obs::names::placements_on_tier(tier))
+                .inc();
+            obs.counter(&canopus_obs::names::placement_bytes_on_tier(tier))
+                .add(len as u64);
+            if tier != start {
+                obs.counter("storage.placement.bypasses").inc();
+            }
+            return Ok(tier);
+        }
+        Err(StorageError::PlacementFailed(format!(
+            "no tier from {start} down has room for {key} ({len} B)"
+        )))
     }
 }
 
@@ -298,6 +315,30 @@ mod tests {
             .unwrap();
         // 25/100 + 25/10 + 50/10 = 0.25 + 2.5 + 5.0
         assert!((plan.write_time.seconds() - 7.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_tier_respects_pending_reservations() {
+        // Tier 0 holds 30 B free; a 25 B reservation in flight must push
+        // the next 25 B product to tier 1 — the decision the serial path
+        // would make after the reserved block landed.
+        let h = StorageHierarchy::new(vec![
+            TierSpec::new("fast", 30, 100.0, 100.0, 0.0),
+            TierSpec::new("slow", 1000, 1.0, 1.0, 0.0),
+        ]);
+        let base = ProductKind::Base { level: 2 };
+        let free = PlacementPolicy::RankSpread
+            .choose_tier(&h, base, 25, 3, "v/L2", &|_| 0)
+            .unwrap();
+        assert_eq!(free, 0);
+        let reserved = PlacementPolicy::RankSpread
+            .choose_tier(&h, base, 25, 3, "v/L2", &|t| if t == 0 { 25 } else { 0 })
+            .unwrap();
+        assert_eq!(reserved, 1, "pending bytes count against capacity");
+        let err = PlacementPolicy::RankSpread
+            .choose_tier(&h, base, 25, 3, "v/L2", &|_| 10_000)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::PlacementFailed(_)));
     }
 
     #[test]

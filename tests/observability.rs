@@ -242,6 +242,87 @@ fn cache_and_pipeline_metrics_land_in_snapshot() {
     );
 }
 
+/// The level-streaming write engine publishes its `write.*` metrics and
+/// the storage write-behind gauges under the shared names, and they all
+/// land in the snapshot JSON the CLI reports.
+#[test]
+fn write_pipeline_metrics_land_in_snapshot() {
+    let (canopus, _) = written_canopus(); // default engine: pipelined
+    let snap = canopus.metrics().snapshot();
+
+    // One pipelined write ran; the stage-depth gauges saw it.
+    assert_eq!(snap.counter(names::WRITE_PIPELINED), 1);
+    assert!(snap.gauge(names::WRITE_STAGE_DEPTH_PEAK) >= 1);
+    assert_eq!(
+        snap.gauge(names::WRITE_STAGE_DEPTH),
+        0,
+        "job queue drains back to empty"
+    );
+    // Overlap is recorded once per pipelined write (possibly zero wall).
+    assert_eq!(snap.timer(names::WRITE_OVERLAP).count, 1);
+    // The write-behind queues drained before the commit barrier returned;
+    // their high-water marks were recorded while blocks were in flight.
+    let mut peak_seen = 0i64;
+    for tier in 0..snap.num_tiers_observed() {
+        assert_eq!(
+            snap.gauge(&names::writeback_occupancy(tier)),
+            0,
+            "tier {tier} write-behind queue drains to empty"
+        );
+        peak_seen = peak_seen.max(snap.gauge(&names::writeback_occupancy_peak(tier)));
+    }
+    assert!(peak_seen >= 1, "some tier queue held at least one block");
+    // Phase timers fire under the pipelined engine exactly as serially.
+    assert!(snap.timer(names::WRITE_IO).sim_secs > 0.0);
+    assert_eq!(snap.timer(names::WRITE_TOTAL).count, 1);
+
+    // All of it survives the JSON round-trip the CLI depends on.
+    let back = MetricsSnapshot::from_json_str(&snap.to_json_string()).expect("parse");
+    assert_eq!(back.counter(names::WRITE_PIPELINED), 1);
+    assert_eq!(
+        back.gauge(names::WRITE_STAGE_DEPTH_PEAK),
+        snap.gauge(names::WRITE_STAGE_DEPTH_PEAK)
+    );
+    assert_eq!(
+        back.timer(names::WRITE_OVERLAP),
+        snap.timer(names::WRITE_OVERLAP)
+    );
+    for tier in 0..snap.num_tiers_observed() {
+        let name = names::writeback_occupancy_peak(tier);
+        assert_eq!(back.gauge(&name), snap.gauge(&name), "{name}");
+    }
+}
+
+/// The serial oracle engine records the same totals but none of the
+/// pipeline-only metrics.
+#[test]
+fn serial_write_records_no_pipeline_metrics() {
+    let ds = xgc1_dataset_sized(20, 20, 7);
+    let raw = (ds.data.len() * 8) as u64;
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: LEVELS,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Fpc,
+            write_pipeline_depth: 0,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("obs.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("serial write");
+    let snap = canopus.metrics().snapshot();
+    assert_eq!(snap.counter(names::WRITE_PIPELINED), 0);
+    assert_eq!(snap.timer(names::WRITE_OVERLAP).count, 0);
+    assert_eq!(snap.gauge(names::WRITE_STAGE_DEPTH_PEAK), 0);
+    // The totals still flow.
+    assert_eq!(snap.counter(names::WRITES), 1);
+    assert!(snap.timer(names::WRITE_IO).sim_secs > 0.0);
+}
+
 #[test]
 fn disabled_sink_records_no_events_but_all_metrics() {
     let (snap, _, _) = restore_and_snapshot();
