@@ -16,6 +16,14 @@ pub enum AdiosError {
     NotFound(String),
     /// Underlying storage failure.
     Storage(canopus_storage::StorageError),
+    /// A block's payload does not match the checksum recorded in the
+    /// manifest — the bytes were corrupted somewhere between placement
+    /// and this read. Retryable: a fresh fetch may return clean bytes.
+    ChecksumMismatch {
+        key: String,
+        expected: u64,
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for AdiosError {
@@ -24,6 +32,14 @@ impl std::fmt::Display for AdiosError {
             AdiosError::Corrupt(m) => write!(f, "corrupt BP metadata: {m}"),
             AdiosError::NotFound(m) => write!(f, "not found: {m}"),
             AdiosError::Storage(e) => write!(f, "storage error: {e}"),
+            AdiosError::ChecksumMismatch {
+                key,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch for {key:?}: manifest {expected:#018x}, payload {actual:#018x}"
+            ),
         }
     }
 }
@@ -57,6 +73,10 @@ pub struct BlockMeta {
     /// Value range of the decompressed data (for query pushdown).
     pub min: f64,
     pub max: f64,
+    /// FNV-1a checksum of the stored payload ([`checksum64`]), recorded
+    /// at placement and verified on every read. `0` means "unverified"
+    /// — the manifest predates checksums (legacy `CBP1` format).
+    pub checksum: u64,
 }
 
 /// Metadata for one variable: an ordered list of blocks (base, deltas,
@@ -122,7 +142,23 @@ impl FileMeta {
     }
 }
 
-const META_MAGIC: &[u8; 4] = b"CBP1";
+/// Current manifest format: v2 adds a per-block payload checksum.
+const META_MAGIC: &[u8; 4] = b"CBP2";
+/// Legacy manifests (no checksums) are still readable; their blocks
+/// carry `checksum == 0`, which reads treat as "skip verification".
+const META_MAGIC_V1: &[u8; 4] = b"CBP1";
+
+/// FNV-1a over the stored payload — the checksum recorded per block in
+/// the manifest. Fast, dependency-free and plenty for detecting the
+/// bit flips the fault injector (or a real tier) can introduce.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 // --- serialization helpers -------------------------------------------------
 
@@ -231,6 +267,7 @@ impl FileMeta {
                 out.extend_from_slice(&b.stored_bytes.to_le_bytes());
                 out.extend_from_slice(&b.min.to_le_bytes());
                 out.extend_from_slice(&b.max.to_le_bytes());
+                out.extend_from_slice(&b.checksum.to_le_bytes());
             }
         }
         out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
@@ -244,9 +281,12 @@ impl FileMeta {
     /// Parse the binary form.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, AdiosError> {
         let mut c = Cursor { bytes, pos: 0 };
-        if c.take(4)? != META_MAGIC {
-            return Err(AdiosError::Corrupt("bad BP metadata magic".into()));
-        }
+        let magic = c.take(4)?;
+        let has_checksums = match () {
+            _ if magic == META_MAGIC => true,
+            _ if magic == META_MAGIC_V1 => false,
+            _ => return Err(AdiosError::Corrupt("bad BP metadata magic".into())),
+        };
         let name = c.str()?;
         let num_levels = c.u32()?;
         let nvars = c.u32()? as usize;
@@ -272,6 +312,7 @@ impl FileMeta {
                     stored_bytes: c.u64()?,
                     min: c.f64()?,
                     max: c.f64()?,
+                    checksum: if has_checksums { c.u64()? } else { 0 },
                 });
             }
             vars.push(VarMeta {
@@ -319,6 +360,7 @@ mod tests {
                         stored_bytes: 9_000,
                         min: -1.5,
                         max: 2.25,
+                        checksum: 0xDEAD_BEEF_0000_0001,
                     },
                     BlockMeta {
                         key: "xgc1.bp/dpot/d1-2".into(),
@@ -333,6 +375,7 @@ mod tests {
                         stored_bytes: 7_000,
                         min: -0.1,
                         max: 0.1,
+                        checksum: 0xDEAD_BEEF_0000_0002,
                     },
                     BlockMeta {
                         key: "xgc1.bp/dpot/m1".into(),
@@ -344,6 +387,7 @@ mod tests {
                         stored_bytes: 123,
                         min: 0.0,
                         max: 0.0,
+                        checksum: 0,
                     },
                 ],
             }],
@@ -405,5 +449,66 @@ mod tests {
             attrs: vec![],
         };
         assert_eq!(FileMeta::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// Serialize `m` in the legacy CBP1 layout (no per-block checksum).
+    fn to_v1_bytes(m: &FileMeta) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(META_MAGIC_V1);
+        put_str(&mut out, &m.name);
+        out.extend_from_slice(&m.num_levels.to_le_bytes());
+        out.extend_from_slice(&(m.vars.len() as u32).to_le_bytes());
+        for var in &m.vars {
+            put_str(&mut out, &var.name);
+            out.extend_from_slice(&(var.blocks.len() as u32).to_le_bytes());
+            for b in &var.blocks {
+                put_str(&mut out, &b.key);
+                put_kind(&mut out, b.kind);
+                out.extend_from_slice(&b.elements.to_le_bytes());
+                out.push(b.codec_id);
+                out.extend_from_slice(&b.codec_param.to_le_bytes());
+                out.extend_from_slice(&b.raw_bytes.to_le_bytes());
+                out.extend_from_slice(&b.stored_bytes.to_le_bytes());
+                out.extend_from_slice(&b.min.to_le_bytes());
+                out.extend_from_slice(&b.max.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(m.attrs.len() as u32).to_le_bytes());
+        for (k, v) in &m.attrs {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_v1_manifests_parse_with_unverified_checksums() {
+        let m = sample();
+        let back = FileMeta::from_bytes(&to_v1_bytes(&m)).unwrap();
+        assert_eq!(back.vars.len(), 1);
+        for (old, new) in m.vars[0].blocks.iter().zip(&back.vars[0].blocks) {
+            assert_eq!(new.checksum, 0, "v1 blocks are unverified");
+            assert_eq!(
+                BlockMeta {
+                    checksum: 0,
+                    ..old.clone()
+                },
+                *new,
+                "everything but the checksum survives"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum64_detects_any_single_byte_flip() {
+        let payload: Vec<u8> = (0..255u8).collect();
+        let base = checksum64(&payload);
+        assert_eq!(base, checksum64(&payload), "deterministic");
+        for i in [0usize, 17, 254] {
+            let mut flipped = payload.clone();
+            flipped[i] ^= 0xA5;
+            assert_ne!(checksum64(&flipped), base, "flip at {i} undetected");
+        }
+        assert_ne!(checksum64(b""), 0, "FNV offset basis, not 0");
     }
 }

@@ -35,19 +35,22 @@ fn arb_block() -> impl Strategy<Value = BlockMeta> {
         0u64..1_000_000,
         0u64..1_000_000,
         -1e9f64..1e9,
-        -1e9f64..1e9,
+        (-1e9f64..1e9, any::<u64>()),
     )
         .prop_map(
-            |(key, kind, elements, codec_id, codec_param, raw, stored, min, max)| BlockMeta {
-                key,
-                kind,
-                elements,
-                codec_id,
-                codec_param,
-                raw_bytes: raw,
-                stored_bytes: stored,
-                min,
-                max,
+            |(key, kind, elements, codec_id, codec_param, raw, stored, min, (max, checksum))| {
+                BlockMeta {
+                    key,
+                    kind,
+                    elements,
+                    codec_id,
+                    codec_param,
+                    raw_bytes: raw,
+                    stored_bytes: stored,
+                    min,
+                    max,
+                    checksum,
+                }
             },
         )
 }

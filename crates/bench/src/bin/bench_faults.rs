@@ -1,0 +1,89 @@
+//! `bench_faults` — fault-injected recovery costs.
+//!
+//! ```text
+//! bench_faults [--out BENCH_faults.json]
+//! ```
+//!
+//! Runs the Fig. 9 XGC1 full-restoration under deterministic fault
+//! schedules (transient errors, in-flight corruption, a hard-down delta
+//! tier — see `canopus_bench::faultbench` and `docs/reliability.md`),
+//! prints a summary table and writes the machine-readable report.
+//! `CANOPUS_SCALE=quick` selects the reduced dataset used in CI smoke
+//! runs; the checked-in `BENCH_faults.json` comes from a paper-scale
+//! release run.
+
+use canopus_bench::faultbench;
+use canopus_bench::setup::{self, Scale};
+use canopus_bench::table;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_flag_value(&mut args, "--out").unwrap_or_else(|| "BENCH_faults.json".into());
+    if let Some(extra) = args.first() {
+        eprintln!("unknown argument {extra:?}");
+        eprintln!("usage: bench_faults [--out BENCH_faults.json]");
+        std::process::exit(2);
+    }
+
+    let scale = Scale::from_env();
+    let num_levels = if scale == Scale::Paper { 6 } else { 4 };
+    let ds = setup::xgc1(scale, 42);
+    println!(
+        "# Fault-injection benchmark — {} ({}), {} vertices, {} levels\n",
+        ds.name,
+        ds.var,
+        ds.mesh.num_vertices(),
+        num_levels
+    );
+    let report = faultbench::fault_bench(&ds, num_levels);
+
+    let rows: Vec<Vec<String>> = report
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.to_string(),
+                table::secs(s.wall_secs),
+                s.faults_injected.to_string(),
+                s.retries.to_string(),
+                s.checksum_failures.to_string(),
+                format!("L{}", s.achieved_level),
+                if s.degraded { "yes" } else { "no" }.to_string(),
+                if s.identical_to_clean { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "scenario", "wall", "faults", "retries", "checksum", "achieved", "degraded",
+                "exact"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "retry budget: {} attempts per block",
+        report.retry_max_attempts
+    );
+
+    let json = report.to_json().to_pretty() + "\n";
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}

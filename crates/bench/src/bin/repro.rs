@@ -19,6 +19,12 @@
 //! `--no-cache` disables the decoded-level cache.
 //! `--write-pipeline-depth <n>` tunes the level-streaming write engine
 //! the same way; `--serial-write` is shorthand for depth `0`.
+//!
+//! `--fault-seed <s>`, `--fault-get-p <p>`, `--fault-corrupt-p <p>` and
+//! `--fault-latency <secs>` arm the deterministic fault injector on every
+//! tier for the end-to-end figures, and `--retry-attempts <n>` sets the
+//! per-block retry budget that rides the faults out — the printed times
+//! then include the recovery work (see docs/reliability.md).
 
 use canopus_bench::endtoend::EngineOpts;
 use canopus_bench::setup::{self, Scale};
@@ -47,6 +53,21 @@ fn main() {
     }
     if take_flag(&mut args, "--serial-write") {
         opts.write_pipeline_depth = 0;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--fault-seed") {
+        opts.fault.seed = parse_or_die(&v, "--fault-seed");
+    }
+    if let Some(v) = take_flag_value(&mut args, "--fault-get-p") {
+        opts.fault.get_error_p = parse_or_die(&v, "--fault-get-p");
+    }
+    if let Some(v) = take_flag_value(&mut args, "--fault-corrupt-p") {
+        opts.fault.corrupt_p = parse_or_die(&v, "--fault-corrupt-p");
+    }
+    if let Some(v) = take_flag_value(&mut args, "--fault-latency") {
+        opts.fault.added_latency_s = parse_or_die(&v, "--fault-latency");
+    }
+    if let Some(v) = take_flag_value(&mut args, "--retry-attempts") {
+        opts.retry.max_attempts = parse_or_die(&v, "--retry-attempts");
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let scale = Scale::from_env();
@@ -91,7 +112,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json] [--pipeline-depth n] [--no-cache] [--write-pipeline-depth n] [--serial-write]");
+            eprintln!("usage: repro [fig4|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|smoothness|ablations|extensions|all] [--metrics out.json] [--pipeline-depth n] [--no-cache] [--write-pipeline-depth n] [--serial-write] [--fault-seed s] [--fault-get-p p] [--fault-corrupt-p p] [--fault-latency secs] [--retry-attempts n]");
             std::process::exit(2);
         }
     }
@@ -114,6 +135,14 @@ fn main() {
             }
         }
     }
+}
+
+/// Parse `value` for `flag` or exit with a usage error.
+fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {value:?}");
+        std::process::exit(2);
+    })
 }
 
 /// Remove a bare `flag` from `args`, returning whether it was present.

@@ -17,7 +17,9 @@
 //! restoration.
 
 use crate::setup::{titan_hierarchy, PAPER_CONFIGS, RASTER_SIZE};
-use canopus::{Canopus, CanopusConfig, MetricsSnapshot, PhaseTiming, Registry};
+use canopus::{
+    Canopus, CanopusConfig, FaultPlan, MetricsSnapshot, PhaseTiming, Registry, RetryPolicy,
+};
 use canopus_analytics::blob::{BlobDetector, BlobParams};
 use canopus_analytics::raster::Raster;
 use canopus_data::Dataset;
@@ -40,6 +42,12 @@ pub struct EngineOpts {
     pub level_cache: u32,
     /// Depth of the level-streaming write engine; `0` = serial writes.
     pub write_pipeline_depth: u32,
+    /// Deterministic fault schedule armed on every tier
+    /// (`FaultPlan::none()` keeps the zero-overhead fast path); the
+    /// measured times then include the retry/recovery work.
+    pub fault: FaultPlan,
+    /// Per-block retry budget riding out the injected faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineOpts {
@@ -49,6 +57,8 @@ impl Default for EngineOpts {
             pipeline_depth: c.pipeline_depth,
             level_cache: c.level_cache,
             write_pipeline_depth: c.write_pipeline_depth,
+            fault: c.fault,
+            retry: c.retry,
         }
     }
 }
@@ -103,6 +113,16 @@ fn detect_time(obs: &Registry, mesh: &TriMesh, data: &[f64], bounds: canopus_mes
     timer.stat().wall_secs
 }
 
+/// Pre-load level geometry so the measured rows pay only the variable's
+/// own I/O (the paper's accounting). Best-effort: with a fault plan
+/// armed, a warm that exhausts its retry budget just leaves that
+/// level's metadata cold — the measured read then fetches it under its
+/// own retry/degradation machinery, which is exactly what a
+/// fault-injected row is supposed to measure.
+fn warm_best_effort(reader: &canopus::read::CanopusReader, var: &str) {
+    let _ = reader.warm_metadata(var);
+}
+
 /// Run the experiment: ratios `2^1 .. 2^max_k` plus the "None" baseline.
 /// `detect` adds the blob-detection stage (Fig. 9); Figs. 10/11 set it
 /// false.
@@ -130,6 +150,8 @@ pub fn end_to_end_with(
                 pipeline_depth: opts.pipeline_depth,
                 level_cache: opts.level_cache,
                 write_pipeline_depth: opts.write_pipeline_depth,
+                fault: opts.fault,
+                retry: opts.retry,
                 ..Default::default()
             },
         );
@@ -137,7 +159,7 @@ pub fn end_to_end_with(
             .write_unrefactored("none.bp", ds.var, &ds.mesh, &ds.data)
             .expect("baseline write");
         let reader = canopus.open("none.bp").expect("open baseline");
-        reader.warm_metadata(ds.var).expect("warm");
+        warm_best_effort(&reader, ds.var);
         let out = reader.read_level(ds.var, 0).expect("read baseline");
         let detect_secs = if detect {
             detect_time(canopus.metrics(), &out.mesh, &out.data, bounds)
@@ -170,6 +192,8 @@ pub fn end_to_end_with(
                 pipeline_depth: opts.pipeline_depth,
                 level_cache: opts.level_cache,
                 write_pipeline_depth: opts.write_pipeline_depth,
+                fault: opts.fault,
+                retry: opts.retry,
                 ..Default::default()
             },
         );
@@ -177,7 +201,7 @@ pub fn end_to_end_with(
             .write("e2e.bp", ds.var, &ds.mesh, &ds.data)
             .expect("canopus write");
         let reader = canopus.open("e2e.bp").expect("open");
-        reader.warm_metadata(ds.var).expect("warm");
+        warm_best_effort(&reader, ds.var);
 
         // Panel (a): base + one refinement (or just the base at k = 1
         // refines straight to L0), then analytics.
@@ -204,7 +228,7 @@ pub fn end_to_end_with(
         // Panel (b): full-accuracy restoration from this base, on a fresh
         // reader so the metadata cache is warm but the data path is cold.
         let reader_b = canopus.open("e2e.bp").expect("open b");
-        reader_b.warm_metadata(ds.var).expect("warm b");
+        warm_best_effort(&reader_b, ds.var);
         let full = reader_b.read_level(ds.var, 0).expect("full restore");
 
         rows.push(EndToEndRow {
@@ -298,6 +322,7 @@ mod tests {
                 pipeline_depth: 0,
                 level_cache: 0,
                 write_pipeline_depth: 0,
+                ..EngineOpts::default()
             },
             EngineOpts::default(),
         ] {
@@ -306,6 +331,36 @@ mod tests {
                 assert!(row.elapsed_secs > 0.0, "{row:?}");
                 assert!(row.full_restore_elapsed_secs > 0.0, "{row:?}");
             }
+        }
+    }
+
+    #[test]
+    fn engine_opts_arm_the_fault_injector() {
+        // A pure-latency plan is the safe probe that the knob reaches the
+        // hierarchy: deterministic, never errors, and every simulated
+        // tier operation pays the extra second.
+        let ds = xgc1_dataset_sized(12, 60, 6);
+        let clean = end_to_end(&ds, 1, false);
+        let slow = end_to_end_with(
+            &ds,
+            1,
+            false,
+            EngineOpts {
+                fault: FaultPlan {
+                    added_latency_s: 1.0,
+                    ..FaultPlan::none()
+                },
+                ..EngineOpts::default()
+            },
+        );
+        for (s, c) in slow.iter().zip(&clean) {
+            assert!(
+                s.io_secs > c.io_secs + 0.5,
+                "{}: faulted io {} should exceed clean io {}",
+                s.ratio_label,
+                s.io_secs,
+                c.io_secs
+            );
         }
     }
 

@@ -13,6 +13,7 @@
 //! | [`blobs`] | Fig. 7 blob gallery; Fig. 8a–d blob metrics vs decimation ratio |
 //! | [`endtoend`] | Figs. 9/10/11: analysis-pipeline and full-restoration times |
 //! | [`readbench`] | restore-engine perf trajectory (`BENCH_read.json`) |
+//! | [`faultbench`] | fault-injected recovery costs (`BENCH_faults.json`) |
 //! | [`ablation`] | smoothness validation, estimator/codec/priority/refactorer/mapping ablations |
 //! | [`extensions`] | focused-retrieval region sweep, campaign query pushdown |
 //! | [`setup`] | shared dataset scaling + Titan-like hierarchy calibration |
@@ -22,6 +23,7 @@ pub mod ablation;
 pub mod blobs;
 pub mod endtoend;
 pub mod extensions;
+pub mod faultbench;
 pub mod fig5;
 pub mod fig6;
 pub mod readbench;

@@ -3,7 +3,7 @@
 use crate::args::Args;
 use crate::store::{self, StoreConfig};
 use canopus::config::RelativeCodec;
-use canopus::{Canopus, CanopusConfig};
+use canopus::{Canopus, CanopusConfig, FaultPlan, RetryPolicy};
 use canopus_mesh::TriMesh;
 use canopus_refactor::levels::RefactorConfig;
 use std::path::Path;
@@ -25,10 +25,16 @@ commands:
   info <store> <file.bp>
       show the file's variables, blocks, codecs and tier placement
   read <store> <file.bp> <var> [--level L] [--pipeline-depth N] [--no-cache]
+       [--retry-attempts N] [--fault-seed S] [--fault-get-p P]
+       [--fault-corrupt-p P] [--fault-latency SECS] [--fault-down A:B]
        --out d.f64
       restore a level (default 0 = full accuracy) to a raw f64 file;
       --pipeline-depth 0 selects the serial restore path and --no-cache
-      disables the decoded-level cache
+      disables the decoded-level cache. The --fault-* flags arm the
+      deterministic fault injector on every tier (seeded error/corruption
+      probabilities, added latency, a hard-down op window A:B — see
+      docs/reliability.md); --retry-attempts bounds the per-block retry
+      budget that rides out those faults
   render <store> <file.bp> <var> [--level L] --out img.ppm [--size W]
       rasterize a restored level to a PPM image
   explore <store> <file.bp> <var> [--rms-threshold T]
@@ -36,9 +42,11 @@ commands:
   region <store> <file.bp> <var> --x0 X --y0 Y --x1 X --y1 Y --out d.f64
       focused retrieval: refine one level inside a bounding box only
   metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
-          [--no-cache] [--out metrics.json]
+          [--no-cache] [--fault-* ...] [--retry-attempts N]
+          [--out metrics.json]
       restore a level with the observability sink enabled and dump the
-      metrics snapshot (counters, gauges, stage timers, events) as JSON
+      metrics snapshot (counters, gauges, stage timers, events) as JSON;
+      takes the same fault-injection flags as `read`
   tiers <store>
       show tier capacities and usage";
 
@@ -98,8 +106,9 @@ fn canopus_for(store_dir: &str, config: CanopusConfig) -> Result<Canopus, String
 }
 
 /// Default config with the restore-engine knobs (`--pipeline-depth`,
-/// `--no-cache`) applied. Commands taking these must list `no-cache` in
-/// their `Args::parse` flag set.
+/// `--no-cache`), the fault-injection plan (`--fault-*`) and the retry
+/// budget (`--retry-attempts`) applied. Commands taking these must list
+/// `no-cache` in their `Args::parse` flag set.
 fn engine_config(a: &Args) -> Result<CanopusConfig, String> {
     let defaults = CanopusConfig::default();
     Ok(CanopusConfig {
@@ -109,7 +118,46 @@ fn engine_config(a: &Args) -> Result<CanopusConfig, String> {
         } else {
             defaults.level_cache
         },
+        fault: fault_plan(a)?,
+        retry: RetryPolicy {
+            max_attempts: a.opt_parse("retry-attempts", defaults.retry.max_attempts)?,
+            ..defaults.retry
+        },
         ..defaults
+    })
+}
+
+/// The `--fault-*` flags assembled into a [`FaultPlan`] armed on every
+/// tier. With none given this is `FaultPlan::none()` and the hierarchy
+/// keeps its zero-overhead fast path. Note the injector covers *all*
+/// storage traffic, manifest reads included — a plan aggressive enough
+/// to fail the (unretried) open reports that as a plain error.
+fn fault_plan(a: &Args) -> Result<FaultPlan, String> {
+    let down = match a.opt("fault-down") {
+        None => None,
+        Some(v) => {
+            let (start, end) = v
+                .split_once(':')
+                .ok_or_else(|| format!("bad --fault-down {v:?}: expected START:END op indices"))?;
+            let start: u64 = start
+                .parse()
+                .map_err(|_| format!("bad --fault-down start {start:?}"))?;
+            let end: u64 = if end == "inf" {
+                u64::MAX
+            } else {
+                end.parse()
+                    .map_err(|_| format!("bad --fault-down end {end:?}"))?
+            };
+            Some((start, end))
+        }
+    };
+    Ok(FaultPlan {
+        seed: a.opt_parse("fault-seed", 0u64)?,
+        get_error_p: a.opt_parse("fault-get-p", 0.0f64)?,
+        put_error_p: a.opt_parse("fault-put-p", 0.0f64)?,
+        corrupt_p: a.opt_parse("fault-corrupt-p", 0.0f64)?,
+        added_latency_s: a.opt_parse("fault-latency", 0.0f64)?,
+        down,
     })
 }
 
@@ -260,8 +308,16 @@ fn cmd_read(argv: &[String]) -> Result<(), String> {
         .read_level(var, level)
         .map_err(|e| format!("read: {e}"))?;
     save_f64(out, &outcome.data)?;
+    if outcome.degraded {
+        eprintln!(
+            "warning: degraded restore — tier faults outlasted the retry \
+             budget, serving L{} instead of L{level}",
+            outcome.achieved_level
+        );
+    }
     println!(
-        "restored {var} L{level}: {} values -> {out} (I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms, wall {:.2} ms)",
+        "restored {var} L{}: {} values -> {out} (I/O {:.2} ms, decompress {:.2} ms, restore {:.2} ms, wall {:.2} ms)",
+        outcome.level,
         outcome.data.len(),
         outcome.timing.io_secs * 1e3,
         outcome.timing.decompress_secs * 1e3,
@@ -669,6 +725,102 @@ mod tests {
         assert_eq!(snap.counter(canopus_obs::names::READ_CACHE_MISSES), 0);
         assert_eq!(snap.counter(canopus_obs::names::READ_CACHE_HITS), 0);
         assert_eq!(snap.counter(canopus_obs::names::READ_PIPELINED_RESTORES), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_flags_ride_out_transients_and_report_retries() {
+        let dir = tmpdir("faults");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let clean = dir.join("clean.f64");
+        let faulty = dir.join("faulty.f64");
+        let json = dir.join("metrics.json");
+        let (store, mesh, data, clean, faulty, json) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            clean.to_str().unwrap(),
+            faulty.to_str().unwrap(),
+            json.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "cfd",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data, "--codec", "fpc",
+        ]))
+        .unwrap();
+        run(&s(&["read", store, "p.bp", "pressure", "--out", clean])).unwrap();
+
+        // Transient get errors plus in-flight corruption: the retry
+        // budget rides both out and the restored bytes are identical to
+        // the fault-free run. The seed is fixed, so the schedule (and
+        // whether the unretried manifest read survives) is reproducible.
+        run(&s(&[
+            "read",
+            store,
+            "p.bp",
+            "pressure",
+            "--fault-seed",
+            "9",
+            "--fault-get-p",
+            "0.2",
+            "--fault-corrupt-p",
+            "0.1",
+            "--out",
+            faulty,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(clean).unwrap(),
+            std::fs::read(faulty).unwrap(),
+            "faulted restore must be byte-identical"
+        );
+
+        // The metrics subcommand shows the recovery work in its snapshot.
+        run(&s(&[
+            "metrics",
+            store,
+            "p.bp",
+            "pressure",
+            "--fault-seed",
+            "9",
+            "--fault-get-p",
+            "0.2",
+            "--fault-corrupt-p",
+            "0.1",
+            "--out",
+            json,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(json).unwrap();
+        let snap = canopus::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert!(snap.counter(canopus_obs::names::READ_FAULTS_INJECTED) > 0);
+        assert!(snap.counter(canopus_obs::names::READ_RETRIES) > 0);
+        assert_eq!(snap.counter(canopus_obs::names::READ_DEGRADED_RESTORES), 0);
+
+        // Malformed down-window is a clean error, not a panic.
+        assert!(run(&s(&[
+            "read",
+            store,
+            "p.bp",
+            "pressure",
+            "--fault-down",
+            "nonsense",
+            "--out",
+            faulty,
+        ]))
+        .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

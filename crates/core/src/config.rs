@@ -3,6 +3,7 @@
 use canopus_compress::CodecKind;
 use canopus_refactor::levels::RefactorConfig;
 use canopus_storage::placement::PlacementPolicy;
+use canopus_storage::FaultPlan;
 
 /// End-to-end configuration: how to refactor, how to compress, how to
 /// place.
@@ -50,6 +51,92 @@ pub struct CanopusConfig {
     /// deterministic stitch, so the output depends only on this count —
     /// never on how many threads happened to run.
     pub decimation_parts: u32,
+    /// Retry budget for transient tier faults on the read path: capped
+    /// exponential backoff with deterministic jitter. Under
+    /// transient-only faults a restore that stays within this budget is
+    /// byte-identical to the fault-free run.
+    pub retry: RetryPolicy,
+    /// Fault plan injected into every tier of the hierarchy an engine is
+    /// built on ([`FaultPlan::none()`] — the default — injects nothing
+    /// and costs nothing). Used by the reliability tests and the
+    /// fault-injection benchmarks.
+    pub fault: FaultPlan,
+}
+
+/// Retry budget for fault-class read failures (transient tier errors,
+/// down tiers, checksum mismatches). Missing keys are *not* retried.
+///
+/// Backoff before retry `n` (1-based) is
+/// `min(max_backoff_s, base_backoff_s * 2^(n-1))`, scaled by a
+/// deterministic jitter in `[0.5, 1.0]` derived from
+/// `(jitter_seed, block key, n)` — so a given run backs off identically
+/// every time, but concurrent readers of different blocks don't
+/// stampede in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per block (`1` = no retries, `0` is treated
+    /// as `1`).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in wall-clock seconds.
+    pub base_backoff_s: f64,
+    /// Cap on any single backoff sleep, in wall-clock seconds.
+    pub max_backoff_s: f64,
+    /// Seed of the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// Default budget: four attempts with sub-millisecond backoff —
+    /// enough to ride out injected transients without slowing tests.
+    pub const fn new() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_s: 2e-4,
+            max_backoff_s: 2e-3,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A policy that never retries (single attempt, no backoff).
+    pub const fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_s: 0.0,
+            max_backoff_s: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Seconds to sleep before retry number `retry` (1-based) of `key`.
+    pub fn backoff_s(&self, key: &str, retry: u32) -> f64 {
+        let exp = retry.saturating_sub(1).min(52);
+        let raw = self.base_backoff_s * (1u64 << exp) as f64;
+        let capped = raw.min(self.max_backoff_s);
+        // splitmix64 over (seed, key, retry) -> jitter factor in [0.5, 1].
+        let mut h = self.jitter_seed ^ 0x9E37_79B9_7F4A_7C15;
+        for chunk in key.as_bytes().chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(buf));
+        }
+        h = splitmix64(h ^ retry as u64);
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        capped * (0.5 + 0.5 * unit)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for CanopusConfig {
@@ -66,6 +153,8 @@ impl Default for CanopusConfig {
             codec_chunking: true,
             write_pipeline_depth: 4,
             decimation_parts: 1,
+            retry: RetryPolicy::new(),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -115,6 +204,31 @@ mod tests {
             "level-streaming write by default"
         );
         assert_eq!(c.decimation_parts, 1, "serial decimation kernel by default");
+        assert!(c.fault.is_none(), "no fault injection by default");
+        assert!(c.retry.max_attempts > 1, "read retries on by default");
+    }
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_s: 1.0,
+            max_backoff_s: 4.0,
+            jitter_seed: 7,
+        };
+        // Deterministic: the same (key, retry) always backs off the same.
+        assert_eq!(p.backoff_s("f/v/delta_0", 1), p.backoff_s("f/v/delta_0", 1));
+        // Jittered within [0.5, 1.0] of the nominal value.
+        let b1 = p.backoff_s("k", 1);
+        assert!((0.5..=1.0).contains(&b1), "first backoff {b1}");
+        // Exponential until the cap, never past it.
+        let b4 = p.backoff_s("k", 4); // nominal 8.0 -> capped at 4.0
+        assert!(b4 <= 4.0, "capped backoff {b4}");
+        assert!(b4 >= 2.0, "cap * min jitter");
+        // Different keys de-synchronize.
+        assert_ne!(p.backoff_s("a", 2), p.backoff_s("b", 2));
+        // No-retry policy sleeps zero.
+        assert_eq!(RetryPolicy::no_retries().backoff_s("k", 1), 0.0);
     }
 
     #[test]

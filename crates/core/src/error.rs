@@ -28,6 +28,31 @@ impl std::fmt::Display for CanopusError {
     }
 }
 
+impl CanopusError {
+    /// Fault-class unavailability: transient tier errors, tiers inside a
+    /// down window, and payload checksum mismatches — failures a retry
+    /// may cure and graceful degradation may absorb. Missing keys or
+    /// levels are **not** faults: the data was never there, so the read
+    /// engine reports them as hard errors instead of retrying or
+    /// silently degrading.
+    pub fn is_availability_fault(&self) -> bool {
+        match self {
+            CanopusError::Storage(e) => e.is_fault(),
+            CanopusError::Adios(AdiosError::Storage(e)) => e.is_fault(),
+            CanopusError::Adios(AdiosError::ChecksumMismatch { .. }) => true,
+            _ => false,
+        }
+    }
+
+    /// Is this a block-integrity failure (manifest checksum vs payload)?
+    pub fn is_checksum_mismatch(&self) -> bool {
+        matches!(
+            self,
+            CanopusError::Adios(AdiosError::ChecksumMismatch { .. })
+        )
+    }
+}
+
 impl std::error::Error for CanopusError {}
 
 impl From<StorageError> for CanopusError {

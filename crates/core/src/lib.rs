@@ -54,7 +54,8 @@ pub mod write;
 
 pub use campaign::Campaign;
 pub use canopus_obs::{MetricsSnapshot, Registry};
-pub use config::CanopusConfig;
+pub use canopus_storage::FaultPlan;
+pub use config::{CanopusConfig, RetryPolicy};
 pub use error::CanopusError;
 pub use progressive::ProgressiveReader;
 pub use read::{CanopusReader, PhaseTiming, ReadOutcome, RegionStats};

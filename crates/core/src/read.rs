@@ -14,8 +14,17 @@
 //! Both paths feed the same decoded-level LRU cache, so campaign
 //! analytics that revisit a `(var, level)` pair skip tier I/O and
 //! decompression entirely.
+//!
+//! Both engines are also fault-tolerant: every block fetch retries
+//! fault-class failures (transient tier errors, down tiers, manifest
+//! checksum mismatches) with capped exponential backoff under a
+//! configurable [`RetryPolicy`]; when a delta stays unreachable past the
+//! budget, a level walk returns the finest level it *could* restore with
+//! [`ReadOutcome::degraded`] set instead of failing. Missing blocks are
+//! never retried or absorbed — absent data is a hard error.
 
 use crate::cache::{CachedLevel, LevelCache};
+use crate::config::RetryPolicy;
 use crate::error::CanopusError;
 use crate::write::{decode_level_meta, spatial_chunks};
 use bytes::Bytes;
@@ -100,6 +109,17 @@ pub struct ReadOutcome {
     pub data: Vec<f64>,
     /// Which level this is (0 = full accuracy).
     pub level: u32,
+    /// The level actually restored — always equal to [`level`](Self::level).
+    /// Meaningful together with [`degraded`](Self::degraded): when a
+    /// requested finer level could not be reached (a tier down past the
+    /// retry budget), this is the finest level the walk achieved.
+    pub achieved_level: u32,
+    /// Set when the walk could not reach the level it was asked for and
+    /// returned the finest restorable one instead. Only fault-class
+    /// failures (transient tier errors, down tiers, checksum mismatches
+    /// that outlast the [`RetryPolicy`](crate::config::RetryPolicy))
+    /// degrade; a missing block is still a hard error.
+    pub degraded: bool,
     pub timing: PhaseTiming,
     /// Whether every vertex carries this level's accuracy. A partial
     /// [`CanopusReader::refine_region`] pass clears it (vertices outside
@@ -127,6 +147,8 @@ pub struct CanopusReader {
     level_cache: LevelCache,
     /// Prefetch depth of the pipelined engine; 0 selects the serial one.
     pipeline_depth: u32,
+    /// Retry budget for fault-class block-read failures.
+    retry: RetryPolicy,
     obs: Arc<Registry>,
 }
 
@@ -139,6 +161,7 @@ impl CanopusReader {
             meta_cache: Mutex::new(HashMap::new()),
             level_cache: LevelCache::new(0),
             pipeline_depth: 0,
+            retry: RetryPolicy::new(),
             obs,
         }
     }
@@ -171,9 +194,21 @@ impl CanopusReader {
         self
     }
 
+    /// Set the retry budget for fault-class block-read failures
+    /// (transient tier errors, down tiers, checksum mismatches).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The configured prefetch depth (0 = serial engine).
     pub fn pipeline_depth(&self) -> u32 {
         self.pipeline_depth
+    }
+
+    /// The configured retry budget.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Probe the decoded-level cache with hit/miss accounting.
@@ -215,6 +250,8 @@ impl CanopusReader {
             mesh: (*hit.mesh).clone(),
             data: (*hit.data).clone(),
             level,
+            achieved_level: level,
+            degraded: false,
             timing: PhaseTiming::default(),
             level_exact: true,
         }
@@ -223,20 +260,56 @@ impl CanopusReader {
     /// Read one block's payload with I/O accounting: records the
     /// simulated transfer time under [`names::READ_IO`] and the byte
     /// volume under [`names::READ_BYTES_IO`].
+    ///
+    /// Fault-class failures — transient tier errors, down tiers, and
+    /// manifest checksum mismatches — are retried up to the configured
+    /// [`RetryPolicy`] budget with capped exponential backoff and
+    /// deterministic per-key jitter; each observed fault increments
+    /// [`names::READ_FAULTS_INJECTED`] (and
+    /// [`names::READ_CHECKSUM_FAILURES`] for integrity failures), each
+    /// retry [`names::READ_RETRIES`]. Anything else — notably a missing
+    /// block — fails immediately. I/O accounting only records the
+    /// successful attempt.
     fn read_block_observed(
         &self,
         block: &BlockMeta,
     ) -> Result<(Bytes, usize, canopus_storage::SimDuration), CanopusError> {
-        let t = Instant::now();
-        let (bytes, tier, dt) = self.file.read_block(block)?;
-        self.obs
-            .timer(names::READ_IO)
-            .record(t.elapsed().as_secs_f64(), dt.seconds());
-        self.obs
-            .counter(names::READ_BYTES_IO)
-            .add(bytes.len() as u64);
-        self.obs.counter(names::READ_BLOCKS).inc();
-        Ok((bytes, tier, dt))
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let t = Instant::now();
+            match self.file.read_block(block) {
+                Ok((bytes, tier, dt)) => {
+                    self.obs
+                        .timer(names::READ_IO)
+                        .record(t.elapsed().as_secs_f64(), dt.seconds());
+                    self.obs
+                        .counter(names::READ_BYTES_IO)
+                        .add(bytes.len() as u64);
+                    self.obs.counter(names::READ_BLOCKS).inc();
+                    return Ok((bytes, tier, dt));
+                }
+                Err(e) => {
+                    let e = CanopusError::from(e);
+                    if !e.is_availability_fault() {
+                        return Err(e);
+                    }
+                    self.obs.counter(names::READ_FAULTS_INJECTED).inc();
+                    if e.is_checksum_mismatch() {
+                        self.obs.counter(names::READ_CHECKSUM_FAILURES).inc();
+                    }
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    self.obs.counter(names::READ_RETRIES).inc();
+                    let backoff = self.retry.backoff_s(&block.key, attempt);
+                    if backoff > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+                    }
+                }
+            }
+        }
     }
 
     /// The shared observability registry (anchored on the hierarchy).
@@ -368,6 +441,8 @@ impl CanopusReader {
             mesh,
             data,
             level: base_level,
+            achieved_level: base_level,
+            degraded: false,
             timing,
             level_exact: true,
         })
@@ -487,6 +562,8 @@ impl CanopusReader {
                 mesh: fine_mesh,
                 data,
                 level: finer,
+                achieved_level: finer,
+                degraded: false,
                 timing,
                 level_exact: current.level_exact,
             },
@@ -607,6 +684,8 @@ impl CanopusReader {
                 mesh: fine_mesh,
                 data,
                 level: finer,
+                achieved_level: finer,
+                degraded: false,
                 timing,
                 // Exact only when every chunk was fetched (a region
                 // covering the mesh, or the unchunked fallback) on top
@@ -690,8 +769,46 @@ impl CanopusReader {
         self.restore_walk_serial(var, start, target_level)
     }
 
+    /// Mark `outcome` as the degraded answer to a request for
+    /// `target_level`: count it, emit a `read.degraded` event, and set
+    /// the flags. The data itself is exact at `outcome.level` — only the
+    /// *request* fell short.
+    fn degrade(
+        &self,
+        var: &str,
+        mut outcome: ReadOutcome,
+        target_level: u32,
+        cause: &CanopusError,
+    ) -> ReadOutcome {
+        self.obs.counter(names::READ_DEGRADED_RESTORES).inc();
+        self.obs.event(
+            "read.degraded",
+            vec![
+                ("var".to_string(), canopus_obs::FieldValue::from(var)),
+                (
+                    "requested_level".to_string(),
+                    canopus_obs::FieldValue::from(target_level as u64),
+                ),
+                (
+                    "achieved_level".to_string(),
+                    canopus_obs::FieldValue::from(outcome.level as u64),
+                ),
+                (
+                    "cause".to_string(),
+                    canopus_obs::FieldValue::from(cause.to_string()),
+                ),
+            ],
+        );
+        outcome.achieved_level = outcome.level;
+        outcome.degraded = true;
+        outcome
+    }
+
     /// The serial reference engine: fetch → decode → restore each level
-    /// in strict sequence.
+    /// in strict sequence. A level left unreachable by fault-class
+    /// failures (after [`Self::read_block_observed`]'s retries) degrades
+    /// the walk: the finest restored level is returned with
+    /// [`ReadOutcome::degraded`] set rather than an error.
     fn restore_walk_serial(
         &self,
         var: &str,
@@ -700,10 +817,17 @@ impl CanopusReader {
     ) -> Result<ReadOutcome, CanopusError> {
         let mut outcome = start;
         while outcome.level > target_level {
-            let (next, _) = self.refine_once(var, &outcome)?;
-            let timing = outcome.timing + next.timing;
-            outcome = next;
-            outcome.timing = timing;
+            match self.refine_once(var, &outcome) {
+                Ok((next, _)) => {
+                    let timing = outcome.timing + next.timing;
+                    outcome = next;
+                    outcome.timing = timing;
+                }
+                Err(e) if e.is_availability_fault() => {
+                    return Ok(self.degrade(var, outcome, target_level, &e));
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(outcome)
     }
@@ -726,6 +850,11 @@ impl CanopusReader {
     /// meaning, so the overlap won shows up as `total() - elapsed_secs`
     /// and is exported under [`names::READ_OVERLAP`]. Every restored
     /// level enters the decoded-level cache.
+    ///
+    /// Fault-class failures that outlast the per-block retry budget stop
+    /// the prefetcher; the levels already complete still apply and the
+    /// walk returns the finest of them with [`ReadOutcome::degraded`]
+    /// set (see [`Self::degrade`]) instead of erroring.
     fn restore_walk_pipelined(
         &self,
         var: &str,
@@ -741,9 +870,20 @@ impl CanopusReader {
         let v = self.file.inq_var(var)?;
         let mut states: Vec<LevelState> = Vec::with_capacity(plan.len());
         let mut jobs: Vec<RestoreJob> = Vec::new();
+        // A fault-class failure while loading a level's geometry truncates
+        // the plan there: coarser levels still restore, and the walk
+        // reports itself degraded instead of failing.
+        let mut planning_fault: Option<CanopusError> = None;
         for (level_idx, (finer, blocks)) in plan.into_iter().enumerate() {
             let monolithic = v.delta_to(finer).is_some();
-            let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer)?;
+            let (fine_mesh, mapping, meta_io) = match self.read_level_meta(var, finer) {
+                Ok(meta) => meta,
+                Err(e) if e.is_availability_fault() => {
+                    planning_fault = Some(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
             timing.io_secs += meta_io;
             let assignment = if monolithic {
                 None
@@ -769,7 +909,13 @@ impl CanopusReader {
         }
         let total_jobs = jobs.len();
         if total_jobs == 0 {
-            return Ok(ReadOutcome { timing, ..start });
+            let out = ReadOutcome { timing, ..start };
+            return Ok(match planning_fault {
+                Some(cause) if out.level > target_level => {
+                    self.degrade(var, out, target_level, &cause)
+                }
+                _ => out,
+            });
         }
 
         let depth = self.pipeline_depth.max(1) as usize;
@@ -789,7 +935,8 @@ impl CanopusReader {
         let jobs = &jobs;
         let depth_gauge = &depth_gauge;
 
-        let outcome = std::thread::scope(|s| -> Result<ReadOutcome, CanopusError> {
+        type WalkResult = Result<(ReadOutcome, Option<CanopusError>), CanopusError>;
+        let outcome = std::thread::scope(|s| -> WalkResult {
             // Stage 1: prefetch. Owns `fetch_tx`; dropping it on exit is
             // what lets the decode pool drain out and shut down.
             s.spawn(move || {
@@ -831,15 +978,34 @@ impl CanopusReader {
                     }
                 });
             }
+            // The workers hold the only senders from here on: when a
+            // fault stops the prefetcher early, their exit is what
+            // disconnects `done_rx` and ends the drain below. Keeping
+            // this handle alive would block the drain forever.
+            drop(done_tx);
 
-            // Stage 3: scatter + in-order restore on this thread.
+            // Stage 3: scatter + in-order restore on this thread. On a
+            // fault-class failure the prefetcher has already stopped and
+            // dropped its queue; keep draining `done_rx` so every level
+            // whose blocks all landed before the fault still applies,
+            // then return the finest of them as a degraded outcome.
             let mut cur = start;
             let mut next_level = 0usize;
+            let mut fault: Option<CanopusError> = None;
             while next_level < states.len() {
-                let decoded = done_rx.recv().map_err(|_| {
-                    CanopusError::Invalid("restore pipeline terminated early".to_string())
-                })?;
-                let (idx, values, io, decompress) = decoded?;
+                let decoded = match done_rx.recv() {
+                    Ok(decoded) => decoded,
+                    // Pipeline drained without completing the walk.
+                    Err(_) => break,
+                };
+                let (idx, values, io, decompress) = match decoded {
+                    Ok(decoded) => decoded,
+                    Err(e) if e.is_availability_fault() => {
+                        fault = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 timing.io_secs += io;
                 timing.decompress_secs += decompress;
                 let job = &jobs[idx];
@@ -904,6 +1070,8 @@ impl CanopusReader {
                         mesh: std::mem::take(&mut st.fine_mesh),
                         data,
                         level: st.finer,
+                        achieved_level: st.finer,
+                        degraded: false,
                         timing: PhaseTiming::default(),
                         // The walk starts from `read_level`'s cache hit
                         // or base read, both level-exact.
@@ -913,15 +1081,25 @@ impl CanopusReader {
                     next_level += 1;
                 }
             }
-            Ok(cur)
+            if next_level < states.len() && fault.is_none() {
+                return Err(CanopusError::Invalid(
+                    "restore pipeline terminated early".to_string(),
+                ));
+            }
+            Ok((cur, fault))
         });
 
-        let mut outcome = outcome?;
+        let (mut outcome, fault) = outcome?;
         timing.elapsed_secs += wall.elapsed().as_secs_f64();
         outcome.timing = timing;
         let overlap = (timing.total() - timing.elapsed_secs).max(0.0);
         self.obs.timer(names::READ_OVERLAP).record_wall(overlap);
         self.obs.counter(names::READ_PIPELINED_RESTORES).inc();
+        if let Some(cause) = fault.or(planning_fault) {
+            if outcome.level > target_level {
+                return Ok(self.degrade(var, outcome, target_level, &cause));
+            }
+        }
         Ok(outcome)
     }
 
@@ -1020,7 +1198,7 @@ mod tests {
     use crate::write::Canopus;
     use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
     use canopus_mesh::geometry::{Aabb, Point2};
-    use canopus_storage::{StorageHierarchy, TierSpec};
+    use canopus_storage::{FaultPlan, StorageHierarchy, TierSpec};
     use std::sync::Arc;
 
     fn setup(codec: RelativeCodec) -> (Canopus, TriMesh, Vec<f64>) {
@@ -1283,6 +1461,99 @@ mod tests {
         assert_eq!(counts(), (4, 1), "coarser start again: one hit");
         reader.read_level("v", 0).unwrap();
         assert_eq!(counts(), (5, 1), "warm exact target: one hit");
+    }
+
+    #[test]
+    fn transient_faults_retry_to_byte_identical_results() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let clean = c
+            .open("t.bp")
+            .unwrap()
+            .with_level_cache(0)
+            .read_level("v", 0)
+            .unwrap();
+        assert!(!clean.degraded);
+
+        // Open before arming: arming faults also exposes the manifest
+        // read (which has no retry loop) to injection.
+        let serial = c
+            .open("t.bp")
+            .unwrap()
+            .with_level_cache(0)
+            .with_pipeline_depth(0);
+        let pipelined = c.open("t.bp").unwrap().with_level_cache(0);
+        c.hierarchy().set_fault_plan_all(FaultPlan {
+            seed: 7,
+            get_error_p: 0.25,
+            ..FaultPlan::none()
+        });
+
+        for reader in [&serial, &pipelined] {
+            let out = reader.read_level("v", 0).unwrap();
+            assert!(!out.degraded, "transients within budget never degrade");
+            assert_eq!(out.level, 0);
+            assert_eq!(out.achieved_level, 0);
+            assert_eq!(
+                out.data, clean.data,
+                "restored bytes identical to the fault-free run"
+            );
+        }
+        let m = c.metrics();
+        assert!(
+            m.counter(names::READ_RETRIES).get() > 0,
+            "the walk must actually have retried"
+        );
+        assert!(m.counter(names::READ_FAULTS_INJECTED).get() > 0);
+        assert_eq!(m.counter(names::READ_DEGRADED_RESTORES).get(), 0);
+    }
+
+    #[test]
+    fn tier_down_past_retry_budget_degrades_instead_of_erroring() {
+        let (c, mesh, data) = setup(RelativeCodec::Raw);
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let base_level = 2;
+        let clean: Vec<_> = (0..=base_level)
+            .map(|l| {
+                c.open("t.bp")
+                    .unwrap()
+                    .with_level_cache(0)
+                    .read_level("v", l)
+                    .unwrap()
+            })
+            .collect();
+        let serial = c
+            .open("t.bp")
+            .unwrap()
+            .with_level_cache(0)
+            .with_pipeline_depth(0);
+        let pipelined = c.open("t.bp").unwrap().with_level_cache(0);
+        // The slow tier — holding the fine deltas — goes hard down for
+        // good; retries cannot cure it.
+        c.hierarchy()
+            .set_fault_plan(
+                1,
+                FaultPlan {
+                    seed: 1,
+                    down: Some((0, u64::MAX)),
+                    ..FaultPlan::none()
+                },
+            )
+            .unwrap();
+
+        for reader in [&serial, &pipelined] {
+            let out = reader.read_level("v", 0).unwrap();
+            assert!(out.degraded, "unreachable levels degrade, never error");
+            assert!(out.level > 0, "the full-accuracy level was unreachable");
+            assert_eq!(out.achieved_level, out.level);
+            assert!(out.level_exact, "the achieved level itself is exact");
+            assert_eq!(
+                out.data, clean[out.level as usize].data,
+                "degraded result is byte-identical to a clean read of the \
+                 achieved level"
+            );
+        }
+        assert!(c.metrics().counter(names::READ_DEGRADED_RESTORES).get() >= 2);
     }
 
     #[test]

@@ -180,6 +180,12 @@ pub struct Canopus {
 
 impl Canopus {
     pub fn new(hierarchy: Arc<StorageHierarchy>, config: CanopusConfig) -> Self {
+        // A configured fault plan arms every tier of the hierarchy; the
+        // default `FaultPlan::none()` leaves injection entirely disabled
+        // (and the tiers on their zero-overhead fast path).
+        if !config.fault.is_none() {
+            hierarchy.set_fault_plan_all(config.fault);
+        }
         Self {
             store: BpStore::with_policy(hierarchy, config.policy),
             config,
@@ -784,7 +790,8 @@ impl Canopus {
         Ok(
             crate::read::CanopusReader::new(bp, self.config.refactor.estimator)
                 .with_pipeline_depth(self.config.pipeline_depth)
-                .with_level_cache(self.config.level_cache),
+                .with_level_cache(self.config.level_cache)
+                .with_retry(self.config.retry),
         )
     }
 }

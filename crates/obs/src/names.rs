@@ -58,6 +58,19 @@ pub const READ_OVERLAP: &str = "canopus.read.overlap_secs";
 /// Counter: restores that went through the pipelined engine.
 pub const READ_PIPELINED_RESTORES: &str = "canopus.read.pipelined_restores";
 
+// ---- core read path: fault recovery ----------------------------------
+/// Counter: block fetches retried after a transient fault.
+pub const READ_RETRIES: &str = "canopus.read.retries";
+/// Counter: faults the read engine observed (every failed or corrupted
+/// fetch attempt, before retry/degradation decides the outcome).
+pub const READ_FAULTS_INJECTED: &str = "canopus.read.faults_injected";
+/// Counter: fetched blocks whose payload failed manifest checksum
+/// verification (corruption treated as a retryable fault).
+pub const READ_CHECKSUM_FAILURES: &str = "canopus.read.checksum_failures";
+/// Counter: restores that exhausted the retry budget for some level and
+/// returned a coarser-than-requested result instead of an error.
+pub const READ_DEGRADED_RESTORES: &str = "canopus.read.degraded_restores";
+
 // ---- campaign layer --------------------------------------------------
 pub const CAMPAIGN_QUERIES: &str = "canopus.campaign.queries";
 pub const CAMPAIGN_QUERY_TIMER: &str = "canopus.campaign.query";
@@ -104,6 +117,12 @@ pub fn tier_read_timer(tier: usize) -> String {
 
 pub fn tier_write_timer(tier: usize) -> String {
     format!("storage.tier.{tier}.write")
+}
+
+/// Counter: faults tier `tier`'s `FaultPlan` injected (transient
+/// errors, corrupted payloads and down-window rejections combined).
+pub fn tier_faults(tier: usize) -> String {
+    format!("storage.tier.{tier}.faults_injected")
 }
 
 /// Gauge: blocks queued behind tier `tier`'s write-behind worker

@@ -49,6 +49,12 @@ fn decode_key(name: &str) -> String {
     name.replace("%2F", "/").replace("%25", "%")
 }
 
+/// Staging subdirectory for in-flight disk writes. `put` writes the
+/// payload here first and renames it into place, so a crash mid-write
+/// can never leave a half-written object where `file_backed` would
+/// index it — subdirectories are never part of the object index.
+const TMP_SUBDIR: &str = ".tmp";
+
 impl Device {
     pub fn new(name: impl Into<String>, capacity: u64) -> Self {
         Self {
@@ -62,6 +68,16 @@ impl Device {
     /// A device persisting objects as files under `dir` (created if
     /// absent). Existing objects are indexed so reopening a store
     /// resumes where the last process left off.
+    ///
+    /// Only regular files directly under `dir` are indexed; the
+    /// contents of subdirectories (including leftovers in the
+    /// [`TMP_SUBDIR`] staging area, which are discarded) are ignored.
+    /// Files with non-UTF-8 names cannot have been written through
+    /// [`Device::put`]'s key encoding, so they are skipped with a
+    /// warning rather than indexed under a mangled, unreachable key.
+    /// If the indexed bytes exceed `capacity` the open fails with
+    /// [`std::io::ErrorKind::InvalidData`] instead of silently leaving
+    /// the device over-full.
     pub fn file_backed(
         name: impl Into<String>,
         capacity: u64,
@@ -69,16 +85,36 @@ impl Device {
     ) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // Interrupted writes only ever live in the staging area.
+        let _ = std::fs::remove_dir_all(dir.join(TMP_SUBDIR));
         let mut objects = HashMap::new();
         let mut used = 0u64;
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
-            if entry.file_type()?.is_file() {
-                let size = entry.metadata()?.len();
-                let key = decode_key(&entry.file_name().to_string_lossy());
-                objects.insert(key, Bytes::new());
-                used += size;
+            if !entry.file_type()?.is_file() {
+                continue;
             }
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                eprintln!(
+                    "canopus-storage: skipping non-UTF-8 file {:?} in {}",
+                    entry.file_name(),
+                    dir.display()
+                );
+                continue;
+            };
+            objects.insert(decode_key(file_name), Bytes::new());
+            used += entry.metadata()?.len();
+        }
+        if used > capacity {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "directory {} holds {used} B of objects, exceeding the \
+                     configured capacity of {capacity} B",
+                    dir.display()
+                ),
+            ));
         }
         Ok(Self {
             name: name.into(),
@@ -108,7 +144,7 @@ impl Device {
     }
 
     pub fn available(&self) -> u64 {
-        self.capacity - self.used()
+        self.capacity.saturating_sub(self.used())
     }
 
     pub fn len(&self) -> usize {
@@ -127,7 +163,7 @@ impl Device {
             return Err(StorageError::AlreadyExists(key.to_string()));
         }
         let sz = data.len() as u64;
-        let available = self.capacity - inner.used;
+        let available = self.capacity.saturating_sub(inner.used);
         if sz > available {
             return Err(StorageError::CapacityExceeded {
                 tier: self.name.clone(),
@@ -135,10 +171,26 @@ impl Device {
                 available,
             });
         }
-        if let Some(path) = self.path_of(key) {
-            std::fs::write(&path, &data).map_err(|e| {
+        if let Backend::Disk { dir } = &self.backend {
+            // Stage + rename so an interrupted write (ENOSPC, crash)
+            // never leaves a partial object where a reopen would index
+            // it. Rename within one directory tree is atomic.
+            let encoded = encode_key(key);
+            let tmp_dir = dir.join(TMP_SUBDIR);
+            let tmp = tmp_dir.join(&encoded);
+            let io_err = |path: &PathBuf, e: std::io::Error| {
                 StorageError::PlacementFailed(format!("io writing {}: {e}", path.display()))
-            })?;
+            };
+            std::fs::create_dir_all(&tmp_dir).map_err(|e| io_err(&tmp_dir, e))?;
+            if let Err(e) = std::fs::write(&tmp, &data) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(io_err(&tmp, e));
+            }
+            let dst = dir.join(&encoded);
+            if let Err(e) = std::fs::rename(&tmp, &dst) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(io_err(&dst, e));
+            }
             inner.objects.insert(key.to_string(), Bytes::new());
         } else {
             inner.objects.insert(key.to_string(), data);
@@ -325,6 +377,95 @@ mod tests {
             d.put("b", Bytes::from(vec![0u8; 8])),
             Err(StorageError::CapacityExceeded { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_capacity_reopen_is_rejected_not_underflowed() {
+        let dir = std::env::temp_dir().join(format!("canopus_over_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let d = Device::file_backed("disk", 100, &dir).unwrap();
+            d.put("a", Bytes::from(vec![0u8; 80])).unwrap();
+        }
+        // Reopening with a smaller capacity than the directory already
+        // holds must fail cleanly — not underflow `available()`.
+        let err = Device::file_backed("disk", 10, &dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The original capacity still works.
+        let d = Device::file_backed("disk", 100, &dir).unwrap();
+        assert_eq!(d.used(), 80);
+        assert_eq!(d.available(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn available_saturates_if_used_exceeds_capacity() {
+        // Exercise the saturating arithmetic directly: a device whose
+        // accounting somehow exceeds capacity must report 0 available
+        // and reject further puts, not wrap around.
+        let d = Device::new("t", 10);
+        d.put("a", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(d.available(), 0);
+        assert!(matches!(
+            d.put("b", Bytes::from(vec![0u8; 1])),
+            Err(StorageError::CapacityExceeded { available: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn partial_write_leftovers_are_not_indexed_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("canopus_partial_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let d = Device::file_backed("disk", 1024, &dir).unwrap();
+            d.put("good", Bytes::from_static(b"ok")).unwrap();
+        }
+        // Simulate a crash mid-put: a half-written payload stranded in
+        // the staging area.
+        let tmp = dir.join(TMP_SUBDIR);
+        std::fs::create_dir_all(&tmp).unwrap();
+        std::fs::write(tmp.join(encode_key("torn/key")), b"par").unwrap();
+        {
+            let d = Device::file_backed("disk", 1024, &dir).unwrap();
+            assert_eq!(d.keys(), vec!["good".to_string()]);
+            assert_eq!(d.used(), 2, "torn bytes don't count against capacity");
+            assert!(d.get("torn/key").is_err());
+            // The leftover was discarded, so the key is writable again.
+            d.put("torn/key", Bytes::from_static(b"whole")).unwrap();
+            assert_eq!(d.get("torn/key").unwrap(), Bytes::from_static(b"whole"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_filenames_are_skipped_not_mangled() {
+        use std::os::unix::ffi::OsStrExt;
+        let dir = std::env::temp_dir().join(format!("canopus_nonutf8_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = std::ffi::OsStr::from_bytes(&[0x66, 0x6F, 0x80, 0xFF]);
+        std::fs::write(dir.join(bad), vec![0u8; 64]).unwrap();
+        let d = Device::file_backed("disk", 32, &dir).unwrap();
+        // The 64 stray bytes neither appear as a key nor count against
+        // the 32 B capacity (the open would have failed otherwise).
+        assert!(d.is_empty());
+        assert_eq!(d.used(), 0);
+        d.put("real", Bytes::from(vec![1u8; 16])).unwrap();
+        assert_eq!(d.used(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subdirectory_contents_are_ignored_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("canopus_subdir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("nested")).unwrap();
+        std::fs::write(dir.join("nested").join("stray"), vec![0u8; 999]).unwrap();
+        let d = Device::file_backed("disk", 100, &dir).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.used(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,6 +18,24 @@ pub enum StorageError {
     PlacementFailed(String),
     /// Writing an already-existing key without overwrite permission.
     AlreadyExists(String),
+    /// A transient, retryable fault (injected by the tier's
+    /// [`FaultPlan`](crate::FaultPlan), or any failure a retry may cure).
+    Transient { tier: usize, key: String },
+    /// The tier is inside a hard-down window of its
+    /// [`FaultPlan`](crate::FaultPlan); retries within the window cannot
+    /// succeed.
+    TierDown { tier: usize },
+}
+
+impl StorageError {
+    /// Faults a caller may reasonably retry or degrade around, as
+    /// opposed to logic errors (missing keys, capacity, bad indices).
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Transient { .. } | StorageError::TierDown { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -35,6 +53,10 @@ impl std::fmt::Display for StorageError {
             StorageError::NoSuchTier(i) => write!(f, "tier index {i} out of range"),
             StorageError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
             StorageError::AlreadyExists(k) => write!(f, "object {k:?} already exists"),
+            StorageError::Transient { tier, key } => {
+                write!(f, "transient fault on tier {tier} accessing {key:?}")
+            }
+            StorageError::TierDown { tier } => write!(f, "tier {tier} is down"),
         }
     }
 }
@@ -56,5 +78,23 @@ mod tests {
         assert!(s.contains("nvram") && s.contains("100") && s.contains("10"));
         assert!(StorageError::NotFound("x".into()).to_string().contains("x"));
         assert!(StorageError::NoSuchTier(3).to_string().contains('3'));
+        let t = StorageError::Transient {
+            tier: 2,
+            key: "k".into(),
+        };
+        assert!(t.to_string().contains('2') && t.to_string().contains("k"));
+        assert!(StorageError::TierDown { tier: 1 }.to_string().contains('1'));
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(StorageError::Transient {
+            tier: 0,
+            key: "k".into()
+        }
+        .is_fault());
+        assert!(StorageError::TierDown { tier: 0 }.is_fault());
+        assert!(!StorageError::NotFound("k".into()).is_fault());
+        assert!(!StorageError::NoSuchTier(9).is_fault());
     }
 }

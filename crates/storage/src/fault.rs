@@ -1,0 +1,245 @@
+//! Deterministic, seedable fault injection for storage tiers.
+//!
+//! A [`FaultPlan`] attached to a tier (via
+//! [`crate::StorageHierarchy::set_fault_plan`]) makes that tier misbehave
+//! in reproducible ways: transient `get`/`put` errors with probability
+//! `get_error_p`/`put_error_p`, payload corruption (a deterministic bit
+//! flip) with probability `corrupt_p`, a fixed added latency per
+//! operation on the simulated clock, and a hard "tier down" window over
+//! the tier's operation index. Every probabilistic draw is a pure hash
+//! of `(seed, operation kind, key, per-key attempt number)` — never of
+//! thread timing — so a faulty run is exactly reproducible regardless of
+//! how a pipeline interleaves its fetches, and a retry of the same key
+//! sees a fresh but still deterministic draw.
+//!
+//! With no plan set the hierarchy skips the whole machinery behind one
+//! relaxed atomic load — the fault path costs nothing unless enabled.
+
+use bytes::Bytes;
+
+/// Which operation a fault draw is for. Each kind hashes into its own
+/// domain so e.g. the get-error and corruption draws for the same
+/// `(key, attempt)` are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    GetError = 1,
+    PutError = 2,
+    Corrupt = 3,
+}
+
+/// Per-tier fault schedule. `Copy` + all-zero default so it can ride
+/// inside `CanopusConfig` without breaking its `Copy`/`PartialEq`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw. Two runs with the same seed
+    /// (and the same key/attempt sequence) inject identical faults.
+    pub seed: u64,
+    /// Probability a `get` fails with [`StorageError::Transient`].
+    ///
+    /// [`StorageError::Transient`]: crate::StorageError::Transient
+    pub get_error_p: f64,
+    /// Probability a `put` fails with [`StorageError::Transient`].
+    ///
+    /// [`StorageError::Transient`]: crate::StorageError::Transient
+    pub put_error_p: f64,
+    /// Probability a `get` succeeds but returns a corrupted payload
+    /// (one deterministic byte flip — the block checksum catches it).
+    pub corrupt_p: f64,
+    /// Extra simulated latency added to every operation on the tier.
+    pub added_latency_s: f64,
+    /// Hard-down window `[start, end)` over the tier's operation index:
+    /// every get/put whose index falls inside fails with
+    /// [`StorageError::TierDown`]. `Some((0, u64::MAX))` means the tier
+    /// is down for the whole run.
+    ///
+    /// [`StorageError::TierDown`]: crate::StorageError::TierDown
+    pub down: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: nothing is injected, nothing is slowed.
+    pub const fn none() -> Self {
+        Self {
+            seed: 0,
+            get_error_p: 0.0,
+            put_error_p: 0.0,
+            corrupt_p: 0.0,
+            added_latency_s: 0.0,
+            down: None,
+        }
+    }
+
+    /// True when the plan injects nothing (the hierarchy then keeps its
+    /// zero-cost fast path).
+    pub fn is_none(&self) -> bool {
+        self.get_error_p == 0.0
+            && self.put_error_p == 0.0
+            && self.corrupt_p == 0.0
+            && self.added_latency_s == 0.0
+            && self.down.is_none()
+    }
+
+    /// Is the tier inside its hard-down window at operation `op_index`?
+    pub fn is_down_at(&self, op_index: u64) -> bool {
+        match self.down {
+            Some((start, end)) => op_index >= start && op_index < end,
+            None => false,
+        }
+    }
+
+    /// The deterministic hash behind every draw for `(op, key, attempt)`.
+    pub fn hash(&self, op: FaultOp, key: &str, attempt: u64) -> u64 {
+        let mut h = splitmix64(self.seed ^ (op as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        for chunk in key.as_bytes().chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(buf));
+        }
+        splitmix64(h ^ attempt)
+    }
+
+    /// Does the fault of kind `op` fire for `(key, attempt)`? Pure in
+    /// its inputs: thread interleaving cannot change the outcome.
+    pub fn draws(&self, op: FaultOp, key: &str, attempt: u64) -> bool {
+        let p = match op {
+            FaultOp::GetError => self.get_error_p,
+            FaultOp::PutError => self.put_error_p,
+            FaultOp::Corrupt => self.corrupt_p,
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Top 53 bits → uniform in [0, 1).
+        let u = (self.hash(op, key, attempt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Corrupt a payload deterministically: flip one byte chosen by `hash`.
+/// `0xA5` is never a no-op flip, so a recorded checksum always catches
+/// it. Empty payloads pass through untouched.
+pub fn corrupt_payload(data: Bytes, hash: u64) -> Bytes {
+    if data.is_empty() {
+        return data;
+    }
+    let mut v = data.to_vec();
+    let i = (hash as usize) % v.len();
+    v[i] ^= 0xA5;
+    Bytes::from(v)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            get_error_p: 0.5,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn none_draws_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for attempt in 0..100 {
+            assert!(!p.draws(FaultOp::GetError, "k", attempt));
+            assert!(!p.draws(FaultOp::Corrupt, "k", attempt));
+        }
+        assert!(!p.is_down_at(0));
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_key_sensitive() {
+        let a = plan(42);
+        let b = plan(42);
+        let c = plan(43);
+        let mut diverged = false;
+        for attempt in 0..64 {
+            assert_eq!(
+                a.draws(FaultOp::GetError, "x/base", attempt),
+                b.draws(FaultOp::GetError, "x/base", attempt),
+                "same seed must draw identically"
+            );
+            if a.draws(FaultOp::GetError, "x/base", attempt)
+                != c.draws(FaultOp::GetError, "x/base", attempt)
+            {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds should diverge somewhere");
+        assert_ne!(
+            a.hash(FaultOp::GetError, "x/base", 0),
+            a.hash(FaultOp::GetError, "x/delta", 0)
+        );
+        assert_ne!(
+            a.hash(FaultOp::GetError, "k", 0),
+            a.hash(FaultOp::Corrupt, "k", 0),
+            "op kinds hash into independent domains"
+        );
+    }
+
+    #[test]
+    fn draw_rate_tracks_probability() {
+        let p = plan(7);
+        let fires = (0..10_000)
+            .filter(|&i| p.draws(FaultOp::GetError, &format!("key{i}"), 0))
+            .count();
+        assert!(
+            (4_500..5_500).contains(&fires),
+            "~50% expected, got {fires}/10000"
+        );
+    }
+
+    #[test]
+    fn down_window_is_half_open() {
+        let p = FaultPlan {
+            down: Some((2, 5)),
+            ..FaultPlan::none()
+        };
+        assert!(!p.is_down_at(1));
+        assert!(p.is_down_at(2));
+        assert!(p.is_down_at(4));
+        assert!(!p.is_down_at(5));
+        assert!(!p.is_none(), "a down window alone makes the plan active");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let original = Bytes::from(vec![0u8; 64]);
+        let corrupted = corrupt_payload(original.clone(), 0xDEAD_BEEF);
+        let diffs: Vec<usize> = original
+            .iter()
+            .zip(corrupted.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(corrupt_payload(Bytes::new(), 1), Bytes::new());
+        // Same hash, same flip.
+        assert_eq!(
+            corrupt_payload(original.clone(), 0xDEAD_BEEF),
+            corrupted,
+            "corruption is deterministic"
+        );
+    }
+}

@@ -7,10 +7,13 @@
 use crate::clock::{SimClock, SimDuration};
 use crate::device::Device;
 use crate::error::StorageError;
+use crate::fault::{corrupt_payload, FaultOp, FaultPlan};
 use crate::tier::TierSpec;
 use bytes::Bytes;
 use canopus_obs::{names, Registry};
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Cumulative per-tier I/O accounting.
@@ -28,6 +31,45 @@ struct TierState {
     spec: TierSpec,
     device: Device,
     stats: Mutex<TierStats>,
+    faults: Mutex<FaultState>,
+}
+
+impl TierState {
+    fn new(spec: TierSpec, device: Device) -> Self {
+        Self {
+            spec,
+            device,
+            stats: Mutex::new(TierStats::default()),
+            faults: Mutex::new(FaultState::default()),
+        }
+    }
+}
+
+/// Runtime bookkeeping for a tier's [`FaultPlan`]: the per-tier
+/// operation index (drives hard-down windows) and the per-key attempt
+/// counters that keep probabilistic draws deterministic under any
+/// thread interleaving.
+#[derive(Default)]
+struct FaultState {
+    plan: FaultPlan,
+    ops: u64,
+    attempts: HashMap<String, u64>,
+}
+
+impl FaultState {
+    /// Advance the tier op index and the attempt counter for `(op, key)`,
+    /// returning `(op_index, attempt)` for this operation's draws.
+    fn next(&mut self, op: FaultOp, key: &str) -> (u64, u64) {
+        let op_index = self.ops;
+        self.ops += 1;
+        let slot = self
+            .attempts
+            .entry(format!("{}:{key}", op as u64))
+            .or_insert(0);
+        let attempt = *slot;
+        *slot += 1;
+        (op_index, attempt)
+    }
 }
 
 /// An ordered stack of storage tiers (index 0 = fastest).
@@ -40,6 +82,9 @@ pub struct StorageHierarchy {
     tiers: Vec<TierState>,
     clock: SimClock,
     obs: Arc<Registry>,
+    /// Fast path: false ⇒ no tier has an active [`FaultPlan`], and the
+    /// read/write paths skip fault bookkeeping entirely.
+    faults_enabled: AtomicBool,
 }
 
 impl StorageHierarchy {
@@ -51,16 +96,16 @@ impl StorageHierarchy {
         assert!(!specs.is_empty(), "hierarchy needs at least one tier");
         let tiers = specs
             .into_iter()
-            .map(|spec| TierState {
-                device: Device::new(spec.name.clone(), spec.capacity),
-                spec,
-                stats: Mutex::new(TierStats::default()),
+            .map(|spec| {
+                let device = Device::new(spec.name.clone(), spec.capacity);
+                TierState::new(spec, device)
             })
             .collect();
         Self {
             tiers,
             clock: SimClock::new(),
             obs: Arc::new(Registry::new()),
+            faults_enabled: AtomicBool::new(false),
         }
     }
 
@@ -77,16 +122,14 @@ impl StorageHierarchy {
         let mut tiers = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
             let dir = root.join(format!("{i}-{}", spec.name));
-            tiers.push(TierState {
-                device: Device::file_backed(spec.name.clone(), spec.capacity, dir)?,
-                spec,
-                stats: Mutex::new(TierStats::default()),
-            });
+            let device = Device::file_backed(spec.name.clone(), spec.capacity, dir)?;
+            tiers.push(TierState::new(spec, device));
         }
         Ok(Self {
             tiers,
             clock: SimClock::new(),
             obs: Arc::new(Registry::new()),
+            faults_enabled: AtomicBool::new(false),
         })
     }
 
@@ -151,6 +194,84 @@ impl StorageHierarchy {
         &self.obs
     }
 
+    /// Attach (or clear, with [`FaultPlan::none`]) a fault schedule on
+    /// one tier. Resets that tier's op/attempt counters so a fresh plan
+    /// starts a fresh deterministic fault sequence.
+    pub fn set_fault_plan(&self, idx: usize, plan: FaultPlan) -> Result<(), StorageError> {
+        let tier = self.tiers.get(idx).ok_or(StorageError::NoSuchTier(idx))?;
+        *tier.faults.lock() = FaultState {
+            plan,
+            ops: 0,
+            attempts: HashMap::new(),
+        };
+        let any = self.tiers.iter().any(|t| !t.faults.lock().plan.is_none());
+        self.faults_enabled.store(any, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Attach the same fault schedule to every tier.
+    pub fn set_fault_plan_all(&self, plan: FaultPlan) {
+        for idx in 0..self.tiers.len() {
+            let _ = self.set_fault_plan(idx, plan);
+        }
+    }
+
+    /// The fault schedule currently attached to a tier.
+    pub fn fault_plan(&self, idx: usize) -> Result<FaultPlan, StorageError> {
+        self.tiers
+            .get(idx)
+            .map(|t| t.faults.lock().plan)
+            .ok_or(StorageError::NoSuchTier(idx))
+    }
+
+    /// Run the fault schedule for one `get`/`put` on tier `idx`.
+    /// `Err` aborts the operation; on `Ok` the first element is the
+    /// schedule's added latency (already applied to the simulated
+    /// clock — the caller folds it into the op's reported duration so a
+    /// slow tier shows up in phase timings, not just on the clock), and
+    /// `Some(hash)` asks a `get` to corrupt its payload
+    /// deterministically.
+    fn inject(
+        &self,
+        idx: usize,
+        op: FaultOp,
+        key: &str,
+    ) -> Result<(SimDuration, Option<u64>), StorageError> {
+        let tier = &self.tiers[idx];
+        let plan;
+        let (op_index, attempt);
+        {
+            let mut st = tier.faults.lock();
+            if st.plan.is_none() {
+                return Ok((SimDuration::ZERO, None));
+            }
+            plan = st.plan;
+            (op_index, attempt) = st.next(op, key);
+        }
+        // On success the caller folds `extra` into the op duration it
+        // advances the clock by; only failed ops (which report no
+        // duration) pay their latency directly here.
+        let extra = SimDuration(plan.added_latency_s.max(0.0));
+        if plan.is_down_at(op_index) {
+            self.clock.advance(extra);
+            self.obs.counter(&names::tier_faults(idx)).inc();
+            return Err(StorageError::TierDown { tier: idx });
+        }
+        if plan.draws(op, key, attempt) {
+            self.clock.advance(extra);
+            self.obs.counter(&names::tier_faults(idx)).inc();
+            return Err(StorageError::Transient {
+                tier: idx,
+                key: key.to_string(),
+            });
+        }
+        if op == FaultOp::GetError && plan.draws(FaultOp::Corrupt, key, attempt) {
+            self.obs.counter(&names::tier_faults(idx)).inc();
+            return Ok((extra, Some(plan.hash(FaultOp::Corrupt, key, attempt))));
+        }
+        Ok((extra, None))
+    }
+
     /// Write an object to a specific tier, advancing simulated time by the
     /// modeled transfer cost. Returns the transfer duration.
     pub fn write_to_tier(
@@ -160,9 +281,14 @@ impl StorageHierarchy {
         data: Bytes,
     ) -> Result<SimDuration, StorageError> {
         let tier = self.tiers.get(idx).ok_or(StorageError::NoSuchTier(idx))?;
+        let extra = if self.faults_enabled.load(Ordering::Relaxed) {
+            self.inject(idx, FaultOp::PutError, key)?.0
+        } else {
+            SimDuration::ZERO
+        };
         let sz = data.len() as u64;
         tier.device.put(key, data)?;
-        let dt = SimDuration(tier.spec.write_time(sz));
+        let dt = SimDuration(tier.spec.write_time(sz)) + extra;
         self.clock.advance(dt);
         {
             let mut stats = tier.stats.lock();
@@ -208,8 +334,17 @@ impl StorageHierarchy {
     fn read_inner(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
         let idx = self.find(key)?;
         let tier = &self.tiers[idx];
+        let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
+            self.inject(idx, FaultOp::GetError, key)?
+        } else {
+            (SimDuration::ZERO, None)
+        };
         let data = tier.device.get(key)?;
-        let dt = SimDuration(tier.spec.read_time(data.len() as u64));
+        let data = match corrupt {
+            Some(hash) => corrupt_payload(data, hash),
+            None => data,
+        };
+        let dt = SimDuration(tier.spec.read_time(data.len() as u64)) + extra;
         self.clock.advance(dt);
         {
             let mut stats = tier.stats.lock();
@@ -240,6 +375,11 @@ impl StorageHierarchy {
         for t in &self.tiers {
             t.device.clear();
             *t.stats.lock() = TierStats::default();
+            // Keep each tier's fault plan but restart its deterministic
+            // op/attempt sequence, matching the fresh clock and stats.
+            let mut faults = t.faults.lock();
+            faults.ops = 0;
+            faults.attempts.clear();
         }
         self.clock.reset();
         self.obs.reset();
@@ -357,6 +497,134 @@ mod tests {
             assert_eq!(data, Bytes::from(vec![7u8; 100]));
         }
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fault_plan_injects_transient_get_errors_deterministically() {
+        let run = || {
+            let h = two_tier();
+            h.write_to_tier(1, "k", Bytes::from(vec![3u8; 20])).unwrap();
+            h.set_fault_plan(
+                1,
+                FaultPlan {
+                    seed: 9,
+                    get_error_p: 0.5,
+                    ..FaultPlan::none()
+                },
+            )
+            .unwrap();
+            (0..16).map(|_| h.read("k").is_ok()).collect::<Vec<_>>()
+        };
+        let outcomes = run();
+        assert!(outcomes.iter().any(|ok| *ok), "some reads must survive");
+        assert!(outcomes.iter().any(|ok| !ok), "some reads must fault");
+        assert_eq!(outcomes, run(), "same seed ⇒ same fault sequence");
+        // The faulted reads surfaced as Transient on the right tier.
+        let h = two_tier();
+        h.write_to_tier(1, "k", Bytes::from(vec![3u8; 20])).unwrap();
+        h.set_fault_plan(
+            1,
+            FaultPlan {
+                seed: 9,
+                get_error_p: 1.0,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            h.read("k"),
+            Err(StorageError::Transient { tier: 1, .. })
+        ));
+        assert!(h.metrics().counter(&names::tier_faults(1)).get() > 0);
+    }
+
+    #[test]
+    fn down_window_blocks_then_recovers() {
+        let h = two_tier();
+        h.write_to_tier(0, "k", Bytes::from(vec![1u8; 4])).unwrap();
+        h.set_fault_plan(
+            0,
+            FaultPlan {
+                down: Some((0, 3)),
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            assert!(matches!(
+                h.read("k"),
+                Err(StorageError::TierDown { tier: 0 })
+            ));
+        }
+        assert!(h.read("k").is_ok(), "window [0,3) has passed");
+    }
+
+    #[test]
+    fn corruption_changes_payload_but_read_succeeds() {
+        let h = two_tier();
+        let payload = Bytes::from(vec![7u8; 32]);
+        h.write_to_tier(0, "k", payload.clone()).unwrap();
+        h.set_fault_plan(
+            0,
+            FaultPlan {
+                seed: 1,
+                corrupt_p: 1.0,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        let (data, _, _) = h.read("k").unwrap();
+        assert_ne!(data, payload, "payload corrupted in flight");
+        assert_eq!(data.len(), payload.len());
+        // The stored object itself is untouched.
+        h.set_fault_plan(0, FaultPlan::none()).unwrap();
+        assert_eq!(h.read("k").unwrap().0, payload);
+    }
+
+    #[test]
+    fn added_latency_advances_clock_and_none_costs_nothing() {
+        let h = two_tier();
+        h.write_to_tier(0, "k", Bytes::from(vec![1u8; 10])).unwrap();
+        let t0 = h.clock().now().seconds();
+        h.read("k").unwrap();
+        let clean = h.clock().now().seconds() - t0;
+        h.set_fault_plan(
+            0,
+            FaultPlan {
+                added_latency_s: 0.25,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        let t1 = h.clock().now().seconds();
+        h.read("k").unwrap();
+        let slowed = h.clock().now().seconds() - t1;
+        assert!((slowed - clean - 0.25).abs() < 1e-9);
+        // Clearing the plan restores the fast path.
+        h.set_fault_plan(0, FaultPlan::none()).unwrap();
+        let t2 = h.clock().now().seconds();
+        h.read("k").unwrap();
+        assert!((h.clock().now().seconds() - t2 - clean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn put_faults_surface_on_write() {
+        let h = two_tier();
+        h.set_fault_plan(
+            1,
+            FaultPlan {
+                seed: 4,
+                put_error_p: 1.0,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            h.write_to_tier(1, "k", Bytes::from(vec![0u8; 8])),
+            Err(StorageError::Transient { tier: 1, .. })
+        ));
+        // The other tier is unaffected.
+        h.write_to_tier(0, "k", Bytes::from(vec![0u8; 8])).unwrap();
     }
 
     #[test]

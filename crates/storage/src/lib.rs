@@ -21,11 +21,16 @@
 //! * [`hierarchy::StorageHierarchy`] — the ordered tier stack with
 //!   fastest-first reads and per-tier accounting;
 //! * [`placement`] — the paper's placement policy (§III-D): fastest tier
-//!   first, bypass tiers with insufficient remaining capacity.
+//!   first, bypass tiers with insufficient remaining capacity;
+//! * [`fault::FaultPlan`] — deterministic, seedable fault injection per
+//!   tier (transient errors, payload corruption, added latency, hard
+//!   tier-down windows) so the layers above can be tested for graceful,
+//!   accuracy-degrading recovery instead of hard failure.
 
 pub mod clock;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod hierarchy;
 pub mod migration;
 pub mod placement;
@@ -35,6 +40,7 @@ pub mod writeback;
 pub use clock::{SimClock, SimDuration};
 pub use device::Device;
 pub use error::StorageError;
+pub use fault::{FaultOp, FaultPlan};
 pub use hierarchy::{StorageHierarchy, TierStats};
 pub use migration::AccessTracker;
 pub use placement::{PlacementPlan, Product, ProductKind};

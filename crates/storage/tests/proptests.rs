@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use canopus_storage::placement::PlacementPolicy;
-use canopus_storage::{AccessTracker, Product, ProductKind, StorageHierarchy, TierSpec};
+use canopus_storage::{AccessTracker, Device, Product, ProductKind, StorageHierarchy, TierSpec};
 use proptest::prelude::*;
 
 fn hierarchy(caps: &[u64]) -> StorageHierarchy {
@@ -130,6 +130,49 @@ proptest! {
         for (key, sz) in stored {
             let (data, _, _) = h.read(&key).unwrap();
             prop_assert_eq!(data.len() as u64, sz);
+        }
+    }
+
+    /// Accounting invariant, both backends: after an arbitrary sequence
+    /// of puts and removes (some rejected for capacity or duplicate
+    /// keys), `used` always equals the summed size of the indexed
+    /// objects, and a file-backed reopen re-derives the same number.
+    #[test]
+    fn used_equals_sum_of_indexed_object_sizes(
+        ops in proptest::collection::vec((0u8..8, 0usize..128), 1..24),
+        file_backed in any::<bool>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "canopus_prop_used_{}_{file_backed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dev = if file_backed {
+            Device::file_backed("t", 512, &dir).unwrap()
+        } else {
+            Device::new("t", 512)
+        };
+        for (slot, sz) in ops {
+            let key = format!("k{}", slot % 4);
+            if slot < 4 {
+                let _ = dev.put(&key, Bytes::from(vec![slot; sz]));
+            } else {
+                let _ = dev.remove(&key);
+            }
+            let expected: u64 = dev
+                .keys()
+                .iter()
+                .map(|k| dev.size_of(k).unwrap())
+                .sum();
+            prop_assert_eq!(dev.used(), expected);
+            prop_assert_eq!(dev.available(), 512 - expected);
+        }
+        if file_backed {
+            let expected = dev.used();
+            drop(dev);
+            let reopened = Device::file_backed("t", 512, &dir).unwrap();
+            prop_assert_eq!(reopened.used(), expected);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

@@ -56,6 +56,10 @@ fn corrupted_base_fails_cleanly() {
     corrupt_object(&canopus, "fi.bp/pressure/L2");
     let reader = canopus.open("fi.bp").expect("open");
     match reader.read_base(ds.var) {
+        // The manifest checksum is the first line of defense: persistent
+        // in-place corruption surfaces as a mismatch once the retry
+        // budget confirms it isn't transient.
+        Err(e) if e.is_checksum_mismatch() => {}
         Err(CanopusError::Codec(_)) | Err(CanopusError::Invalid(_)) => {}
         Err(other) => panic!("unexpected error class: {other}"),
         Ok(out) => {
@@ -86,6 +90,7 @@ fn corrupted_mesh_metadata_fails_cleanly() {
     corrupt_object(&canopus, "fi.bp/pressure/m2");
     let reader = canopus.open("fi.bp").expect("open");
     match reader.read_base(ds.var) {
+        Err(e) if e.is_checksum_mismatch() => {}
         Err(CanopusError::MeshIo(_)) | Err(CanopusError::Invalid(_)) => {}
         Err(other) => panic!("unexpected error class: {other}"),
         Ok(_) => panic!("corrupted mesh metadata must not parse"),

@@ -323,6 +323,88 @@ fn serial_write_records_no_pipeline_metrics() {
     assert!(snap.timer(names::WRITE_IO).sim_secs > 0.0);
 }
 
+/// The fault-tolerance layer publishes its counters — retries, observed
+/// faults, checksum failures, degraded restores and per-tier injection
+/// counts — under the shared names, and they land in the snapshot JSON.
+#[test]
+fn fault_and_retry_metrics_land_in_snapshot() {
+    use canopus_storage::FaultPlan;
+
+    // Part 1: transient faults ridden out by retries.
+    let (canopus, ds) = written_canopus();
+    let reader = canopus.open("obs.bp").expect("open");
+    // Armed only after open: the manifest read has no retry loop.
+    canopus.hierarchy().set_fault_plan_all(FaultPlan {
+        seed: 11,
+        get_error_p: 0.25,
+        ..FaultPlan::none()
+    });
+    let out = reader
+        .read_level(ds.var, 0)
+        .expect("transients within budget never fail the read");
+    assert!(!out.degraded);
+
+    let snap = canopus.metrics().snapshot();
+    assert!(snap.counter(names::READ_RETRIES) > 0, "retries counted");
+    assert!(snap.counter(names::READ_FAULTS_INJECTED) > 0);
+    assert_eq!(snap.counter(names::READ_CHECKSUM_FAILURES), 0);
+    assert_eq!(snap.counter(names::READ_DEGRADED_RESTORES), 0);
+    // Every reader-observed fault was injected by some tier.
+    let tier_faults: u64 = (0..snap.num_tiers_observed())
+        .map(|t| snap.counter(&names::tier_faults(t)))
+        .sum();
+    assert_eq!(tier_faults, snap.counter(names::READ_FAULTS_INJECTED));
+
+    // All of it survives the JSON round-trip the CLI depends on.
+    let back = MetricsSnapshot::from_json_str(&snap.to_json_string()).expect("parse");
+    for name in [names::READ_RETRIES, names::READ_FAULTS_INJECTED] {
+        assert_eq!(back.counter(name), snap.counter(name), "{name}");
+    }
+
+    // Part 2: persistent in-flight corruption on the slow tier exhausts
+    // the budget; the checksum counter moves and the walk degrades. The
+    // fast tier is sized so the base products stay on tier 0 — only
+    // finer levels become unreachable.
+    let ds = xgc1_dataset_sized(20, 20, 7);
+    let canopus = Canopus::new(
+        Arc::new(StorageHierarchy::new(vec![
+            canopus_storage::TierSpec::new("fast", 1 << 20, 1e9, 1e9, 1e-6),
+            canopus_storage::TierSpec::new("slow", 1 << 26, 1e7, 1e7, 1e-3),
+        ])),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: LEVELS,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Fpc,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("obs.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    let reader = canopus.open("obs.bp").expect("open");
+    canopus
+        .hierarchy()
+        .set_fault_plan(
+            1,
+            FaultPlan {
+                seed: 3,
+                corrupt_p: 1.0,
+                ..FaultPlan::none()
+            },
+        )
+        .expect("tier 1 exists");
+    let out = reader
+        .read_level(ds.var, 0)
+        .expect("unreachable levels degrade, never error");
+    assert!(out.degraded, "slow-tier corruption must degrade the walk");
+    let snap = canopus.metrics().snapshot();
+    assert!(snap.counter(names::READ_CHECKSUM_FAILURES) > 0);
+    assert!(snap.counter(names::READ_DEGRADED_RESTORES) >= 1);
+    assert!(snap.counter(&names::tier_faults(1)) > 0);
+}
+
 #[test]
 fn disabled_sink_records_no_events_but_all_metrics() {
     let (snap, _, _) = restore_and_snapshot();

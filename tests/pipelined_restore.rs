@@ -8,7 +8,7 @@
 
 use canopus::config::RelativeCodec;
 use canopus::read::CanopusReader;
-use canopus::{Canopus, CanopusConfig};
+use canopus::{Canopus, CanopusConfig, FaultPlan, RetryPolicy};
 use canopus_data::{all_datasets_small, xgc1_dataset_sized, Dataset};
 use canopus_obs::names;
 use canopus_refactor::levels::RefactorConfig;
@@ -183,6 +183,62 @@ fn region_refinement_is_engine_invariant() {
     assert_eq!(roi_a.data, roi_b.data);
     assert_eq!(stats_a.chunks_read, stats_b.chunks_read);
     assert_eq!(stats_a.chunks_total, stats_b.chunks_total);
+}
+
+/// An explicitly disarmed fault plan — and a non-default retry budget —
+/// is observationally invisible on the read side: both engines restore
+/// the same bytes as the default configuration at every level, nothing
+/// degrades, and no fault metric moves.
+#[test]
+fn disarmed_fault_plan_restores_identically() {
+    let ds = xgc1_dataset_sized(16, 80, 11);
+    let levels = 4u32;
+    let baseline = written(&ds, RelativeCodec::Fpc, levels);
+    let raw = (ds.data.len() * 8) as u64;
+    let disarmed = Canopus::new(
+        Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: levels,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Fpc,
+            fault: FaultPlan::none(),
+            retry: RetryPolicy {
+                max_attempts: 7,
+                ..RetryPolicy::new()
+            },
+            ..Default::default()
+        },
+    );
+    disarmed
+        .write("eq.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+
+    for level in 0..levels {
+        let a = pipelined_reader(&baseline)
+            .read_level(ds.var, level)
+            .expect("baseline");
+        let b = pipelined_reader(&disarmed)
+            .read_level(ds.var, level)
+            .expect("disarmed");
+        let c = serial_reader(&disarmed)
+            .read_level(ds.var, level)
+            .expect("disarmed serial");
+        assert_eq!(a.data, b.data, "level {level}");
+        assert_eq!(b.data, c.data, "level {level}, serial engine");
+        assert!(!b.degraded, "nothing to degrade without faults");
+        assert_eq!(b.achieved_level, b.level);
+    }
+    let snap = disarmed.metrics().snapshot();
+    for name in [
+        names::READ_RETRIES,
+        names::READ_FAULTS_INJECTED,
+        names::READ_CHECKSUM_FAILURES,
+        names::READ_DEGRADED_RESTORES,
+    ] {
+        assert_eq!(snap.counter(name), 0, "{name} must stay zero");
+    }
 }
 
 /// Acceptance: the second read of a cached `(var, level)` performs zero

@@ -8,7 +8,7 @@
 //! pipelined) restore engine.
 
 use canopus::config::RelativeCodec;
-use canopus::{Canopus, CanopusConfig};
+use canopus::{Canopus, CanopusConfig, FaultPlan, RetryPolicy};
 use canopus_data::xgc1_dataset_sized;
 use canopus_mesh::generators::{jitter_interior, rectangle_mesh};
 use canopus_mesh::geometry::{Aabb, Point2};
@@ -191,6 +191,41 @@ fn pipelined_write_roundtrips_through_pipelined_reader() {
             let coarse = reader.read_level("v", level).expect("coarser level");
             assert!(coarse.data.len() < data.len());
         }
+    }
+}
+
+/// An explicitly disarmed fault plan — and any retry budget — is
+/// invisible to the write path: tier contents, manifest included, stay
+/// byte-identical to the default configuration's, through both engines.
+#[test]
+fn disarmed_fault_plan_leaves_tier_contents_byte_identical() {
+    let (mesh, data) = small_case();
+    let raw = (data.len() * 8) as u64;
+    for depth in [0u32, 4] {
+        let baseline = written(&mesh, &data, RelativeCodec::Fpc, 4, 1, depth, 1);
+        let disarmed = Canopus::new(
+            Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+            CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels: 4,
+                    ..Default::default()
+                },
+                codec: RelativeCodec::Fpc,
+                write_pipeline_depth: depth,
+                fault: FaultPlan::none(),
+                retry: RetryPolicy {
+                    max_attempts: 9,
+                    ..RetryPolicy::new()
+                },
+                ..Default::default()
+            },
+        );
+        disarmed.write("eq.bp", "v", &mesh, &data).expect("write");
+        assert_eq!(
+            tier_contents(&baseline),
+            tier_contents(&disarmed),
+            "disarmed fault plan must not change placed bytes (depth {depth})"
+        );
     }
 }
 
