@@ -100,6 +100,10 @@ impl TransportWriter {
                             };
                             obs.timer(names::TRANSPORT_STAGED_LATENCY)
                                 .record(start.elapsed().as_secs_f64(), sim);
+                            obs.histogram(names::TRANSPORT_OP_WALL_HIST)
+                                .observe_secs(start.elapsed().as_secs_f64());
+                            obs.histogram(names::TRANSPORT_OP_SIM_HIST)
+                                .observe_secs(sim);
                             drain_outcomes.lock().push(StagedOutcome {
                                 file: req.file,
                                 result,
@@ -140,6 +144,10 @@ impl TransportWriter {
                 obs.counter(names::TRANSPORT_DIRECT_WRITES).inc();
                 obs.timer(names::TRANSPORT_DIRECT_LATENCY)
                     .record(start.elapsed().as_secs_f64(), out.1.seconds());
+                obs.histogram(names::TRANSPORT_OP_WALL_HIST)
+                    .observe_secs(start.elapsed().as_secs_f64());
+                obs.histogram(names::TRANSPORT_OP_SIM_HIST)
+                    .observe_secs(out.1.seconds());
                 Ok(Some(out))
             }
             Some(stage) => {

@@ -25,6 +25,11 @@
 //! tier for the end-to-end figures, and `--retry-attempts <n>` sets the
 //! per-block retry budget that rides the faults out — the printed times
 //! then include the recovery work (see docs/reliability.md).
+//!
+//! `--trace <path>` (end-to-end figures only) arms causal tracing on
+//! every table row and merges the spans into one Chrome trace_event
+//! file — one trace *process* per row, one lane per worker thread —
+//! for chrome://tracing or Perfetto (see docs/observability.md).
 
 use canopus_bench::endtoend::EngineOpts;
 use canopus_bench::setup::{self, Scale};
@@ -35,7 +40,11 @@ use std::path::Path;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_flag_value(&mut args, "--metrics");
-    let mut opts = EngineOpts::default();
+    let trace_path = take_flag_value(&mut args, "--trace");
+    let mut opts = EngineOpts {
+        trace: trace_path.is_some(),
+        ..EngineOpts::default()
+    };
     if let Some(depth) = take_flag_value(&mut args, "--pipeline-depth") {
         opts.pipeline_depth = depth.parse().unwrap_or_else(|_| {
             eprintln!("--pipeline-depth needs an unsigned integer, got {depth:?}");
@@ -118,9 +127,9 @@ fn main() {
     }
 
     if let Some(path) = metrics_path {
-        match metrics {
+        match &metrics {
             Some((figure, rows)) => {
-                let json = metrics_json(&figure, &rows);
+                let json = metrics_json(figure, rows);
                 if let Err(e) = std::fs::write(&path, json) {
                     eprintln!("cannot write metrics to {path}: {e}");
                     std::process::exit(1);
@@ -130,6 +139,39 @@ fn main() {
             None => {
                 eprintln!(
                     "--metrics is only available for the end-to-end figures (fig9|fig10|fig11|all)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        match &metrics {
+            Some((figure, rows)) => {
+                let processes: Vec<(String, &canopus::MetricsSnapshot)> = rows
+                    .iter()
+                    .map(|r| (format!("{figure} ratio={}", r.ratio_label), &r.metrics))
+                    .collect();
+                let borrowed: Vec<(&str, &canopus::MetricsSnapshot)> = processes
+                    .iter()
+                    .map(|(label, snap)| (label.as_str(), *snap))
+                    .collect();
+                let trace = canopus_obs::export::chrome_trace_multi(&borrowed);
+                if let Err(e) = std::fs::write(&path, trace) {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+                let dropped: u64 = rows.iter().map(|r| r.metrics.dropped_events).sum();
+                if dropped > 0 {
+                    eprintln!("warning: sink dropped {dropped} events at capacity — spans are missing from the trace");
+                }
+                println!(
+                    "wrote Chrome trace ({} rows) to {path} — open in chrome://tracing",
+                    rows.len()
+                );
+            }
+            None => {
+                eprintln!(
+                    "--trace is only available for the end-to-end figures (fig9|fig10|fig11|all)"
                 );
                 std::process::exit(2);
             }

@@ -48,6 +48,11 @@ pub struct EngineOpts {
     pub fault: FaultPlan,
     /// Per-block retry budget riding out the injected faults.
     pub retry: RetryPolicy,
+    /// Arm a [`canopus_obs::RingBufferSink`] on each row's registry so
+    /// the row snapshots carry the causal span tree (the `repro
+    /// --trace` flag merges them into one Chrome trace, one trace
+    /// process per row).
+    pub trace: bool,
 }
 
 impl Default for EngineOpts {
@@ -59,7 +64,22 @@ impl Default for EngineOpts {
             write_pipeline_depth: c.write_pipeline_depth,
             fault: c.fault,
             retry: c.retry,
+            trace: false,
         }
+    }
+}
+
+/// Per-row trace capture depth when [`EngineOpts::trace`] is set. Sized
+/// for a paper-scale row (every block contributes a handful of spans).
+const TRACE_SINK_CAPACITY: usize = 65536;
+
+/// Arm the row's sink when tracing was requested, so the snapshot taken
+/// at row end carries the span events.
+fn arm_trace_sink(canopus: &Canopus, opts: &EngineOpts) {
+    if opts.trace {
+        canopus.metrics().set_sink(std::sync::Arc::new(
+            canopus_obs::RingBufferSink::with_capacity(TRACE_SINK_CAPACITY),
+        ));
     }
 }
 
@@ -155,6 +175,7 @@ pub fn end_to_end_with(
                 ..Default::default()
             },
         );
+        arm_trace_sink(&canopus, &opts);
         canopus
             .write_unrefactored("none.bp", ds.var, &ds.mesh, &ds.data)
             .expect("baseline write");
@@ -197,6 +218,7 @@ pub fn end_to_end_with(
                 ..Default::default()
             },
         );
+        arm_trace_sink(&canopus, &opts);
         canopus
             .write("e2e.bp", ds.var, &ds.mesh, &ds.data)
             .expect("canopus write");
@@ -362,6 +384,38 @@ mod tests {
                 c.io_secs
             );
         }
+    }
+
+    #[test]
+    fn trace_opt_captures_span_events_per_row() {
+        let ds = xgc1_dataset_sized(12, 60, 5);
+        let rows = end_to_end_with(
+            &ds,
+            1,
+            false,
+            EngineOpts {
+                trace: true,
+                ..EngineOpts::default()
+            },
+        );
+        for row in &rows {
+            assert!(
+                row.metrics.events.iter().any(|e| e.name == "read"),
+                "{}: traced rows carry the root read span",
+                row.ratio_label
+            );
+        }
+        // The baseline writes unrefactored; ratio rows run the real
+        // write engine, whose root span must also be captured.
+        assert!(rows[0]
+            .metrics
+            .events
+            .iter()
+            .any(|e| e.name == "write_unrefactored"));
+        assert!(rows[1].metrics.events.iter().any(|e| e.name == "write"));
+        // Untraced rows stay event-free (NoopSink fast path).
+        let plain = end_to_end(&ds, 1, false);
+        assert!(plain.iter().all(|r| r.metrics.events.is_empty()));
     }
 
     #[test]

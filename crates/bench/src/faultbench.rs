@@ -18,9 +18,10 @@
 //! Every schedule is seeded and keyed off the (op, key, attempt) triple,
 //! so reruns observe identical fault counts.
 
-use canopus::{Canopus, CanopusConfig, FaultPlan};
+use crate::histsum;
+use canopus::{Canopus, CanopusConfig, FaultPlan, MetricsSnapshot};
 use canopus_data::Dataset;
-use canopus_obs::{json::Value, names};
+use canopus_obs::{json::Value, names, HistogramStat};
 use canopus_refactor::levels::RefactorConfig;
 use canopus_storage::{StorageHierarchy, TierSpec};
 use std::collections::BTreeMap;
@@ -64,6 +65,10 @@ pub struct FaultBenchReport {
     pub num_levels: u32,
     pub retry_max_attempts: u32,
     pub scenarios: Vec<FaultSample>,
+    /// Latency histograms of the `transient` scenario's run — the one
+    /// whose retry-backoff distribution is the interesting trajectory.
+    /// The `.sim` entries are deterministic at a fixed seed.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 impl FaultBenchReport {
@@ -119,6 +124,10 @@ impl FaultBenchReport {
             Value::Int(self.retry_max_attempts as i128),
         );
         top.insert("scenarios".into(), Value::Arr(scenarios));
+        top.insert(
+            "histograms".into(),
+            histsum::summaries_json(&self.histograms),
+        );
         Value::Obj(top)
     }
 }
@@ -137,7 +146,7 @@ fn fault_hierarchy(raw_bytes: u64) -> Arc<StorageHierarchy> {
 
 /// Run one scenario: fresh hierarchy, write, fault-free ground truth at
 /// every level, then the measured restore with the schedule armed.
-fn sample(ds: &Dataset, num_levels: u32, sc: &Scenario) -> FaultSample {
+fn sample(ds: &Dataset, num_levels: u32, sc: &Scenario) -> (FaultSample, MetricsSnapshot) {
     let raw = (ds.data.len() * 8) as u64;
     let canopus = Canopus::new(
         fault_hierarchy(raw),
@@ -183,18 +192,21 @@ fn sample(ds: &Dataset, num_levels: u32, sc: &Scenario) -> FaultSample {
     let wall_secs = t.elapsed().as_secs_f64();
 
     let m = canopus.metrics();
-    FaultSample {
-        label: sc.label,
-        wall_secs,
-        retries: m.counter(names::READ_RETRIES).get(),
-        faults_injected: m.counter(names::READ_FAULTS_INJECTED).get(),
-        checksum_failures: m.counter(names::READ_CHECKSUM_FAILURES).get(),
-        degraded_restores: m.counter(names::READ_DEGRADED_RESTORES).get(),
-        requested_level: 0,
-        achieved_level: out.achieved_level,
-        degraded: out.degraded,
-        identical_to_clean: out.data == clean[out.achieved_level as usize],
-    }
+    (
+        FaultSample {
+            label: sc.label,
+            wall_secs,
+            retries: m.counter(names::READ_RETRIES).get(),
+            faults_injected: m.counter(names::READ_FAULTS_INJECTED).get(),
+            checksum_failures: m.counter(names::READ_CHECKSUM_FAILURES).get(),
+            degraded_restores: m.counter(names::READ_DEGRADED_RESTORES).get(),
+            requested_level: 0,
+            achieved_level: out.achieved_level,
+            degraded: out.degraded,
+            identical_to_clean: out.data == clean[out.achieved_level as usize],
+        },
+        m.snapshot(),
+    )
 }
 
 /// Run the full benchmark: all four scenarios on `num_levels`
@@ -237,16 +249,23 @@ pub fn fault_bench(ds: &Dataset, num_levels: u32) -> FaultBenchReport {
             tier: Some(1),
         },
     ];
+    let mut histograms = BTreeMap::new();
+    let mut samples = Vec::with_capacity(scenarios.len());
+    for sc in &scenarios {
+        let (s, snap) = sample(ds, num_levels, sc);
+        if s.label == "transient" {
+            histograms = histsum::summaries(&snap);
+        }
+        samples.push(s);
+    }
     FaultBenchReport {
         dataset: ds.name.to_string(),
         var: ds.var.to_string(),
         vertices: ds.mesh.num_vertices(),
         num_levels,
         retry_max_attempts: CanopusConfig::default().retry.max_attempts,
-        scenarios: scenarios
-            .iter()
-            .map(|sc| sample(ds, num_levels, sc))
-            .collect(),
+        scenarios: samples,
+        histograms,
     }
 }
 
@@ -291,5 +310,14 @@ mod tests {
         let parsed = canopus_obs::json::parse(&text).expect("valid json");
         assert!(parsed.get("scenarios").is_some());
         assert!(parsed.get("retry_max_attempts").is_some());
+        // The transient scenario populates the retry-backoff histogram.
+        let hists = parsed.get("histograms").expect("histograms section");
+        let backoff = hists
+            .get(names::READ_RETRY_BACKOFF_HIST)
+            .expect("retry backoff histogram");
+        assert!(
+            backoff.get("count").and_then(Value::as_i64).unwrap_or(0) > 0,
+            "transient scenario must observe retry backoffs"
+        );
     }
 }

@@ -1,0 +1,181 @@
+//! Histogram summaries for the `BENCH_*.json` reports, plus the
+//! regression guard `bench_guard` runs over them.
+//!
+//! Every bench report carries a top-level `"histograms"` object mapping
+//! metric name → `{count, mean_secs, min_secs, max_secs, p50_secs,
+//! p90_secs, p99_secs}`, distilled from the run's registry snapshot.
+//! The `.sim` histograms (simulated tier/transport latency) are
+//! deterministic at a fixed seed, so their medians form a comparable
+//! perf trajectory across commits; the `.wall` histograms depend on the
+//! host and are recorded for context only. [`guard`] encodes that
+//! split: it diffs only `.sim` medians between a baseline and a
+//! candidate report and flags regressions beyond a tolerance.
+
+use canopus_obs::json::Value;
+use canopus_obs::{HistogramStat, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Distill a snapshot's histograms into the report summary map.
+pub fn summaries(snap: &MetricsSnapshot) -> BTreeMap<String, HistogramStat> {
+    snap.histograms.clone()
+}
+
+/// The `"histograms"` JSON object: name → quantile summary.
+pub fn summaries_json(histograms: &BTreeMap<String, HistogramStat>) -> Value {
+    let mut top = BTreeMap::new();
+    for (name, h) in histograms {
+        let mut o = BTreeMap::new();
+        o.insert("count".to_string(), Value::Int(h.count as i128));
+        o.insert("mean_secs".to_string(), Value::Float(h.mean_secs()));
+        o.insert("min_secs".to_string(), Value::Float(h.min_secs()));
+        o.insert("max_secs".to_string(), Value::Float(h.max_secs()));
+        o.insert("p50_secs".to_string(), Value::Float(h.p50_secs()));
+        o.insert("p90_secs".to_string(), Value::Float(h.p90_secs()));
+        o.insert("p99_secs".to_string(), Value::Float(h.p99_secs()));
+        top.insert(name.clone(), Value::Obj(o));
+    }
+    Value::Obj(top)
+}
+
+/// One guard violation, already formatted for the failure report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub name: String,
+    pub baseline_p50: f64,
+    pub candidate_p50: f64,
+    /// `candidate / baseline` — above `1 + tolerance` fails the guard.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: p50 {:.3e}s -> {:.3e}s ({:+.0}%)",
+            self.name,
+            self.baseline_p50,
+            self.candidate_p50,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// Compare the `"histograms"` sections of two bench reports and return
+/// every `.sim` histogram whose median regressed by more than
+/// `tolerance` (0.25 = fail above +25%). Names missing from either
+/// side, `.wall` histograms and empty histograms are skipped — the
+/// guard bounds the *deterministic* trajectory only.
+pub fn guard(baseline: &Value, candidate: &Value, tolerance: f64) -> Vec<Regression> {
+    let (Some(base), Some(cand)) = (hist_obj(baseline), hist_obj(candidate)) else {
+        return Vec::new();
+    };
+    let mut regressions = Vec::new();
+    for (name, b) in base {
+        if !name.ends_with(".sim") {
+            continue;
+        }
+        let Some(c) = cand.get(name) else { continue };
+        let (Some(bp50), Some(cp50)) = (f64_field(b, "p50_secs"), f64_field(c, "p50_secs")) else {
+            continue;
+        };
+        let empty = |v: &Value| matches!(f64_field(v, "count"), Some(n) if n == 0.0);
+        if empty(b) || empty(c) || bp50 <= 0.0 {
+            continue;
+        }
+        let ratio = cp50 / bp50;
+        if ratio > 1.0 + tolerance {
+            regressions.push(Regression {
+                name: name.clone(),
+                baseline_p50: bp50,
+                candidate_p50: cp50,
+                ratio,
+            });
+        }
+    }
+    regressions
+}
+
+fn hist_obj(report: &Value) -> Option<&BTreeMap<String, Value>> {
+    match report.get("histograms")? {
+        Value::Obj(o) => Some(o),
+        _ => None,
+    }
+}
+
+fn f64_field(summary: &Value, key: &str) -> Option<f64> {
+    match summary.get(key)? {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_obs::Registry;
+
+    fn report_with(entries: &[(&str, u64, f64)]) -> Value {
+        let mut top = BTreeMap::new();
+        let mut hists = BTreeMap::new();
+        for (name, count, p50) in entries {
+            let mut o = BTreeMap::new();
+            o.insert("count".to_string(), Value::Int(*count as i128));
+            o.insert("p50_secs".to_string(), Value::Float(*p50));
+            hists.insert(name.to_string(), Value::Obj(o));
+        }
+        top.insert("histograms".to_string(), Value::Obj(hists));
+        Value::Obj(top)
+    }
+
+    #[test]
+    fn summaries_round_trip_through_json() {
+        let reg = Registry::new();
+        reg.histogram("storage.tier.0.read_latency.sim")
+            .observe_secs(0.125);
+        reg.histogram("storage.tier.0.read_latency.sim")
+            .observe_secs(0.25);
+        let sums = summaries(&reg.snapshot());
+        let json = summaries_json(&sums);
+        let parsed = canopus_obs::json::parse(&json.to_pretty()).expect("summary json parses back");
+        let entry = parsed.get("storage.tier.0.read_latency.sim").unwrap();
+        assert_eq!(entry.get("count").and_then(Value::as_i64), Some(2));
+        let p50 = match entry.get("p50_secs").unwrap() {
+            Value::Float(f) => *f,
+            other => panic!("p50 not a float: {other:?}"),
+        };
+        assert!(p50 > 0.0 && p50 <= 0.25, "interpolated median, got {p50}");
+    }
+
+    #[test]
+    fn guard_flags_only_sim_regressions_beyond_tolerance() {
+        let base = report_with(&[
+            ("storage.tier.0.read_latency.sim", 10, 0.100),
+            ("storage.tier.1.read_latency.sim", 10, 0.100),
+            ("canopus.read.decode_block.wall", 10, 0.100),
+        ]);
+        let cand = report_with(&[
+            ("storage.tier.0.read_latency.sim", 10, 0.120), // +20%: within
+            ("storage.tier.1.read_latency.sim", 10, 0.200), // +100%: fails
+            ("canopus.read.decode_block.wall", 10, 9.000),  // wall: ignored
+        ]);
+        let out = guard(&base, &cand, 0.25);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].name, "storage.tier.1.read_latency.sim");
+        assert!((out[0].ratio - 2.0).abs() < 1e-9);
+        assert!(out[0].to_string().contains("+100%"));
+    }
+
+    #[test]
+    fn guard_skips_empty_missing_and_improved() {
+        let base = report_with(&[
+            ("a.sim", 0, 0.0),   // empty: skipped
+            ("b.sim", 5, 0.100), // missing from candidate: skipped
+            ("c.sim", 5, 0.100), // improved: fine
+        ]);
+        let cand = report_with(&[("a.sim", 5, 1.0), ("c.sim", 5, 0.010)]);
+        assert!(guard(&base, &cand, 0.25).is_empty());
+        // No histograms section at all: vacuously clean (old reports).
+        assert!(guard(&Value::Obj(BTreeMap::new()), &cand, 0.25).is_empty());
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`endtoend`] | Figs. 9/10/11: analysis-pipeline and full-restoration times |
 //! | [`readbench`] | restore-engine perf trajectory (`BENCH_read.json`) |
 //! | [`faultbench`] | fault-injected recovery costs (`BENCH_faults.json`) |
+//! | [`histsum`] | per-report histogram summaries + the `bench_guard` regression check |
 //! | [`ablation`] | smoothness validation, estimator/codec/priority/refactorer/mapping ablations |
 //! | [`extensions`] | focused-retrieval region sweep, campaign query pushdown |
 //! | [`setup`] | shared dataset scaling + Titan-like hierarchy calibration |
@@ -26,6 +27,7 @@ pub mod extensions;
 pub mod faultbench;
 pub mod fig5;
 pub mod fig6;
+pub mod histsum;
 pub mod readbench;
 pub mod setup;
 pub mod table;

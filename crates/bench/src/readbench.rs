@@ -18,10 +18,11 @@
 //! A second section exercises the decoded-level cache: the repeat read
 //! of a cached `(var, level)` must move zero tier bytes.
 
+use crate::histsum;
 use crate::setup::titan_hierarchy;
-use canopus::{Canopus, CanopusConfig, PhaseTiming};
+use canopus::{Canopus, CanopusConfig, MetricsSnapshot, PhaseTiming};
 use canopus_data::Dataset;
-use canopus_obs::{json::Value, names};
+use canopus_obs::{json::Value, names, HistogramStat};
 use canopus_refactor::levels::RefactorConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -61,6 +62,10 @@ pub struct ReadBenchReport {
     /// `serial` wall over `pipelined` wall — the before/after speedup.
     pub speedup: f64,
     pub cache: CacheSample,
+    /// Latency histograms of the pipelined engine's run (write + all
+    /// restore iterations). The `.sim` entries are deterministic at a
+    /// fixed seed — `bench_guard` diffs their medians across commits.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 impl ReadBenchReport {
@@ -117,6 +122,10 @@ impl ReadBenchReport {
             Value::Float(self.speedup),
         );
         top.insert("cache".into(), Value::Obj(cache));
+        top.insert(
+            "histograms".into(),
+            histsum::summaries_json(&self.histograms),
+        );
         Value::Obj(top)
     }
 }
@@ -129,7 +138,7 @@ fn sample_engine(
     iters: usize,
     label: &'static str,
     config: CanopusConfig,
-) -> EngineSample {
+) -> (EngineSample, MetricsSnapshot) {
     let raw = (ds.data.len() * 8) as u64;
     let canopus = Canopus::new(titan_hierarchy(raw), config);
     canopus
@@ -146,11 +155,14 @@ fn sample_engine(
         .collect();
     runs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let (wall_secs, timing) = runs[runs.len() / 2];
-    EngineSample {
-        label,
-        wall_secs,
-        timing,
-    }
+    (
+        EngineSample {
+            label,
+            wall_secs,
+            timing,
+        },
+        canopus.metrics().snapshot(),
+    )
 }
 
 /// Cache behaviour: repeat read of the same `(var, level)` on one reader.
@@ -187,28 +199,27 @@ pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchRepor
         level_cache: 0,
         ..Default::default()
     };
-    let engines = vec![
-        sample_engine(
-            ds,
-            iters,
-            "serial",
-            CanopusConfig {
-                pipeline_depth: 0,
-                codec_chunking: false,
-                ..base
-            },
-        ),
-        sample_engine(
-            ds,
-            iters,
-            "serial_chunked",
-            CanopusConfig {
-                pipeline_depth: 0,
-                ..base
-            },
-        ),
-        sample_engine(ds, iters, "pipelined", base),
-    ];
+    let (serial, _) = sample_engine(
+        ds,
+        iters,
+        "serial",
+        CanopusConfig {
+            pipeline_depth: 0,
+            codec_chunking: false,
+            ..base
+        },
+    );
+    let (serial_chunked, _) = sample_engine(
+        ds,
+        iters,
+        "serial_chunked",
+        CanopusConfig {
+            pipeline_depth: 0,
+            ..base
+        },
+    );
+    let (pipelined, pipelined_snap) = sample_engine(ds, iters, "pipelined", base);
+    let engines = vec![serial, serial_chunked, pipelined];
     let speedup = engines[0].wall_secs / engines[2].wall_secs.max(f64::MIN_POSITIVE);
     let cache = sample_cache(
         ds,
@@ -232,6 +243,7 @@ pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchRepor
         engines,
         speedup,
         cache,
+        histograms: histsum::summaries(&pipelined_snap),
     }
 }
 
@@ -267,5 +279,13 @@ mod tests {
         assert!(parsed.get("speedup_serial_over_pipelined").is_some());
         assert!(parsed.get("engines").is_some());
         assert!(parsed.get("cache").is_some());
+        // The histogram section carries the deterministic sim latencies
+        // the bench guard diffs.
+        let hists = parsed.get("histograms").expect("histograms section");
+        let sim = hists
+            .get(&names::tier_read_latency_sim(0))
+            .expect("tier 0 sim read latency");
+        assert!(sim.get("p50_secs").is_some());
+        assert!(sim.get("count").is_some());
     }
 }

@@ -22,10 +22,11 @@
 //! work and the pipeline only pays its (small) channel + thread
 //! overhead, so expect ≈ 1.0 there and the win on multi-core runners.
 
+use crate::histsum;
 use crate::setup::titan_hierarchy;
-use canopus::{Canopus, CanopusConfig};
+use canopus::{Canopus, CanopusConfig, MetricsSnapshot};
 use canopus_data::Dataset;
-use canopus_obs::json::Value;
+use canopus_obs::{json::Value, HistogramStat};
 use canopus_refactor::levels::RefactorConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -72,6 +73,10 @@ pub struct WriteBenchReport {
     /// Speedup on the deepest unchunked row — the headline number the
     /// CI smoke step bounds.
     pub speedup: f64,
+    /// Latency histograms of the headline row's pipelined run. The
+    /// `.sim` entries are deterministic at a fixed seed — `bench_guard`
+    /// diffs their medians across commits.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 impl WriteBenchReport {
@@ -118,6 +123,10 @@ impl WriteBenchReport {
             "speedup_serial_over_pipelined".into(),
             Value::Float(self.speedup),
         );
+        top.insert(
+            "histograms".into(),
+            histsum::summaries_json(&self.histograms),
+        );
         Value::Obj(top)
     }
 }
@@ -130,9 +139,9 @@ fn sample_engine(
     iters: usize,
     label: &'static str,
     config: CanopusConfig,
-) -> WriteEngineSample {
+) -> (WriteEngineSample, MetricsSnapshot) {
     let raw = (ds.data.len() * 8) as u64;
-    let mut runs: Vec<(f64, WriteEngineSample)> = (0..iters.max(1))
+    let mut runs: Vec<(f64, WriteEngineSample, MetricsSnapshot)> = (0..iters.max(1))
         .map(|_| {
             let canopus = Canopus::new(titan_hierarchy(raw), config);
             let t = Instant::now();
@@ -151,16 +160,19 @@ fn sample_engine(
                     io_sim_secs: r.io_time.seconds(),
                     stored_bytes: r.stored_data_bytes(),
                 },
+                canopus.metrics().snapshot(),
             )
         })
         .collect();
     runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-    runs.swap_remove(runs.len() / 2).1
+    let (_, sample, snap) = runs.swap_remove(runs.len() / 2);
+    (sample, snap)
 }
 
 /// Run the grid: serial vs pipelined on each `(num_levels,
 /// delta_chunks)` cell.
 pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBenchReport {
+    let mut snapshots: Vec<(u32, u32, MetricsSnapshot)> = Vec::new();
     let rows: Vec<WriteBenchRow> = combos
         .iter()
         .map(|&(num_levels, delta_chunks)| {
@@ -172,7 +184,7 @@ pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBe
                 delta_chunks,
                 ..Default::default()
             };
-            let serial = sample_engine(
+            let (serial, _) = sample_engine(
                 ds,
                 iters,
                 "serial",
@@ -181,7 +193,8 @@ pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBe
                     ..base
                 },
             );
-            let pipelined = sample_engine(ds, iters, "pipelined", base);
+            let (pipelined, snap) = sample_engine(ds, iters, "pipelined", base);
+            snapshots.push((num_levels, delta_chunks, snap));
             let speedup = serial.wall_secs / pipelined.wall_secs.max(f64::MIN_POSITIVE);
             WriteBenchRow {
                 num_levels,
@@ -200,6 +213,13 @@ pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBe
         .or(rows.last())
         .map(|r| r.speedup)
         .unwrap_or(1.0);
+    let histograms = snapshots
+        .iter()
+        .filter(|(_, chunks, _)| *chunks == 1)
+        .max_by_key(|(levels, _, _)| *levels)
+        .or(snapshots.last())
+        .map(|(_, _, snap)| histsum::summaries(snap))
+        .unwrap_or_default();
     WriteBenchReport {
         dataset: ds.name.to_string(),
         var: ds.var.to_string(),
@@ -210,6 +230,7 @@ pub fn write_bench(ds: &Dataset, combos: &[(u32, u32)], iters: usize) -> WriteBe
             .unwrap_or(1),
         rows,
         speedup,
+        histograms,
     }
 }
 
@@ -245,5 +266,10 @@ mod tests {
         assert!(parsed.get("speedup_serial_over_pipelined").is_some());
         assert!(parsed.get("rows").is_some());
         assert!(parsed.get("threads").is_some());
+        let hists = parsed.get("histograms").expect("histograms section");
+        let sim = hists
+            .get(&canopus_obs::names::tier_write_latency_sim(0))
+            .expect("tier 0 sim write latency");
+        assert!(sim.get("p50_secs").is_some());
     }
 }

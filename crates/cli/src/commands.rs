@@ -43,10 +43,17 @@ commands:
       focused retrieval: refine one level inside a bounding box only
   metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
           [--no-cache] [--fault-* ...] [--retry-attempts N]
-          [--out metrics.json]
+          [--out metrics.json] [--prom]
       restore a level with the observability sink enabled and dump the
-      metrics snapshot (counters, gauges, stage timers, events) as JSON;
+      metrics snapshot (counters, gauges, stage timers, histograms,
+      events) as JSON — or as Prometheus text exposition with --prom;
       takes the same fault-injection flags as `read`
+  trace <store> <file.bp> <var> [--level L] [--pipeline-depth N]
+        [--no-cache] [--fault-* ...] [--retry-attempts N]
+        [--out trace.json]
+      restore a level with causal tracing armed and export the span
+      tree as Chrome trace_event JSON (open in chrome://tracing or
+      Perfetto); worker threads appear as named lanes
   tiers <store>
       show tier capacities and usage";
 
@@ -64,6 +71,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "explore" => cmd_explore(rest),
         "region" => cmd_region(rest),
         "metrics" => cmd_metrics(rest),
+        "trace" => cmd_trace(rest),
         "tiers" => cmd_tiers(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -436,7 +444,7 @@ fn cmd_region(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_metrics(argv: &[String]) -> Result<(), String> {
-    let a = Args::parse(argv, &["no-cache"])?;
+    let a = Args::parse(argv, &["no-cache", "prom"])?;
     let store_dir = a.pos(0, "store directory")?;
     let file = a.pos(1, "file name")?;
     let var = a.pos(2, "variable name")?;
@@ -456,18 +464,77 @@ fn cmd_metrics(argv: &[String]) -> Result<(), String> {
         .map_err(|e| format!("read: {e}"))?;
 
     let snap = obs.snapshot();
-    let json = snap.to_json_string();
+    warn_on_dropped_events(&snap);
+    let text = if a.flag("prom") {
+        canopus_obs::export::prometheus_text(&snap)
+    } else {
+        snap.to_json_string()
+    };
     match out {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
             println!(
                 "restored {var} L{level} ({} values); metrics snapshot -> {path}",
                 outcome.data.len()
             );
         }
-        None => println!("{json}"),
+        None => println!("{text}"),
     }
     Ok(())
+}
+
+/// Capture depth of the `trace` subcommand's ring buffer. Larger than
+/// the `metrics` buffer since every block contributes several spans and
+/// a truncated trace is far less useful than a truncated snapshot.
+const TRACE_SINK_CAPACITY: usize = 65536;
+
+fn cmd_trace(argv: &[String]) -> Result<(), String> {
+    let a = Args::parse(argv, &["no-cache"])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let level: u32 = a.opt_parse("level", 0u32)?;
+    let out = a.opt("out");
+
+    let canopus = canopus_for(store_dir, engine_config(&a)?)?;
+    let obs = std::sync::Arc::clone(canopus.metrics());
+    obs.set_sink(std::sync::Arc::new(
+        canopus_obs::RingBufferSink::with_capacity(TRACE_SINK_CAPACITY),
+    ));
+    let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+    let outcome = reader
+        .read_level(var, level)
+        .map_err(|e| format!("read: {e}"))?;
+
+    let snap = obs.snapshot();
+    warn_on_dropped_events(&snap);
+    let trace = canopus_obs::export::chrome_trace(&snap);
+    match out {
+        Some(path) => {
+            std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "restored {var} L{level} ({} values); {} trace events -> {path} \
+                 (open in chrome://tracing)",
+                outcome.data.len(),
+                snap.events.len()
+            );
+        }
+        None => println!("{trace}"),
+    }
+    Ok(())
+}
+
+/// Satellite warning: a ring-buffer sink that hit capacity silently
+/// truncates the span tree, so surface that on stderr next to whatever
+/// the command prints.
+fn warn_on_dropped_events(snap: &canopus::MetricsSnapshot) {
+    if snap.dropped_events > 0 {
+        eprintln!(
+            "warning: sink dropped {} events at capacity — spans are \
+             missing; raise the buffer size or trace a smaller read",
+            snap.dropped_events
+        );
+    }
 }
 
 fn cmd_tiers(argv: &[String]) -> Result<(), String> {
@@ -821,6 +888,95 @@ mod tests {
             faulty,
         ]))
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_subcommand_writes_causal_chrome_trace() {
+        let dir = tmpdir("trace");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let trace = dir.join("trace.json");
+        let (store, mesh, data, trace) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            trace.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "cfd",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data,
+        ]))
+        .unwrap();
+        run(&s(&["trace", store, "p.bp", "pressure", "--out", trace])).unwrap();
+
+        let text = std::fs::read_to_string(trace).unwrap();
+        let parsed = canopus_obs::json::parse(&text).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(canopus_obs::json::Value::as_arr)
+            .unwrap();
+        // The restore emits a root "read" slice plus per-block children.
+        let named = |n: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(canopus_obs::json::Value::as_str) == Some(n))
+                .count()
+        };
+        assert!(named("read") >= 1, "root read span present");
+        assert!(named("read.block") >= 1, "block spans present");
+        assert!(named("decode") >= 1, "decode spans present");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_prom_flag_emits_prometheus_text() {
+        let dir = tmpdir("prom");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let prom = dir.join("metrics.prom");
+        let (store, mesh, data, prom) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+            prom.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "cfd",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "p.bp", "pressure", "--mesh", mesh, "--data", data,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "metrics", store, "p.bp", "pressure", "--prom", "--out", prom,
+        ]))
+        .unwrap();
+
+        let text = std::fs::read_to_string(prom).unwrap();
+        assert!(text.contains("# TYPE canopus_read_blocks counter"));
+        assert!(text.contains("# TYPE canopus_read_decode_block_wall_seconds histogram"));
+        assert!(text.contains("_bucket{le=\"+Inf\"}"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

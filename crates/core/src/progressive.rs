@@ -80,13 +80,15 @@ impl<'a> ProgressiveReader<'a> {
     /// Fetch the next delta and refine one level. Errors at full
     /// accuracy.
     pub fn refine(&mut self) -> Result<PhaseTiming, CanopusError> {
-        let _span = stage!(
+        let span = stage!(
             self.reader.metrics(),
             "restore",
             var = self.var.as_str(),
             level = self.current.level.saturating_sub(1),
         );
-        let (next, rms) = self.reader.refine_once(&self.var, &self.current)?;
+        let (next, rms) = self
+            .reader
+            .refine_once_ctx(&self.var, &self.current, span.context())?;
         let step = next.timing;
         self.cumulative += step;
         self.current = next;

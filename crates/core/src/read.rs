@@ -32,7 +32,7 @@ use canopus_adios::{BlockMeta, BpFile};
 use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
 use canopus_mesh::Aabb;
 use canopus_mesh::TriMesh;
-use canopus_obs::{names, stage, Registry};
+use canopus_obs::{names, stage, stage_child, FieldValue, Registry, SpanContext};
 use canopus_refactor::mapping::mapping_from_bytes;
 use canopus_refactor::{restore_level, Estimator};
 use crossbeam::channel;
@@ -270,10 +270,19 @@ impl CanopusReader {
     /// retry [`names::READ_RETRIES`]. Anything else — notably a missing
     /// block — fails immediately. I/O accounting only records the
     /// successful attempt.
+    ///
+    /// When tracing is armed the fetch runs inside a `read.block` span
+    /// under `parent`, with one `read.fault` event per observed fault
+    /// and one `read.retry` event (attempt number, backoff slept) per
+    /// retry nested beneath it. Backoffs also land in the
+    /// [`names::READ_RETRY_BACKOFF_HIST`] histogram either way.
     fn read_block_observed(
         &self,
         block: &BlockMeta,
+        parent: SpanContext,
     ) -> Result<(Bytes, usize, canopus_storage::SimDuration), CanopusError> {
+        let span = stage_child!(self.obs, parent, "read.block", key = block.key.as_str());
+        let ctx = span.context();
         let max_attempts = self.retry.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
@@ -299,11 +308,36 @@ impl CanopusReader {
                     if e.is_checksum_mismatch() {
                         self.obs.counter(names::READ_CHECKSUM_FAILURES).inc();
                     }
+                    if self.obs.sink_enabled() {
+                        self.obs.event_child(
+                            "read.fault",
+                            ctx,
+                            vec![
+                                ("key".to_string(), FieldValue::from(block.key.as_str())),
+                                ("attempt".to_string(), FieldValue::from(attempt)),
+                                ("cause".to_string(), FieldValue::from(e.to_string())),
+                            ],
+                        );
+                    }
                     if attempt >= max_attempts {
                         return Err(e);
                     }
                     self.obs.counter(names::READ_RETRIES).inc();
                     let backoff = self.retry.backoff_s(&block.key, attempt);
+                    self.obs
+                        .histogram(names::READ_RETRY_BACKOFF_HIST)
+                        .observe_secs(backoff);
+                    if self.obs.sink_enabled() {
+                        self.obs.event_child(
+                            "read.retry",
+                            ctx,
+                            vec![
+                                ("key".to_string(), FieldValue::from(block.key.as_str())),
+                                ("attempt".to_string(), FieldValue::from(attempt)),
+                                ("backoff_s".to_string(), FieldValue::from(backoff)),
+                            ],
+                        );
+                    }
                     if backoff > 0.0 {
                         std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
                     }
@@ -321,7 +355,7 @@ impl CanopusReader {
     /// (one-time campaign cost; subsequent reads skip geometry I/O).
     pub fn warm_metadata(&self, var: &str) -> Result<(), CanopusError> {
         for level in 0..self.num_levels() {
-            self.read_level_meta(var, level)?;
+            self.read_level_meta(var, level, SpanContext::none())?;
         }
         Ok(())
     }
@@ -341,7 +375,18 @@ impl CanopusReader {
     /// stripped to recover the payload codec, and the observed codec
     /// sits *inside* the chunk framing so per-chunk metrics still land
     /// under the real codec's name.
-    fn decode_block(&self, block: &BlockMeta, bytes: &[u8]) -> Result<Vec<f64>, CanopusError> {
+    ///
+    /// Decodes run inside a `decode` span under `parent` (so the
+    /// pipelined engine's worker-thread decodes still attach to their
+    /// restore root), and per-block decode wall time feeds the
+    /// [`names::READ_DECODE_HIST`] histogram.
+    fn decode_block(
+        &self,
+        block: &BlockMeta,
+        bytes: &[u8],
+        parent: SpanContext,
+    ) -> Result<Vec<f64>, CanopusError> {
+        let _span = stage_child!(self.obs, parent, "decode", key = block.key.as_str());
         let chunked = block.codec_id & CHUNKED_CODEC_ID_FLAG != 0;
         let codec: Box<dyn Codec> = match block.codec_id & !CHUNKED_CODEC_ID_FLAG {
             0 => CodecKind::Raw.build(),
@@ -365,9 +410,13 @@ impl CanopusReader {
         } else {
             codec.decompress(bytes, block.elements as usize)?
         };
+        let decode_secs = t.elapsed().as_secs_f64();
         self.obs
             .timer(names::READ_DECOMPRESS)
-            .record_wall(t.elapsed().as_secs_f64());
+            .record_wall(decode_secs);
+        self.obs
+            .histogram(names::READ_DECODE_HIST)
+            .observe_secs(decode_secs);
         self.obs
             .counter(names::READ_VALUES_DECODED)
             .add(values.len() as u64);
@@ -381,6 +430,7 @@ impl CanopusReader {
         &self,
         var: &str,
         level: u32,
+        parent: SpanContext,
     ) -> Result<(TriMesh, Vec<u32>, f64), CanopusError> {
         if let Some((mesh, mapping)) = self.meta_cache.lock().get(&(var.to_string(), level)) {
             return Ok((mesh.clone(), mapping.clone(), 0.0));
@@ -390,7 +440,7 @@ impl CanopusReader {
             .metadata_for(level)
             .ok_or_else(|| CanopusError::Invalid(format!("no metadata for level {level}")))?
             .clone();
-        let (bytes, _, dt) = self.read_block_observed(&block)?;
+        let (bytes, _, dt) = self.read_block_observed(&block, parent)?;
         let (mesh_bytes, mapping_bytes) = decode_level_meta(&bytes)?;
         let mesh = canopus_mesh::io::from_binary(&mesh_bytes)
             .map_err(|e| CanopusError::MeshIo(e.to_string()))?;
@@ -405,16 +455,22 @@ impl CanopusReader {
     /// Served from the decoded-level cache when present.
     pub fn read_base(&self, var: &str) -> Result<ReadOutcome, CanopusError> {
         let base_level = self.num_levels() - 1;
+        let root = stage!(self.obs, "read", var = var, level = base_level);
         if let Some(hit) = self.cache_lookup(var, base_level) {
             return Ok(Self::materialize(base_level, &hit));
         }
-        self.read_base_uncached(var)
+        self.read_base_uncached(var, root.context())
     }
 
     /// `read_base` without the cache probe, for callers that already
     /// accounted a lookup (the missed tail of `read_level`). Still
-    /// stores the decoded base for future reads.
-    fn read_base_uncached(&self, var: &str) -> Result<ReadOutcome, CanopusError> {
+    /// stores the decoded base for future reads. Block fetches and
+    /// decodes attach under `parent` (the caller's root `read` span).
+    fn read_base_uncached(
+        &self,
+        var: &str,
+        parent: SpanContext,
+    ) -> Result<ReadOutcome, CanopusError> {
         let base_level = self.num_levels() - 1;
         let wall = Instant::now();
         let mut timing = PhaseTiming::default();
@@ -425,14 +481,14 @@ impl CanopusReader {
             .base()
             .ok_or_else(|| CanopusError::Invalid(format!("no base block of {var}")))?
             .clone();
-        let (bytes, _, io) = self.read_block_observed(&block)?;
+        let (bytes, _, io) = self.read_block_observed(&block, parent)?;
         timing.io_secs += io.seconds();
 
         let t = Instant::now();
-        let data = self.decode_block(&block, &bytes)?;
+        let data = self.decode_block(&block, &bytes, parent)?;
         timing.decompress_secs += t.elapsed().as_secs_f64();
 
-        let (mesh, _, meta_io) = self.read_level_meta(var, base_level)?;
+        let (mesh, _, meta_io) = self.read_level_meta(var, base_level, parent)?;
         timing.io_secs += meta_io;
         timing.elapsed_secs = wall.elapsed().as_secs_f64();
 
@@ -457,14 +513,15 @@ impl CanopusReader {
         var: &str,
         finer: u32,
         fine_mesh: &TriMesh,
+        parent: SpanContext,
     ) -> Result<(Vec<f64>, PhaseTiming), CanopusError> {
         let mut timing = PhaseTiming::default();
         let v = self.file.inq_var(var)?;
         if let Some(block) = v.delta_to(finer).cloned() {
-            let (bytes, _, io) = self.read_block_observed(&block)?;
+            let (bytes, _, io) = self.read_block_observed(&block, parent)?;
             timing.io_secs += io.seconds();
             let t = Instant::now();
-            let delta = self.decode_block(&block, &bytes)?;
+            let delta = self.decode_block(&block, &bytes, parent)?;
             timing.decompress_secs += t.elapsed().as_secs_f64();
             return Ok((delta, timing));
         }
@@ -477,10 +534,10 @@ impl CanopusReader {
         let assignment = spatial_chunks(fine_mesh, chunks.len() as u32);
         let mut delta = vec![0.0f64; fine_mesh.num_vertices()];
         for (block, ids) in chunks.iter().zip(&assignment) {
-            let (bytes, _, io) = self.read_block_observed(block)?;
+            let (bytes, _, io) = self.read_block_observed(block, parent)?;
             timing.io_secs += io.seconds();
             let t = Instant::now();
-            let values = self.decode_block(block, &bytes)?;
+            let values = self.decode_block(block, &bytes, parent)?;
             timing.decompress_secs += t.elapsed().as_secs_f64();
             if values.len() != ids.len() {
                 return Err(CanopusError::Invalid(format!(
@@ -509,6 +566,19 @@ impl CanopusReader {
         var: &str,
         current: &ReadOutcome,
     ) -> Result<(ReadOutcome, f64), CanopusError> {
+        self.refine_once_ctx(var, current, SpanContext::none())
+    }
+
+    /// [`Self::refine_once`] with the block fetch / decode spans of the
+    /// step attached under `parent` — the serial restore walk and the
+    /// progressive reader pass their enclosing span so serial trees stay
+    /// connected like pipelined ones.
+    pub(crate) fn refine_once_ctx(
+        &self,
+        var: &str,
+        current: &ReadOutcome,
+        parent: SpanContext,
+    ) -> Result<(ReadOutcome, f64), CanopusError> {
         if current.level == 0 {
             return Err(CanopusError::Invalid(
                 "already at full accuracy".to_string(),
@@ -528,8 +598,8 @@ impl CanopusReader {
         }
         let wall = Instant::now();
 
-        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer)?;
-        let (delta, mut timing) = self.read_delta_values(var, finer, &fine_mesh)?;
+        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer, parent)?;
+        let (delta, mut timing) = self.read_delta_values(var, finer, &fine_mesh, parent)?;
         timing.io_secs += meta_io;
 
         let t = Instant::now();
@@ -592,10 +662,12 @@ impl CanopusReader {
             ));
         }
         let finer = current.level - 1;
+        let root = stage!(self.obs, "refine_region", var = var, level = finer);
+        let ctx = root.context();
         let wall = Instant::now();
         let mut timing = PhaseTiming::default();
 
-        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer)?;
+        let (fine_mesh, mapping, meta_io) = self.read_level_meta(var, finer, ctx)?;
         timing.io_secs += meta_io;
         let n = fine_mesh.num_vertices();
 
@@ -608,7 +680,7 @@ impl CanopusReader {
 
         if chunk_blocks.is_empty() {
             // Unchunked file: a region read degrades to a full refinement.
-            let (full, dt) = self.read_delta_values(var, finer, &fine_mesh)?;
+            let (full, dt) = self.read_delta_values(var, finer, &fine_mesh, ctx)?;
             timing += dt;
             delta.copy_from_slice(&full);
             exact.fill(true);
@@ -622,11 +694,11 @@ impl CanopusReader {
                 if !bbox.intersects(&region) {
                     continue;
                 }
-                let (bytes, _, io) = self.read_block_observed(block)?;
+                let (bytes, _, io) = self.read_block_observed(block, ctx)?;
                 timing.io_secs += io.seconds();
                 stats.bytes_read += bytes.len() as u64;
                 let t = Instant::now();
-                let values = self.decode_block(block, &bytes)?;
+                let values = self.decode_block(block, &bytes, ctx)?;
                 timing.decompress_secs += t.elapsed().as_secs_f64();
                 if values.len() != ids.len() {
                     return Err(CanopusError::Invalid(format!(
@@ -659,21 +731,19 @@ impl CanopusReader {
             .timer(names::READ_RESTORE)
             .record_wall(timing.restore_secs);
         self.obs.counter(names::READ_REGION_REFINEMENTS).inc();
-        self.obs.event(
+        self.obs.event_child(
             "read.region",
+            ctx,
             vec![
-                ("var".to_string(), canopus_obs::FieldValue::from(var)),
-                (
-                    "level".to_string(),
-                    canopus_obs::FieldValue::from(finer as u64),
-                ),
+                ("var".to_string(), FieldValue::from(var)),
+                ("level".to_string(), FieldValue::from(finer as u64)),
                 (
                     "chunks_read".to_string(),
-                    canopus_obs::FieldValue::from(stats.chunks_read as u64),
+                    FieldValue::from(stats.chunks_read as u64),
                 ),
                 (
                     "chunks_total".to_string(),
-                    canopus_obs::FieldValue::from(stats.chunks_total as u64),
+                    FieldValue::from(stats.chunks_total as u64),
                 ),
             ],
         );
@@ -711,6 +781,11 @@ impl CanopusReader {
                 "level {target_level} out of range (N = {n})"
             )));
         }
+        // The root of this call's span tree: every block fetch, decode
+        // (including decode-pool workers on other threads), restore and
+        // retry/fault event of the walk nests beneath it.
+        let root = stage!(self.obs, "read", var = var, level = target_level);
+        let ctx = root.context();
         let base_level = n - 1;
         // One accounting event per call: a hit when any cached level —
         // the exact target or a coarser starting point — answers, a
@@ -731,19 +806,19 @@ impl CanopusReader {
                 }
                 None => {
                     self.obs.counter(names::READ_CACHE_MISSES).inc();
-                    self.read_base_uncached(var)?
+                    self.read_base_uncached(var, ctx)?
                 }
             }
         } else {
-            self.read_base_uncached(var)?
+            self.read_base_uncached(var, ctx)?
         };
         if start.level == target_level {
             return Ok(start);
         }
         if self.pipeline_depth == 0 {
-            self.restore_walk_serial(var, start, target_level)
+            self.restore_walk_serial(var, start, target_level, ctx)
         } else {
-            self.restore_walk_pipelined(var, start, target_level)
+            self.restore_walk_pipelined(var, start, target_level, ctx)
         }
     }
 
@@ -762,11 +837,12 @@ impl CanopusReader {
                 "level {target_level} out of range (N = {n})"
             )));
         }
+        let root = stage!(self.obs, "read", var = var, level = target_level);
         let start = self.read_base(var)?;
         if start.level == target_level {
             return Ok(start);
         }
-        self.restore_walk_serial(var, start, target_level)
+        self.restore_walk_serial(var, start, target_level, root.context())
     }
 
     /// Mark `outcome` as the degraded answer to a request for
@@ -779,24 +855,23 @@ impl CanopusReader {
         mut outcome: ReadOutcome,
         target_level: u32,
         cause: &CanopusError,
+        parent: SpanContext,
     ) -> ReadOutcome {
         self.obs.counter(names::READ_DEGRADED_RESTORES).inc();
-        self.obs.event(
+        self.obs.event_child(
             "read.degraded",
+            parent,
             vec![
-                ("var".to_string(), canopus_obs::FieldValue::from(var)),
+                ("var".to_string(), FieldValue::from(var)),
                 (
                     "requested_level".to_string(),
-                    canopus_obs::FieldValue::from(target_level as u64),
+                    FieldValue::from(target_level as u64),
                 ),
                 (
                     "achieved_level".to_string(),
-                    canopus_obs::FieldValue::from(outcome.level as u64),
+                    FieldValue::from(outcome.level as u64),
                 ),
-                (
-                    "cause".to_string(),
-                    canopus_obs::FieldValue::from(cause.to_string()),
-                ),
+                ("cause".to_string(), FieldValue::from(cause.to_string())),
             ],
         );
         outcome.achieved_level = outcome.level;
@@ -814,17 +889,31 @@ impl CanopusReader {
         var: &str,
         start: ReadOutcome,
         target_level: u32,
+        ctx: SpanContext,
     ) -> Result<ReadOutcome, CanopusError> {
         let mut outcome = start;
         while outcome.level > target_level {
-            match self.refine_once(var, &outcome) {
+            // Same per-level "restore" child the pipelined walk emits, so
+            // both engines produce one span-tree shape (the serial span
+            // covers fetch + decode + apply, the pipelined one only the
+            // apply — the fetch/decode time lives in sibling spans).
+            let span = stage_child!(
+                self.obs,
+                ctx,
+                "restore",
+                var = var,
+                level = outcome.level - 1
+            );
+            let refined = self.refine_once_ctx(var, &outcome, ctx);
+            drop(span);
+            match refined {
                 Ok((next, _)) => {
                     let timing = outcome.timing + next.timing;
                     outcome = next;
                     outcome.timing = timing;
                 }
                 Err(e) if e.is_availability_fault() => {
-                    return Ok(self.degrade(var, outcome, target_level, &e));
+                    return Ok(self.degrade(var, outcome, target_level, &e, ctx));
                 }
                 Err(e) => return Err(e),
             }
@@ -860,6 +949,7 @@ impl CanopusReader {
         var: &str,
         start: ReadOutcome,
         target_level: u32,
+        ctx: SpanContext,
     ) -> Result<ReadOutcome, CanopusError> {
         let wall = Instant::now();
         let mut timing = start.timing;
@@ -876,7 +966,7 @@ impl CanopusReader {
         let mut planning_fault: Option<CanopusError> = None;
         for (level_idx, (finer, blocks)) in plan.into_iter().enumerate() {
             let monolithic = v.delta_to(finer).is_some();
-            let (fine_mesh, mapping, meta_io) = match self.read_level_meta(var, finer) {
+            let (fine_mesh, mapping, meta_io) = match self.read_level_meta(var, finer, ctx) {
                 Ok(meta) => meta,
                 Err(e) if e.is_availability_fault() => {
                     planning_fault = Some(e);
@@ -912,7 +1002,7 @@ impl CanopusReader {
             let out = ReadOutcome { timing, ..start };
             return Ok(match planning_fault {
                 Some(cause) if out.level > target_level => {
-                    self.degrade(var, out, target_level, &cause)
+                    self.degrade(var, out, target_level, &cause, ctx)
                 }
                 _ => out,
             });
@@ -942,8 +1032,8 @@ impl CanopusReader {
             s.spawn(move || {
                 for (idx, job) in jobs.iter().enumerate() {
                     let fetched = self
-                        .read_block_observed(&job.block)
-                        .map(|(bytes, _, io)| (idx, bytes, io.seconds()));
+                        .read_block_observed(&job.block, ctx)
+                        .map(|(bytes, _, io)| (idx, bytes, io.seconds(), Instant::now()));
                     let stop = fetched.is_err();
                     depth_gauge.add(1);
                     peak_gauge.set_max(depth_gauge.get());
@@ -964,12 +1054,14 @@ impl CanopusReader {
             for _ in 0..workers {
                 let done_tx = done_tx.clone();
                 let fetch_rx = fetch_rx.clone();
+                let queue_wait = self.obs.histogram(names::READ_QUEUE_WAIT_HIST);
                 s.spawn(move || {
                     while let Ok(fetched) = fetch_rx.recv() {
                         depth_gauge.sub(1);
-                        let decoded = fetched.and_then(|(idx, bytes, io)| {
+                        let decoded = fetched.and_then(|(idx, bytes, io, enqueued)| {
+                            queue_wait.observe_secs(enqueued.elapsed().as_secs_f64());
                             let t = Instant::now();
-                            self.decode_block(&jobs[idx].block, &bytes)
+                            self.decode_block(&jobs[idx].block, &bytes, ctx)
                                 .map(|values| (idx, values, io, t.elapsed().as_secs_f64()))
                         });
                         if done_tx.send(decoded).is_err() {
@@ -1043,7 +1135,7 @@ impl CanopusReader {
                 // strict coarse-to-fine order.
                 while next_level < states.len() && states[next_level].remaining == 0 {
                     let st = &mut states[next_level];
-                    let span = stage!(self.obs, "restore", var = var, level = st.finer);
+                    let span = stage_child!(self.obs, ctx, "restore", var = var, level = st.finer);
                     let t = Instant::now();
                     let data = restore_level(
                         &st.fine_mesh,
@@ -1097,7 +1189,7 @@ impl CanopusReader {
         self.obs.counter(names::READ_PIPELINED_RESTORES).inc();
         if let Some(cause) = fault.or(planning_fault) {
             if outcome.level > target_level {
-                return Ok(self.degrade(var, outcome, target_level, &cause));
+                return Ok(self.degrade(var, outcome, target_level, &cause, ctx));
             }
         }
         Ok(outcome)
@@ -1186,8 +1278,10 @@ struct LevelState {
     remaining: usize,
 }
 
-/// Prefetch → decode message: `(job index, payload, simulated I/O secs)`.
-type Fetched = Result<(usize, Bytes, f64), CanopusError>;
+/// Prefetch → decode message: `(job index, payload, simulated I/O secs,
+/// enqueue instant — queue-wait time feeds
+/// [`names::READ_QUEUE_WAIT_HIST`] at worker pickup)`.
+type Fetched = Result<(usize, Bytes, f64, Instant), CanopusError>;
 /// Decode → restore message: `(job index, values, io secs, decode secs)`.
 type Decoded = Result<(usize, Vec<f64>, f64, f64), CanopusError>;
 

@@ -8,7 +8,7 @@ use canopus_adios::store::{BlockWrite, BpStore};
 use canopus_adios::BpFile;
 use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
 use canopus_mesh::{FieldStats, TriMesh};
-use canopus_obs::{names, stage, Registry};
+use canopus_obs::{names, stage, stage_child, Registry, SpanContext};
 use canopus_refactor::decimate::decimate;
 use canopus_refactor::mapping::{build_mapping, mapping_to_bytes};
 use canopus_refactor::{compute_delta, decimate_parallel_morton, DecimationResult, Estimator};
@@ -461,7 +461,8 @@ impl Canopus {
     ) -> Result<WriteReport, CanopusError> {
         let n = self.config.refactor.num_levels;
         let obs = Arc::clone(self.metrics());
-        let _span = stage!(obs, "write", file = file, var = var, levels = n);
+        let span = stage!(obs, "write", file = file, var = var, levels = n);
+        let root_ctx = span.context();
         let t_total = Instant::now();
 
         let range = FieldStats::of(data).range();
@@ -479,6 +480,7 @@ impl Canopus {
             codec_chunking: self.config.codec_chunking,
             estimator: self.config.refactor.estimator,
             obs: Arc::clone(&obs),
+            parent: root_ctx,
         };
 
         let depth = self.config.write_pipeline_depth.max(1) as usize;
@@ -489,7 +491,9 @@ impl Canopus {
             .min(total_jobs)
             .max(1);
 
-        let (job_tx, job_rx) = channel::bounded::<WriteJob>(depth);
+        // Jobs travel with their submit instant so worker pickup can
+        // record the queue-wait distribution.
+        let (job_tx, job_rx) = channel::bounded::<(WriteJob, Instant)>(depth);
         // Sized so worker sends can never block: an early error return
         // on the emitting side then cannot deadlock the pool, which
         // simply drains the job queue and exits.
@@ -516,9 +520,11 @@ impl Canopus {
                 for _ in 0..workers {
                     let job_rx = job_rx.clone();
                     let done_tx = done_tx.clone();
+                    let queue_wait = obs.histogram(names::WRITE_QUEUE_WAIT_HIST);
                     s.spawn(move || {
-                        while let Ok(job) = job_rx.recv() {
+                        while let Ok((job, submitted)) = job_rx.recv() {
                             depth_gauge.sub(1);
+                            queue_wait.observe_secs(submitted.elapsed().as_secs_f64());
                             let slot = job.slot(total_jobs);
                             if done_tx.send((slot, run_write_job(&job, ctx))).is_err() {
                                 break;
@@ -536,7 +542,7 @@ impl Canopus {
                     let submit = |job: WriteJob| -> Result<(), CanopusError> {
                         depth_gauge.add(1);
                         peak_gauge.set_max(depth_gauge.get());
-                        job_tx.send(job).map_err(|_| {
+                        job_tx.send((job, Instant::now())).map_err(|_| {
                             depth_gauge.sub(1);
                             CanopusError::Invalid("write pipeline terminated early".into())
                         })
@@ -592,7 +598,9 @@ impl Canopus {
                     }
                 }
                 let t = Instant::now();
+                let commit_span = stage_child!(obs, root_ctx, "write.commit", file = file);
                 let (plan, io_time) = stream.commit()?;
+                drop(commit_span);
                 store_secs += t.elapsed().as_secs_f64();
                 let vertex_counts = meshes.iter().map(|m| m.num_vertices()).collect();
                 Ok((plan, io_time, vertex_counts))
@@ -889,6 +897,9 @@ struct WriteJobCtx {
     codec_chunking: bool,
     estimator: Estimator,
     obs: Arc<Registry>,
+    /// The enclosing `write` span — worker-thread `write.level` spans
+    /// attach here so the pipelined write emits one connected tree.
+    parent: SpanContext,
 }
 
 /// One unit of work for the write pipeline's worker pool. Level meshes
@@ -920,12 +931,27 @@ impl WriteJob {
             WriteJob::Base { .. } => total_jobs - 1,
         }
     }
+
+    /// The level this job produces blocks for (delta jobs are named by
+    /// their finer level).
+    fn level(&self) -> usize {
+        match self {
+            WriteJob::Delta { finer, .. } => *finer,
+            WriteJob::Base { level, .. } => *level,
+        }
+    }
 }
 
 /// Run one write-pipeline job: build the level's blocks exactly as the
 /// serial engine would — same streams, same codec framing, same
 /// metadata payloads — so the emitted bytes are identical.
 fn run_write_job(job: &WriteJob, ctx: &WriteJobCtx) -> Result<LevelBlocks, CanopusError> {
+    let _span = stage_child!(
+        ctx.obs,
+        ctx.parent,
+        "write.level",
+        level = job.level() as u32
+    );
     match job {
         WriteJob::Base { level, mesh, data } => {
             let t = Instant::now();

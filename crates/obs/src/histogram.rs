@@ -1,0 +1,322 @@
+//! Fixed-boundary log-bucketed latency histograms.
+//!
+//! The boundaries are powers of two in nanoseconds starting at 512 ns
+//! (bucket `i` holds observations `<= 512 << i` ns; the last bucket is
+//! the `+Inf` overflow), which spans sub-microsecond decode chunks up to
+//! multi-minute simulated tier transfers in 32 buckets. All state —
+//! bucket counts, count, sum, min, max — is integer nanoseconds in
+//! relaxed atomics, so recording is wait-free and the snapshot form
+//! ([`HistogramStat`]) round-trips *exactly* through JSON.
+//!
+//! Wall-clock and simulated (SimClock) durations are distinct
+//! distributions; instrumented sites record them into paired `*.wall` /
+//! `*.sim` histograms rather than mixing clocks in one instrument.
+
+use crate::json::Value;
+use crate::registry::secs_to_nanos;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets, including the final `+Inf` overflow bucket.
+pub const NUM_BUCKETS: usize = 32;
+
+const BASE_NANOS: u64 = 512;
+
+/// Inclusive upper bound of bucket `i` in nanoseconds. The last bucket
+/// has no finite bound (`None` = `+Inf`).
+pub fn bucket_upper_nanos(i: usize) -> Option<u64> {
+    if i + 1 >= NUM_BUCKETS {
+        None
+    } else {
+        Some(BASE_NANOS << i)
+    }
+}
+
+/// Index of the bucket an observation of `nanos` lands in.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos <= BASE_NANOS {
+        return 0;
+    }
+    // ceil(log2(nanos / BASE_NANOS)), clamped into the overflow bucket.
+    let i = 64 - ((nanos - 1) >> BASE_NANOS.trailing_zeros()).leading_zeros() as usize;
+    i.min(NUM_BUCKETS - 1)
+}
+
+/// A concurrent latency histogram. Obtain through
+/// [`Registry::histogram`](crate::Registry::histogram) and hold the
+/// `Arc` in hot loops, like the other instruments.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    min_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min_nanos: AtomicU64::new(u64::MAX),
+            max_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation in seconds (negative / non-finite clamp
+    /// to zero, like the stage timers).
+    pub fn observe_secs(&self, secs: f64) {
+        self.observe_nanos(secs_to_nanos(secs));
+    }
+
+    /// Record one observation in integer nanoseconds.
+    pub fn observe_nanos(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy. Count loads first (monotone-snapshot rule:
+    /// a concurrent snapshot never sees sums for more observations than
+    /// it sees counted).
+    pub fn stat(&self) -> HistogramStat {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min_nanos.load(Ordering::Relaxed);
+        HistogramStat {
+            count,
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            min_nanos: if min == u64::MAX { 0 } else { min },
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.min_nanos.store(u64::MAX, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot form of a [`Histogram`]: plain integers, exact JSON
+/// round-trip, plus quantile estimation over the log buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramStat {
+    pub count: u64,
+    pub sum_nanos: u64,
+    /// 0 when `count == 0`.
+    pub min_nanos: u64,
+    pub max_nanos: u64,
+    /// Per-bucket observation counts, [`NUM_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramStat {
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos as f64 * 1e-9
+    }
+
+    pub fn min_secs(&self) -> f64 {
+        self.min_nanos as f64 * 1e-9
+    }
+
+    pub fn max_secs(&self) -> f64 {
+        self.max_nanos as f64 * 1e-9
+    }
+
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_secs() / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in seconds: linear
+    /// interpolation inside the log bucket holding the target rank,
+    /// clamped to the exact observed `[min, max]` range.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0 } else { BASE_NANOS << (i - 1) };
+                let upper = bucket_upper_nanos(i).unwrap_or(self.max_nanos.max(lower));
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lower as f64 + frac * (upper.saturating_sub(lower)) as f64;
+                let est = est.clamp(self.min_nanos as f64, self.max_nanos as f64);
+                return est * 1e-9;
+            }
+            seen += c;
+        }
+        self.max_secs()
+    }
+
+    pub fn p50_secs(&self) -> f64 {
+        self.quantile_secs(0.5)
+    }
+
+    pub fn p90_secs(&self) -> f64 {
+        self.quantile_secs(0.9)
+    }
+
+    pub fn p99_secs(&self) -> f64 {
+        self.quantile_secs(0.99)
+    }
+
+    /// All-integer JSON object — the round-trip is exact by
+    /// construction. Bucket counts serialise as one array.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("count".to_string(), Value::Int(self.count as i128));
+        obj.insert("sum_nanos".to_string(), Value::Int(self.sum_nanos as i128));
+        obj.insert("min_nanos".to_string(), Value::Int(self.min_nanos as i128));
+        obj.insert("max_nanos".to_string(), Value::Int(self.max_nanos as i128));
+        obj.insert(
+            "buckets".to_string(),
+            Value::Arr(
+                self.buckets
+                    .iter()
+                    .map(|&b| Value::Int(b as i128))
+                    .collect(),
+            ),
+        );
+        Value::Obj(obj)
+    }
+
+    pub fn from_json(v: &Value) -> Option<HistogramStat> {
+        let buckets = v
+            .get("buckets")?
+            .as_arr()?
+            .iter()
+            .map(Value::as_u64)
+            .collect::<Option<Vec<u64>>>()?;
+        Some(HistogramStat {
+            count: v.get("count")?.as_u64()?,
+            sum_nanos: v.get("sum_nanos")?.as_u64()?,
+            min_nanos: v.get("min_nanos")?.as_u64()?,
+            max_nanos: v.get("max_nanos")?.as_u64()?,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log_spaced() {
+        assert_eq!(bucket_upper_nanos(0), Some(512));
+        assert_eq!(bucket_upper_nanos(1), Some(1024));
+        assert_eq!(bucket_upper_nanos(NUM_BUCKETS - 2), Some(512 << 30));
+        assert_eq!(bucket_upper_nanos(NUM_BUCKETS - 1), None, "overflow");
+        // Observations land in the first bucket whose bound covers them.
+        for (nanos, want) in [
+            (0u64, 0usize),
+            (512, 0),
+            (513, 1),
+            (1024, 1),
+            (1025, 2),
+            (u64::MAX, NUM_BUCKETS - 1),
+        ] {
+            assert_eq!(bucket_index(nanos), want, "nanos {nanos}");
+            if let Some(upper) = bucket_upper_nanos(bucket_index(nanos)) {
+                assert!(nanos <= upper);
+            }
+        }
+    }
+
+    #[test]
+    fn records_count_sum_min_max() {
+        let h = Histogram::default();
+        assert_eq!(h.stat(), HistogramStat::default_with_buckets());
+        h.observe_nanos(100);
+        h.observe_nanos(10_000);
+        h.observe_secs(1.0);
+        let s = h.stat();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_nanos, 100 + 10_000 + 1_000_000_000);
+        assert_eq!(s.min_nanos, 100);
+        assert_eq!(s.max_nanos, 1_000_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        // Negative / non-finite observations clamp to zero, not panic.
+        h.observe_secs(-1.0);
+        h.observe_secs(f64::NAN);
+        assert_eq!(h.stat().min_nanos, 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let h = Histogram::default();
+        for i in 1..=100u64 {
+            h.observe_nanos(i * 1_000); // 1 µs .. 100 µs
+        }
+        let s = h.stat();
+        let p50 = s.quantile_secs(0.5);
+        assert!(
+            (2e-5..=1.1e-4).contains(&p50),
+            "p50 {p50} should sit inside the bucketed median range"
+        );
+        assert!(s.quantile_secs(0.0) >= s.min_secs());
+        assert_eq!(s.quantile_secs(1.0), s.max_secs());
+        assert!(s.p90_secs() >= p50);
+        assert_eq!(HistogramStat::default().quantile_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let h = Histogram::default();
+        h.observe_nanos(7);
+        h.observe_nanos(123_456_789);
+        h.observe_nanos(u64::MAX / 4);
+        let s = h.stat();
+        let back = HistogramStat::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s, "all-integer encoding must be lossless");
+        // And through text, the way snapshots travel.
+        let text = s.to_json().to_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(HistogramStat::from_json(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::default();
+        h.observe_nanos(42);
+        h.reset();
+        let s = h.stat();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_nanos, 0);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 0);
+    }
+
+    impl HistogramStat {
+        fn default_with_buckets() -> Self {
+            HistogramStat {
+                buckets: vec![0; NUM_BUCKETS],
+                ..Default::default()
+            }
+        }
+    }
+}

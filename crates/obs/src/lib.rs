@@ -33,15 +33,20 @@
 //! compression ratios, read/write phase breakdowns) and an exact JSON
 //! round-trip via the self-contained [`json`] module.
 
+pub mod export;
+mod histogram;
 pub mod json;
 pub mod names;
 mod registry;
 mod sink;
 mod snapshot;
+mod span;
 
-pub use registry::{Counter, Gauge, Registry, SpanGuard, StageTimer};
+pub use histogram::{bucket_upper_nanos, Histogram, HistogramStat, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, Registry, StageTimer};
 pub use sink::{Event, FieldValue, NoopSink, RingBufferSink, Sink};
 pub use snapshot::{MetricsSnapshot, TimerStat};
+pub use span::{thread_lane, SpanContext, SpanGuard};
 
 /// Open a stage span on a registry: `stage!(reg, "restore", level = l)`.
 ///
@@ -56,6 +61,26 @@ macro_rules! stage {
         if reg.sink_enabled() {
             reg.span(
                 $name,
+                vec![$((stringify!($key).to_string(), $crate::FieldValue::from($val))),*],
+            )
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    }};
+}
+
+/// Open a child span under a [`SpanContext`] handed across from the
+/// parent (possibly on another thread):
+/// `stage_child!(reg, ctx, "decode", level = l)`. Same disabled-path
+/// guarantee as [`stage!`]: one atomic load, no allocation.
+#[macro_export]
+macro_rules! stage_child {
+    ($reg:expr, $parent:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let reg = &$reg;
+        if reg.sink_enabled() {
+            reg.span_child(
+                $name,
+                $parent,
                 vec![$((stringify!($key).to_string(), $crate::FieldValue::from($val))),*],
             )
         } else {

@@ -71,6 +71,47 @@ pub const READ_CHECKSUM_FAILURES: &str = "canopus.read.checksum_failures";
 /// returned a coarser-than-requested result instead of an error.
 pub const READ_DEGRADED_RESTORES: &str = "canopus.read.degraded_restores";
 
+// ---- latency histograms ----------------------------------------------
+// Histogram names live in their own instrument map; the `.wall`/`.sim`
+// suffix convention marks which clock a distribution measures.
+
+/// Histogram (wall): decode time of one block / chunk-framed stream.
+pub const READ_DECODE_HIST: &str = "canopus.read.decode_block.wall";
+/// Histogram (wall): time a fetched block waited in the bounded
+/// prefetch queue before a decode worker picked it up.
+pub const READ_QUEUE_WAIT_HIST: &str = "canopus.read.queue_wait.wall";
+/// Histogram (wall): backoff slept before each fault retry.
+pub const READ_RETRY_BACKOFF_HIST: &str = "canopus.read.retry_backoff.wall";
+/// Histogram (wall): time a level job waited in the bounded write
+/// pipeline queue before a worker picked it up.
+pub const WRITE_QUEUE_WAIT_HIST: &str = "canopus.write.queue_wait.wall";
+/// Histogram (wall): time a finished block waited in a tier's
+/// write-behind queue before its device put started.
+pub const WRITEBACK_QUEUE_WAIT_HIST: &str = "storage.writeback.queue_wait.wall";
+/// Histograms (wall / sim): per-op transport latency, staged + direct.
+pub const TRANSPORT_OP_WALL_HIST: &str = "adios.transport.op_latency.wall";
+pub const TRANSPORT_OP_SIM_HIST: &str = "adios.transport.op_latency.sim";
+
+/// Histogram (wall): measured device-op latency of one tier read.
+pub fn tier_read_latency_wall(tier: usize) -> String {
+    format!("storage.tier.{tier}.read_latency.wall")
+}
+
+/// Histogram (sim): modelled device-op latency of one tier read.
+pub fn tier_read_latency_sim(tier: usize) -> String {
+    format!("storage.tier.{tier}.read_latency.sim")
+}
+
+/// Histogram (wall): measured device-op latency of one tier write.
+pub fn tier_write_latency_wall(tier: usize) -> String {
+    format!("storage.tier.{tier}.write_latency.wall")
+}
+
+/// Histogram (sim): modelled device-op latency of one tier write.
+pub fn tier_write_latency_sim(tier: usize) -> String {
+    format!("storage.tier.{tier}.write_latency.sim")
+}
+
 // ---- campaign layer --------------------------------------------------
 pub const CAMPAIGN_QUERIES: &str = "canopus.campaign.queries";
 pub const CAMPAIGN_QUERY_TIMER: &str = "canopus.campaign.query";

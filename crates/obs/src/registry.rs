@@ -17,8 +17,10 @@
 //!    clock; callers pass simulated seconds in explicitly, which keeps
 //!    `canopus-obs` dependency-free and usable from every layer.
 
+use crate::histogram::Histogram;
 use crate::sink::{Event, FieldValue, NoopSink, Sink};
 use crate::snapshot::{MetricsSnapshot, TimerStat};
+use crate::span::{thread_lane, SpanContext, SpanGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -79,21 +81,41 @@ impl Gauge {
 /// Wall time covers real compute; sim time covers the deterministic
 /// storage-device model (`SimClock`). Both are stored as integer
 /// nanoseconds so concurrent updates cannot lose fractional carries.
-#[derive(Debug, Default)]
+/// Each recorded execution also folds its *total* (wall + sim) duration
+/// into a running min/max.
+#[derive(Debug)]
 pub struct StageTimer {
     count: AtomicU64,
     wall_nanos: AtomicU64,
     sim_nanos: AtomicU64,
+    /// Per-record total (wall + sim); `u64::MAX` until the first record.
+    min_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        StageTimer {
+            count: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+            min_nanos: AtomicU64::new(u64::MAX),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
 }
 
 impl StageTimer {
     /// Record one completed stage execution.
     pub fn record(&self, wall_secs: f64, sim_secs: f64) {
+        let wall = secs_to_nanos(wall_secs);
+        let sim = secs_to_nanos(sim_secs);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.wall_nanos
-            .fetch_add(secs_to_nanos(wall_secs), Ordering::Relaxed);
-        self.sim_nanos
-            .fetch_add(secs_to_nanos(sim_secs), Ordering::Relaxed);
+        self.wall_nanos.fetch_add(wall, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(sim, Ordering::Relaxed);
+        let total = wall.saturating_add(sim);
+        self.min_nanos.fetch_min(total, Ordering::Relaxed);
+        self.max_nanos.fetch_max(total, Ordering::Relaxed);
     }
 
     /// Record a wall-clock-only stage (compute with no modelled I/O).
@@ -113,60 +135,27 @@ impl StageTimer {
         // Load order matters for the monotone-snapshot guarantee: count
         // first, so a concurrent snapshot never sees time without its
         // corresponding count being at most one behind.
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min_nanos.load(Ordering::Relaxed);
         TimerStat {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             wall_secs: self.wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             sim_secs: self.sim_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            min_secs: if min == u64::MAX {
+                0.0
+            } else {
+                min as f64 * 1e-9
+            },
+            max_secs: self.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
         }
     }
 }
 
-fn secs_to_nanos(secs: f64) -> u64 {
+pub(crate) fn secs_to_nanos(secs: f64) -> u64 {
     if secs <= 0.0 || !secs.is_finite() {
         return 0;
     }
     (secs * 1e9).round().min(u64::MAX as f64) as u64
-}
-
-/// RAII span: emits one structured event on drop with the measured
-/// wall duration. Inert (zero allocation, no atomics) when the sink is
-/// disabled — construct through [`Registry::span`] or the
-/// [`stage!`](crate::stage) macro.
-pub struct SpanGuard {
-    active: Option<ActiveSpan>,
-}
-
-struct ActiveSpan {
-    sink: Arc<dyn Sink>,
-    name: String,
-    fields: Vec<(String, FieldValue)>,
-    start: Instant,
-}
-
-impl SpanGuard {
-    pub fn inert() -> Self {
-        SpanGuard { active: None }
-    }
-
-    pub fn is_active(&self) -> bool {
-        self.active.is_some()
-    }
-}
-
-impl Drop for SpanGuard {
-    fn drop(&mut self) {
-        if let Some(span) = self.active.take() {
-            let mut fields = span.fields;
-            fields.push((
-                "wall_secs".to_string(),
-                FieldValue::Float(span.start.elapsed().as_secs_f64()),
-            ));
-            span.sink.event(&Event {
-                name: span.name,
-                fields,
-            });
-        }
-    }
 }
 
 /// The metrics registry. One per storage hierarchy; shared via `Arc`
@@ -175,8 +164,14 @@ pub struct Registry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
     gauges: RwLock<HashMap<String, Arc<Gauge>>>,
     timers: RwLock<HashMap<String, Arc<StageTimer>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
     sink: RwLock<Arc<dyn Sink>>,
     sink_enabled: AtomicBool,
+    /// Next span id (ids are per-registry, starting at 1).
+    next_span_id: AtomicU64,
+    /// Trace time origin: span `t_start_us` offsets are measured from
+    /// registry creation.
+    epoch: Instant,
 }
 
 impl Default for Registry {
@@ -194,8 +189,11 @@ impl Registry {
             counters: RwLock::new(HashMap::new()),
             gauges: RwLock::new(HashMap::new()),
             timers: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
             sink: RwLock::new(Arc::new(NoopSink)),
             sink_enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(1),
+            epoch: Instant::now(),
         }
     }
 
@@ -212,6 +210,11 @@ impl Registry {
     /// Get or create the stage timer registered under `name`.
     pub fn timer(&self, name: &str) -> Arc<StageTimer> {
         get_or_insert(&self.timers, name)
+    }
+
+    /// Get or create the latency histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
     }
 
     /// Convenience: bump `name` by `by` without keeping a handle.
@@ -237,30 +240,58 @@ impl Registry {
 
     /// Emit a one-shot structured event (no duration attached).
     pub fn event(&self, name: &str, fields: Vec<(String, FieldValue)>) {
-        if self.sink_enabled() {
-            let sink = self.sink.read().unwrap().clone();
-            sink.event(&Event {
-                name: name.to_string(),
-                fields,
-            });
-        }
+        self.event_child(name, SpanContext::none(), fields);
     }
 
-    /// Open a span that reports its wall duration to the sink on drop.
-    /// Returns an inert guard when the sink is disabled.
+    /// Emit a one-shot event attached under `parent` (retry attempts,
+    /// fault observations, cache probes). Every emitted event is
+    /// stamped with its trace offset (`t_us`) and thread lane (`tid`)
+    /// so exporters can place it on a timeline.
+    pub fn event_child(
+        &self,
+        name: &str,
+        parent: SpanContext,
+        mut fields: Vec<(String, FieldValue)>,
+    ) {
+        if !self.sink_enabled() {
+            return;
+        }
+        if let Some(id) = parent.id() {
+            fields.push(("parent_id".to_string(), FieldValue::Uint(id)));
+        }
+        fields.push((
+            "t_us".to_string(),
+            FieldValue::Uint(self.epoch.elapsed().as_micros() as u64),
+        ));
+        fields.push(("tid".to_string(), FieldValue::Uint(thread_lane())));
+        let sink = self.sink.read().unwrap().clone();
+        sink.event(&Event {
+            name: name.to_string(),
+            fields,
+        });
+    }
+
+    /// Open a root span that reports its wall duration to the sink on
+    /// drop. Returns an inert guard when the sink is disabled.
     pub fn span(&self, name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
+        self.span_child(name, SpanContext::none(), fields)
+    }
+
+    /// Open a span parented under `parent` (which may live on another
+    /// thread — [`SpanContext`] is `Copy` and crosses freely). An inert
+    /// parent yields a root span; a disabled sink yields an inert guard.
+    pub fn span_child(
+        &self,
+        name: &str,
+        parent: SpanContext,
+        fields: Vec<(String, FieldValue)>,
+    ) -> SpanGuard {
         if !self.sink_enabled() {
             return SpanGuard::inert();
         }
         let sink = self.sink.read().unwrap().clone();
-        SpanGuard {
-            active: Some(ActiveSpan {
-                sink,
-                name: name.to_string(),
-                fields,
-                start: Instant::now(),
-            }),
-        }
+        let id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        SpanGuard::activate(sink, name, fields, id, parent.id(), self.epoch)
     }
 
     /// Point-in-time copy of every instrument (plus any events the
@@ -287,12 +318,23 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.stat()))
             .collect();
-        let events = self.sink.read().unwrap().drain_events();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stat()))
+            .collect();
+        let sink = self.sink.read().unwrap().clone();
+        let dropped_events = sink.dropped_events();
+        let events = sink.drain_events();
         MetricsSnapshot {
             counters,
             gauges,
             timers,
+            histograms,
             events,
+            dropped_events,
         }
     }
 
@@ -309,7 +351,13 @@ impl Registry {
             t.count.store(0, Ordering::Relaxed);
             t.wall_nanos.store(0, Ordering::Relaxed);
             t.sim_nanos.store(0, Ordering::Relaxed);
+            t.min_nanos.store(u64::MAX, Ordering::Relaxed);
+            t.max_nanos.store(0, Ordering::Relaxed);
         }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+        self.next_span_id.store(1, Ordering::Relaxed);
         let _ = self.sink.read().unwrap().drain_events();
     }
 }
@@ -320,6 +368,7 @@ impl std::fmt::Debug for Registry {
             .field("counters", &self.counters.read().unwrap().len())
             .field("gauges", &self.gauges.read().unwrap().len())
             .field("timers", &self.timers.read().unwrap().len())
+            .field("histograms", &self.histograms.read().unwrap().len())
             .field("sink_enabled", &self.sink_enabled())
             .finish()
     }
@@ -361,6 +410,26 @@ mod tests {
         assert_eq!(stat.count, 2);
         assert!((stat.wall_secs - 0.75).abs() < 1e-9);
         assert!((stat.sim_secs - 3.0).abs() < 1e-9);
+        // Min/max fold the per-record (wall + sim) totals.
+        assert!((stat.min_secs - 1.25).abs() < 1e-9);
+        assert!((stat.max_secs - 2.5).abs() < 1e-9);
+        // Untouched timers report zero, not u64::MAX garbage.
+        assert_eq!(reg.snapshot().timer("never").min_secs, 0.0);
+    }
+
+    #[test]
+    fn histograms_register_and_reset() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.observe_secs(1e-6);
+        h.observe_secs(2e-3);
+        let stat = reg.snapshot().histogram("lat");
+        assert_eq!(stat.count, 2);
+        assert!(stat.min_nanos <= 1_000 && stat.max_nanos >= 2_000_000);
+        reg.reset();
+        let stat = reg.snapshot().histogram("lat");
+        assert_eq!(stat.count, 0);
+        assert_eq!(stat.min_nanos, 0);
     }
 
     #[test]

@@ -151,6 +151,13 @@ pub trait Sink: Send + Sync {
     fn drain_events(&self) -> Vec<Event> {
         Vec::new()
     }
+
+    /// Events this sink discarded for capacity reasons. Surfaced in
+    /// `MetricsSnapshot::dropped_events` so exports can flag a
+    /// truncated trace; sinks that never drop report 0.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event.
@@ -194,6 +201,10 @@ impl Sink for RingBufferSink {
 
     fn drain_events(&self) -> Vec<Event> {
         self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
     }
 }
 

@@ -5,6 +5,7 @@
 //! deterministically ordered — and is what tests assert against and
 //! what `repro --metrics out.json` writes to disk.
 
+use crate::histogram::HistogramStat;
 use crate::json::{self, Value};
 use crate::names;
 use crate::sink::Event;
@@ -19,6 +20,10 @@ pub struct TimerStat {
     pub wall_secs: f64,
     /// Total simulated storage-model seconds across executions.
     pub sim_secs: f64,
+    /// Smallest single-record total (wall + sim); 0 when `count == 0`.
+    pub min_secs: f64,
+    /// Largest single-record total (wall + sim).
+    pub max_secs: f64,
 }
 
 impl TimerStat {
@@ -37,7 +42,11 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, i64>,
     pub timers: BTreeMap<String, TimerStat>,
+    pub histograms: BTreeMap<String, HistogramStat>,
     pub events: Vec<Event>,
+    /// Events the sink discarded for capacity (ring-buffer eviction):
+    /// nonzero means `events` is a truncated view of the run.
+    pub dropped_events: u64,
 }
 
 impl MetricsSnapshot {
@@ -54,6 +63,11 @@ impl MetricsSnapshot {
     /// Timer stats, zeroed when never touched.
     pub fn timer(&self, name: &str) -> TimerStat {
         self.timers.get(name).copied().unwrap_or_default()
+    }
+
+    /// Histogram stats, empty (zero buckets) when never touched.
+    pub fn histogram(&self, name: &str) -> HistogramStat {
+        self.histograms.get(name).cloned().unwrap_or_default()
     }
 
     /// Sum of counter values whose name starts with `prefix`.
@@ -215,14 +229,29 @@ impl MetricsSnapshot {
                         obj.insert("count".to_string(), Value::Int(t.count as i128));
                         obj.insert("wall_secs".to_string(), Value::Float(t.wall_secs));
                         obj.insert("sim_secs".to_string(), Value::Float(t.sim_secs));
+                        obj.insert("min_secs".to_string(), Value::Float(t.min_secs));
+                        obj.insert("max_secs".to_string(), Value::Float(t.max_secs));
                         (k.clone(), Value::Obj(obj))
                     })
                     .collect(),
             ),
         );
         root.insert(
+            "histograms".to_string(),
+            Value::Obj(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_json()))
+                    .collect(),
+            ),
+        );
+        root.insert(
             "events".to_string(),
             Value::Arr(self.events.iter().map(Event::to_json).collect()),
+        );
+        root.insert(
+            "dropped_events".to_string(),
+            Value::Int(self.dropped_events as i128),
         );
         Value::Obj(root)
     }
@@ -261,8 +290,19 @@ impl MetricsSnapshot {
                         .get("sim_secs")
                         .and_then(Value::as_f64)
                         .ok_or_else(|| format!("timer {k} missing sim_secs"))?,
+                    // Absent in pre-histogram dumps; default to zero so
+                    // older artifacts stay parseable.
+                    min_secs: t.get("min_secs").and_then(Value::as_f64).unwrap_or(0.0),
+                    max_secs: t.get("max_secs").and_then(Value::as_f64).unwrap_or(0.0),
                 };
                 snap.timers.insert(k.clone(), stat);
+            }
+        }
+        if let Some(obj) = v.get("histograms").and_then(Value::as_obj) {
+            for (k, h) in obj {
+                let h = HistogramStat::from_json(h)
+                    .ok_or_else(|| format!("malformed histogram {k}"))?;
+                snap.histograms.insert(k.clone(), h);
             }
         }
         if let Some(arr) = v.get("events").and_then(Value::as_arr) {
@@ -271,6 +311,7 @@ impl MetricsSnapshot {
                     .push(Event::from_json(e).ok_or("malformed event")?);
             }
         }
+        snap.dropped_events = v.get("dropped_events").and_then(Value::as_u64).unwrap_or(0);
         Ok(snap)
     }
 
@@ -302,6 +343,8 @@ mod tests {
                 count: 3,
                 wall_secs: 0.001,
                 sim_secs: 9.0,
+                min_secs: 0.5,
+                max_secs: 5.0,
             },
         );
         snap.timers.insert(
@@ -310,6 +353,7 @@ mod tests {
                 count: 3,
                 wall_secs: 0.5,
                 sim_secs: 0.0,
+                ..Default::default()
             },
         );
         snap.timers.insert(
@@ -318,12 +362,21 @@ mod tests {
                 count: 3,
                 wall_secs: 0.5,
                 sim_secs: 0.0,
+                ..Default::default()
             },
         );
+        let hist = {
+            let h = crate::histogram::Histogram::default();
+            h.observe_nanos(800);
+            h.observe_nanos(40_000_000);
+            h.stat()
+        };
+        snap.histograms.insert("read.decode.wall".into(), hist);
         snap.events.push(Event {
             name: "restore".into(),
             fields: vec![("level".into(), FieldValue::Uint(2))],
         });
+        snap.dropped_events = 5;
         snap
     }
 
@@ -354,12 +407,28 @@ mod tests {
         assert_eq!(back.counters, snap.counters);
         assert_eq!(back.gauges, snap.gauges);
         assert_eq!(back.events, snap.events);
+        assert_eq!(back.histograms, snap.histograms, "integer-exact");
+        assert_eq!(back.dropped_events, snap.dropped_events);
         for (k, t) in &snap.timers {
             let b = back.timer(k);
             assert_eq!(b.count, t.count);
             assert!((b.wall_secs - t.wall_secs).abs() < 1e-12);
             assert!((b.sim_secs - t.sim_secs).abs() < 1e-12);
+            assert!((b.min_secs - t.min_secs).abs() < 1e-12);
+            assert!((b.max_secs - t.max_secs).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn pre_histogram_dumps_still_parse() {
+        // A PR-1-era timer object without min/max, and no histogram or
+        // dropped-event sections at all.
+        let text = r#"{"timers": {"read.io": {"count": 1, "wall_secs": 0.5, "sim_secs": 2.0}}}"#;
+        let snap = MetricsSnapshot::from_json_str(text).unwrap();
+        assert_eq!(snap.timer("read.io").count, 1);
+        assert_eq!(snap.timer("read.io").min_secs, 0.0);
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.dropped_events, 0);
     }
 
     #[test]

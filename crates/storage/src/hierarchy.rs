@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cumulative per-tier I/O accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -281,6 +282,7 @@ impl StorageHierarchy {
         data: Bytes,
     ) -> Result<SimDuration, StorageError> {
         let tier = self.tiers.get(idx).ok_or(StorageError::NoSuchTier(idx))?;
+        let wall = Instant::now();
         let extra = if self.faults_enabled.load(Ordering::Relaxed) {
             self.inject(idx, FaultOp::PutError, key)?.0
         } else {
@@ -301,6 +303,14 @@ impl StorageHierarchy {
         self.obs
             .timer(&names::tier_write_timer(idx))
             .record(0.0, dt.seconds());
+        // Per-op latency distributions, one per clock: the measured
+        // device op and the modelled transfer.
+        self.obs
+            .histogram(&names::tier_write_latency_wall(idx))
+            .observe_secs(wall.elapsed().as_secs_f64());
+        self.obs
+            .histogram(&names::tier_write_latency_sim(idx))
+            .observe_secs(dt.seconds());
         Ok(dt)
     }
 
@@ -333,6 +343,7 @@ impl StorageHierarchy {
 
     fn read_inner(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
         let idx = self.find(key)?;
+        let wall = Instant::now();
         let tier = &self.tiers[idx];
         let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
             self.inject(idx, FaultOp::GetError, key)?
@@ -359,6 +370,12 @@ impl StorageHierarchy {
         self.obs
             .timer(&names::tier_read_timer(idx))
             .record(0.0, dt.seconds());
+        self.obs
+            .histogram(&names::tier_read_latency_wall(idx))
+            .observe_secs(wall.elapsed().as_secs_f64());
+        self.obs
+            .histogram(&names::tier_read_latency_sim(idx))
+            .observe_secs(dt.seconds());
         Ok((data, idx, dt))
     }
 

@@ -24,10 +24,14 @@ use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 struct Job {
     key: String,
     data: Bytes,
+    /// When the block entered the queue — worker pickup records the
+    /// wait under [`names::WRITEBACK_QUEUE_WAIT_HIST`].
+    enqueued: Instant,
 }
 
 /// One write-behind worker (plus bounded queue) per tier of a shared
@@ -56,9 +60,11 @@ impl WriteBehind {
             let ledger = Arc::clone(&ledger);
             let gauge = obs.gauge(&names::writeback_occupancy(tier));
             let worker_gauge = Arc::clone(&gauge);
+            let queue_wait = obs.histogram(names::WRITEBACK_QUEUE_WAIT_HIST);
             workers.push(std::thread::spawn(move || {
                 let mut io = SimDuration::ZERO;
                 while let Ok(job) = rx.recv() {
+                    queue_wait.observe_secs(job.enqueued.elapsed().as_secs_f64());
                     let len = job.data.len() as u64;
                     // Landing is atomic w.r.t. placement decisions: the
                     // device write and the reservation release happen
@@ -106,7 +112,12 @@ impl WriteBehind {
         let (gauge, peak) = &self.occupancy[tier];
         gauge.add(1);
         peak.set_max(gauge.get());
-        if self.senders[tier].send(Job { key, data }).is_err() {
+        let job = Job {
+            key,
+            data,
+            enqueued: Instant::now(),
+        };
+        if self.senders[tier].send(job).is_err() {
             gauge.sub(1);
             return Err(StorageError::PlacementFailed(format!(
                 "write-behind worker for tier {tier} terminated early"

@@ -1,0 +1,194 @@
+//! Span causality: the flat event stream a [`RingBufferSink`] captures
+//! must reassemble into one connected span *tree* per read call — the
+//! property the Chrome-trace exporter and the `canopus trace`
+//! subcommand rely on. The pipelined engine hands work to prefetch and
+//! decode-pool threads, so these tests pin down that cross-thread spans
+//! still parent to the calling read's root, that retry/fault events
+//! nest under the block fetch that observed them, and that the serial
+//! engine tells the same causal story as the pipelined one.
+
+use canopus::config::RelativeCodec;
+use canopus::{Canopus, CanopusConfig, FaultPlan};
+use canopus_data::xgc1_dataset_sized;
+use canopus_obs::{Event, FieldValue, RingBufferSink};
+use canopus_refactor::levels::RefactorConfig;
+use canopus_storage::StorageHierarchy;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+const LEVELS: u32 = 3;
+
+/// The observability fixture (see `tests/observability.rs`), with the
+/// restore engine selectable: `pipeline_depth = 0` is the serial walk,
+/// anything larger the pipelined one.
+fn written_canopus(pipeline_depth: u32) -> (Canopus, canopus_data::Dataset) {
+    let ds = xgc1_dataset_sized(20, 20, 7);
+    let raw = (ds.data.len() * 8) as u64;
+    let hierarchy = Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64));
+    let canopus = Canopus::new(
+        hierarchy,
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: LEVELS,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Fpc,
+            pipeline_depth,
+            ..Default::default()
+        },
+    );
+    canopus
+        .write("trace.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("write");
+    (canopus, ds)
+}
+
+/// Run one instrumented `read_level(var, 0)` and return the captured
+/// events (the write happens before the sink is armed, so the stream
+/// holds exactly one read call's tree).
+fn traced_read(pipeline_depth: u32) -> Vec<Event> {
+    let (canopus, ds) = written_canopus(pipeline_depth);
+    canopus
+        .metrics()
+        .set_sink(Arc::new(RingBufferSink::with_capacity(4096)));
+    let reader = canopus.open("trace.bp").expect("open");
+    reader.read_level(ds.var, 0).expect("restore to L0");
+    let snap = canopus.metrics().snapshot();
+    assert_eq!(snap.dropped_events, 0, "sink must hold the whole tree");
+    snap.events
+}
+
+fn uint(e: &Event, key: &str) -> Option<u64> {
+    match e.field(key)? {
+        FieldValue::Uint(u) => Some(*u),
+        _ => None,
+    }
+}
+
+/// `span_id → name` for every span event in the stream.
+fn span_names(events: &[Event]) -> BTreeMap<u64, String> {
+    events
+        .iter()
+        .filter_map(|e| Some((uint(e, "span_id")?, e.name.clone())))
+        .collect()
+}
+
+/// The tree as a set of `(name, parent name)` edges — instant events
+/// included; roots parent to `"<root>"`.
+fn edge_set(events: &[Event]) -> BTreeSet<(String, String)> {
+    let names = span_names(events);
+    events
+        .iter()
+        .map(|e| {
+            let parent = match uint(e, "parent_id") {
+                Some(id) => names
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("{}: parent {id} missing from stream", e.name)),
+                None => "<root>".to_string(),
+            };
+            (e.name.clone(), parent)
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_decode_spans_all_parent_to_one_read_root() {
+    let events = traced_read(CanopusConfig::default().pipeline_depth.max(2));
+
+    // Exactly one root: the read call itself.
+    let roots: Vec<&Event> = events
+        .iter()
+        .filter(|e| uint(e, "span_id").is_some() && uint(e, "parent_id").is_none())
+        .collect();
+    assert_eq!(roots.len(), 1, "one read call, one root span");
+    assert_eq!(roots[0].name, "read");
+    let root_id = uint(roots[0], "span_id").unwrap();
+
+    // Every fetch, decode (decode-pool threads included) and restore of
+    // the walk hangs directly off that root — this is what lets the
+    // exporter reassemble the tree even though the workers emit from
+    // their own thread lanes.
+    for name in ["read.block", "decode", "restore"] {
+        let children: Vec<&Event> = events.iter().filter(|e| e.name == name).collect();
+        assert!(!children.is_empty(), "walk must emit {name} spans");
+        for c in &children {
+            assert_eq!(
+                uint(c, "parent_id"),
+                Some(root_id),
+                "{name} span must parent to the read root"
+            );
+            assert!(uint(c, "tid").is_some(), "{name} carries a thread lane");
+        }
+    }
+    // Base → L0 applies one restore per intermediate level.
+    let restores = events.iter().filter(|e| e.name == "restore").count();
+    assert_eq!(restores, (LEVELS - 1) as usize);
+}
+
+#[test]
+fn retry_and_fault_events_nest_under_their_block_spans() {
+    let (canopus, ds) = written_canopus(CanopusConfig::default().pipeline_depth);
+    canopus
+        .metrics()
+        .set_sink(Arc::new(RingBufferSink::with_capacity(4096)));
+    let reader = canopus.open("trace.bp").expect("open");
+    // Deterministic transient faults, armed after open so the manifest
+    // read stays clean — the same schedule the observability suite uses.
+    canopus.hierarchy().set_fault_plan_all(FaultPlan {
+        seed: 11,
+        get_error_p: 0.25,
+        ..FaultPlan::none()
+    });
+    reader
+        .read_level(ds.var, 0)
+        .expect("retries cure the faults");
+
+    let events = canopus.metrics().snapshot().events;
+    let block_ids: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.name == "read.block")
+        .filter_map(|e| uint(e, "span_id"))
+        .collect();
+
+    let faults: Vec<&Event> = events.iter().filter(|e| e.name == "read.fault").collect();
+    let retries: Vec<&Event> = events.iter().filter(|e| e.name == "read.retry").collect();
+    assert!(!faults.is_empty(), "the schedule must actually fire");
+    assert!(!retries.is_empty(), "cured faults imply retries");
+    for e in faults.iter().chain(&retries) {
+        let parent = uint(e, "parent_id").expect("retry/fault events are never roots");
+        assert!(
+            block_ids.contains(&parent),
+            "{} must nest under the read.block span that observed it",
+            e.name
+        );
+        assert!(
+            uint(e, "attempt").is_some(),
+            "{} records its attempt",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn serial_and_pipelined_walks_tell_the_same_causal_story() {
+    let serial = edge_set(&traced_read(0));
+    let pipelined = edge_set(&traced_read(CanopusConfig::default().pipeline_depth.max(2)));
+    assert_eq!(
+        serial, pipelined,
+        "both engines must produce the same span-tree shape"
+    );
+    // And that shared shape is the documented one: a flat two-level tree
+    // under a single read root.
+    for edge in [
+        ("read", "<root>"),
+        ("read.block", "read"),
+        ("decode", "read"),
+        ("restore", "read"),
+    ] {
+        assert!(
+            serial.contains(&(edge.0.to_string(), edge.1.to_string())),
+            "missing edge {edge:?}"
+        );
+    }
+}
