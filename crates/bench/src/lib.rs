@@ -13,6 +13,7 @@
 //! | [`blobs`] | Fig. 7 blob gallery; Fig. 8a–d blob metrics vs decimation ratio |
 //! | [`endtoend`] | Figs. 9/10/11: analysis-pipeline and full-restoration times |
 //! | [`readbench`] | restore-engine perf trajectory (`BENCH_read.json`) |
+//! | [`servebench`] | multi-tenant serving throughput + tail latency (`BENCH_serve.json`) |
 //! | [`faultbench`] | fault-injected recovery costs (`BENCH_faults.json`) |
 //! | [`histsum`] | per-report histogram summaries + the `bench_guard` regression check |
 //! | [`ablation`] | smoothness validation, estimator/codec/priority/refactorer/mapping ablations |
@@ -29,6 +30,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod histsum;
 pub mod readbench;
+pub mod servebench;
 pub mod setup;
 pub mod table;
 pub mod writebench;

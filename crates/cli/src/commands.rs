@@ -41,6 +41,13 @@ commands:
       progressive exploration: walk levels, print per-level cost + delta RMS
   region <store> <file.bp> <var> --x0 X --y0 Y --x1 X --y1 Y --out d.f64
       focused retrieval: refine one level inside a bounding box only
+  serve <store> <file.bp> <var> [--workers W] [--queue Q] [--clients N]
+        [--requests R] [--seed S] [--quick-pct P] [--region-pct P]
+      start the shared serving layer (bounded queue + worker pool with a
+      reserved QuickLook lane) and drive it with a seeded closed-loop
+      workload: N clients each issue R requests mixing QuickLook base
+      reads, FullAccuracy level restores and region refines; prints
+      throughput and per-class queue-wait / latency tails
   metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
           [--no-cache] [--fault-* ...] [--retry-attempts N]
           [--out metrics.json] [--prom]
@@ -70,6 +77,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "render" => cmd_render(rest),
         "explore" => cmd_explore(rest),
         "region" => cmd_region(rest),
+        "serve" => cmd_serve(rest),
         "metrics" => cmd_metrics(rest),
         "trace" => cmd_trace(rest),
         "tiers" => cmd_tiers(rest),
@@ -440,6 +448,147 @@ fn cmd_region(argv: &[String]) -> Result<(), String> {
         stats.exact_vertices,
         roi.data.len(),
     );
+    Ok(())
+}
+
+/// Deterministic per-request mixer for the `serve` workload.
+fn serve_mix(seed: u64, client: u64, i: u64) -> u64 {
+    let mut x = seed ^ (client.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ (i << 17);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    use canopus::{CanopusService, Priority, ServeRequest};
+    use canopus_mesh::geometry::{Aabb, Point2};
+    use canopus_obs::names;
+
+    let a = Args::parse(argv, &[])?;
+    let store_dir = a.pos(0, "store directory")?;
+    let file = a.pos(1, "file name")?;
+    let var = a.pos(2, "variable name")?;
+    let defaults = CanopusConfig::default();
+    let workers: u32 = a.opt_parse("workers", defaults.serve_workers)?;
+    let queue: u32 = a.opt_parse("queue", defaults.serve_queue)?;
+    let clients: u64 = a.opt_parse("clients", 4u64)?;
+    let requests: u64 = a.opt_parse("requests", 8u64)?;
+    let seed: u64 = a.opt_parse("seed", 42u64)?;
+    let quick_pct: u64 = a.opt_parse("quick-pct", 50u64)?;
+    let region_pct: u64 = a.opt_parse("region-pct", 20u64)?;
+    if quick_pct + region_pct > 100 {
+        return Err("--quick-pct + --region-pct must not exceed 100".into());
+    }
+
+    let canopus = canopus_for(
+        store_dir,
+        CanopusConfig {
+            serve_workers: workers,
+            serve_queue: queue,
+            ..defaults
+        },
+    )?;
+    let num_levels = canopus
+        .store()
+        .open(file)
+        .map_err(|e| format!("opening {file}: {e}"))?
+        .meta()
+        .num_levels
+        .max(1);
+    let service = CanopusService::start(std::sync::Arc::new(canopus));
+
+    // Warm-up quick look doubles as a liveness check and yields the
+    // variable's bounding box for region requests.
+    let warm = service
+        .submit(ServeRequest::Base {
+            file: file.to_string(),
+            var: var.to_string(),
+        })
+        .map_err(|e| format!("submit: {e}"))?
+        .wait()
+        .map_err(|e| format!("serve: {e}"))?;
+    let bb = warm.outcome.mesh.aabb();
+
+    let window = |roll: u64| {
+        let cx = (bb.min.x + bb.max.x) / 2.0;
+        let cy = (bb.min.y + bb.max.y) / 2.0;
+        let (x0, y0) = match roll % 4 {
+            0 => (bb.min.x, bb.min.y),
+            1 => (cx, bb.min.y),
+            2 => (bb.min.x, cy),
+            _ => (cx, cy),
+        };
+        Aabb::from_points([
+            Point2::new(x0, y0),
+            Point2::new(x0 + (cx - bb.min.x), y0 + (cy - bb.min.y)),
+        ])
+    };
+
+    let started = std::time::Instant::now();
+    let (ok, failed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = &service;
+                let window = &window;
+                scope.spawn(move || {
+                    let (mut ok, mut failed) = (0u64, 0u64);
+                    for i in 0..requests {
+                        let roll = serve_mix(seed, c, i);
+                        let request = if roll % 100 < quick_pct {
+                            ServeRequest::Base {
+                                file: file.to_string(),
+                                var: var.to_string(),
+                            }
+                        } else if roll % 100 < quick_pct + region_pct {
+                            ServeRequest::Region {
+                                file: file.to_string(),
+                                var: var.to_string(),
+                                region: window(roll >> 7),
+                            }
+                        } else {
+                            ServeRequest::Level {
+                                file: file.to_string(),
+                                var: var.to_string(),
+                                level: (roll >> 9) as u32 % num_levels,
+                            }
+                        };
+                        match service.submit(request).map(|t| t.wait()) {
+                            Ok(Ok(_)) => ok += 1,
+                            _ => failed += 1,
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total = ok + failed + 1; // + warm-up
+    println!(
+        "served {total} requests from {clients} clients in {:.1} ms ({:.1} req/s, {failed} failed) over {} workers",
+        elapsed * 1e3,
+        (ok + failed) as f64 / elapsed.max(1e-9),
+        service.workers(),
+    );
+    let obs = std::sync::Arc::clone(service.metrics());
+    for priority in [Priority::QuickLook, Priority::FullAccuracy] {
+        let class = priority.class();
+        let count = obs.counter(&names::serve_completed(class)).get();
+        let wait = obs.histogram(&names::serve_queue_wait_hist(class)).stat();
+        let lat = obs.histogram(&names::serve_latency_hist(class)).stat();
+        println!(
+            "  {class:<5} n={count:<5} queue-wait p50/p99 {:.2}/{:.2} ms   latency p50/p99 {:.2}/{:.2} ms",
+            wait.p50_secs() * 1e3,
+            wait.p99_secs() * 1e3,
+            lat.p50_secs() * 1e3,
+            lat.p99_secs() * 1e3,
+        );
+    }
     Ok(())
 }
 
@@ -977,6 +1126,63 @@ mod tests {
         assert!(text.contains("# TYPE canopus_read_blocks counter"));
         assert!(text.contains("# TYPE canopus_read_decode_block_wall_seconds histogram"));
         assert!(text.contains("_bucket{le=\"+Inf\"}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_subcommand_drives_mixed_workload() {
+        let dir = tmpdir("serve");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let (store, mesh, data) = (
+            store.to_str().unwrap(),
+            mesh.to_str().unwrap(),
+            data.to_str().unwrap(),
+        );
+        run(&s(&["init", store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "xgc1",
+            "--mesh",
+            mesh,
+            "--data",
+            data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", store, "x.bp", "dpot", "--mesh", mesh, "--data", data, "--levels", "3",
+            "--chunks", "8",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "serve",
+            store,
+            "x.bp",
+            "dpot",
+            "--workers",
+            "2",
+            "--clients",
+            "3",
+            "--requests",
+            "5",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        // An impossible mix errors cleanly.
+        assert!(run(&s(&[
+            "serve",
+            store,
+            "x.bp",
+            "dpot",
+            "--quick-pct",
+            "80",
+            "--region-pct",
+            "30",
+        ]))
+        .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

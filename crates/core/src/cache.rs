@@ -19,10 +19,24 @@
 //! is LRU-first under either bound; the most recently inserted entry is
 //! always retained — even alone over the byte budget — so a repeat read
 //! of the same `(var, level)` still answers from memory.
+//!
+//! ## Lock order
+//!
+//! `Inner` sits behind a single mutex that is a **leaf lock** of the
+//! read path: no code path acquires another lock, performs tier I/O,
+//! decodes, or touches the metrics registry while holding it. Callers
+//! that need a multi-step decision (exact hit *or* nearest coarser
+//! fallback) use [`LevelCache::probe`], which classifies under one
+//! acquisition so the answer is consistent even while concurrent
+//! readers insert and evict. The reader-wide order is documented on
+//! [`CanopusReader`](crate::read::CanopusReader): `meta_cache` →
+//! `LevelCache::inner` → registry instrument maps, each released before
+//! the next is taken.
 
 use canopus_mesh::TriMesh;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One cached restored level.
@@ -63,8 +77,22 @@ struct Inner {
 /// entry count and approximate bytes.
 pub(crate) struct LevelCache {
     capacity: usize,
-    max_bytes: usize,
+    /// Atomic (not a field behind the mutex, not `&mut`): the budget is
+    /// adjustable through a shared reference, so a long-lived service
+    /// holding the reader in an `Arc` can still retune it.
+    max_bytes: AtomicUsize,
     inner: Mutex<Inner>,
+}
+
+/// Outcome of a single-lock [`LevelCache::probe`].
+pub(crate) enum Probe {
+    /// The exact `(var, level)` entry was resident.
+    Exact(CachedLevel),
+    /// No exact entry, but the finest strictly coarser cached level —
+    /// the best starting point for a walk down to the target.
+    Coarser(u32, CachedLevel),
+    /// Nothing cached for this variable at or above the target.
+    Miss,
 }
 
 impl LevelCache {
@@ -78,7 +106,7 @@ impl LevelCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            max_bytes: Self::DEFAULT_MAX_BYTES,
+            max_bytes: AtomicUsize::new(Self::DEFAULT_MAX_BYTES),
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
@@ -88,14 +116,15 @@ impl LevelCache {
     }
 
     /// Override the approximate-byte budget (entry capacity still
-    /// applies).
-    pub fn set_max_bytes(&mut self, max_bytes: usize) {
-        self.max_bytes = max_bytes;
+    /// applies). Takes `&self`: the budget is an atomic so a shared
+    /// reader never needs exclusive access to retune it.
+    pub fn set_max_bytes(&self, max_bytes: usize) {
+        self.max_bytes.store(max_bytes, Ordering::Relaxed);
     }
 
     /// The configured approximate-byte budget.
     pub fn max_bytes(&self) -> usize {
-        self.max_bytes
+        self.max_bytes.load(Ordering::Relaxed)
     }
 
     pub fn enabled(&self) -> bool {
@@ -125,24 +154,30 @@ impl LevelCache {
         Some(entry.value.clone())
     }
 
-    /// The finest cached level of `var` strictly coarser than `finer_than`
-    /// (i.e. in `finer_than + 1 ..= coarsest`) — the best starting point
-    /// for a walk down to `finer_than`.
-    pub fn nearest_coarser(
-        &self,
-        var: &str,
-        finer_than: u32,
-        coarsest: u32,
-    ) -> Option<(u32, CachedLevel)> {
+    /// Classify a read of `(var, level)` — exact hit, nearest coarser
+    /// starting point, or miss — under **one** lock acquisition, so the
+    /// classification (and therefore hit/miss accounting) is a single
+    /// consistent decision even while other readers insert and evict
+    /// concurrently. Whichever entry answers has its recency refreshed.
+    pub fn probe(&self, var: &str, level: u32, coarsest: u32) -> Probe {
         if !self.enabled() {
-            return None;
+            return Probe::Miss;
         }
-        for level in finer_than + 1..=coarsest {
-            if let Some(hit) = self.get(var, level) {
-                return Some((level, hit));
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        for candidate in level..=coarsest {
+            if let Some(entry) = inner.map.get_mut(&(var.to_string(), candidate)) {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                return if candidate == level {
+                    Probe::Exact(value)
+                } else {
+                    Probe::Coarser(candidate, value)
+                };
             }
         }
-        None
+        Probe::Miss
     }
 
     /// Insert (or refresh) an entry, evicting least-recently-used ones
@@ -168,9 +203,8 @@ impl LevelCache {
             inner.bytes -= old.bytes;
         }
         inner.bytes += bytes;
-        while inner.map.len() > self.capacity
-            || (inner.bytes > self.max_bytes && inner.map.len() > 1)
-        {
+        let max_bytes = self.max_bytes();
+        while inner.map.len() > self.capacity || (inner.bytes > max_bytes && inner.map.len() > 1) {
             let oldest = inner
                 .map
                 .iter()
@@ -241,7 +275,7 @@ mod tests {
 
     #[test]
     fn byte_budget_evicts_lru_and_tracks_residency() {
-        let mut c = LevelCache::new(16);
+        let c = LevelCache::new(16);
         // Room for two ~8 KiB fields, not three.
         c.set_max_bytes(20 << 10);
         c.insert("v", 0, sized_level(1024));
@@ -258,7 +292,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_is_retained_alone() {
-        let mut c = LevelCache::new(4);
+        let c = LevelCache::new(4);
         c.set_max_bytes(1 << 10);
         c.insert("v", 0, sized_level(64));
         c.insert("v", 1, sized_level(4096)); // alone exceeds the budget
@@ -271,7 +305,7 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_byte_accounting() {
-        let mut c = LevelCache::new(4);
+        let c = LevelCache::new(4);
         c.set_max_bytes(1 << 20);
         c.insert("v", 0, sized_level(1024));
         let first = c.resident_bytes();
@@ -283,14 +317,27 @@ mod tests {
     }
 
     #[test]
-    fn nearest_coarser_prefers_finest() {
+    fn probe_classifies_exact_coarser_and_miss_in_one_pass() {
         let c = LevelCache::new(4);
         c.insert("v", 3, level(3.0));
         c.insert("v", 1, level(1.0));
-        let (lvl, hit) = c.nearest_coarser("v", 0, 3).unwrap();
-        assert_eq!(lvl, 1);
-        assert_eq!(hit.delta_rms, 1.0);
-        assert!(c.nearest_coarser("v", 3, 3).is_none());
+        // Exact entry wins over any coarser one.
+        match c.probe("v", 1, 3) {
+            Probe::Exact(hit) => assert_eq!(hit.delta_rms, 1.0),
+            _ => panic!("expected exact hit"),
+        }
+        // No exact entry: the finest strictly coarser level answers.
+        match c.probe("v", 0, 3) {
+            Probe::Coarser(lvl, hit) => {
+                assert_eq!(lvl, 1);
+                assert_eq!(hit.delta_rms, 1.0);
+            }
+            _ => panic!("expected coarser hit"),
+        }
+        // Nothing cached at or above the target, or unknown variable.
+        assert!(matches!(c.probe("w", 0, 3), Probe::Miss));
+        c.insert("v", 0, level(0.0));
+        assert!(matches!(c.probe("v", 0, 3), Probe::Exact(_)));
     }
 
     #[test]

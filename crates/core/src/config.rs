@@ -61,6 +61,18 @@ pub struct CanopusConfig {
     /// and costs nothing). Used by the reliability tests and the
     /// fault-injection benchmarks.
     pub fault: FaultPlan,
+    /// Worker threads of the shared serving layer
+    /// ([`CanopusService`](crate::serve::CanopusService)). `0` — the
+    /// default — sizes the pool to the host's available parallelism,
+    /// never below 2 so a dedicated quick-look lane always exists. With
+    /// 2+ workers, worker 0 serves only `QuickLook` requests, which is
+    /// what guarantees a cheap base read is never stuck behind a
+    /// running full restore.
+    pub serve_workers: u32,
+    /// Bound on the serving layer's admission queue. `submit` blocks
+    /// until a slot frees up (closed-loop backpressure), so a burst of
+    /// clients cannot queue unbounded work. `0` is treated as `1`.
+    pub serve_queue: u32,
 }
 
 /// Retry budget for fault-class read failures (transient tier errors,
@@ -155,6 +167,8 @@ impl Default for CanopusConfig {
             decimation_parts: 1,
             retry: RetryPolicy::new(),
             fault: FaultPlan::none(),
+            serve_workers: 0,
+            serve_queue: 64,
         }
     }
 }
@@ -206,6 +220,8 @@ mod tests {
         assert_eq!(c.decimation_parts, 1, "serial decimation kernel by default");
         assert!(c.fault.is_none(), "no fault injection by default");
         assert!(c.retry.max_attempts > 1, "read retries on by default");
+        assert_eq!(c.serve_workers, 0, "serve pool auto-sized by default");
+        assert!(c.serve_queue > 0, "bounded admission queue by default");
     }
 
     #[test]

@@ -14,6 +14,10 @@ pub enum CanopusError {
     MeshIo(String),
     /// Inconsistent inputs or metadata (e.g. unknown level).
     Invalid(String),
+    /// The serving layer refused or abandoned the request because the
+    /// service is shutting down (or its worker died). Not a fault:
+    /// retrying on the same service cannot succeed.
+    ServiceStopped,
 }
 
 impl std::fmt::Display for CanopusError {
@@ -24,6 +28,7 @@ impl std::fmt::Display for CanopusError {
             CanopusError::Codec(e) => write!(f, "codec: {e}"),
             CanopusError::MeshIo(m) => write!(f, "mesh io: {m}"),
             CanopusError::Invalid(m) => write!(f, "invalid: {m}"),
+            CanopusError::ServiceStopped => write!(f, "service: stopped"),
         }
     }
 }

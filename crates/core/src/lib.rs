@@ -50,6 +50,7 @@ pub mod config;
 pub mod error;
 pub mod progressive;
 pub mod read;
+pub mod serve;
 pub mod write;
 
 pub use campaign::Campaign;
@@ -59,4 +60,5 @@ pub use config::{CanopusConfig, RetryPolicy};
 pub use error::CanopusError;
 pub use progressive::ProgressiveReader;
 pub use read::{CanopusReader, PhaseTiming, ReadOutcome, RegionStats};
+pub use serve::{CanopusService, Priority, ServeOptions, ServeRequest, ServeResponse, Ticket};
 pub use write::{Canopus, ProductReport, WriteReport};

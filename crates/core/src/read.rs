@@ -23,7 +23,7 @@
 //! [`ReadOutcome::degraded`] set instead of failing. Missing blocks are
 //! never retried or absorbed — absent data is a hard error.
 
-use crate::cache::{CachedLevel, LevelCache};
+use crate::cache::{CachedLevel, LevelCache, Probe};
 use crate::config::RetryPolicy;
 use crate::error::CanopusError;
 use crate::write::{decode_level_meta, spatial_chunks};
@@ -139,6 +139,27 @@ pub struct ReadOutcome {
 /// Cached level geometry: `(var, level) -> (mesh, mapping)`.
 type MetaCache = Mutex<HashMap<(String, u32), (TriMesh, Vec<u32>)>>;
 
+/// Every read method takes `&self`: a single reader is shared by the
+/// serving layer's worker pool ([`crate::serve::CanopusService`]) and
+/// by ad-hoc scoped threads, with all mutable state behind interior
+/// mutability.
+///
+/// ## Lock order
+///
+/// The read path holds at most one lock at a time, acquired in this
+/// order and released before the next is taken:
+///
+/// 1. `meta_cache` — probe/fill of level geometry (dropped before any
+///    tier I/O to fill it);
+/// 2. `LevelCache::inner` — one [`Probe`]/insert per read (a leaf lock:
+///    never held across I/O, decode or registry calls);
+/// 3. registry instrument maps inside [`Registry`] — leaf locks of the
+///    obs layer; hot-path hit/miss counters don't even reach them, they
+///    bump pre-resolved atomic handles (`cache_hits` / `cache_misses`).
+///
+/// Storage locks (`Device`'s `RwLock`, per-tier stats) sit strictly
+/// below all of these: the reader never calls into a tier while holding
+/// any reader-level lock.
 pub struct CanopusReader {
     file: BpFile,
     estimator: Estimator,
@@ -150,11 +171,18 @@ pub struct CanopusReader {
     /// Retry budget for fault-class block-read failures.
     retry: RetryPolicy,
     obs: Arc<Registry>,
+    /// Pre-resolved cache-accounting counters: plain atomic increments,
+    /// so concurrent hits/misses never race through a read-modify-write
+    /// or contend on the registry's name map.
+    cache_hits: Arc<canopus_obs::Counter>,
+    cache_misses: Arc<canopus_obs::Counter>,
 }
 
 impl CanopusReader {
     pub(crate) fn new(file: BpFile, estimator: Estimator) -> Self {
         let obs = Arc::clone(file.hierarchy().metrics());
+        let cache_hits = obs.counter(names::READ_CACHE_HITS);
+        let cache_misses = obs.counter(names::READ_CACHE_MISSES);
         Self {
             file,
             estimator,
@@ -163,6 +191,8 @@ impl CanopusReader {
             pipeline_depth: 0,
             retry: RetryPolicy::new(),
             obs,
+            cache_hits,
+            cache_misses,
         }
     }
 
@@ -189,7 +219,7 @@ impl CanopusReader {
     /// Cap the decoded-level cache's resident size at approximately
     /// `max_bytes` (LRU entries are evicted past the budget; the most
     /// recent entry is always retained).
-    pub fn with_level_cache_bytes(mut self, max_bytes: usize) -> Self {
+    pub fn with_level_cache_bytes(self, max_bytes: usize) -> Self {
         self.level_cache.set_max_bytes(max_bytes);
         self
     }
@@ -212,18 +242,19 @@ impl CanopusReader {
     }
 
     /// Probe the decoded-level cache with hit/miss accounting.
-    /// No counters move while the cache is disabled.
+    /// No counters move while the cache is disabled. Accounting goes
+    /// through the pre-resolved atomic handles, so probes from many
+    /// worker threads never lose an increment.
     fn cache_lookup(&self, var: &str, level: u32) -> Option<CachedLevel> {
         if !self.level_cache.enabled() {
             return None;
         }
         let hit = self.level_cache.get(var, level);
-        let counter = if hit.is_some() {
-            names::READ_CACHE_HITS
+        if hit.is_some() {
+            self.cache_hits.inc();
         } else {
-            names::READ_CACHE_MISSES
-        };
-        self.obs.counter(counter).inc();
+            self.cache_misses.inc();
+        }
         hit
     }
 
@@ -790,22 +821,21 @@ impl CanopusReader {
         // One accounting event per call: a hit when any cached level —
         // the exact target or a coarser starting point — answers, a
         // single miss otherwise (the base read below skips its own
-        // probe, so a miss is never counted twice).
+        // probe, so a miss is never counted twice). The probe classifies
+        // exact-vs-coarser-vs-miss under a single cache lock, so the
+        // decision and its accounting stay consistent under contention.
         let start = if self.level_cache.enabled() {
-            if let Some(hit) = self.level_cache.get(var, target_level) {
-                self.obs.counter(names::READ_CACHE_HITS).inc();
-                return Ok(Self::materialize(target_level, &hit));
-            }
-            match self
-                .level_cache
-                .nearest_coarser(var, target_level, base_level)
-            {
-                Some((level, hit)) => {
-                    self.obs.counter(names::READ_CACHE_HITS).inc();
+            match self.level_cache.probe(var, target_level, base_level) {
+                Probe::Exact(hit) => {
+                    self.cache_hits.inc();
+                    return Ok(Self::materialize(target_level, &hit));
+                }
+                Probe::Coarser(level, hit) => {
+                    self.cache_hits.inc();
                     Self::materialize(level, &hit)
                 }
-                None => {
-                    self.obs.counter(names::READ_CACHE_MISSES).inc();
+                Probe::Miss => {
+                    self.cache_misses.inc();
                     self.read_base_uncached(var, ctx)?
                 }
             }

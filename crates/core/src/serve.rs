@@ -1,0 +1,690 @@
+//! Shared, long-lived serving layer: many analysts, one campaign.
+//!
+//! The paper's elasticity story is multi-tenant — several analysts pull
+//! *different* accuracy levels of the same refactored campaign at once,
+//! each trading accuracy for speed independently. [`CanopusService`]
+//! turns the single-caller engines into that shared service: a bounded
+//! admission queue, a worker pool executing requests over `&self`
+//! readers (one shared [`CanopusReader`] per file, so all tenants of a
+//! file share its decoded-level and geometry caches), and per-request
+//! priority classes with deadline-aware scheduling.
+//!
+//! ## Priority semantics
+//!
+//! Two classes mirror the two ends of the accuracy/speed trade:
+//!
+//! * [`Priority::QuickLook`] — cheap exploratory reads (base level, a
+//!   short deadline budget);
+//! * [`Priority::FullAccuracy`] — deep restores and refinements (long
+//!   deadline budget).
+//!
+//! Scheduling is earliest-deadline-first over `(deadline, seq)`, where
+//! a request's deadline is its admission time plus the class budget
+//! (overridable per request). Within a class that degenerates to FIFO;
+//! across classes a fresh `QuickLook` overtakes queued `FullAccuracy`
+//! work unless the full restore has waited long enough that its own
+//! deadline comes first — so deep restores are starvation-free.
+//! Additionally, when the pool has 2+ workers, **worker 0 serves only
+//! `QuickLook` requests**: even with every other worker pinned inside a
+//! running full restore, a quick look is picked up immediately. That
+//! reserved lane is what makes "cheap reads are never stuck behind a
+//! full restore" a structural guarantee instead of a probabilistic one.
+//!
+//! ## Backpressure, shutdown, drain
+//!
+//! The admission queue is bounded (`CanopusConfig::serve_queue`):
+//! `submit` blocks until a slot frees, giving closed-loop clients
+//! natural backpressure. Dropping the service marks it shut down, wakes
+//! everyone, and **drains**: every request already admitted is still
+//! executed and its [`Ticket`] resolves; only new submissions (and
+//! submitters still blocked on a full queue) get
+//! [`CanopusError::ServiceStopped`].
+//!
+//! ## Lock order
+//!
+//! The service adds two leaf locks above the reader's own (documented
+//! on [`CanopusReader`]): the scheduler mutex and the per-file reader
+//! map. Neither is ever held while executing a request, opening a file,
+//! or touching reader/storage locks — a worker pops under the scheduler
+//! lock, releases it, then runs the request lock-free from the
+//! service's point of view.
+
+use crate::error::CanopusError;
+use crate::read::{CanopusReader, ReadOutcome, RegionStats};
+use crate::write::Canopus;
+use canopus_mesh::Aabb;
+use canopus_obs::{names, Counter, Gauge, Histogram, Registry};
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-request priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Cheap exploratory read (base level): short deadline, never
+    /// queued behind deep restores.
+    QuickLook,
+    /// Deep restore / refinement: long deadline, scheduled EDF so it
+    /// cannot starve behind a stream of quick looks.
+    FullAccuracy,
+}
+
+impl Priority {
+    /// Metric-name segment for this class (`quick` / `full`).
+    pub const fn class(self) -> &'static str {
+        match self {
+            Priority::QuickLook => "quick",
+            Priority::FullAccuracy => "full",
+        }
+    }
+
+    /// Default deadline budget from admission, the EDF ordering key
+    /// unless overridden via [`ServeOptions::deadline`].
+    pub const fn default_deadline(self) -> Duration {
+        match self {
+            Priority::QuickLook => Duration::from_millis(50),
+            Priority::FullAccuracy => Duration::from_secs(30),
+        }
+    }
+}
+
+const fn class_idx(p: Priority) -> usize {
+    match p {
+        Priority::QuickLook => 0,
+        Priority::FullAccuracy => 1,
+    }
+}
+
+/// One retrieval request against a served campaign.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// Read the base (coarsest) level of `var` — the quick look.
+    Base { file: String, var: String },
+    /// Restore `var` to accuracy `level` (0 = full accuracy).
+    Level {
+        file: String,
+        var: String,
+        level: u32,
+    },
+    /// Quick look plus one focused refinement inside `region`
+    /// (fetches only the intersecting delta chunks).
+    Region {
+        file: String,
+        var: String,
+        region: Aabb,
+    },
+}
+
+impl ServeRequest {
+    /// The class a request lands in unless the submitter overrides it:
+    /// base reads are quick looks, everything else is accuracy work.
+    pub fn default_priority(&self) -> Priority {
+        match self {
+            ServeRequest::Base { .. } => Priority::QuickLook,
+            _ => Priority::FullAccuracy,
+        }
+    }
+}
+
+/// Per-request scheduling options.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    pub priority: Priority,
+    /// Deadline budget from admission; `None` takes the class default.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeOptions {
+    pub fn new(priority: Priority) -> Self {
+        Self {
+            priority,
+            deadline: None,
+        }
+    }
+}
+
+/// What a completed request returns.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    pub outcome: ReadOutcome,
+    /// Present for [`ServeRequest::Region`] requests.
+    pub region_stats: Option<RegionStats>,
+    pub priority: Priority,
+    /// Wall seconds the request waited in the admission queue.
+    pub queue_wait_s: f64,
+    /// Wall seconds a worker spent executing it.
+    pub service_s: f64,
+}
+
+/// Handle to one in-flight request. Resolves exactly once: with the
+/// response, the request's error, or [`CanopusError::ServiceStopped`]
+/// if the executing worker died.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeResponse, CanopusError>>,
+}
+
+impl Ticket {
+    /// Block until the request completes.
+    pub fn wait(self) -> Result<ServeResponse, CanopusError> {
+        self.rx.recv().unwrap_or(Err(CanopusError::ServiceStopped))
+    }
+
+    /// Non-blocking poll: `None` while the request is still queued or
+    /// executing.
+    pub fn try_wait(&self) -> Option<Result<ServeResponse, CanopusError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(CanopusError::ServiceStopped)),
+        }
+    }
+
+    /// Block up to `timeout`; `None` if the request hasn't completed.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServeResponse, CanopusError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(CanopusError::ServiceStopped)),
+        }
+    }
+}
+
+struct Job {
+    seq: u64,
+    request: ServeRequest,
+    priority: Priority,
+    deadline: Instant,
+    enqueued: Instant,
+    tx: mpsc::SyncSender<Result<ServeResponse, CanopusError>>,
+}
+
+/// Scheduler state behind the service's one mutex. Two queues, popped
+/// earliest-deadline-first by `(deadline, seq)`.
+struct Sched {
+    quick: Vec<Job>,
+    full: Vec<Job>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+impl Sched {
+    fn len(&self) -> usize {
+        self.quick.len() + self.full.len()
+    }
+
+    fn push(&mut self, job: Job) {
+        match job.priority {
+            Priority::QuickLook => self.quick.push(job),
+            Priority::FullAccuracy => self.full.push(job),
+        }
+    }
+
+    fn min_key(queue: &[Job]) -> Option<(usize, (Instant, u64))> {
+        queue
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (i, (j.deadline, j.seq)))
+            .min_by_key(|&(_, key)| key)
+    }
+
+    /// Pop the earliest-deadline job this worker may run. The reserved
+    /// quick lane passes `quick_only`; everyone else runs EDF over the
+    /// union of both queues. Queues stay poppable after shutdown — that
+    /// is the drain.
+    fn pop(&mut self, quick_only: bool) -> Option<Job> {
+        let quick = Self::min_key(&self.quick);
+        if quick_only {
+            return quick.map(|(i, _)| self.quick.swap_remove(i));
+        }
+        let full = Self::min_key(&self.full);
+        match (quick, full) {
+            (Some((qi, qk)), Some((_, fk))) if qk <= fk => Some(self.quick.swap_remove(qi)),
+            (Some((qi, _)), None) => Some(self.quick.swap_remove(qi)),
+            (_, Some((fi, _))) => Some(self.full.swap_remove(fi)),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Pre-resolved instruments: workers bump atomics, never the registry's
+/// name maps, on the hot path.
+struct ClassMetrics {
+    requests: Arc<Counter>,
+    dequeued: Arc<Counter>,
+    completed: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    latency: Arc<Histogram>,
+}
+
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_depth_peak: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    inflight_peak: Arc<Gauge>,
+    class: [ClassMetrics; 2],
+}
+
+impl ServeMetrics {
+    fn new(obs: &Registry) -> Self {
+        let class = |p: Priority| ClassMetrics {
+            requests: obs.counter(&names::serve_requests(p.class())),
+            dequeued: obs.counter(&names::serve_dequeued(p.class())),
+            completed: obs.counter(&names::serve_completed(p.class())),
+            queue_wait: obs.histogram(&names::serve_queue_wait_hist(p.class())),
+            latency: obs.histogram(&names::serve_latency_hist(p.class())),
+        };
+        Self {
+            requests: obs.counter(names::SERVE_REQUESTS),
+            completed: obs.counter(names::SERVE_COMPLETED),
+            failed: obs.counter(names::SERVE_FAILED),
+            rejected: obs.counter(names::SERVE_REJECTED),
+            queue_depth: obs.gauge(names::SERVE_QUEUE_DEPTH),
+            queue_depth_peak: obs.gauge(names::SERVE_QUEUE_DEPTH_PEAK),
+            inflight: obs.gauge(names::SERVE_INFLIGHT),
+            inflight_peak: obs.gauge(names::SERVE_INFLIGHT_PEAK),
+            class: [class(Priority::QuickLook), class(Priority::FullAccuracy)],
+        }
+    }
+}
+
+struct Shared {
+    canopus: Arc<Canopus>,
+    /// One shared reader per file; all tenants of a file share its
+    /// decoded-level and geometry caches. Leaf lock, never held across
+    /// the open itself.
+    readers: Mutex<HashMap<String, Arc<CanopusReader>>>,
+    sched: Mutex<Sched>,
+    /// Signalled when work arrives (or at shutdown).
+    work: Condvar,
+    /// Signalled when a queue slot frees (or at shutdown).
+    space: Condvar,
+    queue_cap: usize,
+    m: ServeMetrics,
+}
+
+impl Shared {
+    fn reader(&self, file: &str) -> Result<Arc<CanopusReader>, CanopusError> {
+        if let Some(r) = self.readers.lock().unwrap().get(file) {
+            return Ok(Arc::clone(r));
+        }
+        // Open outside the map lock: a first-open's tier I/O must not
+        // block workers serving other files. A racing double-open keeps
+        // the first inserted reader.
+        let opened = Arc::new(self.canopus.open(file)?);
+        let mut map = self.readers.lock().unwrap();
+        Ok(Arc::clone(map.entry(file.to_string()).or_insert(opened)))
+    }
+}
+
+fn execute(
+    shared: &Shared,
+    request: &ServeRequest,
+) -> Result<(ReadOutcome, Option<RegionStats>), CanopusError> {
+    match request {
+        ServeRequest::Base { file, var } => shared.reader(file)?.read_base(var).map(|o| (o, None)),
+        ServeRequest::Level { file, var, level } => shared
+            .reader(file)?
+            .read_level(var, *level)
+            .map(|o| (o, None)),
+        ServeRequest::Region { file, var, region } => {
+            let reader = shared.reader(file)?;
+            let base = reader.read_base(var)?;
+            let (roi, stats) = reader.refine_region(var, &base, *region)?;
+            Ok((roi, Some(stats)))
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, quick_only: bool) {
+    loop {
+        let job = {
+            let mut sched = shared.sched.lock().unwrap();
+            loop {
+                if let Some(job) = sched.pop(quick_only) {
+                    break job;
+                }
+                if sched.shutdown {
+                    return;
+                }
+                sched = shared.work.wait(sched).unwrap();
+            }
+        };
+        shared.space.notify_one();
+
+        let class = &shared.m.class[class_idx(job.priority)];
+        shared.m.queue_depth.sub(1);
+        class.dequeued.inc();
+        let queue_wait_s = job.enqueued.elapsed().as_secs_f64();
+        class.queue_wait.observe_secs(queue_wait_s);
+
+        shared.m.inflight.add(1);
+        shared.m.inflight_peak.set_max(shared.m.inflight.get());
+        let started = Instant::now();
+        let result = execute(shared, &job.request);
+        let service_s = started.elapsed().as_secs_f64();
+        shared.m.inflight.sub(1);
+
+        let result = match result {
+            Ok((outcome, region_stats)) => {
+                shared.m.completed.inc();
+                class.completed.inc();
+                class.latency.observe_secs(queue_wait_s + service_s);
+                Ok(ServeResponse {
+                    outcome,
+                    region_stats,
+                    priority: job.priority,
+                    queue_wait_s,
+                    service_s,
+                })
+            }
+            Err(e) => {
+                shared.m.failed.inc();
+                Err(e)
+            }
+        };
+        // A dropped ticket just means the client stopped caring.
+        let _ = job.tx.send(result);
+    }
+}
+
+/// The shared serving layer: a bounded admission queue and a worker
+/// pool over one [`Canopus`] engine. See the module docs for the
+/// scheduling and shutdown semantics.
+pub struct CanopusService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CanopusService {
+    /// Start the worker pool sized by the engine's configuration
+    /// (`serve_workers`: 0 = available parallelism, never below 2;
+    /// `serve_queue`: admission bound, at least 1).
+    pub fn start(canopus: Arc<Canopus>) -> Self {
+        let config = *canopus.config();
+        let workers = if config.serve_workers > 0 {
+            config.serve_workers as usize
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2)
+        };
+        let queue_cap = config.serve_queue.max(1) as usize;
+        let m = ServeMetrics::new(canopus.metrics());
+        let shared = Arc::new(Shared {
+            canopus,
+            readers: Mutex::new(HashMap::new()),
+            sched: Mutex::new(Sched {
+                quick: Vec::new(),
+                full: Vec::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            queue_cap,
+            m,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                // Worker 0 is the reserved QuickLook lane once the pool
+                // has a second worker to take FullAccuracy jobs.
+                let quick_only = workers >= 2 && i == 0;
+                std::thread::Builder::new()
+                    .name(format!("canopus-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, quick_only))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads (including the reserved quick lane).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Admission-queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_cap
+    }
+
+    /// The engine's metrics registry (shared with storage and readers).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.shared.canopus.metrics()
+    }
+
+    /// Submit with the request's default class and deadline.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, CanopusError> {
+        let priority = request.default_priority();
+        self.submit_with(request, ServeOptions::new(priority))
+    }
+
+    /// Submit with an explicit class/deadline. Blocks while the bounded
+    /// queue is full; fails with [`CanopusError::ServiceStopped`] once
+    /// shutdown has begun.
+    pub fn submit_with(
+        &self,
+        request: ServeRequest,
+        opts: ServeOptions,
+    ) -> Result<Ticket, CanopusError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let now = Instant::now();
+        let deadline = now
+            + opts
+                .deadline
+                .unwrap_or_else(|| opts.priority.default_deadline());
+        let shared = &self.shared;
+        let mut sched = shared.sched.lock().unwrap();
+        while !sched.shutdown && sched.len() >= shared.queue_cap {
+            sched = shared.space.wait(sched).unwrap();
+        }
+        if sched.shutdown {
+            shared.m.rejected.inc();
+            return Err(CanopusError::ServiceStopped);
+        }
+        let seq = sched.next_seq;
+        sched.next_seq += 1;
+        sched.push(Job {
+            seq,
+            request,
+            priority: opts.priority,
+            deadline,
+            enqueued: now,
+            tx,
+        });
+        let depth = sched.len() as i64;
+        drop(sched);
+        shared.m.requests.inc();
+        shared.m.class[class_idx(opts.priority)].requests.inc();
+        shared.m.queue_depth.add(1);
+        shared.m.queue_depth_peak.set_max(depth);
+        // notify_all, not notify_one: a single wake could land on the
+        // reserved quick worker while the new job is FullAccuracy.
+        shared.work.notify_all();
+        Ok(Ticket { rx })
+    }
+}
+
+impl Drop for CanopusService {
+    /// Shutdown drains: admitted requests still execute and their
+    /// tickets resolve; blocked/new submitters get `ServiceStopped`.
+    fn drop(&mut self) {
+        {
+            let mut sched = self.shared.sched.lock().unwrap();
+            sched.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// The whole point of the refactor: readers, engine and service are
+// shareable across threads.
+fn _assert_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<CanopusReader>();
+    assert::<Canopus>();
+    assert::<CanopusService>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CanopusConfig, RelativeCodec};
+    use canopus_data::xgc1_dataset_sized;
+    use canopus_refactor::levels::RefactorConfig;
+    use canopus_storage::StorageHierarchy;
+
+    fn engine(workers: u32, queue: u32) -> Arc<Canopus> {
+        let ds = xgc1_dataset_sized(8, 40, 3);
+        let raw = (ds.data.len() * 8) as u64;
+        let canopus = Canopus::new(
+            Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+            CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels: 3,
+                    ..Default::default()
+                },
+                codec: RelativeCodec::Raw,
+                serve_workers: workers,
+                serve_queue: queue,
+                ..Default::default()
+            },
+        );
+        canopus.write("s.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+        Arc::new(canopus)
+    }
+
+    #[test]
+    fn default_priorities_split_by_request_kind() {
+        let base = ServeRequest::Base {
+            file: "f".into(),
+            var: "v".into(),
+        };
+        let level = ServeRequest::Level {
+            file: "f".into(),
+            var: "v".into(),
+            level: 0,
+        };
+        assert_eq!(base.default_priority(), Priority::QuickLook);
+        assert_eq!(level.default_priority(), Priority::FullAccuracy);
+        assert!(Priority::QuickLook.default_deadline() < Priority::FullAccuracy.default_deadline());
+    }
+
+    #[test]
+    fn serves_requests_and_matches_direct_reads() {
+        let canopus = engine(2, 4);
+        let service = CanopusService::start(Arc::clone(&canopus));
+        assert_eq!(service.workers(), 2);
+        assert_eq!(service.queue_capacity(), 4);
+
+        let direct = canopus.open("s.bp").unwrap();
+        let want_base = direct.read_base("dpot").unwrap();
+        let want_l0 = direct.read_level("dpot", 0).unwrap();
+
+        let base = service
+            .submit(ServeRequest::Base {
+                file: "s.bp".into(),
+                var: "dpot".into(),
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(base.priority, Priority::QuickLook);
+        assert_eq!(base.outcome.data, want_base.data);
+
+        let full = service
+            .submit(ServeRequest::Level {
+                file: "s.bp".into(),
+                var: "dpot".into(),
+                level: 0,
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(full.priority, Priority::FullAccuracy);
+        assert_eq!(full.outcome.data, want_l0.data);
+        assert!(full.queue_wait_s >= 0.0 && full.service_s >= 0.0);
+
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter(names::SERVE_REQUESTS), 2);
+        assert_eq!(snap.counter(names::SERVE_COMPLETED), 2);
+        assert_eq!(snap.counter(names::SERVE_FAILED), 0);
+    }
+
+    #[test]
+    fn unknown_variable_fails_the_request_not_the_service() {
+        let canopus = engine(1, 4);
+        let service = CanopusService::start(Arc::clone(&canopus));
+        let err = service
+            .submit(ServeRequest::Base {
+                file: "s.bp".into(),
+                var: "nope".into(),
+            })
+            .unwrap()
+            .wait();
+        assert!(err.is_err());
+        // The pool survives a failed request.
+        let ok = service
+            .submit(ServeRequest::Base {
+                file: "s.bp".into(),
+                var: "dpot".into(),
+            })
+            .unwrap()
+            .wait();
+        assert!(ok.is_ok());
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter(names::SERVE_FAILED), 1);
+    }
+
+    #[test]
+    fn edf_pop_orders_by_deadline_then_seq_and_respects_reserved_lane() {
+        let now = Instant::now();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let job = |seq: u64, priority: Priority, deadline_ms: u64| Job {
+            seq,
+            request: ServeRequest::Base {
+                file: "f".into(),
+                var: "v".into(),
+            },
+            priority,
+            deadline: now + Duration::from_millis(deadline_ms),
+            enqueued: now,
+            tx: tx.clone(),
+        };
+        let mut sched = Sched {
+            quick: Vec::new(),
+            full: Vec::new(),
+            next_seq: 0,
+            shutdown: false,
+        };
+        sched.push(job(0, Priority::FullAccuracy, 10));
+        sched.push(job(1, Priority::QuickLook, 50));
+        sched.push(job(2, Priority::QuickLook, 50));
+        // Reserved lane never touches the full queue.
+        assert_eq!(
+            sched.pop(true).unwrap().seq,
+            1,
+            "FIFO within equal deadlines"
+        );
+        // General worker runs EDF across classes: the old full job's
+        // deadline beats the remaining quick one.
+        assert_eq!(sched.pop(false).unwrap().seq, 0);
+        assert_eq!(sched.pop(false).unwrap().seq, 2);
+        assert!(sched.pop(false).is_none());
+        assert!(sched.pop(true).is_none());
+    }
+}

@@ -71,6 +71,52 @@ pub const READ_CHECKSUM_FAILURES: &str = "canopus.read.checksum_failures";
 /// returned a coarser-than-requested result instead of an error.
 pub const READ_DEGRADED_RESTORES: &str = "canopus.read.degraded_restores";
 
+// ---- serving layer ---------------------------------------------------
+/// Counter: requests admitted into the service queue (all classes).
+pub const SERVE_REQUESTS: &str = "canopus.serve.requests";
+/// Counter: requests completed successfully (all classes).
+pub const SERVE_COMPLETED: &str = "canopus.serve.completed";
+/// Counter: requests that completed with an error (all classes).
+pub const SERVE_FAILED: &str = "canopus.serve.failed";
+/// Counter: requests refused at admission (queue closed by shutdown).
+pub const SERVE_REJECTED: &str = "canopus.serve.rejected";
+/// Gauge: requests currently waiting in the bounded admission queue.
+pub const SERVE_QUEUE_DEPTH: &str = "canopus.serve.queue_depth";
+/// Gauge: deepest the admission queue ever got.
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "canopus.serve.queue_depth_peak";
+/// Gauge: requests currently being executed by a worker.
+pub const SERVE_INFLIGHT: &str = "canopus.serve.inflight";
+/// Gauge: high-water mark of concurrently executing requests.
+pub const SERVE_INFLIGHT_PEAK: &str = "canopus.serve.inflight_peak";
+
+/// Counter: requests admitted for one priority class (`quick` / `full`).
+pub fn serve_requests(class: &str) -> String {
+    format!("canopus.serve.requests.{class}")
+}
+
+/// Counter: completions for one priority class.
+pub fn serve_completed(class: &str) -> String {
+    format!("canopus.serve.completed.{class}")
+}
+
+/// Counter: dequeues for one priority class (a worker picked the
+/// request up; completion may still be in flight).
+pub fn serve_dequeued(class: &str) -> String {
+    format!("canopus.serve.dequeued.{class}")
+}
+
+/// Histogram (wall): time a request of one priority class waited in the
+/// admission queue before a worker picked it up.
+pub fn serve_queue_wait_hist(class: &str) -> String {
+    format!("canopus.serve.queue_wait.{class}.wall")
+}
+
+/// Histogram (wall): end-to-end latency (queue wait + service) of one
+/// priority class.
+pub fn serve_latency_hist(class: &str) -> String {
+    format!("canopus.serve.latency.{class}.wall")
+}
+
 // ---- latency histograms ----------------------------------------------
 // Histogram names live in their own instrument map; the `.wall`/`.sim`
 // suffix convention marks which clock a distribution measures.

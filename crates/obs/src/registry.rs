@@ -160,6 +160,19 @@ pub(crate) fn secs_to_nanos(secs: f64) -> u64 {
 
 /// The metrics registry. One per storage hierarchy; shared via `Arc`
 /// across every pipeline layer that hangs off it.
+///
+/// ## Lock order
+///
+/// The four instrument maps are **leaf locks**: `get_or_insert` takes a
+/// read (or briefly a write) lock only to resolve a name to its `Arc`'d
+/// instrument, and nothing is ever called while one is held — no sink,
+/// no other registry map, no caller-provided code. Updates to a
+/// resolved instrument are plain atomics and need no lock at all, which
+/// is why hot paths (the reader's cache accounting, the serving layer's
+/// per-class counters) pre-resolve their handles once and never touch
+/// these maps again. Callers may therefore invoke the registry while
+/// holding their own locks without ordering concerns — the reverse
+/// (calling out of the registry into caller locks) never happens.
 pub struct Registry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
     gauges: RwLock<HashMap<String, Arc<Gauge>>>,

@@ -3,6 +3,20 @@
 //! `StorageHierarchy` composes [`TierSpec`]s with backing [`Device`]s and a
 //! shared [`SimClock`]. Tier 0 is the fastest/smallest (the top of the
 //! pyramid in the paper's Fig. 1); reads search fastest-first.
+//!
+//! ## Lock order
+//!
+//! Storage locks sit at the **bottom** of the whole stack: readers and
+//! the serving layer never enter a tier while holding any of their own
+//! locks, and no storage lock nests inside another. Per tier there are
+//! three independent leaves — the device's `RwLock` (held only for the
+//! keyed byte map operation itself), the stats mutex, and the fault
+//! mutex — each taken and released separately; the sim clock is an
+//! atomic. Metrics calls from in here hit the registry's own leaf locks
+//! (see `canopus_obs::Registry`) strictly after every storage lock is
+//! released or on lock-free instrument handles, so the cross-crate
+//! order is: reader caches → scheduler/reader-map → storage leaves →
+//! registry maps, with at most one held at a time.
 
 use crate::clock::{SimClock, SimDuration};
 use crate::device::Device;
