@@ -52,6 +52,37 @@ impl From<canopus_storage::StorageError> for AdiosError {
     }
 }
 
+/// One entry of a shard's chunk index (format rev `CBP3`): where one
+/// independently compressed Morton spatial chunk lives inside its shard
+/// object, what it decodes to, and the spatial extent it covers. The
+/// read path plans region refinements against the bounding boxes and
+/// issues ranged fetches of `[offset, offset + len)` — one chunk moves
+/// without the rest of the shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkEntry {
+    /// Global chunk index within the delta's Morton order.
+    pub chunk: u32,
+    /// Byte offset of the chunk's compressed stream within the shard.
+    pub offset: u64,
+    /// Length of the chunk's compressed stream in bytes.
+    pub len: u64,
+    /// Number of f64 elements the chunk decodes to.
+    pub elements: u64,
+    /// FNV-1a checksum of the chunk's stored bytes, verified on every
+    /// ranged fetch (0 = unverified).
+    pub checksum: u64,
+    /// Axis-aligned bounding box of the chunk's vertices:
+    /// `[min_x, min_y, max_x, max_y]`.
+    pub bbox: [f64; 4],
+    /// Value range of the chunk's decompressed data.
+    pub min: f64,
+    pub max: f64,
+    /// Codec identity of the chunk's stream. Chunk-framing decides per
+    /// chunk (element count vs the framing threshold), so this can
+    /// differ between chunks of one shard.
+    pub codec_id: u8,
+}
+
 /// Metadata for one stored block (one refactored product of one variable).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockMeta {
@@ -77,17 +108,46 @@ pub struct BlockMeta {
     /// at placement and verified on every read. `0` means "unverified"
     /// — the manifest predates checksums (legacy `CBP1` format).
     pub checksum: u64,
+    /// Chunk index of a [`ProductKind::DeltaShard`] block (format rev
+    /// `CBP3`), ordered by ascending in-shard offset. Empty for
+    /// monolithic blocks and for manifests predating `CBP3`.
+    pub chunks: Vec<ChunkEntry>,
 }
 
 /// Metadata for one variable: an ordered list of blocks (base, deltas,
 /// auxiliary metadata).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct VarMeta {
     pub name: String,
     pub blocks: Vec<BlockMeta>,
+    /// Parse-time restore-planner index: finer level → indices into
+    /// `blocks` of that delta's `DeltaChunk` blocks in ascending chunk
+    /// order. Built once by [`FileMeta::from_bytes`] so
+    /// [`delta_chunks_to`](Self::delta_chunks_to) — a hot path in the
+    /// restore planner — neither rescans nor re-sorts per call.
+    /// Writer-side `VarMeta`s assembled block-by-block leave it empty
+    /// and fall back to the scan. Never serialized, never compared.
+    chunk_order: std::collections::HashMap<u32, Vec<u32>>,
+}
+
+/// `chunk_order` is a derived cache; two metas are equal iff their
+/// serialized contents are.
+impl PartialEq for VarMeta {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.blocks == other.blocks
+    }
 }
 
 impl VarMeta {
+    /// An empty variable (blocks are pushed as products are placed).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            blocks: Vec::new(),
+            chunk_order: std::collections::HashMap::new(),
+        }
+    }
+
     /// Find the base block.
     pub fn base(&self) -> Option<&BlockMeta> {
         self.blocks
@@ -103,8 +163,18 @@ impl VarMeta {
     }
 
     /// All chunks of the delta refining into `finer`, ordered by chunk
-    /// index (empty when the delta was stored unchunked).
+    /// index (empty when the delta was stored unchunked). Served from
+    /// the precomputed `chunk_order` index on parsed manifests; the
+    /// scan-and-sort fallback only runs for writer-side metas that were
+    /// never [`rebuild_indexes`](Self::rebuild_indexes)d.
     pub fn delta_chunks_to(&self, finer: u32) -> Vec<&BlockMeta> {
+        if !self.chunk_order.is_empty() {
+            return self
+                .chunk_order
+                .get(&finer)
+                .map(|idxs| idxs.iter().map(|&i| &self.blocks[i as usize]).collect())
+                .unwrap_or_default();
+        }
         let mut chunks: Vec<&BlockMeta> = self
             .blocks
             .iter()
@@ -115,6 +185,40 @@ impl VarMeta {
             _ => unreachable!("filtered to chunks"),
         });
         chunks
+    }
+
+    /// All shards of the delta refining into `finer`, ordered by shard
+    /// index (empty when the delta was not stored sharded).
+    pub fn delta_shards_to(&self, finer: u32) -> Vec<&BlockMeta> {
+        let mut shards: Vec<&BlockMeta> = self
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.kind, ProductKind::DeltaShard { finer: f, .. } if f == finer))
+            .collect();
+        shards.sort_by_key(|b| match b.kind {
+            ProductKind::DeltaShard { shard, .. } => shard,
+            _ => unreachable!("filtered to shards"),
+        });
+        shards
+    }
+
+    /// (Re)build the derived lookup indexes from `blocks`. Called once
+    /// per variable at manifest parse time.
+    pub fn rebuild_indexes(&mut self) {
+        self.chunk_order.clear();
+        let mut keyed: Vec<(u32, u32, u32)> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| match b.kind {
+                ProductKind::DeltaChunk { finer, chunk, .. } => Some((finer, chunk, i as u32)),
+                _ => None,
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(finer, chunk, _)| (finer, chunk));
+        for (finer, _, idx) in keyed {
+            self.chunk_order.entry(finer).or_default().push(idx);
+        }
     }
 
     /// Find the auxiliary metadata block for `level`.
@@ -142,8 +246,14 @@ impl FileMeta {
     }
 }
 
-/// Current manifest format: v2 adds a per-block payload checksum.
-const META_MAGIC: &[u8; 4] = b"CBP2";
+/// Current manifest format: v3 adds a per-block chunk index (byte
+/// ranges, bounding boxes, per-chunk checksums) for sharded spatial
+/// layouts.
+const META_MAGIC: &[u8; 4] = b"CBP3";
+/// v2 manifests (per-block payload checksum, no chunk index) are still
+/// readable; their blocks carry an empty `chunks` vector and read via
+/// the monolithic path.
+const META_MAGIC_V2: &[u8; 4] = b"CBP2";
 /// Legacy manifests (no checksums) are still readable; their blocks
 /// carry `checksum == 0`, which reads treat as "skip verification".
 const META_MAGIC_V1: &[u8; 4] = b"CBP1";
@@ -177,6 +287,11 @@ fn put_kind(out: &mut Vec<u8>, kind: ProductKind) {
             coarser,
             chunk,
         } => (3, finer, coarser, chunk),
+        ProductKind::DeltaShard {
+            finer,
+            coarser,
+            shard,
+        } => (4, finer, coarser, shard),
     };
     out.push(tag);
     out.extend_from_slice(&a.to_le_bytes());
@@ -241,6 +356,11 @@ impl<'a> Cursor<'a> {
                 coarser: b,
                 chunk: c,
             }),
+            4 => Ok(ProductKind::DeltaShard {
+                finer: a,
+                coarser: b,
+                shard: c,
+            }),
             t => Err(AdiosError::Corrupt(format!("bad product kind tag {t}"))),
         }
     }
@@ -268,6 +388,20 @@ impl FileMeta {
                 out.extend_from_slice(&b.min.to_le_bytes());
                 out.extend_from_slice(&b.max.to_le_bytes());
                 out.extend_from_slice(&b.checksum.to_le_bytes());
+                out.extend_from_slice(&(b.chunks.len() as u32).to_le_bytes());
+                for e in &b.chunks {
+                    out.extend_from_slice(&e.chunk.to_le_bytes());
+                    out.extend_from_slice(&e.offset.to_le_bytes());
+                    out.extend_from_slice(&e.len.to_le_bytes());
+                    out.extend_from_slice(&e.elements.to_le_bytes());
+                    out.extend_from_slice(&e.checksum.to_le_bytes());
+                    for coord in e.bbox {
+                        out.extend_from_slice(&coord.to_le_bytes());
+                    }
+                    out.extend_from_slice(&e.min.to_le_bytes());
+                    out.extend_from_slice(&e.max.to_le_bytes());
+                    out.push(e.codec_id);
+                }
             }
         }
         out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
@@ -282,9 +416,10 @@ impl FileMeta {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, AdiosError> {
         let mut c = Cursor { bytes, pos: 0 };
         let magic = c.take(4)?;
-        let has_checksums = match () {
-            _ if magic == META_MAGIC => true,
-            _ if magic == META_MAGIC_V1 => false,
+        let (has_checksums, has_chunk_index) = match () {
+            _ if magic == META_MAGIC => (true, true),
+            _ if magic == META_MAGIC_V2 => (true, false),
+            _ if magic == META_MAGIC_V1 => (false, false),
             _ => return Err(AdiosError::Corrupt("bad BP metadata magic".into())),
         };
         let name = c.str()?;
@@ -302,7 +437,7 @@ impl FileMeta {
             }
             let mut blocks = Vec::with_capacity(nblocks);
             for _ in 0..nblocks {
-                blocks.push(BlockMeta {
+                let mut block = BlockMeta {
                     key: c.str()?,
                     kind: c.kind()?,
                     elements: c.u64()?,
@@ -313,12 +448,38 @@ impl FileMeta {
                     min: c.f64()?,
                     max: c.f64()?,
                     checksum: if has_checksums { c.u64()? } else { 0 },
-                });
+                    chunks: Vec::new(),
+                };
+                if has_chunk_index {
+                    let nchunks = c.u32()? as usize;
+                    if nchunks > 1 << 20 {
+                        return Err(AdiosError::Corrupt("absurd chunk count".into()));
+                    }
+                    let mut chunks = Vec::with_capacity(nchunks);
+                    for _ in 0..nchunks {
+                        chunks.push(ChunkEntry {
+                            chunk: c.u32()?,
+                            offset: c.u64()?,
+                            len: c.u64()?,
+                            elements: c.u64()?,
+                            checksum: c.u64()?,
+                            bbox: [c.f64()?, c.f64()?, c.f64()?, c.f64()?],
+                            min: c.f64()?,
+                            max: c.f64()?,
+                            codec_id: c.u8()?,
+                        });
+                    }
+                    block.chunks = chunks;
+                }
+                blocks.push(block);
             }
-            vars.push(VarMeta {
+            let mut var = VarMeta {
                 name: vname,
                 blocks,
-            });
+                ..VarMeta::default()
+            };
+            var.rebuild_indexes();
+            vars.push(var);
         }
         let nattrs = c.u32()? as usize;
         if nattrs > 1 << 20 {
@@ -336,6 +497,53 @@ impl FileMeta {
             vars,
             attrs,
         })
+    }
+
+    /// Serialize in the previous `CBP2` layout: per-block checksums but
+    /// no chunk index. Back-compat fixture support — the regression
+    /// tests downgrade a live manifest with this and prove old files
+    /// keep opening and reading via the monolithic path. Lossy for
+    /// sharded blocks (their chunk index is dropped).
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        self.to_bytes_versioned(META_MAGIC_V2, true)
+    }
+
+    /// Serialize in the legacy `CBP1` layout: no checksums, no chunk
+    /// index. See [`Self::to_bytes_v2`] for the intended use.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.to_bytes_versioned(META_MAGIC_V1, false)
+    }
+
+    fn to_bytes_versioned(&self, magic: &[u8; 4], checksums: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(magic);
+        put_str(&mut out, &self.name);
+        out.extend_from_slice(&self.num_levels.to_le_bytes());
+        out.extend_from_slice(&(self.vars.len() as u32).to_le_bytes());
+        for var in &self.vars {
+            put_str(&mut out, &var.name);
+            out.extend_from_slice(&(var.blocks.len() as u32).to_le_bytes());
+            for b in &var.blocks {
+                put_str(&mut out, &b.key);
+                put_kind(&mut out, b.kind);
+                out.extend_from_slice(&b.elements.to_le_bytes());
+                out.push(b.codec_id);
+                out.extend_from_slice(&b.codec_param.to_le_bytes());
+                out.extend_from_slice(&b.raw_bytes.to_le_bytes());
+                out.extend_from_slice(&b.stored_bytes.to_le_bytes());
+                out.extend_from_slice(&b.min.to_le_bytes());
+                out.extend_from_slice(&b.max.to_le_bytes());
+                if checksums {
+                    out.extend_from_slice(&b.checksum.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for (k, v) in &self.attrs {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out
     }
 }
 
@@ -361,6 +569,7 @@ mod tests {
                         min: -1.5,
                         max: 2.25,
                         checksum: 0xDEAD_BEEF_0000_0001,
+                        chunks: vec![],
                     },
                     BlockMeta {
                         key: "xgc1.bp/dpot/d1-2".into(),
@@ -376,6 +585,47 @@ mod tests {
                         min: -0.1,
                         max: 0.1,
                         checksum: 0xDEAD_BEEF_0000_0002,
+                        chunks: vec![],
+                    },
+                    BlockMeta {
+                        key: "xgc1.bp/dpot/s0-1.0".into(),
+                        kind: ProductKind::DeltaShard {
+                            finer: 0,
+                            coarser: 1,
+                            shard: 0,
+                        },
+                        elements: 20_000,
+                        codec_id: 1,
+                        codec_param: 1e-6,
+                        raw_bytes: 160_000,
+                        stored_bytes: 14_000,
+                        min: -0.2,
+                        max: 0.2,
+                        checksum: 0xDEAD_BEEF_0000_0003,
+                        chunks: vec![
+                            ChunkEntry {
+                                chunk: 0,
+                                offset: 0,
+                                len: 7_000,
+                                elements: 10_000,
+                                checksum: 0xFEED_0000_0000_0001,
+                                bbox: [0.0, 0.0, 0.5, 1.0],
+                                min: -0.2,
+                                max: 0.1,
+                                codec_id: 1,
+                            },
+                            ChunkEntry {
+                                chunk: 1,
+                                offset: 7_000,
+                                len: 7_000,
+                                elements: 10_000,
+                                checksum: 0xFEED_0000_0000_0002,
+                                bbox: [0.5, 0.0, 1.0, 1.0],
+                                min: -0.1,
+                                max: 0.2,
+                                codec_id: 1,
+                            },
+                        ],
                     },
                     BlockMeta {
                         key: "xgc1.bp/dpot/m1".into(),
@@ -388,8 +638,10 @@ mod tests {
                         min: 0.0,
                         max: 0.0,
                         checksum: 0,
+                        chunks: vec![],
                     },
                 ],
+                ..VarMeta::default()
             }],
             attrs: vec![("app".into(), "XGC1".into())],
         }
@@ -451,52 +703,99 @@ mod tests {
         assert_eq!(FileMeta::from_bytes(&m.to_bytes()).unwrap(), m);
     }
 
-    /// Serialize `m` in the legacy CBP1 layout (no per-block checksum).
-    fn to_v1_bytes(m: &FileMeta) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(META_MAGIC_V1);
-        put_str(&mut out, &m.name);
-        out.extend_from_slice(&m.num_levels.to_le_bytes());
-        out.extend_from_slice(&(m.vars.len() as u32).to_le_bytes());
-        for var in &m.vars {
-            put_str(&mut out, &var.name);
-            out.extend_from_slice(&(var.blocks.len() as u32).to_le_bytes());
-            for b in &var.blocks {
-                put_str(&mut out, &b.key);
-                put_kind(&mut out, b.kind);
-                out.extend_from_slice(&b.elements.to_le_bytes());
-                out.push(b.codec_id);
-                out.extend_from_slice(&b.codec_param.to_le_bytes());
-                out.extend_from_slice(&b.raw_bytes.to_le_bytes());
-                out.extend_from_slice(&b.stored_bytes.to_le_bytes());
-                out.extend_from_slice(&b.min.to_le_bytes());
-                out.extend_from_slice(&b.max.to_le_bytes());
-            }
-        }
-        out.extend_from_slice(&(m.attrs.len() as u32).to_le_bytes());
-        for (k, v) in &m.attrs {
-            put_str(&mut out, k);
-            put_str(&mut out, v);
-        }
-        out
-    }
-
     #[test]
     fn legacy_v1_manifests_parse_with_unverified_checksums() {
         let m = sample();
-        let back = FileMeta::from_bytes(&to_v1_bytes(&m)).unwrap();
+        let back = FileMeta::from_bytes(&m.to_bytes_v1()).unwrap();
         assert_eq!(back.vars.len(), 1);
         for (old, new) in m.vars[0].blocks.iter().zip(&back.vars[0].blocks) {
             assert_eq!(new.checksum, 0, "v1 blocks are unverified");
+            assert!(new.chunks.is_empty(), "v1 blocks carry no chunk index");
             assert_eq!(
                 BlockMeta {
                     checksum: 0,
+                    chunks: vec![],
                     ..old.clone()
                 },
                 *new,
-                "everything but the checksum survives"
+                "everything but checksum and chunk index survives"
             );
         }
+    }
+
+    #[test]
+    fn v2_manifests_parse_with_empty_chunk_index() {
+        let m = sample();
+        let back = FileMeta::from_bytes(&m.to_bytes_v2()).unwrap();
+        for (old, new) in m.vars[0].blocks.iter().zip(&back.vars[0].blocks) {
+            assert_eq!(new.checksum, old.checksum, "v2 keeps checksums");
+            assert!(new.chunks.is_empty(), "v2 blocks carry no chunk index");
+        }
+    }
+
+    #[test]
+    fn chunk_index_roundtrips_exactly() {
+        let m = sample();
+        let back = FileMeta::from_bytes(&m.to_bytes()).unwrap();
+        let shard = back.vars[0]
+            .blocks
+            .iter()
+            .find(|b| matches!(b.kind, ProductKind::DeltaShard { .. }))
+            .unwrap();
+        assert_eq!(shard.chunks.len(), 2);
+        assert_eq!(shard.chunks[1].offset, 7_000);
+        assert_eq!(shard.chunks[1].bbox, [0.5, 0.0, 1.0, 1.0]);
+        assert_eq!(back, m);
+        assert_eq!(back.vars[0].delta_shards_to(0).len(), 1);
+        assert!(back.vars[0].delta_shards_to(1).is_empty());
+    }
+
+    #[test]
+    fn parsed_chunk_order_matches_scan_fallback() {
+        // Chunks interleaved across two deltas, out of chunk order.
+        let mk = |finer: u32, chunk: u32| BlockMeta {
+            key: format!("f/v/d{finer}-{}.{chunk}", finer + 1),
+            kind: ProductKind::DeltaChunk {
+                finer,
+                coarser: finer + 1,
+                chunk,
+            },
+            elements: 8,
+            codec_id: 0,
+            codec_param: 0.0,
+            raw_bytes: 64,
+            stored_bytes: 64,
+            min: 0.0,
+            max: 1.0,
+            checksum: 7,
+            chunks: vec![],
+        };
+        let scrambled = VarMeta {
+            name: "v".into(),
+            blocks: vec![mk(1, 2), mk(0, 1), mk(1, 0), mk(0, 0), mk(1, 1)],
+            ..VarMeta::default()
+        };
+        let m = FileMeta {
+            name: "f".into(),
+            num_levels: 3,
+            vars: vec![scrambled.clone()],
+            attrs: vec![],
+        };
+        let parsed = FileMeta::from_bytes(&m.to_bytes()).unwrap();
+        for finer in 0..2 {
+            let from_index = parsed.vars[0].delta_chunks_to(finer);
+            let from_scan = scrambled.delta_chunks_to(finer);
+            assert_eq!(from_index, from_scan, "finer {finer}");
+            let order: Vec<u32> = from_index
+                .iter()
+                .map(|b| match b.kind {
+                    ProductKind::DeltaChunk { chunk, .. } => chunk,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert!(order.windows(2).all(|w| w[0] < w[1]), "sorted: {order:?}");
+        }
+        assert!(parsed.vars[0].delta_chunks_to(2).is_empty());
     }
 
     #[test]

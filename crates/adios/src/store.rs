@@ -1,7 +1,7 @@
 //! The BP store: writing product sets through the placement policy and
 //! reading them back with `inq_var`-style queries.
 
-use crate::meta::{checksum64, AdiosError, BlockMeta, FileMeta, VarMeta};
+use crate::meta::{checksum64, AdiosError, BlockMeta, ChunkEntry, FileMeta, VarMeta};
 use bytes::Bytes;
 use canopus_storage::{
     PlacementPlan, Product, ProductKind, SimDuration, StorageHierarchy, WriteBehind,
@@ -23,6 +23,11 @@ pub fn block_key(file: &str, var: &str, kind: ProductKind) -> String {
             coarser,
             chunk,
         } => format!("{file}/{var}/d{finer}-{coarser}.{chunk}"),
+        ProductKind::DeltaShard {
+            finer,
+            coarser,
+            shard,
+        } => format!("{file}/{var}/s{finer}-{coarser}.{shard}"),
         ProductKind::Metadata { level } => format!("{file}/{var}/m{level}"),
     }
 }
@@ -40,6 +45,9 @@ pub struct BlockWrite {
     pub raw_bytes: u64,
     pub min: f64,
     pub max: f64,
+    /// Chunk index of a shard block (empty for everything else); copied
+    /// verbatim into the manifest's [`BlockMeta::chunks`].
+    pub chunks: Vec<ChunkEntry>,
 }
 
 /// The ADIOS-like store over a storage hierarchy.
@@ -102,13 +110,15 @@ impl BpStore {
                 min: b.min,
                 max: b.max,
                 checksum: checksum64(&b.data),
+                chunks: b.chunks.clone(),
             };
             match vars.iter_mut().find(|v| v.name == b.var) {
                 Some(v) => v.blocks.push(bm),
-                None => vars.push(VarMeta {
-                    name: b.var.clone(),
-                    blocks: vec![bm],
-                }),
+                None => {
+                    let mut v = VarMeta::new(b.var.clone());
+                    v.blocks.push(bm);
+                    vars.push(v);
+                }
             }
         }
 
@@ -225,13 +235,15 @@ impl StreamingWrite {
             min: b.min,
             max: b.max,
             checksum: checksum64(&b.data),
+            chunks: b.chunks,
         };
         match self.vars.iter_mut().find(|v| v.name == b.var) {
             Some(v) => v.blocks.push(bm),
-            None => self.vars.push(VarMeta {
-                name: b.var.clone(),
-                blocks: vec![bm],
-            }),
+            None => {
+                let mut v = VarMeta::new(b.var.clone());
+                v.blocks.push(bm);
+                self.vars.push(v);
+            }
         }
         self.writeback.enqueue(tier, key.clone(), b.data)?;
         self.assignments.push((key, tier));
@@ -312,6 +324,33 @@ impl BpFile {
         Ok((bytes, tier, dt))
     }
 
+    /// Read one chunk of a shard block with a ranged fetch — only
+    /// `entry.len` bytes move off the tier, not the whole shard. The
+    /// slice is verified against the per-chunk checksum the manifest
+    /// recorded at placement (`0` skips verification); a mismatch is
+    /// retryable like [`read_block`](Self::read_block)'s.
+    pub fn read_block_range(
+        &self,
+        block: &BlockMeta,
+        entry: &ChunkEntry,
+    ) -> Result<(Bytes, usize, SimDuration), AdiosError> {
+        let (bytes, tier, dt) =
+            self.store
+                .hierarchy
+                .read_range(&block.key, entry.offset, entry.len)?;
+        if entry.checksum != 0 {
+            let actual = checksum64(&bytes);
+            if actual != entry.checksum {
+                return Err(AdiosError::ChecksumMismatch {
+                    key: format!("{}#{}", block.key, entry.chunk),
+                    expected: entry.checksum,
+                    actual,
+                });
+            }
+        }
+        Ok((bytes, tier, dt))
+    }
+
     /// Convenience: read the base block of a variable.
     pub fn read_base(&self, var: &str) -> Result<(Bytes, BlockMeta, SimDuration), AdiosError> {
         let v = self.inq_var(var)?;
@@ -326,8 +365,10 @@ impl BpFile {
     /// Plan the data blocks a restore walk needs, in fetch order: for
     /// each refinement step `finer = from_level - 1` down to `to_level`,
     /// the delta block(s) refining into `finer` — one monolithic block,
-    /// or the spatial chunks in chunk order. This is the work-list the
-    /// pipelined reader's prefetch stage walks ahead of the decoder.
+    /// the spatial chunks in chunk order, or the shard objects in shard
+    /// order (shard blocks carry their chunk index in
+    /// [`BlockMeta::chunks`]). This is the work-list the pipelined
+    /// reader's prefetch stage walks ahead of the decoder.
     pub fn restore_plan(
         &self,
         var: &str,
@@ -344,7 +385,15 @@ impl BpFile {
         for finer in (to_level..from_level).rev() {
             let blocks: Vec<BlockMeta> = match v.delta_to(finer) {
                 Some(b) => vec![b.clone()],
-                None => v.delta_chunks_to(finer).into_iter().cloned().collect(),
+                None => {
+                    let chunks: Vec<BlockMeta> =
+                        v.delta_chunks_to(finer).into_iter().cloned().collect();
+                    if chunks.is_empty() {
+                        v.delta_shards_to(finer).into_iter().cloned().collect()
+                    } else {
+                        chunks
+                    }
+                }
             };
             if blocks.is_empty() {
                 return Err(AdiosError::NotFound(format!(
@@ -397,6 +446,7 @@ mod tests {
                 raw_bytes: 96,
                 min: -1.0,
                 max: 1.0,
+                chunks: vec![],
             },
             BlockWrite {
                 var: "dpot".into(),
@@ -411,6 +461,7 @@ mod tests {
                 raw_bytes: 200,
                 min: -0.1,
                 max: 0.1,
+                chunks: vec![],
             },
             BlockWrite {
                 var: "dpot".into(),
@@ -425,6 +476,7 @@ mod tests {
                 raw_bytes: 400,
                 min: -0.2,
                 max: 0.2,
+                chunks: vec![],
             },
         ]
     }
@@ -649,5 +701,118 @@ mod tests {
             ),
             "f/v/d0-1.3"
         );
+        assert_eq!(
+            block_key(
+                "f",
+                "v",
+                ProductKind::DeltaShard {
+                    finer: 0,
+                    coarser: 1,
+                    shard: 2
+                }
+            ),
+            "f/v/s0-1.2"
+        );
+    }
+
+    /// Two chunk payloads packed into one shard object.
+    fn shard_block() -> BlockWrite {
+        let part_a = vec![0x11u8; 64];
+        let part_b = vec![0x22u8; 48];
+        let mut payload = part_a.clone();
+        payload.extend_from_slice(&part_b);
+        BlockWrite {
+            var: "dpot".into(),
+            kind: ProductKind::DeltaShard {
+                finer: 1,
+                coarser: 2,
+                shard: 0,
+            },
+            data: Bytes::from(payload),
+            elements: 14,
+            codec_id: 0,
+            codec_param: 0.0,
+            raw_bytes: 112,
+            min: -0.5,
+            max: 0.5,
+            chunks: vec![
+                ChunkEntry {
+                    chunk: 0,
+                    offset: 0,
+                    len: 64,
+                    elements: 8,
+                    checksum: checksum64(&part_a),
+                    bbox: [0.0, 0.0, 0.5, 1.0],
+                    min: -0.5,
+                    max: 0.0,
+                    codec_id: 0,
+                },
+                ChunkEntry {
+                    chunk: 1,
+                    offset: 64,
+                    len: 48,
+                    elements: 6,
+                    checksum: checksum64(&part_b),
+                    bbox: [0.5, 0.0, 1.0, 1.0],
+                    min: 0.0,
+                    max: 0.5,
+                    codec_id: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_chunks_fetch_ranged_and_verified() {
+        let s = store();
+        let mut blocks = sample_blocks();
+        blocks.push(shard_block());
+        s.write("f.bp", 3, blocks).unwrap();
+        let f = s.open("f.bp").unwrap();
+        let shard = f.inq_var("dpot").unwrap().delta_shards_to(1)[0].clone();
+        assert_eq!(shard.chunks.len(), 2);
+
+        let tier = s.hierarchy().find(&shard.key).unwrap();
+        let before = s.hierarchy().tier_stats(tier).unwrap().bytes_read;
+        let (bytes, _, _) = f.read_block_range(&shard, &shard.chunks[1]).unwrap();
+        assert_eq!(bytes, Bytes::from(vec![0x22u8; 48]));
+        let moved = s.hierarchy().tier_stats(tier).unwrap().bytes_read - before;
+        assert_eq!(moved, 48, "only the requested range moves off the tier");
+
+        // A flipped byte inside the chunk's range fails its checksum.
+        let mut raw = s.hierarchy().remove(&shard.key).unwrap().to_vec();
+        raw[70] ^= 0xA5;
+        s.hierarchy()
+            .write_to_tier(tier, &shard.key, Bytes::from(raw))
+            .unwrap();
+        match f.read_block_range(&shard, &shard.chunks[1]) {
+            Err(AdiosError::ChecksumMismatch { key, .. }) => {
+                assert_eq!(key, format!("{}#1", shard.key));
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // The untouched chunk still verifies.
+        f.read_block_range(&shard, &shard.chunks[0]).unwrap();
+    }
+
+    #[test]
+    fn restore_plan_returns_shards_with_chunk_index() {
+        let s = store();
+        // Base + shard for level 1, monolithic delta for level 0.
+        let mut blocks = sample_blocks();
+        blocks.retain(|b| !matches!(b.kind, ProductKind::Delta { finer: 1, .. }));
+        blocks.insert(1, shard_block());
+        s.write("f.bp", 3, blocks).unwrap();
+        let f = s.open("f.bp").unwrap();
+        let plan = f.restore_plan("dpot", 2, 0).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].0, 1);
+        assert!(matches!(
+            plan[0].1[0].kind,
+            ProductKind::DeltaShard { shard: 0, .. }
+        ));
+        assert_eq!(plan[0].1[0].chunks.len(), 2);
+        assert_eq!(plan[1].0, 0);
+        assert!(matches!(plan[1].1[0].kind, ProductKind::Delta { .. }));
     }
 }

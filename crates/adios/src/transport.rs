@@ -209,6 +209,7 @@ mod tests {
             raw_bytes: 64,
             min: 0.0,
             max: 1.0,
+            chunks: vec![],
         }]
     }
 

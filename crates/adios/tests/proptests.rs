@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use canopus_adios::store::{block_key, BlockWrite};
-use canopus_adios::{BlockMeta, BpStore, FileMeta, VarMeta};
+use canopus_adios::{BlockMeta, BpStore, ChunkEntry, FileMeta, VarMeta};
 use canopus_storage::{ProductKind, StorageHierarchy, TierSpec};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -21,8 +21,50 @@ fn arb_kind() -> impl Strategy<Value = ProductKind> {
                 chunk,
             }
         }),
+        (0u32..16, 1u32..17, 0u32..64).prop_map(|(finer, d, shard)| {
+            ProductKind::DeltaShard {
+                finer,
+                coarser: finer + d,
+                shard,
+            }
+        }),
         (0u32..16).prop_map(|level| ProductKind::Metadata { level }),
     ]
+}
+
+fn arb_chunk_entry() -> impl Strategy<Value = ChunkEntry> {
+    (
+        0u32..64,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        any::<u64>(),
+        (-1e9f64..1e9, -1e9f64..1e9, -1e9f64..1e9, -1e9f64..1e9),
+        (-1e9f64..1e9, -1e9f64..1e9, 0u8..4),
+    )
+        .prop_map(
+            |(
+                chunk,
+                offset,
+                len,
+                elements,
+                checksum,
+                (bx0, by0, bx1, by1),
+                (min, max, codec_id),
+            )| {
+                ChunkEntry {
+                    chunk,
+                    offset,
+                    len,
+                    elements,
+                    checksum,
+                    bbox: [bx0, by0, bx1, by1],
+                    min,
+                    max,
+                    codec_id,
+                }
+            },
+        )
 }
 
 fn arb_block() -> impl Strategy<Value = BlockMeta> {
@@ -35,10 +77,24 @@ fn arb_block() -> impl Strategy<Value = BlockMeta> {
         0u64..1_000_000,
         0u64..1_000_000,
         -1e9f64..1e9,
-        (-1e9f64..1e9, any::<u64>()),
+        (
+            -1e9f64..1e9,
+            any::<u64>(),
+            proptest::collection::vec(arb_chunk_entry(), 0..4),
+        ),
     )
         .prop_map(
-            |(key, kind, elements, codec_id, codec_param, raw, stored, min, (max, checksum))| {
+            |(
+                key,
+                kind,
+                elements,
+                codec_id,
+                codec_param,
+                raw,
+                stored,
+                min,
+                (max, checksum, chunks),
+            )| {
                 BlockMeta {
                     key,
                     kind,
@@ -50,6 +106,7 @@ fn arb_block() -> impl Strategy<Value = BlockMeta> {
                     min,
                     max,
                     checksum,
+                    chunks,
                 }
             },
         )
@@ -73,7 +130,11 @@ fn arb_meta() -> impl Strategy<Value = FileMeta> {
             num_levels,
             vars: vars
                 .into_iter()
-                .map(|(name, blocks)| VarMeta { name, blocks })
+                .map(|(name, blocks)| {
+                    let mut v = VarMeta::new(name);
+                    v.blocks = blocks;
+                    v
+                })
                 .collect(),
             attrs,
         })
@@ -141,6 +202,7 @@ proptest! {
                 raw_bytes: sz as u64,
                 min: 0.0,
                 max: 1.0,
+                chunks: vec![],
             })
             .collect();
         store.write("f.bp", sizes.len() as u32 + 1, blocks).unwrap();

@@ -73,6 +73,36 @@ fn main() {
         report.cache.cache_misses
     );
 
+    println!("\n# Region refinement (1/8-domain window), monolithic vs sharded\n");
+    let region_rows: Vec<Vec<String>> = report
+        .region
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{}/{}", r.chunks_read, r.chunks_total),
+                format!("{} B", r.bytes_read),
+                format!("{} B", r.level_bytes),
+                format!("{}", r.decode_count),
+                table::secs(r.decode_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "layout",
+                "chunks",
+                "bytes moved",
+                "level bytes",
+                "decodes",
+                "decode wall"
+            ],
+            &region_rows
+        )
+    );
+
     let json = report.to_json().to_pretty() + "\n";
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("cannot write {out}: {e}");

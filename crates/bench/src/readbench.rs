@@ -49,6 +49,27 @@ pub struct CacheSample {
     pub cache_misses: u64,
 }
 
+/// One storage layout's cost for a small-window region refinement.
+#[derive(Debug, Clone)]
+pub struct RegionSample {
+    pub label: &'static str,
+    /// Chunks the refined delta level is stored in.
+    pub chunks_total: usize,
+    /// Chunks the window actually needed.
+    pub chunks_read: usize,
+    /// Tier bytes moved by the region refine (deterministic).
+    pub bytes_read: u64,
+    /// Tier bytes a full-domain refine of the same level moves — the
+    /// denominator of the O(region) claim.
+    pub level_bytes: u64,
+    /// Decode-histogram samples taken during the region refine.
+    pub decode_count: u64,
+    /// Wall seconds spent in those decodes (host-noisy; indicative).
+    pub decode_secs: f64,
+    /// Ranged chunk fetches issued (sharded layout only; 0 otherwise).
+    pub chunk_fetches: u64,
+}
+
 /// Everything `BENCH_read.json` records for one run.
 #[derive(Debug, Clone)]
 pub struct ReadBenchReport {
@@ -62,6 +83,9 @@ pub struct ReadBenchReport {
     /// `serial` wall over `pipelined` wall — the before/after speedup.
     pub speedup: f64,
     pub cache: CacheSample,
+    /// Small-window region refinement under the monolithic and the
+    /// Morton-sharded layouts: the bytes-moved gap is the O(region) win.
+    pub region: Vec<RegionSample>,
     /// Latency histograms of the pipelined engine's run (write + all
     /// restore iterations). The `.sim` entries are deterministic at a
     /// fixed seed — `bench_guard` diffs their medians across commits.
@@ -108,6 +132,22 @@ impl ReadBenchReport {
             "cache_misses".into(),
             Value::Int(self.cache.cache_misses as i128),
         );
+        let region: Vec<Value> = self
+            .region
+            .iter()
+            .map(|r| {
+                let mut o = BTreeMap::new();
+                o.insert("label".into(), Value::Str(r.label.into()));
+                o.insert("chunks_total".into(), Value::Int(r.chunks_total as i128));
+                o.insert("chunks_read".into(), Value::Int(r.chunks_read as i128));
+                o.insert("bytes_read".into(), Value::Int(r.bytes_read as i128));
+                o.insert("level_bytes".into(), Value::Int(r.level_bytes as i128));
+                o.insert("decode_count".into(), Value::Int(r.decode_count as i128));
+                o.insert("decode_secs".into(), Value::Float(r.decode_secs));
+                o.insert("chunk_fetches".into(), Value::Int(r.chunk_fetches as i128));
+                Value::Obj(o)
+            })
+            .collect();
         let mut top = BTreeMap::new();
         top.insert("bench".into(), Value::Str("read".into()));
         top.insert("dataset".into(), Value::Str(self.dataset.clone()));
@@ -122,6 +162,7 @@ impl ReadBenchReport {
             Value::Float(self.speedup),
         );
         top.insert("cache".into(), Value::Obj(cache));
+        top.insert("region".into(), Value::Arr(region));
         top.insert(
             "histograms".into(),
             histsum::summaries_json(&self.histograms),
@@ -188,6 +229,70 @@ fn sample_cache(ds: &Dataset, config: CanopusConfig) -> CacheSample {
     }
 }
 
+/// Region refinement of a 1/8-domain window under one layout. Cache off
+/// so every planned-and-needed chunk is a real fetch; bytes are
+/// deterministic (simulated tiers, fixed Morton partition).
+fn sample_region(
+    ds: &Dataset,
+    num_levels: u32,
+    label: &'static str,
+    sharded: bool,
+) -> RegionSample {
+    use canopus_mesh::geometry::{Aabb, Point2};
+    let raw = (ds.data.len() * 8) as u64;
+    let config = CanopusConfig {
+        refactor: RefactorConfig {
+            num_levels,
+            ..Default::default()
+        },
+        level_cache: 0,
+        spatial_chunking: sharded,
+        ..Default::default()
+    };
+    let canopus = Canopus::new(titan_hierarchy(raw), config);
+    canopus
+        .write("region.bp", ds.var, &ds.mesh, &ds.data)
+        .expect("region write");
+    let bb = ds.mesh.aabb();
+    let window = Aabb::from_points([
+        bb.min,
+        Point2::new(
+            bb.min.x + (bb.max.x - bb.min.x) * 0.5,
+            bb.min.y + (bb.max.y - bb.min.y) * 0.25,
+        ),
+    ]);
+
+    let reader = canopus.open("region.bp").expect("open");
+    reader.warm_metadata(ds.var).expect("warm");
+    let base = reader.read_base(ds.var).expect("base");
+    let snap0 = canopus.metrics().snapshot();
+    let (_, stats) = reader
+        .refine_region(ds.var, &base, window)
+        .expect("region refine");
+    let snap1 = canopus.metrics().snapshot();
+
+    // Full-domain refine on a fresh reader: the level's total bytes.
+    let full_reader = canopus.open("region.bp").expect("open full");
+    let full_base = full_reader.read_base(ds.var).expect("base full");
+    let (_, full_stats) = full_reader
+        .refine_region(ds.var, &full_base, bb)
+        .expect("full refine");
+
+    let d0 = snap0.histogram(names::READ_DECODE_HIST);
+    let d1 = snap1.histogram(names::READ_DECODE_HIST);
+    RegionSample {
+        label,
+        chunks_total: stats.chunks_total,
+        chunks_read: stats.chunks_read,
+        bytes_read: stats.bytes_read,
+        level_bytes: full_stats.bytes_read,
+        decode_count: d1.count - d0.count,
+        decode_secs: d1.sum_secs() - d0.sum_secs(),
+        chunk_fetches: snap1.histogram(names::READ_CHUNK_FETCH_HIST).count
+            - snap0.histogram(names::READ_CHUNK_FETCH_HIST).count,
+    }
+}
+
 /// Run the full benchmark: three engine configurations plus the cache
 /// section, all on `num_levels` refactoring of `ds`.
 pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchReport {
@@ -231,6 +336,10 @@ pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchRepor
             ..Default::default()
         },
     );
+    let region = vec![
+        sample_region(ds, num_levels, "monolithic", false),
+        sample_region(ds, num_levels, "sharded", true),
+    ];
     ReadBenchReport {
         dataset: ds.name.to_string(),
         var: ds.var.to_string(),
@@ -243,6 +352,7 @@ pub fn read_bench(ds: &Dataset, num_levels: u32, iters: usize) -> ReadBenchRepor
         engines,
         speedup,
         cache,
+        region,
         histograms: histsum::summaries(&pipelined_snap),
     }
 }
@@ -268,6 +378,21 @@ mod tests {
         assert!(r.cache.first_read_bytes_io > 0);
         assert_eq!(r.cache.repeat_read_bytes_io, 0);
         assert!(r.cache.cache_hits > 0);
+        // Region scenario: the monolithic layout moves the whole level
+        // for a 1/8-domain window; the sharded layout moves a strict
+        // chunk-and-byte subset via ranged fetches.
+        assert_eq!(r.region.len(), 2);
+        let mono = &r.region[0];
+        let shard = &r.region[1];
+        assert_eq!(mono.label, "monolithic");
+        assert_eq!(shard.label, "sharded");
+        assert_eq!(mono.chunks_total, 1);
+        assert_eq!(mono.bytes_read, mono.level_bytes);
+        assert_eq!(mono.chunk_fetches, 0, "no ranged reads without shards");
+        assert!(shard.chunks_read < shard.chunks_total, "{shard:?}");
+        assert!(shard.bytes_read < shard.level_bytes, "{shard:?}");
+        assert_eq!(shard.chunk_fetches, shard.chunks_read as u64);
+        assert_eq!(shard.decode_count, shard.chunks_read as u64);
     }
 
     #[test]
@@ -279,6 +404,18 @@ mod tests {
         assert!(parsed.get("speedup_serial_over_pipelined").is_some());
         assert!(parsed.get("engines").is_some());
         assert!(parsed.get("cache").is_some());
+        let region = parsed.get("region").expect("region section");
+        match region {
+            Value::Arr(entries) => {
+                assert_eq!(entries.len(), 2);
+                for e in entries {
+                    assert!(e.get("bytes_read").is_some());
+                    assert!(e.get("level_bytes").is_some());
+                    assert!(e.get("decode_count").is_some());
+                }
+            }
+            other => panic!("region must be an array, got {other:?}"),
+        }
         // The histogram section carries the deterministic sim latencies
         // the bench guard diffs.
         let hists = parsed.get("histograms").expect("histograms section");

@@ -60,14 +60,39 @@ impl CachedLevel {
     }
 }
 
+/// Cache key: a fully restored level, or one decoded spatial chunk of a
+/// sharded delta (`(var, finer level, chunk)`). Both populations share
+/// one tick sequence, entry capacity and byte budget, so hot levels and
+/// hot chunks compete for the same residency.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Level(String, u32),
+    Chunk(String, u32, u32),
+}
+
+/// What a cache entry holds, matching its key's shape.
+enum CacheValue {
+    Level(CachedLevel),
+    Chunk(Arc<Vec<f64>>),
+}
+
+impl CacheValue {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            CacheValue::Level(l) => l.approx_bytes(),
+            CacheValue::Chunk(v) => v.len() * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
 struct Entry {
-    value: CachedLevel,
+    value: CacheValue,
     last_used: u64,
     bytes: usize,
 }
 
 struct Inner {
-    map: HashMap<(String, u32), Entry>,
+    map: HashMap<CacheKey, Entry>,
     tick: u64,
     /// Sum of `Entry::bytes` over `map`.
     bytes: usize,
@@ -149,9 +174,34 @@ impl LevelCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        let entry = inner.map.get_mut(&(var.to_string(), level))?;
+        let entry = inner
+            .map
+            .get_mut(&CacheKey::Level(var.to_string(), level))?;
         entry.last_used = tick;
-        Some(entry.value.clone())
+        match &entry.value {
+            CacheValue::Level(l) => Some(l.clone()),
+            CacheValue::Chunk(_) => unreachable!("level key holds a level value"),
+        }
+    }
+
+    /// Look up one decoded spatial chunk of `(var, finer level)`,
+    /// refreshing its recency. A hit saves the ranged fetch *and* the
+    /// decode of a region refinement revisiting the same chunk.
+    pub fn get_chunk(&self, var: &str, level: u32, chunk: u32) -> Option<Arc<Vec<f64>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner
+            .map
+            .get_mut(&CacheKey::Chunk(var.to_string(), level, chunk))?;
+        entry.last_used = tick;
+        match &entry.value {
+            CacheValue::Chunk(v) => Some(Arc::clone(v)),
+            CacheValue::Level(_) => unreachable!("chunk key holds a chunk value"),
+        }
     }
 
     /// Classify a read of `(var, level)` — exact hit, nearest coarser
@@ -166,10 +216,18 @@ impl LevelCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        // Only `Level` keys participate: a cached chunk is not a level
+        // starting point.
         for candidate in level..=coarsest {
-            if let Some(entry) = inner.map.get_mut(&(var.to_string(), candidate)) {
+            if let Some(entry) = inner
+                .map
+                .get_mut(&CacheKey::Level(var.to_string(), candidate))
+            {
                 entry.last_used = tick;
-                let value = entry.value.clone();
+                let value = match &entry.value {
+                    CacheValue::Level(l) => l.clone(),
+                    CacheValue::Chunk(_) => unreachable!("level key holds a level value"),
+                };
                 return if candidate == level {
                     Probe::Exact(value)
                 } else {
@@ -185,6 +243,25 @@ impl LevelCache {
     /// inserted is never evicted, so one oversized level degrades to a
     /// single-entry cache instead of thrashing.
     pub fn insert(&self, var: &str, level: u32, value: CachedLevel) {
+        self.insert_entry(
+            CacheKey::Level(var.to_string(), level),
+            CacheValue::Level(value),
+        );
+    }
+
+    /// Retain one decoded spatial chunk of `(var, finer level)` under the
+    /// same capacity and byte budget as whole levels.
+    pub fn insert_chunk(&self, var: &str, level: u32, chunk: u32, values: Arc<Vec<f64>>) {
+        self.insert_entry(
+            CacheKey::Chunk(var.to_string(), level, chunk),
+            CacheValue::Chunk(values),
+        );
+    }
+
+    /// Insert (or refresh) an entry, evicting least-recently-used ones
+    /// while over the entry capacity or the byte budget. The entry just
+    /// inserted is never evicted.
+    fn insert_entry(&self, key: CacheKey, value: CacheValue) {
         if !self.enabled() {
             return;
         }
@@ -193,7 +270,7 @@ impl LevelCache {
         let tick = inner.tick;
         let bytes = value.approx_bytes();
         if let Some(old) = inner.map.insert(
-            (var.to_string(), level),
+            key,
             Entry {
                 value,
                 last_used: tick,
@@ -338,6 +415,23 @@ mod tests {
         assert!(matches!(c.probe("w", 0, 3), Probe::Miss));
         c.insert("v", 0, level(0.0));
         assert!(matches!(c.probe("v", 0, 3), Probe::Exact(_)));
+    }
+
+    #[test]
+    fn chunks_share_the_budget_with_levels() {
+        let c = LevelCache::new(2);
+        c.insert("v", 0, level(0.0));
+        c.insert_chunk("v", 0, 3, Arc::new(vec![1.0; 8]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get_chunk("v", 0, 3).unwrap(), vec![1.0; 8]);
+        assert!(c.get_chunk("v", 0, 4).is_none());
+        assert!(c.get_chunk("w", 0, 3).is_none(), "keys include the var");
+        c.get_chunk("v", 0, 3); // refresh → the level is now the LRU entry
+        c.insert_chunk("v", 0, 4, Arc::new(vec![2.0; 8]));
+        assert_eq!(c.len(), 2, "levels and chunks share the capacity");
+        assert!(c.get("v", 0).is_none(), "LRU level evicted by a chunk");
+        // Chunk entries never answer level probes.
+        assert!(matches!(c.probe("v", 0, 3), Probe::Miss));
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub struct CanopusConfig {
     /// interest can be refined by fetching only the intersecting chunks
     /// ("reading smaller subsets of high accuracy data", §III-E/§IV-D).
     pub delta_chunks: u32,
+    /// Store each delta's Morton spatial chunks packed into a few shard
+    /// objects per tier with a chunk index (byte ranges, bounding
+    /// boxes, per-chunk checksums) in the manifest — format rev `CBP3`.
+    /// Region refinement then fetches only the chunks whose bounding
+    /// boxes intersect the request, via ranged reads, turning region
+    /// I/O from O(level) into O(region). `false` — the default — keeps
+    /// today's layout (one monolithic or per-chunk object per delta)
+    /// and its byte-identity guarantees. The chunk count is
+    /// `delta_chunks` when that is > 1, else a default spatial split.
+    pub spatial_chunking: bool,
     /// Bounded prefetch depth of the pipelined restore engine: how many
     /// fetched-but-undecoded blocks may sit between the tier-read stage
     /// and the parallel decode stage. `0` selects the strictly serial
@@ -160,6 +170,7 @@ impl Default for CanopusConfig {
             },
             policy: PlacementPolicy::RankSpread,
             delta_chunks: 1,
+            spatial_chunking: false,
             pipeline_depth: 4,
             level_cache: 8,
             codec_chunking: true,
@@ -210,6 +221,7 @@ mod tests {
         assert_eq!(c.refactor.num_levels, 3);
         assert!(matches!(c.codec, RelativeCodec::ZfpLike { .. }));
         assert_eq!(c.delta_chunks, 1, "unchunked by default");
+        assert!(!c.spatial_chunking, "legacy layout by default");
         assert!(c.pipeline_depth > 0, "pipelined restore by default");
         assert!(c.level_cache > 0, "decoded-level cache on by default");
         assert!(c.codec_chunking, "chunk-framed codec streams by default");

@@ -28,8 +28,9 @@ use crate::config::RetryPolicy;
 use crate::error::CanopusError;
 use crate::write::{decode_level_meta, spatial_chunks};
 use bytes::Bytes;
-use canopus_adios::{BlockMeta, BpFile};
+use canopus_adios::{BlockMeta, BpFile, ChunkEntry};
 use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
+use canopus_mesh::geometry::Point2;
 use canopus_mesh::Aabb;
 use canopus_mesh::TriMesh;
 use canopus_obs::{names, stage, stage_child, FieldValue, Registry, SpanContext};
@@ -37,6 +38,7 @@ use canopus_refactor::mapping::mapping_from_bytes;
 use canopus_refactor::{restore_level, Estimator};
 use crossbeam::channel;
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,8 +93,13 @@ impl std::ops::AddAssign for PhaseTiming {
 pub struct RegionStats {
     /// Chunks the delta was stored in.
     pub chunks_total: usize,
-    /// Chunks actually fetched (those intersecting the region).
+    /// Chunks applied at level accuracy (those intersecting the region,
+    /// whether fetched from a tier or answered by the chunk cache).
     pub chunks_read: usize,
+    /// Of [`chunks_read`](Self::chunks_read), chunks answered by the
+    /// decoded-chunk cache — no tier fetch, no decode (sharded layout
+    /// only).
+    pub chunks_cached: usize,
     /// Compressed bytes transferred for the fetched chunks.
     pub bytes_read: u64,
     /// Fine vertices restored to level accuracy (the rest carry the
@@ -258,6 +265,25 @@ impl CanopusReader {
         hit
     }
 
+    /// Probe the decoded-chunk cache (sharded layout only). Chunk
+    /// residency is a side population of the level cache: no level
+    /// hit/miss accounting moves.
+    fn chunk_cache_get(&self, var: &str, level: u32, chunk: u32) -> Option<Arc<Vec<f64>>> {
+        if !self.level_cache.enabled() {
+            return None;
+        }
+        self.level_cache.get_chunk(var, level, chunk)
+    }
+
+    /// Retain one decoded spatial chunk for future region refinements
+    /// (no-op when the cache is disabled).
+    fn chunk_cache_insert(&self, var: &str, level: u32, chunk: u32, values: Arc<Vec<f64>>) {
+        if !self.level_cache.enabled() {
+            return;
+        }
+        self.level_cache.insert_chunk(var, level, chunk, values);
+    }
+
     /// Retain a restored level for future reads (no-op when disabled).
     fn cache_store(&self, var: &str, level: u32, mesh: &TriMesh, data: &[f64], delta_rms: f64) {
         if !self.level_cache.enabled() {
@@ -417,16 +443,38 @@ impl CanopusReader {
         bytes: &[u8],
         parent: SpanContext,
     ) -> Result<Vec<f64>, CanopusError> {
-        let _span = stage_child!(self.obs, parent, "decode", key = block.key.as_str());
-        let chunked = block.codec_id & CHUNKED_CODEC_ID_FLAG != 0;
-        let codec: Box<dyn Codec> = match block.codec_id & !CHUNKED_CODEC_ID_FLAG {
+        self.decode_payload(
+            &block.key,
+            block.codec_id,
+            block.codec_param,
+            block.elements as usize,
+            bytes,
+            parent,
+        )
+    }
+
+    /// Codec-level decode shared by whole blocks and individual shard
+    /// chunks (a shard's chunks each carry their own codec id, since
+    /// chunk framing depends on the element count).
+    fn decode_payload(
+        &self,
+        key: &str,
+        codec_id: u8,
+        codec_param: f64,
+        elements: usize,
+        bytes: &[u8],
+        parent: SpanContext,
+    ) -> Result<Vec<f64>, CanopusError> {
+        let _span = stage_child!(self.obs, parent, "decode", key = key);
+        let chunked = codec_id & CHUNKED_CODEC_ID_FLAG != 0;
+        let codec: Box<dyn Codec> = match codec_id & !CHUNKED_CODEC_ID_FLAG {
             0 => CodecKind::Raw.build(),
             1 => CodecKind::ZfpLike {
-                tolerance: block.codec_param,
+                tolerance: codec_param,
             }
             .build(),
             2 => CodecKind::SzLike {
-                error_bound: block.codec_param,
+                error_bound: codec_param,
             }
             .build(),
             3 => CodecKind::Fpc.build(),
@@ -437,9 +485,9 @@ impl CanopusReader {
         let codec = ObservedCodec::new(codec, Arc::clone(&self.obs));
         let t = Instant::now();
         let values = if chunked {
-            Chunked::for_decode(codec).decompress(bytes, block.elements as usize)?
+            Chunked::for_decode(codec).decompress(bytes, elements)?
         } else {
-            codec.decompress(bytes, block.elements as usize)?
+            codec.decompress(bytes, elements)?
         };
         let decode_secs = t.elapsed().as_secs_f64();
         self.obs
@@ -452,6 +500,113 @@ impl CanopusReader {
             .counter(names::READ_VALUES_DECODED)
             .add(values.len() as u64);
         Ok(values)
+    }
+
+    /// Decode a whole block to its values in storage order: a plain
+    /// block decodes as one stream; a shard block decodes chunk by chunk
+    /// (each through its own codec id) and concatenates in chunk-index
+    /// order.
+    fn decode_block_values(
+        &self,
+        block: &BlockMeta,
+        bytes: &Bytes,
+        parent: SpanContext,
+    ) -> Result<Vec<f64>, CanopusError> {
+        if block.chunks.is_empty() {
+            return self.decode_block(block, bytes, parent);
+        }
+        let mut values = Vec::with_capacity(block.elements as usize);
+        for e in &block.chunks {
+            let end = (e.offset + e.len) as usize;
+            if end > bytes.len() {
+                return Err(CanopusError::Invalid(format!(
+                    "shard {} chunk {} range {}+{} exceeds payload of {} B",
+                    block.key,
+                    e.chunk,
+                    e.offset,
+                    e.len,
+                    bytes.len()
+                )));
+            }
+            let chunk = self.decode_payload(
+                &block.key,
+                e.codec_id,
+                block.codec_param,
+                e.elements as usize,
+                &bytes[e.offset as usize..end],
+                parent,
+            )?;
+            values.extend_from_slice(&chunk);
+        }
+        Ok(values)
+    }
+
+    /// Ranged fetch of one spatial chunk out of a shard block, with the
+    /// same I/O accounting and retry budget as
+    /// [`Self::read_block_observed`] — only `entry.len` bytes move off
+    /// the tier. Each successful fetch feeds
+    /// [`names::READ_CHUNK_FETCH_HIST`]. Returns the chunk payload and
+    /// its simulated I/O seconds.
+    fn read_chunk_observed(
+        &self,
+        block: &BlockMeta,
+        entry: &ChunkEntry,
+        parent: SpanContext,
+    ) -> Result<(Bytes, f64), CanopusError> {
+        let span = stage_child!(self.obs, parent, "read.chunk", key = block.key.as_str());
+        let ctx = span.context();
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let t = Instant::now();
+            match self.file.read_block_range(block, entry) {
+                Ok((bytes, _, dt)) => {
+                    let wall = t.elapsed().as_secs_f64();
+                    self.obs.timer(names::READ_IO).record(wall, dt.seconds());
+                    self.obs
+                        .histogram(names::READ_CHUNK_FETCH_HIST)
+                        .observe_secs(wall);
+                    self.obs
+                        .counter(names::READ_BYTES_IO)
+                        .add(bytes.len() as u64);
+                    return Ok((bytes, dt.seconds()));
+                }
+                Err(e) => {
+                    let e = CanopusError::from(e);
+                    if !e.is_availability_fault() {
+                        return Err(e);
+                    }
+                    self.obs.counter(names::READ_FAULTS_INJECTED).inc();
+                    if e.is_checksum_mismatch() {
+                        self.obs.counter(names::READ_CHECKSUM_FAILURES).inc();
+                    }
+                    if self.obs.sink_enabled() {
+                        self.obs.event_child(
+                            "read.fault",
+                            ctx,
+                            vec![
+                                ("key".to_string(), FieldValue::from(block.key.as_str())),
+                                ("chunk".to_string(), FieldValue::from(entry.chunk)),
+                                ("attempt".to_string(), FieldValue::from(attempt)),
+                                ("cause".to_string(), FieldValue::from(e.to_string())),
+                            ],
+                        );
+                    }
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    self.obs.counter(names::READ_RETRIES).inc();
+                    let backoff = self.retry.backoff_s(&block.key, attempt);
+                    self.obs
+                        .histogram(names::READ_RETRY_BACKOFF_HIST)
+                        .observe_secs(backoff);
+                    if backoff > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+                    }
+                }
+            }
+        }
     }
 
     /// Read the auxiliary metadata of `level`: its mesh and (for non-base
@@ -557,30 +712,49 @@ impl CanopusReader {
             return Ok((delta, timing));
         }
         let chunks: Vec<_> = v.delta_chunks_to(finer).into_iter().cloned().collect();
-        if chunks.is_empty() {
+        if !chunks.is_empty() {
+            let assignment = spatial_chunks(fine_mesh, chunks.len() as u32);
+            let mut delta = vec![0.0f64; fine_mesh.num_vertices()];
+            for (block, ids) in chunks.iter().zip(&assignment) {
+                let (bytes, _, io) = self.read_block_observed(block, parent)?;
+                timing.io_secs += io.seconds();
+                let t = Instant::now();
+                let values = self.decode_block(block, &bytes, parent)?;
+                timing.decompress_secs += t.elapsed().as_secs_f64();
+                if values.len() != ids.len() {
+                    return Err(CanopusError::Invalid(format!(
+                        "chunk {} decoded {} values for {} vertices",
+                        block.key,
+                        values.len(),
+                        ids.len()
+                    )));
+                }
+                for (&vid, &val) in ids.iter().zip(&values) {
+                    delta[vid as usize] = val;
+                }
+            }
+            return Ok((delta, timing));
+        }
+        // Sharded layout: each shard object carries several Morton
+        // chunks; a full-level read fetches whole shards (one object
+        // read each) and scatters chunk by chunk through the same
+        // deterministic assignment.
+        let shards: Vec<_> = v.delta_shards_to(finer).into_iter().cloned().collect();
+        if shards.is_empty() {
             return Err(CanopusError::Invalid(format!(
                 "no delta to level {finer} of {var}"
             )));
         }
-        let assignment = spatial_chunks(fine_mesh, chunks.len() as u32);
+        let total_chunks: usize = shards.iter().map(|b| b.chunks.len()).sum();
+        let assignment = spatial_chunks(fine_mesh, total_chunks as u32);
         let mut delta = vec![0.0f64; fine_mesh.num_vertices()];
-        for (block, ids) in chunks.iter().zip(&assignment) {
+        for block in &shards {
             let (bytes, _, io) = self.read_block_observed(block, parent)?;
             timing.io_secs += io.seconds();
             let t = Instant::now();
-            let values = self.decode_block(block, &bytes, parent)?;
+            let values = self.decode_block_values(block, &bytes, parent)?;
             timing.decompress_secs += t.elapsed().as_secs_f64();
-            if values.len() != ids.len() {
-                return Err(CanopusError::Invalid(format!(
-                    "chunk {} decoded {} values for {} vertices",
-                    block.key,
-                    values.len(),
-                    ids.len()
-                )));
-            }
-            for (&vid, &val) in ids.iter().zip(&values) {
-                delta[vid as usize] = val;
-            }
+            scatter_shard_values(block, &values, &assignment, &mut delta)?;
         }
         Ok((delta, timing))
     }
@@ -704,12 +878,100 @@ impl CanopusReader {
 
         let v = self.file.inq_var(var)?;
         let chunk_blocks: Vec<_> = v.delta_chunks_to(finer).into_iter().cloned().collect();
+        let shard_blocks: Vec<_> = if chunk_blocks.is_empty() {
+            v.delta_shards_to(finer).into_iter().cloned().collect()
+        } else {
+            Vec::new()
+        };
 
         let mut delta = vec![0.0f64; n];
         let mut exact = vec![false; n];
         let mut stats = RegionStats::default();
 
-        if chunk_blocks.is_empty() {
+        if !shard_blocks.is_empty() {
+            // Sharded layout: plan purely from the manifest's chunk
+            // index — no geometry pass, no whole-object reads. Only the
+            // chunks whose recorded bounding boxes intersect the region
+            // move, each as a ranged read of its shard; the decoded-chunk
+            // cache answers revisited chunks with zero I/O.
+            let total: usize = shard_blocks.iter().map(|b| b.chunks.len()).sum();
+            stats.chunks_total = total;
+            let assignment = spatial_chunks(&fine_mesh, total as u32);
+            let mut cached: Vec<(u32, Arc<Vec<f64>>)> = Vec::new();
+            let mut plan: Vec<(&BlockMeta, &ChunkEntry)> = Vec::new();
+            for b in &shard_blocks {
+                for e in &b.chunks {
+                    let bbox = Aabb::from_points([
+                        Point2::new(e.bbox[0], e.bbox[1]),
+                        Point2::new(e.bbox[2], e.bbox[3]),
+                    ]);
+                    if !bbox.intersects(&region) {
+                        continue;
+                    }
+                    if let Some(values) = self.chunk_cache_get(var, finer, e.chunk) {
+                        cached.push((e.chunk, values));
+                    } else {
+                        plan.push((b, e));
+                    }
+                }
+            }
+            let mut payloads: Vec<(&BlockMeta, &ChunkEntry, Bytes)> =
+                Vec::with_capacity(plan.len());
+            for (b, e) in plan {
+                let (bytes, io) = self.read_chunk_observed(b, e, ctx)?;
+                timing.io_secs += io;
+                stats.bytes_read += bytes.len() as u64;
+                payloads.push((b, e, bytes));
+            }
+            // Decode the fetched chunks in parallel on the worker pool.
+            let t = Instant::now();
+            let decoded: Vec<(u32, Vec<f64>)> = payloads
+                .par_iter()
+                .map(|(b, e, bytes)| {
+                    let values = self.decode_payload(
+                        &b.key,
+                        e.codec_id,
+                        b.codec_param,
+                        e.elements as usize,
+                        bytes,
+                        ctx,
+                    )?;
+                    Ok((e.chunk, values))
+                })
+                .collect::<Result<_, CanopusError>>()?;
+            timing.decompress_secs += t.elapsed().as_secs_f64();
+            let mut scatter = |chunk: u32, values: &[f64]| -> Result<(), CanopusError> {
+                let ids = assignment.get(chunk as usize).ok_or_else(|| {
+                    CanopusError::Invalid(format!(
+                        "chunk {chunk} beyond the {}-chunk assignment",
+                        assignment.len()
+                    ))
+                })?;
+                if values.len() != ids.len() {
+                    return Err(CanopusError::Invalid(format!(
+                        "chunk {chunk} decoded {} values for {} vertices",
+                        values.len(),
+                        ids.len()
+                    )));
+                }
+                for (&vid, &val) in ids.iter().zip(values) {
+                    delta[vid as usize] = val;
+                    exact[vid as usize] = true;
+                }
+                Ok(())
+            };
+            for (chunk, values) in decoded {
+                let values = Arc::new(values);
+                scatter(chunk, &values)?;
+                self.chunk_cache_insert(var, finer, chunk, Arc::clone(&values));
+                stats.chunks_read += 1;
+            }
+            for (chunk, values) in &cached {
+                scatter(*chunk, values)?;
+                stats.chunks_read += 1;
+            }
+            stats.chunks_cached = cached.len();
+        } else if chunk_blocks.is_empty() {
             // Unchunked file: a region read degrades to a full refinement.
             let (full, dt) = self.read_delta_values(var, finer, &fine_mesh, ctx)?;
             timing += dt;
@@ -717,6 +979,7 @@ impl CanopusReader {
             exact.fill(true);
             stats.chunks_total = 1;
             stats.chunks_read = 1;
+            stats.bytes_read = v.delta_to(finer).map_or(0, |b| b.stored_bytes);
         } else {
             let assignment = spatial_chunks(&fine_mesh, chunk_blocks.len() as u32);
             stats.chunks_total = chunk_blocks.len();
@@ -747,6 +1010,17 @@ impl CanopusReader {
             }
         }
         stats.exact_vertices = exact.iter().filter(|&&e| e).count();
+        // Chunk-planning accounting, for every layout: planned = the
+        // level's chunk population, fetched = chunks that moved bytes
+        // (cache-served chunks count as skipped I/O).
+        let fetched = (stats.chunks_read - stats.chunks_cached) as u64;
+        self.obs
+            .counter(names::READ_CHUNKS_PLANNED)
+            .add(stats.chunks_total as u64);
+        self.obs.counter(names::READ_CHUNKS_FETCHED).add(fetched);
+        self.obs
+            .counter(names::READ_CHUNKS_SKIPPED)
+            .add(stats.chunks_total as u64 - fetched);
 
         let t = Instant::now();
         let data = restore_level(
@@ -1005,8 +1279,19 @@ impl CanopusReader {
                 Err(e) => return Err(e),
             };
             timing.io_secs += meta_io;
+            // Shard blocks span several Morton chunks each; the
+            // assignment covers the level's full chunk population, not
+            // the block count.
+            let sharded = !monolithic
+                && blocks
+                    .first()
+                    .map(|b| !b.chunks.is_empty())
+                    .unwrap_or(false);
             let assignment = if monolithic {
                 None
+            } else if sharded {
+                let total: usize = blocks.iter().map(|b| b.chunks.len()).sum();
+                Some(spatial_chunks(&fine_mesh, total as u32))
             } else {
                 Some(spatial_chunks(&fine_mesh, blocks.len() as u32))
             };
@@ -1091,7 +1376,7 @@ impl CanopusReader {
                         let decoded = fetched.and_then(|(idx, bytes, io, enqueued)| {
                             queue_wait.observe_secs(enqueued.elapsed().as_secs_f64());
                             let t = Instant::now();
-                            self.decode_block(&jobs[idx].block, &bytes, ctx)
+                            self.decode_block_values(&jobs[idx].block, &bytes, ctx)
                                 .map(|values| (idx, values, io, t.elapsed().as_secs_f64()))
                         });
                         if done_tx.send(decoded).is_err() {
@@ -1143,6 +1428,9 @@ impl CanopusReader {
                             )));
                         }
                         state.delta = values;
+                    }
+                    Some(assignment) if !job.block.chunks.is_empty() => {
+                        scatter_shard_values(&job.block, &values, assignment, &mut state.delta)?;
                     }
                     Some(assignment) => {
                         let ids = &assignment[job.chunk_idx];
@@ -1247,13 +1535,17 @@ impl CanopusReader {
             let (dmin, dmax) = if let Some(block) = v.delta_to(l) {
                 (block.min, block.max)
             } else {
-                let chunks = v.delta_chunks_to(l);
-                if chunks.is_empty() {
+                let mut parts = v.delta_chunks_to(l);
+                if parts.is_empty() {
+                    // Shard blocks carry the fold of their chunk bounds.
+                    parts = v.delta_shards_to(l);
+                }
+                if parts.is_empty() {
                     return Err(CanopusError::Invalid(format!(
                         "no delta to level {l} of {var}"
                     )));
                 }
-                chunks
+                parts
                     .iter()
                     .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), c| {
                         (a.min(c.min), b.max(c.max))
@@ -1287,6 +1579,51 @@ impl CanopusReader {
     ) -> Result<crate::progressive::ProgressiveReader<'_>, CanopusError> {
         crate::progressive::ProgressiveReader::start(self, var)
     }
+}
+
+/// Scatter a shard block's concatenated chunk values (chunk-index
+/// order, as [`CanopusReader::decode_block_values`] produces them) into
+/// a full-level delta buffer through the deterministic Morton
+/// assignment. Shared by the serial and pipelined restore engines.
+fn scatter_shard_values(
+    block: &BlockMeta,
+    values: &[f64],
+    assignment: &[Vec<u32>],
+    delta: &mut [f64],
+) -> Result<(), CanopusError> {
+    let mut pos = 0usize;
+    for e in &block.chunks {
+        let ids = assignment.get(e.chunk as usize).ok_or_else(|| {
+            CanopusError::Invalid(format!(
+                "shard {} indexes chunk {} beyond the {}-chunk assignment",
+                block.key,
+                e.chunk,
+                assignment.len()
+            ))
+        })?;
+        let end = pos + e.elements as usize;
+        if ids.len() != e.elements as usize || end > values.len() {
+            return Err(CanopusError::Invalid(format!(
+                "shard {} chunk {} carries {} values for {} vertices",
+                block.key,
+                e.chunk,
+                e.elements,
+                ids.len()
+            )));
+        }
+        for (&vid, &val) in ids.iter().zip(&values[pos..end]) {
+            delta[vid as usize] = val;
+        }
+        pos = end;
+    }
+    if pos != values.len() {
+        return Err(CanopusError::Invalid(format!(
+            "shard {} decoded {} values, its chunk index covers {pos}",
+            block.key,
+            values.len()
+        )));
+    }
+    Ok(())
 }
 
 /// One unit of pipeline work: fetch + decode one stored block.

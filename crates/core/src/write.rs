@@ -5,8 +5,9 @@ use crate::config::CanopusConfig;
 use crate::error::CanopusError;
 use bytes::Bytes;
 use canopus_adios::store::{BlockWrite, BpStore};
-use canopus_adios::BpFile;
+use canopus_adios::{checksum64, BpFile, ChunkEntry};
 use canopus_compress::{Chunked, Codec, CodecKind, ObservedCodec, CHUNKED_CODEC_ID_FLAG};
+use canopus_mesh::geometry::Aabb;
 use canopus_mesh::{FieldStats, TriMesh};
 use canopus_obs::{names, stage, stage_child, Registry, SpanContext};
 use canopus_refactor::decimate::decimate;
@@ -101,6 +102,26 @@ pub(crate) fn codec_chunk_elems(n: usize, delta_chunks: u32) -> Option<usize> {
 pub(crate) fn chunk_ranges(n: usize, chunks: u32) -> Vec<std::ops::Range<usize>> {
     let c = (chunks.max(1) as usize).min(n.max(1));
     (0..c).map(|i| (i * n / c)..((i + 1) * n / c)).collect()
+}
+
+/// Spatial chunk count of the sharded layout when `delta_chunks` does
+/// not pin one: enough chunks that a small region prunes most of a
+/// level, few enough that per-chunk codec headers stay negligible.
+pub(crate) const DEFAULT_SPATIAL_CHUNKS: u32 = 16;
+
+/// How many spatial chunks pack into one shard object. Few shards per
+/// tier keep the object count (and placement decisions) small; the
+/// chunk index makes each shard range-addressable.
+pub(crate) const SHARD_CHUNKS: u32 = 8;
+
+/// Chunk count of the sharded spatial layout for a given `delta_chunks`
+/// setting (the knob pins it when > 1).
+pub(crate) fn spatial_chunk_count(delta_chunks: u32) -> u32 {
+    if delta_chunks > 1 {
+        delta_chunks
+    } else {
+        DEFAULT_SPATIAL_CHUNKS
+    }
 }
 
 /// Interleave the low 21 bits of `x` and `y` into a Morton code
@@ -308,8 +329,70 @@ impl Canopus {
         // --- compress base + deltas ---
         let range = FieldStats::of(data).range();
         let codec_kind = self.config.codec.resolve(range);
+        let codec_param = match codec_kind {
+            CodecKind::ZfpLike { tolerance } => tolerance,
+            CodecKind::SzLike { error_bound } => error_bound,
+            _ => 0.0,
+        };
         let t2 = Instant::now();
         let base_idx = (n - 1) as usize;
+        if self.config.spatial_chunking {
+            // Sharded spatial layout: the base stays monolithic, while
+            // each delta's Morton chunks compress independently and pack
+            // into a few indexed shard objects per level.
+            let (bytes, codec_id) = compress_stream(
+                &level_data[base_idx],
+                codec_kind,
+                self.config.codec_chunking,
+                self.config.delta_chunks,
+                &obs,
+            )?;
+            let mut blocks = vec![
+                data_block(
+                    var,
+                    ProductKind::Base { level: n - 1 },
+                    bytes,
+                    FieldStats::of(&level_data[base_idx]),
+                    level_data[base_idx].len(),
+                    codec_id,
+                    codec_param,
+                ),
+                level_meta_block(var, n - 1, &meshes[base_idx], None),
+            ];
+            for l in (0..n.saturating_sub(1) as usize).rev() {
+                blocks.extend(build_shard_blocks(
+                    var,
+                    l as u32,
+                    &meshes[l],
+                    &deltas[l],
+                    codec_kind,
+                    codec_param,
+                    self.config.codec_chunking,
+                    self.config.delta_chunks,
+                    &obs,
+                )?);
+                blocks.push(level_meta_block(var, l as u32, &meshes[l], mappings.get(l)));
+            }
+            let compress_secs = t2.elapsed().as_secs_f64();
+            obs.timer(names::WRITE_COMPRESS).record_wall(compress_secs);
+
+            let t3 = Instant::now();
+            let (plan, io_time) = self.store.write(file, n, blocks)?;
+            obs.timer(names::WRITE_IO)
+                .record(t3.elapsed().as_secs_f64(), io_time.seconds());
+            let vertex_counts: Vec<usize> = meshes.iter().map(|m| m.num_vertices()).collect();
+            let products = self.products_from_plan(&plan, &vertex_counts);
+            let report = WriteReport {
+                decimation_secs,
+                delta_secs,
+                compress_secs,
+                io_time,
+                products,
+                num_levels: n,
+            };
+            self.record_write_totals(&obs, &report, data.len(), t_total.elapsed().as_secs_f64());
+            return Ok(report);
+        }
         let mut streams: Vec<(ProductKind, &[f64])> =
             vec![(ProductKind::Base { level: n - 1 }, &level_data[base_idx])];
         // Spatially chunked delta payloads, gathered in Morton order so
@@ -369,11 +452,6 @@ impl Canopus {
         obs.timer(names::WRITE_COMPRESS).record_wall(compress_secs);
 
         // --- assemble blocks in placement order ---
-        let codec_param = match codec_kind {
-            CodecKind::ZfpLike { tolerance } => tolerance,
-            CodecKind::SzLike { error_bound } => error_bound,
-            _ => 0.0,
-        };
         let mut blocks: Vec<BlockWrite> = Vec::new();
         for (kind, bytes, stats, elements, codec_id) in compressed {
             blocks.push(data_block(
@@ -396,6 +474,9 @@ impl Canopus {
                         continue;
                     }
                     finer
+                }
+                ProductKind::DeltaShard { .. } => {
+                    unreachable!("sharded layout assembles its blocks above")
                 }
                 ProductKind::Metadata { level } => level,
             };
@@ -478,6 +559,7 @@ impl Canopus {
             codec_param,
             delta_chunks: self.config.delta_chunks,
             codec_chunking: self.config.codec_chunking,
+            spatial_chunking: self.config.spatial_chunking,
             estimator: self.config.refactor.estimator,
             obs: Arc::clone(&obs),
             parent: root_ctx,
@@ -660,6 +742,18 @@ impl Canopus {
                             chunk_ranges(vertex_counts[finer as usize], self.config.delta_chunks);
                         ranges[chunk as usize].len() as u64 * 8
                     }
+                    ProductKind::DeltaShard { finer, shard, .. } => {
+                        let ranges = chunk_ranges(
+                            vertex_counts[finer as usize],
+                            spatial_chunk_count(self.config.delta_chunks),
+                        );
+                        ranges
+                            .iter()
+                            .skip(shard as usize * SHARD_CHUNKS as usize)
+                            .take(SHARD_CHUNKS as usize)
+                            .map(|r| r.len() as u64 * 8)
+                            .sum()
+                    }
                     ProductKind::Metadata { .. } => stored,
                 };
                 ProductReport {
@@ -745,6 +839,7 @@ impl Canopus {
                 raw_bytes: data.len() as u64 * 8,
                 min: stats.min,
                 max: stats.max,
+                chunks: vec![],
             },
             BlockWrite {
                 var: var.to_string(),
@@ -756,6 +851,7 @@ impl Canopus {
                 raw_bytes: mesh_bytes.len() as u64,
                 min: 0.0,
                 max: 0.0,
+                chunks: vec![],
             },
         ];
         let t_io = Instant::now();
@@ -853,7 +949,97 @@ fn data_block(
         raw_bytes: elements as u64 * 8,
         min: stats.min,
         max: stats.max,
+        chunks: vec![],
     }
+}
+
+/// Build one delta level's shard blocks under the sharded spatial
+/// layout: the level's Morton chunks compress independently — with the
+/// same codec framing the chunked layout uses, so per-chunk bytes match
+/// it exactly — then pack in chunk order into shards of [`SHARD_CHUNKS`]
+/// chunks. Each shard carries a chunk index (byte ranges, element
+/// counts, bounding boxes, value bounds, per-chunk checksums) that the
+/// manifest records so readers can plan ranged fetches per region.
+/// Both write engines funnel through here, keeping their bytes
+/// identical.
+#[allow(clippy::too_many_arguments)]
+fn build_shard_blocks(
+    var: &str,
+    finer: u32,
+    fine_mesh: &TriMesh,
+    delta: &[f64],
+    codec_kind: CodecKind,
+    codec_param: f64,
+    codec_chunking: bool,
+    delta_chunks: u32,
+    obs: &Arc<Registry>,
+) -> Result<Vec<BlockWrite>, CanopusError> {
+    struct ChunkBuild {
+        bytes: Vec<u8>,
+        stats: FieldStats,
+        elements: usize,
+        codec_id: u8,
+        bbox: [f64; 4],
+    }
+    let id_sets = spatial_chunks(fine_mesh, spatial_chunk_count(delta_chunks));
+    let built: Vec<ChunkBuild> = id_sets
+        .par_iter()
+        .map(|ids| {
+            let values: Vec<f64> = ids.iter().map(|&v| delta[v as usize]).collect();
+            let (bytes, codec_id) =
+                compress_stream(&values, codec_kind, codec_chunking, delta_chunks, obs)?;
+            let bb = Aabb::from_points(ids.iter().map(|&v| fine_mesh.point(v)));
+            Ok(ChunkBuild {
+                stats: FieldStats::of(&values),
+                elements: values.len(),
+                codec_id,
+                bbox: [bb.min.x, bb.min.y, bb.max.x, bb.max.y],
+                bytes,
+            })
+        })
+        .collect::<Result<_, CanopusError>>()?;
+    let mut blocks = Vec::with_capacity(built.len().div_ceil(SHARD_CHUNKS as usize));
+    for (si, group) in built.chunks(SHARD_CHUNKS as usize).enumerate() {
+        let base_chunk = si * SHARD_CHUNKS as usize;
+        let mut payload: Vec<u8> = Vec::with_capacity(group.iter().map(|c| c.bytes.len()).sum());
+        let mut entries: Vec<ChunkEntry> = Vec::with_capacity(group.len());
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut elements = 0u64;
+        for (ci, c) in group.iter().enumerate() {
+            entries.push(ChunkEntry {
+                chunk: (base_chunk + ci) as u32,
+                offset: payload.len() as u64,
+                len: c.bytes.len() as u64,
+                elements: c.elements as u64,
+                checksum: checksum64(&c.bytes),
+                bbox: c.bbox,
+                min: c.stats.min,
+                max: c.stats.max,
+                codec_id: c.codec_id,
+            });
+            payload.extend_from_slice(&c.bytes);
+            min = min.min(c.stats.min);
+            max = max.max(c.stats.max);
+            elements += c.elements as u64;
+        }
+        blocks.push(BlockWrite {
+            var: var.to_string(),
+            kind: ProductKind::DeltaShard {
+                finer,
+                coarser: finer + 1,
+                shard: si as u32,
+            },
+            data: Bytes::from(payload),
+            elements,
+            codec_id: codec_kind.id(),
+            codec_param,
+            raw_bytes: elements * 8,
+            min,
+            max,
+            chunks: entries,
+        });
+    }
+    Ok(blocks)
 }
 
 /// Assemble a level's auxiliary metadata block: mesh geometry plus, for
@@ -880,6 +1066,7 @@ fn level_meta_block(
         raw_bytes: mesh_bytes.len() as u64,
         min: 0.0,
         max: 0.0,
+        chunks: vec![],
     }
 }
 
@@ -895,6 +1082,7 @@ struct WriteJobCtx {
     codec_param: f64,
     delta_chunks: u32,
     codec_chunking: bool,
+    spatial_chunking: bool,
     estimator: Estimator,
     obs: Arc<Registry>,
     /// The enclosing `write` span — worker-thread `write.level` spans
@@ -999,6 +1187,21 @@ fn run_write_job(job: &WriteJob, ctx: &WriteJobCtx) -> Result<LevelBlocks, Canop
 
             let t = Instant::now();
             let l = *finer as u32;
+            if ctx.spatial_chunking {
+                let mut blocks = build_shard_blocks(
+                    &ctx.var,
+                    l,
+                    fine_mesh,
+                    &delta,
+                    ctx.codec_kind,
+                    ctx.codec_param,
+                    ctx.codec_chunking,
+                    ctx.delta_chunks,
+                    &ctx.obs,
+                )?;
+                blocks.push(level_meta_block(&ctx.var, l, fine_mesh, Some(&mapping)));
+                return Ok((blocks, delta_wall, t.elapsed().as_secs_f64()));
+            }
             let streams: Vec<(ProductKind, Vec<f64>)> = if ctx.delta_chunks > 1 {
                 spatial_chunks(fine_mesh, ctx.delta_chunks)
                     .into_iter()
@@ -1077,6 +1280,16 @@ fn parse_kind_from_key(key: &str) -> Option<ProductKind> {
         return Some(ProductKind::Delta {
             finer: a.parse().ok()?,
             coarser: b.parse().ok()?,
+        });
+    }
+    if let Some(rest) = tag.strip_prefix('s') {
+        // Sharded form: s{finer}-{coarser}.{shard}
+        let (a, rest) = rest.split_once('-')?;
+        let (b, c) = rest.split_once('.')?;
+        return Some(ProductKind::DeltaShard {
+            finer: a.parse().ok()?,
+            coarser: b.parse().ok()?,
+            shard: c.parse().ok()?,
         });
     }
     if let Some(rest) = tag.strip_prefix('m') {
@@ -1264,6 +1477,14 @@ mod tests {
                 chunk: 7
             })
         );
+        assert_eq!(
+            parse_kind_from_key("f.bp/v/s0-1.3"),
+            Some(ProductKind::DeltaShard {
+                finer: 0,
+                coarser: 1,
+                shard: 3
+            })
+        );
         assert_eq!(parse_kind_from_key("f.bp/v/x9"), None);
     }
 
@@ -1316,5 +1537,87 @@ mod tests {
             .filter(|p| matches!(p.kind, ProductKind::Metadata { .. }))
             .count();
         assert_eq!(metas, 3);
+    }
+
+    fn sharded_canopus(write_pipeline_depth: u32) -> Canopus {
+        let h = Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", 1 << 20, 1e9, 1e9, 1e-6),
+            TierSpec::new("slow", 1 << 26, 1e7, 1e7, 1e-3),
+        ]));
+        Canopus::new(
+            h,
+            CanopusConfig {
+                spatial_chunking: true,
+                delta_chunks: 4,
+                write_pipeline_depth,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sharded_write_produces_indexed_shards() {
+        let c = sharded_canopus(0);
+        let (mesh, data) = small_mesh();
+        let r = c.write("sh.bp", "v", &mesh, &data).unwrap();
+        // 4 chunks fit one shard: one shard per delta level.
+        let shards: Vec<_> = r
+            .products
+            .iter()
+            .filter(|p| matches!(p.kind, ProductKind::DeltaShard { .. }))
+            .collect();
+        assert_eq!(shards.len(), 2, "one shard per delta level");
+        let loose = r
+            .products
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.kind,
+                    ProductKind::Delta { .. } | ProductKind::DeltaChunk { .. }
+                )
+            })
+            .count();
+        assert_eq!(loose, 0, "sharded mode stores no loose deltas");
+        // The manifest indexes every shard: contiguous byte ranges that
+        // cover the stored object exactly, with per-chunk checksums.
+        let f = c.store().open("sh.bp").unwrap();
+        let var = f.meta().vars.iter().find(|v| v.name == "v").unwrap();
+        let mut indexed = 0;
+        for b in &var.blocks {
+            if !matches!(b.kind, ProductKind::DeltaShard { .. }) {
+                continue;
+            }
+            indexed += 1;
+            assert_eq!(b.chunks.len(), 4);
+            let mut expect_off = 0u64;
+            for e in &b.chunks {
+                assert_eq!(e.offset, expect_off, "chunks pack contiguously");
+                assert!(e.len > 0 && e.elements > 0);
+                assert_ne!(e.checksum, 0, "per-chunk checksum recorded");
+                assert!(e.bbox[0] <= e.bbox[2] && e.bbox[1] <= e.bbox[3]);
+                expect_off += e.len;
+            }
+            assert_eq!(expect_off, b.stored_bytes, "index covers the shard");
+        }
+        assert_eq!(indexed, 2);
+    }
+
+    #[test]
+    fn sharded_engines_are_byte_identical() {
+        let (mesh, data) = small_mesh();
+        let serial = sharded_canopus(0);
+        let piped = sharded_canopus(4);
+        serial.write("e.bp", "v", &mesh, &data).unwrap();
+        piped.write("e.bp", "v", &mesh, &data).unwrap();
+        let a = serial.store().open("e.bp").unwrap();
+        let b = piped.store().open("e.bp").unwrap();
+        assert_eq!(a.meta(), b.meta(), "manifests identical");
+        for (va, vb) in a.meta().vars.iter().zip(&b.meta().vars) {
+            for (ba, bb) in va.blocks.iter().zip(&vb.blocks) {
+                let (da, _, _) = a.read_block(ba).unwrap();
+                let (db, _, _) = b.read_block(bb).unwrap();
+                assert_eq!(da, db, "{}", ba.key);
+            }
+        }
     }
 }

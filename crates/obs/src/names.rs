@@ -42,6 +42,16 @@ pub const READ_BLOCKS: &str = "canopus.read.blocks";
 pub const READ_REFINEMENTS: &str = "canopus.read.refinements";
 pub const READ_REGION_REFINEMENTS: &str = "canopus.read.region_refinements";
 
+// ---- core read path: sharded spatial chunk pruning -------------------
+/// Counter: spatial chunks a region/restore plan considered (the level
+/// totals — what a whole-level read would have fetched).
+pub const READ_CHUNKS_PLANNED: &str = "canopus.read.chunks_planned";
+/// Counter: spatial chunks actually fetched (ranged shard reads).
+pub const READ_CHUNKS_FETCHED: &str = "canopus.read.chunks_fetched";
+/// Counter: planned chunks pruned away because their bounding box
+/// missed the requested region (or their values were already cached).
+pub const READ_CHUNKS_SKIPPED: &str = "canopus.read.chunks_skipped";
+
 // ---- core read path: decoded-level cache + restore pipeline ----------
 pub const READ_CACHE_HITS: &str = "canopus.read.cache_hits";
 pub const READ_CACHE_MISSES: &str = "canopus.read.cache_misses";
@@ -128,6 +138,8 @@ pub const READ_DECODE_HIST: &str = "canopus.read.decode_block.wall";
 pub const READ_QUEUE_WAIT_HIST: &str = "canopus.read.queue_wait.wall";
 /// Histogram (wall): backoff slept before each fault retry.
 pub const READ_RETRY_BACKOFF_HIST: &str = "canopus.read.retry_backoff.wall";
+/// Histogram (wall): one ranged chunk fetch off a shard object.
+pub const READ_CHUNK_FETCH_HIST: &str = "canopus.read.chunk_fetch.wall";
 /// Histogram (wall): time a level job waited in the bounded write
 /// pipeline queue before a worker picked it up.
 pub const WRITE_QUEUE_WAIT_HIST: &str = "canopus.write.queue_wait.wall";

@@ -214,6 +214,22 @@ impl Device {
         }
     }
 
+    /// Fetch `len` bytes of an object starting at `offset` (a zero-copy
+    /// slice of the refcounted buffer for the memory backend; a file
+    /// read + slice for the disk backend). The range must lie entirely
+    /// within the object.
+    pub fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes, StorageError> {
+        let data = self.get(key)?;
+        let end = offset.checked_add(len).filter(|&e| e <= data.len() as u64);
+        match end {
+            Some(end) => Ok(data.slice(offset as usize..end as usize)),
+            None => Err(StorageError::NotFound(format!(
+                "{key} (range {offset}+{len} exceeds object of {} B)",
+                data.len()
+            ))),
+        }
+    }
+
     pub fn contains(&self, key: &str) -> bool {
         self.inner.read().objects.contains_key(key)
     }

@@ -393,6 +393,71 @@ impl StorageHierarchy {
         Ok((data, idx, dt))
     }
 
+    /// Read `len` bytes of an object starting at `offset` (fastest tier
+    /// first), advancing simulated time by the cost of moving only the
+    /// requested range. This is the transport primitive behind sharded
+    /// region refinement: one chunk of a shard object moves without
+    /// pulling the whole shard. Fault injection draws on the same
+    /// per-key sequence as [`read`](Self::read).
+    pub fn read_range(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, usize, SimDuration), StorageError> {
+        let inflight = self.obs.gauge(names::STORAGE_INFLIGHT_READS);
+        inflight.add(1);
+        self.obs
+            .gauge(names::STORAGE_INFLIGHT_READS_PEAK)
+            .set_max(inflight.get());
+        let out = self.read_range_inner(key, offset, len);
+        inflight.sub(1);
+        out
+    }
+
+    fn read_range_inner(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, usize, SimDuration), StorageError> {
+        let idx = self.find(key)?;
+        let wall = Instant::now();
+        let tier = &self.tiers[idx];
+        let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
+            self.inject(idx, FaultOp::GetError, key)?
+        } else {
+            (SimDuration::ZERO, None)
+        };
+        let data = tier.device.get_range(key, offset, len)?;
+        let data = match corrupt {
+            Some(hash) => corrupt_payload(data, hash),
+            None => data,
+        };
+        let dt = SimDuration(tier.spec.read_time(data.len() as u64)) + extra;
+        self.clock.advance(dt);
+        {
+            let mut stats = tier.stats.lock();
+            stats.bytes_read += data.len() as u64;
+            stats.reads += 1;
+            stats.read_time += dt;
+        }
+        self.obs
+            .counter(&names::tier_bytes_read(idx))
+            .add(data.len() as u64);
+        self.obs.counter(&names::tier_reads(idx)).inc();
+        self.obs
+            .timer(&names::tier_read_timer(idx))
+            .record(0.0, dt.seconds());
+        self.obs
+            .histogram(&names::tier_read_latency_wall(idx))
+            .observe_secs(wall.elapsed().as_secs_f64());
+        self.obs
+            .histogram(&names::tier_read_latency_sim(idx))
+            .observe_secs(dt.seconds());
+        Ok((data, idx, dt))
+    }
+
     /// Remove an object from whichever tier holds it.
     pub fn remove(&self, key: &str) -> Result<Bytes, StorageError> {
         let idx = self.find(key)?;

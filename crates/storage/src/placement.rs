@@ -27,6 +27,15 @@ pub enum ProductKind {
         coarser: u32,
         chunk: u32,
     },
+    /// A shard object packing several independently compressed Morton
+    /// spatial chunks of one delta back-to-back; a chunk index in the
+    /// manifest records each chunk's byte range so the read path can
+    /// fetch only the chunks intersecting a region of interest.
+    DeltaShard {
+        finer: u32,
+        coarser: u32,
+        shard: u32,
+    },
     /// Auxiliary metadata (mesh geometry, vertex→triangle mapping) that
     /// restoration needs alongside a delta or base.
     Metadata { level: u32 },
@@ -39,7 +48,9 @@ impl ProductKind {
     pub fn rank(&self, num_levels: u32) -> u32 {
         match *self {
             ProductKind::Base { level } => num_levels.saturating_sub(1) - level.min(num_levels - 1),
-            ProductKind::Delta { finer, .. } | ProductKind::DeltaChunk { finer, .. } => {
+            ProductKind::Delta { finer, .. }
+            | ProductKind::DeltaChunk { finer, .. }
+            | ProductKind::DeltaShard { finer, .. } => {
                 num_levels.saturating_sub(1) - finer.min(num_levels - 1)
             }
             ProductKind::Metadata { level } => {

@@ -2,17 +2,24 @@
 //! "reading smaller subsets of high accuracy data"): deltas written in
 //! spatial chunks, regions refined by fetching only intersecting chunks.
 
+use bytes::Bytes;
 use canopus::config::RelativeCodec;
 use canopus::{Canopus, CanopusConfig};
+use canopus_adios::FileMeta;
 use canopus_data::xgc1_dataset_sized;
 use canopus_mesh::geometry::{Aabb, Point2};
+use canopus_obs::names;
 use canopus_refactor::levels::RefactorConfig;
 use canopus_storage::StorageHierarchy;
 use std::sync::Arc;
 
 const CHUNKS: u32 = 8;
 
-fn setup(chunks: u32) -> (canopus_data::Dataset, Canopus) {
+fn setup_with(
+    chunks: u32,
+    codec: RelativeCodec,
+    sharded: bool,
+) -> (canopus_data::Dataset, Canopus) {
     let ds = xgc1_dataset_sized(16, 80, 33);
     let raw = (ds.data.len() * 8) as u64;
     let canopus = Canopus::new(
@@ -22,8 +29,9 @@ fn setup(chunks: u32) -> (canopus_data::Dataset, Canopus) {
                 num_levels: 3,
                 ..Default::default()
             },
-            codec: RelativeCodec::Raw, // exactness makes assertions crisp
+            codec,
             delta_chunks: chunks,
+            spatial_chunking: sharded,
             ..Default::default()
         },
     );
@@ -31,6 +39,11 @@ fn setup(chunks: u32) -> (canopus_data::Dataset, Canopus) {
         .write("roi.bp", ds.var, &ds.mesh, &ds.data)
         .expect("write");
     (ds, canopus)
+}
+
+fn setup(chunks: u32) -> (canopus_data::Dataset, Canopus) {
+    // Raw codec: exactness makes assertions crisp.
+    setup_with(chunks, RelativeCodec::Raw, false)
 }
 
 /// A quadrant of the annulus.
@@ -166,4 +179,201 @@ fn progressive_then_region_zoom_workflow() {
     );
     // Both cost more than the scan alone.
     assert!(zoom.timing.io_secs + scan_io > scan_io);
+}
+
+// ---------------------------------------------------------------------
+// Morton-sharded layout (`spatial_chunking`, format rev CBP3)
+// ---------------------------------------------------------------------
+
+/// An octant of the bounding square: 1/8 of the domain area.
+fn octant() -> Aabb {
+    Aabb::from_points([Point2::new(0.0, 0.0), Point2::new(1.1, 0.55)])
+}
+
+#[test]
+fn sharded_full_read_matches_monolithic() {
+    let (ds, sharded) = setup_with(CHUNKS, RelativeCodec::Raw, true);
+    let (_, plain) = setup(1);
+    let a = sharded
+        .open("roi.bp")
+        .unwrap()
+        .read_level(ds.var, 0)
+        .unwrap();
+    let b = plain.open("roi.bp").unwrap().read_level(ds.var, 0).unwrap();
+    assert_eq!(a.mesh, b.mesh);
+    assert_eq!(a.data, b.data, "sharding must not change full restores");
+}
+
+#[test]
+fn sharded_matches_chunked_for_every_codec() {
+    // The sharded writer compresses each Morton chunk with the same
+    // codec arguments the per-chunk legacy layout uses, so the decoded
+    // values agree chunk for chunk — for lossy codecs too.
+    for codec in [
+        RelativeCodec::Raw,
+        RelativeCodec::Fpc,
+        RelativeCodec::ZfpLike {
+            rel_tolerance: 1e-6,
+        },
+        RelativeCodec::SzLike {
+            rel_error_bound: 1e-4,
+        },
+    ] {
+        let (ds, sharded) = setup_with(CHUNKS, codec, true);
+        let (_, chunked) = setup_with(CHUNKS, codec, false);
+        let a = sharded
+            .open("roi.bp")
+            .unwrap()
+            .read_level(ds.var, 0)
+            .unwrap();
+        let b = chunked
+            .open("roi.bp")
+            .unwrap()
+            .read_level(ds.var, 0)
+            .unwrap();
+        assert_eq!(a.data, b.data, "full restore differs under {codec:?}");
+
+        let ra = sharded.open("roi.bp").unwrap();
+        let rb = chunked.open("roi.bp").unwrap();
+        let base_a = ra.read_base(ds.var).unwrap();
+        let base_b = rb.read_base(ds.var).unwrap();
+        let (roi_a, _) = ra.refine_region(ds.var, &base_a, quadrant()).unwrap();
+        let (roi_b, _) = rb.refine_region(ds.var, &base_b, quadrant()).unwrap();
+        assert_eq!(
+            roi_a.data, roi_b.data,
+            "region refine differs under {codec:?}"
+        );
+    }
+}
+
+/// The tentpole's acceptance: a small region moves a strict subset of
+/// the level's chunks — observable in the `canopus.read.chunks_*`
+/// counters — and at most half the full level's tier bytes.
+#[test]
+fn sharded_small_region_moves_strict_chunk_and_byte_subset() {
+    const SHARD_TEST_CHUNKS: u32 = 16;
+    let (ds, canopus) = setup_with(SHARD_TEST_CHUNKS, RelativeCodec::Raw, true);
+    let reader = canopus.open("roi.bp").unwrap().with_level_cache(0); // no chunk cache: every planned hit is a fetch
+    reader.warm_metadata(ds.var).unwrap();
+    let base = reader.read_base(ds.var).unwrap();
+
+    let snap0 = canopus.metrics().snapshot();
+    let (roi, stats) = reader.refine_region(ds.var, &base, octant()).unwrap();
+    let snap1 = canopus.metrics().snapshot();
+
+    let planned =
+        snap1.counter(names::READ_CHUNKS_PLANNED) - snap0.counter(names::READ_CHUNKS_PLANNED);
+    let fetched =
+        snap1.counter(names::READ_CHUNKS_FETCHED) - snap0.counter(names::READ_CHUNKS_FETCHED);
+    let skipped =
+        snap1.counter(names::READ_CHUNKS_SKIPPED) - snap0.counter(names::READ_CHUNKS_SKIPPED);
+    assert_eq!(
+        planned, SHARD_TEST_CHUNKS as u64,
+        "planned = level's chunk population"
+    );
+    assert_eq!(
+        fetched, stats.chunks_read as u64,
+        "cache off: every read chunk is fetched"
+    );
+    assert_eq!(skipped, planned - fetched);
+    assert!(
+        fetched < planned,
+        "an octant region must not fetch every chunk: {fetched}/{planned}"
+    );
+    assert!(fetched >= 1, "the octant is covered by data");
+    assert_eq!(stats.chunks_cached, 0);
+    // Ranged chunk fetches land in the per-fetch latency histogram.
+    let fetch_hist = snap1.histogram(names::READ_CHUNK_FETCH_HIST).count
+        - snap0.histogram(names::READ_CHUNK_FETCH_HIST).count;
+    assert_eq!(fetch_hist, fetched, "one histogram sample per ranged fetch");
+
+    // Byte bound: the region's tier bytes are at most half the level's.
+    let full_reader = canopus.open("roi.bp").unwrap().with_level_cache(0);
+    let full_base = full_reader.read_base(ds.var).unwrap();
+    let (full, full_stats) = full_reader
+        .refine_region(ds.var, &full_base, ds.mesh.aabb())
+        .unwrap();
+    assert_eq!(full_stats.chunks_read, full_stats.chunks_total);
+    assert!(
+        2 * stats.bytes_read <= full_stats.bytes_read,
+        "octant bytes {} must be <= half of level bytes {}",
+        stats.bytes_read,
+        full_stats.bytes_read
+    );
+
+    // Byte identity: inside the region the sharded refine equals the
+    // full refinement exactly (Raw codec).
+    for (v, p) in roi.mesh.points().iter().enumerate() {
+        if octant().contains(*p) {
+            assert_eq!(roi.data[v], full.data[v], "vertex {v} at {p:?}");
+        }
+    }
+}
+
+#[test]
+fn sharded_chunk_cache_serves_repeat_regions() {
+    let (ds, canopus) = setup_with(CHUNKS, RelativeCodec::Raw, true);
+    let reader = canopus.open("roi.bp").unwrap();
+    reader.warm_metadata(ds.var).unwrap();
+    let base = reader.read_base(ds.var).unwrap();
+
+    let (first, s1) = reader.refine_region(ds.var, &base, quadrant()).unwrap();
+    assert_eq!(s1.chunks_cached, 0, "cold cache");
+    assert!(s1.bytes_read > 0);
+
+    let (second, s2) = reader.refine_region(ds.var, &base, quadrant()).unwrap();
+    assert_eq!(second.data, first.data, "cache must not change results");
+    assert_eq!(s2.chunks_read, s1.chunks_read);
+    assert_eq!(
+        s2.chunks_cached, s2.chunks_read,
+        "repeat region is answered entirely from the chunk cache"
+    );
+    assert_eq!(s2.bytes_read, 0, "no tier I/O on the repeat");
+}
+
+/// Old manifests keep working: a CBP3 manifest downgraded to the CBP2
+/// and CBP1 layouts still opens, restores, and region-refines
+/// byte-identically via the monolithic (non-sharded) path.
+#[test]
+fn downgraded_manifests_keep_reading_monolithically() {
+    let ds = xgc1_dataset_sized(16, 80, 33);
+    let raw = (ds.data.len() * 8) as u64;
+    let hier = Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64));
+    let canopus = Canopus::new(
+        hier.clone(),
+        CanopusConfig {
+            refactor: RefactorConfig {
+                num_levels: 3,
+                ..Default::default()
+            },
+            codec: RelativeCodec::Raw,
+            delta_chunks: CHUNKS,
+            ..Default::default()
+        },
+    );
+    canopus.write("bc.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+
+    let reader = canopus.open("bc.bp").unwrap();
+    let baseline_full = reader.read_level(ds.var, 0).unwrap();
+    let base = reader.read_base(ds.var).unwrap();
+    let (baseline_roi, baseline_stats) = reader.refine_region(ds.var, &base, quadrant()).unwrap();
+
+    let key = "bc.bp/.bpmeta";
+    let (bytes, _, _) = hier.read(key).unwrap();
+    let meta = FileMeta::from_bytes(&bytes).unwrap();
+    for (rev, downgraded) in [("CBP2", meta.to_bytes_v2()), ("CBP1", meta.to_bytes_v1())] {
+        let tier = hier.find(key).unwrap();
+        hier.remove(key).unwrap();
+        hier.write_to_tier(tier, key, Bytes::from(downgraded))
+            .unwrap();
+
+        let r = canopus.open("bc.bp").unwrap().with_level_cache(0);
+        let full = r.read_level(ds.var, 0).unwrap();
+        assert_eq!(full.data, baseline_full.data, "{rev}: full restore differs");
+        let b = r.read_base(ds.var).unwrap();
+        let (roi, stats) = r.refine_region(ds.var, &b, quadrant()).unwrap();
+        assert_eq!(roi.data, baseline_roi.data, "{rev}: region refine differs");
+        assert_eq!(stats.chunks_total, baseline_stats.chunks_total, "{rev}");
+        assert_eq!(stats.chunks_read, baseline_stats.chunks_read, "{rev}");
+    }
 }

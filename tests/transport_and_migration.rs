@@ -37,6 +37,7 @@ fn staged_timesteps_drain_and_read_back() {
             raw_bytes: 4096,
             min: 0.0,
             max: 1.0,
+            chunks: vec![],
         }];
         let inline = writer
             .write(&format!("step{step}.bp"), 1, blocks)
@@ -169,6 +170,7 @@ fn transports_are_equivalent_in_outcome() {
             raw_bytes: 2000,
             min: 0.0,
             max: 1.0,
+            chunks: vec![],
         }]
     };
     let read_back = |store: &BpStore| -> Vec<u8> {
