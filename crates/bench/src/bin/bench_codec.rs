@@ -1,0 +1,93 @@
+//! `bench_codec` — batched codec kernel throughput.
+//!
+//! ```text
+//! bench_codec [--out BENCH_codec.json]
+//! ```
+//!
+//! Times batch encode/decode of every block codec over a deterministic
+//! synthetic field (see `canopus_bench::codecbench`) and compares the
+//! batched bit-plane kernels against the retained scalar oracles — the
+//! streams are bit-identical, so the decode speedup isolates kernel
+//! efficiency. Deterministic bytes-per-value `.sim` histograms feed the
+//! `bench_guard` regression gate. `CANOPUS_SCALE=quick` selects the
+//! reduced field used in CI smoke runs; the checked-in `BENCH_codec.json`
+//! comes from a paper-scale release run.
+
+use canopus_bench::codecbench;
+use canopus_bench::setup::Scale;
+use canopus_bench::table;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_flag_value(&mut args, "--out").unwrap_or_else(|| "BENCH_codec.json".into());
+    if let Some(extra) = args.first() {
+        eprintln!("unknown argument {extra:?}");
+        eprintln!("usage: bench_codec [--out BENCH_codec.json]");
+        std::process::exit(2);
+    }
+
+    let scale = Scale::from_env();
+    // Width 256 tiles both scales exactly; paper scale = 1M values.
+    let (values, iters) = if scale == Scale::Paper {
+        (1 << 20, 9)
+    } else {
+        (1 << 16, 5)
+    };
+    println!(
+        "# Codec kernel benchmark — {} values, {} iters (median)\n",
+        values, iters
+    );
+    let report = codecbench::codec_bench(values, 256, iters, 42);
+
+    let rows: Vec<Vec<String>> = report
+        .codecs
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{}", c.blocks),
+                format!("{:.3}", c.stream_bytes as f64 / (8 * c.values) as f64),
+                format!("{:.2e}", c.encode_blocks_per_s),
+                format!("{:.2e}", c.decode_blocks_per_s),
+                if c.oracle_decode_blocks_per_s > 0.0 {
+                    format!("{:.2}x", c.decode_speedup_vs_oracle)
+                } else {
+                    "-".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "codec",
+                "blocks",
+                "ratio",
+                "enc blk/s",
+                "dec blk/s",
+                "vs oracle"
+            ],
+            &rows
+        )
+    );
+
+    let json = report.to_json().to_pretty() + "\n";
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}

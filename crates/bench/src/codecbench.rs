@@ -1,0 +1,349 @@
+//! Codec kernel throughput: the perf trajectory behind `BENCH_codec.json`.
+//!
+//! Times batch encode and decode of every block codec over a
+//! deterministic synthetic field, in blocks per second, and — for the
+//! ZFP-family codecs — compares the batched bit-plane kernels against
+//! the retired scalar oracles kept in `zfp_like::oracle` /
+//! `zfp2d::oracle`. The oracles emit bit-identical streams (pinned by
+//! the `batched_kernels` proptests), so the decode speedup is a pure
+//! kernel-efficiency measurement: same input, same output, same bits
+//! parsed.
+//!
+//! Wall-clock rates are host-noisy and recorded for context; the
+//! `.sim`-suffixed histograms record *bytes per value* of each codec's
+//! streams, which are deterministic at a fixed seed — `bench_guard`
+//! diffs their medians across commits, so a stream-size regression
+//! (broken plane coder, degraded Huffman table) trips the gate even on
+//! a noisy runner.
+
+use crate::histsum;
+use canopus_compress::{zfp2d, zfp_like, Codec, Fpc, RawCodec, SzLike, ZfpLike, ZfpLike2d};
+use canopus_obs::{json::Value, HistogramStat, Registry};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Nominal values per block for codecs without an intrinsic block size
+/// (sz-like, fpc, raw), matching the 1-D ZFP block so blocks/s compare.
+const NOMINAL_BLOCK: usize = 4;
+
+/// Segments the field is split into for the deterministic
+/// bytes-per-value histograms.
+const RATIO_SEGMENTS: usize = 32;
+
+/// One codec's measured throughput.
+#[derive(Debug, Clone)]
+pub struct CodecSample {
+    pub name: &'static str,
+    pub values: usize,
+    pub blocks: usize,
+    pub stream_bytes: usize,
+    pub encode_blocks_per_s: f64,
+    pub decode_blocks_per_s: f64,
+    /// Scalar-oracle decode rate; 0 for codecs with no oracle.
+    pub oracle_decode_blocks_per_s: f64,
+    /// Batched over oracle decode rate; 0 for codecs with no oracle.
+    pub decode_speedup_vs_oracle: f64,
+}
+
+/// Everything `BENCH_codec.json` records for one run.
+#[derive(Debug, Clone)]
+pub struct CodecBenchReport {
+    pub values: usize,
+    pub iters: usize,
+    pub codecs: Vec<CodecSample>,
+    /// `.sim` entries are deterministic bytes-per-value distributions;
+    /// `.wall` entries are per-iteration decode times (context only).
+    pub histograms: BTreeMap<String, HistogramStat>,
+}
+
+impl CodecBenchReport {
+    pub fn codec(&self, name: &str) -> Option<&CodecSample> {
+        self.codecs.iter().find(|c| c.name == name)
+    }
+
+    pub fn to_json(&self) -> Value {
+        let codecs: Vec<Value> = self
+            .codecs
+            .iter()
+            .map(|c| {
+                let mut o = BTreeMap::new();
+                o.insert("name".into(), Value::Str(c.name.into()));
+                o.insert("values".into(), Value::Int(c.values as i128));
+                o.insert("blocks".into(), Value::Int(c.blocks as i128));
+                o.insert("stream_bytes".into(), Value::Int(c.stream_bytes as i128));
+                o.insert(
+                    "encode_blocks_per_s".into(),
+                    Value::Float(c.encode_blocks_per_s),
+                );
+                o.insert(
+                    "decode_blocks_per_s".into(),
+                    Value::Float(c.decode_blocks_per_s),
+                );
+                o.insert(
+                    "oracle_decode_blocks_per_s".into(),
+                    Value::Float(c.oracle_decode_blocks_per_s),
+                );
+                o.insert(
+                    "decode_speedup_vs_oracle".into(),
+                    Value::Float(c.decode_speedup_vs_oracle),
+                );
+                Value::Obj(o)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("values".into(), Value::Int(self.values as i128));
+        top.insert("iters".into(), Value::Int(self.iters as i128));
+        top.insert("codecs".into(), Value::Arr(codecs));
+        top.insert(
+            "histograms".into(),
+            histsum::summaries_json(&self.histograms),
+        );
+        Value::Obj(top)
+    }
+}
+
+/// Deterministic synthetic field: smooth waves (ZFP/SZ's favourable
+/// regime) with a small xorshift noise floor so bit planes below the
+/// tolerance still carry entropy.
+pub fn synthetic_field(n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let noise = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let t = i as f64;
+            (t * 0.0043).sin() * 40.0 + (t * 0.00017).cos() * 12.0 + noise * 1e-3
+        })
+        .collect()
+}
+
+/// Median wall seconds of `iters` runs of `f`.
+fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Record the deterministic bytes-per-value distribution of `codec`
+/// over `RATIO_SEGMENTS` contiguous segments of the field.
+fn observe_ratio(reg: &Registry, name: &str, codec: &dyn Codec, data: &[f64]) {
+    let hist = reg.histogram(&format!("codec.{name}.bytes_per_value.sim"));
+    let seg = (data.len() / RATIO_SEGMENTS).max(1);
+    for chunk in data.chunks(seg) {
+        let bytes = codec.compress(chunk).expect("bench compress");
+        hist.observe_secs(bytes.len() as f64 / chunk.len() as f64);
+    }
+}
+
+struct Measured {
+    sample: CodecSample,
+    stream: Vec<u8>,
+}
+
+/// Scalar-reference decoder: re-decodes a stream outside the batched
+/// kernels (`oracle::decompress` behind a closure).
+type OracleDecode<'a> = &'a dyn Fn(&[u8], usize) -> Vec<f64>;
+
+/// Time one codec's encode and batched decode; `oracle_decode` (if any)
+/// re-decodes the same stream through the scalar reference kernel.
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    reg: &Registry,
+    iters: usize,
+    name: &'static str,
+    codec: &dyn Codec,
+    data: &[f64],
+    blocks: usize,
+    oracle_decode: Option<OracleDecode<'_>>,
+) -> Measured {
+    let stream = codec.compress(data).expect("bench compress");
+    let encode_secs = median_secs(iters, || {
+        std::hint::black_box(codec.compress(data).expect("bench compress"));
+    });
+    let mut out = vec![0.0; data.len()];
+    let decode_hist = reg.histogram(&format!("codec.{name}.decode.wall"));
+    let decode_secs = median_secs(iters, || {
+        codec
+            .decompress_into(&stream, &mut out)
+            .expect("bench decode");
+        std::hint::black_box(&out);
+    });
+    for _ in 0..iters {
+        decode_hist.observe_secs(decode_secs);
+    }
+    let oracle_secs = oracle_decode.map(|dec| {
+        median_secs(iters, || {
+            std::hint::black_box(dec(&stream, data.len()));
+        })
+    });
+    let decode_rate = blocks as f64 / decode_secs;
+    let oracle_rate = oracle_secs.map_or(0.0, |s| blocks as f64 / s);
+    Measured {
+        sample: CodecSample {
+            name,
+            values: data.len(),
+            blocks,
+            stream_bytes: stream.len(),
+            encode_blocks_per_s: blocks as f64 / encode_secs,
+            decode_blocks_per_s: decode_rate,
+            oracle_decode_blocks_per_s: oracle_rate,
+            decode_speedup_vs_oracle: if oracle_rate > 0.0 {
+                decode_rate / oracle_rate
+            } else {
+                0.0
+            },
+        },
+        stream,
+    }
+}
+
+/// Run the codec throughput benchmark over `n` values (`width * height`
+/// must divide it for the 2-D codec; callers pass `n = width * k`).
+pub fn codec_bench(n: usize, width: usize, iters: usize, seed: u64) -> CodecBenchReport {
+    assert!(
+        n.is_multiple_of(width),
+        "field must tile the 2-D grid exactly"
+    );
+    let height = n / width;
+    let data = synthetic_field(n, seed);
+    let reg = Registry::new();
+    let tol = 1e-6;
+    let mut codecs = Vec::new();
+
+    let zfp = ZfpLike::with_tolerance(tol);
+    let m = measure(
+        &reg,
+        iters,
+        "zfp-like",
+        &zfp,
+        &data,
+        n.div_ceil(4),
+        Some(&|bytes: &[u8], len: usize| {
+            zfp_like::oracle::decompress(bytes, len).expect("oracle decode")
+        }),
+    );
+    observe_ratio(&reg, "zfp-like", &zfp, &data);
+    codecs.push(m.sample);
+
+    let zfp2 = ZfpLike2d::new(width, height, tol);
+    let m = measure(
+        &reg,
+        iters,
+        "zfp-like-2d",
+        &zfp2,
+        &data,
+        width.div_ceil(4) * height.div_ceil(4),
+        Some(&|bytes: &[u8], _| {
+            zfp2d::oracle::decompress(bytes, width, height).expect("oracle decode")
+        }),
+    );
+    // 2-D ratio segments: horizontal bands of the same grid.
+    {
+        let hist = reg.histogram("codec.zfp-like-2d.bytes_per_value.sim");
+        let band_rows = (height / RATIO_SEGMENTS.min(height)).max(1);
+        for band in data.chunks(band_rows * width) {
+            let rows = band.len() / width;
+            let codec = ZfpLike2d::new(width, rows, tol);
+            let bytes = codec.compress(band).expect("bench compress");
+            hist.observe_secs(bytes.len() as f64 / band.len() as f64);
+        }
+    }
+    codecs.push(m.sample);
+
+    let sz = SzLike::with_error_bound(tol);
+    let m = measure(
+        &reg,
+        iters,
+        "sz-like",
+        &sz,
+        &data,
+        n.div_ceil(NOMINAL_BLOCK),
+        None,
+    );
+    observe_ratio(&reg, "sz-like", &sz, &data);
+    codecs.push(m.sample);
+
+    let fpc = Fpc::new();
+    let m = measure(
+        &reg,
+        iters,
+        "fpc",
+        &fpc,
+        &data,
+        n.div_ceil(NOMINAL_BLOCK),
+        None,
+    );
+    observe_ratio(&reg, "fpc", &fpc, &data);
+    codecs.push(m.sample);
+
+    let raw = RawCodec;
+    let m = measure(
+        &reg,
+        iters,
+        "raw",
+        &raw,
+        &data,
+        n.div_ceil(NOMINAL_BLOCK),
+        None,
+    );
+    observe_ratio(&reg, "raw", &raw, &data);
+    drop(m.stream);
+    codecs.push(m.sample);
+
+    CodecBenchReport {
+        values: n,
+        iters,
+        codecs,
+        histograms: histsum::summaries(&reg.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_complete_and_deterministic() {
+        let a = codec_bench(4096, 64, 1, 7);
+        let b = codec_bench(4096, 64, 1, 7);
+        assert_eq!(a.codecs.len(), 5);
+        for c in &a.codecs {
+            assert!(c.stream_bytes > 0);
+            assert!(c.encode_blocks_per_s > 0.0);
+            assert!(c.decode_blocks_per_s > 0.0);
+        }
+        for name in ["zfp-like", "zfp-like-2d"] {
+            let c = a.codec(name).unwrap();
+            assert!(
+                c.oracle_decode_blocks_per_s > 0.0 && c.decode_speedup_vs_oracle > 0.0,
+                "{name} must compare against its scalar oracle"
+            );
+        }
+        // The .sim bytes-per-value histograms are deterministic: two
+        // runs at the same seed produce identical medians (this is what
+        // lets bench_guard pin them).
+        for (name, h) in &a.histograms {
+            if name.ends_with(".sim") {
+                let other = &b.histograms[name];
+                assert_eq!(h.count, other.count, "{name}");
+                assert_eq!(h.p50_secs(), other.p50_secs(), "{name}");
+            }
+        }
+        assert!(a
+            .histograms
+            .keys()
+            .any(|k| k == "codec.zfp-like.bytes_per_value.sim"));
+        let json = a.to_json().to_pretty();
+        let parsed = canopus_obs::json::parse(&json).expect("report json parses");
+        assert!(parsed.get("codecs").is_some());
+        assert!(parsed.get("histograms").is_some());
+    }
+}

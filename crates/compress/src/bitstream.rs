@@ -4,12 +4,21 @@
 //! Bits are packed LSB-first into little-endian u64 words, which keeps the
 //! hot `write_bits`/`read_bits` paths branch-light (at most one word
 //! boundary crossing per call).
+//!
+//! The batched bit-plane kernels pre-size the word buffer with
+//! [`BitWriter::reserve_bits`] and then emit whole planes through
+//! [`BitWriter::write_plane`] / consume them through
+//! [`BitReader::read_plane`], so the per-call grow check and the per-bit
+//! loops disappear from the hot paths entirely.
 
 use crate::error::CodecError;
 
 /// Append-only bit writer.
 #[derive(Debug, Default)]
 pub struct BitWriter {
+    /// Backing words. May be sized ahead of `len` by [`Self::reserve_bits`];
+    /// all words at and beyond the write cursor are zero, so writes only
+    /// ever OR bits in.
     words: Vec<u64>,
     /// Number of bits written so far.
     len: usize,
@@ -25,16 +34,25 @@ impl BitWriter {
         self.len
     }
 
+    /// Pre-size the backing buffer so the next `n` bits can be written
+    /// through [`Self::write_plane`] without any grow checks.
+    #[inline]
+    pub fn reserve_bits(&mut self, n: usize) {
+        let total_words = (self.len + n).div_ceil(64);
+        if total_words > self.words.len() {
+            self.words.resize(total_words, 0);
+        }
+    }
+
     /// Write a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
         let word = self.len >> 6;
-        let off = self.len & 63;
-        if word == self.words.len() {
+        if word >= self.words.len() {
             self.words.push(0);
         }
         if bit {
-            self.words[word] |= 1u64 << off;
+            self.words[word] |= 1u64 << (self.len & 63);
         }
         self.len += 1;
     }
@@ -46,6 +64,27 @@ impl BitWriter {
         if n == 0 {
             return;
         }
+        let end_word = (self.len + n as usize - 1) >> 6;
+        if end_word >= self.words.len() {
+            self.words.resize(end_word + 1, 0);
+        }
+        self.write_plane(value, n);
+    }
+
+    /// [`Self::write_bits`] without the grow check: the caller must have
+    /// pre-sized the buffer via [`Self::reserve_bits`]. This is the
+    /// batched bit-plane emit path — one call per plane instead of one
+    /// per coefficient bit.
+    #[inline]
+    pub fn write_plane(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            (self.len + n as usize).div_ceil(64) <= self.words.len(),
+            "write_plane requires reserve_bits"
+        );
         let value = if n == 64 {
             value
         } else {
@@ -53,19 +92,17 @@ impl BitWriter {
         };
         let word = self.len >> 6;
         let off = (self.len & 63) as u32;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
         self.words[word] |= value << off;
         if off + n > 64 {
             // Spill the high part into the next word.
-            self.words.push(value >> (64 - off));
+            self.words[word + 1] |= value >> (64 - off);
         }
         self.len += n as usize;
     }
 
     /// Finish and return the packed little-endian bytes (padded with zero
-    /// bits to a whole byte).
+    /// bits to a whole byte). Words reserved beyond the write cursor are
+    /// dropped.
     pub fn into_bytes(self) -> Vec<u8> {
         let nbytes = self.len.div_ceil(8);
         let mut out = Vec::with_capacity(nbytes);
@@ -119,6 +156,26 @@ impl<'a> BitReader<'a> {
                 "bitstream exhausted reading {n} bits"
             )));
         }
+        let byte_pos = self.pos >> 3;
+        let off = (self.pos & 7) as u32;
+        // Fast path: the whole read fits in one unaligned 8-byte load.
+        if off + n <= 64 && byte_pos + 8 <= self.bytes.len() {
+            let w = u64::from_le_bytes(
+                self.bytes[byte_pos..byte_pos + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            let v = if n == 64 {
+                // off must be 0 here (off + n <= 64).
+                w
+            } else {
+                (w >> off) & ((1u64 << n) - 1)
+            };
+            self.pos += n as usize;
+            return Ok(v);
+        }
+        // Slow path: near the end of the buffer, or a 64-bit read that
+        // straddles 9 bytes.
         let mut value = 0u64;
         let mut got = 0u32;
         while got < n {
@@ -132,6 +189,52 @@ impl<'a> BitReader<'a> {
             self.pos += take as usize;
         }
         Ok(value)
+    }
+
+    /// Alias of [`Self::read_bits`] marking the batched bit-plane consume
+    /// path (one call per plane instead of one per coefficient bit).
+    #[inline]
+    pub fn read_plane(&mut self, n: u32) -> Result<u64, CodecError> {
+        self.read_bits(n)
+    }
+
+    /// Peek at the next `n` bits (LSB first) without advancing. Bits past
+    /// the end of the stream read as zero — callers that act on a peek
+    /// must still consume via [`Self::skip_bits`]/[`Self::read_bits`],
+    /// which do bound-check. `n <= 56` so a single byte-window always
+    /// suffices.
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> u64 {
+        debug_assert!(n <= 56);
+        let byte_pos = self.pos >> 3;
+        let off = (self.pos & 7) as u32;
+        let w = if byte_pos + 8 <= self.bytes.len() {
+            u64::from_le_bytes(
+                self.bytes[byte_pos..byte_pos + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            )
+        } else {
+            let mut buf = [0u8; 8];
+            if byte_pos < self.bytes.len() {
+                let tail = &self.bytes[byte_pos..];
+                buf[..tail.len()].copy_from_slice(tail);
+            }
+            u64::from_le_bytes(buf)
+        };
+        (w >> off) & ((1u64 << n) - 1)
+    }
+
+    /// Advance the cursor by `n` bits, erroring if that passes the end.
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) -> Result<(), CodecError> {
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return Err(CodecError::Corrupt(format!(
+                "bitstream exhausted reading {n} bits"
+            )));
+        }
+        self.pos += n as usize;
+        Ok(())
     }
 
     /// Current cursor (bits from the start).
@@ -218,6 +321,101 @@ mod tests {
     #[test]
     fn empty_writer_yields_no_bytes() {
         assert!(BitWriter::new().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn reserve_then_plane_writes_match_write_bits() {
+        // The pre-sized plane path must produce byte-identical streams to
+        // the growing write_bits path, including interleaved write_bit
+        // calls after an over-reservation.
+        let mut x: u64 = 99;
+        let mut ops = Vec::new();
+        for i in 0..500u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = (i % 64) + 1;
+            ops.push((x, n));
+        }
+        let mut plain = BitWriter::new();
+        for &(v, n) in &ops {
+            plain.write_bits(v, n);
+        }
+        let mut planed = BitWriter::new();
+        planed.reserve_bits(ops.iter().map(|&(_, n)| n as usize).sum());
+        for &(v, n) in &ops {
+            planed.write_plane(v, n);
+        }
+        assert_eq!(plain.into_bytes(), planed.into_bytes());
+    }
+
+    #[test]
+    fn over_reserved_words_do_not_leak_into_output() {
+        let mut w = BitWriter::new();
+        w.reserve_bits(4096);
+        w.write_plane(0b101, 3);
+        w.write_bit(true);
+        w.write_bits(0xFFFF, 16);
+        assert_eq!(w.len_bits(), 20);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 3);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_plane(3).unwrap(), 0b101);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+    }
+
+    #[test]
+    fn write_bits_after_reserve_is_safe() {
+        // write_bits must OR into pre-sized words, never append past them.
+        let mut w = BitWriter::new();
+        w.reserve_bits(128);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0x1234_5678_9ABC_DEF0, 64);
+        w.write_bits(0x7F, 7); // beyond the reservation: grows cleanly
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(r.read_bits(7).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn read_bits_fast_and_slow_paths_agree() {
+        // Odd-length buffer so reads near the tail exercise the byte loop
+        // while earlier ones take the word load.
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        let mut x: u64 = 42;
+        for i in 0..200u32 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64);
+            let n = (x % 64 + 1) as u32;
+            w.write_bits(x, n);
+            expect.push((x & if n == 64 { u64::MAX } else { (1 << n) - 1 }, n));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in expect {
+            assert_eq!(r.read_plane(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn peek_matches_read_and_pads_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1_1010_1101, 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(9), 0b1_1010_1101);
+        assert_eq!(r.peek_bits(5), 0b10_1101 & 0b11111);
+        r.skip_bits(4).unwrap();
+        assert_eq!(r.peek_bits(5), 0b1_1010);
+        assert_eq!(r.read_bits(5).unwrap(), 0b1_1010);
+        // Past the 16-bit buffer: peeks read zero, skip errors.
+        assert_eq!(r.peek_bits(20), (bytes[1] as u64) >> 1);
+        assert!(r.skip_bits(20).is_err());
+        assert!(r.skip_bits(7).is_ok());
+        assert_eq!(r.remaining_bits(), 0);
     }
 
     #[test]

@@ -53,6 +53,16 @@ impl Predictors {
         }
     }
 
+    /// Restore the pristine all-zero state so one allocation serves
+    /// every (de)compression on this thread.
+    fn reset(&mut self) {
+        self.fcm.fill(0);
+        self.dfcm.fill(0);
+        self.fcm_hash = 0;
+        self.dfcm_hash = 0;
+        self.last = 0;
+    }
+
     /// Current predictions `(fcm_pred, dfcm_pred)`.
     #[inline]
     fn predict(&self) -> (u64, u64) {
@@ -71,6 +81,23 @@ impl Predictors {
         self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40)) & TABLE_MASK;
         self.last = bits;
     }
+}
+
+thread_local! {
+    /// The two 512 KiB predictor tables, allocated once per worker
+    /// thread and zeroed between calls. FPC never nests (no codec calls
+    /// another Fpc reentrantly), so the `RefCell` borrow is always free.
+    static PREDICTOR_SCRATCH: std::cell::RefCell<Predictors> =
+        std::cell::RefCell::new(Predictors::new());
+}
+
+/// Run `f` with this thread's freshly reset predictor state.
+fn with_predictors<R>(f: impl FnOnce(&mut Predictors) -> R) -> R {
+    PREDICTOR_SCRATCH.with(|cell| {
+        let mut preds = cell.borrow_mut();
+        preds.reset();
+        f(&mut preds)
+    })
 }
 
 /// Map a leading-zero-byte count (0..=8) to the 3-bit wire code.
@@ -99,7 +126,30 @@ impl Codec for Fpc {
     }
 
     fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
-        let mut preds = Predictors::new();
+        with_predictors(|preds| self.compress_with(preds, data))
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        let mut out = vec![0.0; n];
+        self.decompress_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        with_predictors(|preds| self.decompress_with(preds, bytes, out))
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+
+    fn error_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+impl Fpc {
+    fn compress_with(&self, preds: &mut Predictors, data: &[f64]) -> Result<Vec<u8>, CodecError> {
         let mut headers = Vec::with_capacity(data.len().div_ceil(2));
         let mut residuals: Vec<u8> = Vec::with_capacity(data.len() * 4);
 
@@ -141,7 +191,13 @@ impl Codec for Fpc {
         Ok(out)
     }
 
-    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+    fn decompress_with(
+        &self,
+        preds: &mut Predictors,
+        bytes: &[u8],
+        out: &mut [f64],
+    ) -> Result<(), CodecError> {
+        let n = out.len();
         if bytes.len() < 10 {
             return Err(CodecError::Corrupt("fpc stream too short".into()));
         }
@@ -167,9 +223,7 @@ impl Codec for Fpc {
         let headers = &bytes[10..10 + header_len];
         let mut residuals = &bytes[10 + header_len..];
 
-        let mut preds = Predictors::new();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let byte = headers[i / 2];
             let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
             let selector = (nibble >> 3) & 1;
@@ -187,18 +241,10 @@ impl Codec for Fpc {
             let (fcm_pred, dfcm_pred) = preds.predict();
             let pred = if selector == 0 { fcm_pred } else { dfcm_pred };
             let bits = pred ^ xor;
-            out.push(f64::from_bits(bits));
+            *o = f64::from_bits(bits);
             preds.update(bits);
         }
-        Ok(out)
-    }
-
-    fn is_lossless(&self) -> bool {
-        true
-    }
-
-    fn error_bound(&self) -> f64 {
-        0.0
+        Ok(())
     }
 }
 
@@ -297,6 +343,43 @@ mod tests {
         // Wrong n vs header length (99 shares a header byte count with
         // 100, so use 98 which does not).
         assert!(codec.decompress(&bytes, 98).is_err());
+    }
+
+    #[test]
+    fn scratch_reset_keeps_repeated_calls_bit_identical() {
+        // The thread-local predictor tables must come back pristine:
+        // compressing A, then B, then A again must give byte-identical
+        // streams for the two A runs, and decompression likewise.
+        let a = noise(2000, 1e4, 11);
+        let b = noise(1500, 1e-3, 22);
+        let codec = Fpc::new();
+        let first = codec.compress(&a).unwrap();
+        let _ = codec.compress(&b).unwrap();
+        let again = codec.compress(&a).unwrap();
+        assert_eq!(first, again);
+        let d1 = codec.decompress(&first, a.len()).unwrap();
+        let _ = codec
+            .decompress(&codec.compress(&b).unwrap(), b.len())
+            .unwrap();
+        let d2 = codec.decompress(&first, a.len()).unwrap();
+        assert_eq!(
+            d1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            d2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress() {
+        let data = noise(777, 2.0, 9);
+        let codec = Fpc::new();
+        let bytes = codec.compress(&data).unwrap();
+        let via_vec = codec.decompress(&bytes, data.len()).unwrap();
+        let mut via_into = vec![0.0; data.len()];
+        codec.decompress_into(&bytes, &mut via_into).unwrap();
+        assert_eq!(
+            via_vec.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            via_into.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

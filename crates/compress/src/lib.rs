@@ -32,6 +32,7 @@ pub mod error;
 pub mod fpc;
 pub mod observed;
 pub mod parallel;
+pub(crate) mod planes;
 pub mod stats;
 pub mod sz_like;
 pub mod zfp2d;
@@ -63,6 +64,17 @@ pub trait Codec: Send + Sync {
     /// exactly `n` values.
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError>;
 
+    /// Decompress into a caller-provided buffer whose length is the
+    /// element count, avoiding the output allocation. The default
+    /// delegates to [`Codec::decompress`]; hot codecs override it with a
+    /// genuinely allocation-free path so decode arenas can recycle
+    /// buffers across blocks.
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        let v = self.decompress(bytes, out.len())?;
+        out.copy_from_slice(&v);
+        Ok(())
+    }
+
     /// Whether decompression reproduces input bit-exactly.
     fn is_lossless(&self) -> bool;
 
@@ -84,6 +96,10 @@ impl<C: Codec + ?Sized> Codec for Box<C> {
 
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
         (**self).decompress(bytes, n)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        (**self).decompress_into(bytes, out)
     }
 
     fn is_lossless(&self) -> bool {
@@ -126,6 +142,20 @@ impl CodecKind {
         }
     }
 
+    /// Instantiate the codec as a statically dispatched [`AnyCodec`] —
+    /// no heap allocation, suitable for per-block construction on the
+    /// decode hot path.
+    pub fn build_any(&self) -> AnyCodec {
+        match *self {
+            CodecKind::ZfpLike { tolerance } => AnyCodec::Zfp(ZfpLike::with_tolerance(tolerance)),
+            CodecKind::SzLike { error_bound } => {
+                AnyCodec::Sz(SzLike::with_error_bound(error_bound))
+            }
+            CodecKind::Fpc => AnyCodec::Fpc(Fpc::new()),
+            CodecKind::Raw => AnyCodec::Raw(RawCodec),
+        }
+    }
+
     /// Stable identifier for serialization.
     pub fn id(&self) -> u8 {
         match self {
@@ -155,17 +185,23 @@ impl Codec for RawCodec {
     }
 
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
-        if bytes.len() != n * 8 {
+        let mut out = vec![0.0; n];
+        self.decompress_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        if bytes.len() != out.len() * 8 {
             return Err(CodecError::Corrupt(format!(
                 "raw stream is {} bytes, expected {}",
                 bytes.len(),
-                n * 8
+                out.len() * 8
             )));
         }
-        Ok(bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-            .collect())
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *o = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        }
+        Ok(())
     }
 
     fn is_lossless(&self) -> bool {
@@ -174,6 +210,57 @@ impl Codec for RawCodec {
 
     fn error_bound(&self) -> f64 {
         0.0
+    }
+}
+
+/// A statically dispatched union of the block codecs.
+///
+/// The decode hot path constructs one of these per block from the stored
+/// `codec_id`; unlike [`CodecKind::build`] there is no `Box<dyn Codec>`
+/// heap allocation, and every [`Codec`] method monomorphizes down to a
+/// four-way match.
+#[derive(Debug, Clone, Copy)]
+pub enum AnyCodec {
+    Zfp(ZfpLike),
+    Sz(SzLike),
+    Fpc(Fpc),
+    Raw(RawCodec),
+}
+
+macro_rules! any_dispatch {
+    ($self:expr, $c:ident => $body:expr) => {
+        match $self {
+            AnyCodec::Zfp($c) => $body,
+            AnyCodec::Sz($c) => $body,
+            AnyCodec::Fpc($c) => $body,
+            AnyCodec::Raw($c) => $body,
+        }
+    };
+}
+
+impl Codec for AnyCodec {
+    fn name(&self) -> &'static str {
+        any_dispatch!(self, c => c.name())
+    }
+
+    fn compress(&self, data: &[f64]) -> Result<Vec<u8>, CodecError> {
+        any_dispatch!(self, c => c.compress(data))
+    }
+
+    fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        any_dispatch!(self, c => c.decompress(bytes, n))
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        any_dispatch!(self, c => c.decompress_into(bytes, out))
+    }
+
+    fn is_lossless(&self) -> bool {
+        any_dispatch!(self, c => c.is_lossless())
+    }
+
+    fn error_bound(&self) -> f64 {
+        any_dispatch!(self, c => c.error_bound())
     }
 }
 
@@ -208,6 +295,32 @@ mod tests {
             "sz-like"
         );
         assert_eq!(CodecKind::Fpc.build().name(), "fpc");
+    }
+
+    #[test]
+    fn build_any_matches_boxed_streams() {
+        let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).cos() * 7.0).collect();
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Fpc,
+            CodecKind::ZfpLike { tolerance: 1e-7 },
+            CodecKind::SzLike { error_bound: 1e-7 },
+        ] {
+            let boxed = kind.build();
+            let any = kind.build_any();
+            assert_eq!(any.name(), boxed.name());
+            assert_eq!(any.is_lossless(), boxed.is_lossless());
+            assert_eq!(any.error_bound(), boxed.error_bound());
+            let bytes = boxed.compress(&data).unwrap();
+            assert_eq!(any.compress(&data).unwrap(), bytes, "{}", any.name());
+            let via_box = boxed.decompress(&bytes, data.len()).unwrap();
+            let mut via_any = vec![0.0; data.len()];
+            any.decompress_into(&bytes, &mut via_any).unwrap();
+            assert_eq!(
+                via_box.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                via_any.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

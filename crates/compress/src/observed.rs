@@ -5,29 +5,34 @@
 //! compression ratios of the paper's Figs. 5–8 fall out directly
 //! (`compress.<codec>.bytes_in / compress.<codec>.bytes_out`). The wrapper
 //! is transparent: same name, same bound, same streams.
+//!
+//! The inner codec is a generic parameter (defaulting to `Box<dyn Codec>`
+//! for existing call sites), so hot paths that know their concrete codec —
+//! e.g. the read path's [`crate::AnyCodec`] — keep static dispatch and
+//! avoid a per-block box allocation.
 
 use crate::{Codec, CodecError};
 use canopus_obs::{names, Registry};
 use std::sync::Arc;
 
 /// A [`Codec`] that records its traffic in an observability registry.
-pub struct ObservedCodec {
-    inner: Box<dyn Codec>,
+pub struct ObservedCodec<C: Codec = Box<dyn Codec>> {
+    inner: C,
     obs: Arc<Registry>,
 }
 
-impl ObservedCodec {
-    pub fn new(inner: Box<dyn Codec>, obs: Arc<Registry>) -> Self {
+impl<C: Codec> ObservedCodec<C> {
+    pub fn new(inner: C, obs: Arc<Registry>) -> Self {
         Self { inner, obs }
     }
 
     /// The wrapped codec.
-    pub fn inner(&self) -> &dyn Codec {
-        self.inner.as_ref()
+    pub fn inner(&self) -> &C {
+        &self.inner
     }
 }
 
-impl Codec for ObservedCodec {
+impl<C: Codec> Codec for ObservedCodec<C> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -47,14 +52,14 @@ impl Codec for ObservedCodec {
 
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
         let values = self.inner.decompress(bytes, n)?;
-        let codec = self.inner.name();
-        self.obs
-            .counter(&names::decompress_bytes_in(codec))
-            .add(bytes.len() as u64);
-        self.obs
-            .counter(&names::decompress_values_out(codec))
-            .add(values.len() as u64);
+        self.record_decompress(bytes.len(), values.len());
         Ok(values)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        self.inner.decompress_into(bytes, out)?;
+        self.record_decompress(bytes.len(), out.len());
+        Ok(())
     }
 
     fn is_lossless(&self) -> bool {
@@ -66,6 +71,18 @@ impl Codec for ObservedCodec {
     }
 }
 
+impl<C: Codec> ObservedCodec<C> {
+    fn record_decompress(&self, bytes_in: usize, values_out: usize) {
+        let codec = self.inner.name();
+        self.obs
+            .counter(&names::decompress_bytes_in(codec))
+            .add(bytes_in as u64);
+        self.obs
+            .counter(&names::decompress_values_out(codec))
+            .add(values_out as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,7 +91,7 @@ mod tests {
     #[test]
     fn records_compress_and_decompress_traffic() {
         let obs = Arc::new(Registry::new());
-        let c = ObservedCodec::new(Box::new(RawCodec), Arc::clone(&obs));
+        let c: ObservedCodec = ObservedCodec::new(Box::new(RawCodec), Arc::clone(&obs));
         let data = vec![1.0, 2.0, 3.0];
         let bytes = c.compress(&data).unwrap();
         let back = c.decompress(&bytes, data.len()).unwrap();
@@ -88,6 +105,20 @@ mod tests {
         assert_eq!(snap.counter(&names::decompress_values_out("raw")), 3);
         let ratio = snap.compression_ratio("raw").unwrap();
         assert!((ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompress_into_records_same_traffic() {
+        let obs = Arc::new(Registry::new());
+        let c = ObservedCodec::new(RawCodec, Arc::clone(&obs));
+        let data = vec![4.0, 5.0];
+        let bytes = c.compress(&data).unwrap();
+        let mut out = vec![0.0; data.len()];
+        c.decompress_into(&bytes, &mut out).unwrap();
+        assert_eq!(out, data);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter(&names::decompress_bytes_in("raw")), 16);
+        assert_eq!(snap.counter(&names::decompress_values_out("raw")), 2);
     }
 
     #[test]
@@ -105,5 +136,17 @@ mod tests {
         for (a, b) in data.iter().zip(&back) {
             assert!((a - b).abs() <= 1e-6);
         }
+    }
+
+    #[test]
+    fn generic_inner_keeps_static_dispatch() {
+        // Compiles with a concrete (unboxed) inner codec; `inner()`
+        // returns the concrete type.
+        let obs = Arc::new(Registry::new());
+        let c = ObservedCodec::new(crate::CodecKind::Fpc.build_any(), obs);
+        assert_eq!(c.inner().name(), "fpc");
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let bytes = c.compress(&data).unwrap();
+        assert_eq!(c.decompress(&bytes, 4).unwrap(), data);
     }
 }

@@ -72,6 +72,13 @@ impl<C: Codec> Codec for Chunked<C> {
     }
 
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        let mut out = vec![0.0; n];
+        self.decompress_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        let n = out.len();
         let fail = |m: &str| CodecError::Corrupt(format!("chunked stream: {m}"));
         if bytes.len() < 18 {
             return Err(fail("too short"));
@@ -106,23 +113,16 @@ impl<C: Codec> Codec for Chunked<C> {
             cursor += len;
         }
 
-        let pieces: Vec<Vec<f64>> = spans
-            .par_iter()
-            .enumerate()
-            .map(|(i, &(start, len))| {
-                let elems = if i + 1 == num_chunks {
-                    n - i * chunk_elems
-                } else {
-                    chunk_elems
-                };
-                self.inner.decompress(&bytes[start..start + len], elems)
-            })
-            .collect::<Result<_, _>>()?;
-        let mut out = Vec::with_capacity(n);
-        for p in pieces {
-            out.extend(p);
-        }
-        Ok(out)
+        // Each chunk decodes straight into its disjoint span of `out`:
+        // no per-chunk Vec, no copy-and-concatenate stage. `chunks_mut`
+        // yields exactly `num_chunks` slices (validated above), the last
+        // one sized to the tail.
+        let jobs: Vec<(&mut [f64], (usize, usize))> =
+            out.chunks_mut(chunk_elems).zip(spans).collect();
+        jobs.into_par_iter()
+            .map(|(dst, (start, len))| self.inner.decompress_into(&bytes[start..start + len], dst))
+            .collect::<Result<Vec<()>, _>>()?;
+        Ok(())
     }
 
     fn is_lossless(&self) -> bool {
@@ -227,6 +227,20 @@ mod tests {
             .decompress(&bytes, data.len())
             .unwrap();
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress() {
+        let data = wave(4321);
+        let codec = Chunked::new(ZfpLike::with_tolerance(1e-9), 600);
+        let bytes = codec.compress(&data).unwrap();
+        let via_vec = codec.decompress(&bytes, data.len()).unwrap();
+        let mut via_into = vec![0.0; data.len()];
+        codec.decompress_into(&bytes, &mut via_into).unwrap();
+        assert_eq!(
+            via_vec.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            via_into.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Batched bit-plane transpose for the ZFP-like codecs.
+//!
+//! The scalar group-tested coder walks every `(plane, lane)` pair and
+//! pays one `write_bit`/`read_bit` per coefficient bit. The batched
+//! coder here exploits a closed form of the significance state: a lane
+//! is significant at plane `p` exactly when it has any coefficient bit
+//! *above* `p`, i.e. `sig_k(p) = (u_k >> (p + 1)) != 0`. That makes the
+//! per-plane output a pure function of two lane masks — the plane's
+//! gathered bits and the significance mask — so a whole plane is emitted
+//! with at most three bulk `write_plane` calls (refinement bits, the
+//! group-test bit fused with the significance-test bits) and consumed
+//! with at most three `read_plane` calls. The emitted stream is
+//! **bit-identical** to the scalar coder's: LSB-first packing makes
+//! "low lane index first" and "low bit of the bulk word first" the same
+//! order.
+//!
+//! Lane gather/scatter uses portable `pext`/`pdep` loops over at most
+//! `LANES` set bits; lane counts are 4 (1-D) and 16 (2-D), so no BMI2
+//! intrinsics are needed to keep these cheap.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// Portable parallel bit extract: gather the bits of `v` selected by
+/// `mask` into the low bits of the result, low mask bit first.
+#[inline]
+pub(crate) fn pext(v: u32, mut mask: u32) -> u64 {
+    let mut out = 0u64;
+    let mut i = 0u32;
+    while mask != 0 {
+        let bit = mask & mask.wrapping_neg();
+        if v & bit != 0 {
+            out |= 1u64 << i;
+        }
+        i += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Portable parallel bit deposit: scatter the low bits of `v` into the
+/// positions selected by `mask`, low bit to low mask bit.
+#[inline]
+pub(crate) fn pdep(v: u64, mut mask: u32) -> u32 {
+    let mut out = 0u32;
+    let mut i = 0u32;
+    while mask != 0 {
+        let bit = mask & mask.wrapping_neg();
+        if (v >> i) & 1 == 1 {
+            out |= bit;
+        }
+        i += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Upper bound on the bits one plane can cost: refinement bits for every
+/// lane, the group-test bit, and a significance-test bit for every lane.
+pub(crate) const fn plane_bits_bound(lanes: usize) -> usize {
+    2 * lanes + 1
+}
+
+/// `pdep(v, mask)` for 4-bit masks as a 256-byte table lookup —
+/// branchless where the loop form mispredicts once per set bit.
+static PDEP4: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut mask = 0usize;
+    while mask < 16 {
+        let mut v = 0usize;
+        while v < 16 {
+            let mut out = 0u8;
+            let mut m = mask as u32;
+            let mut i = 0u32;
+            while m != 0 {
+                let bit = m & m.wrapping_neg();
+                if (v >> i) & 1 == 1 {
+                    out |= bit as u8;
+                }
+                i += 1;
+                m &= m - 1;
+            }
+            t[(mask << 4) | v] = out;
+            v += 1;
+        }
+        mask += 1;
+    }
+    t
+};
+
+#[inline]
+fn pdep4(v: u32, mask: u32) -> u32 {
+    debug_assert!(mask < 16 && v < 16);
+    PDEP4[((mask << 4) | v) as usize] as u32
+}
+
+/// `count_ones` for 4-bit values as a nibble LUT packed in one
+/// immediate — the build targets baseline x86-64, where a full
+/// `count_ones` lowers to a ~12-op software popcount.
+#[inline]
+fn popcnt4(v: u32) -> u32 {
+    debug_assert!(v < 16);
+    ((0x4332_3221_3221_2110u64 >> (v << 2)) & 0xF) as u32
+}
+
+/// Transpose up to 16 accumulated plane nibbles onto the per-lane
+/// accumulators. `nib` holds one 4-bit lane set per plane, newest
+/// (lowest) plane in the low nibble; that nibble lands on plane `p_low`.
+/// The stride-4 gather per lane is the classic mask-and-fold compress —
+/// ~13 ops move 16 plane bits, vs 4 ops per plane for a direct scatter.
+#[inline]
+fn flush4<const LANES: usize>(acc: &mut [u64; LANES], nib: u64, p_low: u32) {
+    debug_assert!(LANES <= 4);
+    for (k, slot) in acc.iter_mut().enumerate() {
+        let mut t = (nib >> k) & 0x1111_1111_1111_1111;
+        t = (t | (t >> 3)) & 0x0303_0303_0303_0303;
+        t = (t | (t >> 6)) & 0x000F_000F_000F_000F;
+        t = (t | (t >> 12)) & 0x0000_00FF_0000_00FF;
+        t = (t | (t >> 24)) & 0xFFFF;
+        *slot |= t << p_low;
+    }
+}
+
+/// Emit planes `msb` down to `cutoff` of the negabinary coefficients
+/// `u`, group-tested, bit-identical to the scalar coder. Reserves its
+/// own output bits, so every emit below takes the checked-free
+/// `write_plane` path.
+pub(crate) fn encode_planes<const LANES: usize>(
+    w: &mut BitWriter,
+    u: &[u64; LANES],
+    cutoff: u32,
+    msb: u32,
+) {
+    debug_assert!(LANES <= 32 && msb >= cutoff && msb < 64);
+    let lane_mask: u32 = if LANES == 32 {
+        u32::MAX
+    } else {
+        (1u32 << LANES) - 1
+    };
+
+    // Transpose coefficients to plane masks: pb[p] has lane k's plane-p
+    // bit at bit k. Sparse walk over set bits — smooth blocks have few.
+    let mut pb = [0u32; 64];
+    let below_cutoff = (1u64 << cutoff) - 1; // cutoff <= 62
+    for (k, &coeff) in u.iter().enumerate() {
+        let mut v = coeff & !below_cutoff;
+        while v != 0 {
+            pb[v.trailing_zeros() as usize] |= 1u32 << k;
+            v &= v - 1;
+        }
+    }
+
+    w.reserve_bits((msb - cutoff + 1) as usize * plane_bits_bound(LANES));
+    let mut sig: u32 = 0;
+    for p in (cutoff..=msb).rev() {
+        let bits = pb[p as usize];
+        // Refinement pass: plane bits of already-significant lanes.
+        w.write_plane(pext(bits & sig, sig), sig.count_ones());
+        let ins = !sig & lane_mask;
+        let newly = bits & ins;
+        if newly != 0 {
+            // Group-test bit (1) fused with one significance-test bit
+            // per still-insignificant lane.
+            w.write_plane(1 | (pext(bits, ins) << 1), 1 + ins.count_ones());
+            sig |= newly;
+        } else {
+            w.write_plane(0, 1);
+        }
+    }
+}
+
+/// Consume planes `msb` down to `cutoff` into `u` (which must start
+/// zeroed), mirroring [`encode_planes`].
+///
+/// Hot path: when the stream provably holds the worst-case bit budget
+/// for every remaining plane, each plane is parsed out of a single
+/// `peek_bits` window and consumed with one `skip_bits` — no per-field
+/// bounds checks, and every bit used is within the real stream because
+/// cumulative consumption never exceeds the pre-checked budget. Streams
+/// too short for that guarantee (the tail of a buffer, or corrupt input)
+/// take the field-by-field checked loop, which consumes identically and
+/// surfaces the exhaustion error.
+#[inline]
+pub(crate) fn decode_planes<const LANES: usize>(
+    r: &mut BitReader<'_>,
+    u: &mut [u64; LANES],
+    cutoff: u32,
+    msb: u32,
+) -> Result<(), CodecError> {
+    debug_assert!(LANES <= 32 && msb >= cutoff && msb < 64);
+    let lane_mask: u32 = if LANES == 32 {
+        u32::MAX
+    } else {
+        (1u32 << LANES) - 1
+    };
+    let bound = plane_bits_bound(LANES) as u32;
+    let planes = (msb - cutoff + 1) as usize;
+    if bound <= 56 && r.remaining_bits() >= planes * bound as usize {
+        // Per-plane steps run over a register-resident bit window: up to
+        // 56 peeked bits, refilled (one bulk skip + one peek) only when
+        // fewer than `bound` bits are left, so the common plane costs no
+        // stream calls at all. Control flow exploits the significance
+        // ramp's shape: the group-test bit is set at most `LANES` times
+        // per block, so planes split into long "stretches" with constant
+        // `sig` (and constant consumption) separated by rare
+        // significance events.
+        let mut w = r.peek_bits(56);
+        let mut off: u32 = 0;
+        let mut sig: u32 = 0;
+        let mut rn: u32 = 0; // popcount(sig), maintained across planes
+        let mut acc = [0u64; LANES];
+        let mut p = msb;
+        if LANES <= 4 {
+            // 4-lane specialization: a plane's lane set is a nibble, so
+            // 16 planes accumulate into one u64 and a 4x16 bit transpose
+            // ([`flush4`]) moves them onto the lane accumulators.
+            let mut nib: u64 = 0;
+            let mut cnt: u32 = 0;
+            'blk: loop {
+                if sig == lane_mask {
+                    // Steady state: every lane is significant. The group
+                    // bit still occupies a slot but its value cannot
+                    // matter — a (corrupt) set bit would be followed by
+                    // zero test bits and change nothing — so the rest of
+                    // the block is a fixed-stride run of refinement
+                    // nibbles with no data-dependent control flow, and
+                    // the window/flush checks hoist out of a counted
+                    // inner loop.
+                    let stride = LANES as u32 + 1;
+                    loop {
+                        if off + bound > 56 {
+                            r.skip_bits(off)?;
+                            off = 0;
+                            w = r.peek_bits(56);
+                        }
+                        let fit = ((56 - off) / stride).min(p - cutoff + 1).min(16 - cnt);
+                        for _ in 0..fit {
+                            nib = (nib << 4) | ((w >> off) & lane_mask as u64);
+                            off += stride;
+                        }
+                        cnt += fit;
+                        p -= fit - 1; // plane of the newest nibble
+                        if cnt == 16 {
+                            flush4(&mut acc, nib, p);
+                            nib = 0;
+                            cnt = 0;
+                        }
+                        if p == cutoff {
+                            break 'blk;
+                        }
+                        p -= 1;
+                    }
+                }
+                // Ramp stretch: while the group-test bit is clear no lane
+                // turns significant, so `sig`, `rn`, and the per-plane
+                // consumption are constant — the only loop-carried
+                // dependency is `off += rn + 1`.
+                let rmask = (1u64 << rn) - 1;
+                loop {
+                    if off + bound > 56 {
+                        r.skip_bits(off)?;
+                        off = 0;
+                        w = r.peek_bits(56);
+                    }
+                    let f = w >> off;
+                    if (f >> rn) & 1 == 1 {
+                        // Significance event: the group bit is set, so
+                        // the plane also carries one test bit per
+                        // insignificant lane.
+                        let mut set = pdep4((f & rmask) as u32, sig);
+                        let ins = !sig & lane_mask;
+                        let inn = LANES as u32 - rn;
+                        let sel = (f >> (rn + 1)) as u32 & ((1u32 << inn) - 1);
+                        let newly = pdep4(sel, ins);
+                        sig |= newly;
+                        set |= newly;
+                        off += rn + 1 + inn;
+                        rn = popcnt4(sig);
+                        nib = (nib << 4) | set as u64;
+                        cnt += 1;
+                        if cnt == 16 {
+                            flush4(&mut acc, nib, p);
+                            nib = 0;
+                            cnt = 0;
+                        }
+                        if p == cutoff {
+                            break 'blk;
+                        }
+                        p -= 1;
+                        break; // re-enter with the new sig/rn
+                    }
+                    nib = (nib << 4) | (pdep4((f & rmask) as u32, sig) as u64);
+                    off += rn + 1;
+                    cnt += 1;
+                    if cnt == 16 {
+                        flush4(&mut acc, nib, p);
+                        nib = 0;
+                        cnt = 0;
+                    }
+                    if p == cutoff {
+                        break 'blk;
+                    }
+                    p -= 1;
+                }
+            }
+            if cnt > 0 {
+                flush4(&mut acc, nib, p);
+            }
+        } else {
+            'block: loop {
+                // Stretch loop (see above); wider lane sets scatter each
+                // plane directly instead of nibble-batching.
+                let rmask = (1u64 << rn) - 1;
+                loop {
+                    if off + bound > 56 {
+                        r.skip_bits(off)?;
+                        off = 0;
+                        w = r.peek_bits(56);
+                    }
+                    let f = w >> off;
+                    if (f >> rn) & 1 == 1 {
+                        // Significance event. Consumption matches the
+                        // scalar coder even when `sig` is already full
+                        // (`inn == 0` forces `newly == 0`).
+                        let mut set = pdep(f & rmask, sig);
+                        let ins = !sig & lane_mask;
+                        let inn = LANES as u32 - rn;
+                        let sel = ((f >> (rn + 1)) & ((1u64 << inn) - 1)) as u32;
+                        let newly = pdep(sel as u64, ins);
+                        sig |= newly;
+                        set |= newly;
+                        off += rn + 1 + inn;
+                        for (k, slot) in acc.iter_mut().enumerate() {
+                            *slot |= (((set >> k) & 1) as u64) << p;
+                        }
+                        rn = sig.count_ones();
+                        if p == cutoff {
+                            break 'block;
+                        }
+                        p -= 1;
+                        break; // re-enter the stretch with the new sig/rn
+                    }
+                    let set = pdep(f & rmask, sig);
+                    off += rn + 1;
+                    for (k, slot) in acc.iter_mut().enumerate() {
+                        *slot |= (((set >> k) & 1) as u64) << p;
+                    }
+                    if p == cutoff {
+                        break 'block;
+                    }
+                    p -= 1;
+                }
+            }
+        }
+        r.skip_bits(off)?;
+        for (slot, &a) in u.iter_mut().zip(&acc) {
+            *slot |= a;
+        }
+        return Ok(());
+    }
+    let mut sig: u32 = 0;
+    for p in (cutoff..=msb).rev() {
+        let refine = r.read_plane(sig.count_ones())?;
+        let mut set = pdep(refine, sig);
+        if r.read_bit()? {
+            let ins = !sig & lane_mask;
+            let newly = pdep(r.read_plane(ins.count_ones())?, ins);
+            sig |= newly;
+            set |= newly;
+        }
+        let bit = 1u64 << p;
+        while set != 0 {
+            u[set.trailing_zeros() as usize] |= bit;
+            set &= set - 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pext_pdep_invert() {
+        for mask in [0u32, 1, 0b1010, 0xFFFF, 0b1001_0110] {
+            for v in [0u32, 0xFFFF_FFFF, 0xDEAD_BEEF, 0b0110_1001] {
+                let packed = pext(v, mask);
+                assert_eq!(pdep(packed, mask), v & mask);
+            }
+        }
+        assert_eq!(pext(0b1110, 0b1010), 0b11);
+        assert_eq!(pdep(0b11, 0b1010), 0b1010);
+    }
+
+    #[test]
+    fn planes_roundtrip_matches_input_above_cutoff() {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = [x, x.rotate_left(17), x >> 3, x.wrapping_mul(0x9E37)];
+            let cutoff = (x % 20) as u32;
+            let all = u.iter().fold(0, |a, &b| a | b);
+            if all >> cutoff == 0 {
+                continue;
+            }
+            let msb = 63 - all.leading_zeros();
+            let mut w = BitWriter::new();
+            encode_planes::<4>(&mut w, &u, cutoff, msb);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut back = [0u64; 4];
+            decode_planes::<4>(&mut r, &mut back, cutoff, msb).unwrap();
+            for (orig, dec) in u.iter().zip(&back) {
+                assert_eq!(orig >> cutoff << cutoff, *dec, "cutoff {cutoff}");
+            }
+        }
+    }
+}

@@ -105,6 +105,12 @@ impl Codec for SzLike {
     }
 
     fn decompress(&self, bytes: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
+        let mut out = vec![0.0f64; n];
+        self.decompress_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, len: usize| -> Result<&[u8], CodecError> {
             if *pos + len > bytes.len() {
@@ -134,41 +140,39 @@ impl Codec for SzLike {
         let huff = Huffman::deserialize_table(bytes, &mut pos)?;
         let lit_count =
             u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
-        // Validate against the remaining stream before allocating, so a
-        // corrupted count cannot demand gigabytes.
+        // Validate against the remaining stream before reading, so a
+        // corrupted count cannot demand gigabytes. Literals are then read
+        // straight from the stream slice on demand — no staging Vec.
         if lit_count.saturating_mul(8) > bytes.len() - pos {
             return Err(CodecError::Corrupt(format!(
                 "literal count {lit_count} exceeds stream size"
             )));
         }
-        let mut literals = Vec::with_capacity(lit_count);
-        for _ in 0..lit_count {
-            literals.push(f64::from_le_bytes(
-                take(&mut pos, 8)?.try_into().expect("8 bytes"),
-            ));
-        }
+        let lit_bytes = take(&mut pos, lit_count * 8)?;
         let payload_len =
             u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
         let payload = take(&mut pos, payload_len)?;
 
         let mut reader = BitReader::new(payload);
-        let mut out = Vec::with_capacity(n);
         let mut prev = 0.0f64;
-        let mut lit_iter = literals.into_iter();
-        for _ in 0..n {
+        let mut lit_idx = 0usize;
+        for o in out.iter_mut() {
             let code = huff.decode(&mut reader)?;
             let x = if code == 0 {
-                lit_iter
-                    .next()
-                    .ok_or_else(|| CodecError::Corrupt("missing literal".into()))?
+                if lit_idx >= lit_count {
+                    return Err(CodecError::Corrupt("missing literal".into()));
+                }
+                let off = lit_idx * 8;
+                lit_idx += 1;
+                f64::from_le_bytes(lit_bytes[off..off + 8].try_into().expect("8 bytes"))
             } else {
                 let qi = code as i64 - RADIUS;
                 prev + two_eb * qi as f64
             };
-            out.push(x);
+            *o = x;
             prev = x;
         }
-        Ok(out)
+        Ok(())
     }
 
     fn is_lossless(&self) -> bool {
@@ -184,20 +188,46 @@ impl Codec for SzLike {
 // Canonical Huffman coding over u32 symbols.
 // ---------------------------------------------------------------------------
 
+/// Width of the one-shot decode lookup: codes no longer than this many
+/// bits resolve with a single peek + table index instead of a bit-by-bit
+/// canonical walk. 2^11 entries keep the table cache-resident while
+/// covering every code the quantization distribution produces in
+/// practice.
+const LOOKUP_BITS: u32 = 11;
+
+/// Ceiling for the dense encoder table (entries = max symbol + 1).
+/// Quantization codes stay below `2 * RADIUS`; anything larger (only
+/// possible through hand-built tables) spills to a map so a hostile
+/// stream cannot demand a giant allocation.
+const DENSE_ENC_MAX: usize = 1 << 17;
+
 /// Canonical Huffman code: symbols sorted by (length, symbol) receive
 /// consecutive codes. Only `(symbol, length)` pairs are serialized; both
 /// sides rebuild identical codebooks.
+///
+/// The hot paths are table-driven: encoding is one dense-table index plus
+/// one [`BitWriter::write_bits`] call per symbol (codes are stored
+/// bit-reversed so the LSB-first writer emits them MSB-first on the
+/// wire), and decoding resolves short codes with a single peek into a
+/// `2^LOOKUP_BITS` prefix table. The bit-by-bit canonical walk survives
+/// only as the long-code fallback.
 struct Huffman {
     /// Sorted unique symbols with their code lengths.
     entries: Vec<(u32, u8)>,
-    /// Encoder map: symbol -> (code, length). Codes are MSB-first.
-    enc: std::collections::HashMap<u32, (u64, u8)>,
+    /// Dense encoder table indexed by symbol: (bit-reversed code, length),
+    /// length 0 marking absent symbols. Built only for encode-side use.
+    dense_enc: Vec<(u64, u8)>,
+    /// Encoder spill for symbols at or above [`DENSE_ENC_MAX`].
+    spill_enc: std::collections::HashMap<u32, (u64, u8)>,
     /// Decoder tables per length: first code value and index of first
     /// symbol of that length in `sorted_symbols`.
     first_code: [u64; 65],
     first_index: [usize; 65],
     count_per_len: [usize; 65],
     sorted_symbols: Vec<u32>,
+    /// Prefix lookup: next `LOOKUP_BITS` wire bits (MSB-first) ->
+    /// (symbol, code length); length 0 where no short code matches.
+    lookup: Vec<(u32, u8)>,
 }
 
 impl Huffman {
@@ -209,10 +239,10 @@ impl Huffman {
             *freq.entry(s).or_insert(0) += 1;
         }
         let lengths = huffman_code_lengths(&freq);
-        Self::from_lengths(lengths)
+        Self::from_lengths(lengths, true)
     }
 
-    fn from_lengths(mut lengths: Vec<(u32, u8)>) -> Self {
+    fn from_lengths(mut lengths: Vec<(u32, u8)>, build_encoder: bool) -> Self {
         // Canonical order: by (length, symbol).
         lengths.sort_unstable_by_key(|&(sym, len)| (len, sym));
 
@@ -236,37 +266,90 @@ impl Huffman {
         }
 
         let sorted_symbols: Vec<u32> = lengths.iter().map(|&(s, _)| s).collect();
-        let mut enc = std::collections::HashMap::with_capacity(lengths.len());
+
+        let mut dense_enc = Vec::new();
+        let mut spill_enc = std::collections::HashMap::new();
+        if build_encoder {
+            let dense_len = lengths
+                .iter()
+                .map(|&(sym, _)| sym as usize + 1)
+                .filter(|&l| l <= DENSE_ENC_MAX)
+                .max()
+                .unwrap_or(0);
+            dense_enc = vec![(0u64, 0u8); dense_len];
+            let mut next = first_code;
+            for &(sym, len) in &lengths {
+                let code = next[len as usize];
+                next[len as usize] += 1;
+                // Reverse so the LSB-first writer puts the MSB on the wire
+                // first, matching canonical prefix order.
+                let rev = code.reverse_bits() >> (64 - len as u32);
+                if (sym as usize) < dense_enc.len() {
+                    dense_enc[sym as usize] = (rev, len);
+                } else {
+                    spill_enc.insert(sym, (rev, len));
+                }
+            }
+        }
+
+        let mut lookup = vec![(0u32, 0u8); 1 << LOOKUP_BITS];
         {
             let mut next = first_code;
             for &(sym, len) in &lengths {
-                enc.insert(sym, (next[len as usize], len));
+                let code = next[len as usize];
                 next[len as usize] += 1;
+                if (len as u32) <= LOOKUP_BITS {
+                    let shift = LOOKUP_BITS - len as u32;
+                    let base = (code << shift) as usize;
+                    for slot in &mut lookup[base..base + (1 << shift)] {
+                        *slot = (sym, len);
+                    }
+                }
             }
         }
 
         Self {
             entries: lengths,
-            enc,
+            dense_enc,
+            spill_enc,
             first_code,
             first_index,
             count_per_len,
             sorted_symbols,
+            lookup,
         }
     }
 
+    #[inline]
     fn encode(&self, symbol: u32, w: &mut BitWriter) {
-        let &(code, len) = self
-            .enc
-            .get(&symbol)
-            .expect("symbol was present when the codebook was built");
-        // Emit MSB-first so canonical prefix decoding works.
-        for i in (0..len).rev() {
-            w.write_bit((code >> i) & 1 == 1);
-        }
+        let (rev, len) = if (symbol as usize) < self.dense_enc.len() {
+            self.dense_enc[symbol as usize]
+        } else {
+            self.spill_enc.get(&symbol).copied().unwrap_or((0, 0))
+        };
+        assert!(len != 0, "symbol was present when the codebook was built");
+        w.write_bits(rev, len as u32);
     }
 
+    #[inline]
     fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        // Fast path: index the prefix table with the next LOOKUP_BITS wire
+        // bits. The peek zero-pads past the end; skip_bits bound-checks,
+        // so a truncated stream still errors.
+        let peeked = r.peek_bits(LOOKUP_BITS);
+        let idx = (peeked.reverse_bits() >> (64 - LOOKUP_BITS)) as usize;
+        let (sym, len) = self.lookup[idx];
+        if len != 0 {
+            r.skip_bits(len as u32)?;
+            return Ok(sym);
+        }
+        self.decode_slow(r)
+    }
+
+    /// Bit-by-bit canonical walk for codes longer than [`LOOKUP_BITS`]
+    /// (and the empty-codebook error path).
+    #[cold]
+    fn decode_slow(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
         if self.entries.is_empty() {
             return Err(CodecError::Corrupt("empty huffman codebook".into()));
         }
@@ -320,7 +403,9 @@ impl Huffman {
         if count > 1 && kraft > 1.0 + 1e-9 {
             return Err(CodecError::Corrupt("huffman table violates Kraft".into()));
         }
-        Ok(Self::from_lengths(lengths))
+        // Decode-side tables only: skip the encoder tables so decompress
+        // never pays for them.
+        Ok(Self::from_lengths(lengths, false))
     }
 }
 
@@ -587,6 +672,64 @@ mod tests {
         }
         let mut pos = 0;
         assert!(Huffman::deserialize_table(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn table_driven_encode_matches_per_bit_reference() {
+        let mut symbols = vec![7u32; 1000];
+        symbols.extend(vec![3u32; 100]);
+        symbols.extend(vec![9u32; 10]);
+        symbols.extend(0..200u32);
+        symbols.push(100_000);
+        let h = Huffman::from_symbols(&symbols);
+        // Reference: canonical (code, len) per symbol emitted MSB-first
+        // one bit at a time — the pre-batching wire format.
+        let mut next = h.first_code;
+        let mut codes = std::collections::HashMap::new();
+        for &(sym, len) in &h.entries {
+            codes.insert(sym, (next[len as usize], len));
+            next[len as usize] += 1;
+        }
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut fast);
+            let &(code, len) = codes.get(&s).unwrap();
+            for i in (0..len).rev() {
+                slow.write_bit((code >> i) & 1 == 1);
+            }
+        }
+        assert_eq!(fast.into_bytes(), slow.into_bytes());
+    }
+
+    #[test]
+    fn long_codes_fall_back_to_canonical_walk() {
+        // Kraft-complete set with lengths 1..=19 — codes longer than the
+        // lookup width must round-trip through the slow path.
+        let mut lengths: Vec<(u32, u8)> = (0..19u32).map(|i| (i, (i + 1) as u8)).collect();
+        lengths.push((19, 19));
+        let h = Huffman::from_lengths(lengths, true);
+        let symbols: Vec<u32> = (0..20u32).chain((0..20u32).rev()).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(h.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress() {
+        let data = noise(777, 4.0, 21);
+        let codec = SzLike::with_error_bound(1e-5);
+        let bytes = codec.compress(&data).unwrap();
+        let via_vec = codec.decompress(&bytes, data.len()).unwrap();
+        let mut buf = vec![f64::NAN; data.len()];
+        codec.decompress_into(&bytes, &mut buf).unwrap();
+        assert_eq!(via_vec, buf);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Bit-identity of the batched codec kernels.
+//!
+//! The batched bit-plane coders (u64 plane transpose, single
+//! `write_plane`/`read_plane` calls per plane, run-batched transforms)
+//! must emit *byte-identical* streams to the retired scalar kernels,
+//! which are kept verbatim as `#[doc(hidden)]` oracles in
+//! `zfp_like::oracle` / `zfp2d::oracle`. These tests pin that equivalence
+//! across tolerances, partial final blocks and extreme magnitudes, and
+//! check `decompress_into` against `decompress` for every codec kind.
+
+use canopus_compress::{zfp2d, zfp_like, Codec, CodecKind, ZfpLike, ZfpLike2d};
+use proptest::prelude::*;
+
+/// Finite doubles spanning physics magnitudes plus extremes, with
+/// lengths that exercise empty, single, and partial final blocks.
+fn arb_wild() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            -1e6f64..1e6,
+            -1e-300f64..1e-300,
+            -1e300f64..1e300,
+            Just(0.0f64),
+            Just(-0.0f64),
+        ],
+        0..300,
+    )
+}
+
+/// A 2-D grid: dimensions plus exactly `width * height` values
+/// (oversampled then truncated, since the vendored proptest has no
+/// `prop_flat_map`).
+fn arb_grid() -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (
+        1usize..18,
+        1usize..14,
+        proptest::collection::vec(
+            prop_oneof![-1e6f64..1e6, -1e300f64..1e300, Just(0.0f64)],
+            (17 * 13)..(17 * 13 + 1),
+        ),
+    )
+        .prop_map(|(w, h, mut data)| {
+            data.truncate(w * h);
+            (w, h, data)
+        })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// 1-D: batched encode == scalar encode (byte-identical), batched
+    /// decode of either stream == scalar decode (bit-identical values).
+    #[test]
+    fn batched_kernels_bit_identical(data in arb_wild(), tol_exp in -12i32..-1) {
+        let tol = 10f64.powi(tol_exp);
+        let codec = ZfpLike::with_tolerance(tol);
+        let batched = codec.compress(&data).unwrap();
+        let scalar = zfp_like::oracle::compress(&data, tol).unwrap();
+        prop_assert_eq!(&batched, &scalar, "encoded streams must match byte for byte");
+        let via_scalar = zfp_like::oracle::decompress(&scalar, data.len()).unwrap();
+        let via_batched = codec.decompress(&batched, data.len()).unwrap();
+        prop_assert_eq!(bits(&via_scalar), bits(&via_batched));
+        let mut into = vec![0.0; data.len()];
+        codec.decompress_into(&batched, &mut into).unwrap();
+        prop_assert_eq!(bits(&via_batched), bits(&into));
+    }
+
+    /// 2-D: same equivalence over the 16-lane kernels, including
+    /// edge-replicated partial blocks on ragged grids.
+    #[test]
+    fn batched_kernels_bit_identical_2d((w, h, data) in arb_grid(), tol_exp in -10i32..-1) {
+        let tol = 10f64.powi(tol_exp);
+        let codec = ZfpLike2d::new(w, h, tol);
+        let batched = codec.compress(&data).unwrap();
+        let scalar = zfp2d::oracle::compress(&data, w, h, tol).unwrap();
+        prop_assert_eq!(&batched, &scalar, "encoded streams must match byte for byte");
+        let via_scalar = zfp2d::oracle::decompress(&scalar, w, h).unwrap();
+        let via_batched = codec.decompress(&batched, data.len()).unwrap();
+        prop_assert_eq!(bits(&via_scalar), bits(&via_batched));
+        let mut into = vec![0.0; data.len()];
+        codec.decompress_into(&batched, &mut into).unwrap();
+        prop_assert_eq!(bits(&via_batched), bits(&into));
+    }
+
+    /// Every codec kind: the allocation-lean `decompress_into` agrees
+    /// bit-for-bit with `decompress`, boxed or statically dispatched.
+    #[test]
+    fn decompress_into_matches_decompress_for_all_codecs(
+        data in arb_wild(),
+        which in 0u8..4,
+        bound_exp in -9i32..-1,
+    ) {
+        let bound = 10f64.powi(bound_exp);
+        let kind = match which {
+            0 => CodecKind::Raw,
+            1 => CodecKind::ZfpLike { tolerance: bound },
+            2 => CodecKind::SzLike { error_bound: bound },
+            _ => CodecKind::Fpc,
+        };
+        let boxed = kind.build();
+        let bytes = boxed.compress(&data).unwrap();
+        let via_vec = boxed.decompress(&bytes, data.len()).unwrap();
+        let mut via_into = vec![0.0; data.len()];
+        boxed.decompress_into(&bytes, &mut via_into).unwrap();
+        prop_assert_eq!(bits(&via_vec), bits(&via_into));
+        let mut via_any = vec![0.0; data.len()];
+        kind.build_any().decompress_into(&bytes, &mut via_any).unwrap();
+        prop_assert_eq!(bits(&via_into), bits(&via_any));
+    }
+}

@@ -183,6 +183,66 @@ pub struct CanopusReader {
     /// or contend on the registry's name map.
     cache_hits: Arc<canopus_obs::Counter>,
     cache_misses: Arc<canopus_obs::Counter>,
+    /// Recycled decode output buffers: after warmup the pipelined
+    /// engine's decode workers allocate no output `Vec`s at all.
+    decode_pool: BufferPool,
+}
+
+/// A small free list of decode output buffers.
+///
+/// Decode workers `take` a buffer sized to the block's element count
+/// (reusing a retired buffer's allocation when one is available); the
+/// restore stage `put`s buffers back once their values are scattered or
+/// their level has applied. Hits and misses land on
+/// [`names::READ_DECODE_BUF_HITS`] / [`names::READ_DECODE_BUF_MISSES`],
+/// so steady-state zero-allocation behavior is observable.
+struct BufferPool {
+    bufs: Mutex<Vec<Vec<f64>>>,
+    hits: Arc<canopus_obs::Counter>,
+    misses: Arc<canopus_obs::Counter>,
+}
+
+/// Retired buffers kept around per reader. Bounds pool memory at
+/// `DECODE_POOL_CAP * largest block` while comfortably covering the
+/// deepest pipelines (depth + one per decode worker).
+const DECODE_POOL_CAP: usize = 32;
+
+impl BufferPool {
+    fn new(obs: &Registry) -> Self {
+        Self {
+            bufs: Mutex::new(Vec::new()),
+            hits: obs.counter(names::READ_DECODE_BUF_HITS),
+            misses: obs.counter(names::READ_DECODE_BUF_MISSES),
+        }
+    }
+
+    /// A zeroed buffer of exactly `n` elements, recycled if possible.
+    fn take(&self, n: usize) -> Vec<f64> {
+        let recycled = self.bufs.lock().pop();
+        match recycled {
+            Some(mut b) => {
+                self.hits.inc();
+                b.clear();
+                b.resize(n, 0.0);
+                b
+            }
+            None => {
+                self.misses.inc();
+                vec![0.0; n]
+            }
+        }
+    }
+
+    /// Retire a buffer for reuse (dropped instead once the pool is full).
+    fn put(&self, b: Vec<f64>) {
+        if b.capacity() == 0 {
+            return;
+        }
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < DECODE_POOL_CAP {
+            bufs.push(b);
+        }
+    }
 }
 
 impl CanopusReader {
@@ -190,6 +250,7 @@ impl CanopusReader {
         let obs = Arc::clone(file.hierarchy().metrics());
         let cache_hits = obs.counter(names::READ_CACHE_HITS);
         let cache_misses = obs.counter(names::READ_CACHE_MISSES);
+        let decode_pool = BufferPool::new(&obs);
         Self {
             file,
             estimator,
@@ -200,6 +261,7 @@ impl CanopusReader {
             obs,
             cache_hits,
             cache_misses,
+            decode_pool,
         }
     }
 
@@ -465,30 +527,47 @@ impl CanopusReader {
         bytes: &[u8],
         parent: SpanContext,
     ) -> Result<Vec<f64>, CanopusError> {
+        let mut out = vec![0.0; elements];
+        self.decode_payload_into(key, codec_id, codec_param, bytes, &mut out, parent)?;
+        Ok(out)
+    }
+
+    /// Allocation-free core of [`Self::decode_payload`]: decodes straight
+    /// into `out` (whose length is the element count) through a
+    /// statically dispatched [`AnyCodec`] — no per-block codec box, no
+    /// output `Vec`. The pipelined engine feeds recycled arena buffers
+    /// here.
+    fn decode_payload_into(
+        &self,
+        key: &str,
+        codec_id: u8,
+        codec_param: f64,
+        bytes: &[u8],
+        out: &mut [f64],
+        parent: SpanContext,
+    ) -> Result<(), CanopusError> {
         let _span = stage_child!(self.obs, parent, "decode", key = key);
         let chunked = codec_id & CHUNKED_CODEC_ID_FLAG != 0;
-        let codec: Box<dyn Codec> = match codec_id & !CHUNKED_CODEC_ID_FLAG {
-            0 => CodecKind::Raw.build(),
+        let kind = match codec_id & !CHUNKED_CODEC_ID_FLAG {
+            0 => CodecKind::Raw,
             1 => CodecKind::ZfpLike {
                 tolerance: codec_param,
-            }
-            .build(),
+            },
             2 => CodecKind::SzLike {
                 error_bound: codec_param,
-            }
-            .build(),
-            3 => CodecKind::Fpc.build(),
+            },
+            3 => CodecKind::Fpc,
             id => {
                 return Err(CanopusError::Invalid(format!("unknown codec id {id}")));
             }
         };
-        let codec = ObservedCodec::new(codec, Arc::clone(&self.obs));
+        let codec = ObservedCodec::new(kind.build_any(), Arc::clone(&self.obs));
         let t = Instant::now();
-        let values = if chunked {
-            Chunked::for_decode(codec).decompress(bytes, elements)?
+        if chunked {
+            Chunked::for_decode(codec).decompress_into(bytes, out)?;
         } else {
-            codec.decompress(bytes, elements)?
-        };
+            codec.decompress_into(bytes, out)?;
+        }
         let decode_secs = t.elapsed().as_secs_f64();
         self.obs
             .timer(names::READ_DECOMPRESS)
@@ -498,8 +577,8 @@ impl CanopusReader {
             .observe_secs(decode_secs);
         self.obs
             .counter(names::READ_VALUES_DECODED)
-            .add(values.len() as u64);
-        Ok(values)
+            .add(out.len() as u64);
+        Ok(())
     }
 
     /// Decode a whole block to its values in storage order: a plain
@@ -512,10 +591,32 @@ impl CanopusReader {
         bytes: &Bytes,
         parent: SpanContext,
     ) -> Result<Vec<f64>, CanopusError> {
+        let mut values = vec![0.0; block.elements as usize];
+        self.decode_block_values_into(block, bytes, &mut values, parent)?;
+        Ok(values)
+    }
+
+    /// In-place [`Self::decode_block_values`]: shard chunks decode
+    /// directly into their disjoint spans of `out` (no per-chunk staging
+    /// `Vec`), and `out.len()` must equal the block's element count.
+    fn decode_block_values_into(
+        &self,
+        block: &BlockMeta,
+        bytes: &Bytes,
+        out: &mut [f64],
+        parent: SpanContext,
+    ) -> Result<(), CanopusError> {
         if block.chunks.is_empty() {
-            return self.decode_block(block, bytes, parent);
+            return self.decode_payload_into(
+                &block.key,
+                block.codec_id,
+                block.codec_param,
+                bytes,
+                out,
+                parent,
+            );
         }
-        let mut values = Vec::with_capacity(block.elements as usize);
+        let mut filled = 0usize;
         for e in &block.chunks {
             let end = (e.offset + e.len) as usize;
             if end > bytes.len() {
@@ -528,17 +629,35 @@ impl CanopusReader {
                     bytes.len()
                 )));
             }
-            let chunk = self.decode_payload(
+            let elems = e.elements as usize;
+            if filled + elems > out.len() {
+                return Err(CanopusError::Invalid(format!(
+                    "shard {} chunk elements overflow block: {} + {} > {}",
+                    block.key,
+                    filled,
+                    elems,
+                    out.len()
+                )));
+            }
+            self.decode_payload_into(
                 &block.key,
                 e.codec_id,
                 block.codec_param,
-                e.elements as usize,
                 &bytes[e.offset as usize..end],
+                &mut out[filled..filled + elems],
                 parent,
             )?;
-            values.extend_from_slice(&chunk);
+            filled += elems;
         }
-        Ok(values)
+        if filled != out.len() {
+            return Err(CanopusError::Invalid(format!(
+                "shard {} chunks cover {} of {} elements",
+                block.key,
+                filled,
+                out.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Ranged fetch of one spatial chunk out of a shard block, with the
@@ -1376,8 +1495,20 @@ impl CanopusReader {
                         let decoded = fetched.and_then(|(idx, bytes, io, enqueued)| {
                             queue_wait.observe_secs(enqueued.elapsed().as_secs_f64());
                             let t = Instant::now();
-                            self.decode_block_values(&jobs[idx].block, &bytes, ctx)
-                                .map(|values| (idx, values, io, t.elapsed().as_secs_f64()))
+                            let mut values =
+                                self.decode_pool.take(jobs[idx].block.elements as usize);
+                            match self.decode_block_values_into(
+                                &jobs[idx].block,
+                                &bytes,
+                                &mut values,
+                                ctx,
+                            ) {
+                                Ok(()) => Ok((idx, values, io, t.elapsed().as_secs_f64())),
+                                Err(e) => {
+                                    self.decode_pool.put(values);
+                                    Err(e)
+                                }
+                            }
                         });
                         if done_tx.send(decoded).is_err() {
                             break;
@@ -1427,10 +1558,14 @@ impl CanopusReader {
                                 state.delta.len()
                             )));
                         }
-                        state.delta = values;
+                        // The monolithic delta adopts the decoded buffer
+                        // wholesale; retire the placeholder it replaces.
+                        self.decode_pool
+                            .put(std::mem::replace(&mut state.delta, values));
                     }
                     Some(assignment) if !job.block.chunks.is_empty() => {
                         scatter_shard_values(&job.block, &values, assignment, &mut state.delta)?;
+                        self.decode_pool.put(values);
                     }
                     Some(assignment) => {
                         let ids = &assignment[job.chunk_idx];
@@ -1445,6 +1580,7 @@ impl CanopusReader {
                         for (&vid, &val) in ids.iter().zip(&values) {
                             state.delta[vid as usize] = val;
                         }
+                        self.decode_pool.put(values);
                     }
                 }
                 state.remaining -= 1;
@@ -1474,6 +1610,7 @@ impl CanopusReader {
                     } else {
                         (delta.iter().map(|d| d * d).sum::<f64>() / delta.len() as f64).sqrt()
                     };
+                    self.decode_pool.put(delta);
                     // `st` is done once its level applies; steal the mesh
                     // instead of cloning it for every restored level.
                     cur = ReadOutcome {
@@ -1778,6 +1915,32 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(max_err <= 3.0 * 1e-5 * range * 2.0, "err {max_err}");
+    }
+
+    #[test]
+    fn pipelined_decode_pool_recycles_buffers() {
+        let (c, mesh, data) = setup(RelativeCodec::ZfpLike {
+            rel_tolerance: 1e-6,
+        });
+        c.write("t.bp", "v", &mesh, &data).unwrap();
+        let serial = c.open("t.bp").unwrap();
+        let expect = serial.read_level("v", 0).unwrap();
+        let reader = c.open("t.bp").unwrap().with_pipeline_depth(4);
+        let first = reader.read_level("v", 0).unwrap();
+        let again = reader.read_level("v", 0).unwrap();
+        for out in [&first, &again] {
+            assert_eq!(
+                out.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "arena-backed pipelined decode must match the serial engine"
+            );
+        }
+        let snap = reader.obs.snapshot();
+        assert!(
+            snap.counter(names::READ_DECODE_BUF_HITS) > 0,
+            "repeat pipelined reads should reuse retired decode buffers"
+        );
+        assert!(snap.counter(names::READ_DECODE_BUF_MISSES) > 0);
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub const READ_OVERLAP: &str = "canopus.read.overlap_secs";
 /// Counter: restores that went through the pipelined engine.
 pub const READ_PIPELINED_RESTORES: &str = "canopus.read.pipelined_restores";
 
+// ---- core read path: decode buffer recycling --------------------------
+/// Counter: decode output buffers served from the restore pipeline's
+/// recycling pool (steady-state decodes allocate nothing).
+pub const READ_DECODE_BUF_HITS: &str = "canopus.read.decode_buf_hits";
+/// Counter: decode output buffers freshly allocated because the pool
+/// was empty (warmup, or deeper pipelining than ever before).
+pub const READ_DECODE_BUF_MISSES: &str = "canopus.read.decode_buf_misses";
+
 // ---- core read path: fault recovery ----------------------------------
 /// Counter: block fetches retried after a transient fault.
 pub const READ_RETRIES: &str = "canopus.read.retries";

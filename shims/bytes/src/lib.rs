@@ -2,16 +2,18 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of the `bytes` API Canopus actually uses: an
-//! immutable, cheaply-clonable byte buffer backed by an `Arc<[u8]>`.
+//! immutable, cheaply-clonable byte buffer backed by an `Arc<Vec<u8>>`.
 //! Clones share the allocation, matching the upstream cost model that the
-//! storage device relies on ("cheap clone of a refcounted buffer").
+//! storage device relies on ("cheap clone of a refcounted buffer"), and
+//! `From<Vec<u8>>` adopts the vector's heap block without copying — the
+//! property the zero-copy fetch→decode read path depends on.
 
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -30,13 +32,7 @@ impl Bytes {
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        let data: Arc<[u8]> = Arc::from(data);
-        let end = data.len();
-        Self {
-            data,
-            start: 0,
-            end,
-        }
+        Self::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
@@ -67,11 +63,13 @@ impl Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts `v`'s heap allocation: no copy, no reallocation. The
+    /// fetch→decode hot path hands device payloads across threads this
+    /// way, so pointer identity is load-bearing (and pinned by test).
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = Arc::from(v);
-        let end = data.len();
+        let end = v.len();
         Self {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -171,6 +169,19 @@ mod tests {
         let s = b.slice(2..5);
         assert_eq!(s.as_slice(), &[2, 3, 4]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn from_vec_adopts_allocation_zero_copy() {
+        let v = vec![9u8, 8, 7, 6];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+        // Slices and clones keep pointing into the same allocation.
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice().as_ptr(), ptr.wrapping_add(1));
+        let c = b.clone();
+        assert_eq!(c.as_slice().as_ptr(), ptr);
     }
 
     #[test]

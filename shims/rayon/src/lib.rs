@@ -231,9 +231,22 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter::over(self.chunks_mut(chunk_size).collect())
+    }
+}
+
 pub mod prelude {
     pub use crate::{
         FromParVec, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice,
+        ParallelSliceMut,
     };
 }
 
@@ -281,6 +294,17 @@ mod tests {
             .flat_map_iter(|c| c.iter().map(|&x| x * 2).collect::<Vec<_>>())
             .collect();
         assert_eq!(doubled, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_in_place() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + i;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
     }
 
     #[test]
