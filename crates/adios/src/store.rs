@@ -76,6 +76,12 @@ impl BpStore {
         &self.hierarchy
     }
 
+    /// Shared handle to the hierarchy (for long-lived workers that
+    /// outlive a borrow, e.g. the adaptive tier maintainer).
+    pub fn hierarchy_arc(&self) -> Arc<StorageHierarchy> {
+        Arc::clone(&self.hierarchy)
+    }
+
     /// Write a file: place every block per the policy (blocks must come
     /// ordered base-first, deltas coarse→fine — the writer in
     /// `canopus` core produces that order), then store the global

@@ -1,0 +1,105 @@
+//! `bench_tier` — adaptive vs static tier placement.
+//!
+//! ```text
+//! bench_tier [--out BENCH_tier.json]
+//! ```
+//!
+//! A zipfian read workload whose hot set rotates mid-run hits a
+//! two-tier hierarchy twice over the identical seeded request stream:
+//! once with placement frozen where the objects were written (static),
+//! once with the adaptive tier maintainer promoting hot objects and
+//! demoting cold ones (see `canopus::tiering` and `docs/storage.md`).
+//! Prints a summary table and writes the machine-readable report.
+//! `CANOPUS_SCALE=quick` selects the reduced workload used in CI smoke
+//! runs; the checked-in `BENCH_tier.json` comes from a paper-scale run.
+
+use canopus_bench::setup::Scale;
+use canopus_bench::table;
+use canopus_bench::tierbench::{self, TierWorkload};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_flag_value(&mut args, "--out").unwrap_or_else(|| "BENCH_tier.json".into());
+    if let Some(extra) = args.first() {
+        eprintln!("unknown argument {extra:?}");
+        eprintln!("usage: bench_tier [--out BENCH_tier.json]");
+        std::process::exit(2);
+    }
+
+    let scale = Scale::from_env();
+    let workload = if scale == Scale::Paper {
+        TierWorkload::paper()
+    } else {
+        TierWorkload::quick()
+    };
+    println!(
+        "# Adaptive tiering benchmark — {} objects x {} B, {} zipf({}) reads, hot set rotates at read {}\n",
+        workload.objects,
+        workload.object_bytes,
+        workload.reads,
+        workload.zipf_s,
+        workload.reads / 2,
+    );
+    let report = tierbench::tier_bench(&workload);
+
+    let rows: Vec<Vec<String>> = report
+        .modes
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.to_string(),
+                table::secs(m.sim_read_secs),
+                format!(
+                    "{:.1}%",
+                    100.0 * m.fast_tier_hits as f64 / report.reads as f64
+                ),
+                m.promotions.to_string(),
+                m.demotions.to_string(),
+                m.maintain_ticks.to_string(),
+                m.lost.to_string(),
+                m.corrupted.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "mode",
+                "sim read",
+                "fast hits",
+                "promoted",
+                "demoted",
+                "ticks",
+                "lost",
+                "corrupt"
+            ],
+            &rows
+        )
+    );
+    if let (Some(s), Some(a)) = (report.mode("static"), report.mode("adaptive")) {
+        println!(
+            "adaptive / static read cost: {:.3}x",
+            a.sim_read_secs / s.sim_read_secs.max(1e-12)
+        );
+    }
+
+    let json = report.to_json().to_pretty() + "\n";
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}

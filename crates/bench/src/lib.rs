@@ -16,6 +16,7 @@
 //! | [`readbench`] | restore-engine perf trajectory (`BENCH_read.json`) |
 //! | [`servebench`] | multi-tenant serving throughput + tail latency (`BENCH_serve.json`) |
 //! | [`faultbench`] | fault-injected recovery costs (`BENCH_faults.json`) |
+//! | [`tierbench`] | adaptive vs static tier placement under a shifting zipfian workload (`BENCH_tier.json`) |
 //! | [`histsum`] | per-report histogram summaries + the `bench_guard` regression check |
 //! | [`ablation`] | smoothness validation, estimator/codec/priority/refactorer/mapping ablations |
 //! | [`extensions`] | focused-retrieval region sweep, campaign query pushdown |
@@ -35,4 +36,5 @@ pub mod readbench;
 pub mod servebench;
 pub mod setup;
 pub mod table;
+pub mod tierbench;
 pub mod writebench;

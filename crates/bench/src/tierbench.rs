@@ -1,0 +1,383 @@
+//! Adaptive-tiering benchmark: the numbers behind `BENCH_tier.json`.
+//!
+//! A two-tier hierarchy (small fast tier over a big slow one) serves a
+//! zipfian key-value read workload whose hot set **rotates halfway
+//! through the run** — the ScaleStore-style skew shift that a write-time
+//! placement can never follow. Two modes run the identical seeded
+//! request stream:
+//!
+//! * `static` — placement frozen where the objects were written (the
+//!   slow tier), exactly what the pre-adaptive engine did;
+//! * `adaptive` — a [`TierMigrator`] ticks every `maintain_every` reads,
+//!   promoting hot objects into the fast tier and demoting cold ones
+//!   under capacity pressure.
+//!
+//! The comparison metric is the **sum of per-read simulated durations**,
+//! not the SimClock total: migrations themselves advance the shared
+//! clock, so summing what each read actually cost isolates the workload
+//! the tenant sees from the maintenance traffic behind it. After each
+//! run every object is read back and compared against its seeded
+//! payload — `lost`/`corrupted` must be zero, which is the migration
+//! fault-safety guarantee measured end-to-end under live traffic.
+
+use crate::histsum;
+use canopus::{TierMigrator, TieringPolicy};
+use canopus_obs::{json::Value, names, HistogramStat};
+use canopus_storage::{StorageHierarchy, TierSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape shared by both modes.
+#[derive(Debug, Clone, Copy)]
+pub struct TierWorkload {
+    /// Distinct objects, all initially written to the slow tier.
+    pub objects: usize,
+    /// Payload bytes per object.
+    pub object_bytes: usize,
+    /// Total reads issued.
+    pub reads: u64,
+    /// Zipf exponent of the rank-frequency skew (paper-adjacent YCSB
+    /// skew is ~0.99–1.2).
+    pub zipf_s: f64,
+    /// Seed of the request stream.
+    pub seed: u64,
+    /// Reads between `maintain` ticks in the adaptive mode.
+    pub maintain_every: u64,
+}
+
+impl TierWorkload {
+    /// Quick (CI smoke) scale.
+    pub fn quick() -> Self {
+        Self {
+            objects: 48,
+            object_bytes: 4 << 10,
+            reads: 2000,
+            zipf_s: 1.1,
+            seed: 42,
+            maintain_every: 32,
+        }
+    }
+
+    /// Paper-adjacent scale for the checked-in report.
+    pub fn paper() -> Self {
+        Self {
+            objects: 256,
+            object_bytes: 16 << 10,
+            reads: 12_000,
+            zipf_s: 1.1,
+            seed: 42,
+            maintain_every: 32,
+        }
+    }
+}
+
+/// What one mode's run measured.
+#[derive(Debug, Clone)]
+pub struct TierSample {
+    pub label: &'static str,
+    /// Sum of per-read simulated durations (the tenant-visible cost).
+    pub sim_read_secs: f64,
+    /// Host wall seconds, context only.
+    pub wall_secs: f64,
+    /// Reads served from the fast tier.
+    pub fast_tier_hits: u64,
+    pub promotions: u64,
+    pub demotions: u64,
+    pub maintain_ticks: u64,
+    pub migration_partials: u64,
+    /// Objects unreadable after the run (must be 0).
+    pub lost: u64,
+    /// Objects whose bytes differ from the seeded payload (must be 0).
+    pub corrupted: u64,
+}
+
+/// Everything `BENCH_tier.json` records.
+#[derive(Debug, Clone)]
+pub struct TierBenchReport {
+    pub objects: usize,
+    pub object_bytes: usize,
+    pub reads: u64,
+    pub zipf_s: f64,
+    pub seed: u64,
+    /// Read index at which the hot set rotates.
+    pub shift_at: u64,
+    pub modes: Vec<TierSample>,
+    /// Histograms of the adaptive run (`.sim` entries deterministic).
+    pub histograms: BTreeMap<String, HistogramStat>,
+}
+
+impl TierBenchReport {
+    pub fn mode(&self, label: &str) -> Option<&TierSample> {
+        self.modes.iter().find(|m| m.label == label)
+    }
+
+    pub fn to_json(&self) -> Value {
+        let modes: Vec<Value> = self
+            .modes
+            .iter()
+            .map(|m| {
+                let mut o = BTreeMap::new();
+                o.insert("label".into(), Value::Str(m.label.into()));
+                o.insert("sim_read_secs".into(), Value::Float(m.sim_read_secs));
+                o.insert("wall_secs".into(), Value::Float(m.wall_secs));
+                o.insert(
+                    "fast_tier_hits".into(),
+                    Value::Int(m.fast_tier_hits as i128),
+                );
+                o.insert("promotions".into(), Value::Int(m.promotions as i128));
+                o.insert("demotions".into(), Value::Int(m.demotions as i128));
+                o.insert(
+                    "maintain_ticks".into(),
+                    Value::Int(m.maintain_ticks as i128),
+                );
+                o.insert(
+                    "migration_partials".into(),
+                    Value::Int(m.migration_partials as i128),
+                );
+                o.insert("lost".into(), Value::Int(m.lost as i128));
+                o.insert("corrupted".into(), Value::Int(m.corrupted as i128));
+                Value::Obj(o)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("bench".into(), Value::Str("tier".into()));
+        top.insert("objects".into(), Value::Int(self.objects as i128));
+        top.insert("object_bytes".into(), Value::Int(self.object_bytes as i128));
+        top.insert("reads".into(), Value::Int(self.reads as i128));
+        top.insert("zipf_s".into(), Value::Float(self.zipf_s));
+        top.insert("seed".into(), Value::Int(self.seed as i128));
+        top.insert("shift_at".into(), Value::Int(self.shift_at as i128));
+        top.insert("modes".into(), Value::Arr(modes));
+        top.insert(
+            "histograms".into(),
+            histsum::summaries_json(&self.histograms),
+        );
+        Value::Obj(top)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zipfian rank sampler over `n` ranks with exponent `s`: a precomputed
+/// CDF binary-searched with splitmix64 draws — deterministic per seed.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Rank (0-based, 0 = hottest) for draw number `i` of `seed`.
+    fn rank(&self, seed: u64, i: u64) -> usize {
+        let bits = splitmix64(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Deterministic payload of object `i` (distinct per object so
+/// cross-object mixups surface as corruption, not just loss).
+fn payload(i: usize, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    let mut x = splitmix64(i as u64);
+    for chunk in out.chunks_mut(8) {
+        x = splitmix64(x);
+        let bytes = x.to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+    out
+}
+
+fn key(i: usize) -> String {
+    format!("obj/{i:04}")
+}
+
+/// Fast tier holds ~1/4 of the working set (so placement *matters*),
+/// slow tier holds everything with slack. Titan-like asymmetry: DRAM
+/// bandwidth over PFS bandwidth, three orders of magnitude apart.
+fn tier_hierarchy(total_bytes: u64) -> Arc<StorageHierarchy> {
+    Arc::new(StorageHierarchy::new(vec![
+        TierSpec::new("tmpfs", (total_bytes / 4).max(1 << 16), 2e9, 1.5e9, 2e-6),
+        TierSpec::new("lustre", 8 * total_bytes.max(1 << 16), 2e6, 1.5e6, 5e-3),
+    ]))
+}
+
+/// The hot-set rotation: after the shift, rank `r` maps to a different
+/// object, so yesterday's hot objects go cold instantly.
+fn object_for(rank: usize, objects: usize, shifted: bool) -> usize {
+    if shifted {
+        (rank + objects / 2) % objects
+    } else {
+        rank
+    }
+}
+
+fn run_mode(w: &TierWorkload, adaptive: bool) -> (TierSample, BTreeMap<String, HistogramStat>) {
+    let total = (w.objects * w.object_bytes) as u64;
+    let h = tier_hierarchy(total);
+    for i in 0..w.objects {
+        h.write_to_tier(1, &key(i), payload(i, w.object_bytes).into())
+            .expect("seed write");
+    }
+    let migrator = adaptive.then(|| {
+        TierMigrator::new(
+            Arc::clone(&h),
+            TieringPolicy {
+                max_moves_per_tick: 16,
+                ..TieringPolicy::default()
+            },
+        )
+    });
+
+    let zipf = Zipf::new(w.objects, w.zipf_s);
+    let shift_at = w.reads / 2;
+    let started = Instant::now();
+    let mut sim_read_secs = 0.0;
+    let mut fast_tier_hits = 0u64;
+    for i in 0..w.reads {
+        let rank = zipf.rank(w.seed, i);
+        let obj = object_for(rank, w.objects, i >= shift_at);
+        let (_, tier, dt) = h.read(&key(obj)).expect("workload read");
+        sim_read_secs += dt.seconds();
+        if tier == 0 {
+            fast_tier_hits += 1;
+        }
+        if let Some(m) = &migrator {
+            if (i + 1) % w.maintain_every.max(1) == 0 {
+                m.maintain();
+            }
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // End-to-end no-loss check under the traffic that just ran.
+    let (mut lost, mut corrupted) = (0u64, 0u64);
+    for i in 0..w.objects {
+        match h.read(&key(i)) {
+            Ok((data, _, _)) => {
+                if data != payload(i, w.object_bytes) {
+                    corrupted += 1;
+                }
+            }
+            Err(_) => lost += 1,
+        }
+    }
+
+    let m = h.metrics();
+    let sample = TierSample {
+        label: if adaptive { "adaptive" } else { "static" },
+        sim_read_secs,
+        wall_secs,
+        fast_tier_hits,
+        promotions: m.counter(names::TIER_PROMOTIONS).get(),
+        demotions: m.counter(names::TIER_DEMOTIONS).get(),
+        maintain_ticks: m.counter(names::TIER_MAINTAIN_TICKS).get(),
+        migration_partials: m.counter(names::MIGRATION_PARTIALS).get(),
+        lost,
+        corrupted,
+    };
+    (sample, histsum::summaries(&m.snapshot()))
+}
+
+/// Run both modes over the identical request stream; the report carries
+/// the adaptive run's histogram trajectory (the one `bench_guard` pins).
+pub fn tier_bench(w: &TierWorkload) -> TierBenchReport {
+    let (static_sample, _) = run_mode(w, false);
+    let (adaptive_sample, histograms) = run_mode(w, true);
+    TierBenchReport {
+        objects: w.objects,
+        object_bytes: w.object_bytes,
+        reads: w.reads,
+        zipf_s: w.zipf_s,
+        seed: w.seed,
+        shift_at: w.reads / 2,
+        modes: vec![static_sample, adaptive_sample],
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 1.1);
+        let mut counts = vec![0u64; 100];
+        for i in 0..10_000 {
+            counts[z.rank(7, i)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        assert!(counts[0] > 1000, "rank 0 dominates: {}", counts[0]);
+        let replay = Zipf::new(100, 1.1);
+        for i in 0..100 {
+            assert_eq!(z.rank(7, i), replay.rank(7, i));
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_the_shifted_workload() {
+        let w = TierWorkload {
+            objects: 32,
+            object_bytes: 1 << 10,
+            reads: 800,
+            ..TierWorkload::quick()
+        };
+        let r = tier_bench(&w);
+        let s = r.mode("static").unwrap();
+        let a = r.mode("adaptive").unwrap();
+        assert_eq!(s.lost + a.lost, 0, "no object may be lost");
+        assert_eq!(s.corrupted + a.corrupted, 0, "no object may corrupt");
+        assert_eq!(s.promotions, 0, "static mode never migrates");
+        assert!(a.promotions > 0, "adaptive mode promotes: {a:?}");
+        assert!(
+            a.fast_tier_hits > s.fast_tier_hits,
+            "hot set lands on the fast tier"
+        );
+        assert!(
+            a.sim_read_secs < s.sim_read_secs,
+            "adaptive read cost {} must beat static {}",
+            a.sim_read_secs,
+            s.sim_read_secs
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let w = TierWorkload {
+            objects: 16,
+            object_bytes: 512,
+            reads: 200,
+            ..TierWorkload::quick()
+        };
+        let r = tier_bench(&w);
+        let text = r.to_json().to_pretty();
+        let parsed = canopus_obs::json::parse(&text).expect("valid json");
+        assert!(parsed.get("modes").is_some());
+        assert!(parsed.get("shift_at").is_some());
+        let hists = parsed.get("histograms").expect("histograms section");
+        assert!(
+            hists.get(&names::tier_read_latency_sim(0)).is_some(),
+            "adaptive run reads the fast tier"
+        );
+    }
+}

@@ -50,11 +50,17 @@ commands:
       counters show planned vs fetched vs skipped)
   serve <store> <file.bp> <var> [--workers W] [--queue Q] [--clients N]
         [--requests R] [--seed S] [--quick-pct P] [--region-pct P]
+        [--adaptive-tier] [--adaptive-tier-hits K]
+        [--adaptive-tier-interval-ms MS]
       start the shared serving layer (bounded queue + worker pool with a
       reserved QuickLook lane) and drive it with a seeded closed-loop
       workload: N clients each issue R requests mixing QuickLook base
       reads, FullAccuracy level restores and region refines; prints
-      throughput and per-class queue-wait / latency tails
+      throughput and per-class queue-wait / latency tails.
+      --adaptive-tier arms workload-adaptive tiering: reads feed a
+      per-key heat model and a background maintainer promotes hot
+      objects up / demotes cold ones under capacity pressure
+      (promotion after K hot hits, one maintenance tick every MS ms)
   metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
           [--no-cache] [--fault-* ...] [--retry-attempts N]
           [--out metrics.json] [--prom]
@@ -485,7 +491,7 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     use canopus_mesh::geometry::{Aabb, Point2};
     use canopus_obs::names;
 
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["adaptive-tier"])?;
     let store_dir = a.pos(0, "store directory")?;
     let file = a.pos(1, "file name")?;
     let var = a.pos(2, "variable name")?;
@@ -500,12 +506,20 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     if quick_pct + region_pct > 100 {
         return Err("--quick-pct + --region-pct must not exceed 100".into());
     }
+    let adaptive = a.flag("adaptive-tier");
+    let tiering = canopus::TieringPolicy {
+        promote_hits: a.opt_parse("adaptive-tier-hits", defaults.tiering.promote_hits)?,
+        interval_ms: a.opt_parse("adaptive-tier-interval-ms", defaults.tiering.interval_ms)?,
+        ..defaults.tiering
+    };
 
     let canopus = canopus_for(
         store_dir,
         CanopusConfig {
             serve_workers: workers,
             serve_queue: queue,
+            adaptive_tiering: adaptive,
+            tiering,
             ..defaults
         },
     )?;
@@ -608,6 +622,15 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
             wait.p99_secs() * 1e3,
             lat.p50_secs() * 1e3,
             lat.p99_secs() * 1e3,
+        );
+    }
+    if adaptive {
+        println!(
+            "  tiering ticks={} promotions={} demotions={} tracked-keys={}",
+            obs.counter(names::TIER_MAINTAIN_TICKS).get(),
+            obs.counter(names::TIER_PROMOTIONS).get(),
+            obs.counter(names::TIER_DEMOTIONS).get(),
+            obs.gauge(names::TIER_TRACKED_KEYS).get(),
         );
     }
     Ok(())
@@ -1271,6 +1294,25 @@ mod tests {
             "5",
             "--seed",
             "7",
+        ]))
+        .unwrap();
+        // Adaptive tiering knobs arm the background maintainer.
+        run(&s(&[
+            "serve",
+            store,
+            "x.bp",
+            "dpot",
+            "--workers",
+            "2",
+            "--clients",
+            "2",
+            "--requests",
+            "4",
+            "--adaptive-tier",
+            "--adaptive-tier-hits",
+            "2",
+            "--adaptive-tier-interval-ms",
+            "1",
         ]))
         .unwrap();
         // An impossible mix errors cleanly.

@@ -51,6 +51,7 @@
 
 use crate::error::CanopusError;
 use crate::read::{CanopusReader, ReadOutcome, RegionStats};
+use crate::tiering::TierMigrator;
 use crate::write::Canopus;
 use canopus_mesh::Aabb;
 use canopus_obs::{names, Counter, Gauge, Histogram, Registry};
@@ -392,12 +393,50 @@ fn worker_loop(shared: &Shared, quick_only: bool) {
     }
 }
 
+/// The background adaptive-tiering thread: one [`TierMigrator`] ticked
+/// every `TieringPolicy::interval_ms` until the service drops. The stop
+/// flag lives under its own mutex + condvar so shutdown interrupts a
+/// sleeping maintainer immediately instead of waiting out the interval.
+struct Maintainer {
+    handle: JoinHandle<()>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Maintainer {
+    fn spawn(migrator: TierMigrator, interval: Duration) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("canopus-tier-maintain".into())
+            .spawn(move || {
+                let (lock, cv) = &*flag;
+                let mut stopped = lock.lock().unwrap();
+                loop {
+                    let (guard, _) = cv.wait_timeout(stopped, interval).unwrap();
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    // Tick without holding the stop lock: a maintain
+                    // pass does tier I/O and must not delay shutdown's
+                    // flag flip (it only delays the join).
+                    drop(stopped);
+                    migrator.maintain();
+                    stopped = lock.lock().unwrap();
+                }
+            })
+            .expect("spawn tier maintainer");
+        Self { handle, stop }
+    }
+}
+
 /// The shared serving layer: a bounded admission queue and a worker
 /// pool over one [`Canopus`] engine. See the module docs for the
 /// scheduling and shutdown semantics.
 pub struct CanopusService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    maintainer: Option<Maintainer>,
 }
 
 impl CanopusService {
@@ -442,10 +481,22 @@ impl CanopusService {
                     .expect("spawn serve worker")
             })
             .collect();
+        let maintainer = config.adaptive_tiering.then(|| {
+            let migrator = TierMigrator::new(shared.canopus.hierarchy_arc(), config.tiering);
+            let interval = Duration::from_millis(config.tiering.interval_ms.max(1));
+            Maintainer::spawn(migrator, interval)
+        });
         Self {
             shared,
             workers: handles,
+            maintainer,
         }
+    }
+
+    /// Whether a background tier maintainer is running
+    /// (`CanopusConfig::adaptive_tiering`).
+    pub fn maintains_tiers(&self) -> bool {
+        self.maintainer.is_some()
     }
 
     /// Number of worker threads (including the reserved quick lane).
@@ -527,6 +578,14 @@ impl Drop for CanopusService {
         self.shared.space.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(maintainer) = self.maintainer.take() {
+            {
+                let (lock, cv) = &*maintainer.stop;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            let _ = maintainer.handle.join();
         }
     }
 }
@@ -648,6 +707,54 @@ mod tests {
         assert!(ok.is_ok());
         let snap = service.metrics().snapshot();
         assert_eq!(snap.counter(names::SERVE_FAILED), 1);
+    }
+
+    #[test]
+    fn adaptive_service_runs_the_maintainer_and_still_serves() {
+        let ds = xgc1_dataset_sized(8, 40, 3);
+        let raw = (ds.data.len() * 8) as u64;
+        let canopus = Canopus::new(
+            Arc::new(StorageHierarchy::titan_two_tier(raw / 4, raw * 64)),
+            CanopusConfig {
+                refactor: RefactorConfig {
+                    num_levels: 3,
+                    ..Default::default()
+                },
+                codec: RelativeCodec::Raw,
+                serve_workers: 2,
+                adaptive_tiering: true,
+                tiering: crate::tiering::TieringPolicy {
+                    interval_ms: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        canopus.write("s.bp", ds.var, &ds.mesh, &ds.data).unwrap();
+        let canopus = Arc::new(canopus);
+        let metrics = Arc::clone(canopus.metrics());
+        {
+            let service = CanopusService::start(Arc::clone(&canopus));
+            assert!(service.maintains_tiers());
+            let resp = service
+                .submit(ServeRequest::Base {
+                    file: "s.bp".into(),
+                    var: "dpot".into(),
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert!(!resp.outcome.data.is_empty());
+            // Give the 1 ms maintainer time to tick at least once.
+            std::thread::sleep(Duration::from_millis(50));
+        } // drop stops the maintainer promptly (no interval-long hang)
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counter(names::TIER_MAINTAIN_TICKS) >= 1,
+            "background maintainer ticked"
+        );
+        let disabled = CanopusService::start(engine(2, 4));
+        assert!(!disabled.maintains_tiers(), "default config: no maintainer");
     }
 
     #[test]

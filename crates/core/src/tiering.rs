@@ -1,0 +1,659 @@
+//! Workload-adaptive tier placement (closing the paper's §IV-B loop).
+//!
+//! Canopus §IV-B concedes that "data migration and eviction will play an
+//! integral part, which needs to be developed". The storage crate
+//! provides the primitives (fault-safe [`StorageHierarchy::migrate`],
+//! LRU [`make_room`](StorageHierarchy::make_room), an EWMA
+//! [`AccessTracker`](canopus_storage::AccessTracker)); this module
+//! provides the *policy* that drives them from the observed workload,
+//! in the spirit of ScaleStore's dynamic DRAM/NVMe residency decisions:
+//!
+//! * **Demotion under capacity pressure only.** A tier above its high
+//!   watermark demotes its coldest objects downward until it drops to
+//!   the low watermark. Tiers below the high watermark are never
+//!   touched — placement stays sticky when there is no pressure.
+//! * **Promotion with hysteresis.** An object is promoted toward tier 0
+//!   only once it has accumulated `promote_hits` accesses, and only
+//!   into *headroom* (the destination stays at or below its high
+//!   watermark). When no faster tier has headroom, a **swap** displaces
+//!   resident objects — but only those whose heat is at least
+//!   `swap_margin`× colder than the candidate, so two objects of equal
+//!   heat can never displace each other back and forth (no ping-pong).
+//! * **Cooldown.** A key moved in the last `cooldown_ticks` maintenance
+//!   ticks is frozen: it is neither promoted, demoted, nor displaced.
+//! * **Bounded work.** One [`TierMigrator::maintain`] tick performs at
+//!   most `max_moves_per_tick` migrations, so a tick's cost is bounded
+//!   regardless of backlog; the next tick continues where it stopped.
+//!
+//! Everything is driven by the tracker's *logical* access clock and the
+//! hierarchy's [`SimClock`](canopus_storage::SimClock) — `maintain` is
+//! deterministic for a given access sequence and safe to call from
+//! tests, benchmarks, or the background worker in
+//! [`CanopusService`](crate::serve::CanopusService).
+
+use canopus_obs::names;
+use canopus_storage::{HeatEntry, SimDuration, StorageHierarchy};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Knobs of the adaptive tiering policy. All fields have conservative
+/// defaults; the zero-cost way to disable the subsystem entirely is
+/// `CanopusConfig::adaptive_tiering = false` (the default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieringPolicy {
+    /// Accesses a key must accumulate before it is promotion-eligible.
+    pub promote_hits: u64,
+    /// Occupancy fraction above which a tier demotes (capacity
+    /// pressure) and at or below which promotions may land.
+    pub high_watermark: f64,
+    /// Occupancy fraction a pressured tier demotes down to.
+    pub low_watermark: f64,
+    /// Maintenance ticks a just-moved key is frozen for.
+    pub cooldown_ticks: u64,
+    /// Migration budget of one `maintain` tick.
+    pub max_moves_per_tick: u32,
+    /// Sleep between background `maintain` ticks in
+    /// [`CanopusService`](crate::serve::CanopusService), milliseconds.
+    pub interval_ms: u64,
+    /// A promotion candidate may displace a resident object only if
+    /// `candidate_heat >= resident_heat * swap_margin`. Values > 1 give
+    /// hysteresis: equally hot objects never swap places.
+    pub swap_margin: f64,
+}
+
+impl TieringPolicy {
+    pub const fn new() -> Self {
+        Self {
+            promote_hits: 3,
+            high_watermark: 0.90,
+            low_watermark: 0.70,
+            cooldown_ticks: 4,
+            max_moves_per_tick: 8,
+            interval_ms: 25,
+            swap_margin: 2.0,
+        }
+    }
+}
+
+impl Default for TieringPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one [`TierMigrator::maintain`] tick did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MaintainReport {
+    /// Objects moved to a faster tier.
+    pub promotions: u32,
+    /// Objects moved to a slower tier (pressure demotions + swap
+    /// displacements).
+    pub demotions: u32,
+    pub bytes_promoted: u64,
+    pub bytes_demoted: u64,
+    /// Moves the policy wanted but skipped (cooldown, no room below,
+    /// or a faulted migration that left the source intact).
+    pub skipped: u32,
+    /// Simulated time the migrations cost.
+    pub time: SimDuration,
+}
+
+impl MaintainReport {
+    /// Total objects moved this tick.
+    pub fn moves(&self) -> u32 {
+        self.promotions + self.demotions
+    }
+}
+
+/// The policy engine: owns the tick counter and per-key cooldown state,
+/// borrows the hierarchy's tracker. Create one per hierarchy; `maintain`
+/// takes `&self` and is safe to call concurrently with readers (the
+/// read path tolerates a key mid-flight between tiers).
+pub struct TierMigrator {
+    hierarchy: Arc<StorageHierarchy>,
+    policy: TieringPolicy,
+    tick: AtomicU64,
+    last_moved: Mutex<HashMap<String, u64>>,
+}
+
+impl TierMigrator {
+    /// Build a migrator and enable access tracking on the hierarchy so
+    /// subsequent reads feed the heat model.
+    pub fn new(hierarchy: Arc<StorageHierarchy>, policy: TieringPolicy) -> Self {
+        hierarchy.enable_access_tracking();
+        Self {
+            hierarchy,
+            policy,
+            tick: AtomicU64::new(0),
+            last_moved: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn policy(&self) -> &TieringPolicy {
+        &self.policy
+    }
+
+    /// Maintenance ticks run so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// One deterministic maintenance tick: demote pressured tiers, then
+    /// promote hot eligible keys, within this tick's move budget.
+    pub fn maintain(&self) -> MaintainReport {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let obs = Arc::clone(self.hierarchy.metrics());
+        obs.counter(names::TIER_MAINTAIN_TICKS).inc();
+
+        let entries = self.hierarchy.access_tracker().entries();
+        let mut heat: HashMap<&str, f64> = HashMap::with_capacity(entries.len());
+        let mut total_heat = 0.0;
+        for e in &entries {
+            heat.insert(e.key.as_str(), e.heat);
+            total_heat += e.heat;
+        }
+        obs.gauge(names::TIER_HEAT).set(total_heat.round() as i64);
+        obs.gauge(names::TIER_TRACKED_KEYS)
+            .set(entries.len() as i64);
+
+        let mut report = MaintainReport::default();
+        self.demote_pressured(tick, &heat, &mut report);
+        self.promote_hot(tick, &entries, &heat, &mut report);
+
+        if report.promotions > 0 {
+            obs.counter(names::TIER_PROMOTIONS)
+                .add(report.promotions as u64);
+        }
+        if report.demotions > 0 {
+            obs.counter(names::TIER_DEMOTIONS)
+                .add(report.demotions as u64);
+        }
+        if report.skipped > 0 {
+            obs.counter(names::TIER_MOVE_SKIPS)
+                .add(report.skipped as u64);
+        }
+        self.prune_cooldowns(tick);
+        report
+    }
+
+    /// Phase 1: every tier above its high watermark demotes its coldest
+    /// unfrozen objects to the first lower tier with room until it
+    /// reaches the low watermark (or the move budget runs out).
+    fn demote_pressured(&self, tick: u64, heat: &HashMap<&str, f64>, report: &mut MaintainReport) {
+        let h = &self.hierarchy;
+        let tracker = h.access_tracker();
+        for tier in 0..h.num_tiers().saturating_sub(1) {
+            let Ok(device) = h.tier_device(tier) else {
+                continue;
+            };
+            let capacity = device.capacity().max(1) as f64;
+            if device.used() as f64 / capacity <= self.policy.high_watermark {
+                continue;
+            }
+            let target_used = (self.policy.low_watermark * capacity) as u64;
+            // Coldest first; never-read keys (heat 0) lead, ties broken
+            // by recency then key for determinism.
+            let mut victims: Vec<String> = device.keys();
+            victims.sort_by(|a, b| {
+                let ha = heat.get(a.as_str()).copied().unwrap_or(0.0);
+                let hb = heat.get(b.as_str()).copied().unwrap_or(0.0);
+                ha.total_cmp(&hb)
+                    .then_with(|| tracker.last_access(a).cmp(&tracker.last_access(b)))
+                    .then_with(|| a.cmp(b))
+            });
+            for victim in victims {
+                if device.used() <= target_used {
+                    break;
+                }
+                if report.moves() >= self.policy.max_moves_per_tick {
+                    return;
+                }
+                if self.in_cooldown(&victim, tick) {
+                    report.skipped += 1;
+                    continue;
+                }
+                match self.demote_to_lower(&victim, tier) {
+                    Some((size, dt)) => {
+                        report.demotions += 1;
+                        report.bytes_demoted += size;
+                        report.time += dt;
+                        self.mark_moved(&victim, tick);
+                    }
+                    None => report.skipped += 1,
+                }
+            }
+        }
+    }
+
+    /// Phase 2: hottest promotion-eligible keys move up — into headroom
+    /// when a faster tier has it, else by displacing sufficiently colder
+    /// residents (the swap path).
+    fn promote_hot(
+        &self,
+        tick: u64,
+        entries: &[HeatEntry],
+        heat: &HashMap<&str, f64>,
+        report: &mut MaintainReport,
+    ) {
+        let h = &self.hierarchy;
+        let mut candidates: Vec<&HeatEntry> = entries
+            .iter()
+            .filter(|e| e.hits >= self.policy.promote_hits)
+            .collect();
+        // Hottest first, key-tiebroken for determinism.
+        candidates.sort_by(|a, b| b.heat.total_cmp(&a.heat).then_with(|| a.key.cmp(&b.key)));
+
+        for cand in candidates {
+            if report.moves() >= self.policy.max_moves_per_tick {
+                return;
+            }
+            // Tracked keys may have been deleted, or already be on the
+            // fastest tier.
+            let Ok(current) = h.find(&cand.key) else {
+                continue;
+            };
+            if current == 0 {
+                continue;
+            }
+            if self.in_cooldown(&cand.key, tick) {
+                report.skipped += 1;
+                continue;
+            }
+            let Ok(size) = h.tier_device(current).and_then(|d| d.size_of(&cand.key)) else {
+                continue;
+            };
+            let mut promoted = false;
+            for target in 0..current {
+                if self.has_headroom(target, size) {
+                    promoted = self.promote_into(cand, target, size, report, tick);
+                    break;
+                }
+                if self.swap_into(cand, target, size, heat, report, tick) {
+                    promoted = true;
+                    break;
+                }
+            }
+            if !promoted {
+                report.skipped += 1;
+            }
+        }
+    }
+
+    /// Destination has room for `size` without crossing its high
+    /// watermark.
+    fn has_headroom(&self, tier: usize, size: u64) -> bool {
+        let Ok(device) = self.hierarchy.tier_device(tier) else {
+            return false;
+        };
+        let cap = device.capacity();
+        device.available() >= size
+            && (device.used() + size) as f64 <= self.policy.high_watermark * cap as f64
+    }
+
+    fn promote_into(
+        &self,
+        cand: &HeatEntry,
+        target: usize,
+        size: u64,
+        report: &mut MaintainReport,
+        tick: u64,
+    ) -> bool {
+        match self.hierarchy.migrate(&cand.key, target) {
+            Ok(dt) => {
+                report.promotions += 1;
+                report.bytes_promoted += size;
+                report.time += dt;
+                self.mark_moved(&cand.key, tick);
+                true
+            }
+            Err(_) => {
+                // migrate's guarantee: the source copy survived.
+                report.skipped += 1;
+                false
+            }
+        }
+    }
+
+    /// Displace residents of `target` that are at least `swap_margin`×
+    /// colder than the candidate (and unfrozen), then promote the
+    /// candidate into the space. Returns false without moving anything
+    /// when the displaceable set cannot make enough room.
+    fn swap_into(
+        &self,
+        cand: &HeatEntry,
+        target: usize,
+        size: u64,
+        heat: &HashMap<&str, f64>,
+        report: &mut MaintainReport,
+        tick: u64,
+    ) -> bool {
+        let h = &self.hierarchy;
+        let Ok(device) = h.tier_device(target) else {
+            return false;
+        };
+        if device.capacity() < size {
+            return false;
+        }
+        // The swap must create real *headroom*: after displacement the
+        // tier holds `used - displaced + size` and still sits at or
+        // below the high watermark — swaps never bypass the watermark,
+        // they clear space under it.
+        let allowed = (self.policy.high_watermark * device.capacity() as f64) as u64;
+        let needed = (device.used() + size).saturating_sub(allowed);
+        if needed == 0 {
+            // Capacity-fit without displacement (racing writes freed
+            // space since the headroom check); just promote.
+            return self.promote_into(cand, target, size, report, tick);
+        }
+        let tracker = h.access_tracker();
+        // Coldest displaceable residents first.
+        let mut residents: Vec<String> = device
+            .keys()
+            .into_iter()
+            .filter(|k| {
+                let rh = heat.get(k.as_str()).copied().unwrap_or(0.0);
+                !self.in_cooldown(k, tick) && cand.heat >= rh * self.policy.swap_margin
+            })
+            .collect();
+        residents.sort_by(|a, b| {
+            let ha = heat.get(a.as_str()).copied().unwrap_or(0.0);
+            let hb = heat.get(b.as_str()).copied().unwrap_or(0.0);
+            ha.total_cmp(&hb)
+                .then_with(|| tracker.last_access(a).cmp(&tracker.last_access(b)))
+                .then_with(|| a.cmp(b))
+        });
+        // Dry-run: can the displaceable set free enough within budget?
+        let budget = self
+            .policy
+            .max_moves_per_tick
+            .saturating_sub(report.moves() + 1); // +1 reserves the promotion itself
+        let mut displaced = 0u64;
+        let mut plan: Vec<String> = Vec::new();
+        for k in residents {
+            if displaced >= needed || plan.len() as u32 >= budget {
+                break;
+            }
+            // A victim only counts if some lower tier can absorb it
+            // right now — otherwise its demotion would fail and strand
+            // the swap halfway through the plan.
+            let Ok(ksize) = device.size_of(&k) else {
+                continue;
+            };
+            if self.lower_tier_with_room(target, ksize).is_none() {
+                continue;
+            }
+            displaced += ksize;
+            plan.push(k);
+        }
+        if displaced < needed {
+            return false;
+        }
+        for victim in plan {
+            match self.demote_to_lower(&victim, target) {
+                Some((vsize, dt)) => {
+                    report.demotions += 1;
+                    report.bytes_demoted += vsize;
+                    report.time += dt;
+                    self.mark_moved(&victim, tick);
+                }
+                None => {
+                    // Displacement faulted; abort the swap, nothing lost.
+                    report.skipped += 1;
+                    return false;
+                }
+            }
+        }
+        self.promote_into(cand, target, size, report, tick)
+    }
+
+    /// First tier below `tier` that can hold `size` bytes right now.
+    fn lower_tier_with_room(&self, tier: usize, size: u64) -> Option<usize> {
+        (tier + 1..self.hierarchy.num_tiers()).find(|&lower| {
+            match self.hierarchy.tier_device(lower) {
+                Ok(d) => d.available() >= size,
+                Err(_) => false,
+            }
+        })
+    }
+
+    /// Demote `key` off `tier` to the first lower tier with room.
+    fn demote_to_lower(&self, key: &str, tier: usize) -> Option<(u64, SimDuration)> {
+        let size = self.hierarchy.tier_device(tier).ok()?.size_of(key).ok()?;
+        let lower = self.lower_tier_with_room(tier, size)?;
+        match self.hierarchy.migrate(key, lower) {
+            Ok(dt) => Some((size, dt)),
+            Err(_) => None,
+        }
+    }
+
+    fn in_cooldown(&self, key: &str, tick: u64) -> bool {
+        self.last_moved
+            .lock()
+            .get(key)
+            .is_some_and(|&moved| tick.saturating_sub(moved) < self.policy.cooldown_ticks)
+    }
+
+    fn mark_moved(&self, key: &str, tick: u64) {
+        self.last_moved.lock().insert(key.to_string(), tick);
+    }
+
+    /// Drop cooldown records that can no longer freeze anything.
+    fn prune_cooldowns(&self, tick: u64) {
+        let horizon = self.policy.cooldown_ticks;
+        self.last_moved
+            .lock()
+            .retain(|_, &mut moved| tick.saturating_sub(moved) < horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use canopus_storage::TierSpec;
+
+    fn two_tier(fast: u64, slow: u64) -> Arc<StorageHierarchy> {
+        Arc::new(StorageHierarchy::new(vec![
+            TierSpec::new("fast", fast, 1000.0, 1000.0, 0.0),
+            TierSpec::new("slow", slow, 10.0, 10.0, 0.0),
+        ]))
+    }
+
+    #[test]
+    fn default_policy_is_conservative() {
+        let p = TieringPolicy::default();
+        assert_eq!(p.promote_hits, 3);
+        assert!(p.high_watermark > p.low_watermark);
+        assert!(p.swap_margin > 1.0, "margin > 1 is what kills ping-pong");
+        assert!(p.cooldown_ticks > 0);
+        assert!(p.max_moves_per_tick > 0);
+    }
+
+    #[test]
+    fn hot_keys_promote_into_headroom() {
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        for i in 0..4 {
+            h.write_to_tier(1, &format!("k{i}"), Bytes::from(vec![0u8; 100]))
+                .unwrap();
+        }
+        // k0 crosses the promote_hits bar; the others stay cold.
+        for _ in 0..5 {
+            h.read("k0").unwrap();
+        }
+        let r = m.maintain();
+        assert_eq!(r.promotions, 1, "only the hot key moves: {r:?}");
+        assert_eq!(r.bytes_promoted, 100);
+        assert_eq!(h.find("k0").unwrap(), 0);
+        for i in 1..4 {
+            assert_eq!(h.find(&format!("k{i}")).unwrap(), 1, "cold keys stay");
+        }
+        let snap = h.metrics().snapshot();
+        assert_eq!(snap.counter(names::TIER_PROMOTIONS), 1);
+        assert!(snap.counter(names::TIER_MAINTAIN_TICKS) >= 1);
+    }
+
+    #[test]
+    fn cold_keys_never_promote() {
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        h.write_to_tier(1, "once", Bytes::from(vec![0u8; 50]))
+            .unwrap();
+        h.read("once").unwrap(); // 1 hit < promote_hits
+        let r = m.maintain();
+        assert_eq!(r.promotions, 0);
+        assert_eq!(h.find("once").unwrap(), 1);
+    }
+
+    #[test]
+    fn pressure_demotes_coldest_down_to_low_watermark() {
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        // 95% occupancy on the fast tier: over the 0.90 high watermark.
+        for i in 0..19 {
+            h.write_to_tier(0, &format!("k{i:02}"), Bytes::from(vec![0u8; 50]))
+                .unwrap();
+        }
+        // Heat everything except the two coldest.
+        for i in 2..19 {
+            for _ in 0..3 {
+                h.read(&format!("k{i:02}")).unwrap();
+            }
+        }
+        let r = m.maintain();
+        assert!(r.demotions > 0, "pressure must demote: {r:?}");
+        assert!(
+            h.tier_device(0).unwrap().used() as f64 <= 0.70 * 1000.0,
+            "drains to the low watermark"
+        );
+        // The never-read keys went first.
+        assert_eq!(h.find("k00").unwrap(), 1);
+        assert_eq!(h.find("k01").unwrap(), 1);
+    }
+
+    #[test]
+    fn no_pressure_means_no_demotions() {
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        for i in 0..5 {
+            h.write_to_tier(0, &format!("k{i}"), Bytes::from(vec![0u8; 100]))
+                .unwrap();
+        }
+        let r = m.maintain();
+        assert_eq!(r.demotions, 0, "50% occupancy is not pressure");
+        assert_eq!(r.promotions, 0);
+    }
+
+    #[test]
+    fn swap_displaces_only_much_colder_residents() {
+        // Fast tier sitting exactly at the high watermark (900/1000, no
+        // pressure, no headroom): a promotion can only land by
+        // displacing a resident, and only a margin-colder one.
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        for i in 0..9 {
+            h.write_to_tier(0, &format!("res{i}"), Bytes::from(vec![0u8; 100]))
+                .unwrap();
+        }
+        h.write_to_tier(1, "rival", Bytes::from(vec![0u8; 100]))
+            .unwrap();
+        // Comparable heat everywhere: swap_margin forbids displacement.
+        for _ in 0..4 {
+            for i in 0..9 {
+                h.read(&format!("res{i}")).unwrap();
+            }
+            h.read("rival").unwrap();
+        }
+        let r = m.maintain();
+        assert_eq!(r.promotions, 0, "equal heat must not swap: {r:?}");
+        assert_eq!(r.demotions, 0, "no pressure, no demotions: {r:?}");
+        assert_eq!(h.find("rival").unwrap(), 1);
+        // Now make the rival decisively hotter than the residents.
+        for _ in 0..40 {
+            h.read("rival").unwrap();
+        }
+        let r = m.maintain();
+        assert_eq!(r.promotions, 1, "2x hotter rival swaps in: {r:?}");
+        assert_eq!(r.demotions, 1, "exactly one resident displaced: {r:?}");
+        assert_eq!(h.find("rival").unwrap(), 0);
+        // The watermark still holds after the swap.
+        assert!(h.tier_device(0).unwrap().used() <= 900);
+    }
+
+    #[test]
+    fn cooldown_freezes_recently_moved_keys() {
+        let h = two_tier(100, 10_000);
+        let policy = TieringPolicy {
+            cooldown_ticks: 10,
+            ..TieringPolicy::default()
+        };
+        let m = TierMigrator::new(Arc::clone(&h), policy);
+        h.write_to_tier(1, "k", Bytes::from(vec![0u8; 50])).unwrap();
+        for _ in 0..5 {
+            h.read("k").unwrap();
+        }
+        assert_eq!(m.maintain().promotions, 1);
+        assert_eq!(h.find("k").unwrap(), 0);
+        // Pressure the tier with a *hotter* newcomer: the coldest key is
+        // now the frozen "k", which must be skipped, so the pressure
+        // falls through to the next victim.
+        h.write_to_tier(0, "fill", Bytes::from(vec![0u8; 45]))
+            .unwrap(); // 95% full
+        for _ in 0..8 {
+            h.read("fill").unwrap();
+        }
+        let r = m.maintain();
+        assert_eq!(h.find("k").unwrap(), 0, "cooldown pins the new arrival");
+        assert_eq!(
+            h.find("fill").unwrap(),
+            1,
+            "pressure demoted the next victim"
+        );
+        assert!(r.skipped > 0, "the frozen candidate is counted: {r:?}");
+    }
+
+    #[test]
+    fn move_budget_bounds_one_tick() {
+        let h = two_tier(1000, 10_000);
+        let policy = TieringPolicy {
+            max_moves_per_tick: 2,
+            ..TieringPolicy::default()
+        };
+        let m = TierMigrator::new(Arc::clone(&h), policy);
+        for i in 0..10 {
+            let key = format!("k{i}");
+            h.write_to_tier(1, &key, Bytes::from(vec![0u8; 10]))
+                .unwrap();
+            for _ in 0..5 {
+                h.read(&key).unwrap();
+            }
+        }
+        let r = m.maintain();
+        assert_eq!(r.moves(), 2, "budget caps the tick: {r:?}");
+        let r = m.maintain();
+        assert_eq!(r.moves(), 2, "the next tick continues");
+    }
+
+    #[test]
+    fn maintain_is_deterministic_for_a_given_sequence() {
+        let run = || {
+            let h = two_tier(300, 10_000);
+            let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+            for i in 0..8 {
+                h.write_to_tier(1, &format!("k{i}"), Bytes::from(vec![0u8; 60]))
+                    .unwrap();
+            }
+            for _ in 0..6 {
+                h.read("k3").unwrap();
+                h.read("k5").unwrap();
+            }
+            let r1 = m.maintain();
+            let r2 = m.maintain();
+            let placement: Vec<usize> = (0..8).map(|i| h.find(&format!("k{i}")).unwrap()).collect();
+            (r1, r2, placement)
+        };
+        assert_eq!(run(), run());
+    }
+}

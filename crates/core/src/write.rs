@@ -207,6 +207,11 @@ impl Canopus {
         if !config.fault.is_none() {
             hierarchy.set_fault_plan_all(config.fault);
         }
+        // Adaptive tiering needs per-key heat from day one: arm the
+        // tracker before any reads so the policy never sees a cold map.
+        if config.adaptive_tiering {
+            hierarchy.enable_access_tracking();
+        }
         Self {
             store: BpStore::with_policy(hierarchy, config.policy),
             config,
@@ -223,6 +228,11 @@ impl Canopus {
 
     pub fn hierarchy(&self) -> &StorageHierarchy {
         self.store.hierarchy()
+    }
+
+    /// Shared handle to the hierarchy (see [`BpStore::hierarchy_arc`]).
+    pub fn hierarchy_arc(&self) -> Arc<StorageHierarchy> {
+        self.store.hierarchy_arc()
     }
 
     /// The shared observability registry (anchored on the hierarchy).

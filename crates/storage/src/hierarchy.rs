@@ -22,6 +22,7 @@ use crate::clock::{SimClock, SimDuration};
 use crate::device::Device;
 use crate::error::StorageError;
 use crate::fault::{corrupt_payload, FaultOp, FaultPlan};
+use crate::migration::AccessTracker;
 use crate::tier::TierSpec;
 use bytes::Bytes;
 use canopus_obs::{names, Registry};
@@ -100,6 +101,12 @@ pub struct StorageHierarchy {
     /// Fast path: false ⇒ no tier has an active [`FaultPlan`], and the
     /// read/write paths skip fault bookkeeping entirely.
     faults_enabled: AtomicBool,
+    /// Per-key recency/heat bookkeeping fed by the read path when
+    /// [`enable_access_tracking`](Self::enable_access_tracking) has been
+    /// called (adaptive tiering). Off by default: plain reads skip the
+    /// tracker's lock entirely.
+    tracker: AccessTracker,
+    tracking_enabled: AtomicBool,
 }
 
 impl StorageHierarchy {
@@ -121,6 +128,8 @@ impl StorageHierarchy {
             clock: SimClock::new(),
             obs: Arc::new(Registry::new()),
             faults_enabled: AtomicBool::new(false),
+            tracker: AccessTracker::new(),
+            tracking_enabled: AtomicBool::new(false),
         }
     }
 
@@ -145,6 +154,8 @@ impl StorageHierarchy {
             clock: SimClock::new(),
             obs: Arc::new(Registry::new()),
             faults_enabled: AtomicBool::new(false),
+            tracker: AccessTracker::new(),
+            tracking_enabled: AtomicBool::new(false),
         })
     }
 
@@ -207,6 +218,25 @@ impl StorageHierarchy {
     /// layered on top of it.
     pub fn metrics(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// Turn on per-key access tracking: every successful `read` /
+    /// `read_range` records recency and EWMA heat in
+    /// [`access_tracker`](Self::access_tracker). Idempotent; there is no
+    /// way back — the adaptive tiering policy depends on the feed.
+    pub fn enable_access_tracking(&self) {
+        self.tracking_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the read path currently feeds the access tracker.
+    pub fn access_tracking_enabled(&self) -> bool {
+        self.tracking_enabled.load(Ordering::Relaxed)
+    }
+
+    /// The hierarchy's recency/heat tracker (empty until
+    /// [`enable_access_tracking`](Self::enable_access_tracking)).
+    pub fn access_tracker(&self) -> &AccessTracker {
+        &self.tracker
     }
 
     /// Attach (or clear, with [`FaultPlan::none`]) a fault schedule on
@@ -350,21 +380,62 @@ impl StorageHierarchy {
         self.obs
             .gauge(names::STORAGE_INFLIGHT_READS_PEAK)
             .set_max(inflight.get());
-        let out = self.read_inner(key);
+        let out = self.read_inner(key, true);
         inflight.sub(1);
         out
     }
 
-    fn read_inner(&self, key: &str) -> Result<(Bytes, usize, SimDuration), StorageError> {
-        let idx = self.find(key)?;
+    /// The read `migrate` uses for its accounted source fetch: identical
+    /// to [`read`](Self::read) except the access tracker is not touched —
+    /// migration traffic must not heat the keys it moves.
+    pub(crate) fn read_for_migration(
+        &self,
+        key: &str,
+    ) -> Result<(Bytes, usize, SimDuration), StorageError> {
+        let inflight = self.obs.gauge(names::STORAGE_INFLIGHT_READS);
+        inflight.add(1);
+        self.obs
+            .gauge(names::STORAGE_INFLIGHT_READS_PEAK)
+            .set_max(inflight.get());
+        let out = self.read_inner(key, false);
+        inflight.sub(1);
+        out
+    }
+
+    /// Locate `key` and fetch its bytes, tolerating a concurrent
+    /// migration: between `find` and the device `get` the copy-verify-
+    /// then-remove window may shift the object to another tier, turning
+    /// the device read into a spurious `NotFound` while the object very
+    /// much exists — so re-find and retry a bounded number of times.
+    /// `NotFound` is only surfaced once `find` itself fails.
+    fn locate_and_get(
+        &self,
+        key: &str,
+    ) -> Result<(Bytes, usize, SimDuration, Option<u64>), StorageError> {
+        for _ in 0..4 {
+            let idx = self.find(key)?;
+            let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
+                self.inject(idx, FaultOp::GetError, key)?
+            } else {
+                (SimDuration::ZERO, None)
+            };
+            match self.tiers[idx].device.get(key) {
+                Ok(data) => return Ok((data, idx, extra, corrupt)),
+                Err(StorageError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StorageError::NotFound(key.to_string()))
+    }
+
+    fn read_inner(
+        &self,
+        key: &str,
+        track: bool,
+    ) -> Result<(Bytes, usize, SimDuration), StorageError> {
         let wall = Instant::now();
+        let (data, idx, extra, corrupt) = self.locate_and_get(key)?;
         let tier = &self.tiers[idx];
-        let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
-            self.inject(idx, FaultOp::GetError, key)?
-        } else {
-            (SimDuration::ZERO, None)
-        };
-        let data = tier.device.get(key)?;
         let data = match corrupt {
             Some(hash) => corrupt_payload(data, hash),
             None => data,
@@ -390,6 +461,9 @@ impl StorageHierarchy {
         self.obs
             .histogram(&names::tier_read_latency_sim(idx))
             .observe_secs(dt.seconds());
+        if track && self.tracking_enabled.load(Ordering::Relaxed) {
+            self.tracker.touch(key);
+        }
         Ok((data, idx, dt))
     }
 
@@ -421,15 +495,27 @@ impl StorageHierarchy {
         offset: u64,
         len: u64,
     ) -> Result<(Bytes, usize, SimDuration), StorageError> {
-        let idx = self.find(key)?;
         let wall = Instant::now();
-        let tier = &self.tiers[idx];
-        let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
-            self.inject(idx, FaultOp::GetError, key)?
-        } else {
-            (SimDuration::ZERO, None)
+        // Same migration-race tolerance as `read`: a concurrent
+        // copy-verify-then-remove may shift the object between `find`
+        // and the device read — re-find instead of failing spuriously.
+        let (data, idx, extra, corrupt) = 'located: {
+            for _ in 0..4 {
+                let idx = self.find(key)?;
+                let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
+                    self.inject(idx, FaultOp::GetError, key)?
+                } else {
+                    (SimDuration::ZERO, None)
+                };
+                match self.tiers[idx].device.get_range(key, offset, len) {
+                    Ok(data) => break 'located (data, idx, extra, corrupt),
+                    Err(StorageError::NotFound(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            return Err(StorageError::NotFound(key.to_string()));
         };
-        let data = tier.device.get_range(key, offset, len)?;
+        let tier = &self.tiers[idx];
         let data = match corrupt {
             Some(hash) => corrupt_payload(data, hash),
             None => data,
@@ -455,13 +541,20 @@ impl StorageHierarchy {
         self.obs
             .histogram(&names::tier_read_latency_sim(idx))
             .observe_secs(dt.seconds());
+        if self.tracking_enabled.load(Ordering::Relaxed) {
+            self.tracker.touch(key);
+        }
         Ok((data, idx, dt))
     }
 
     /// Remove an object from whichever tier holds it.
     pub fn remove(&self, key: &str) -> Result<Bytes, StorageError> {
         let idx = self.find(key)?;
-        self.tiers[idx].device.remove(key)
+        let removed = self.tiers[idx].device.remove(key)?;
+        if self.tracking_enabled.load(Ordering::Relaxed) {
+            self.tracker.forget(key);
+        }
+        Ok(removed)
     }
 
     /// Wipe all tiers and reset clock, stats, and metrics (between
@@ -479,6 +572,7 @@ impl StorageHierarchy {
         }
         self.clock.reset();
         self.obs.reset();
+        self.tracker.reset();
     }
 }
 

@@ -42,7 +42,7 @@ pub use device::Device;
 pub use error::StorageError;
 pub use fault::{FaultOp, FaultPlan};
 pub use hierarchy::{StorageHierarchy, TierStats};
-pub use migration::AccessTracker;
+pub use migration::{AccessTracker, HeatEntry, RoomOutcome, DEFAULT_HEAT_DECAY};
 pub use placement::{PlacementPlan, Product, ProductKind};
 pub use tier::TierSpec;
 pub use writeback::WriteBehind;

@@ -5,15 +5,24 @@
 //! believe data migration and eviction will play an integral part, which
 //! needs to be developed in Canopus." This module develops it:
 //!
-//! * [`StorageHierarchy::migrate`] moves one object between tiers,
-//!   accounting a read on the source and a write on the destination;
+//! * [`StorageHierarchy::migrate`] moves one object between tiers with
+//!   **copy-verify-then-remove** semantics: the destination copy is
+//!   written and read back for verification *before* the source copy is
+//!   removed, so any failure — a transient destination put fault, a
+//!   capacity race, a corrupted landing — leaves the source intact and
+//!   the object readable. The object is never in zero places.
 //! * [`StorageHierarchy::make_room`] evicts the least-recently-used
-//!   objects of a tier downward (demotion) until the requested bytes fit;
+//!   objects of a tier downward (demotion) until the requested bytes
+//!   fit, reporting exactly how many bytes it actually freed; a blocked
+//!   demotion surfaces as a `storage.migrate.partial` event instead of
+//!   silently stranding half-demoted state;
 //! * [`StorageHierarchy::promote`] pulls a hot object up to the fastest
 //!   tier with room, optionally evicting colder data to make space.
 //!
-//! Recency comes from a logical access counter bumped on every read, so
-//! eviction order is deterministic for a given operation sequence.
+//! Recency and heat come from [`AccessTracker`]: a logical access
+//! counter bumped on every tracked read plus a per-key EWMA heat that
+//! decays with logical time, so eviction and promotion order are
+//! deterministic for a given operation sequence — no wall clocks.
 
 use crate::error::StorageError;
 use crate::hierarchy::StorageHierarchy;
@@ -23,48 +32,178 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// LRU bookkeeping shared by the migration operations. Kept separate from
-/// the hierarchy so plain reads stay lock-free on this state when
-/// tracking is unused.
-#[derive(Debug, Default)]
+/// Default per-tick EWMA retention factor: a key untouched for ~90
+/// logical accesses decays to under 1 % of its peak heat.
+pub const DEFAULT_HEAT_DECAY: f64 = 0.95;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyStat {
+    last_access: u64,
+    heat: f64,
+    hits: u64,
+}
+
+impl KeyStat {
+    /// Heat decayed from `last_access` to logical time `now`.
+    fn heat_at(&self, now: u64, decay: f64) -> f64 {
+        let dt = now.saturating_sub(self.last_access);
+        if dt == 0 {
+            self.heat
+        } else if dt > 4096 {
+            0.0
+        } else {
+            self.heat * decay.powi(dt as i32)
+        }
+    }
+}
+
+/// One tracked key's heat snapshot (see [`AccessTracker::entries`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatEntry {
+    pub key: String,
+    /// EWMA heat decayed to the tracker's current logical time.
+    pub heat: f64,
+    /// Total recorded accesses.
+    pub hits: u64,
+    /// Logical time of the last access (0 = never).
+    pub last_access: u64,
+}
+
+/// Recency + heat bookkeeping shared by the migration operations and the
+/// adaptive tiering policy. Kept separate from the hierarchy's byte maps
+/// so plain reads stay lock-free on this state when tracking is unused.
+///
+/// Time is the logical access counter, not a wall clock: every `touch`
+/// advances it by one, and per-key heat is an EWMA over that counter
+/// (`heat' = heat * decay^(now - last) + 1`). Identical access sequences
+/// therefore produce identical heats, hits and eviction order.
+#[derive(Debug)]
 pub struct AccessTracker {
     clock: AtomicU64,
-    last_access: Mutex<HashMap<String, u64>>,
+    decay: f64,
+    state: Mutex<HashMap<String, KeyStat>>,
+}
+
+impl Default for AccessTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AccessTracker {
     pub fn new() -> Self {
-        Self::default()
+        Self::with_decay(DEFAULT_HEAT_DECAY)
     }
 
-    /// Record an access to `key`.
+    /// A tracker with a custom per-tick heat retention factor in (0, 1].
+    pub fn with_decay(decay: f64) -> Self {
+        Self {
+            clock: AtomicU64::new(0),
+            decay: decay.clamp(1e-6, 1.0),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record an access to `key`: bumps the logical clock, the key's hit
+    /// count, and its EWMA heat.
     pub fn touch(&self, key: &str) {
         let t = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        self.last_access.lock().insert(key.to_string(), t);
+        let mut state = self.state.lock();
+        let stat = state.entry(key.to_string()).or_default();
+        stat.heat = stat.heat_at(t, self.decay) + 1.0;
+        stat.hits += 1;
+        stat.last_access = t;
     }
 
     /// Logical time of the last access (0 = never).
     pub fn last_access(&self, key: &str) -> u64 {
-        self.last_access.lock().get(key).copied().unwrap_or(0)
+        self.state.lock().get(key).map_or(0, |s| s.last_access)
+    }
+
+    /// EWMA heat of `key` decayed to the current logical time.
+    pub fn heat(&self, key: &str) -> f64 {
+        let now = self.clock.load(Ordering::Relaxed);
+        self.state
+            .lock()
+            .get(key)
+            .map_or(0.0, |s| s.heat_at(now, self.decay))
+    }
+
+    /// Total recorded accesses of `key`.
+    pub fn hits(&self, key: &str) -> u64 {
+        self.state.lock().get(key).map_or(0, |s| s.hits)
+    }
+
+    /// Current logical time (total touches so far).
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every tracked key with heat decayed to the current
+    /// logical time, sorted by key for deterministic iteration.
+    pub fn entries(&self) -> Vec<HeatEntry> {
+        let now = self.clock.load(Ordering::Relaxed);
+        let state = self.state.lock();
+        let mut out: Vec<HeatEntry> = state
+            .iter()
+            .map(|(key, s)| HeatEntry {
+                key: key.clone(),
+                heat: s.heat_at(now, self.decay),
+                hits: s.hits,
+                last_access: s.last_access,
+            })
+            .collect();
+        drop(state);
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
     }
 
     /// Forget a key (after deletion).
     pub fn forget(&self, key: &str) {
-        self.last_access.lock().remove(key);
+        self.state.lock().remove(key);
+    }
+
+    /// Drop all state and restart the logical clock (between experiments).
+    pub fn reset(&self) {
+        self.state.lock().clear();
+        self.clock.store(0, Ordering::Relaxed);
     }
 }
 
+/// What [`StorageHierarchy::make_room`] actually achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoomOutcome {
+    /// Simulated time spent on the demotions.
+    pub time: SimDuration,
+    /// Bytes actually freed on the tier (may be less than asked).
+    pub freed_bytes: u64,
+    /// Whether the requested bytes are now available. `false` means the
+    /// eviction stopped early — the shortfall was reported as a
+    /// `storage.migrate.partial` event, never silently swallowed.
+    pub satisfied: bool,
+}
+
 impl StorageHierarchy {
-    /// Move `key` from wherever it lives to `to_tier`. Costs one read on
-    /// the source tier plus one write on the destination.
+    /// Move `key` from wherever it lives to `to_tier`, copy-verify-then-
+    /// remove: the destination copy is written and verified against the
+    /// source bytes before the source copy is removed. Costs one
+    /// accounted read on the source tier plus one accounted write on the
+    /// destination.
+    ///
+    /// Failure atomicity: on *any* error — source read fault, destination
+    /// capacity shortfall, destination put fault, verification mismatch —
+    /// the source copy survives untouched and any partial destination
+    /// copy is rolled back, so a failed migration never loses or
+    /// duplicates the object.
     pub fn migrate(&self, key: &str, to_tier: usize) -> Result<SimDuration, StorageError> {
         let from = self.find(key)?;
         if from == to_tier {
             return Ok(SimDuration::ZERO);
         }
-        // Read (accounted), remove, write (accounted).
-        let (data, _, read_time) = self.read(key)?;
-        // Ensure destination capacity before destroying the source copy.
+        // Accounted source read. Not a workload access: migration traffic
+        // must not heat the keys it moves, so this path skips the tracker.
+        let (data, _, read_time) = self.read_for_migration(key)?;
+        // Ensure destination capacity before writing anything.
         let dest = self.tier_device(to_tier)?;
         if (dest.available() as usize) < data.len() {
             return Err(StorageError::CapacityExceeded {
@@ -74,8 +213,37 @@ impl StorageHierarchy {
             });
         }
         let size = data.len() as u64;
+        // Copy: write the destination while the source still exists. A
+        // put fault here leaves the source as the sole (intact) copy.
+        let write_time = match self.write_to_tier(to_tier, key, data.clone()) {
+            Ok(t) => t,
+            Err(e) => {
+                // The device put is atomic, but roll back defensively in
+                // case a landed copy raced the injected failure.
+                if dest.contains(key) && self.tier_device(from)?.contains(key) {
+                    let _ = dest.remove(key);
+                }
+                return Err(e);
+            }
+        };
+        // Verify: read the landed bytes back (directly off the device —
+        // stored state, not an injected in-flight view) and compare
+        // before destroying the source copy.
+        let landed = dest.get(key)?;
+        if landed != data {
+            let _ = dest.remove(key);
+            self.metrics()
+                .counter(names::MIGRATION_VERIFY_FAILURES)
+                .inc();
+            return Err(StorageError::Transient {
+                tier: to_tier,
+                key: key.to_string(),
+            });
+        }
+        // Only now remove the source copy. If this somehow fails the
+        // destination copy is left in place: a transiently duplicated
+        // object is recoverable, a lost one is not.
         self.tier_device(from)?.remove(key)?;
-        let write_time = self.write_to_tier(to_tier, key, data)?;
         let obs = self.metrics();
         obs.counter(names::MIGRATIONS).inc();
         obs.counter(names::MIGRATION_BYTES).add(size);
@@ -96,54 +264,86 @@ impl StorageHierarchy {
         Ok(read_time + write_time)
     }
 
-    /// Demote least-recently-used objects from `tier` to the next tier(s)
-    /// down until at least `bytes` are free. Objects never used rank
-    /// coldest. Fails if the lower tiers cannot absorb the demotions.
+    /// Demote least-recently-used objects from `tier` to the next
+    /// tier(s) down until at least `bytes` are free. Objects never used
+    /// rank coldest.
+    ///
+    /// Asking to evict below the last tier is a structural error. A
+    /// demotion that stops early — no lower tier can absorb a victim, or
+    /// a victim's migration faults — is *not* an error: it returns
+    /// `satisfied: false` with the bytes actually freed, and emits a
+    /// `storage.migrate.partial` event so the shortfall is observable.
     pub fn make_room(
         &self,
         tier: usize,
         bytes: u64,
         tracker: &AccessTracker,
-    ) -> Result<SimDuration, StorageError> {
+    ) -> Result<RoomOutcome, StorageError> {
         if tier + 1 >= self.num_tiers() {
             return Err(StorageError::PlacementFailed(format!(
                 "cannot evict below the last tier ({tier})"
             )));
         }
         let device = self.tier_device(tier)?;
-        let mut freed_time = SimDuration::ZERO;
+        let mut outcome = RoomOutcome {
+            time: SimDuration::ZERO,
+            freed_bytes: 0,
+            satisfied: true,
+        };
         while device.available() < bytes {
             // Coldest object on this tier.
-            let victim = device
+            let Some(victim) = device
                 .keys()
                 .into_iter()
                 .min_by_key(|k| (tracker.last_access(k), k.clone()))
-                .ok_or_else(|| {
-                    StorageError::PlacementFailed(format!(
-                        "tier {tier} is empty but still lacks {bytes} B"
-                    ))
-                })?;
+            else {
+                self.emit_partial(tier, bytes, outcome.freed_bytes, "<empty tier>");
+                outcome.satisfied = false;
+                return Ok(outcome);
+            };
             // Demote to the first lower tier with room.
             let size = device.size_of(&victim)?;
             let mut placed = false;
             for lower in tier + 1..self.num_tiers() {
                 if self.tier_device(lower)?.available() >= size {
-                    freed_time += self.migrate(&victim, lower)?;
-                    placed = true;
+                    // A faulted demotion leaves the victim intact on
+                    // its source tier (migrate's guarantee); report
+                    // the shortfall instead of retrying forever.
+                    if let Ok(dt) = self.migrate(&victim, lower) {
+                        outcome.time += dt;
+                        outcome.freed_bytes += size;
+                        placed = true;
+                    }
                     break;
                 }
             }
             if !placed {
-                return Err(StorageError::PlacementFailed(format!(
-                    "no lower tier can absorb {victim} ({size} B)"
-                )));
+                self.emit_partial(tier, bytes, outcome.freed_bytes, &victim);
+                outcome.satisfied = false;
+                return Ok(outcome);
             }
         }
-        Ok(freed_time)
+        Ok(outcome)
+    }
+
+    fn emit_partial(&self, tier: usize, requested: u64, freed: u64, blocked_on: &str) {
+        let obs = self.metrics();
+        obs.counter(names::MIGRATION_PARTIALS).inc();
+        obs.event(
+            names::MIGRATE_PARTIAL_EVENT,
+            vec![
+                ("tier".to_string(), FieldValue::from(tier)),
+                ("requested_bytes".to_string(), FieldValue::from(requested)),
+                ("freed_bytes".to_string(), FieldValue::from(freed)),
+                ("blocked_on".to_string(), FieldValue::from(blocked_on)),
+            ],
+        );
     }
 
     /// Promote `key` to the fastest tier that can hold it, demoting cold
-    /// objects from tier 0 first if `evict` is set.
+    /// objects from tier 0 first if `evict` is set. A make-room pass
+    /// that frees too little simply moves on to the next tier down —
+    /// the partial demotion itself is already reported by `make_room`.
     pub fn promote(
         &self,
         key: &str,
@@ -159,7 +359,7 @@ impl StorageHierarchy {
                 tracker.touch(key);
                 return Ok(target);
             }
-            if evict && self.make_room(target, size, tracker).is_ok() {
+            if evict && self.make_room(target, size, tracker)?.satisfied {
                 self.migrate(key, target)?;
                 tracker.touch(key);
                 return Ok(target);
@@ -172,6 +372,7 @@ impl StorageHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::tier::TierSpec;
     use bytes::Bytes;
 
@@ -214,6 +415,35 @@ mod tests {
     }
 
     #[test]
+    fn migrate_under_destination_put_fault_keeps_the_source_copy() {
+        let h = hierarchy();
+        let payload = Bytes::from(vec![9u8; 60]);
+        h.write_to_tier(2, "k", payload.clone()).unwrap();
+        // Every put on the destination tier faults.
+        h.set_fault_plan(
+            0,
+            FaultPlan {
+                seed: 7,
+                put_error_p: 1.0,
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+        let err = h.migrate("k", 0).unwrap_err();
+        assert!(err.is_fault(), "destination fault surfaces: {err:?}");
+        // The object survives, intact, in exactly one place.
+        assert_eq!(h.find("k").unwrap(), 2, "source copy survives the fault");
+        assert!(!h.tier_device(0).unwrap().contains("k"), "no orphan copy");
+        assert_eq!(h.tier_device(2).unwrap().get("k").unwrap(), payload);
+        // Clearing the plan lets the same migration succeed cleanly.
+        h.set_fault_plan(0, FaultPlan::none()).unwrap();
+        h.migrate("k", 0).unwrap();
+        assert_eq!(h.find("k").unwrap(), 0);
+        assert!(!h.tier_device(2).unwrap().contains("k"), "single residency");
+        assert_eq!(h.tier_device(0).unwrap().get("k").unwrap(), payload);
+    }
+
+    #[test]
     fn make_room_evicts_coldest_first() {
         let h = hierarchy();
         let tracker = AccessTracker::new();
@@ -225,7 +455,9 @@ mod tests {
         // Need 60 more bytes on a 100-byte tier with 80 used: one eviction
         // frees 40 -> still 60 needed? available = 20, need 60 => evict
         // until available >= 60: evicts "cold" (40) -> available 60. Done.
-        h.make_room(0, 60, &tracker).unwrap();
+        let room = h.make_room(0, 60, &tracker).unwrap();
+        assert!(room.satisfied);
+        assert_eq!(room.freed_bytes, 40);
         assert_eq!(h.find("hot").unwrap(), 0, "hot object must survive");
         assert_eq!(h.find("cold").unwrap(), 1, "cold object demoted");
     }
@@ -241,7 +473,9 @@ mod tests {
         // Fill tier 1 so demotions skip to tier 2.
         h.write_to_tier(1, "filler", Bytes::from(vec![0u8; 280]))
             .unwrap();
-        h.make_room(0, 100, &tracker).unwrap();
+        let room = h.make_room(0, 100, &tracker).unwrap();
+        assert!(room.satisfied);
+        assert_eq!(room.freed_bytes, 100);
         assert_eq!(h.tier_device(0).unwrap().used(), 0);
         assert_eq!(h.find("f0").unwrap(), 2);
         assert_eq!(h.find("f1").unwrap(), 2);
@@ -252,6 +486,39 @@ mod tests {
         let h = hierarchy();
         let tracker = AccessTracker::new();
         assert!(h.make_room(2, 10, &tracker).is_err());
+    }
+
+    #[test]
+    fn blocked_make_room_reports_partial_instead_of_erroring() {
+        // Lower tiers too full to absorb the victim: make_room must
+        // return the truthful shortfall and emit the partial event.
+        let h = StorageHierarchy::new(vec![
+            TierSpec::new("fast", 100, 1000.0, 1000.0, 0.0),
+            TierSpec::new("slow", 100, 10.0, 10.0, 0.0),
+        ]);
+        let tracker = AccessTracker::new();
+        h.metrics().set_sink(std::sync::Arc::new(
+            canopus_obs::RingBufferSink::with_capacity(64),
+        ));
+        h.write_to_tier(0, "v", Bytes::from(vec![0u8; 80])).unwrap();
+        h.write_to_tier(1, "filler", Bytes::from(vec![0u8; 90]))
+            .unwrap();
+        let room = h.make_room(0, 90, &tracker).unwrap();
+        assert!(!room.satisfied, "shortfall must be surfaced");
+        assert_eq!(room.freed_bytes, 0);
+        assert_eq!(h.find("v").unwrap(), 0, "victim not half-demoted");
+        assert_eq!(
+            h.metrics().counter(names::MIGRATION_PARTIALS).get(),
+            1,
+            "partial demotion event emitted"
+        );
+        let events = h.metrics().snapshot().events;
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == names::MIGRATE_PARTIAL_EVENT),
+            "storage.migrate.partial event recorded"
+        );
     }
 
     #[test]
@@ -290,5 +557,40 @@ mod tests {
         assert!(t.last_access("y") > t.last_access("x"));
         t.forget("x");
         assert_eq!(t.last_access("x"), 0);
+    }
+
+    #[test]
+    fn heat_accumulates_and_decays_on_logical_time() {
+        let t = AccessTracker::new();
+        assert_eq!(t.heat("x"), 0.0);
+        t.touch("x");
+        t.touch("x");
+        let hot = t.heat("x");
+        assert!(hot > 1.0, "consecutive touches accumulate: {hot}");
+        assert_eq!(t.hits("x"), 2);
+        // Unrelated accesses advance logical time; x's heat decays.
+        for _ in 0..50 {
+            t.touch("y");
+        }
+        let cooled = t.heat("x");
+        assert!(cooled < hot * 0.2, "heat decays with logical time");
+        assert!(t.heat("y") > cooled, "the active key is now hotter");
+        // Determinism: the same sequence yields the same numbers.
+        let replay = AccessTracker::new();
+        replay.touch("x");
+        replay.touch("x");
+        for _ in 0..50 {
+            replay.touch("y");
+        }
+        assert_eq!(replay.heat("x"), cooled);
+        // Entries snapshot is sorted and decayed consistently.
+        let entries = t.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, "x");
+        assert_eq!(entries[0].heat, cooled);
+        assert_eq!(entries[1].hits, 50);
+        t.reset();
+        assert_eq!(t.now(), 0);
+        assert!(t.entries().is_empty());
     }
 }

@@ -46,17 +46,14 @@ impl ProductKind {
     /// deltas toward full accuracy (slower tiers). Metadata shares its
     /// level's rank.
     pub fn rank(&self, num_levels: u32) -> u32 {
-        match *self {
-            ProductKind::Base { level } => num_levels.saturating_sub(1) - level.min(num_levels - 1),
+        let cap = num_levels.saturating_sub(1);
+        let level = match *self {
+            ProductKind::Base { level } | ProductKind::Metadata { level } => level,
             ProductKind::Delta { finer, .. }
             | ProductKind::DeltaChunk { finer, .. }
-            | ProductKind::DeltaShard { finer, .. } => {
-                num_levels.saturating_sub(1) - finer.min(num_levels - 1)
-            }
-            ProductKind::Metadata { level } => {
-                num_levels.saturating_sub(1) - level.min(num_levels - 1)
-            }
-        }
+            | ProductKind::DeltaShard { finer, .. } => finer,
+        };
+        cap - level.min(cap)
     }
 }
 
@@ -245,6 +242,36 @@ mod tests {
             .rank(3),
             2
         );
+    }
+
+    #[test]
+    fn rank_survives_degenerate_level_counts() {
+        // num_levels == 0 used to underflow (debug panic / release wrap);
+        // every kind must now clamp to rank 0.
+        for kind in [
+            ProductKind::Base { level: 0 },
+            ProductKind::Base { level: 7 },
+            ProductKind::Metadata { level: 3 },
+            ProductKind::Delta {
+                finer: 2,
+                coarser: 3,
+            },
+            ProductKind::DeltaChunk {
+                finer: 1,
+                coarser: 2,
+                chunk: 9,
+            },
+            ProductKind::DeltaShard {
+                finer: 0,
+                coarser: 1,
+                shard: 4,
+            },
+        ] {
+            assert_eq!(kind.rank(0), 0, "{kind:?} must not underflow at N=0");
+            assert_eq!(kind.rank(1), 0, "{kind:?} single-level rank is 0");
+        }
+        // Levels beyond the count clamp instead of wrapping.
+        assert_eq!(ProductKind::Base { level: 9 }.rank(3), 0);
     }
 
     #[test]
