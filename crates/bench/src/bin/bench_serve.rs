@@ -78,6 +78,14 @@ fn main() {
             table::secs(p.latency_p50_s),
             table::secs(p.latency_p99_s),
         );
+        println!(
+            "       deadlines {}/{} hit ({:.2}% attainment), workload-window p99 queue-wait {} / latency {}",
+            p.deadline_hits,
+            p.deadline_hits + p.deadline_misses,
+            p.attainment_ppm as f64 / 1e4,
+            table::secs(p.window_queue_wait_p99_s),
+            table::secs(p.window_latency_p99_s),
+        );
     }
 
     let json = report.to_json().to_pretty() + "\n";

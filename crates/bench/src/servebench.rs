@@ -25,7 +25,9 @@ use crate::setup::titan_hierarchy;
 use canopus::{Canopus, CanopusConfig, CanopusService, Priority, ServeRequest};
 use canopus_data::Dataset;
 use canopus_mesh::geometry::{Aabb, Point2};
-use canopus_obs::{json::Value, names, HistogramStat, MetricsSnapshot};
+use canopus_obs::{
+    json::Value, names, HistogramStat, MetricsSnapshot, RollingWindow, WindowConfig, WindowDelta,
+};
 use canopus_refactor::levels::RefactorConfig;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -59,6 +61,16 @@ pub struct PrioritySample {
     pub queue_wait_p99_s: f64,
     pub latency_p50_s: f64,
     pub latency_p99_s: f64,
+    /// Completions that finished strictly before their class deadline.
+    pub deadline_hits: u64,
+    pub deadline_misses: u64,
+    /// `hits * 1e6 / (hits + misses)`, 1e6 when the class saw no work.
+    pub attainment_ppm: i64,
+    /// Tail quantiles over the measured workload interval only (a
+    /// rolling-window diff bracketing the client threads), excluding
+    /// the engine write and the warm-up request.
+    pub window_queue_wait_p99_s: f64,
+    pub window_latency_p99_s: f64,
 }
 
 /// Everything `BENCH_serve.json` records for one run.
@@ -113,6 +125,23 @@ impl ServeBenchReport {
                 o.insert("queue_wait_p99_s".into(), Value::Float(p.queue_wait_p99_s));
                 o.insert("latency_p50_s".into(), Value::Float(p.latency_p50_s));
                 o.insert("latency_p99_s".into(), Value::Float(p.latency_p99_s));
+                o.insert("deadline_hits".into(), Value::Int(p.deadline_hits as i128));
+                o.insert(
+                    "deadline_misses".into(),
+                    Value::Int(p.deadline_misses as i128),
+                );
+                o.insert(
+                    "attainment_ppm".into(),
+                    Value::Int(p.attainment_ppm as i128),
+                );
+                o.insert(
+                    "window_queue_wait_p99_s".into(),
+                    Value::Float(p.window_queue_wait_p99_s),
+                );
+                o.insert(
+                    "window_latency_p99_s".into(),
+                    Value::Float(p.window_latency_p99_s),
+                );
                 Value::Obj(o)
             })
             .collect();
@@ -207,7 +236,7 @@ fn run_workload(
     requests: u64,
     seed: u64,
     label: &'static str,
-) -> (RunSample, usize, usize, MetricsSnapshot) {
+) -> (RunSample, usize, usize, MetricsSnapshot, WindowDelta) {
     let raw = (ds.data.len() * 8) as u64;
     let config = CanopusConfig {
         refactor: RefactorConfig {
@@ -216,11 +245,11 @@ fn run_workload(
         },
         ..Default::default()
     };
-    let canopus = Canopus::new(titan_hierarchy(raw), config);
+    let canopus = Arc::new(Canopus::new(titan_hierarchy(raw), config));
     canopus
         .write("serve.bp", ds.var, &ds.mesh, &ds.data)
         .expect("serve write");
-    let service = CanopusService::start(Arc::new(canopus));
+    let service = CanopusService::start(Arc::clone(&canopus));
     let workers = service.workers();
     let queue_capacity = service.queue_capacity();
 
@@ -233,6 +262,16 @@ fn run_workload(
         .wait()
         .expect("warm-up request");
     let bb = ds.mesh.aabb();
+
+    // Bracket the measured interval with a two-edge window: one sample
+    // after warm-up, one after the clients drain. Its delta isolates
+    // the workload's own tails from write/warm-up noise.
+    let window = RollingWindow::new(WindowConfig {
+        buckets: 1,
+        bucket_secs: f64::MAX,
+    });
+    let sim_now = || canopus.hierarchy().clock().now().seconds();
+    window.sample_now(service.metrics(), sim_now());
 
     let started = Instant::now();
     let (completed, failed) = std::thread::scope(|scope| {
@@ -260,6 +299,8 @@ fn run_workload(
             .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
     });
     let wall_secs = started.elapsed().as_secs_f64();
+    window.sample_now(service.metrics(), sim_now());
+    let delta = window.delta().expect("two samples were taken");
     let snapshot = service.metrics().snapshot();
     (
         RunSample {
@@ -274,13 +315,25 @@ fn run_workload(
         workers,
         queue_capacity,
         snapshot,
+        delta,
     )
 }
 
-fn priority_sample(snap: &MetricsSnapshot, priority: Priority) -> PrioritySample {
+fn priority_sample(
+    snap: &MetricsSnapshot,
+    window: &WindowDelta,
+    priority: Priority,
+) -> PrioritySample {
     let class = priority.class();
     let wait = snap.histogram(&names::serve_queue_wait_hist(class));
     let latency = snap.histogram(&names::serve_latency_hist(class));
+    let hits = snap.counter(&names::serve_deadline_hit(class));
+    let misses = snap.counter(&names::serve_deadline_miss(class));
+    let attainment_ppm = if hits + misses == 0 {
+        1_000_000
+    } else {
+        ((hits as u128 * 1_000_000) / (hits + misses) as u128) as i64
+    };
     PrioritySample {
         class,
         completed: snap.counter(&names::serve_completed(class)),
@@ -288,6 +341,15 @@ fn priority_sample(snap: &MetricsSnapshot, priority: Priority) -> PrioritySample
         queue_wait_p99_s: wait.p99_secs(),
         latency_p50_s: latency.p50_secs(),
         latency_p99_s: latency.p99_secs(),
+        deadline_hits: hits,
+        deadline_misses: misses,
+        attainment_ppm,
+        window_queue_wait_p99_s: window
+            .histogram(&names::serve_queue_wait_hist(class))
+            .p99_secs(),
+        window_latency_p99_s: window
+            .histogram(&names::serve_latency_hist(class))
+            .p99_secs(),
     }
 }
 
@@ -300,9 +362,9 @@ pub fn serve_bench(
     requests_per_client: u64,
     seed: u64,
 ) -> ServeBenchReport {
-    let (single, workers, queue_capacity, _) =
+    let (single, workers, queue_capacity, _, _) =
         run_workload(ds, num_levels, 1, requests_per_client, seed, "single");
-    let (multi, _, _, multi_snap) = run_workload(
+    let (multi, _, _, multi_snap, multi_window) = run_workload(
         ds,
         num_levels,
         clients.max(1),
@@ -323,8 +385,8 @@ pub fn serve_bench(
         failed_requests: single.failed + multi.failed,
         scaling,
         per_priority: vec![
-            priority_sample(&multi_snap, Priority::QuickLook),
-            priority_sample(&multi_snap, Priority::FullAccuracy),
+            priority_sample(&multi_snap, &multi_window, Priority::QuickLook),
+            priority_sample(&multi_snap, &multi_window, Priority::FullAccuracy),
         ],
         histograms: histsum::summaries(&multi_snap),
         single,
@@ -350,9 +412,25 @@ mod tests {
         // look) lands in exactly one priority class.
         let counted: u64 = r.per_priority.iter().map(|p| p.completed).sum();
         assert_eq!(counted, r.multi.completed + 1);
+        for p in &r.per_priority {
+            // SLO accounting partitions completions: every completion
+            // is exactly one hit or one miss.
+            assert_eq!(p.deadline_hits + p.deadline_misses, p.completed);
+            assert!(p.attainment_ppm >= 0 && p.attainment_ppm <= 1_000_000);
+            assert!(p.window_queue_wait_p99_s >= 0.0);
+            assert!(p.window_latency_p99_s >= 0.0);
+            // The window brackets only the client threads, so its tails
+            // never exceed the cumulative stream's recorded maximum.
+            assert!(
+                p.window_latency_p99_s
+                    <= r.histograms[&names::serve_latency_hist(p.class)].max_secs() + 1e-12
+            );
+        }
         let json = r.to_json().to_pretty();
         assert!(json.contains("\"bench\": \"serve\""));
         assert!(json.contains("scaling_multi_over_single"));
+        assert!(json.contains("attainment_ppm"));
+        assert!(json.contains("window_latency_p99_s"));
     }
 
     #[test]

@@ -52,22 +52,38 @@ commands:
         [--requests R] [--seed S] [--quick-pct P] [--region-pct P]
         [--adaptive-tier] [--adaptive-tier-hits K]
         [--adaptive-tier-interval-ms MS]
+        [--listen ADDR] [--addr-file PATH] [--linger-secs S]
       start the shared serving layer (bounded queue + worker pool with a
       reserved QuickLook lane) and drive it with a seeded closed-loop
       workload: N clients each issue R requests mixing QuickLook base
       reads, FullAccuracy level restores and region refines; prints
-      throughput and per-class queue-wait / latency tails.
+      throughput, per-class queue-wait / latency tails and deadline
+      attainment.
       --adaptive-tier arms workload-adaptive tiering: reads feed a
       per-key heat model and a background maintainer promotes hot
       objects up / demotes cold ones under capacity pressure
-      (promotion after K hot hits, one maintenance tick every MS ms)
+      (promotion after K hot hits, one maintenance tick every MS ms);
+      every decision lands in an audit ring, summarized at shutdown.
+      --listen starts the live telemetry plane: an embedded HTTP
+      endpoint serving /metrics (Prometheus text), /metrics.json,
+      /healthz, /slo (rolling-window deadline attainment) and
+      /decisions (the tiering audit ring). Port 0 picks an ephemeral
+      port; --addr-file writes the bound address to a file and
+      --linger-secs keeps the endpoint up after the workload so
+      external scrapers can pull
   metrics <store> <file.bp> <var> [--level L] [--pipeline-depth N]
           [--no-cache] [--fault-* ...] [--retry-attempts N]
           [--out metrics.json] [--prom]
+          [--watch SECS [--watch-iters N]]
       restore a level with the observability sink enabled and dump the
       metrics snapshot (counters, gauges, stage timers, histograms,
       events) as JSON — or as Prometheus text exposition with --prom;
-      takes the same fault-injection flags as `read`
+      takes the same fault-injection flags as `read`.
+      --watch turns the one-shot dump into a poll-and-diff loop: the
+      restore re-runs every SECS seconds and each iteration prints the
+      *interval* counters/quantiles (snapshot diff against the previous
+      poll, so rates and windowed tails instead of cumulative totals);
+      --watch-iters bounds the loop (default: run until interrupted)
   trace <store> <file.bp> <var> [--level L] [--pipeline-depth N]
         [--no-cache] [--fault-* ...] [--retry-attempts N]
         [--out trace.json]
@@ -532,6 +548,30 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         .max(1);
     let service = CanopusService::start(std::sync::Arc::new(canopus));
 
+    // --listen arms the live telemetry plane: the in-service gauges plus
+    // the embedded scrape endpoint over the same registry.
+    let telemetry = match a.opt("listen") {
+        Some(addr) => {
+            service.enable_live_telemetry();
+            let server = canopus::TelemetryServer::start(
+                addr,
+                service.telemetry_sources(),
+                canopus::TelemetryConfig::default(),
+            )
+            .map_err(|e| format!("binding telemetry endpoint {addr}: {e}"))?;
+            println!(
+                "telemetry endpoint on {} (/metrics /metrics.json /healthz /slo /decisions)",
+                server.base_url()
+            );
+            if let Some(path) = a.opt("addr-file") {
+                std::fs::write(path, format!("{}\n", server.addr()))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            Some(server)
+        }
+        None => None,
+    };
+
     // Warm-up quick look doubles as a liveness check and yields the
     // variable's bounding box for region requests.
     let warm = service
@@ -616,12 +656,20 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         let count = obs.counter(&names::serve_completed(class)).get();
         let wait = obs.histogram(&names::serve_queue_wait_hist(class)).stat();
         let lat = obs.histogram(&names::serve_latency_hist(class)).stat();
+        let hits = obs.counter(&names::serve_deadline_hit(class)).get();
+        let misses = obs.counter(&names::serve_deadline_miss(class)).get();
+        let attainment = if hits + misses == 0 {
+            100.0
+        } else {
+            hits as f64 * 100.0 / (hits + misses) as f64
+        };
         println!(
-            "  {class:<5} n={count:<5} queue-wait p50/p99 {:.2}/{:.2} ms   latency p50/p99 {:.2}/{:.2} ms",
+            "  {class:<5} n={count:<5} queue-wait p50/p99 {:.2}/{:.2} ms   latency p50/p99 {:.2}/{:.2} ms   deadline {hits}/{} hit ({attainment:.1}%)",
             wait.p50_secs() * 1e3,
             wait.p99_secs() * 1e3,
             lat.p50_secs() * 1e3,
             lat.p99_secs() * 1e3,
+            hits + misses,
         );
     }
     if adaptive {
@@ -633,6 +681,48 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
             obs.gauge(names::TIER_TRACKED_KEYS).get(),
         );
     }
+
+    // Keep the endpoint up for external scrapers before tearing down.
+    if let Some(server) = &telemetry {
+        let linger: f64 = a.opt_parse("linger-secs", 0.0f64)?;
+        if linger > 0.0 {
+            println!(
+                "lingering {linger:.1}s for scrapes on {} ...",
+                server.base_url()
+            );
+            std::thread::sleep(std::time::Duration::from_secs_f64(linger));
+        }
+        println!("telemetry: {} scrapes answered", server.scrapes());
+    }
+
+    // Shutdown summary of the tiering audit ring: every promote /
+    // demote / swap / skip the maintainer decided, with its reason.
+    if let Some(migrator) = service.tier_migrator() {
+        let ring = migrator.decision_ring();
+        let decisions = ring.snapshot();
+        let count = |k: canopus::TierActionKind| decisions.iter().filter(|d| d.action == k).count();
+        println!(
+            "  decisions recorded={} retained={} evicted={}: {} promote, {} demote, {} swap-demote, {} skip",
+            ring.recorded(),
+            decisions.len(),
+            ring.evicted(),
+            count(canopus::TierActionKind::Promote),
+            count(canopus::TierActionKind::Demote),
+            count(canopus::TierActionKind::SwapDemote),
+            count(canopus::TierActionKind::Skip),
+        );
+        let tail = decisions.len().saturating_sub(5);
+        for d in &decisions[tail..] {
+            println!(
+                "    tick {:>3} {:<11} {:<28} {}",
+                d.tick,
+                d.action.as_str(),
+                d.key,
+                d.reason
+            );
+        }
+    }
+    drop(telemetry);
     Ok(())
 }
 
@@ -652,6 +742,13 @@ fn cmd_metrics(argv: &[String]) -> Result<(), String> {
         canopus_obs::RingBufferSink::with_capacity(4096),
     ));
     let reader = canopus.open(file).map_err(|e| format!("open: {e}"))?;
+
+    let watch: f64 = a.opt_parse("watch", 0.0f64)?;
+    if watch > 0.0 {
+        let iters: u64 = a.opt_parse("watch-iters", 0u64)?;
+        return watch_metrics(&obs, &reader, var, level, watch, iters);
+    }
+
     let outcome = reader
         .read_level(var, level)
         .map_err(|e| format!("read: {e}"))?;
@@ -674,6 +771,66 @@ fn cmd_metrics(argv: &[String]) -> Result<(), String> {
         None => println!("{text}"),
     }
     Ok(())
+}
+
+/// The `metrics --watch` loop: re-run the restore every `interval_s`
+/// seconds and print each interval's metric *deltas* — a live view of
+/// rates and windowed tails built on [`MetricsSnapshot::diff`] instead
+/// of ever-growing cumulative totals. `iters == 0` runs until
+/// interrupted.
+///
+/// [`MetricsSnapshot::diff`]: canopus::MetricsSnapshot::diff
+fn watch_metrics(
+    obs: &canopus::Registry,
+    reader: &canopus::CanopusReader,
+    var: &str,
+    level: u32,
+    interval_s: f64,
+    iters: u64,
+) -> Result<(), String> {
+    use canopus_obs::names;
+    println!(
+        "watching {var} L{level}: one restore per {interval_s:.2}s poll, interval diffs{}",
+        if iters == 0 {
+            " (Ctrl-C to stop)".to_string()
+        } else {
+            format!(", {iters} iterations")
+        }
+    );
+    println!(
+        "{:>4}  {:>7}  {:>10}  {:>9}  {:>11}  {:>17}",
+        "iter", "blocks", "bytes-io", "cache h/m", "values", "decode p50/p99 ms"
+    );
+    let mut prev = obs.snapshot();
+    let mut i = 0u64;
+    loop {
+        i += 1;
+        let begun = std::time::Instant::now();
+        reader
+            .read_level(var, level)
+            .map_err(|e| format!("read: {e}"))?;
+        let snap = obs.snapshot();
+        let d = snap.diff(&prev);
+        let decode = d.histogram(names::READ_DECODE_HIST);
+        println!(
+            "{i:>4}  {:>7}  {:>10}  {:>4}/{:<4}  {:>11}  {:>8.3}/{:<8.3}",
+            d.counter(names::READ_BLOCKS),
+            d.counter(names::READ_BYTES_IO),
+            d.counter(names::READ_CACHE_HITS),
+            d.counter(names::READ_CACHE_MISSES),
+            d.counter(names::READ_VALUES_DECODED),
+            decode.p50_secs() * 1e3,
+            decode.p99_secs() * 1e3,
+        );
+        prev = snap;
+        if iters > 0 && i >= iters {
+            return Ok(());
+        }
+        let elapsed = begun.elapsed().as_secs_f64();
+        if elapsed < interval_s {
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval_s - elapsed));
+        }
+    }
 }
 
 /// Capture depth of the `trace` subcommand's ring buffer. Larger than
@@ -1327,6 +1484,121 @@ mod tests {
             "30",
         ]))
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_listen_scrapes_and_metrics_watch_diffs() {
+        let dir = tmpdir("telemetry");
+        let store = dir.join("store");
+        let mesh = dir.join("m.off");
+        let data = dir.join("d.f64");
+        let addr_file = dir.join("addr.txt");
+        let (store, mesh, data, addr_file) = (
+            store.to_str().unwrap().to_string(),
+            mesh.to_str().unwrap().to_string(),
+            data.to_str().unwrap().to_string(),
+            addr_file.to_str().unwrap().to_string(),
+        );
+        run(&s(&["init", &store])).unwrap();
+        run(&s(&[
+            "demo-data",
+            "xgc1",
+            "--mesh",
+            &mesh,
+            "--data",
+            &data,
+            "--small",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "write", &store, "x.bp", "dpot", "--mesh", &mesh, "--data", &data, "--levels", "3",
+        ]))
+        .unwrap();
+
+        // `serve --listen` in a thread; the main thread scrapes the
+        // endpoint during the linger window, then the command exits.
+        let serve_args = s(&[
+            "serve",
+            &store,
+            "x.bp",
+            "dpot",
+            "--workers",
+            "2",
+            "--clients",
+            "2",
+            "--requests",
+            "4",
+            "--adaptive-tier",
+            "--adaptive-tier-interval-ms",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file,
+            "--linger-secs",
+            "3",
+        ]);
+        let server = std::thread::spawn(move || dispatch(&serve_args));
+
+        // The CLI writes the bound (ephemeral) address once the endpoint
+        // is up; poll for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr: std::net::SocketAddr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(addr) = text.trim().parse() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never published its telemetry address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let t = std::time::Duration::from_secs(5);
+        let (status, body) = canopus::telemetry::http_get(addr, "/healthz", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = canopus_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("status").and_then(canopus_obs::json::Value::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            doc.get("workers_expected")
+                .and_then(canopus_obs::json::Value::as_i64),
+            Some(2)
+        );
+        let (status, body) = canopus::telemetry::http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("canopus_serve_requests"));
+        let (status, body) = canopus::telemetry::http_get(addr, "/decisions", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = canopus_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("available")
+                .and_then(canopus_obs::json::Value::as_bool),
+            Some(true),
+            "adaptive-tier serve exposes its audit ring"
+        );
+        let (status, body) = canopus::telemetry::http_get(addr, "/slo", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("attainment_ppm"));
+        server.join().unwrap().unwrap();
+
+        // The watch loop: two bounded poll-and-diff iterations.
+        run(&s(&[
+            "metrics",
+            &store,
+            "x.bp",
+            "dpot",
+            "--watch",
+            "0.01",
+            "--watch-iters",
+            "2",
+        ]))
+        .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

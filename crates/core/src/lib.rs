@@ -51,6 +51,7 @@ pub mod error;
 pub mod progressive;
 pub mod read;
 pub mod serve;
+pub mod telemetry;
 pub mod tiering;
 pub mod write;
 
@@ -62,5 +63,8 @@ pub use error::CanopusError;
 pub use progressive::ProgressiveReader;
 pub use read::{CanopusReader, PhaseTiming, ReadOutcome, RegionStats};
 pub use serve::{CanopusService, Priority, ServeOptions, ServeRequest, ServeResponse, Ticket};
-pub use tiering::{MaintainReport, TierMigrator, TieringPolicy};
+pub use telemetry::{TelemetryConfig, TelemetryServer, TelemetrySources};
+pub use tiering::{
+    DecisionRing, MaintainReport, TierActionKind, TierDecision, TierMigrator, TieringPolicy,
+};
 pub use write::{Canopus, ProductReport, WriteReport};

@@ -56,6 +56,7 @@ use crate::write::Canopus;
 use canopus_mesh::Aabb;
 use canopus_obs::{names, Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -256,6 +257,9 @@ struct ClassMetrics {
     completed: Arc<Counter>,
     queue_wait: Arc<Histogram>,
     latency: Arc<Histogram>,
+    deadline_hit: Arc<Counter>,
+    deadline_miss: Arc<Counter>,
+    attainment: Arc<Gauge>,
 }
 
 struct ServeMetrics {
@@ -267,7 +271,13 @@ struct ServeMetrics {
     queue_depth_peak: Arc<Gauge>,
     inflight: Arc<Gauge>,
     inflight_peak: Arc<Gauge>,
+    workers_alive: Arc<Gauge>,
     class: [ClassMetrics; 2],
+    /// The live-telemetry-plane switch. Off (the default), a worker's
+    /// per-request extra cost is exactly this one relaxed load — the
+    /// derived attainment gauges are not recomputed. Deadline hit/miss
+    /// *counters* are ordinary metrics and always flow, like the rest.
+    live: AtomicBool,
 }
 
 impl ServeMetrics {
@@ -278,6 +288,9 @@ impl ServeMetrics {
             completed: obs.counter(&names::serve_completed(p.class())),
             queue_wait: obs.histogram(&names::serve_queue_wait_hist(p.class())),
             latency: obs.histogram(&names::serve_latency_hist(p.class())),
+            deadline_hit: obs.counter(&names::serve_deadline_hit(p.class())),
+            deadline_miss: obs.counter(&names::serve_deadline_miss(p.class())),
+            attainment: obs.gauge(&names::serve_attainment_ppm(p.class())),
         };
         Self {
             requests: obs.counter(names::SERVE_REQUESTS),
@@ -288,8 +301,20 @@ impl ServeMetrics {
             queue_depth_peak: obs.gauge(names::SERVE_QUEUE_DEPTH_PEAK),
             inflight: obs.gauge(names::SERVE_INFLIGHT),
             inflight_peak: obs.gauge(names::SERVE_INFLIGHT_PEAK),
+            workers_alive: obs.gauge(names::SERVE_WORKERS_ALIVE),
             class: [class(Priority::QuickLook), class(Priority::FullAccuracy)],
+            live: AtomicBool::new(false),
         }
+    }
+}
+
+/// Attainment in parts per million: `hits * 1e6 / (hits + misses)`.
+pub(crate) fn attainment_ppm(hits: u64, misses: u64) -> i64 {
+    let total = hits + misses;
+    if total == 0 {
+        1_000_000
+    } else {
+        ((hits as u128 * 1_000_000) / total as u128) as i64
     }
 }
 
@@ -350,6 +375,7 @@ fn worker_loop(shared: &Shared, quick_only: bool) {
                     break job;
                 }
                 if sched.shutdown {
+                    shared.m.workers_alive.sub(1);
                     return;
                 }
                 sched = shared.work.wait(sched).unwrap();
@@ -367,7 +393,8 @@ fn worker_loop(shared: &Shared, quick_only: bool) {
         shared.m.inflight_peak.set_max(shared.m.inflight.get());
         let started = Instant::now();
         let result = execute(shared, &job.request);
-        let service_s = started.elapsed().as_secs_f64();
+        let finished = Instant::now();
+        let service_s = finished.duration_since(started).as_secs_f64();
         shared.m.inflight.sub(1);
 
         let result = match result {
@@ -375,6 +402,26 @@ fn worker_loop(shared: &Shared, quick_only: bool) {
                 shared.m.completed.inc();
                 class.completed.inc();
                 class.latency.observe_secs(queue_wait_s + service_s);
+                // SLO accounting: a hit finishes *strictly before* the
+                // deadline. The strictness makes the degenerate case
+                // deterministic: a zero deadline budget pins the
+                // deadline at admission time, and a monotone clock
+                // guarantees completion is never before admission — so
+                // such a request counts exactly one miss, always.
+                if finished < job.deadline {
+                    class.deadline_hit.inc();
+                } else {
+                    class.deadline_miss.inc();
+                }
+                // The derived attainment gauge belongs to the live
+                // telemetry plane; disabled, its cost is this single
+                // relaxed load.
+                if shared.m.live.load(Ordering::Relaxed) {
+                    class.attainment.set(attainment_ppm(
+                        class.deadline_hit.get(),
+                        class.deadline_miss.get(),
+                    ));
+                }
                 Ok(ServeResponse {
                     outcome,
                     region_stats,
@@ -403,7 +450,12 @@ struct Maintainer {
 }
 
 impl Maintainer {
-    fn spawn(migrator: TierMigrator, interval: Duration) -> Self {
+    fn spawn(
+        migrator: Arc<TierMigrator>,
+        interval: Duration,
+        last_maintain_ms: Arc<Gauge>,
+        epoch: Instant,
+    ) -> Self {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -422,6 +474,9 @@ impl Maintainer {
                     // flag flip (it only delays the join).
                     drop(stopped);
                     migrator.maintain();
+                    // Freshness beacon for `/healthz`: when this stops
+                    // advancing, the maintainer is wedged or dead.
+                    last_maintain_ms.set(epoch.elapsed().as_millis() as i64);
                     stopped = lock.lock().unwrap();
                 }
             })
@@ -437,6 +492,12 @@ pub struct CanopusService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     maintainer: Option<Maintainer>,
+    /// The maintainer's migrator, kept so the telemetry plane can read
+    /// the decision audit ring while the service runs.
+    migrator: Option<Arc<TierMigrator>>,
+    /// Service start time — the origin of `/healthz` uptime and the
+    /// last-maintain beacon.
+    epoch: Instant,
 }
 
 impl CanopusService {
@@ -454,7 +515,9 @@ impl CanopusService {
                 .max(2)
         };
         let queue_cap = config.serve_queue.max(1) as usize;
+        let epoch = Instant::now();
         let m = ServeMetrics::new(canopus.metrics());
+        m.workers_alive.set(workers as i64);
         let shared = Arc::new(Shared {
             canopus,
             readers: Mutex::new(HashMap::new()),
@@ -481,16 +544,70 @@ impl CanopusService {
                     .expect("spawn serve worker")
             })
             .collect();
+        let mut migrator = None;
         let maintainer = config.adaptive_tiering.then(|| {
-            let migrator = TierMigrator::new(shared.canopus.hierarchy_arc(), config.tiering);
+            let m = Arc::new(TierMigrator::new(
+                shared.canopus.hierarchy_arc(),
+                config.tiering,
+            ));
+            migrator = Some(Arc::clone(&m));
             let interval = Duration::from_millis(config.tiering.interval_ms.max(1));
-            Maintainer::spawn(migrator, interval)
+            let beacon = shared
+                .canopus
+                .metrics()
+                .gauge(names::SERVE_LAST_MAINTAIN_MILLIS);
+            Maintainer::spawn(m, interval, beacon, epoch)
         });
         Self {
             shared,
             workers: handles,
             maintainer,
+            migrator,
+            epoch,
         }
+    }
+
+    /// Turn on the live telemetry plane's in-service work (today: the
+    /// per-class deadline-attainment gauges, recomputed at completion).
+    /// Off — the default — a worker pays one relaxed atomic load per
+    /// request for the check and nothing else.
+    pub fn enable_live_telemetry(&self) {
+        self.shared.m.live.store(true, Ordering::Relaxed);
+    }
+
+    pub fn live_telemetry_enabled(&self) -> bool {
+        self.shared.m.live.load(Ordering::Relaxed)
+    }
+
+    /// The background migrator (present iff
+    /// `CanopusConfig::adaptive_tiering`), for the decision audit ring.
+    pub fn tier_migrator(&self) -> Option<&Arc<TierMigrator>> {
+        self.migrator.as_ref()
+    }
+
+    /// Wall time since the service started.
+    pub fn uptime(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Everything the telemetry endpoint needs to observe this service:
+    /// the shared registry, the deterministic sim clock, the migrator's
+    /// audit ring, and the pool shape for `/healthz`.
+    pub fn telemetry_sources(&self) -> crate::telemetry::TelemetrySources {
+        let hierarchy = self.shared.canopus.hierarchy_arc();
+        let mut sources =
+            crate::telemetry::TelemetrySources::new(Arc::clone(self.shared.canopus.metrics()))
+                .with_sim_clock(move || hierarchy.clock().now().seconds())
+                .with_epoch(self.epoch)
+                .with_service_shape(
+                    self.workers.len(),
+                    self.shared.queue_cap,
+                    self.maintainer.is_some(),
+                );
+        if let Some(m) = &self.migrator {
+            sources = sources.with_migrator(Arc::clone(m));
+        }
+        sources
     }
 
     /// Whether a background tier maintainer is running
@@ -755,6 +872,105 @@ mod tests {
         );
         let disabled = CanopusService::start(engine(2, 4));
         assert!(!disabled.maintains_tiers(), "default config: no maintainer");
+    }
+
+    #[test]
+    fn zero_budget_request_counts_exactly_one_deterministic_miss() {
+        let canopus = engine(2, 4);
+        let service = CanopusService::start(Arc::clone(&canopus));
+        service.enable_live_telemetry();
+        let base = || ServeRequest::Base {
+            file: "s.bp".into(),
+            var: "dpot".into(),
+        };
+        // Admitted already past its deadline: completion cannot precede
+        // admission on a monotone clock, so this is always one miss.
+        let opts = ServeOptions {
+            priority: Priority::QuickLook,
+            deadline: Some(Duration::ZERO),
+        };
+        service.submit_with(base(), opts).unwrap().wait().unwrap();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter(&names::serve_deadline_miss("quick")), 1);
+        assert_eq!(snap.counter(&names::serve_deadline_hit("quick")), 0);
+        assert_eq!(snap.gauge(&names::serve_attainment_ppm("quick")), 0);
+
+        // A generous budget hits, and the attainment gauge follows.
+        let opts = ServeOptions {
+            priority: Priority::QuickLook,
+            deadline: Some(Duration::from_secs(3600)),
+        };
+        service.submit_with(base(), opts).unwrap().wait().unwrap();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter(&names::serve_deadline_miss("quick")), 1);
+        assert_eq!(snap.counter(&names::serve_deadline_hit("quick")), 1);
+        assert_eq!(
+            snap.gauge(&names::serve_attainment_ppm("quick")),
+            500_000,
+            "1 hit / 2 completions"
+        );
+        // Hit + miss partitions completions, per class.
+        assert_eq!(snap.counter(&names::serve_completed("quick")), 2);
+        assert_eq!(snap.counter(&names::serve_deadline_miss("full")), 0);
+    }
+
+    #[test]
+    fn disabled_live_plane_still_counts_deadlines_but_no_gauges() {
+        // The zero-overhead pattern: with the live plane off (default),
+        // the base SLO counters flow like any other metric, while the
+        // derived attainment gauge — the live plane's per-request work —
+        // is never computed.
+        let canopus = engine(2, 4);
+        let service = CanopusService::start(Arc::clone(&canopus));
+        assert!(!service.live_telemetry_enabled(), "off by default");
+        let opts = ServeOptions {
+            priority: Priority::QuickLook,
+            deadline: Some(Duration::ZERO),
+        };
+        service
+            .submit_with(
+                ServeRequest::Base {
+                    file: "s.bp".into(),
+                    var: "dpot".into(),
+                },
+                opts,
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let snap = service.metrics().snapshot();
+        assert_eq!(
+            snap.counter(&names::serve_deadline_miss("quick")),
+            1,
+            "metrics flow regardless"
+        );
+        assert_eq!(
+            snap.gauge(&names::serve_attainment_ppm("quick")),
+            0,
+            "the derived gauge is untouched while disabled"
+        );
+        assert_eq!(attainment_ppm(0, 0), 1_000_000, "vacuous attainment");
+        assert_eq!(attainment_ppm(3, 1), 750_000);
+    }
+
+    #[test]
+    fn workers_alive_gauge_tracks_pool_lifecycle() {
+        let canopus = engine(3, 4);
+        let metrics = Arc::clone(canopus.metrics());
+        {
+            let service = CanopusService::start(Arc::clone(&canopus));
+            assert_eq!(
+                metrics.snapshot().gauge(names::SERVE_WORKERS_ALIVE),
+                3,
+                "all workers alive while running"
+            );
+            assert!(service.uptime() >= Duration::ZERO);
+        }
+        assert_eq!(
+            metrics.snapshot().gauge(names::SERVE_WORKERS_ALIVE),
+            0,
+            "drained shutdown retires every worker"
+        );
     }
 
     #[test]

@@ -1,0 +1,718 @@
+//! The live telemetry plane's scrape endpoint: a zero-dependency HTTP
+//! server over `std::net::TcpListener`.
+//!
+//! The build environment cannot pull hyper/axum, and a scrape endpoint
+//! needs almost nothing from HTTP anyway: parse a `GET` request line,
+//! write one `Connection: close` response. [`TelemetryServer`] does
+//! exactly that from a single accept thread, plus a sampler thread that
+//! feeds a [`RollingWindow`] so windowed SLO numbers are available the
+//! moment a scraper asks.
+//!
+//! ## Routes
+//!
+//! | path            | body                                              |
+//! |-----------------|---------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (cumulative registry)  |
+//! | `/metrics.json` | full [`MetricsSnapshot`] JSON round-trip document |
+//! | `/healthz`      | queue depth, worker liveness, maintainer age      |
+//! | `/slo`          | per-class deadline attainment, cumulative+window  |
+//! | `/decisions`    | the tier migrator's decision audit ring           |
+//! | `/`             | plain-text route index                            |
+//!
+//! ## Cost model
+//!
+//! The server never touches the serve hot path: every route reads the
+//! shared [`Registry`] via `snapshot()` (a read-locked copy) or the
+//! migrator's audit ring (its own mutex). The only in-service work the
+//! live plane adds is gated inside `serve.rs` behind one relaxed atomic
+//! load — see `disabled_live_plane_still_counts_deadlines_but_no_gauges`.
+//!
+//! [`MetricsSnapshot`]: canopus_obs::MetricsSnapshot
+
+use crate::serve::Priority;
+use crate::tiering::TierMigrator;
+use canopus_obs::export::prometheus_text;
+use canopus_obs::json::Value;
+use canopus_obs::{names, HistogramStat, Registry, RollingWindow, WindowConfig};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the endpoint observes. Decoupled from [`CanopusService`]
+/// so tests (and the CLI's offline `metrics` command) can serve a bare
+/// registry; `CanopusService::telemetry_sources` fills in the rest.
+///
+/// [`CanopusService`]: crate::serve::CanopusService
+pub struct TelemetrySources {
+    registry: Arc<Registry>,
+    /// Reads the deterministic sim clock, when the caller has one.
+    sim_now: Option<Arc<dyn Fn() -> f64 + Send + Sync>>,
+    /// The adaptive-tiering policy engine, for `/decisions`.
+    migrator: Option<Arc<TierMigrator>>,
+    /// Origin of `/healthz` uptime and the last-maintain beacon.
+    epoch: Instant,
+    /// Expected worker count (`None` when not serving a worker pool).
+    workers: Option<usize>,
+    queue_capacity: Option<usize>,
+    maintains_tiers: bool,
+}
+
+impl TelemetrySources {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            registry,
+            sim_now: None,
+            migrator: None,
+            epoch: Instant::now(),
+            workers: None,
+            queue_capacity: None,
+            maintains_tiers: false,
+        }
+    }
+
+    /// Attach the deterministic sim clock (windowed rates can then be
+    /// expressed against simulated seconds too).
+    pub fn with_sim_clock(mut self, f: impl Fn() -> f64 + Send + Sync + 'static) -> Self {
+        self.sim_now = Some(Arc::new(f));
+        self
+    }
+
+    /// Attach the tier migrator whose audit ring `/decisions` serves.
+    pub fn with_migrator(mut self, migrator: Arc<TierMigrator>) -> Self {
+        self.migrator = Some(migrator);
+        self
+    }
+
+    /// Re-anchor uptime to the service's start instant.
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Declare the serving pool's shape so `/healthz` can compare the
+    /// live `workers_alive` gauge against expectation.
+    pub fn with_service_shape(
+        mut self,
+        workers: usize,
+        queue_capacity: usize,
+        maintains_tiers: bool,
+    ) -> Self {
+        self.workers = Some(workers);
+        self.queue_capacity = Some(queue_capacity);
+        self.maintains_tiers = maintains_tiers;
+        self
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn sim_secs(&self) -> f64 {
+        self.sim_now.as_ref().map(|f| f()).unwrap_or(0.0)
+    }
+}
+
+/// Endpoint configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Shape of the rolling SLO window backing `/slo`.
+    pub window: WindowConfig,
+    /// Sampler cadence (also bounds shutdown latency of the sampler).
+    pub sample_interval: Duration,
+}
+
+impl TelemetryConfig {
+    pub const fn new() -> Self {
+        Self {
+            window: WindowConfig::new(),
+            sample_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct State {
+    sources: TelemetrySources,
+    window: RollingWindow,
+    span_hint: WindowConfig,
+    scrapes: Arc<canopus_obs::Counter>,
+}
+
+impl State {
+    /// File a fresh sample as the window's leading edge.
+    fn sample(&self) {
+        self.window
+            .sample_now(&self.sources.registry, self.sources.sim_secs());
+    }
+}
+
+/// The running endpoint: one accept thread, one sampler thread. Stops
+/// (and joins both) on [`stop`](TelemetryServer::stop) or drop.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    sampler_stop: Arc<(Mutex<bool>, Condvar)>,
+    accept: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
+    state: Arc<State>,
+}
+
+impl TelemetryServer {
+    /// Bind `listen` (e.g. `127.0.0.1:9090`, or port `0` for an
+    /// ephemeral port — see [`addr`](TelemetryServer::addr)) and start
+    /// serving. The window is primed with one immediate sample so early
+    /// scrapes see a leading edge instead of an empty window.
+    pub fn start(
+        listen: &str,
+        sources: TelemetrySources,
+        cfg: TelemetryConfig,
+    ) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let scrapes = sources.registry.counter(names::TELEMETRY_SCRAPES);
+        let state = Arc::new(State {
+            window: RollingWindow::new(cfg.window),
+            span_hint: cfg.window,
+            sources,
+            scrapes,
+        });
+        state.sample();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("canopus-telemetry".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Ok(stream) = conn {
+                            // One slow or broken scraper must not take
+                            // the endpoint down; errors only drop the
+                            // connection.
+                            let _ = serve_connection(stream, &state);
+                        }
+                    }
+                })
+                .expect("spawn telemetry accept thread")
+        };
+
+        let sampler_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let sampler = {
+            let state = Arc::clone(&state);
+            let flag = Arc::clone(&sampler_stop);
+            let interval = cfg.sample_interval.max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("canopus-telemetry-sampler".into())
+                .spawn(move || {
+                    let (lock, cv) = &*flag;
+                    let mut stopped = lock.lock().unwrap();
+                    loop {
+                        let (guard, _) = cv.wait_timeout(stopped, interval).unwrap();
+                        stopped = guard;
+                        if *stopped {
+                            return;
+                        }
+                        state.sample();
+                    }
+                })
+                .expect("spawn telemetry sampler thread")
+        };
+
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            sampler_stop,
+            accept: Some(accept),
+            sampler: Some(sampler),
+            state,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port` of the running endpoint.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// The rolling window backing `/slo` (tests drive it directly).
+    pub fn window(&self) -> &RollingWindow {
+        &self.state.window
+    }
+
+    /// Take a window sample right now (in addition to the sampler's
+    /// cadence).
+    pub fn sample_now(&self) {
+        self.state.sample();
+    }
+
+    /// Scrape requests served so far (any route).
+    pub fn scrapes(&self) -> u64 {
+        self.state.scrapes.get()
+    }
+
+    /// Stop accepting, stop sampling, and join both threads. Idempotent.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        {
+            let (lock, cv) = &*self.sampler_stop;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        // `accept` blocks in the listener; a throwaway connection to
+        // ourselves wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// request handling
+// ---------------------------------------------------------------------
+
+/// Read one request, write one response, close.
+fn serve_connection(stream: TcpStream, state: &State) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain (but ignore) headers so well-behaved clients aren't reset
+    // mid-send; stop at the blank line or a sanity bound.
+    for _ in 0..100 {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Scrapers sometimes append query strings; route on the path alone.
+    let route = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "application/json",
+            Value::Obj(BTreeMap::from([(
+                "error".to_string(),
+                Value::Str("only GET is supported".to_string()),
+            )]))
+            .to_pretty(),
+        )
+    } else {
+        state.scrapes.inc();
+        match route {
+            "/" => ("200 OK", "text/plain; charset=utf-8", index_text()),
+            "/metrics" => (
+                "200 OK",
+                // The Prometheus text exposition format version.
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(&state.sources.registry.snapshot()),
+            ),
+            "/metrics.json" => (
+                "200 OK",
+                "application/json",
+                state.sources.registry.snapshot().to_json_string(),
+            ),
+            "/healthz" => ("200 OK", "application/json", healthz(state).to_pretty()),
+            "/slo" => ("200 OK", "application/json", slo(state).to_pretty()),
+            "/decisions" => ("200 OK", "application/json", decisions(state).to_pretty()),
+            _ => (
+                "404 Not Found",
+                "application/json",
+                Value::Obj(BTreeMap::from([
+                    ("error".to_string(), Value::Str(format!("no route {route}"))),
+                    (
+                        "routes".to_string(),
+                        Value::Arr(ROUTES.iter().map(|r| Value::Str(r.to_string())).collect()),
+                    ),
+                ]))
+                .to_pretty(),
+            ),
+        }
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+const ROUTES: &[&str] = &[
+    "/metrics",
+    "/metrics.json",
+    "/healthz",
+    "/slo",
+    "/decisions",
+];
+
+fn index_text() -> String {
+    let mut s = String::from("canopus telemetry endpoint\n\nroutes:\n");
+    for r in ROUTES {
+        s.push_str("  ");
+        s.push_str(r);
+        s.push('\n');
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// route bodies
+// ---------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// `/healthz`: is the service alive, keeping up, and maintaining tiers?
+fn healthz(state: &State) -> Value {
+    let snap = state.sources.registry.snapshot();
+    let uptime_ms = state.sources.epoch.elapsed().as_millis() as i64;
+    let alive = snap.gauge(names::SERVE_WORKERS_ALIVE);
+    // The maintainer stamps ms-since-epoch after every tick; its age is
+    // the staleness signal. 0 means it has not completed a tick yet.
+    let last_maintain = snap.gauge(names::SERVE_LAST_MAINTAIN_MILLIS);
+    let maintain_age = if state.sources.maintains_tiers && last_maintain > 0 {
+        Value::Int((uptime_ms - last_maintain).max(0) as i128)
+    } else {
+        Value::Null
+    };
+    let status = match state.sources.workers {
+        // A pool was declared but every worker has exited: degraded.
+        Some(w) if w > 0 && alive <= 0 => "degraded",
+        _ => "ok",
+    };
+    obj(vec![
+        ("status", Value::Str(status.to_string())),
+        ("uptime_ms", Value::Int(uptime_ms as i128)),
+        (
+            "queue_depth",
+            Value::Int(snap.gauge(names::SERVE_QUEUE_DEPTH) as i128),
+        ),
+        (
+            "queue_capacity",
+            state
+                .sources
+                .queue_capacity
+                .map(|c| Value::Int(c as i128))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "inflight",
+            Value::Int(snap.gauge(names::SERVE_INFLIGHT) as i128),
+        ),
+        ("workers_alive", Value::Int(alive as i128)),
+        (
+            "workers_expected",
+            state
+                .sources
+                .workers
+                .map(|w| Value::Int(w as i128))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "tier_maintainer",
+            Value::Bool(state.sources.maintains_tiers),
+        ),
+        ("last_maintain_age_ms", maintain_age),
+    ])
+}
+
+fn quantiles(h: &HistogramStat) -> Value {
+    obj(vec![
+        ("count", Value::Int(h.count as i128)),
+        ("p50_s", Value::Float(h.p50_secs())),
+        ("p99_s", Value::Float(h.p99_secs())),
+        ("max_s", Value::Float(h.max_secs())),
+    ])
+}
+
+/// One class's SLO block from any snapshot-shaped source.
+fn class_slo(
+    class: &str,
+    counter: &dyn Fn(&str) -> u64,
+    histogram: &dyn Fn(&str) -> HistogramStat,
+) -> Value {
+    let hits = counter(&names::serve_deadline_hit(class));
+    let misses = counter(&names::serve_deadline_miss(class));
+    obj(vec![
+        (
+            "completed",
+            Value::Int(counter(&names::serve_completed(class)) as i128),
+        ),
+        ("deadline_hits", Value::Int(hits as i128)),
+        ("deadline_misses", Value::Int(misses as i128)),
+        (
+            "attainment_ppm",
+            Value::Int(crate::serve::attainment_ppm(hits, misses) as i128),
+        ),
+        (
+            "queue_wait",
+            quantiles(&histogram(&names::serve_queue_wait_hist(class))),
+        ),
+        (
+            "latency",
+            quantiles(&histogram(&names::serve_latency_hist(class))),
+        ),
+    ])
+}
+
+/// `/slo`: per-class deadline attainment and latency quantiles, both
+/// cumulative-since-start and over the rolling window.
+fn slo(state: &State) -> Value {
+    // Refresh the leading edge so the window always includes work done
+    // right up to this scrape (not just the sampler's last pass).
+    state.sample();
+    let snap = state.sources.registry.snapshot();
+    let delta = state.window.delta();
+
+    let classes = [Priority::QuickLook, Priority::FullAccuracy];
+    let mut cumulative = BTreeMap::new();
+    let mut windowed = BTreeMap::new();
+    for p in classes {
+        let class = p.class();
+        cumulative.insert(
+            class.to_string(),
+            class_slo(class, &|n| snap.counter(n), &|n| snap.histogram(n)),
+        );
+        if let Some(d) = &delta {
+            windowed.insert(
+                class.to_string(),
+                class_slo(class, &|n| d.count(n), &|n| d.histogram(n)),
+            );
+        }
+    }
+
+    let mut deadlines = BTreeMap::new();
+    for p in classes {
+        deadlines.insert(
+            p.class().to_string(),
+            Value::Float(p.default_deadline().as_secs_f64()),
+        );
+    }
+
+    obj(vec![
+        ("deadline_budget_s", Value::Obj(deadlines)),
+        ("cumulative", Value::Obj(cumulative)),
+        (
+            "window",
+            obj(vec![
+                ("span_secs_max", Value::Float(state.span_hint.span_secs())),
+                (
+                    "wall_secs",
+                    delta
+                        .as_ref()
+                        .map(|d| Value::Float(d.wall_secs))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "sim_secs",
+                    delta
+                        .as_ref()
+                        .map(|d| Value::Float(d.sim_secs))
+                        .unwrap_or(Value::Null),
+                ),
+                ("classes", Value::Obj(windowed)),
+            ]),
+        ),
+    ])
+}
+
+/// `/decisions`: the tier migrator's audit ring (or an explicit
+/// "not running" document when the service has no migrator).
+fn decisions(state: &State) -> Value {
+    match &state.sources.migrator {
+        Some(m) => {
+            let mut doc = match m.decision_ring().to_json() {
+                Value::Obj(obj) => obj,
+                other => BTreeMap::from([("decisions".to_string(), other)]),
+            };
+            doc.insert("available".to_string(), Value::Bool(true));
+            doc.insert("ticks".to_string(), Value::Int(m.ticks() as i128));
+            Value::Obj(doc)
+        }
+        None => obj(vec![
+            ("available", Value::Bool(false)),
+            ("decisions", Value::Arr(Vec::new())),
+            ("capacity", Value::Int(0)),
+            ("recorded", Value::Int(0)),
+            ("evicted", Value::Int(0)),
+            ("ticks", Value::Int(0)),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------
+// a tiny scrape client (tests + `canopus serve` shutdown summary)
+// ---------------------------------------------------------------------
+
+/// Blocking one-shot `GET` against a running endpoint; returns
+/// `(status_code, body)`. Deliberately minimal — test and CLI helper,
+/// not a general HTTP client.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 {
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        line.clear();
+    }
+    let mut body = String::new();
+    io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_obs::json;
+
+    fn bare_sources() -> TelemetrySources {
+        let reg = Arc::new(Registry::new());
+        reg.counter("canopus.test.events").add(7);
+        TelemetrySources::new(reg).with_sim_clock(|| 1.5)
+    }
+
+    fn start(sources: TelemetrySources) -> TelemetryServer {
+        TelemetryServer::start("127.0.0.1:0", sources, TelemetryConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serves_all_routes_on_an_ephemeral_port() {
+        let server = start(bare_sources());
+        let addr = server.addr();
+        let t = Duration::from_secs(5);
+
+        let (status, body) = http_get(addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("canopus_test_events 7"),
+            "prometheus text: {body}"
+        );
+
+        let (status, body) = http_get(addr, "/metrics.json", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("canopus.test.events"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+
+        let (status, body) = http_get(addr, "/healthz", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(doc.get("workers_expected"), Some(&Value::Null));
+
+        let (status, body) = http_get(addr, "/slo", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert!(doc.get("cumulative").and_then(|c| c.get("quick")).is_some());
+
+        let (status, body) = http_get(addr, "/decisions", t).unwrap();
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("available").and_then(Value::as_bool), Some(false));
+
+        let (status, _) = http_get(addr, "/nope", t).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(server.scrapes(), 6, "every GET counted, including the 404");
+    }
+
+    #[test]
+    fn stop_is_prompt_and_idempotent() {
+        let mut server = start(bare_sources());
+        let addr = server.addr();
+        let begun = Instant::now();
+        server.stop();
+        server.stop();
+        assert!(begun.elapsed() < Duration::from_secs(5));
+        assert!(
+            http_get(addr, "/metrics", Duration::from_millis(300)).is_err(),
+            "stopped endpoint no longer answers"
+        );
+    }
+
+    #[test]
+    fn slo_scrape_includes_work_done_this_instant() {
+        let reg = Arc::new(Registry::new());
+        let server = start(TelemetrySources::new(Arc::clone(&reg)));
+        // Record between sampler passes; the handler's own leading-edge
+        // sample must still pick it up.
+        reg.counter(&names::serve_deadline_miss("quick")).add(3);
+        let (_, body) = http_get(server.addr(), "/slo", Duration::from_secs(5)).unwrap();
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("cumulative")
+                .and_then(|c| c.get("quick"))
+                .and_then(|q| q.get("deadline_misses"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        // The windowed view exists and is itself a per-class object.
+        assert!(doc
+            .get("window")
+            .and_then(|w| w.get("classes"))
+            .and_then(|c| c.get("quick"))
+            .is_some());
+    }
+}

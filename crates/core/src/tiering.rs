@@ -31,10 +31,11 @@
 //! tests, benchmarks, or the background worker in
 //! [`CanopusService`](crate::serve::CanopusService).
 
+use canopus_obs::json::Value;
 use canopus_obs::names;
 use canopus_storage::{HeatEntry, SimDuration, StorageHierarchy};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -61,6 +62,10 @@ pub struct TieringPolicy {
     /// `candidate_heat >= resident_heat * swap_margin`. Values > 1 give
     /// hysteresis: equally hot objects never swap places.
     pub swap_margin: f64,
+    /// Capacity of the decision audit ring: how many recent
+    /// [`TierDecision`]s are retained for `/decisions` and the serve
+    /// shutdown summary. `0` disables recording entirely.
+    pub audit_ring: u32,
 }
 
 impl TieringPolicy {
@@ -73,6 +78,7 @@ impl TieringPolicy {
             max_moves_per_tick: 8,
             interval_ms: 25,
             swap_margin: 2.0,
+            audit_ring: 256,
         }
     }
 }
@@ -107,6 +113,153 @@ impl MaintainReport {
     }
 }
 
+/// What the migrator did — or declined to do — to one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierActionKind {
+    /// Moved to a faster tier (into headroom, or as the final step of a
+    /// swap).
+    Promote,
+    /// Moved to a slower tier under capacity pressure.
+    Demote,
+    /// Demoted to make room for a hotter promotion candidate.
+    SwapDemote,
+    /// A move the policy wanted but did not perform; `reason` says why.
+    Skip,
+}
+
+impl TierActionKind {
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TierActionKind::Promote => "promote",
+            TierActionKind::Demote => "demote",
+            TierActionKind::SwapDemote => "swap_demote",
+            TierActionKind::Skip => "skip",
+        }
+    }
+}
+
+/// One structured entry of the tiering audit trail: what happened to a
+/// key during a maintain tick, and *why* — the explainable form of the
+/// `canopus.tier.*` counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierDecision {
+    /// Maintain tick (1-based) that produced the decision.
+    pub tick: u64,
+    pub action: TierActionKind,
+    /// Object key the decision is about.
+    pub key: String,
+    /// Tier the key resided on when the decision was made.
+    pub from_tier: Option<usize>,
+    /// Destination tier of a performed move (`None` for skips).
+    pub to_tier: Option<usize>,
+    /// EWMA heat of the key at decision time.
+    pub heat: f64,
+    /// Occupancy fraction (used/capacity) of the tier driving the
+    /// decision — the source under pressure, or the promotion target.
+    pub occupancy: f64,
+    /// Human-readable explanation (watermark state, cooldown tick,
+    /// displacement cause, fault, ...).
+    pub reason: String,
+}
+
+impl TierDecision {
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("tick".to_string(), Value::Int(self.tick as i128));
+        obj.insert(
+            "action".to_string(),
+            Value::Str(self.action.as_str().to_string()),
+        );
+        obj.insert("key".to_string(), Value::Str(self.key.clone()));
+        let tier = |t: Option<usize>| match t {
+            Some(t) => Value::Int(t as i128),
+            None => Value::Null,
+        };
+        obj.insert("from_tier".to_string(), tier(self.from_tier));
+        obj.insert("to_tier".to_string(), tier(self.to_tier));
+        obj.insert("heat".to_string(), Value::Float(self.heat));
+        obj.insert("occupancy".to_string(), Value::Float(self.occupancy));
+        obj.insert("reason".to_string(), Value::Str(self.reason.clone()));
+        Value::Obj(obj)
+    }
+}
+
+/// Bounded ring of recent [`TierDecision`]s. Eviction drops the oldest
+/// entry and counts it, so consumers can tell a quiet migrator from a
+/// truncated view.
+#[derive(Debug)]
+pub struct DecisionRing {
+    capacity: usize,
+    ring: Mutex<VecDeque<TierDecision>>,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl DecisionRing {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, decision: TierDecision) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        while ring.len() >= self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(decision);
+    }
+
+    /// Retained decisions, oldest first.
+    pub fn snapshot(&self) -> Vec<TierDecision> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Decisions ever recorded (including since-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Decisions dropped to capacity: nonzero means `snapshot` is a
+    /// truncated view.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// JSON document for `/decisions`: the entries plus ring totals.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "decisions".to_string(),
+            Value::Arr(self.snapshot().iter().map(TierDecision::to_json).collect()),
+        );
+        obj.insert("capacity".to_string(), Value::Int(self.capacity as i128));
+        obj.insert("recorded".to_string(), Value::Int(self.recorded() as i128));
+        obj.insert("evicted".to_string(), Value::Int(self.evicted() as i128));
+        Value::Obj(obj)
+    }
+}
+
 /// The policy engine: owns the tick counter and per-key cooldown state,
 /// borrows the hierarchy's tracker. Create one per hierarchy; `maintain`
 /// takes `&self` and is safe to call concurrently with readers (the
@@ -116,6 +269,7 @@ pub struct TierMigrator {
     policy: TieringPolicy,
     tick: AtomicU64,
     last_moved: Mutex<HashMap<String, u64>>,
+    decisions: DecisionRing,
 }
 
 impl TierMigrator {
@@ -128,6 +282,7 @@ impl TierMigrator {
             policy,
             tick: AtomicU64::new(0),
             last_moved: Mutex::new(HashMap::new()),
+            decisions: DecisionRing::new(policy.audit_ring as usize),
         }
     }
 
@@ -138,6 +293,35 @@ impl TierMigrator {
     /// Maintenance ticks run so far.
     pub fn ticks(&self) -> u64 {
         self.tick.load(Ordering::Relaxed)
+    }
+
+    /// The audit trail: every action and skip, with its reason.
+    pub fn decision_ring(&self) -> &DecisionRing {
+        &self.decisions
+    }
+
+    /// Retained audit entries, oldest first.
+    pub fn decisions(&self) -> Vec<TierDecision> {
+        self.decisions.snapshot()
+    }
+
+    fn record(&self, decision: TierDecision) {
+        if self.decisions.capacity() == 0 {
+            return;
+        }
+        self.hierarchy
+            .metrics()
+            .counter(names::TIER_DECISIONS)
+            .inc();
+        self.decisions.push(decision);
+    }
+
+    /// Occupancy fraction of `tier` right now (0 for unknown tiers).
+    fn occupancy(&self, tier: usize) -> f64 {
+        match self.hierarchy.tier_device(tier) {
+            Ok(d) => d.used() as f64 / d.capacity().max(1) as f64,
+            Err(_) => 0.0,
+        }
     }
 
     /// One deterministic maintenance tick: demote pressured tiers, then
@@ -210,18 +394,58 @@ impl TierMigrator {
                 if report.moves() >= self.policy.max_moves_per_tick {
                     return;
                 }
+                let vheat = heat.get(victim.as_str()).copied().unwrap_or(0.0);
+                let occupancy = self.occupancy(tier);
                 if self.in_cooldown(&victim, tick) {
                     report.skipped += 1;
+                    self.record(TierDecision {
+                        tick,
+                        action: TierActionKind::Skip,
+                        key: victim.clone(),
+                        from_tier: Some(tier),
+                        to_tier: None,
+                        heat: vheat,
+                        occupancy,
+                        reason: format!(
+                            "cooldown: frozen for {} more tick(s)",
+                            self.cooldown_remaining(&victim, tick)
+                        ),
+                    });
                     continue;
                 }
                 match self.demote_to_lower(&victim, tier) {
-                    Some((size, dt)) => {
+                    Ok((lower, size, dt)) => {
                         report.demotions += 1;
                         report.bytes_demoted += size;
                         report.time += dt;
                         self.mark_moved(&victim, tick);
+                        self.record(TierDecision {
+                            tick,
+                            action: TierActionKind::Demote,
+                            key: victim.clone(),
+                            from_tier: Some(tier),
+                            to_tier: Some(lower),
+                            heat: vheat,
+                            occupancy,
+                            reason: format!(
+                                "capacity pressure: occupancy {:.2} > high watermark {:.2}, coldest first",
+                                occupancy, self.policy.high_watermark
+                            ),
+                        });
                     }
-                    None => report.skipped += 1,
+                    Err(why) => {
+                        report.skipped += 1;
+                        self.record(TierDecision {
+                            tick,
+                            action: TierActionKind::Skip,
+                            key: victim.clone(),
+                            from_tier: Some(tier),
+                            to_tier: None,
+                            heat: vheat,
+                            occupancy,
+                            reason: format!("demotion wanted (pressure) but {why}"),
+                        });
+                    }
                 }
             }
         }
@@ -259,6 +483,20 @@ impl TierMigrator {
             }
             if self.in_cooldown(&cand.key, tick) {
                 report.skipped += 1;
+                self.record(TierDecision {
+                    tick,
+                    action: TierActionKind::Skip,
+                    key: cand.key.clone(),
+                    from_tier: Some(current),
+                    to_tier: None,
+                    heat: cand.heat,
+                    occupancy: self.occupancy(current),
+                    reason: format!(
+                        "promotion-eligible ({} hits) but cooldown: frozen for {} more tick(s)",
+                        cand.hits,
+                        self.cooldown_remaining(&cand.key, tick)
+                    ),
+                });
                 continue;
             }
             let Ok(size) = h.tier_device(current).and_then(|d| d.size_of(&cand.key)) else {
@@ -267,16 +505,35 @@ impl TierMigrator {
             let mut promoted = false;
             for target in 0..current {
                 if self.has_headroom(target, size) {
-                    promoted = self.promote_into(cand, target, size, report, tick);
+                    let reason = format!(
+                        "hot key ({} hits) promoted into tier {target} headroom (occupancy {:.2} <= high watermark {:.2})",
+                        cand.hits,
+                        self.occupancy(target),
+                        self.policy.high_watermark
+                    );
+                    promoted = self.promote_into(cand, current, target, size, reason, report, tick);
                     break;
                 }
-                if self.swap_into(cand, target, size, heat, report, tick) {
+                if self.swap_into(cand, current, target, size, heat, report, tick) {
                     promoted = true;
                     break;
                 }
             }
             if !promoted {
                 report.skipped += 1;
+                self.record(TierDecision {
+                    tick,
+                    action: TierActionKind::Skip,
+                    key: cand.key.clone(),
+                    from_tier: Some(current),
+                    to_tier: None,
+                    heat: cand.heat,
+                    occupancy: self.occupancy(current),
+                    reason: format!(
+                        "promotion-eligible ({} hits) but no faster tier has headroom or residents >= {:.1}x colder to displace",
+                        cand.hits, self.policy.swap_margin
+                    ),
+                });
             }
         }
     }
@@ -292,25 +549,49 @@ impl TierMigrator {
             && (device.used() + size) as f64 <= self.policy.high_watermark * cap as f64
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn promote_into(
         &self,
         cand: &HeatEntry,
+        current: usize,
         target: usize,
         size: u64,
+        reason: String,
         report: &mut MaintainReport,
         tick: u64,
     ) -> bool {
+        let occupancy = self.occupancy(target);
         match self.hierarchy.migrate(&cand.key, target) {
             Ok(dt) => {
                 report.promotions += 1;
                 report.bytes_promoted += size;
                 report.time += dt;
                 self.mark_moved(&cand.key, tick);
+                self.record(TierDecision {
+                    tick,
+                    action: TierActionKind::Promote,
+                    key: cand.key.clone(),
+                    from_tier: Some(current),
+                    to_tier: Some(target),
+                    heat: cand.heat,
+                    occupancy,
+                    reason,
+                });
                 true
             }
             Err(_) => {
                 // migrate's guarantee: the source copy survived.
                 report.skipped += 1;
+                self.record(TierDecision {
+                    tick,
+                    action: TierActionKind::Skip,
+                    key: cand.key.clone(),
+                    from_tier: Some(current),
+                    to_tier: Some(target),
+                    heat: cand.heat,
+                    occupancy,
+                    reason: "promotion wanted but the migration faulted (source kept)".to_string(),
+                });
                 false
             }
         }
@@ -320,9 +601,11 @@ impl TierMigrator {
     /// colder than the candidate (and unfrozen), then promote the
     /// candidate into the space. Returns false without moving anything
     /// when the displaceable set cannot make enough room.
+    #[allow(clippy::too_many_arguments)]
     fn swap_into(
         &self,
         cand: &HeatEntry,
+        current: usize,
         target: usize,
         size: u64,
         heat: &HashMap<&str, f64>,
@@ -345,7 +628,11 @@ impl TierMigrator {
         if needed == 0 {
             // Capacity-fit without displacement (racing writes freed
             // space since the headroom check); just promote.
-            return self.promote_into(cand, target, size, report, tick);
+            let reason = format!(
+                "hot key ({} hits) promoted into tier {target} (space freed since the headroom check)",
+                cand.hits
+            );
+            return self.promote_into(cand, current, target, size, reason, report, tick);
         }
         let tracker = h.access_tracker();
         // Coldest displaceable residents first.
@@ -391,21 +678,53 @@ impl TierMigrator {
             return false;
         }
         for victim in plan {
+            let vheat = heat.get(victim.as_str()).copied().unwrap_or(0.0);
+            let occupancy = self.occupancy(target);
             match self.demote_to_lower(&victim, target) {
-                Some((vsize, dt)) => {
+                Ok((lower, vsize, dt)) => {
                     report.demotions += 1;
                     report.bytes_demoted += vsize;
                     report.time += dt;
                     self.mark_moved(&victim, tick);
+                    self.record(TierDecision {
+                        tick,
+                        action: TierActionKind::SwapDemote,
+                        key: victim.clone(),
+                        from_tier: Some(target),
+                        to_tier: Some(lower),
+                        heat: vheat,
+                        occupancy,
+                        reason: format!(
+                            "displaced by hotter candidate '{}' (heat {:.2} vs {:.2}, swap margin {:.1}x)",
+                            cand.key, cand.heat, vheat, self.policy.swap_margin
+                        ),
+                    });
                 }
-                None => {
+                Err(why) => {
                     // Displacement faulted; abort the swap, nothing lost.
                     report.skipped += 1;
+                    self.record(TierDecision {
+                        tick,
+                        action: TierActionKind::Skip,
+                        key: victim.clone(),
+                        from_tier: Some(target),
+                        to_tier: None,
+                        heat: vheat,
+                        occupancy,
+                        reason: format!(
+                            "swap for '{}' aborted: displacement of this resident failed — {why}",
+                            cand.key
+                        ),
+                    });
                     return false;
                 }
             }
         }
-        self.promote_into(cand, target, size, report, tick)
+        let reason = format!(
+            "hot key ({} hits) swapped into tier {target} after displacing colder resident(s)",
+            cand.hits
+        );
+        self.promote_into(cand, current, target, size, reason, report, tick)
     }
 
     /// First tier below `tier` that can hold `size` bytes right now.
@@ -419,20 +738,39 @@ impl TierMigrator {
     }
 
     /// Demote `key` off `tier` to the first lower tier with room.
-    fn demote_to_lower(&self, key: &str, tier: usize) -> Option<(u64, SimDuration)> {
-        let size = self.hierarchy.tier_device(tier).ok()?.size_of(key).ok()?;
-        let lower = self.lower_tier_with_room(tier, size)?;
+    /// Returns the destination tier and move cost, or the reason the
+    /// demotion could not happen.
+    fn demote_to_lower(
+        &self,
+        key: &str,
+        tier: usize,
+    ) -> Result<(usize, u64, SimDuration), &'static str> {
+        let size = self
+            .hierarchy
+            .tier_device(tier)
+            .ok()
+            .and_then(|d| d.size_of(key).ok())
+            .ok_or("the key vanished from its tier")?;
+        let lower = self
+            .lower_tier_with_room(tier, size)
+            .ok_or("no lower tier has room")?;
         match self.hierarchy.migrate(key, lower) {
-            Ok(dt) => Some((size, dt)),
-            Err(_) => None,
+            Ok(dt) => Ok((lower, size, dt)),
+            Err(_) => Err("the migration faulted (source kept)"),
         }
     }
 
     fn in_cooldown(&self, key: &str, tick: u64) -> bool {
-        self.last_moved
-            .lock()
-            .get(key)
-            .is_some_and(|&moved| tick.saturating_sub(moved) < self.policy.cooldown_ticks)
+        self.cooldown_remaining(key, tick) > 0
+    }
+
+    /// Ticks left before `key` thaws (0 = not frozen).
+    fn cooldown_remaining(&self, key: &str, tick: u64) -> u64 {
+        self.last_moved.lock().get(key).map_or(0, |&moved| {
+            self.policy
+                .cooldown_ticks
+                .saturating_sub(tick.saturating_sub(moved))
+        })
     }
 
     fn mark_moved(&self, key: &str, tick: u64) {
@@ -634,6 +972,117 @@ mod tests {
         assert_eq!(r.moves(), 2, "budget caps the tick: {r:?}");
         let r = m.maintain();
         assert_eq!(r.moves(), 2, "the next tick continues");
+    }
+
+    #[test]
+    fn every_action_and_skip_is_audited_with_a_reason() {
+        let h = two_tier(1000, 10_000);
+        let m = TierMigrator::new(Arc::clone(&h), TieringPolicy::default());
+        // Pressure the fast tier and heat a slow-tier rival so one tick
+        // produces demotions, a promotion, and (cooldown) skips later.
+        for i in 0..19 {
+            h.write_to_tier(0, &format!("k{i:02}"), Bytes::from(vec![0u8; 50]))
+                .unwrap();
+        }
+        h.write_to_tier(1, "rival", Bytes::from(vec![0u8; 40]))
+            .unwrap();
+        for i in 2..19 {
+            for _ in 0..3 {
+                h.read(&format!("k{i:02}")).unwrap();
+            }
+        }
+        for _ in 0..60 {
+            h.read("rival").unwrap();
+        }
+        let r1 = m.maintain();
+        let r2 = m.maintain();
+        let decisions = m.decisions();
+        let moves = decisions
+            .iter()
+            .filter(|d| d.action != TierActionKind::Skip)
+            .count() as u32;
+        let skips = decisions
+            .iter()
+            .filter(|d| d.action == TierActionKind::Skip)
+            .count() as u32;
+        assert!(r1.moves() + r1.skipped > 0, "the setup must exercise both");
+        assert_eq!(
+            moves,
+            r1.moves() + r2.moves(),
+            "every performed move is audited: {decisions:#?}"
+        );
+        assert_eq!(
+            skips,
+            r1.skipped + r2.skipped,
+            "every skip is audited: {decisions:#?}"
+        );
+        for d in &decisions {
+            assert!(!d.reason.is_empty(), "no silent decisions: {d:?}");
+            assert!(!d.key.is_empty());
+            assert!(d.tick >= 1 && d.tick <= 2);
+            assert!(d.from_tier.is_some(), "context names the source tier");
+            if d.action != TierActionKind::Skip {
+                assert!(d.to_tier.is_some(), "moves name their destination: {d:?}");
+            }
+            // Round-trips into the JSON the /decisions endpoint serves.
+            let j = d.to_json();
+            assert_eq!(
+                j.get("action").and_then(|v| v.as_str()),
+                Some(d.action.as_str())
+            );
+            assert!(j.get("reason").is_some());
+        }
+        let snap = h.metrics().snapshot();
+        assert_eq!(
+            snap.counter(names::TIER_DECISIONS),
+            m.decision_ring().recorded(),
+            "counter and ring agree"
+        );
+    }
+
+    #[test]
+    fn audit_ring_is_bounded_and_counts_eviction() {
+        let h = two_tier(1000, 10_000);
+        let policy = TieringPolicy {
+            audit_ring: 4,
+            cooldown_ticks: 1_000, // every later touch becomes a skip
+            ..TieringPolicy::default()
+        };
+        let m = TierMigrator::new(Arc::clone(&h), policy);
+        for i in 0..10 {
+            let key = format!("k{i}");
+            h.write_to_tier(1, &key, Bytes::from(vec![0u8; 10]))
+                .unwrap();
+            for _ in 0..5 {
+                h.read(&key).unwrap();
+            }
+        }
+        for _ in 0..5 {
+            m.maintain();
+        }
+        let ring = m.decision_ring();
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.len(), 4, "ring holds exactly its capacity");
+        assert!(ring.recorded() > 4, "more decisions than capacity happened");
+        assert_eq!(
+            ring.evicted(),
+            ring.recorded() - 4,
+            "eviction is accounted, not silent"
+        );
+        // Oldest-first ordering: ticks never decrease across the ring.
+        let decisions = ring.snapshot();
+        assert!(decisions.windows(2).all(|w| w[0].tick <= w[1].tick));
+        // A zero-capacity ring disables recording entirely.
+        let off = TierMigrator::new(
+            two_tier(1000, 10_000),
+            TieringPolicy {
+                audit_ring: 0,
+                ..TieringPolicy::default()
+            },
+        );
+        off.maintain();
+        assert!(off.decision_ring().is_empty());
+        assert_eq!(off.decision_ring().recorded(), 0);
     }
 
     #[test]

@@ -101,6 +101,25 @@ impl Histogram {
         }
     }
 
+    /// Fold a snapshot of another histogram (same bucket layout) into
+    /// this one — the multi-stream counterpart of `observe_*`. Used to
+    /// combine per-shard or per-interval distributions into one
+    /// instrument without replaying observations.
+    pub fn merge(&self, other: &HistogramStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(other.sum_nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(other.min_nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(other.max_nanos, Ordering::Relaxed);
+        for (b, &c) in self.buckets.iter().zip(other.buckets.iter()) {
+            if c > 0 {
+                b.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+
     pub(crate) fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum_nanos.store(0, Ordering::Relaxed);
@@ -183,6 +202,75 @@ impl HistogramStat {
 
     pub fn p99_secs(&self) -> f64 {
         self.quantile_secs(0.99)
+    }
+
+    /// Combine two snapshots of *disjoint* observation streams into
+    /// one. Counts, sums and buckets add; min/max fold.
+    pub fn merge(&self, other: &HistogramStat) -> HistogramStat {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        let len = self.buckets.len().max(other.buckets.len());
+        let buckets = (0..len)
+            .map(|i| {
+                self.buckets.get(i).copied().unwrap_or(0)
+                    + other.buckets.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        HistogramStat {
+            count: self.count + other.count,
+            sum_nanos: self.sum_nanos.saturating_add(other.sum_nanos),
+            min_nanos: self.min_nanos.min(other.min_nanos),
+            max_nanos: self.max_nanos.max(other.max_nanos),
+            buckets,
+        }
+    }
+
+    /// Observations recorded since `earlier`, where `earlier` is an
+    /// older snapshot of the *same cumulative* histogram. Counts, sums
+    /// and buckets subtract (saturating, so a concurrent snapshot's
+    /// slight skew cannot underflow). The interval's exact min/max are
+    /// not recoverable from cumulative state; they are re-derived from
+    /// the surviving buckets' bounds, tightened by the cumulative
+    /// min/max — good enough for the quantile clamp.
+    pub fn diff(&self, earlier: &HistogramStat) -> HistogramStat {
+        let len = self.buckets.len().max(earlier.buckets.len());
+        let buckets: Vec<u64> = (0..len)
+            .map(|i| {
+                self.buckets
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0))
+            })
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistogramStat {
+                buckets,
+                ..Default::default()
+            };
+        }
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        let min_nanos = match first {
+            Some(0) | None => self.min_nanos,
+            Some(i) => self.min_nanos.max(BASE_NANOS << (i - 1)),
+        };
+        let max_nanos = match last.and_then(bucket_upper_nanos) {
+            Some(upper) => self.max_nanos.min(upper),
+            None => self.max_nanos, // overflow bucket (or no survivors)
+        };
+        HistogramStat {
+            count,
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            min_nanos: min_nanos.min(max_nanos),
+            max_nanos,
+            buckets,
+        }
     }
 
     /// All-integer JSON object — the round-trip is exact by
@@ -298,6 +386,65 @@ mod tests {
         let text = s.to_json().to_pretty();
         let parsed = crate::json::parse(&text).unwrap();
         assert_eq!(HistogramStat::from_json(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn merge_combines_streams_and_preserves_quantiles() {
+        // Two disjoint streams: a fast one (1..=50 µs) and a slow one
+        // (51..=100 µs). Their merge must equal the histogram that saw
+        // every observation directly — buckets, extremes, quantiles.
+        let fast = Histogram::default();
+        let slow = Histogram::default();
+        let all = Histogram::default();
+        for i in 1..=100u64 {
+            let nanos = i * 1_000;
+            if i <= 50 { &fast } else { &slow }.observe_nanos(nanos);
+            all.observe_nanos(nanos);
+        }
+        let merged = fast.stat().merge(&slow.stat());
+        let want = all.stat();
+        assert_eq!(merged, want, "merge must be exact on every field");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile_secs(q), want.quantile_secs(q));
+        }
+        // Merge is commutative and zero is the identity.
+        assert_eq!(slow.stat().merge(&fast.stat()), merged);
+        assert_eq!(want.merge(&HistogramStat::default()), want);
+        assert_eq!(HistogramStat::default().merge(&want), want);
+        // The atomic-side merge matches the stat-side merge.
+        let sink = Histogram::default();
+        sink.merge(&fast.stat());
+        sink.merge(&slow.stat());
+        assert_eq!(sink.stat(), want);
+    }
+
+    #[test]
+    fn diff_recovers_the_interval() {
+        let h = Histogram::default();
+        for i in 1..=40u64 {
+            h.observe_nanos(i * 1_000);
+        }
+        let earlier = h.stat();
+        for i in 41..=100u64 {
+            h.observe_nanos(i * 1_000);
+        }
+        let later = h.stat();
+        let interval = later.diff(&earlier);
+        assert_eq!(interval.count, 60);
+        assert_eq!(interval.sum_nanos, (41..=100u64).map(|i| i * 1_000).sum());
+        assert_eq!(interval.buckets.iter().sum::<u64>(), 60);
+        // Interval extremes are bucket-bound estimates: they must
+        // bracket the true interval range [41 µs, 100 µs].
+        assert!(interval.min_nanos <= 41_000 && interval.min_nanos >= earlier.min_nanos);
+        assert_eq!(interval.max_nanos, later.max_nanos);
+        // The interval median sits in the upper stream, far above the
+        // cumulative median.
+        assert!(interval.p50_secs() > earlier.p50_secs());
+        // diff then merge returns the cumulative whole.
+        assert_eq!(earlier.merge(&interval).count, later.count);
+        // Empty interval: identical snapshots diff to zero.
+        assert_eq!(later.diff(&later).count, 0);
+        assert_eq!(later.diff(&later).quantile_secs(0.5), 0.0);
     }
 
     #[test]

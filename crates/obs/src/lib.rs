@@ -41,12 +41,14 @@ mod registry;
 mod sink;
 mod snapshot;
 mod span;
+mod window;
 
 pub use histogram::{bucket_upper_nanos, Histogram, HistogramStat, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, Registry, StageTimer};
 pub use sink::{Event, FieldValue, NoopSink, RingBufferSink, Sink};
 pub use snapshot::{MetricsSnapshot, TimerStat};
 pub use span::{thread_lane, SpanContext, SpanGuard};
+pub use window::{RollingWindow, WindowConfig, WindowDelta};
 
 /// Open a stage span on a registry: `stage!(reg, "restore", level = l)`.
 ///

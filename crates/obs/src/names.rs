@@ -135,6 +135,37 @@ pub fn serve_latency_hist(class: &str) -> String {
     format!("canopus.serve.latency.{class}.wall")
 }
 
+// ---- serving layer: SLO accounting -----------------------------------
+/// Counter: completions of one class that finished strictly before
+/// their deadline.
+pub fn serve_deadline_hit(class: &str) -> String {
+    format!("canopus.serve.deadline_hit.{class}")
+}
+
+/// Counter: completions of one class that finished at or past their
+/// deadline (a zero deadline budget therefore always misses).
+pub fn serve_deadline_miss(class: &str) -> String {
+    format!("canopus.serve.deadline_miss.{class}")
+}
+
+/// Gauge: cumulative deadline attainment of one class in parts per
+/// million (`hits * 1e6 / (hits + misses)`). Only maintained while the
+/// live telemetry plane is enabled — the disabled serve hot path pays a
+/// single atomic load for the check.
+pub fn serve_attainment_ppm(class: &str) -> String {
+    format!("canopus.serve.attainment_ppm.{class}")
+}
+
+/// Gauge: serve worker threads currently alive (each worker decrements
+/// on exit; `/healthz` liveness).
+pub const SERVE_WORKERS_ALIVE: &str = "canopus.serve.workers_alive";
+/// Counter: HTTP scrape requests the telemetry endpoint answered (any
+/// route, including 404s).
+pub const TELEMETRY_SCRAPES: &str = "canopus.telemetry.scrapes";
+/// Gauge: milliseconds since service start at which the background tier
+/// maintainer last completed a tick (`/healthz` staleness).
+pub const SERVE_LAST_MAINTAIN_MILLIS: &str = "canopus.serve.last_maintain.millis";
+
 // ---- latency histograms ----------------------------------------------
 // Histogram names live in their own instrument map; the `.wall`/`.sim`
 // suffix convention marks which clock a distribution measures.
@@ -227,6 +258,9 @@ pub const TIER_MOVE_SKIPS: &str = "canopus.tier.move_skips";
 pub const TIER_HEAT: &str = "canopus.tier.heat";
 /// Gauge: keys with recorded accesses after the last tick.
 pub const TIER_TRACKED_KEYS: &str = "canopus.tier.tracked_keys";
+/// Counter: structured decisions recorded into the tier migrator's
+/// audit ring (every promote / demote / swap displacement / skip).
+pub const TIER_DECISIONS: &str = "canopus.tier.decisions";
 
 pub fn tier_bytes_read(tier: usize) -> String {
     format!("storage.tier.{tier}.bytes_read")

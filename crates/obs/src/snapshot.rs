@@ -197,6 +197,54 @@ impl MetricsSnapshot {
             .unwrap_or(0.0)
     }
 
+    // ---- delta snapshots --------------------------------------------
+
+    /// What happened between `earlier` and `self`, where `earlier` is
+    /// an older snapshot of the same registry.
+    ///
+    /// Cumulative instruments subtract: counters, timer counts/totals,
+    /// and histogram buckets become interval quantities (saturating, so
+    /// instrument-by-instrument snapshot skew cannot underflow). Gauges
+    /// are point-in-time, not cumulative — the diff carries `self`'s
+    /// current values through unchanged. Timer min/max stay `self`'s
+    /// cumulative extremes (the interval's are not recoverable).
+    /// Retained events are dropped; `dropped_events` subtracts.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .map(|(k, t)| {
+                let e = earlier.timer(k);
+                let stat = TimerStat {
+                    count: t.count.saturating_sub(e.count),
+                    wall_secs: (t.wall_secs - e.wall_secs).max(0.0),
+                    sim_secs: (t.sim_secs - e.sim_secs).max(0.0),
+                    min_secs: t.min_secs,
+                    max_secs: t.max_secs,
+                };
+                (k.clone(), stat)
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.diff(&earlier.histogram(k))))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            timers,
+            histograms,
+            events: Vec::new(),
+            dropped_events: self.dropped_events.saturating_sub(earlier.dropped_events),
+        }
+    }
+
     // ---- JSON round-trip --------------------------------------------
 
     pub fn to_json(&self) -> Value {
@@ -397,6 +445,39 @@ mod tests {
         let snap = sample();
         let total: f64 = snap.read_breakdown().iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_yields_interval_quantities() {
+        let reg = crate::Registry::new();
+        let c = reg.counter("reqs");
+        let g = reg.gauge("depth");
+        let t = reg.timer("io");
+        let h = reg.histogram("lat");
+        c.add(10);
+        g.set(3);
+        t.record(1.0, 2.0);
+        h.observe_nanos(1_000);
+        let earlier = reg.snapshot();
+        c.add(5);
+        g.set(7);
+        t.record(0.5, 0.25);
+        h.observe_nanos(9_000);
+        h.observe_nanos(9_000);
+        let later = reg.snapshot();
+        let d = later.diff(&earlier);
+        assert_eq!(d.counter("reqs"), 5, "counters subtract");
+        assert_eq!(d.gauge("depth"), 7, "gauges are point-in-time");
+        assert_eq!(d.timer("io").count, 1);
+        assert!((d.timer("io").wall_secs - 0.5).abs() < 1e-9);
+        assert!((d.timer("io").sim_secs - 0.25).abs() < 1e-9);
+        assert_eq!(d.histogram("lat").count, 2, "histogram interval");
+        assert!(d.histogram("lat").min_nanos > 1_000, "old stream excluded");
+        // Self-diff is all zeros; diff never underflows on skew.
+        let zero = later.diff(&later);
+        assert_eq!(zero.counter("reqs"), 0);
+        assert_eq!(zero.histogram("lat").count, 0);
+        assert_eq!(earlier.diff(&later).counter("reqs"), 0, "saturates");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Rolling time-window aggregation over a cumulative [`Registry`].
+//!
+//! Every instrument in the registry is cumulative-since-start, which is
+//! the right shape for exact accounting but useless for "what is
+//! happening *now*". [`RollingWindow`] closes that gap without touching
+//! the hot-path write side at all: a sampler periodically takes a full
+//! [`Registry::snapshot`] and files it into a ring of `buckets`
+//! fixed-width boundary snapshots. Because counters, timer totals and
+//! histogram buckets are monotone, the window's content is simply the
+//! [`MetricsSnapshot::diff`] between the newest sample and the oldest
+//! retained boundary — interval rates and windowed histograms fall out
+//! of plain subtraction, no per-event bookkeeping anywhere.
+//!
+//! The window tracks **both clocks**: wall seconds (when samples were
+//! taken) and simulated seconds (the deterministic device model), so a
+//! windowed rate can be expressed against either time base.
+//!
+//! Cost model: recorders pay nothing (they never see the window);
+//! `sample_*` and [`delta`](RollingWindow::delta) take one mutex that
+//! only the sampler and scrapers contend on.
+
+use crate::registry::Registry;
+use crate::snapshot::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shape of a rolling window: `buckets` boundary snapshots laid
+/// `bucket_secs` apart, spanning at most `buckets * bucket_secs` of
+/// wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Number of boundary snapshots retained (≥ 1).
+    pub buckets: usize,
+    /// Wall seconds between bucket rotations (> 0).
+    pub bucket_secs: f64,
+}
+
+impl WindowConfig {
+    /// Default shape: six 5-second buckets — a 30-second window, the
+    /// usual "recent enough to steer by" horizon for a scrape endpoint.
+    pub const fn new() -> Self {
+        Self {
+            buckets: 6,
+            bucket_secs: 5.0,
+        }
+    }
+
+    /// Longest wall span the window can cover.
+    pub fn span_secs(&self) -> f64 {
+        self.buckets as f64 * self.bucket_secs
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One boundary sample: a full cumulative snapshot stamped with both
+/// clocks.
+#[derive(Debug, Clone)]
+struct Edge {
+    wall_secs: f64,
+    sim_secs: f64,
+    snap: MetricsSnapshot,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    /// Bucket boundaries, oldest first. Never longer than
+    /// `WindowConfig::buckets`.
+    boundaries: VecDeque<Edge>,
+    /// The freshest sample (the window's leading edge); always at least
+    /// as new as the newest boundary.
+    latest: Option<Edge>,
+    /// Boundary rotations performed (monotone; for tests/introspection).
+    rotations: u64,
+}
+
+/// The rolling window itself. Shared behind an `Arc` between the
+/// sampler thread and scrape handlers.
+#[derive(Debug)]
+pub struct RollingWindow {
+    cfg: WindowConfig,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl RollingWindow {
+    pub fn new(cfg: WindowConfig) -> Self {
+        let cfg = WindowConfig {
+            buckets: cfg.buckets.max(1),
+            bucket_secs: if cfg.bucket_secs > 0.0 {
+                cfg.bucket_secs
+            } else {
+                WindowConfig::new().bucket_secs
+            },
+        };
+        Self {
+            cfg,
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Sample `registry` now (wall clock = seconds since this window was
+    /// created; `sim_secs` supplied by the caller, keeping the obs crate
+    /// clock-agnostic).
+    pub fn sample_now(&self, registry: &Registry, sim_secs: f64) {
+        self.sample_at(
+            self.epoch.elapsed().as_secs_f64(),
+            sim_secs,
+            registry.snapshot(),
+        );
+    }
+
+    /// File one cumulative sample taken at `wall_secs`/`sim_secs`.
+    /// Exposed separately so tests can drive synthetic clocks; samples
+    /// must arrive in non-decreasing wall order.
+    pub fn sample_at(&self, wall_secs: f64, sim_secs: f64, snap: MetricsSnapshot) {
+        let edge = Edge {
+            wall_secs,
+            sim_secs,
+            snap,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        let rotate = match ring.boundaries.back() {
+            None => true,
+            Some(b) => wall_secs - b.wall_secs >= self.cfg.bucket_secs,
+        };
+        if rotate {
+            ring.boundaries.push_back(edge.clone());
+            ring.rotations += 1;
+            while ring.boundaries.len() > self.cfg.buckets {
+                ring.boundaries.pop_front();
+            }
+        }
+        ring.latest = Some(edge);
+    }
+
+    /// The windowed view: everything recorded between the oldest
+    /// retained boundary and the newest sample. `None` until the first
+    /// sample lands.
+    pub fn delta(&self) -> Option<WindowDelta> {
+        let ring = self.ring.lock().unwrap();
+        let latest = ring.latest.as_ref()?;
+        let oldest = ring.boundaries.front()?;
+        Some(WindowDelta {
+            wall_secs: (latest.wall_secs - oldest.wall_secs).max(0.0),
+            sim_secs: (latest.sim_secs - oldest.sim_secs).max(0.0),
+            snap: latest.snap.diff(&oldest.snap),
+        })
+    }
+
+    /// Number of boundary snapshots currently retained.
+    pub fn boundary_count(&self) -> usize {
+        self.ring.lock().unwrap().boundaries.len()
+    }
+
+    /// Boundary rotations performed since creation (monotone).
+    pub fn rotations(&self) -> u64 {
+        self.ring.lock().unwrap().rotations
+    }
+}
+
+/// The contents of one window: a delta [`MetricsSnapshot`] (interval
+/// counters, windowed histograms, current gauges) plus the wall/sim
+/// span it covers.
+#[derive(Debug, Clone)]
+pub struct WindowDelta {
+    /// Wall seconds between the window's edges.
+    pub wall_secs: f64,
+    /// Simulated seconds between the window's edges.
+    pub sim_secs: f64,
+    /// Interval snapshot: see [`MetricsSnapshot::diff`].
+    pub snap: MetricsSnapshot,
+}
+
+impl WindowDelta {
+    /// Counter increments inside the window.
+    pub fn count(&self, name: &str) -> u64 {
+        self.snap.counter(name)
+    }
+
+    /// Counter rate in events per wall second (0 while the window has
+    /// no wall span yet).
+    pub fn rate(&self, name: &str) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.snap.counter(name) as f64 / self.wall_secs
+        }
+    }
+
+    /// Windowed histogram for `name` (empty when nothing landed).
+    pub fn histogram(&self, name: &str) -> crate::histogram::HistogramStat {
+        self.snap.histogram(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(counter: &str, v: u64) -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter(counter).add(v);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn window_delta_is_newest_minus_oldest() {
+        let w = RollingWindow::new(WindowConfig {
+            buckets: 3,
+            bucket_secs: 1.0,
+        });
+        assert!(w.delta().is_none(), "no samples yet");
+        w.sample_at(0.0, 0.0, snap_with("x", 10));
+        let d = w.delta().unwrap();
+        assert_eq!(d.count("x"), 0, "single sample spans nothing");
+        w.sample_at(0.5, 1.0, snap_with("x", 14));
+        let d = w.delta().unwrap();
+        assert_eq!(d.count("x"), 4);
+        assert!((d.wall_secs - 0.5).abs() < 1e-12);
+        assert!((d.sim_secs - 1.0).abs() < 1e-12);
+        assert!((d.rate("x") - 8.0).abs() < 1e-9, "4 events / 0.5 s");
+    }
+
+    #[test]
+    fn rotation_bounds_the_ring_and_expires_old_increments() {
+        let cfg = WindowConfig {
+            buckets: 3,
+            bucket_secs: 1.0,
+        };
+        let w = RollingWindow::new(cfg);
+        // One sample per bucket width for 10 widths.
+        for t in 0..10u64 {
+            w.sample_at(t as f64, 0.0, snap_with("x", t * 100));
+            assert!(
+                w.boundary_count() <= cfg.buckets,
+                "ring stays bounded at every step"
+            );
+            if let Some(d) = w.delta() {
+                assert!(
+                    d.wall_secs <= cfg.span_secs() + 1e-9,
+                    "window never spans more than buckets * width"
+                );
+            }
+        }
+        assert_eq!(w.boundary_count(), 3);
+        assert_eq!(w.rotations(), 10);
+        // Oldest boundary is t=7 (samples 7,8,9 retained): the window
+        // holds only the last two intervals' worth of increments.
+        let d = w.delta().unwrap();
+        assert_eq!(d.count("x"), 200);
+        assert!((d.wall_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_width_samples_refresh_the_edge_without_rotating() {
+        let w = RollingWindow::new(WindowConfig {
+            buckets: 4,
+            bucket_secs: 10.0,
+        });
+        w.sample_at(0.0, 0.0, snap_with("x", 0));
+        for i in 1..=5u64 {
+            w.sample_at(i as f64, 0.0, snap_with("x", i));
+        }
+        assert_eq!(w.boundary_count(), 1, "all samples inside one bucket");
+        assert_eq!(w.rotations(), 1);
+        let d = w.delta().unwrap();
+        assert_eq!(d.count("x"), 5, "leading edge is always the freshest");
+        assert!((d.wall_secs - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_now_reads_the_registry_clock() {
+        let reg = Registry::new();
+        let w = RollingWindow::new(WindowConfig {
+            buckets: 2,
+            bucket_secs: 1e-9, // rotate on effectively every sample
+        });
+        reg.counter("y").add(1);
+        w.sample_now(&reg, 0.5);
+        reg.counter("y").add(2);
+        w.sample_now(&reg, 2.0);
+        let d = w.delta().unwrap();
+        assert_eq!(d.count("y"), 2);
+        assert!((d.sim_secs - 1.5).abs() < 1e-12);
+        assert!(d.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let w = RollingWindow::new(WindowConfig {
+            buckets: 0,
+            bucket_secs: -1.0,
+        });
+        assert_eq!(w.config().buckets, 1);
+        assert!(w.config().bucket_secs > 0.0);
+        w.sample_at(0.0, 0.0, MetricsSnapshot::default());
+        w.sample_at(100.0, 0.0, MetricsSnapshot::default());
+        assert_eq!(w.boundary_count(), 1);
+    }
+}

@@ -406,14 +406,28 @@ impl StorageHierarchy {
     /// migration: between `find` and the device `get` the copy-verify-
     /// then-remove window may shift the object to another tier, turning
     /// the device read into a spurious `NotFound` while the object very
-    /// much exists — so re-find and retry a bounded number of times.
-    /// `NotFound` is only surfaced once `find` itself fails.
+    /// much exists — so re-find and retry a bounded number of times,
+    /// yielding between attempts so the in-flight migration can finish
+    /// its window. `find` itself can also race a demotion: it scans
+    /// fastest-first, so if the whole put-then-remove lands between its
+    /// probe of the destination tier and its probe of the source tier,
+    /// the scan misses a key that was resident throughout — which is
+    /// why a `NotFound` from `find` retries like one from the device
+    /// `get`, and is only surfaced once the race persists past the
+    /// bound (a truly absent key just pays a few yields).
     fn locate_and_get(
         &self,
         key: &str,
     ) -> Result<(Bytes, usize, SimDuration, Option<u64>), StorageError> {
-        for _ in 0..4 {
-            let idx = self.find(key)?;
+        for attempt in 0..12 {
+            if attempt > 0 {
+                std::thread::yield_now();
+            }
+            let idx = match self.find(key) {
+                Ok(idx) => idx,
+                Err(StorageError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
             let (extra, corrupt) = if self.faults_enabled.load(Ordering::Relaxed) {
                 self.inject(idx, FaultOp::GetError, key)?
             } else {
